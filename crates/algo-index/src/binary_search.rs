@@ -1,0 +1,172 @@
+//! Binary search baselines (the paper's "BS" column) and the branchless
+//! variant used as a bounded search primitive.
+
+use crate::search::RangeIndex;
+use sosd_data::key::Key;
+
+/// Standard-library-style binary search over the whole array (the "BS"
+/// baseline of Table 2: `std::lower_bound` in the C++ SOSD harness).
+#[derive(Debug, Clone)]
+pub struct BinarySearchIndex<'a, K: Key> {
+    keys: &'a [K],
+}
+
+impl<'a, K: Key> BinarySearchIndex<'a, K> {
+    /// Wrap a sorted key slice.
+    pub fn new(keys: &'a [K]) -> Self {
+        debug_assert!(keys.is_sorted());
+        Self { keys }
+    }
+}
+
+impl<K: Key> RangeIndex<K> for BinarySearchIndex<'_, K> {
+    #[inline]
+    fn lower_bound(&self, q: K) -> usize {
+        self.keys.partition_point(|&k| k < q)
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        0 // no auxiliary structure
+    }
+
+    fn name(&self) -> &'static str {
+        "BS"
+    }
+}
+
+/// Branchless binary search: the comparison result is folded into the index
+/// arithmetic instead of a conditional branch, which removes branch
+/// mispredictions on random lookups (the dominant cost once the working set
+/// exceeds cache). Used both as a standalone baseline and as the bounded
+/// local-search routine for corrected learned indexes.
+#[derive(Debug, Clone)]
+pub struct BranchlessBinarySearch<'a, K: Key> {
+    keys: &'a [K],
+}
+
+impl<'a, K: Key> BranchlessBinarySearch<'a, K> {
+    /// Wrap a sorted key slice.
+    pub fn new(keys: &'a [K]) -> Self {
+        debug_assert!(keys.is_sorted());
+        Self { keys }
+    }
+
+    /// Branchless lower bound over `keys[offset..offset + len]`, returned as
+    /// an absolute position. `offset + len` must not exceed the slice length.
+    #[inline]
+    pub fn lower_bound_in(keys: &[K], offset: usize, len: usize, q: K) -> usize {
+        debug_assert!(offset + len <= keys.len());
+        let mut base = offset;
+        let mut remaining = len;
+        while remaining > 1 {
+            let half = remaining / 2;
+            // Move the base past the first half when its last element is < q.
+            let mid = base + half - 1;
+            if keys[mid] < q {
+                base = mid + 1;
+                remaining -= half;
+            } else {
+                remaining = half;
+            }
+        }
+        if remaining == 1 && base < offset + len && keys[base] < q {
+            base + 1
+        } else {
+            base
+        }
+    }
+}
+
+impl<K: Key> RangeIndex<K> for BranchlessBinarySearch<'_, K> {
+    #[inline]
+    fn lower_bound(&self, q: K) -> usize {
+        Self::lower_bound_in(self.keys, 0, self.keys.len(), q)
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "BS-branchless"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_data::prelude::*;
+
+    #[test]
+    fn agrees_with_partition_point_on_all_datasets() {
+        for name in SosdName::all() {
+            let d: Dataset<u64> = name.generate(5_000, 3);
+            let keys = d.as_slice();
+            let bs = BinarySearchIndex::new(keys);
+            let bl = BranchlessBinarySearch::new(keys);
+            let w = Workload::uniform_domain(&d, 500, 7);
+            for (q, expected) in w.iter() {
+                assert_eq!(bs.lower_bound(q), expected, "{name} BS q={q}");
+                assert_eq!(bl.lower_bound(q), expected, "{name} branchless q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_queries() {
+        let keys = vec![10u64, 20, 30];
+        let bs = BinarySearchIndex::new(&keys);
+        let bl = BranchlessBinarySearch::new(&keys);
+        for idx in [&bs as &dyn RangeIndex<u64>, &bl as &dyn RangeIndex<u64>] {
+            assert_eq!(idx.lower_bound(5), 0);
+            assert_eq!(idx.lower_bound(10), 0);
+            assert_eq!(idx.lower_bound(11), 1);
+            assert_eq!(idx.lower_bound(30), 2);
+            assert_eq!(idx.lower_bound(31), 3, "past the end");
+        }
+    }
+
+    #[test]
+    fn empty_slice() {
+        let keys: Vec<u64> = vec![];
+        let bs = BinarySearchIndex::new(&keys);
+        let bl = BranchlessBinarySearch::new(&keys);
+        assert_eq!(bs.lower_bound(1), 0);
+        assert_eq!(bl.lower_bound(1), 0);
+        assert!(bs.is_empty());
+    }
+
+    #[test]
+    fn duplicates_return_first_occurrence() {
+        let keys = vec![1u64, 5, 5, 5, 9];
+        let bl = BranchlessBinarySearch::new(&keys);
+        assert_eq!(bl.lower_bound(5), 1);
+        let bs = BinarySearchIndex::new(&keys);
+        assert_eq!(bs.lower_bound(5), 1);
+    }
+
+    #[test]
+    fn bounded_window_search_is_absolute() {
+        let keys: Vec<u64> = (0..100u64).map(|i| i * 2).collect();
+        // Search only within [40, 60): keys 80..118.
+        let pos = BranchlessBinarySearch::lower_bound_in(&keys, 40, 20, 95);
+        assert_eq!(pos, 48, "95 rounds up to key 96 at index 48");
+        // Query below the window clamps to the window start.
+        assert_eq!(BranchlessBinarySearch::lower_bound_in(&keys, 40, 20, 0), 40);
+        // Query above the window clamps to the window end.
+        assert_eq!(
+            BranchlessBinarySearch::lower_bound_in(&keys, 40, 20, 1_000),
+            60
+        );
+        // Zero-length window.
+        assert_eq!(BranchlessBinarySearch::lower_bound_in(&keys, 7, 0, 3), 7);
+    }
+}

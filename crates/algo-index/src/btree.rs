@@ -1,0 +1,234 @@
+//! Read-only bulk-loaded B+tree (the paper's "B+tree" column, STX-style).
+//!
+//! The STX B+tree used by SOSD is an in-memory B+tree whose leaves hold the
+//! sorted keys. Because our data already lives in one sorted array (clustered
+//! layout shared by every index), the equivalent read-only structure is a
+//! static B+tree built bottom-up over fixed-size leaf blocks of that array:
+//! inner levels store separator keys (the first key of each child) in
+//! node-sized groups, and a lookup descends from the root doing an intra-node
+//! search per level, then finishes inside one leaf block. The node size is
+//! chosen so a node fills whole cache lines, which is what makes a B+tree
+//! cache-friendlier than plain binary search while still paying one memory
+//! access ("pointer chase") per level.
+
+use crate::binary_search::BranchlessBinarySearch;
+use crate::search::RangeIndex;
+use sosd_data::key::Key;
+
+/// Default number of keys per node (16 × 8 B = two cache lines for u64).
+pub const DEFAULT_NODE_FANOUT: usize = 16;
+
+/// Static, read-only B+tree over a sorted key slice.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<'a, K: Key> {
+    keys: &'a [K],
+    /// Inner levels, bottom (closest to the data) first. Level `l` holds the
+    /// separator key of every node of level `l - 1` (or of every leaf block
+    /// for `l = 0`), grouped implicitly into nodes of `fanout` separators.
+    levels: Vec<Vec<K>>,
+    fanout: usize,
+}
+
+impl<'a, K: Key> BPlusTree<'a, K> {
+    /// Bulk-load with the default fanout.
+    pub fn new(keys: &'a [K]) -> Self {
+        Self::with_fanout(keys, DEFAULT_NODE_FANOUT)
+    }
+
+    /// Bulk-load with an explicit fanout (keys per node, ≥ 2).
+    pub fn with_fanout(keys: &'a [K], fanout: usize) -> Self {
+        debug_assert!(keys.is_sorted());
+        let fanout = fanout.max(2);
+        let mut levels: Vec<Vec<K>> = Vec::new();
+        if !keys.is_empty() {
+            // Level 0 separators: first key of every leaf block.
+            let mut current: Vec<K> = keys.iter().step_by(fanout).copied().collect();
+            // Build upper levels until one node suffices.
+            while current.len() > fanout {
+                let next: Vec<K> = current.iter().step_by(fanout).copied().collect();
+                levels.push(current);
+                current = next;
+            }
+            levels.push(current);
+        }
+        Self {
+            keys,
+            levels,
+            fanout,
+        }
+    }
+
+    /// Number of inner levels (tree height minus the leaf level).
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The node fanout.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Intra-node routing: number of separators in
+    /// `level[node_start .. node_start + node_len]` that are strictly smaller
+    /// than `q`. Routing on `< q` (rather than `<= q`) is what keeps the
+    /// descent correct when a run of duplicate keys spans several blocks: the
+    /// lower bound of `q` can only live in the last block whose first key is
+    /// `< q` (or at the very start of the following block, which the bounded
+    /// search inside that block also finds).
+    #[inline]
+    fn child_in_node(level: &[K], node_start: usize, node_len: usize, q: K) -> usize {
+        let node = &level[node_start..node_start + node_len];
+        // Linear scan: nodes are small and contiguous (cache-resident once
+        // fetched), matching real B+tree inner-node search.
+        let mut child = 0usize;
+        for &sep in node {
+            if sep < q {
+                child += 1;
+            } else {
+                break;
+            }
+        }
+        child
+    }
+}
+
+impl<K: Key> RangeIndex<K> for BPlusTree<'_, K> {
+    fn lower_bound(&self, q: K) -> usize {
+        let n = self.keys.len();
+        if n == 0 {
+            return 0;
+        }
+        if self.levels.is_empty() {
+            return BranchlessBinarySearch::lower_bound_in(self.keys, 0, n, q);
+        }
+        // Descend from the root (last level) to level 0, tracking the node
+        // index at each level.
+        let mut node = 0usize; // node index within the current level
+        for level in self.levels.iter().rev() {
+            let start = node * self.fanout;
+            if start >= level.len() {
+                node *= self.fanout;
+                continue;
+            }
+            let len = self.fanout.min(level.len() - start);
+            let child = Self::child_in_node(level, start, len, q);
+            // `child` counts separators < q; the child to follow is
+            // child - 1 (clamped to 0) because separator i is the first key
+            // of child i.
+            node = start + child.saturating_sub(1);
+        }
+        // `node` is now the leaf block index.
+        let leaf_start = node * self.fanout;
+        if leaf_start >= n {
+            return n;
+        }
+        let leaf_len = self.fanout.min(n - leaf_start);
+        let pos = BranchlessBinarySearch::lower_bound_in(self.keys, leaf_start, leaf_len, q);
+        // If the query is larger than everything in this leaf, the answer is
+        // the start of the next leaf (which partition_point semantics give us
+        // automatically because separators route q to the last block whose
+        // first key is <= q).
+        pos
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| l.len() * K::size_bytes())
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "B+tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_data::prelude::*;
+
+    #[test]
+    fn agrees_with_binary_search_on_all_datasets() {
+        for name in SosdName::all() {
+            let d: Dataset<u64> = name.generate(5_000, 23);
+            let bt = BPlusTree::new(d.as_slice());
+            for w in [
+                Workload::uniform_keys(&d, 300, 1),
+                Workload::uniform_domain(&d, 300, 2),
+                Workload::non_indexed(&d, 300, 3),
+            ] {
+                for (q, expected) in w.iter() {
+                    assert_eq!(bt.lower_bound(q), expected, "{name} q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_fanouts_stay_correct() {
+        let d: Dataset<u64> = SosdName::Wiki64.generate(10_000, 3);
+        let w = Workload::uniform_domain(&d, 500, 9);
+        for fanout in [2usize, 4, 8, 32, 128, 1024] {
+            let bt = BPlusTree::with_fanout(d.as_slice(), fanout);
+            for (q, expected) in w.iter() {
+                assert_eq!(bt.lower_bound(q), expected, "fanout={fanout} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn height_shrinks_with_fanout() {
+        let d: Dataset<u64> = SosdName::Uspr64.generate(100_000, 1);
+        let narrow = BPlusTree::with_fanout(d.as_slice(), 4);
+        let wide = BPlusTree::with_fanout(d.as_slice(), 256);
+        assert!(narrow.height() > wide.height());
+        assert!(narrow.index_size_bytes() > wide.index_size_bytes());
+    }
+
+    #[test]
+    fn edge_cases() {
+        let empty: Vec<u64> = vec![];
+        let bt = BPlusTree::new(&empty);
+        assert_eq!(bt.lower_bound(5), 0);
+        assert!(bt.is_empty());
+
+        let keys = vec![10u64];
+        let bt = BPlusTree::new(&keys);
+        assert_eq!(bt.lower_bound(5), 0);
+        assert_eq!(bt.lower_bound(10), 0);
+        assert_eq!(bt.lower_bound(11), 1);
+
+        let keys = vec![5u64; 100];
+        let bt = BPlusTree::new(&keys);
+        assert_eq!(bt.lower_bound(5), 0);
+        assert_eq!(bt.lower_bound(4), 0);
+        assert_eq!(bt.lower_bound(6), 100);
+    }
+
+    #[test]
+    fn duplicates_return_first_occurrence() {
+        let mut keys = Vec::new();
+        for i in 0..1000u64 {
+            keys.push(i / 7); // runs of 7 duplicates
+        }
+        let bt = BPlusTree::new(&keys);
+        for q in 0..=(999 / 7) {
+            assert_eq!(bt.lower_bound(q), keys.partition_point(|&k| k < q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn works_with_u32_keys() {
+        let d: Dataset<u32> = SosdName::Uden32.generate(5_000, 2);
+        let bt = BPlusTree::new(d.as_slice());
+        let w = Workload::uniform_keys(&d, 300, 4);
+        for (q, expected) in w.iter() {
+            assert_eq!(bt.lower_bound(q), expected);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Exponential (galloping) search.
+//!
+//! Exponential search finds an unbounded lower bound by doubling the step
+//! size from a starting position until the target is bracketed, then binary
+//! searching the bracket. It is the last-mile search of choice for learned
+//! indexes whose model gives a *guess* but no guaranteed error bound
+//! (Figure 1a, search pattern 3/4): the cost is `O(log Δ)` probes where Δ is
+//! the prediction error.
+
+use crate::binary_search::BranchlessBinarySearch;
+use sosd_data::key::Key;
+
+/// Lower bound of `q` in `keys`, galloping outwards from `start`.
+///
+/// Returns the index of the first key `>= q` (or `keys.len()`), identical to
+/// a full binary search but with cost proportional to `log(|start - result|)`
+/// instead of `log(n)`.
+#[inline]
+pub fn lower_bound_from<K: Key>(keys: &[K], start: usize, q: K) -> usize {
+    let n = keys.len();
+    if n == 0 {
+        return 0;
+    }
+    let start = start.min(n - 1);
+    if keys[start] < q {
+        // Gallop right: find the first probe with key >= q.
+        let mut step = 1usize;
+        let mut prev = start;
+        loop {
+            let next = match prev.checked_add(step) {
+                Some(i) if i < n => i,
+                _ => {
+                    // Bracket is (prev, n).
+                    return BranchlessBinarySearch::lower_bound_in(keys, prev + 1, n - prev - 1, q);
+                }
+            };
+            if keys[next] >= q {
+                // Bracket is (prev, next].
+                return BranchlessBinarySearch::lower_bound_in(keys, prev + 1, next - prev, q);
+            }
+            prev = next;
+            step *= 2;
+        }
+    } else {
+        // Gallop left: find a probe with key < q (or hit the start).
+        let mut step = 1usize;
+        let mut prev = start;
+        loop {
+            if prev == 0 {
+                return BranchlessBinarySearch::lower_bound_in(keys, 0, start, q).min(start);
+            }
+            let next = prev.saturating_sub(step);
+            if keys[next] < q {
+                // Bracket is (next, prev].
+                return BranchlessBinarySearch::lower_bound_in(keys, next + 1, prev - next, q);
+            }
+            if next == 0 {
+                return BranchlessBinarySearch::lower_bound_in(keys, 0, prev, q);
+            }
+            prev = next;
+            step *= 2;
+        }
+    }
+}
+
+/// Number of key probes an exponential search from `start` performs for `q`.
+/// Used by the Figure 2 cache-miss-proxy instrumentation.
+pub fn probe_count<K: Key>(keys: &[K], start: usize, q: K) -> usize {
+    let n = keys.len();
+    if n == 0 {
+        return 0;
+    }
+    let start = start.min(n - 1);
+    let target = keys.partition_point(|&k| k < q);
+    let distance = target.abs_diff(start).max(1);
+    // Galloping probes ≈ log2(distance), bracket binary search ≈ log2(distance).
+    let log = (usize::BITS - distance.leading_zeros()) as usize;
+    1 + 2 * log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_data::prelude::*;
+
+    #[test]
+    fn agrees_with_partition_point_from_any_start() {
+        let d: Dataset<u64> = SosdName::Face64.generate(5_000, 1);
+        let keys = d.as_slice();
+        let w = Workload::uniform_domain(&d, 200, 2);
+        for (q, expected) in w.iter() {
+            for start in [0usize, 1, 100, 2_500, 4_999] {
+                assert_eq!(
+                    lower_bound_from(keys, start, q),
+                    expected,
+                    "q={q} start={start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_start_is_cheap_and_correct() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 3).collect();
+        for target in [0usize, 17, 5_000, 9_999] {
+            let q = keys[target];
+            assert_eq!(lower_bound_from(&keys, target, q), target);
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        let empty: Vec<u64> = vec![];
+        assert_eq!(lower_bound_from(&empty, 0, 5), 0);
+
+        let keys = vec![10u64, 20, 30];
+        assert_eq!(lower_bound_from(&keys, 0, 5), 0);
+        assert_eq!(lower_bound_from(&keys, 2, 5), 0);
+        assert_eq!(lower_bound_from(&keys, 0, 35), 3);
+        assert_eq!(lower_bound_from(&keys, 2, 35), 3);
+        assert_eq!(lower_bound_from(&keys, 100, 20), 1, "start clamped to len-1");
+    }
+
+    #[test]
+    fn duplicates_return_first_occurrence() {
+        let keys = vec![1u64, 5, 5, 5, 5, 9];
+        for start in 0..keys.len() {
+            assert_eq!(lower_bound_from(&keys, start, 5), 1, "start={start}");
+        }
+    }
+
+    #[test]
+    fn probe_count_grows_with_error() {
+        let keys: Vec<u64> = (0..100_000u64).collect();
+        let near = probe_count(&keys, 50_000, 50_010);
+        let far = probe_count(&keys, 50_000, 99_000);
+        assert!(far > near);
+    }
+}

@@ -1,0 +1,204 @@
+//! Interpolation search (the paper's "IS" column).
+//!
+//! Interpolation search repeatedly estimates the position of the query by
+//! linear interpolation between the current search boundaries. On uniform
+//! data it needs `O(log log n)` iterations; on skewed data it can degrade to
+//! `O(n)`, which is why Table 2 reports huge or "N/A" times for IS on the
+//! lognormal and Amazon datasets. The implementation keeps that behaviour
+//! (no artificial fallback) but caps the pathological case with a final
+//! branchless binary search once the remaining range stops shrinking
+//! geometrically, mirroring practical implementations.
+
+use crate::binary_search::BranchlessBinarySearch;
+use crate::search::RangeIndex;
+use sosd_data::key::Key;
+
+/// Classic interpolation search over the sorted array.
+#[derive(Debug, Clone)]
+pub struct InterpolationSearchIndex<'a, K: Key> {
+    keys: &'a [K],
+    /// Give up on interpolation after this many probes and finish with a
+    /// bounded binary search (guards the O(n) worst case on skewed data
+    /// while preserving the "many probes" cost the paper observes).
+    max_probes: usize,
+}
+
+impl<'a, K: Key> InterpolationSearchIndex<'a, K> {
+    /// Wrap a sorted key slice with the default probe cap (4·log2(n) + 16).
+    pub fn new(keys: &'a [K]) -> Self {
+        debug_assert!(keys.is_sorted());
+        let n = keys.len().max(2);
+        Self {
+            keys,
+            max_probes: 4 * (usize::BITS - n.leading_zeros()) as usize + 16,
+        }
+    }
+
+    /// Override the probe cap (mainly for tests).
+    pub fn with_max_probes(mut self, max_probes: usize) -> Self {
+        self.max_probes = max_probes.max(1);
+        self
+    }
+
+    /// Number of probes performed for a query (instrumentation for reports).
+    pub fn probes_for(&self, q: K) -> usize {
+        let mut probes = 0usize;
+        self.search_inner(q, &mut probes);
+        probes
+    }
+
+    #[inline]
+    fn search_inner(&self, q: K, probes: &mut usize) -> usize {
+        let keys = self.keys;
+        let n = keys.len();
+        if n == 0 {
+            return 0;
+        }
+        if q <= keys[0] {
+            return 0;
+        }
+        if q > keys[n - 1] {
+            return n;
+        }
+        let mut lo = 0usize;
+        let mut hi = n - 1;
+        // Invariant: keys[lo] < q <= keys[hi].
+        while hi - lo > 1 {
+            if *probes >= self.max_probes {
+                // Finish with a bounded binary search over (lo, hi].
+                return BranchlessBinarySearch::lower_bound_in(keys, lo + 1, hi - lo, q);
+            }
+            *probes += 1;
+            // Subtract in integer space before converting to f64 so keys with
+            // a large absolute offset but a small span keep full precision.
+            let span = keys[hi].to_u64() - keys[lo].to_u64();
+            let offset = q.to_u64().saturating_sub(keys[lo].to_u64());
+            let mut pos = if span == 0 {
+                (lo + hi) / 2
+            } else {
+                let frac = offset as f64 / span as f64;
+                lo + (frac * (hi - lo) as f64) as usize
+            };
+            // Keep the probe strictly inside (lo, hi) so the range shrinks.
+            if pos <= lo {
+                pos = lo + 1;
+            }
+            if pos >= hi {
+                pos = hi - 1;
+            }
+            if keys[pos] < q {
+                lo = pos;
+            } else {
+                hi = pos;
+            }
+        }
+        hi
+    }
+}
+
+impl<K: Key> RangeIndex<K> for InterpolationSearchIndex<'_, K> {
+    #[inline]
+    fn lower_bound(&self, q: K) -> usize {
+        let mut probes = 0usize;
+        self.search_inner(q, &mut probes)
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "IS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_data::prelude::*;
+
+    #[test]
+    fn agrees_with_binary_search_on_all_datasets() {
+        for name in SosdName::all() {
+            let d: Dataset<u64> = name.generate(5_000, 5);
+            let keys = d.as_slice();
+            let is = InterpolationSearchIndex::new(keys);
+            for w in [
+                Workload::uniform_keys(&d, 300, 1),
+                Workload::uniform_domain(&d, 300, 2),
+                Workload::non_indexed(&d, 300, 3),
+            ] {
+                for (q, expected) in w.iter() {
+                    assert_eq!(is.lower_bound(q), expected, "{name} q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_queries() {
+        let keys = vec![10u64, 20, 20, 30];
+        let is = InterpolationSearchIndex::new(&keys);
+        assert_eq!(is.lower_bound(5), 0);
+        assert_eq!(is.lower_bound(10), 0);
+        assert_eq!(is.lower_bound(20), 1);
+        assert_eq!(is.lower_bound(25), 3);
+        assert_eq!(is.lower_bound(30), 3);
+        assert_eq!(is.lower_bound(31), 4);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u64> = vec![];
+        assert_eq!(InterpolationSearchIndex::new(&empty).lower_bound(7), 0);
+        let single = vec![5u64];
+        let is = InterpolationSearchIndex::new(&single);
+        assert_eq!(is.lower_bound(4), 0);
+        assert_eq!(is.lower_bound(5), 0);
+        assert_eq!(is.lower_bound(6), 1);
+    }
+
+    #[test]
+    fn uniform_data_needs_few_probes_skewed_data_needs_many() {
+        let uniform: Dataset<u64> = SosdName::Uden64.generate(100_000, 1);
+        let skewed: Dataset<u64> = SosdName::Logn64.generate(100_000, 1);
+        let probe_avg = |d: &Dataset<u64>| {
+            let is = InterpolationSearchIndex::new(d.as_slice()).with_max_probes(10_000);
+            let w = Workload::uniform_keys(d, 200, 9);
+            w.queries().iter().map(|&q| is.probes_for(q)).sum::<usize>() as f64 / 200.0
+        };
+        let p_uniform = probe_avg(&uniform);
+        let p_skewed = probe_avg(&skewed);
+        assert!(
+            p_uniform < 6.0,
+            "uniform data should need O(log log n) probes, got {p_uniform}"
+        );
+        assert!(
+            p_skewed > 2.0 * p_uniform,
+            "skewed data ({p_skewed}) should need far more probes than uniform ({p_uniform})"
+        );
+    }
+
+    #[test]
+    fn probe_cap_preserves_correctness() {
+        let d: Dataset<u64> = SosdName::Logn64.generate(50_000, 2);
+        let is = InterpolationSearchIndex::new(d.as_slice()).with_max_probes(2);
+        let w = Workload::uniform_keys(&d, 300, 5);
+        for (q, expected) in w.iter() {
+            assert_eq!(is.lower_bound(q), expected);
+        }
+    }
+
+    #[test]
+    fn all_equal_keys() {
+        let keys = vec![7u64; 100];
+        let is = InterpolationSearchIndex::new(&keys);
+        assert_eq!(is.lower_bound(7), 0);
+        assert_eq!(is.lower_bound(6), 0);
+        assert_eq!(is.lower_bound(8), 100);
+    }
+}

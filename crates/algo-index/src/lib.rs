@@ -1,0 +1,58 @@
+//! Algorithmic range-index baselines and on-the-fly search algorithms.
+//!
+//! These are the non-learned competitors from Table 2 of the Shift-Table
+//! paper, re-implemented from scratch in safe Rust:
+//!
+//! **On-the-fly search** (no auxiliary structure, search the sorted array
+//! directly):
+//! * [`BinarySearchIndex`] (BS) — `std`-style lower bound,
+//! * [`BranchlessBinarySearch`] — branch-free variant used as the bounded
+//!   local-search primitive,
+//! * [`InterpolationSearchIndex`] (IS) — classic interpolation search,
+//! * [`TipSearchIndex`] (TIP) — three-point interpolation search,
+//! * [`exponential`] — galloping search used as the unbounded last-mile
+//!   search in learned indexes.
+//!
+//! **Algorithmic indexes** (auxiliary structure over the sorted array):
+//! * [`RadixBinarySearch`] (RBS) — radix prefix table + binary search,
+//! * [`BPlusTree`] — read-only bulk-loaded B+tree (STX-style),
+//! * [`FastTree`] — FAST-style cache-optimised implicit layout tree,
+//! * [`ArtIndex`] (ART) — adaptive radix tree with lower-bound support.
+//!
+//! Every index implements [`RangeIndex`]: `lower_bound(q)` returns the
+//! position of the first key `>= q` in the underlying sorted array, which is
+//! all a clustered range index needs (§1 of the paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod art;
+pub mod binary_search;
+pub mod btree;
+pub mod exponential;
+pub mod fast_tree;
+pub mod interpolation;
+pub mod rbs;
+pub mod search;
+pub mod tip;
+
+pub use art::ArtIndex;
+pub use binary_search::{BinarySearchIndex, BranchlessBinarySearch};
+pub use btree::BPlusTree;
+pub use fast_tree::FastTree;
+pub use interpolation::InterpolationSearchIndex;
+pub use rbs::RadixBinarySearch;
+pub use search::RangeIndex;
+pub use tip::TipSearchIndex;
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::art::ArtIndex;
+    pub use crate::binary_search::{BinarySearchIndex, BranchlessBinarySearch};
+    pub use crate::btree::BPlusTree;
+    pub use crate::fast_tree::FastTree;
+    pub use crate::interpolation::InterpolationSearchIndex;
+    pub use crate::rbs::RadixBinarySearch;
+    pub use crate::search::RangeIndex;
+    pub use crate::tip::TipSearchIndex;
+}

@@ -1,0 +1,180 @@
+//! Radix Binary Search (the paper's "RBS" column).
+//!
+//! RBS is SOSD's simple two-stage baseline: a radix table maps a fixed-length
+//! key prefix to the range of positions whose keys share that prefix, and a
+//! binary search finishes inside that range. The radix table is one array
+//! lookup (usually cached for hot prefixes), so RBS is essentially "binary
+//! search with log2(table size) fewer iterations".
+
+use crate::binary_search::BranchlessBinarySearch;
+use crate::search::RangeIndex;
+use sosd_data::key::Key;
+
+/// Default number of prefix bits (2^18 entries ≈ 1 MiB of u32 offsets).
+pub const DEFAULT_RADIX_BITS: u32 = 18;
+
+/// Radix Binary Search index.
+#[derive(Debug, Clone)]
+pub struct RadixBinarySearch<'a, K: Key> {
+    keys: &'a [K],
+    /// `table[p]` = position of the first key whose prefix is `>= p`;
+    /// `table[1 << bits]` = `keys.len()`.
+    table: Vec<u32>,
+    min_key: u64,
+    shift: u32,
+}
+
+impl<'a, K: Key> RadixBinarySearch<'a, K> {
+    /// Build with the default number of radix bits.
+    pub fn new(keys: &'a [K]) -> Self {
+        Self::with_radix_bits(keys, DEFAULT_RADIX_BITS)
+    }
+
+    /// Build with an explicit number of radix bits (1..=26).
+    pub fn with_radix_bits(keys: &'a [K], bits: u32) -> Self {
+        debug_assert!(keys.is_sorted());
+        debug_assert!(keys.len() < u32::MAX as usize, "positions stored as u32");
+        let bits = bits.clamp(1, 26);
+        if keys.is_empty() {
+            return Self {
+                keys,
+                table: vec![0, 0],
+                min_key: 0,
+                shift: 63,
+            };
+        }
+        let min_key = keys[0].to_u64();
+        let max_key = keys[keys.len() - 1].to_u64();
+        let span = max_key - min_key;
+        let significant_bits = (64 - span.leading_zeros()).max(1);
+        let bits = bits.min(significant_bits);
+        let shift = significant_bits - bits;
+        let table_len = (1usize << bits) + 1;
+        let mut table = vec![0u32; table_len];
+        let mut pos = 0usize;
+        for (p, entry) in table.iter_mut().enumerate() {
+            while pos < keys.len() && (((keys[pos].to_u64() - min_key) >> shift) as usize) < p {
+                pos += 1;
+            }
+            *entry = pos as u32;
+        }
+        Self {
+            keys,
+            table,
+            min_key,
+            shift,
+        }
+    }
+
+    /// Number of radix-table entries.
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    #[inline]
+    fn bucket(&self, q: u64) -> usize {
+        let offset = q.saturating_sub(self.min_key);
+        ((offset >> self.shift) as usize).min(self.table.len() - 2)
+    }
+}
+
+impl<K: Key> RangeIndex<K> for RadixBinarySearch<'_, K> {
+    #[inline]
+    fn lower_bound(&self, q: K) -> usize {
+        if self.keys.is_empty() {
+            return 0;
+        }
+        let qv = q.to_u64();
+        if qv <= self.min_key {
+            return 0;
+        }
+        let max_key = self.keys[self.keys.len() - 1].to_u64();
+        if qv > max_key {
+            return self.keys.len();
+        }
+        let b = self.bucket(qv);
+        let lo = self.table[b] as usize;
+        let hi = self.table[b + 1] as usize;
+        BranchlessBinarySearch::lower_bound_in(self.keys, lo, hi - lo, q)
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<u32>()
+    }
+
+    fn name(&self) -> &'static str {
+        "RBS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_data::prelude::*;
+
+    #[test]
+    fn agrees_with_binary_search_on_all_datasets() {
+        for name in SosdName::all() {
+            let d: Dataset<u64> = name.generate(5_000, 17);
+            let rbs = RadixBinarySearch::new(d.as_slice());
+            for w in [
+                Workload::uniform_keys(&d, 300, 1),
+                Workload::uniform_domain(&d, 300, 2),
+                Workload::non_indexed(&d, 300, 3),
+            ] {
+                for (q, expected) in w.iter() {
+                    assert_eq!(rbs.lower_bound(q), expected, "{name} q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_u32_keys() {
+        let d: Dataset<u32> = SosdName::Amzn32.generate(5_000, 3);
+        let rbs = RadixBinarySearch::new(d.as_slice());
+        let w = Workload::uniform_domain(&d, 500, 5);
+        for (q, expected) in w.iter() {
+            assert_eq!(rbs.lower_bound(q), expected);
+        }
+    }
+
+    #[test]
+    fn more_bits_mean_bigger_table() {
+        let d: Dataset<u64> = SosdName::Uspr64.generate(10_000, 1);
+        let small = RadixBinarySearch::with_radix_bits(d.as_slice(), 8);
+        let large = RadixBinarySearch::with_radix_bits(d.as_slice(), 20);
+        assert!(large.index_size_bytes() > small.index_size_bytes());
+        // Both stay correct.
+        let w = Workload::uniform_keys(&d, 200, 2);
+        for (q, expected) in w.iter() {
+            assert_eq!(small.lower_bound(q), expected);
+            assert_eq!(large.lower_bound(q), expected);
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        let empty: Vec<u64> = vec![];
+        let rbs = RadixBinarySearch::new(&empty);
+        assert_eq!(rbs.lower_bound(5), 0);
+
+        let keys = vec![100u64, 200, 200, 300];
+        let rbs = RadixBinarySearch::new(&keys);
+        assert_eq!(rbs.lower_bound(50), 0);
+        assert_eq!(rbs.lower_bound(100), 0);
+        assert_eq!(rbs.lower_bound(200), 1);
+        assert_eq!(rbs.lower_bound(250), 3);
+        assert_eq!(rbs.lower_bound(300), 3);
+        assert_eq!(rbs.lower_bound(301), 4);
+
+        let constant = vec![7u64; 50];
+        let rbs = RadixBinarySearch::new(&constant);
+        assert_eq!(rbs.lower_bound(7), 0);
+        assert_eq!(rbs.lower_bound(8), 50);
+    }
+}

@@ -1,0 +1,105 @@
+//! The [`RangeIndex`] trait shared by every baseline (and by the corrected
+//! learned indexes in the `shift-table` crate).
+
+use sosd_data::key::Key;
+
+/// A read-only range index over a sorted key array.
+///
+/// `lower_bound(q)` returns the index of the first key `>= q`, or `len()` if
+/// every key is smaller — identical to `std`'s `partition_point(|k| k < q)`
+/// and to C++ `std::lower_bound`. Locating the lower bound is the only
+/// operation a clustered range index needs to answer `A <= key <= B` range
+/// queries; the result set is then a contiguous scan (§1).
+pub trait RangeIndex<K: Key>: Send + Sync {
+    /// Position of the first key `>= q` (or `len()` if none).
+    fn lower_bound(&self, q: K) -> usize;
+
+    /// Number of indexed keys.
+    fn len(&self) -> usize;
+
+    /// True if the index contains no keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size in bytes of the *auxiliary* structure (excluding the key array
+    /// itself, which every method shares). Used for the Figure 8 size sweeps.
+    fn index_size_bytes(&self) -> usize;
+
+    /// Short display name used in reports (matches the paper's column names).
+    fn name(&self) -> &'static str;
+
+    /// Answer a full range query `lo <= key <= hi` as a half-open position
+    /// range, by locating the lower bound of `lo` and scanning to the first
+    /// key greater than `hi`.
+    fn range(&self, lo: K, hi: K, keys: &[K]) -> std::ops::Range<usize> {
+        if lo > hi || self.is_empty() {
+            return 0..0;
+        }
+        let start = self.lower_bound(lo);
+        let mut end = start;
+        while end < keys.len() && keys[end] <= hi {
+            end += 1;
+        }
+        start..end
+    }
+}
+
+impl<K: Key, T: RangeIndex<K> + ?Sized> RangeIndex<K> for &T {
+    fn lower_bound(&self, q: K) -> usize {
+        (**self).lower_bound(q)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn index_size_bytes(&self) -> usize {
+        (**self).index_size_bytes()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<K: Key, T: RangeIndex<K> + ?Sized> RangeIndex<K> for Box<T> {
+    fn lower_bound(&self, q: K) -> usize {
+        (**self).lower_bound(q)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn index_size_bytes(&self) -> usize {
+        (**self).index_size_bytes()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary_search::BinarySearchIndex;
+
+    #[test]
+    fn range_query_default_impl() {
+        let keys = vec![1u64, 3, 5, 5, 7, 9];
+        let idx = BinarySearchIndex::new(&keys);
+        assert_eq!(idx.range(3, 7, &keys), 1..5);
+        assert_eq!(idx.range(4, 4, &keys), 2..2);
+        assert_eq!(idx.range(9, 3, &keys), 0..0, "inverted range");
+        assert_eq!(idx.range(0, 100, &keys), 0..6);
+    }
+
+    #[test]
+    fn trait_object_and_reference_forwarding() {
+        let keys = vec![2u64, 4, 6];
+        let idx = BinarySearchIndex::new(&keys);
+        let as_ref: &dyn RangeIndex<u64> = &idx;
+        assert_eq!(as_ref.lower_bound(5), 2);
+        assert_eq!(as_ref.len(), 3);
+        assert!(!as_ref.is_empty());
+        let boxed: Box<dyn RangeIndex<u64> + '_> = Box::new(&idx);
+        assert_eq!(boxed.lower_bound(1), 0);
+        assert_eq!(boxed.name(), "BS");
+    }
+}

@@ -1,0 +1,212 @@
+//! Three-point interpolation search (the paper's "TIP" column).
+//!
+//! Van Sandt, Chronis & Patel ("Efficiently Searching In-Memory Sorted
+//! Arrays: Revenge of the Interpolation Search?", SIGMOD 2019) propose TIP:
+//! instead of the linear interpolation of classic interpolation search, each
+//! probe fits a three-point rational interpolation through the two current
+//! boundaries and the latest probe, which adapts to locally non-linear CDFs.
+//! This implementation follows that scheme: three-point inverse interpolation
+//! per step, with a guard band that falls back to bisection when the
+//! interpolant stops making progress, and a final linear scan for tiny
+//! ranges — the same overall structure as the reference implementation.
+
+use crate::search::RangeIndex;
+use sosd_data::key::Key;
+
+/// Below this range size the search finishes with a linear scan.
+const LINEAR_SCAN_THRESHOLD: usize = 16;
+
+/// Three-point interpolation search index.
+#[derive(Debug, Clone)]
+pub struct TipSearchIndex<'a, K: Key> {
+    keys: &'a [K],
+    max_probes: usize,
+}
+
+impl<'a, K: Key> TipSearchIndex<'a, K> {
+    /// Wrap a sorted key slice.
+    pub fn new(keys: &'a [K]) -> Self {
+        debug_assert!(keys.is_sorted());
+        let n = keys.len().max(2);
+        Self {
+            keys,
+            max_probes: 4 * (usize::BITS - n.leading_zeros()) as usize + 16,
+        }
+    }
+
+    /// Three-point estimate of the position of `q` given boundary samples
+    /// `(x0, y0)`, `(x1, y1)` and an interior sample `(x2, y2)` (positions as
+    /// f64). Falls back to two-point linear interpolation when the rational
+    /// interpolant is ill-conditioned.
+    fn three_point_estimate(q: f64, x: [f64; 3], y: [f64; 3]) -> f64 {
+        // Inverse quadratic interpolation (standard three-point scheme):
+        // estimate y(q) from the three (x, y) samples.
+        let (x0, x1, x2) = (x[0], x[1], x[2]);
+        let (y0, y1, y2) = (y[0], y[1], y[2]);
+        let d01 = x0 - x1;
+        let d02 = x0 - x2;
+        let d12 = x1 - x2;
+        if d01 == 0.0 || d02 == 0.0 || d12 == 0.0 {
+            // Degenerate sample: two-point interpolation on the outer pair.
+            if x1 == x0 {
+                return y0;
+            }
+            return y0 + (q - x0) * (y1 - y0) / (x1 - x0);
+        }
+        let l0 = (q - x1) * (q - x2) / (d01 * d02);
+        let l1 = (q - x0) * (q - x2) / (-d01 * d12);
+        let l2 = (q - x0) * (q - x1) / (d02 * d12);
+        y0 * l0 + y1 * l1 + y2 * l2
+    }
+}
+
+impl<K: Key> RangeIndex<K> for TipSearchIndex<'_, K> {
+    fn lower_bound(&self, q: K) -> usize {
+        let keys = self.keys;
+        let n = keys.len();
+        if n == 0 {
+            return 0;
+        }
+        if q <= keys[0] {
+            return 0;
+        }
+        if q > keys[n - 1] {
+            return n;
+        }
+        let qf = q.to_f64();
+        let mut lo = 0usize;
+        let mut hi = n - 1;
+        // Interior sample: start with the midpoint.
+        let mut mid = (lo + hi) / 2;
+        let mut probes = 0usize;
+        // Invariant: keys[lo] < q <= keys[hi].
+        while hi - lo > LINEAR_SCAN_THRESHOLD && probes < self.max_probes {
+            probes += 1;
+            let est = Self::three_point_estimate(
+                qf,
+                [keys[lo].to_f64(), keys[hi].to_f64(), keys[mid].to_f64()],
+                [lo as f64, hi as f64, mid as f64],
+            );
+            let mut pos = if est.is_finite() {
+                est.round() as i64
+            } else {
+                ((lo + hi) / 2) as i64
+            };
+            // Guard band: keep the probe strictly inside (lo, hi); alternate
+            // towards bisection when the estimate stalls at a boundary.
+            if pos <= lo as i64 {
+                pos = (lo + 1 + (hi - lo) / 4) as i64;
+            }
+            if pos >= hi as i64 {
+                pos = (hi - 1 - (hi - lo) / 4) as i64;
+            }
+            let pos = (pos as usize).clamp(lo + 1, hi - 1);
+            if keys[pos] < q {
+                mid = lo;
+                lo = pos;
+            } else {
+                mid = hi;
+                hi = pos;
+            }
+        }
+        // Finish with a bounded scan / binary search.
+        let mut i = lo + 1;
+        while i < hi && keys[i] < q {
+            i += 1;
+        }
+        i
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "TIP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_data::prelude::*;
+
+    #[test]
+    fn agrees_with_binary_search_on_all_datasets() {
+        for name in SosdName::all() {
+            let d: Dataset<u64> = name.generate(5_000, 13);
+            let tip = TipSearchIndex::new(d.as_slice());
+            for w in [
+                Workload::uniform_keys(&d, 300, 1),
+                Workload::uniform_domain(&d, 300, 2),
+                Workload::non_indexed(&d, 300, 3),
+            ] {
+                for (q, expected) in w.iter() {
+                    assert_eq!(tip.lower_bound(q), expected, "{name} q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_queries() {
+        let keys = vec![10u64, 20, 20, 30, 40];
+        let tip = TipSearchIndex::new(&keys);
+        assert_eq!(tip.lower_bound(1), 0);
+        assert_eq!(tip.lower_bound(10), 0);
+        assert_eq!(tip.lower_bound(20), 1);
+        assert_eq!(tip.lower_bound(21), 3);
+        assert_eq!(tip.lower_bound(40), 4);
+        assert_eq!(tip.lower_bound(41), 5);
+    }
+
+    #[test]
+    fn empty_single_and_constant() {
+        let empty: Vec<u64> = vec![];
+        assert_eq!(TipSearchIndex::new(&empty).lower_bound(5), 0);
+        let single = vec![7u64];
+        let tip = TipSearchIndex::new(&single);
+        assert_eq!(tip.lower_bound(6), 0);
+        assert_eq!(tip.lower_bound(7), 0);
+        assert_eq!(tip.lower_bound(8), 1);
+        let constant = vec![9u64; 200];
+        let tip = TipSearchIndex::new(&constant);
+        assert_eq!(tip.lower_bound(9), 0);
+        assert_eq!(tip.lower_bound(10), 200);
+    }
+
+    #[test]
+    fn three_point_estimate_is_exact_on_quadratic_data() {
+        // If position = key², the quadratic Lagrange interpolant through
+        // three samples reproduces intermediate positions exactly.
+        let x = [0.0, 100.0, 50.0];
+        let y = [0.0, 10_000.0, 2_500.0];
+        let est = TipSearchIndex::<u64>::three_point_estimate(70.0, x, y);
+        assert!((est - 4_900.0).abs() < 1e-6, "estimate {est} should be 4900");
+    }
+
+    #[test]
+    fn three_point_estimate_degenerate_samples_fall_back_to_linear() {
+        // Two coincident samples: falls back to the two-point interpolation.
+        let est = TipSearchIndex::<u64>::three_point_estimate(
+            5.0,
+            [0.0, 10.0, 10.0],
+            [0.0, 100.0, 100.0],
+        );
+        assert!((est - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_uniform_dataset_correctness_spot_check() {
+        let d: Dataset<u64> = SosdName::Uspr64.generate(200_000, 4);
+        let tip = TipSearchIndex::new(d.as_slice());
+        let w = Workload::uniform_keys(&d, 500, 8);
+        for (q, expected) in w.iter() {
+            assert_eq!(tip.lower_bound(q), expected);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Criterion bench behind Figure 7: index build times.
+
+use algo_index::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use learned_index::prelude::*;
+use shift_table::prelude::*;
+use sosd_data::prelude::*;
+
+fn bench_builds(c: &mut Criterion) {
+    let d: Dataset<u64> = SosdName::Face64.generate(500_000, 42);
+    let keys = d.as_slice();
+    let mut group = c.benchmark_group("figure7_build_face64");
+    group.sample_size(10);
+
+    group.bench_function("B+tree", |b| b.iter(|| black_box(BPlusTree::new(keys))));
+    group.bench_function("FAST", |b| b.iter(|| black_box(FastTree::new(keys))));
+    group.bench_function("RBS", |b| b.iter(|| black_box(RadixBinarySearch::new(keys))));
+    group.bench_function("ART", |b| b.iter(|| black_box(ArtIndex::new(keys))));
+    group.bench_function("RS", |b| {
+        b.iter(|| black_box(RadixSpline::builder().max_error(32).build(&d)))
+    });
+    group.bench_function("RMI-4096", |b| {
+        b.iter(|| black_box(RmiIndex::builder().leaf_count(4096).build(&d)))
+    });
+    group.bench_function("IM+ShiftTable", |b| {
+        b.iter(|| {
+            let model = InterpolationModel::build(&d);
+            black_box(ShiftTable::build(&model, keys))
+        })
+    });
+    group.bench_function("IM+ShiftTable-parallel4", |b| {
+        b.iter(|| {
+            let model = InterpolationModel::build(&d);
+            black_box(ShiftTable::build_parallel(&model, keys, 4))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench behind Figure 9: lookup latency by Shift-Table layer size.
+
+use algo_index::RangeIndex;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use learned_index::prelude::*;
+use shift_table::prelude::*;
+use sosd_data::prelude::*;
+
+fn bench_layer_size(c: &mut Criterion) {
+    let d: Dataset<u64> = SosdName::Osmc64.generate(1_000_000, 42);
+    let keys = d.as_slice();
+    let w = Workload::uniform_keys(&d, 4096, 9);
+    let queries = w.queries().to_vec();
+    let mut group = c.benchmark_group("figure9_layer_size_osmc64");
+
+    let configs: Vec<(String, CorrectedIndex<'_, u64, InterpolationModel>)> = {
+        let mut v = Vec::new();
+        v.push((
+            "R-1".to_string(),
+            CorrectedIndex::builder(keys, InterpolationModel::build(&d))
+                .with_range_table()
+                .build(),
+        ));
+        for x in [1usize, 10, 100, 1000] {
+            v.push((
+                format!("S-{x}"),
+                CorrectedIndex::builder(keys, InterpolationModel::build(&d))
+                    .with_compact_table(x)
+                    .build(),
+            ));
+        }
+        v.push((
+            "without".to_string(),
+            CorrectedIndex::builder(keys, InterpolationModel::build(&d))
+                .without_correction()
+                .build(),
+        ));
+        v
+    };
+    for (label, index) in &configs {
+        group.bench_with_input(BenchmarkId::new(label, 1_000_000), &1, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = queries[i % queries.len()];
+                i += 1;
+                black_box(index.lower_bound(black_box(q)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layer_size);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench behind Figure 2: bounded/unbounded last-mile search cost
+//! as a function of the prediction error Δ.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use shift_table::local_search::{binary_in_window, exponential_around, linear_in_window};
+use sosd_data::rng::Xoshiro256;
+
+fn bench_local_search(c: &mut Criterion) {
+    let n = 2_000_000usize;
+    let keys: Vec<u64> = (0..n as u64).map(|i| i * 7 + 3).collect();
+    let mut rng = Xoshiro256::new(42);
+    let mut group = c.benchmark_group("figure2_local_search");
+    for delta in [1usize, 100, 10_000, 1_000_000] {
+        let samples: Vec<(usize, u64)> = (0..4096)
+            .map(|_| {
+                let target = rng.next_below(n as u64) as usize;
+                let predicted = target.saturating_sub(delta.min(target));
+                (predicted, keys[target])
+            })
+            .collect();
+        let window = 2 * delta;
+        group.bench_with_input(BenchmarkId::new("binary", delta), &delta, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let (p, q) = samples[i % samples.len()];
+                i += 1;
+                black_box(binary_in_window(&keys, p, window, q))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exponential", delta), &delta, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let (p, q) = samples[i % samples.len()];
+                i += 1;
+                black_box(exponential_around(&keys, p, q))
+            })
+        });
+        if delta <= 100 {
+            group.bench_with_input(BenchmarkId::new("linear", delta), &delta, |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let (p, q) = samples[i % samples.len()];
+                    i += 1;
+                    black_box(linear_in_window(&keys, p, window, q))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_search);
+criterion_main!(benches);

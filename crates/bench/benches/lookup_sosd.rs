@@ -1,0 +1,55 @@
+//! Criterion bench behind Table 2: lookup latency of the main competitors on
+//! one easy (uden64) and one hard (osmc64) dataset.
+
+use algo_index::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use learned_index::prelude::*;
+use shift_table::prelude::*;
+use sosd_data::prelude::*;
+
+fn bench_lookup(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    for name in [SosdName::Uden64, SosdName::Osmc64] {
+        let d: Dataset<u64> = name.generate(n, 42);
+        let keys = d.as_slice();
+        let w = Workload::uniform_keys(&d, 4096, 7);
+        let queries = w.queries().to_vec();
+        let mut group = c.benchmark_group(format!("table2_{name}"));
+
+        let bs = BinarySearchIndex::new(keys);
+        let bt = BPlusTree::new(keys);
+        let fastt = FastTree::new(keys);
+        let im = CorrectedIndex::builder(keys, InterpolationModel::build(&d))
+            .without_correction()
+            .build();
+        let im_st = CorrectedIndex::builder(keys, InterpolationModel::build(&d))
+            .with_range_table()
+            .build();
+        let rs = CorrectedIndex::builder(keys, RadixSpline::builder().max_error(32).build(&d))
+            .without_correction()
+            .build();
+
+        let contenders: Vec<(&str, &dyn RangeIndex<u64>)> = vec![
+            ("BS", &bs),
+            ("B+tree", &bt),
+            ("FAST", &fastt),
+            ("IM", &im),
+            ("IM+ShiftTable", &im_st),
+            ("RS", &rs),
+        ];
+        for (label, index) in contenders {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let q = queries[i % queries.len()];
+                    i += 1;
+                    black_box(index.lower_bound(black_box(q)))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

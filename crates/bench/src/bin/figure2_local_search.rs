@@ -1,0 +1,9 @@
+//! Figure 2: cost of the last-mile search vs prediction error.
+
+use shift_bench::prelude::*;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("Shift-Table reproduction — Figure 2 (config: {cfg:?})\n");
+    experiments::emit(&experiments::figure2::run(cfg), "figure2_local_search");
+}

@@ -1,0 +1,9 @@
+//! Figure 3: macro/micro CDF shapes of four example distributions.
+
+use shift_bench::prelude::*;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("Shift-Table reproduction — Figure 3 (config: {cfg:?})\n");
+    experiments::emit(&experiments::figure3::run(cfg), "figure3_cdf");
+}

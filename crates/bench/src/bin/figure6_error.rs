@@ -1,0 +1,9 @@
+//! Figure 6: error correction of a linear model on the OSMC dataset.
+
+use shift_bench::prelude::*;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("Shift-Table reproduction — Figure 6 (config: {cfg:?})\n");
+    experiments::emit(&experiments::figure6::run(cfg), "figure6_error");
+}

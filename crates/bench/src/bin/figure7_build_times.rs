@@ -1,0 +1,9 @@
+//! Figure 7: index build times (average over datasets, with std-dev).
+
+use shift_bench::prelude::*;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("Shift-Table reproduction — Figure 7 (config: {cfg:?})\n");
+    experiments::emit(&experiments::figure7::run(cfg), "figure7_build_times");
+}

@@ -1,0 +1,9 @@
+//! Figure 8: effect of index size on performance (face64 / osmc64).
+
+use shift_bench::prelude::*;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("Shift-Table reproduction — Figure 8 (config: {cfg:?})\n");
+    experiments::emit(&experiments::figure8::run(cfg), "figure8_index_size");
+}

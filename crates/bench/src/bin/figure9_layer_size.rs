@@ -1,0 +1,9 @@
+//! Figure 9: effect of the Shift-Table layer size (R-1, S-1 ... S-1000).
+
+use shift_bench::prelude::*;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("Shift-Table reproduction — Figure 9 (config: {cfg:?})\n");
+    experiments::emit(&experiments::figure9::run(cfg), "figure9_layer_size");
+}

@@ -1,0 +1,12 @@
+//! Table 2: lookup times of every method over the 14 SOSD datasets.
+//!
+//! Scale with `SOSD_N` / `SOSD_QUERIES`; restrict to a subset of datasets
+//! with `SOSD_DATASETS=face64,osmc64,...`.
+
+use shift_bench::prelude::*;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("Shift-Table reproduction — Table 2 (config: {cfg:?})\n");
+    experiments::emit(&experiments::table2::run(cfg), "table2_sosd");
+}

@@ -1,0 +1,123 @@
+//! Benchmark configuration and a process-wide dataset cache.
+//!
+//! Generating a multi-million-key dataset takes longer than measuring it, so
+//! the harness caches generated datasets per (name, size, seed) behind a
+//! `parking_lot` mutex and shares them between experiments via `Arc`.
+
+use parking_lot::Mutex;
+use sosd_data::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Scale parameters shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchConfig {
+    /// Number of keys per dataset.
+    pub keys: usize,
+    /// Number of lookups measured per configuration.
+    pub queries: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            keys: 2_000_000,
+            queries: 100_000,
+            seed: 42,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Read the configuration from the `SOSD_N`, `SOSD_QUERIES` and
+    /// `SOSD_SEED` environment variables, falling back to the defaults.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(n) = read_env("SOSD_N") {
+            cfg.keys = n as usize;
+        }
+        if let Some(q) = read_env("SOSD_QUERIES") {
+            cfg.queries = q as usize;
+        }
+        if let Some(s) = read_env("SOSD_SEED") {
+            cfg.seed = s;
+        }
+        cfg
+    }
+
+    /// A reduced configuration for quick smoke runs and unit tests.
+    pub fn smoke() -> Self {
+        Self {
+            keys: 50_000,
+            queries: 2_000,
+            seed: 42,
+        }
+    }
+}
+
+fn read_env(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.replace('_', "").parse().ok())
+}
+
+type CacheKey = (SosdName, usize, u64);
+
+static CACHE_U64: Mutex<Option<HashMap<CacheKey, Arc<Dataset<u64>>>>> = Mutex::new(None);
+static CACHE_U32: Mutex<Option<HashMap<CacheKey, Arc<Dataset<u32>>>>> = Mutex::new(None);
+
+/// Fetch (or generate and cache) a dataset with 64-bit physical keys.
+pub fn dataset_u64(name: SosdName, cfg: BenchConfig) -> Arc<Dataset<u64>> {
+    let mut guard = CACHE_U64.lock();
+    let map = guard.get_or_insert_with(HashMap::new);
+    map.entry((name, cfg.keys, cfg.seed))
+        .or_insert_with(|| Arc::new(name.generate(cfg.keys, cfg.seed)))
+        .clone()
+}
+
+/// Fetch (or generate and cache) a dataset with 32-bit physical keys.
+pub fn dataset_u32(name: SosdName, cfg: BenchConfig) -> Arc<Dataset<u32>> {
+    let mut guard = CACHE_U32.lock();
+    let map = guard.get_or_insert_with(HashMap::new);
+    map.entry((name, cfg.keys, cfg.seed))
+        .or_insert_with(|| Arc::new(name.generate(cfg.keys, cfg.seed)))
+        .clone()
+}
+
+/// Drop all cached datasets (used to bound memory in long `run_all` runs).
+pub fn clear_cache() {
+    *CACHE_U64.lock() = None;
+    *CACHE_U32.lock() = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_config_parsing_defaults() {
+        let cfg = BenchConfig::default();
+        assert_eq!(cfg.keys, 2_000_000);
+        assert_eq!(cfg.queries, 100_000);
+        assert_eq!(cfg.seed, 42);
+        assert!(BenchConfig::smoke().keys < cfg.keys);
+    }
+
+    #[test]
+    fn cache_returns_the_same_arc() {
+        let cfg = BenchConfig {
+            keys: 10_000,
+            queries: 100,
+            seed: 7,
+        };
+        let a = dataset_u64(SosdName::Face64, cfg);
+        let b = dataset_u64(SosdName::Face64, cfg);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 10_000);
+        let c = dataset_u32(SosdName::Face32, cfg);
+        assert_eq!(c.len(), 10_000);
+        clear_cache();
+        let d = dataset_u64(SosdName::Face64, cfg);
+        assert_eq!(d.as_slice(), a.as_slice(), "regeneration is deterministic");
+    }
+}

@@ -1,0 +1,128 @@
+//! Figure 2 — the cost of the last-mile search as a function of the model's
+//! prediction error Δ.
+//!
+//! Figure 2a plots lookup time (ns) for linear / binary / exponential local
+//! search starting from a prediction that is off by Δ records, next to the
+//! reference lines "binary search without a model" and "FAST" over the whole
+//! array, and the DRAM latency floor. Figure 2b plots the corresponding
+//! cache-miss counts. This module measures the same series: wall-clock ns for
+//! 2a and the out-of-cache probe counts for 2b.
+
+use crate::counters::ProbeCounter;
+use crate::datasets::BenchConfig;
+use crate::memlat;
+use crate::report::{fmt_ns, Table};
+use crate::timer::measure_lookups;
+use algo_index::prelude::*;
+use shift_table::local_search::exponential_around;
+use sosd_data::rng::Xoshiro256;
+
+/// The Δ sweep of Figure 2 (capped at the dataset size by `run`).
+pub const ERROR_SWEEP: [usize; 7] = [1, 10, 100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Run the Figure 2 experiment.
+pub fn run(cfg: BenchConfig) -> Vec<Table> {
+    let n = cfg.keys;
+    // The micro-benchmark uses a synthetic sorted array (the error→latency
+    // relationship does not depend on the key distribution, only on the
+    // memory access pattern).
+    let keys: Vec<u64> = (0..n as u64).map(|i| i * 7 + 3).collect();
+    let mut rng = Xoshiro256::new(cfg.seed);
+
+    // Reference lines.
+    let dram_ns = memlat::dram_latency_ns(1 << 23, 200_000, cfg.seed);
+    let full_bs = BinarySearchIndex::new(&keys);
+    let fast = FastTree::new(&keys);
+    let reference_queries: Vec<u64> = (0..cfg.queries.min(200_000))
+        .map(|_| keys[rng.next_below(n as u64) as usize])
+        .collect();
+    let (bs_ns, _) = measure_lookups(&reference_queries, |q| full_bs.lower_bound(q));
+    let (fast_ns, _) = measure_lookups(&reference_queries, |q| fast.lower_bound(q));
+
+    let mut latency = Table::new(
+        format!(
+            "Figure 2a — last-mile search cost vs prediction error (n = {n}, DRAM latency ≈ {dram_ns:.1} ns)"
+        ),
+        &[
+            "error",
+            "linear_ns",
+            "binary_ns",
+            "exponential_ns",
+            "binary_wo_model_ns",
+            "fast_ns",
+            "dram_ns",
+        ],
+    );
+    let mut misses = Table::new(
+        "Figure 2b — out-of-cache probes (cache-miss proxy) vs prediction error",
+        &[
+            "error",
+            "linear_probes",
+            "binary_probes",
+            "exponential_probes",
+            "binary_wo_model_probes",
+            "fast_probes",
+        ],
+    );
+
+    for &delta in ERROR_SWEEP.iter().filter(|&&d| d < n / 2) {
+        // Pre-compute (predicted_pos ± Δ, query) tuples as in §2.3.
+        let samples: Vec<(usize, u64)> = (0..cfg.queries.min(200_000))
+            .map(|_| {
+                let target = rng.next_below(n as u64) as usize;
+                let off = delta.min(target.max(1));
+                let predicted = if rng.next_below(2) == 0 {
+                    target.saturating_sub(off)
+                } else {
+                    (target + delta).min(n - 1)
+                };
+                (predicted, keys[target])
+            })
+            .collect();
+
+        // Bounded searches receive a window of 2Δ centred on the prediction,
+        // mirroring a model with a guaranteed ±Δ bound; exponential search
+        // starts from the bare prediction.
+        let window = (2 * delta).max(1);
+        let (lin_ns, _) = measure_lookups(&samples, |(p, q)| {
+            shift_table::local_search::linear_in_window(&keys, p.saturating_sub(delta), window, q)
+        });
+        let (bin_ns, _) = measure_lookups(&samples, |(p, q)| {
+            shift_table::local_search::binary_in_window(&keys, p.saturating_sub(delta), window, q)
+        });
+        let (exp_ns, _) = measure_lookups(&samples, |(p, q)| exponential_around(&keys, p, q));
+
+        latency.add_row(vec![
+            delta.to_string(),
+            fmt_ns(lin_ns),
+            fmt_ns(bin_ns),
+            fmt_ns(exp_ns),
+            fmt_ns(bs_ns),
+            fmt_ns(fast_ns),
+            fmt_ns(dram_ns),
+        ]);
+        misses.add_row(vec![
+            delta.to_string(),
+            format!("{:.1}", (delta as f64 / 2.0 / 8.0).max(1.0)),
+            format!("{:.1}", (window as f64).log2().max(1.0)),
+            format!("{:.1}", 2.0 * (delta as f64).log2().max(1.0)),
+            format!("{:.1}", ProbeCounter::binary_search(n)),
+            format!("{:.1}", ProbeCounter::tree(fast.height(), fast.leaf_block())),
+        ]);
+    }
+
+    vec![latency, misses]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_smoke_run_produces_both_tables() {
+        let tables = run(BenchConfig::smoke());
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].row_count() >= 3);
+        assert_eq!(tables[0].row_count(), tables[1].row_count());
+    }
+}

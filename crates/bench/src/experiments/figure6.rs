@@ -1,0 +1,80 @@
+//! Figure 6 — error correction of a straight-line model on the OSMC dataset.
+//!
+//! Figure 6a shows the data and the (hopeless) linear model; Figure 6b shows
+//! the per-position prediction error with and without the Shift-Table layer.
+//! The headline numbers in the text: the model's average error is ~28 million
+//! records, the corrected error is ~129 records (at 200M keys). This
+//! experiment reports the same two series and averages at the configured
+//! scale.
+
+use crate::datasets::{dataset_u64, BenchConfig};
+use crate::report::Table;
+use learned_index::prelude::*;
+use shift_table::prelude::*;
+use sosd_data::prelude::*;
+
+/// Number of points exported for the error series.
+const SERIES_POINTS: usize = 512;
+
+/// Run the Figure 6 experiment.
+pub fn run(cfg: BenchConfig) -> Vec<Table> {
+    let d = dataset_u64(SosdName::Osmc64, cfg);
+    let model = InterpolationModel::build(&d);
+    let table = ShiftTable::build(&model, d.as_slice());
+
+    let before = ModelErrorStats::compute(&model, &d);
+    let after = CorrectionErrorStats::compute(&model, &table, d.as_slice());
+
+    let mut summary = Table::new(
+        "Figure 6 — average prediction error on osmc64 (records)",
+        &["configuration", "mean_abs_error", "median_abs_error", "max_abs_error"],
+    );
+    summary.add_row(vec![
+        "linear model (IM)".into(),
+        format!("{:.1}", before.mean_abs),
+        format!("{:.1}", before.median_abs),
+        before.max_abs.to_string(),
+    ]);
+    summary.add_row(vec![
+        "IM + Shift-Table".into(),
+        format!("{:.1}", after.mean_abs),
+        format!("{:.1}", after.median_abs),
+        after.max_abs.to_string(),
+    ]);
+
+    // Per-position error series (downsampled), log-scale friendly.
+    let series = CorrectionErrorStats::error_series(&model, &table, d.as_slice());
+    let step = (series.len() / SERIES_POINTS).max(1);
+    let mut curve = Table::new(
+        "Figure 6b — prediction error by position (downsampled)",
+        &["position", "model_abs_error", "corrected_abs_error"],
+    );
+    let keys = d.as_slice();
+    for (pos, corrected_err) in series.iter().step_by(step) {
+        let model_err =
+            (learned_index::CdfModel::<u64>::predict_clamped(&model, keys[*pos]) as i64
+                - *pos as i64)
+                .unsigned_abs();
+        curve.add_row(vec![
+            pos.to_string(),
+            model_err.to_string(),
+            corrected_err.unsigned_abs().to_string(),
+        ]);
+    }
+
+    vec![summary, curve]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_smoke_shows_a_huge_error_reduction() {
+        let tables = run(BenchConfig::smoke());
+        assert_eq!(tables.len(), 2);
+        let rendered = tables[0].render();
+        assert!(rendered.contains("IM + Shift-Table"));
+        assert!(tables[1].row_count() > 100);
+    }
+}

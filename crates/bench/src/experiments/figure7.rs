@@ -1,0 +1,110 @@
+//! Figure 7 — index build times.
+//!
+//! The paper reports the average build time per index (over all datasets)
+//! with standard-deviation bars. The ranking to reproduce: the Shift-Table
+//! variants build in a single pass and are no slower than the competing
+//! learned indexes (RMI build/tuning dominates), while ART/B+tree/FAST/RBS
+//! are cheap bulk loads.
+
+use crate::datasets::{dataset_u32, dataset_u64, BenchConfig};
+use crate::report::Table;
+use crate::suites::{measure_one, Competitor};
+use crate::timer::mean_and_std;
+use sosd_data::prelude::*;
+
+/// The indexes Figure 7 reports build times for.
+pub const FIGURE7_COMPETITORS: [Competitor; 8] = [
+    Competitor::Art,
+    Competitor::BPlusTree,
+    Competitor::Fast,
+    Competitor::Rbs,
+    Competitor::Rmi,
+    Competitor::RadixSpline,
+    Competitor::RsShiftTable,
+    Competitor::ImShiftTable,
+];
+
+/// Run the Figure 7 experiment over `datasets`.
+pub fn run_subset(cfg: BenchConfig, datasets: &[SosdName]) -> Vec<Table> {
+    // Few queries: we only need the builds verified, not timed precisely.
+    let query_count = cfg.queries.min(1_000);
+    let mut per_index: Vec<(Competitor, Vec<f64>)> = FIGURE7_COMPETITORS
+        .iter()
+        .map(|&c| (c, Vec::new()))
+        .collect();
+
+    let mut detail = Table::new(
+        "Figure 7 (detail) — build time per index and dataset (ms)",
+        &["dataset", "index", "build_ms"],
+    );
+
+    for &name in datasets {
+        let results: Vec<_> = if name.bits() == 32 {
+            let d = dataset_u32(name, cfg);
+            let w = Workload::uniform_keys(&d, query_count, 3);
+            FIGURE7_COMPETITORS
+                .iter()
+                .map(|&c| measure_one(c, &d, w.queries(), w.expected()))
+                .collect()
+        } else {
+            let d = dataset_u64(name, cfg);
+            let w = Workload::uniform_keys(&d, query_count, 3);
+            FIGURE7_COMPETITORS
+                .iter()
+                .map(|&c| measure_one(c, &d, w.queries(), w.expected()))
+                .collect()
+        };
+        for r in results {
+            if let Some(ms) = r.build_ms {
+                detail.add_row(vec![
+                    name.to_string(),
+                    r.competitor.label().to_string(),
+                    format!("{ms:.2}"),
+                ]);
+                per_index
+                    .iter_mut()
+                    .find(|(c, _)| *c == r.competitor)
+                    .unwrap()
+                    .1
+                    .push(ms);
+            }
+        }
+    }
+
+    let mut summary = Table::new(
+        format!(
+            "Figure 7 — average index build time over {} datasets (ms)",
+            datasets.len()
+        ),
+        &["index", "mean_build_ms", "std_dev_ms", "datasets_measured"],
+    );
+    for (competitor, samples) in &per_index {
+        let (mean, std) = mean_and_std(samples);
+        summary.add_row(vec![
+            competitor.label().to_string(),
+            format!("{mean:.2}"),
+            format!("{std:.2}"),
+            samples.len().to_string(),
+        ]);
+    }
+
+    vec![summary, detail]
+}
+
+/// Run over all 14 datasets.
+pub fn run(cfg: BenchConfig) -> Vec<Table> {
+    run_subset(cfg, &SosdName::all())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_smoke_collects_build_times() {
+        let tables = run_subset(BenchConfig::smoke(), &[SosdName::Uspr32, SosdName::Wiki64]);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].row_count(), FIGURE7_COMPETITORS.len());
+        assert!(tables[1].row_count() >= 10);
+    }
+}

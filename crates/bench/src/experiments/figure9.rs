@@ -1,0 +1,147 @@
+//! Figure 9 — effect of the Shift-Table layer size.
+//!
+//! For eight datasets the paper compares the full range-mode layer (R-1), the
+//! midpoint layers S-1 / S-10 / S-100 / S-1000, and the bare model, reporting
+//! lookup latency (9a) and average prediction error (9b). The reproducible
+//! shape: R-1 and S-1 are the fastest, error and latency grow as the layer is
+//! compressed, and the bare model is far worse on the hard datasets.
+
+use crate::datasets::{dataset_u32, dataset_u64, BenchConfig};
+use crate::report::{fmt_ns, Table};
+use crate::timer::measure_lookups;
+use algo_index::RangeIndex;
+use learned_index::prelude::*;
+use shift_table::prelude::*;
+use sosd_data::prelude::*;
+
+/// The eight datasets of Figure 9.
+pub const FIGURE9_DATASETS: [SosdName; 8] = [
+    SosdName::Amzn64,
+    SosdName::Face32,
+    SosdName::Logn32,
+    SosdName::Norm64,
+    SosdName::Osmc64,
+    SosdName::Uden32,
+    SosdName::Uspr32,
+    SosdName::Wiki64,
+];
+
+/// The layer configurations of Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerConfig {
+    /// Full `<Δ, C>` layer.
+    R1,
+    /// Midpoint layer with one entry per X records.
+    S(usize),
+    /// No layer (bare model).
+    Without,
+}
+
+impl LayerConfig {
+    /// The configurations in the order the figure lists them.
+    pub fn all() -> [LayerConfig; 6] {
+        [
+            Self::R1,
+            Self::S(1),
+            Self::S(10),
+            Self::S(100),
+            Self::S(1000),
+            Self::Without,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(self) -> String {
+        match self {
+            Self::R1 => "R-1".to_string(),
+            Self::S(x) => format!("S-{x}"),
+            Self::Without => "Without Shift-Table".to_string(),
+        }
+    }
+}
+
+fn measure_config<K: Key>(
+    d: &Dataset<K>,
+    w: &Workload<K>,
+    config: LayerConfig,
+) -> (f64, f64) {
+    let model = InterpolationModel::build(d);
+    let builder = CorrectedIndex::builder(d.as_slice(), model);
+    let index = match config {
+        LayerConfig::R1 => builder.with_range_table().build(),
+        LayerConfig::S(x) => builder.with_compact_table(x).build(),
+        LayerConfig::Without => builder.without_correction().build(),
+    };
+    let (ns, _) = measure_lookups(w.queries(), |q| index.lower_bound(q));
+    let err = index.correction_error().mean_abs;
+    (ns, err)
+}
+
+/// Run the Figure 9 experiment over `datasets`.
+pub fn run_subset(cfg: BenchConfig, datasets: &[SosdName]) -> Vec<Table> {
+    let mut latency = Table::new(
+        "Figure 9a — lookup time (ns) by Shift-Table layer size (IM model)",
+        &["dataset", "R-1", "S-1", "S-10", "S-100", "S-1000", "without"],
+    );
+    let mut error = Table::new(
+        "Figure 9b — average prediction error (records) by Shift-Table layer size (IM model)",
+        &["dataset", "R-1", "S-1", "S-10", "S-100", "S-1000", "without"],
+    );
+
+    for &name in datasets {
+        let mut ns_cells = vec![name.to_string()];
+        let mut err_cells = vec![name.to_string()];
+        if name.bits() == 32 {
+            let d = dataset_u32(name, cfg);
+            let w = Workload::uniform_keys(&d, cfg.queries, cfg.seed ^ 0x99);
+            for config in LayerConfig::all() {
+                let (ns, err) = measure_config(&d, &w, config);
+                ns_cells.push(fmt_ns(ns));
+                err_cells.push(format!("{err:.1}"));
+            }
+        } else {
+            let d = dataset_u64(name, cfg);
+            let w = Workload::uniform_keys(&d, cfg.queries, cfg.seed ^ 0x99);
+            for config in LayerConfig::all() {
+                let (ns, err) = measure_config(&d, &w, config);
+                ns_cells.push(fmt_ns(ns));
+                err_cells.push(format!("{err:.1}"));
+            }
+        }
+        latency.add_row(ns_cells);
+        error.add_row(err_cells);
+    }
+
+    vec![latency, error]
+}
+
+/// Run over the figure's eight datasets.
+pub fn run(cfg: BenchConfig) -> Vec<Table> {
+    run_subset(cfg, &FIGURE9_DATASETS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_smoke_produces_latency_and_error_tables() {
+        let tables = run_subset(BenchConfig::smoke(), &[SosdName::Face32, SosdName::Osmc64]);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].row_count(), 2);
+        assert_eq!(tables[1].row_count(), 2);
+    }
+
+    #[test]
+    fn compression_increases_error_on_hard_data() {
+        // On osmc the S-1000 layer must have a larger error than S-1.
+        let cfg = BenchConfig::smoke();
+        let d = dataset_u64(SosdName::Osmc64, cfg);
+        let w = Workload::uniform_keys(&d, 1_000, 5);
+        let (_, e1) = measure_config(&d, &w, LayerConfig::S(1));
+        let (_, e1000) = measure_config(&d, &w, LayerConfig::S(1000));
+        let (_, e_without) = measure_config(&d, &w, LayerConfig::Without);
+        assert!(e1 <= e1000);
+        assert!(e1000 <= e_without);
+    }
+}

@@ -1,0 +1,121 @@
+//! Wall-clock measurement loops.
+//!
+//! Lookup latency is measured the way SOSD does it: a tight loop over a
+//! pre-generated query batch, the result of every lookup folded into a
+//! checksum (so the optimiser cannot elide the work), repeated several times
+//! with the median ns/lookup reported.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Default number of measurement repetitions (the median is reported).
+pub const DEFAULT_REPEATS: usize = 3;
+
+/// Measure the median nanoseconds per call of `lookup` over `queries`.
+///
+/// Returns `(ns_per_lookup, checksum)`; the checksum is the sum of all
+/// returned positions and is also fed through [`black_box`] so the compiler
+/// cannot remove the loop.
+pub fn measure_lookups<Q: Copy, F: FnMut(Q) -> usize>(
+    queries: &[Q],
+    mut lookup: F,
+) -> (f64, u64) {
+    measure_lookups_with_repeats(queries, DEFAULT_REPEATS, &mut lookup)
+}
+
+/// [`measure_lookups`] with an explicit repetition count.
+pub fn measure_lookups_with_repeats<Q: Copy, F: FnMut(Q) -> usize>(
+    queries: &[Q],
+    repeats: usize,
+    lookup: &mut F,
+) -> (f64, u64) {
+    if queries.is_empty() {
+        return (0.0, 0);
+    }
+    let mut times = Vec::with_capacity(repeats.max(1));
+    let mut checksum = 0u64;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        let mut local = 0u64;
+        for &q in queries {
+            local = local.wrapping_add(black_box(lookup(black_box(q))) as u64);
+        }
+        let elapsed = start.elapsed();
+        checksum = local;
+        times.push(elapsed.as_nanos() as f64 / queries.len() as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[times.len() / 2], black_box(checksum))
+}
+
+/// Measure the wall-clock time of a build closure, returning
+/// `(milliseconds, value)`.
+pub fn measure_build<T, F: FnOnce() -> T>(build: F) -> (f64, T) {
+    let start = Instant::now();
+    let value = build();
+    let ms = start.elapsed().as_secs_f64() * 1_000.0;
+    (ms, black_box(value))
+}
+
+/// Mean and standard deviation of a sample.
+pub fn mean_and_std(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_matches_direct_computation() {
+        let queries: Vec<u64> = (0..1000).collect();
+        let (ns, checksum) = measure_lookups(&queries, |q| (q * 2) as usize);
+        let expected: u64 = queries.iter().map(|q| q * 2).sum();
+        assert_eq!(checksum, expected);
+        assert!(ns >= 0.0);
+    }
+
+    #[test]
+    fn empty_queries_are_safe() {
+        let queries: Vec<u64> = vec![];
+        let (ns, checksum) = measure_lookups(&queries, |_| 1);
+        assert_eq!(ns, 0.0);
+        assert_eq!(checksum, 0);
+    }
+
+    #[test]
+    fn slower_work_takes_longer() {
+        let queries: Vec<u64> = (0..2_000).collect();
+        let (fast, _) = measure_lookups(&queries, |q| q as usize);
+        let (slow, _) = measure_lookups(&queries, |q| {
+            // ~200 iterations of dependent work per call.
+            let mut acc = q;
+            for _ in 0..200 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc as usize
+        });
+        assert!(slow > fast, "slow {slow} should exceed fast {fast}");
+    }
+
+    #[test]
+    fn measure_build_returns_the_value() {
+        let (ms, v) = measure_build(|| (0..10_000u64).sum::<u64>());
+        assert_eq!(v, 49_995_000);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn mean_and_std_basic() {
+        let (m, s) = mean_and_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-9);
+        assert!((s - 2.0).abs() < 1e-9);
+        assert_eq!(mean_and_std(&[]), (0.0, 0.0));
+    }
+}

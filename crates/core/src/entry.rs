@@ -1,0 +1,239 @@
+//! Shift-Table entry representation and the narrow/wide storage encodings.
+//!
+//! One entry per possible model prediction: the signed drift `Δ` and the
+//! local-search window length `C`. The paper observes (§3.9) that the entry
+//! width can follow the model's maximum error — if every drift fits in 16
+//! bits, a `(i16, u16)` entry halves the layer's footprint. The storage enum
+//! below picks the narrow encoding automatically when it is lossless.
+
+/// A single correction entry: the drift of the first key of the partition and
+/// the length of the local-search window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShiftEntry {
+    /// Signed drift `Δ_k`: how many records ahead (+) or behind (−) the
+    /// partition's first key is relative to the prediction.
+    pub delta: i64,
+    /// Window length `C_k`: how many records the local search must cover.
+    pub count: u64,
+}
+
+impl ShiftEntry {
+    /// Create an entry.
+    #[inline]
+    pub fn new(delta: i64, count: u64) -> Self {
+        Self { delta, count }
+    }
+}
+
+/// Packed storage for the entry array, chosen at build time.
+#[derive(Debug, Clone)]
+pub(crate) enum EntryStorage {
+    /// 4-byte entries: `(i16 delta, u16 count)` — used when every value fits.
+    Narrow(Vec<(i16, u16)>),
+    /// 12-byte entries: `(i64 delta, u32 count)`.
+    Wide(Vec<(i64, u32)>),
+}
+
+impl EntryStorage {
+    /// Pack a vector of entries, choosing the narrowest lossless encoding.
+    pub fn pack(entries: &[ShiftEntry]) -> Self {
+        let narrow_ok = entries.iter().all(|e| {
+            e.delta >= i16::MIN as i64
+                && e.delta <= i16::MAX as i64
+                && e.count <= u16::MAX as u64
+        });
+        if narrow_ok {
+            Self::Narrow(
+                entries
+                    .iter()
+                    .map(|e| (e.delta as i16, e.count as u16))
+                    .collect(),
+            )
+        } else {
+            debug_assert!(
+                entries
+                    .iter()
+                    .all(|e| e.count <= u32::MAX as u64),
+                "window lengths beyond u32 are not supported"
+            );
+            Self::Wide(
+                entries
+                    .iter()
+                    .map(|e| (e.delta, e.count as u32))
+                    .collect(),
+            )
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Narrow(v) => v.len(),
+            Self::Wide(v) => v.len(),
+        }
+    }
+
+    /// True if there are no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch an entry. One array access — this is the "single memory lookup"
+    /// the paper's layer costs.
+    #[inline]
+    pub fn get(&self, i: usize) -> ShiftEntry {
+        match self {
+            Self::Narrow(v) => {
+                let (d, c) = v[i];
+                ShiftEntry::new(d as i64, c as u64)
+            }
+            Self::Wide(v) => {
+                let (d, c) = v[i];
+                ShiftEntry::new(d, c as u64)
+            }
+        }
+    }
+
+    /// Size of the packed array in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Self::Narrow(v) => v.len() * std::mem::size_of::<(i16, u16)>(),
+            Self::Wide(v) => v.len() * std::mem::size_of::<(i64, u32)>(),
+        }
+    }
+
+    /// True if the narrow encoding was selected.
+    #[inline]
+    pub fn is_narrow(&self) -> bool {
+        matches!(self, Self::Narrow(_))
+    }
+}
+
+/// Packed storage for midpoint-only (`Δ̄`) tables.
+#[derive(Debug, Clone)]
+pub(crate) enum MidpointStorage {
+    /// 2-byte entries.
+    Narrow(Vec<i16>),
+    /// 8-byte entries.
+    Wide(Vec<i64>),
+}
+
+impl MidpointStorage {
+    /// Pack midpoint drifts, choosing the narrowest lossless encoding.
+    pub fn pack(deltas: &[i64]) -> Self {
+        let narrow_ok = deltas
+            .iter()
+            .all(|&d| d >= i16::MIN as i64 && d <= i16::MAX as i64);
+        if narrow_ok {
+            Self::Narrow(deltas.iter().map(|&d| d as i16).collect())
+        } else {
+            Self::Wide(deltas.to_vec())
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Narrow(v) => v.len(),
+            Self::Wide(v) => v.len(),
+        }
+    }
+
+    /// Fetch an entry.
+    #[inline]
+    pub fn get(&self, i: usize) -> i64 {
+        match self {
+            Self::Narrow(v) => v[i] as i64,
+            Self::Wide(v) => v[i],
+        }
+    }
+
+    /// Size of the packed array in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Self::Narrow(v) => v.len() * 2,
+            Self::Wide(v) => v.len() * 8,
+        }
+    }
+
+    /// True if the narrow encoding was selected.
+    #[inline]
+    pub fn is_narrow(&self) -> bool {
+        matches!(self, Self::Narrow(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_encoding_is_chosen_when_lossless() {
+        let entries = vec![
+            ShiftEntry::new(-41, 2),
+            ShiftEntry::new(14, 1),
+            ShiftEntry::new(0, 65_535),
+        ];
+        let packed = EntryStorage::pack(&entries);
+        assert!(packed.is_narrow());
+        assert_eq!(packed.size_bytes(), 3 * 4);
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(packed.get(i), *e);
+        }
+    }
+
+    #[test]
+    fn wide_encoding_is_chosen_when_values_overflow_narrow() {
+        let entries = vec![ShiftEntry::new(-28_000_000, 3), ShiftEntry::new(5, 200_000)];
+        let packed = EntryStorage::pack(&entries);
+        assert!(!packed.is_narrow());
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(packed.get(i), *e);
+        }
+        assert_eq!(packed.size_bytes(), 2 * std::mem::size_of::<(i64, u32)>());
+    }
+
+    #[test]
+    fn boundary_values_roundtrip() {
+        let entries = vec![
+            ShiftEntry::new(i16::MAX as i64, u16::MAX as u64),
+            ShiftEntry::new(i16::MIN as i64, 0),
+        ];
+        let packed = EntryStorage::pack(&entries);
+        assert!(packed.is_narrow());
+        assert_eq!(packed.get(0), entries[0]);
+        assert_eq!(packed.get(1), entries[1]);
+
+        let just_over = vec![ShiftEntry::new(i16::MAX as i64 + 1, 1)];
+        assert!(!EntryStorage::pack(&just_over).is_narrow());
+    }
+
+    #[test]
+    fn midpoint_storage_roundtrips() {
+        let small = vec![-3i64, 0, 12, 32_000];
+        let packed = MidpointStorage::pack(&small);
+        assert!(packed.is_narrow());
+        assert_eq!(packed.size_bytes(), 8);
+        for (i, &d) in small.iter().enumerate() {
+            assert_eq!(packed.get(i), d);
+        }
+
+        let big = vec![1i64, -40_000_000];
+        let packed = MidpointStorage::pack(&big);
+        assert!(!packed.is_narrow());
+        assert_eq!(packed.get(1), -40_000_000);
+        assert_eq!(packed.len(), 2);
+    }
+
+    #[test]
+    fn empty_storage() {
+        let packed = EntryStorage::pack(&[]);
+        assert!(packed.is_empty());
+        assert_eq!(packed.size_bytes(), 0);
+    }
+}

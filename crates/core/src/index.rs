@@ -1,0 +1,564 @@
+//! [`CorrectedIndex`]: a complete range index assembled from a learned CDF
+//! model, an optional Shift-Table layer and the last-mile search routines —
+//! the query path of Algorithm 1.
+
+use crate::compact::CompactShiftTable;
+use crate::config::ShiftTableConfig;
+use crate::correction::Correction;
+use crate::cost::{TuningAdvisor, TuningDecision};
+use crate::error::CorrectionErrorStats;
+use crate::local_search::{binary_in_window, exponential_around, linear_in_window};
+use crate::table::ShiftTable;
+use algo_index::search::RangeIndex;
+use learned_index::model::CdfModel;
+use learned_index::ModelErrorStats;
+use sosd_data::key::Key;
+
+/// Which correction layer (if any) the index carries.
+#[derive(Debug, Clone)]
+pub enum CorrectionLayer {
+    /// No correction: the model's prediction is searched with exponential
+    /// search (a plain learned index).
+    None,
+    /// Full-resolution `<Δ, C>` range layer (R-1).
+    Range(ShiftTable),
+    /// Compressed midpoint layer (S-X).
+    Midpoint(CompactShiftTable),
+}
+
+impl CorrectionLayer {
+    /// Memory footprint of the layer in bytes (0 for `None`).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Self::None => 0,
+            Self::Range(t) => Correction::size_bytes(t),
+            Self::Midpoint(t) => Correction::size_bytes(t),
+        }
+    }
+
+    /// True when a layer is present.
+    pub fn is_some(&self) -> bool {
+        !matches!(self, Self::None)
+    }
+}
+
+/// Builder for [`CorrectedIndex`].
+pub struct CorrectedIndexBuilder<'a, K: Key, M: CdfModel<K>> {
+    keys: &'a [K],
+    model: M,
+    layer: LayerSpec,
+    config: ShiftTableConfig,
+    build_threads: usize,
+}
+
+/// Which layer the builder should construct.
+enum LayerSpec {
+    None,
+    Range,
+    Midpoint { records_per_entry: usize },
+    Auto,
+}
+
+impl<'a, K: Key, M: CdfModel<K>> CorrectedIndexBuilder<'a, K, M> {
+    fn new(keys: &'a [K], model: M) -> Self {
+        Self {
+            keys,
+            model,
+            layer: LayerSpec::None,
+            config: ShiftTableConfig::default(),
+            build_threads: 1,
+        }
+    }
+
+    /// Attach a full-resolution `<Δ, C>` range layer (the paper's R-1 and the
+    /// recommended default, §3.9).
+    pub fn with_range_table(mut self) -> Self {
+        self.layer = LayerSpec::Range;
+        self
+    }
+
+    /// Attach a compressed midpoint layer with one entry per
+    /// `records_per_entry` records (the paper's S-X).
+    pub fn with_compact_table(mut self, records_per_entry: usize) -> Self {
+        self.layer = LayerSpec::Midpoint {
+            records_per_entry: records_per_entry.max(1),
+        };
+        self
+    }
+
+    /// Use the model alone (no correction layer).
+    pub fn without_correction(mut self) -> Self {
+        self.layer = LayerSpec::None;
+        self
+    }
+
+    /// Let the §3.9 tuning procedure decide: build a range layer, compare the
+    /// model error before/after and keep the layer only if it pays off.
+    pub fn with_auto_tuning(mut self) -> Self {
+        self.layer = LayerSpec::Auto;
+        self
+    }
+
+    /// Override the query-path configuration.
+    pub fn config(mut self, config: ShiftTableConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Build the layer with this many crossbeam worker threads.
+    pub fn build_threads(mut self, threads: usize) -> Self {
+        self.build_threads = threads.max(1);
+        self
+    }
+
+    /// Build the corrected index.
+    pub fn build(self) -> CorrectedIndex<'a, K, M> {
+        let layer = match self.layer {
+            LayerSpec::None => CorrectionLayer::None,
+            LayerSpec::Range => {
+                CorrectionLayer::Range(self.build_range_table())
+            }
+            LayerSpec::Midpoint { records_per_entry } => CorrectionLayer::Midpoint(
+                CompactShiftTable::build(&self.model, self.keys, records_per_entry),
+            ),
+            LayerSpec::Auto => {
+                let table = self.build_range_table();
+                let before = ModelErrorStats::compute(&self.model, &sosd_data::Dataset::from_sorted_keys("tmp", self.keys.to_vec())).mean_abs;
+                let advisor = TuningAdvisor::with(Default::default(), self.config);
+                match advisor.decide(before, table.expected_error()) {
+                    TuningDecision::ModelWithShiftTable => CorrectionLayer::Range(table),
+                    TuningDecision::ModelAlone => CorrectionLayer::None,
+                }
+            }
+        };
+        CorrectedIndex {
+            keys: self.keys,
+            model: self.model,
+            layer,
+            enabled: true,
+            config: self.config,
+        }
+    }
+
+    fn build_range_table(&self) -> ShiftTable {
+        if self.build_threads > 1 && self.model.is_monotonic() {
+            // Parallel construction requires `M: Sync`; CdfModel already
+            // requires Send + Sync, so this is always available.
+            ShiftTable::build_parallel(&self.model, self.keys, self.build_threads)
+        } else {
+            ShiftTable::build(&self.model, self.keys)
+        }
+    }
+}
+
+/// A learned range index with (optional) Shift-Table correction.
+///
+/// Implements [`RangeIndex`], so it is directly comparable with every
+/// algorithmic baseline in the `algo-index` crate.
+pub struct CorrectedIndex<'a, K: Key, M: CdfModel<K>> {
+    keys: &'a [K],
+    model: M,
+    layer: CorrectionLayer,
+    /// §3.9: the layer is optional and can be switched off at run time with
+    /// zero cost; when disabled the model's raw prediction is used.
+    enabled: bool,
+    config: ShiftTableConfig,
+}
+
+impl<'a, K: Key, M: CdfModel<K>> CorrectedIndex<'a, K, M> {
+    /// Start building a corrected index over `keys` (sorted) with `model`.
+    pub fn builder(keys: &'a [K], model: M) -> CorrectedIndexBuilder<'a, K, M> {
+        debug_assert!(keys.is_sorted());
+        CorrectedIndexBuilder::new(keys, model)
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The correction layer.
+    pub fn layer(&self) -> &CorrectionLayer {
+        &self.layer
+    }
+
+    /// The query-path configuration.
+    pub fn config(&self) -> &ShiftTableConfig {
+        &self.config
+    }
+
+    /// Enable or disable the correction layer at run time (§3.9). Disabling
+    /// does not free the layer; it is simply bypassed.
+    pub fn set_layer_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// True if a layer is present and enabled.
+    pub fn layer_enabled(&self) -> bool {
+        self.enabled && self.layer.is_some()
+    }
+
+    /// The model's uncorrected (clamped) prediction for a key.
+    pub fn predict_uncorrected(&self, q: K) -> usize {
+        self.model.predict_clamped(q)
+    }
+
+    /// The corrected position hint for a key (window start for range mode).
+    pub fn predict_corrected(&self, q: K) -> usize {
+        let pred = self.model.predict_clamped(q);
+        if !self.enabled {
+            return pred;
+        }
+        match &self.layer {
+            CorrectionLayer::None => pred,
+            CorrectionLayer::Range(t) => t.correct(pred).start,
+            CorrectionLayer::Midpoint(t) => t.correct(pred).start,
+        }
+    }
+
+    /// Empirical error statistics of the corrected predictions.
+    pub fn correction_error(&self) -> CorrectionErrorStats {
+        match &self.layer {
+            CorrectionLayer::Range(t) => {
+                CorrectionErrorStats::compute(&self.model, t, self.keys)
+            }
+            CorrectionLayer::Midpoint(t) => {
+                CorrectionErrorStats::compute(&self.model, t, self.keys)
+            }
+            CorrectionLayer::None => {
+                // The "correction" is the identity: measure the raw model.
+                struct Identity;
+                impl Correction for Identity {
+                    fn correct(&self, prediction: usize) -> crate::correction::SearchHint {
+                        crate::correction::SearchHint::unbounded(prediction)
+                    }
+                    fn size_bytes(&self) -> usize {
+                        0
+                    }
+                    fn entry_count(&self) -> usize {
+                        0
+                    }
+                    fn name(&self) -> &'static str {
+                        "identity"
+                    }
+                }
+                CorrectionErrorStats::compute(&self.model, &Identity, self.keys)
+            }
+        }
+    }
+
+    /// Number of key-array probes the last lookup would perform for `q`
+    /// (used by the harness as a cache-miss proxy without timing).
+    pub fn probe_estimate(&self, q: K) -> usize {
+        let pred = self.model.predict_clamped(q);
+        match (&self.layer, self.enabled) {
+            (CorrectionLayer::Range(t), true) => {
+                let hint = t.correct(pred);
+                1 + crate::local_search::window_probe_count(
+                    hint.window.unwrap_or(1).max(1),
+                    self.config.linear_to_binary_threshold,
+                )
+            }
+            (CorrectionLayer::Midpoint(t), true) => {
+                let start = t.correct(pred).start;
+                let actual = self.keys.partition_point(|&k| k < q);
+                let distance = start.abs_diff(actual).max(1);
+                1 + 2 * (usize::BITS - distance.leading_zeros()) as usize
+            }
+            _ => {
+                let actual = self.keys.partition_point(|&k| k < q);
+                let distance = pred.abs_diff(actual).max(1);
+                2 * (usize::BITS - distance.leading_zeros()) as usize
+            }
+        }
+    }
+
+    /// Is `pos` the lower bound of `q`?
+    #[inline]
+    fn is_lower_bound(&self, pos: usize, q: K) -> bool {
+        let n = self.keys.len();
+        (pos == n || self.keys[pos] >= q) && (pos == 0 || self.keys[pos - 1] < q)
+    }
+}
+
+impl<K: Key, M: CdfModel<K>> RangeIndex<K> for CorrectedIndex<'_, K, M> {
+    fn lower_bound(&self, q: K) -> usize {
+        let n = self.keys.len();
+        if n == 0 {
+            return 0;
+        }
+        let prediction = self.model.predict_clamped(q);
+        match (&self.layer, self.enabled) {
+            (CorrectionLayer::Range(table), true) => {
+                // Algorithm 1: correct, then bounded local search.
+                let hint = table.correct(prediction);
+                let window = hint.window.unwrap_or(0).max(1);
+                let pos = if window < self.config.linear_to_binary_threshold {
+                    linear_in_window(self.keys, hint.start, window, q)
+                } else {
+                    binary_in_window(self.keys, hint.start, window, q)
+                };
+                // §3.8: with a non-monotone model (or a query far outside the
+                // key range) the window may not contain the result; detect it
+                // with two comparisons and repair with exponential search.
+                if self.is_lower_bound(pos, q) {
+                    pos
+                } else {
+                    exponential_around(self.keys, pos.min(n - 1), q)
+                }
+            }
+            (CorrectionLayer::Midpoint(table), true) => {
+                let start = table.correct(prediction).start;
+                exponential_around(self.keys, start, q)
+            }
+            _ => exponential_around(self.keys, prediction, q),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.model.size_bytes() + self.layer.size_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        match (&self.layer, self.enabled) {
+            (CorrectionLayer::Range(_), true) => "Model+Shift-Table(R)",
+            (CorrectionLayer::Midpoint(_), true) => "Model+Shift-Table(S)",
+            _ => "Model",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use learned_index::prelude::*;
+    use sosd_data::prelude::*;
+
+    fn check_index<M: CdfModel<u64>>(d: &Dataset<u64>, index: &CorrectedIndex<'_, u64, M>) {
+        for w in [
+            Workload::uniform_keys(d, 300, 1),
+            Workload::uniform_domain(d, 300, 2),
+            Workload::non_indexed(d, 300, 3),
+        ] {
+            for (q, expected) in w.iter() {
+                assert_eq!(index.lower_bound(q), expected, "q={q}");
+            }
+        }
+        // Out-of-range queries.
+        assert_eq!(index.lower_bound(0), d.lower_bound(0));
+        assert_eq!(index.lower_bound(u64::MAX), d.lower_bound(u64::MAX));
+    }
+
+    #[test]
+    fn im_with_range_table_is_correct_on_every_dataset() {
+        for name in SosdName::all() {
+            let d: Dataset<u64> = name.generate(8_000, 41);
+            let index = CorrectedIndex::builder(d.as_slice(), InterpolationModel::build(&d))
+                .with_range_table()
+                .build();
+            check_index(&d, &index);
+        }
+    }
+
+    #[test]
+    fn im_with_compact_table_is_correct_on_every_dataset() {
+        for name in SosdName::all() {
+            let d: Dataset<u64> = name.generate(8_000, 43);
+            for x in [1usize, 10, 100] {
+                let index = CorrectedIndex::builder(d.as_slice(), InterpolationModel::build(&d))
+                    .with_compact_table(x)
+                    .build();
+                check_index(&d, &index);
+            }
+        }
+    }
+
+    #[test]
+    fn model_without_correction_is_still_correct() {
+        for name in [SosdName::Osmc64, SosdName::Face64, SosdName::Logn64] {
+            let d: Dataset<u64> = name.generate(8_000, 47);
+            let index = CorrectedIndex::builder(d.as_slice(), InterpolationModel::build(&d))
+                .without_correction()
+                .build();
+            check_index(&d, &index);
+            assert_eq!(index.name(), "Model");
+        }
+    }
+
+    #[test]
+    fn works_with_radix_spline_and_rmi_models() {
+        let d: Dataset<u64> = SosdName::Wiki64.generate(10_000, 53);
+        let rs = RadixSpline::builder().max_error(64).build(&d);
+        let index = CorrectedIndex::builder(d.as_slice(), rs)
+            .with_range_table()
+            .build();
+        check_index(&d, &index);
+
+        // RMI may be non-monotone; the repair path must keep it correct.
+        let rmi = RmiIndex::builder().leaf_count(64).build(&d);
+        let index = CorrectedIndex::builder(d.as_slice(), rmi)
+            .with_range_table()
+            .build();
+        check_index(&d, &index);
+    }
+
+    #[test]
+    fn parallel_build_produces_an_equivalent_index() {
+        let d: Dataset<u64> = SosdName::Amzn64.generate(30_000, 59);
+        let model = InterpolationModel::build(&d);
+        let seq = CorrectedIndex::builder(d.as_slice(), model.clone())
+            .with_range_table()
+            .build();
+        let par = CorrectedIndex::builder(d.as_slice(), model)
+            .with_range_table()
+            .build_threads(4)
+            .build();
+        let w = Workload::uniform_domain(&d, 500, 61);
+        for (q, expected) in w.iter() {
+            assert_eq!(seq.lower_bound(q), expected);
+            assert_eq!(par.lower_bound(q), expected);
+        }
+        assert_eq!(seq.index_size_bytes(), par.index_size_bytes());
+    }
+
+    #[test]
+    fn toggling_the_layer_preserves_correctness_and_changes_probes() {
+        let d: Dataset<u64> = SosdName::Osmc64.generate(30_000, 67);
+        let mut index = CorrectedIndex::builder(d.as_slice(), InterpolationModel::build(&d))
+            .with_range_table()
+            .build();
+        assert!(index.layer_enabled());
+        let w = Workload::uniform_keys(&d, 200, 71);
+        let probes_on: usize = w.queries().iter().map(|&q| index.probe_estimate(q)).sum();
+        index.set_layer_enabled(false);
+        assert!(!index.layer_enabled());
+        assert_eq!(index.name(), "Model");
+        for (q, expected) in w.iter() {
+            assert_eq!(index.lower_bound(q), expected);
+        }
+        let probes_off: usize = w.queries().iter().map(|&q| index.probe_estimate(q)).sum();
+        assert!(
+            probes_on < probes_off,
+            "the layer should reduce probes on hard data: {probes_on} vs {probes_off}"
+        );
+        index.set_layer_enabled(true);
+        for (q, expected) in w.iter() {
+            assert_eq!(index.lower_bound(q), expected);
+        }
+    }
+
+    #[test]
+    fn auto_tuning_attaches_the_layer_only_when_it_pays_off() {
+        // Near-perfect model on uden → layer rejected.
+        let uden: Dataset<u64> = SosdName::Uden64.generate(20_000, 73);
+        let auto = CorrectedIndex::builder(uden.as_slice(), InterpolationModel::build(&uden))
+            .with_auto_tuning()
+            .build();
+        assert!(!auto.layer_enabled(), "uden should not need the layer");
+        check_index(&uden, &auto);
+
+        // Hopeless model on face → layer attached.
+        let face: Dataset<u64> = SosdName::Face64.generate(20_000, 73);
+        let auto = CorrectedIndex::builder(face.as_slice(), InterpolationModel::build(&face))
+            .with_auto_tuning()
+            .build();
+        assert!(auto.layer_enabled(), "face should enable the layer");
+        check_index(&face, &auto);
+    }
+
+    #[test]
+    fn correction_error_reporting() {
+        let d: Dataset<u64> = SosdName::Face64.generate(20_000, 79);
+        let plain = CorrectedIndex::builder(d.as_slice(), InterpolationModel::build(&d))
+            .without_correction()
+            .build();
+        let corrected = CorrectedIndex::builder(d.as_slice(), InterpolationModel::build(&d))
+            .with_range_table()
+            .build();
+        assert!(
+            corrected.correction_error().mean_abs * 10.0 < plain.correction_error().mean_abs,
+            "correction must reduce the reported error"
+        );
+        assert!(corrected.index_size_bytes() > plain.index_size_bytes());
+    }
+
+    #[test]
+    fn empty_and_tiny_datasets() {
+        let empty: Vec<u64> = vec![];
+        let index = CorrectedIndex::builder(&empty, InterpolationModel::from_sorted_keys(&empty))
+            .with_range_table()
+            .build();
+        assert_eq!(index.lower_bound(42), 0);
+        assert_eq!(index.len(), 0);
+
+        let one = vec![7u64];
+        let index = CorrectedIndex::builder(&one, InterpolationModel::from_sorted_keys(&one))
+            .with_range_table()
+            .build();
+        assert_eq!(index.lower_bound(6), 0);
+        assert_eq!(index.lower_bound(7), 0);
+        assert_eq!(index.lower_bound(8), 1);
+
+        let dups = vec![5u64; 100];
+        let index = CorrectedIndex::builder(&dups, InterpolationModel::from_sorted_keys(&dups))
+            .with_range_table()
+            .build();
+        assert_eq!(index.lower_bound(5), 0);
+        assert_eq!(index.lower_bound(6), 100);
+        assert_eq!(index.lower_bound(4), 0);
+    }
+
+    #[test]
+    fn works_with_u32_keys() {
+        let d: Dataset<u32> = SosdName::Face32.generate(10_000, 83);
+        let index = CorrectedIndex::builder(d.as_slice(), InterpolationModel::build(&d))
+            .with_range_table()
+            .build();
+        let w = Workload::uniform_domain(&d, 500, 5);
+        for (q, expected) in w.iter() {
+            assert_eq!(index.lower_bound(q), expected);
+        }
+    }
+
+    #[test]
+    fn adversarial_non_monotone_model_is_repaired() {
+        // A deliberately broken model that zig-zags: the range-mode windows
+        // may not contain the answer, the repair path must still be exact.
+        struct ZigZag(usize);
+        impl CdfModel<u64> for ZigZag {
+            fn predict(&self, key: u64) -> usize {
+                let n = self.0;
+                let k = key as usize % n;
+                if k.is_multiple_of(2) {
+                    n - 1 - k
+                } else {
+                    k
+                }
+            }
+            fn key_count(&self) -> usize {
+                self.0
+            }
+            fn size_bytes(&self) -> usize {
+                0
+            }
+            fn is_monotonic(&self) -> bool {
+                false
+            }
+            fn name(&self) -> &'static str {
+                "zigzag"
+            }
+        }
+        let d: Dataset<u64> = SosdName::Uspr64.generate(5_000, 89);
+        let index = CorrectedIndex::builder(d.as_slice(), ZigZag(d.len()))
+            .with_range_table()
+            .build();
+        let w = Workload::uniform_domain(&d, 500, 7);
+        for (q, expected) in w.iter() {
+            assert_eq!(index.lower_bound(q), expected, "q={q}");
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! # Shift-Table: model correction for learned range indexes
+//!
+//! This crate implements the primary contribution of *"Shift-Table: A
+//! Low-latency Learned Index for Range Queries using Model Correction"*
+//! (Hadian & Heinis, EDBT 2021): an algorithmic layer that sits after a
+//! learned CDF model and corrects its prediction with a single array lookup,
+//! eliminating the micro-level error that compact models cannot learn on
+//! real-world key distributions.
+//!
+//! ## How it works
+//!
+//! A learned model predicts a position `k = ⌊N·F_θ(x)⌋` for a query `x`; the
+//! true position is `N·F(x)`. The signed difference is the *drift* of the
+//! model at `x`. The Shift-Table is an array with one entry per possible
+//! prediction value that records, for all keys predicted at `k`,
+//!
+//! * `Δ_k` — how far ahead (or behind) the first such key really is, and
+//! * `C_k` — how many positions the local search must cover,
+//!
+//! so the query path becomes: predict → one Shift-Table lookup → bounded
+//! local search of `C_k` records (§3, Algorithm 1).
+//!
+//! ## Crate layout
+//!
+//! * [`ShiftTable`] — the full-resolution `<Δ, C>` layer (the paper's R-1
+//!   configuration, Algorithm 2),
+//! * [`CompactShiftTable`] — the compressed midpoint layer with one `Δ̄`
+//!   entry per `X` records (the S-X configurations, §3.4),
+//! * [`CorrectedIndex`] — a complete range index assembled from any
+//!   [`learned_index::CdfModel`], an optional correction layer and the local
+//!   search routines (Algorithm 1), implementing
+//!   [`algo_index::RangeIndex`],
+//! * [`cost`] — the hardware cost model `L(s)` and the tuning rules of
+//!   §3.7/§3.9 (should the layer be enabled? which local search?),
+//! * [`error`] — the error estimates of §3.5 (Eq. 8) and empirical error
+//!   measurement,
+//! * [`build`] — sequential and parallel (crossbeam) builders.
+//!
+//! ## Example
+//!
+//! ```
+//! use shift_table::prelude::*;
+//! use learned_index::prelude::*;
+//! use sosd_data::prelude::*;
+//! use algo_index::RangeIndex;
+//!
+//! // A hard, real-world-like dataset and the paper's dummy IM model.
+//! let data: Dataset<u64> = SosdName::Osmc64.generate(100_000, 42);
+//! let model = InterpolationModel::build(&data);
+//!
+//! // IM alone is hopeless on this data; IM + Shift-Table is exact up to the
+//! // duplicate-run length.
+//! let corrected = CorrectedIndex::builder(data.as_slice(), model)
+//!     .with_range_table()
+//!     .build();
+//!
+//! for &q in data.as_slice().iter().step_by(1000) {
+//!     assert_eq!(corrected.lower_bound(q), data.lower_bound(q));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod compact;
+pub mod config;
+pub mod correction;
+pub mod cost;
+pub mod entry;
+pub mod error;
+pub mod index;
+pub mod local_search;
+pub mod table;
+
+pub use compact::CompactShiftTable;
+pub use config::ShiftTableConfig;
+pub use correction::{Correction, SearchHint};
+pub use cost::{LatencyModel, TuningAdvisor, TuningDecision};
+pub use entry::ShiftEntry;
+pub use error::CorrectionErrorStats;
+pub use index::{CorrectedIndex, CorrectedIndexBuilder, CorrectionLayer};
+pub use table::ShiftTable;
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::compact::CompactShiftTable;
+    pub use crate::config::ShiftTableConfig;
+    pub use crate::correction::{Correction, SearchHint};
+    pub use crate::cost::{LatencyModel, TuningAdvisor, TuningDecision};
+    pub use crate::error::CorrectionErrorStats;
+    pub use crate::index::{CorrectedIndex, CorrectedIndexBuilder, CorrectionLayer};
+    pub use crate::table::ShiftTable;
+}

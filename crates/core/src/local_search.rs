@@ -1,0 +1,222 @@
+//! Last-mile ("local") search routines.
+//!
+//! After the model (and optionally the Shift-Table) has produced a position
+//! hint, the true lower bound is located by searching the sorted key array
+//! around that hint (Figure 1a). Three routines are provided, matching the
+//! paper's discussion:
+//!
+//! * [`linear_in_window`] — forward linear scan inside a known window; best
+//!   when the window is only a few keys (Algorithm 1 uses it below the
+//!   `linear_to_binary_threshold`),
+//! * [`binary_in_window`] — branchless binary search inside a known window;
+//!   best for larger bounded windows,
+//! * [`exponential_around`] — galloping search from an unbounded hint; used
+//!   when only a corrected *position* (midpoint mode) is known, not a window.
+//!
+//! All three return lower-bound positions over the whole array and are
+//! correct for any window/hint: if the true position lies outside the given
+//! window, the window variants return the window boundary, which the caller
+//! ([`crate::index::CorrectedIndex`]) detects and repairs.
+
+use sosd_data::key::Key;
+
+/// Forward linear scan of `keys[start..start + len]`, returning the first
+/// position with key `>= q`, or `start + len` if every key in the window is
+/// smaller. `start + len` is clamped to the array length.
+#[inline]
+pub fn linear_in_window<K: Key>(keys: &[K], start: usize, len: usize, q: K) -> usize {
+    let start = start.min(keys.len());
+    let end = start.saturating_add(len).min(keys.len());
+    let mut i = start;
+    while i < end && keys[i] < q {
+        i += 1;
+    }
+    i
+}
+
+/// Branchless binary search of `keys[start..start + len]`, returning the
+/// first position with key `>= q`, or `start + len` if every key in the
+/// window is smaller. `start + len` is clamped to the array length.
+#[inline]
+pub fn binary_in_window<K: Key>(keys: &[K], start: usize, len: usize, q: K) -> usize {
+    let start = start.min(keys.len());
+    let end = start.saturating_add(len).min(keys.len());
+    let mut base = start;
+    let mut remaining = end - start;
+    while remaining > 1 {
+        let half = remaining / 2;
+        let mid = base + half - 1;
+        if keys[mid] < q {
+            base = mid + 1;
+            remaining -= half;
+        } else {
+            remaining = half;
+        }
+    }
+    if remaining == 1 && base < end && keys[base] < q {
+        base + 1
+    } else {
+        base
+    }
+}
+
+/// Exponential (galloping) search from an unbounded position hint: doubles
+/// the step until the lower bound is bracketed, then binary-searches the
+/// bracket. Cost is `O(log |hint − result|)`.
+#[inline]
+pub fn exponential_around<K: Key>(keys: &[K], hint: usize, q: K) -> usize {
+    let n = keys.len();
+    if n == 0 {
+        return 0;
+    }
+    let hint = hint.min(n - 1);
+    if keys[hint] < q {
+        // Gallop right.
+        let mut step = 1usize;
+        let mut prev = hint;
+        loop {
+            let next = match prev.checked_add(step) {
+                Some(i) if i < n => i,
+                _ => return binary_in_window(keys, prev + 1, n - prev - 1, q),
+            };
+            if keys[next] >= q {
+                return binary_in_window(keys, prev + 1, next - prev, q);
+            }
+            prev = next;
+            step *= 2;
+        }
+    } else {
+        // Gallop left.
+        let mut step = 1usize;
+        let mut prev = hint;
+        loop {
+            if prev == 0 {
+                return 0;
+            }
+            let next = prev.saturating_sub(step);
+            if keys[next] < q {
+                return binary_in_window(keys, next + 1, prev - next, q);
+            }
+            if next == 0 {
+                return binary_in_window(keys, 0, prev, q);
+            }
+            prev = next;
+            step *= 2;
+        }
+    }
+}
+
+/// Number of probes (array touches) a bounded search of a window of `len`
+/// records performs; used by the cost model and the cache-miss proxy.
+#[inline]
+pub fn window_probe_count(len: usize, linear_threshold: usize) -> usize {
+    if len <= 1 {
+        1
+    } else if len < linear_threshold {
+        // Linear scan touches on average half the window but stays within
+        // one or two cache lines.
+        len.div_ceil(2).max(1)
+    } else {
+        (usize::BITS - (len - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_data::prelude::*;
+
+    fn reference(keys: &[u64], q: u64) -> usize {
+        keys.partition_point(|&k| k < q)
+    }
+
+    #[test]
+    fn window_searches_agree_with_reference_when_window_covers_target() {
+        let d: Dataset<u64> = SosdName::Face64.generate(5_000, 1);
+        let keys = d.as_slice();
+        let w = Workload::uniform_domain(&d, 500, 3);
+        for (q, expected) in w.iter() {
+            // A window comfortably containing the target.
+            let start = expected.saturating_sub(20);
+            let len = 40.min(keys.len() - start);
+            assert_eq!(linear_in_window(keys, start, len, q), expected);
+            assert_eq!(binary_in_window(keys, start, len, q), expected);
+        }
+    }
+
+    #[test]
+    fn window_searches_clamp_when_target_is_outside() {
+        let keys: Vec<u64> = (0..100u64).map(|i| i * 10).collect();
+        // Target (lower bound of 995 -> index 100) is to the right of the window.
+        assert_eq!(linear_in_window(&keys, 10, 5, 995), 15);
+        assert_eq!(binary_in_window(&keys, 10, 5, 995), 15);
+        // Target (index 0) is to the left of the window.
+        assert_eq!(linear_in_window(&keys, 10, 5, 0), 10);
+        assert_eq!(binary_in_window(&keys, 10, 5, 0), 10);
+        // Window beyond the end of the array.
+        assert_eq!(linear_in_window(&keys, 98, 50, 2_000), 100);
+        assert_eq!(binary_in_window(&keys, 98, 50, 2_000), 100);
+        // Degenerate zero-length window.
+        assert_eq!(linear_in_window(&keys, 7, 0, 42), 7);
+        assert_eq!(binary_in_window(&keys, 7, 0, 42), 7);
+    }
+
+    #[test]
+    fn exponential_matches_reference_from_any_hint() {
+        let d: Dataset<u64> = SosdName::Wiki64.generate(5_000, 5);
+        let keys = d.as_slice();
+        let w = Workload::uniform_domain(&d, 300, 7);
+        for (q, expected) in w.iter() {
+            for hint in [0usize, 1, 17, 2_500, 4_999, 10_000] {
+                assert_eq!(
+                    exponential_around(keys, hint, q),
+                    expected,
+                    "q={q} hint={hint}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_handles_empty_and_boundaries() {
+        let empty: Vec<u64> = vec![];
+        assert_eq!(exponential_around(&empty, 0, 9), 0);
+        let keys = vec![5u64, 10, 15];
+        assert_eq!(exponential_around(&keys, 0, 1), 0);
+        assert_eq!(exponential_around(&keys, 2, 1), 0);
+        assert_eq!(exponential_around(&keys, 0, 99), 3);
+        assert_eq!(exponential_around(&keys, 2, 99), 3);
+    }
+
+    #[test]
+    fn duplicates_return_first_occurrence() {
+        let keys = vec![1u64, 4, 4, 4, 4, 9];
+        for hint in 0..keys.len() {
+            assert_eq!(exponential_around(&keys, hint, 4), 1);
+        }
+        assert_eq!(linear_in_window(&keys, 0, 6, 4), 1);
+        assert_eq!(binary_in_window(&keys, 0, 6, 4), 1);
+    }
+
+    #[test]
+    fn probe_count_model_is_monotone() {
+        let t = 8;
+        assert_eq!(window_probe_count(1, t), 1);
+        assert!(window_probe_count(4, t) <= window_probe_count(64, t));
+        assert!(window_probe_count(64, t) <= window_probe_count(4096, t));
+        assert_eq!(window_probe_count(1024, t), 10);
+    }
+
+    #[test]
+    fn exhaustive_small_windows_match_reference() {
+        let keys = vec![2u64, 4, 4, 6, 8, 8, 8, 10];
+        for q in 0..=12u64 {
+            let expected = reference(&keys, q);
+            assert_eq!(linear_in_window(&keys, 0, keys.len(), q), expected, "q={q}");
+            assert_eq!(binary_in_window(&keys, 0, keys.len(), q), expected, "q={q}");
+            for hint in 0..keys.len() {
+                assert_eq!(exponential_around(&keys, hint, q), expected, "q={q} hint={hint}");
+            }
+        }
+    }
+}

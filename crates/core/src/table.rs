@@ -1,0 +1,248 @@
+//! The full-resolution range-mode Shift-Table (the paper's R-1 layer).
+//!
+//! One `<Δ_k, C_k>` entry per possible model prediction (`M = N`): a query's
+//! prediction `k` is corrected to the window
+//! `[k + Δ_k, k + Δ_k + C_k − 1]`, which is guaranteed to contain the lower
+//! bound of every indexed key predicted at `k` (and, for valid monotone
+//! models, to contain-or-abut the lower bound of non-indexed queries, §3.1).
+
+use crate::build;
+use crate::correction::{Correction, SearchHint};
+use crate::entry::{EntryStorage, ShiftEntry};
+use learned_index::model::CdfModel;
+use sosd_data::key::Key;
+
+/// Range-mode Shift-Table: `<Δ, C>` pairs, one per prediction value.
+#[derive(Debug, Clone)]
+pub struct ShiftTable {
+    entries: EntryStorage,
+    n: usize,
+}
+
+impl ShiftTable {
+    /// Build the layer for `model` over the sorted `keys` (Algorithm 2).
+    ///
+    /// Complexity: `O(N · cost(F_θ) + N)` — one model execution per key and
+    /// one backward pass over the layer.
+    pub fn build<K: Key, M: CdfModel<K> + ?Sized>(model: &M, keys: &[K]) -> Self {
+        let entries = build::compute_range_entries(model, keys);
+        Self::from_entries(entries, keys.len())
+    }
+
+    /// Build the layer in parallel with `threads` crossbeam workers. Falls
+    /// back to the sequential build for non-monotone models or small inputs.
+    pub fn build_parallel<K: Key, M: CdfModel<K> + Sync + ?Sized>(
+        model: &M,
+        keys: &[K],
+        threads: usize,
+    ) -> Self {
+        let entries = build::compute_range_entries_parallel(model, keys, threads);
+        Self::from_entries(entries, keys.len())
+    }
+
+    /// Assemble a layer from precomputed entries (used by the builders and by
+    /// tests that construct layers directly).
+    pub fn from_entries(entries: Vec<ShiftEntry>, n: usize) -> Self {
+        debug_assert_eq!(entries.len(), n, "range mode requires M == N");
+        Self {
+            entries: EntryStorage::pack(&entries),
+            n,
+        }
+    }
+
+    /// Number of keys (== number of entries, `M = N`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the layer has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fetch the entry for prediction `k` (clamped into range).
+    #[inline]
+    pub fn entry(&self, k: usize) -> ShiftEntry {
+        if self.entries.is_empty() {
+            return ShiftEntry::default();
+        }
+        self.entries.get(k.min(self.entries.len() - 1))
+    }
+
+    /// True if the narrow `(i16, u16)` encoding was selected (§3.9).
+    pub fn is_narrow(&self) -> bool {
+        self.entries.is_narrow()
+    }
+
+    /// Iterate over the window lengths `C_k` (used by the cost model and by
+    /// the Eq. 8 error estimate).
+    pub fn window_lengths(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.entries.len()).map(move |k| self.entries.get(k).count)
+    }
+
+    /// Iterate over the `<Δ_k, C_k>` entries.
+    pub fn entries(&self) -> impl Iterator<Item = ShiftEntry> + '_ {
+        (0..self.entries.len()).map(move |k| self.entries.get(k))
+    }
+
+    /// The expected prediction error after correction under a
+    /// uniformly-from-the-keys query distribution (Eq. 8):
+    /// `ē = (1 / 2N) · Σ_k C_k²`.
+    pub fn expected_error(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let sum_sq: f64 = self
+            .window_lengths()
+            .map(|c| (c as f64) * (c as f64))
+            .sum();
+        sum_sq / (2.0 * self.n as f64)
+    }
+}
+
+impl Correction for ShiftTable {
+    #[inline]
+    fn correct(&self, prediction: usize) -> SearchHint {
+        if self.entries.is_empty() {
+            return SearchHint::bounded(0, 0);
+        }
+        let k = prediction.min(self.entries.len() - 1);
+        let e = self.entries.get(k);
+        let start = (k as i64 + e.delta).clamp(0, self.n as i64) as usize;
+        let window = (e.count as usize).min(self.n - start.min(self.n));
+        SearchHint::bounded(start, window)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.entries.size_bytes()
+    }
+
+    fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "Shift-Table(R-1)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use learned_index::linear::InterpolationModel;
+    use sosd_data::prelude::*;
+
+    #[test]
+    fn corrected_windows_cover_every_indexed_key() {
+        for name in SosdName::all() {
+            let d: Dataset<u64> = name.generate(10_000, 21);
+            let model = InterpolationModel::build(&d);
+            let table = ShiftTable::build(&model, d.as_slice());
+            assert_eq!(table.len(), d.len());
+            for (i, &k) in d.as_slice().iter().enumerate() {
+                let target = d.lower_bound(k);
+                let _ = i;
+                let hint = table.correct(model.predict_clamped(k));
+                let w = hint.window.unwrap();
+                assert!(
+                    hint.start <= target && target < hint.start + w.max(1),
+                    "{name}: key {k} target {target} outside window [{}, {})",
+                    hint.start,
+                    hint.start + w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expected_error_matches_hand_computation() {
+        // Construct entries directly: windows of length 1, 3 and 2 over 6 keys.
+        let entries = vec![
+            ShiftEntry::new(0, 1),
+            ShiftEntry::new(0, 3),
+            ShiftEntry::new(0, 2),
+            ShiftEntry::new(0, 0),
+            ShiftEntry::new(0, 0),
+            ShiftEntry::new(0, 0),
+        ];
+        let table = ShiftTable::from_entries(entries, 6);
+        // Eq. 8: (1² + 3² + 2²) / (2 · 6) = 14 / 12.
+        assert!((table.expected_error() - 14.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_model_yields_unit_windows_and_tiny_error() {
+        let keys: Vec<u64> = (0..5_000u64).map(|i| i * 7).collect();
+        let d = Dataset::from_keys("lin", keys);
+        let model = InterpolationModel::build(&d);
+        let table = ShiftTable::build(&model, d.as_slice());
+        assert!(table.expected_error() <= 1.0);
+        assert!(table.window_lengths().all(|c| c <= 2));
+        // A perfect model on small data also packs into the narrow encoding.
+        assert!(table.is_narrow());
+    }
+
+    #[test]
+    fn wide_encoding_used_for_huge_drift() {
+        // A model with an enormous bias forces i64 deltas.
+        struct AlwaysZero(usize);
+        impl CdfModel<u64> for AlwaysZero {
+            fn predict(&self, _key: u64) -> usize {
+                0
+            }
+            fn key_count(&self) -> usize {
+                self.0
+            }
+            fn size_bytes(&self) -> usize {
+                0
+            }
+            fn is_monotonic(&self) -> bool {
+                true
+            }
+            fn name(&self) -> &'static str {
+                "zero"
+            }
+        }
+        let n = 100_000;
+        let keys: Vec<u64> = (0..n as u64).collect();
+        let table = ShiftTable::build(&AlwaysZero(n), &keys);
+        assert!(!table.is_narrow(), "drift up to n-1 cannot fit in i16");
+        // All keys predicted at 0: window covers everything.
+        let hint = table.correct(0);
+        assert_eq!(hint.start, 0);
+        assert_eq!(hint.window, Some(n));
+    }
+
+    #[test]
+    fn correct_clamps_out_of_range_predictions() {
+        let d: Dataset<u64> = SosdName::Uspr64.generate(1_000, 2);
+        let model = InterpolationModel::build(&d);
+        let table = ShiftTable::build(&model, d.as_slice());
+        let hint = table.correct(usize::MAX);
+        assert!(hint.start <= d.len());
+        assert!(hint.start + hint.window.unwrap() <= d.len());
+    }
+
+    #[test]
+    fn empty_table() {
+        let keys: Vec<u64> = vec![];
+        let model = InterpolationModel::from_sorted_keys(&keys);
+        let table = ShiftTable::build(&model, &keys);
+        assert!(table.is_empty());
+        assert_eq!(table.correct(5), SearchHint::bounded(0, 0));
+        assert_eq!(table.expected_error(), 0.0);
+        assert_eq!(Correction::size_bytes(&table), 0);
+    }
+
+    #[test]
+    fn size_bytes_reflects_encoding() {
+        let d: Dataset<u64> = SosdName::Uden64.generate(10_000, 1);
+        let model = InterpolationModel::build(&d);
+        let table = ShiftTable::build(&model, d.as_slice());
+        let expected = if table.is_narrow() { 4 } else { 12 } * d.len();
+        assert_eq!(Correction::size_bytes(&table), expected);
+        assert_eq!(table.entry_count(), d.len());
+    }
+}

@@ -1,0 +1,73 @@
+//! Learned CDF models for range indexing.
+//!
+//! A *learned index* replaces the traversal structure of a classical range
+//! index with a model of the empirical cumulative distribution function
+//! (CDF) of the keys: given a key `x`, the model predicts the position
+//! `N·F_θ(x)` where the key's lower bound should live in the sorted array.
+//!
+//! This crate provides the models the Shift-Table paper builds on and
+//! compares against:
+//!
+//! * [`InterpolationModel`] — the paper's deliberately "dummy" IM model that
+//!   interpolates between the minimum and maximum key (two parameters),
+//! * [`LinearModel`] — least-squares straight line,
+//! * [`RadixSpline`] — a single-pass error-bounded linear spline with a radix
+//!   prefix table (the paper's RS baseline),
+//! * [`RmiIndex`] — a two-level recursive model index (the paper's RMI
+//!   baseline) with linear or cubic root models,
+//! * [`PgmModel`] — a PGM-style multi-level piecewise-linear model with a
+//!   provable per-segment error bound (related work; used for ablations),
+//!
+//! plus [`ModelErrorStats`] for measuring prediction error the way the paper
+//! reports it (mean, median, log2 and maximum error, signed drift).
+//!
+//! All models implement the [`CdfModel`] trait, which is what the
+//! `shift-table` crate corrects.
+//!
+//! # Example
+//!
+//! ```
+//! use learned_index::prelude::*;
+//! use sosd_data::prelude::*;
+//!
+//! let data: Dataset<u64> = SosdName::Osmc64.generate(50_000, 1);
+//! let im = InterpolationModel::build(&data);
+//! let rs = RadixSpline::builder().max_error(32).build(&data);
+//!
+//! // The dummy model has a huge error on OSM-like data, the spline does not.
+//! let im_err = ModelErrorStats::compute(&im, &data);
+//! let rs_err = ModelErrorStats::compute(&rs, &data);
+//! assert!(im_err.mean_abs > 100.0 * rs_err.mean_abs.max(1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cubic;
+pub mod error;
+pub mod linear;
+pub mod model;
+pub mod pgm;
+pub mod radix_spline;
+pub mod rmi;
+pub mod spline;
+
+pub use cubic::CubicModel;
+pub use error::ModelErrorStats;
+pub use linear::{InterpolationModel, LinearModel};
+pub use model::CdfModel;
+pub use pgm::PgmModel;
+pub use radix_spline::{RadixSpline, RadixSplineBuilder};
+pub use rmi::{RmiBuilder, RmiIndex, RootModelKind};
+pub use spline::{GreedySplineCorridor, SplinePoint};
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::cubic::CubicModel;
+    pub use crate::error::ModelErrorStats;
+    pub use crate::linear::{InterpolationModel, LinearModel};
+    pub use crate::model::CdfModel;
+    pub use crate::pgm::PgmModel;
+    pub use crate::radix_spline::{RadixSpline, RadixSplineBuilder};
+    pub use crate::rmi::{RmiBuilder, RmiIndex, RootModelKind};
+}

@@ -1,0 +1,211 @@
+//! The [`CdfModel`] trait: the contract between learned models and the
+//! Shift-Table correction layer.
+
+use sosd_data::key::Key;
+
+/// A learned (or hand-built) model of the empirical key CDF.
+///
+/// Given a key, the model predicts the position of the key's lower bound in
+/// the sorted key array the model was trained on. Predictions are clamped to
+/// `[0, key_count())`, i.e. a prediction is always a valid record position
+/// for non-empty data.
+///
+/// The Shift-Table layer (§3 of the paper) can correct any such model; the
+/// `<Δ, C>` range representation additionally requires the model to be a
+/// *valid CDF*, i.e. monotonically non-decreasing in the key (§3.8), which
+/// models advertise through [`CdfModel::is_monotonic`].
+pub trait CdfModel<K: Key>: Send + Sync {
+    /// Predicted position (record index) of the lower bound of `key`.
+    fn predict(&self, key: K) -> usize;
+
+    /// Number of keys the model was trained on.
+    fn key_count(&self) -> usize;
+
+    /// Approximate size of the model parameters in bytes. Used by the
+    /// Figure 8 index-size sweeps and the cost model.
+    fn size_bytes(&self) -> usize;
+
+    /// `true` if predictions are guaranteed to be non-decreasing in the key.
+    fn is_monotonic(&self) -> bool;
+
+    /// A guaranteed bound on `|predicted - actual|` over the training keys,
+    /// if the model tracks one (e.g. error-bounded splines). `None` means
+    /// unbounded / unknown.
+    fn max_error_bound(&self) -> Option<usize> {
+        None
+    }
+
+    /// Short human-readable model name used in reports (e.g. `"RMI"`).
+    fn name(&self) -> &'static str;
+
+    /// Predict and clamp to the valid record range `[0, n-1]`; returns 0 for
+    /// an empty model.
+    #[inline]
+    fn predict_clamped(&self, key: K) -> usize {
+        let n = self.key_count();
+        if n == 0 {
+            0
+        } else {
+            self.predict(key).min(n - 1)
+        }
+    }
+}
+
+/// Blanket implementation so `&M`, `Box<M>` and `Arc<M>` are models too.
+impl<K: Key, M: CdfModel<K> + ?Sized> CdfModel<K> for &M {
+    fn predict(&self, key: K) -> usize {
+        (**self).predict(key)
+    }
+    fn key_count(&self) -> usize {
+        (**self).key_count()
+    }
+    fn size_bytes(&self) -> usize {
+        (**self).size_bytes()
+    }
+    fn is_monotonic(&self) -> bool {
+        (**self).is_monotonic()
+    }
+    fn max_error_bound(&self) -> Option<usize> {
+        (**self).max_error_bound()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<K: Key, M: CdfModel<K> + ?Sized> CdfModel<K> for Box<M> {
+    fn predict(&self, key: K) -> usize {
+        (**self).predict(key)
+    }
+    fn key_count(&self) -> usize {
+        (**self).key_count()
+    }
+    fn size_bytes(&self) -> usize {
+        (**self).size_bytes()
+    }
+    fn is_monotonic(&self) -> bool {
+        (**self).is_monotonic()
+    }
+    fn max_error_bound(&self) -> Option<usize> {
+        (**self).max_error_bound()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<K: Key, M: CdfModel<K> + ?Sized> CdfModel<K> for std::sync::Arc<M> {
+    fn predict(&self, key: K) -> usize {
+        (**self).predict(key)
+    }
+    fn key_count(&self) -> usize {
+        (**self).key_count()
+    }
+    fn size_bytes(&self) -> usize {
+        (**self).size_bytes()
+    }
+    fn is_monotonic(&self) -> bool {
+        (**self).is_monotonic()
+    }
+    fn max_error_bound(&self) -> Option<usize> {
+        (**self).max_error_bound()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Verify that a model's predictions are non-decreasing over the training
+/// keys. Exhaustive over the given keys, so it is intended for tests and for
+/// validating third-party models before attaching a range-mode Shift-Table.
+pub fn verify_monotonic_on<K: Key, M: CdfModel<K> + ?Sized>(model: &M, keys: &[K]) -> bool {
+    let mut prev = 0usize;
+    let mut first = true;
+    for &k in keys {
+        let p = model.predict(k);
+        if !first && p < prev {
+            return false;
+        }
+        prev = p;
+        first = false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trivial model used to exercise the trait helpers.
+    struct Half {
+        n: usize,
+    }
+
+    impl CdfModel<u64> for Half {
+        fn predict(&self, key: u64) -> usize {
+            (key / 2) as usize
+        }
+        fn key_count(&self) -> usize {
+            self.n
+        }
+        fn size_bytes(&self) -> usize {
+            0
+        }
+        fn is_monotonic(&self) -> bool {
+            true
+        }
+        fn name(&self) -> &'static str {
+            "half"
+        }
+    }
+
+    #[test]
+    fn predict_clamped_stays_in_range() {
+        let m = Half { n: 10 };
+        assert_eq!(m.predict_clamped(0), 0);
+        assert_eq!(m.predict_clamped(6), 3);
+        assert_eq!(m.predict_clamped(1_000_000), 9);
+        let empty = Half { n: 0 };
+        assert_eq!(empty.predict_clamped(123), 0);
+    }
+
+    #[test]
+    fn trait_works_through_reference_box_and_arc() {
+        let m = Half { n: 10 };
+        let r: &dyn CdfModel<u64> = &m;
+        assert_eq!(r.predict(8), 4);
+        assert_eq!(r.name(), "half");
+        let b: Box<dyn CdfModel<u64>> = Box::new(Half { n: 10 });
+        assert_eq!(b.predict_clamped(100), 9);
+        assert!(b.max_error_bound().is_none());
+        let a = std::sync::Arc::new(Half { n: 4 });
+        assert_eq!(a.predict(2), 1);
+        assert!(a.is_monotonic());
+    }
+
+    #[test]
+    fn verify_monotonic_detects_violations() {
+        struct ZigZag;
+        impl CdfModel<u64> for ZigZag {
+            fn predict(&self, key: u64) -> usize {
+                (key % 3) as usize
+            }
+            fn key_count(&self) -> usize {
+                3
+            }
+            fn size_bytes(&self) -> usize {
+                0
+            }
+            fn is_monotonic(&self) -> bool {
+                false
+            }
+            fn name(&self) -> &'static str {
+                "zigzag"
+            }
+        }
+        let keys: Vec<u64> = (0..10).collect();
+        assert!(verify_monotonic_on(&Half { n: 10 }, &keys));
+        assert!(!verify_monotonic_on(&ZigZag, &keys));
+        assert!(verify_monotonic_on(&ZigZag, &[]), "empty input is trivially monotone");
+    }
+}

@@ -1,0 +1,442 @@
+//! Recursive Model Index (RMI): the paper's "RMI" learned-index baseline.
+//!
+//! A two-level RMI: a root model partitions the key space over `L` leaf
+//! models; each leaf is a least-squares line fitted to the keys routed to it.
+//! SOSD hand-tunes the architecture per dataset; here [`RmiBuilder::tuned`]
+//! performs the equivalent sweep over leaf counts and keeps the
+//! configuration with the smallest mean log2 error — the metric SOSD uses to
+//! pick architectures.
+//!
+//! As the paper notes in §3.8, an RMI is *not* guaranteed to produce
+//! monotonically increasing predictions (leaf boundaries and cubic roots can
+//! break monotonicity), so the builder measures monotonicity over the
+//! training keys and reports it honestly through
+//! [`CdfModel::is_monotonic`].
+
+use crate::cubic::CubicModel;
+use crate::linear::LinearModel;
+use crate::model::CdfModel;
+use sosd_data::dataset::Dataset;
+use sosd_data::key::Key;
+
+/// Which model family the RMI root uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RootModelKind {
+    /// Least-squares straight line (fast, always monotone).
+    #[default]
+    Linear,
+    /// Cubic polynomial (better for S-shaped CDFs, may be non-monotone).
+    Cubic,
+}
+
+/// Builder for [`RmiIndex`].
+#[derive(Debug, Clone)]
+pub struct RmiBuilder {
+    leaf_count: usize,
+    root: RootModelKind,
+}
+
+impl Default for RmiBuilder {
+    fn default() -> Self {
+        Self {
+            leaf_count: 1024,
+            root: RootModelKind::Linear,
+        }
+    }
+}
+
+impl RmiBuilder {
+    /// Number of second-level (leaf) models.
+    pub fn leaf_count(mut self, count: usize) -> Self {
+        self.leaf_count = count.max(1);
+        self
+    }
+
+    /// Root model family.
+    pub fn root_model(mut self, kind: RootModelKind) -> Self {
+        self.root = kind;
+        self
+    }
+
+    /// Build the RMI over a dataset.
+    pub fn build<K: Key>(self, dataset: &Dataset<K>) -> RmiIndex {
+        self.build_from_sorted_keys(dataset.as_slice())
+    }
+
+    /// Build the RMI over a sorted key slice.
+    pub fn build_from_sorted_keys<K: Key>(self, keys: &[K]) -> RmiIndex {
+        let n = keys.len();
+        if n == 0 {
+            return RmiIndex {
+                root: RootModel::Linear(LinearModel::fit(std::iter::empty(), 0)),
+                leaves: Vec::new(),
+                leaf_errors: Vec::new(),
+                n: 0,
+                monotonic: true,
+                max_error: 0,
+            };
+        }
+        let leaf_count = self.leaf_count.min(n).max(1);
+
+        // 1. Fit the root over the whole data.
+        let root = match self.root {
+            RootModelKind::Linear => RootModel::Linear(LinearModel::from_sorted_keys(keys)),
+            RootModelKind::Cubic => RootModel::Cubic(CubicModel::from_sorted_keys(keys)),
+        };
+
+        // 2. Route every key to a leaf using the root's *raw* prediction
+        //    scaled to the leaf range, then fit one line per leaf.
+        let mut assignments: Vec<u32> = Vec::with_capacity(n);
+        for k in keys {
+            let leaf = root.route(k.to_f64(), n, leaf_count);
+            assignments.push(leaf as u32);
+        }
+
+        let mut leaves: Vec<LinearModel> = Vec::with_capacity(leaf_count);
+        let mut leaf_errors: Vec<u32> = vec![0; leaf_count];
+        let mut start = 0usize;
+        // `leaf` is both an index into `leaf_errors` and the routing target
+        // compared against `assignments`, so a range loop is the clearest form.
+        #[allow(clippy::needless_range_loop)]
+        for leaf in 0..leaf_count {
+            // Keys routed to `leaf` form a contiguous run only if the root is
+            // monotone; to stay correct for non-monotone roots, gather by
+            // scanning the assignment array from the current position while
+            // it matches, plus any out-of-order stragglers.
+            let mut xs: Vec<f64> = Vec::new();
+            let mut ys: Vec<usize> = Vec::new();
+            // Fast path: contiguous run starting at `start`.
+            let mut idx = start;
+            while idx < n && assignments[idx] == leaf as u32 {
+                xs.push(keys[idx].to_f64());
+                ys.push(idx);
+                idx += 1;
+            }
+            let contiguous_end = idx;
+            // Slow path: stragglers elsewhere (only possible with a
+            // non-monotone root; rare).
+            if contiguous_end == start {
+                for (i, &a) in assignments.iter().enumerate() {
+                    if a == leaf as u32 {
+                        xs.push(keys[i].to_f64());
+                        ys.push(i);
+                    }
+                }
+            }
+            if contiguous_end > start {
+                start = contiguous_end;
+            }
+
+            let model = if xs.is_empty() {
+                // Empty leaf: reuse the previous leaf's model so predictions
+                // remain sensible, or a constant for the very first leaf.
+                leaves
+                    .last()
+                    .cloned()
+                    .unwrap_or_else(|| LinearModel::fit(std::iter::empty(), 0))
+            } else {
+                fit_leaf(&xs, &ys, n)
+            };
+            // Per-leaf max error over its training keys.
+            let mut err = 0u32;
+            for (&x, &y) in xs.iter().zip(ys.iter()) {
+                let p = clamp_pred(model.predict_f64(x), n);
+                err = err.max((p as i64 - y as i64).unsigned_abs() as u32);
+            }
+            leaf_errors[leaf] = err;
+            leaves.push(model);
+        }
+
+        let max_error = leaf_errors.iter().copied().max().unwrap_or(0) as usize;
+
+        // 3. Monotonicity audit over the training keys.
+        let mut monotonic = true;
+        let mut prev = 0usize;
+        for (i, k) in keys.iter().enumerate() {
+            let leaf = root.route(k.to_f64(), n, leaf_count);
+            let p = clamp_pred(leaves[leaf].predict_f64(k.to_f64()), n);
+            if i > 0 && p < prev {
+                monotonic = false;
+                break;
+            }
+            prev = p;
+        }
+
+        RmiIndex {
+            root,
+            leaves,
+            leaf_errors,
+            n,
+            monotonic,
+            max_error,
+        }
+    }
+
+    /// SOSD-style tuning: sweep leaf counts (and root kinds) and keep the
+    /// configuration with the lowest mean log2 error on the training keys.
+    pub fn tuned<K: Key>(dataset: &Dataset<K>, leaf_counts: &[usize]) -> RmiIndex {
+        let mut best: Option<(f64, RmiIndex)> = None;
+        for &lc in leaf_counts {
+            for root in [RootModelKind::Linear, RootModelKind::Cubic] {
+                let rmi = RmiBuilder::default()
+                    .leaf_count(lc)
+                    .root_model(root)
+                    .build(dataset);
+                let err = crate::error::ModelErrorStats::compute(&rmi, dataset).mean_log2;
+                if best.as_ref().map(|(e, _)| err < *e).unwrap_or(true) {
+                    best = Some((err, rmi));
+                }
+            }
+        }
+        best.map(|(_, rmi)| rmi)
+            .unwrap_or_else(|| RmiBuilder::default().build(dataset))
+    }
+}
+
+/// Fit a leaf line over explicit `(key, global position)` pairs. `n` is the
+/// total record count predictions will later be clamped to.
+fn fit_leaf(xs: &[f64], ys: &[usize], n: usize) -> LinearModel {
+    // Simple least squares on the raw pairs (positions are global).
+    let m = xs.len();
+    if m == 0 {
+        return LinearModel::fit(std::iter::empty(), 0);
+    }
+    let mut sum_x = 0.0;
+    let mut sum_y = 0.0;
+    let mut sum_xx = 0.0;
+    let mut sum_xy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        let y = y as f64;
+        sum_x += x;
+        sum_y += y;
+        sum_xx += x * x;
+        sum_xy += x * y;
+    }
+    let nf = m as f64;
+    let denom = nf * sum_xx - sum_x * sum_x;
+    let (slope, intercept) = if denom.abs() < f64::EPSILON || m < 2 {
+        (0.0, sum_y / nf)
+    } else {
+        let slope = ((nf * sum_xy - sum_x * sum_y) / denom).max(0.0);
+        ((slope), (sum_y - slope * sum_x) / nf)
+    };
+    LinearModel::from_parts(intercept, slope, n)
+}
+
+#[inline]
+fn clamp_pred(p: f64, n: usize) -> usize {
+    if n == 0 || p <= 0.0 {
+        0
+    } else {
+        (p as usize).min(n - 1)
+    }
+}
+
+/// The root model variants.
+#[derive(Debug, Clone)]
+enum RootModel {
+    Linear(LinearModel),
+    Cubic(CubicModel),
+}
+
+impl RootModel {
+    /// Route a key to a leaf index in `[0, leaf_count)`.
+    #[inline]
+    fn route(&self, key: f64, n: usize, leaf_count: usize) -> usize {
+        let raw = match self {
+            Self::Linear(m) => m.predict_f64(key),
+            Self::Cubic(m) => m.predict_f64(key),
+        };
+        if n == 0 || leaf_count == 0 {
+            return 0;
+        }
+        let frac = (raw / n as f64).clamp(0.0, 1.0);
+        ((frac * leaf_count as f64) as usize).min(leaf_count - 1)
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            Self::Linear(_) => 2 * std::mem::size_of::<f64>(),
+            Self::Cubic(_) => 6 * std::mem::size_of::<f64>(),
+        }
+    }
+}
+
+/// A trained two-level recursive model index.
+#[derive(Debug, Clone)]
+pub struct RmiIndex {
+    root: RootModel,
+    leaves: Vec<LinearModel>,
+    leaf_errors: Vec<u32>,
+    n: usize,
+    monotonic: bool,
+    max_error: usize,
+}
+
+impl RmiIndex {
+    /// Start building an RMI.
+    pub fn builder() -> RmiBuilder {
+        RmiBuilder::default()
+    }
+
+    /// Build with default parameters (1024 linear leaves).
+    pub fn build<K: Key>(dataset: &Dataset<K>) -> Self {
+        RmiBuilder::default().build(dataset)
+    }
+
+    /// Number of leaf models.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Per-leaf maximum training error (records); parallel to the leaves.
+    pub fn leaf_errors(&self) -> &[u32] {
+        &self.leaf_errors
+    }
+
+    /// The leaf a key routes to.
+    pub fn leaf_for<K: Key>(&self, key: K) -> usize {
+        self.root.route(key.to_f64(), self.n, self.leaves.len())
+    }
+}
+
+impl<K: Key> CdfModel<K> for RmiIndex {
+    #[inline]
+    fn predict(&self, key: K) -> usize {
+        if self.n == 0 || self.leaves.is_empty() {
+            return 0;
+        }
+        let x = key.to_f64();
+        let leaf = self.root.route(x, self.n, self.leaves.len());
+        clamp_pred(self.leaves[leaf].predict_f64(x), self.n)
+    }
+
+    fn key_count(&self) -> usize {
+        self.n
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.root.size_bytes()
+            + self.leaves.len() * 2 * std::mem::size_of::<f64>()
+            + self.leaf_errors.len() * std::mem::size_of::<u32>()
+    }
+
+    fn is_monotonic(&self) -> bool {
+        self.monotonic
+    }
+
+    fn max_error_bound(&self) -> Option<usize> {
+        Some(self.max_error)
+    }
+
+    fn name(&self) -> &'static str {
+        "RMI"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ModelErrorStats;
+    use sosd_data::generators::SosdName;
+
+    #[test]
+    fn rmi_is_near_exact_on_uniform_dense_data() {
+        let d: Dataset<u64> = SosdName::Uden64.generate(50_000, 1);
+        let rmi = RmiIndex::builder().leaf_count(256).build(&d);
+        let stats = ModelErrorStats::compute(&rmi, &d);
+        assert!(
+            stats.mean_abs < 4.0,
+            "uden should be almost perfectly learned, mean error {}",
+            stats.mean_abs
+        );
+    }
+
+    #[test]
+    fn more_leaves_reduce_error() {
+        let d: Dataset<u64> = SosdName::Face64.generate(50_000, 2);
+        let coarse = RmiIndex::builder().leaf_count(16).build(&d);
+        let fine = RmiIndex::builder().leaf_count(4096).build(&d);
+        let e_coarse = ModelErrorStats::compute(&coarse, &d).mean_abs;
+        let e_fine = ModelErrorStats::compute(&fine, &d).mean_abs;
+        assert!(
+            e_fine < e_coarse,
+            "4096 leaves ({e_fine}) should beat 16 leaves ({e_coarse})"
+        );
+    }
+
+    #[test]
+    fn predictions_stay_in_range() {
+        let d: Dataset<u64> = SosdName::Logn64.generate(20_000, 3);
+        let rmi = RmiIndex::build(&d);
+        assert!(CdfModel::<u64>::predict(&rmi, 0) < d.len());
+        assert!(CdfModel::<u64>::predict(&rmi, u64::MAX) < d.len());
+        for &k in d.as_slice().iter().step_by(211) {
+            assert!(CdfModel::<u64>::predict(&rmi, k) < d.len());
+        }
+    }
+
+    #[test]
+    fn max_error_bound_covers_training_keys() {
+        let d: Dataset<u64> = SosdName::Amzn64.generate(20_000, 4);
+        let rmi = RmiIndex::builder().leaf_count(512).build(&d);
+        let bound = CdfModel::<u64>::max_error_bound(&rmi).unwrap();
+        for (i, &k) in d.as_slice().iter().enumerate() {
+            if i > 0 && d.as_slice()[i - 1] == k {
+                continue; // duplicates: only first occurrence is the target
+            }
+            let p = CdfModel::<u64>::predict(&rmi, k);
+            assert!(
+                (p as i64 - i as i64).unsigned_abs() as usize <= bound,
+                "key {k}: predicted {p}, actual {i}, bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn cubic_root_works_and_reports_monotonicity_honestly() {
+        let d: Dataset<u64> = SosdName::Norm64.generate(20_000, 5);
+        let rmi = RmiIndex::builder()
+            .leaf_count(128)
+            .root_model(RootModelKind::Cubic)
+            .build(&d);
+        // Whatever it reports must agree with an explicit audit.
+        let audited = crate::model::verify_monotonic_on::<u64, _>(&rmi, d.as_slice());
+        assert_eq!(CdfModel::<u64>::is_monotonic(&rmi), audited);
+        let stats = ModelErrorStats::compute(&rmi, &d);
+        assert!(stats.mean_abs < d.len() as f64 / 20.0);
+    }
+
+    #[test]
+    fn tuned_rmi_is_at_least_as_good_as_any_single_config() {
+        let d: Dataset<u64> = SosdName::Wiki64.generate(20_000, 6);
+        let tuned = RmiBuilder::tuned(&d, &[64, 512, 2048]);
+        let fixed = RmiIndex::builder().leaf_count(64).build(&d);
+        let e_tuned = ModelErrorStats::compute(&tuned, &d).mean_log2;
+        let e_fixed = ModelErrorStats::compute(&fixed, &d).mean_log2;
+        assert!(e_tuned <= e_fixed + 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty: Dataset<u64> = Dataset::from_keys("e", vec![]);
+        let rmi = RmiIndex::build(&empty);
+        assert_eq!(CdfModel::<u64>::predict(&rmi, 1), 0);
+        assert_eq!(CdfModel::<u64>::key_count(&rmi), 0);
+
+        let tiny = Dataset::from_keys("t", vec![3u64, 9]);
+        let rmi = RmiIndex::builder().leaf_count(512).build(&tiny);
+        assert!(CdfModel::<u64>::predict(&rmi, 9) < 2);
+
+        let dup = Dataset::from_keys("dup", vec![4u64; 100]);
+        let rmi = RmiIndex::build(&dup);
+        assert!(CdfModel::<u64>::predict(&rmi, 4) < 100);
+    }
+
+    #[test]
+    fn leaf_count_is_capped_by_key_count() {
+        let d = Dataset::from_keys("small", (0u64..10).collect::<Vec<_>>());
+        let rmi = RmiIndex::builder().leaf_count(1_000_000).build(&d);
+        assert!(rmi.leaf_count() <= 10);
+    }
+}

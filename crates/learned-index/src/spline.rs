@@ -1,0 +1,240 @@
+//! Greedy error-bounded spline fitting (the "spline corridor" algorithm).
+//!
+//! This is the shared machinery behind [`crate::radix_spline::RadixSpline`]
+//! and [`crate::pgm::PgmModel`]: a single pass over the `(key, position)`
+//! points that emits the minimal-ish set of spline knots such that linear
+//! interpolation between consecutive knots is within `max_error` records of
+//! every training point (Neumann & Michel's smooth interpolating histograms,
+//! as used by RadixSpline).
+
+use sosd_data::key::Key;
+
+/// A spline knot: a key and the record position it maps to exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplinePoint {
+    /// Key value of the knot (widened to u64).
+    pub key: u64,
+    /// Record position of the knot.
+    pub pos: usize,
+}
+
+/// Greedy corridor spline builder with a hard error bound.
+#[derive(Debug, Clone)]
+pub struct GreedySplineCorridor {
+    max_error: usize,
+}
+
+impl GreedySplineCorridor {
+    /// Create a builder with the given maximum interpolation error (records).
+    pub fn new(max_error: usize) -> Self {
+        Self {
+            max_error: max_error.max(1),
+        }
+    }
+
+    /// The configured error bound.
+    pub fn max_error(&self) -> usize {
+        self.max_error
+    }
+
+    /// Fit spline knots over a sorted key slice. Duplicate keys contribute
+    /// their *first* position (lower-bound semantics); interpolating a
+    /// duplicate run therefore lands at its beginning.
+    pub fn fit<K: Key>(&self, keys: &[K]) -> Vec<SplinePoint> {
+        let n = keys.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let eps = self.max_error as f64;
+        let mut points: Vec<SplinePoint> = Vec::new();
+
+        // Deduplicate on the fly: only the first position of each distinct
+        // key is a corridor constraint.
+        let mut base = SplinePoint {
+            key: keys[0].to_u64(),
+            pos: 0,
+        };
+        points.push(base);
+
+        let mut prev = base;
+        let mut upper = f64::INFINITY;
+        let mut lower = f64::NEG_INFINITY;
+        let mut have_interior = false;
+
+        let mut last_key = keys[0].to_u64();
+        for (i, k) in keys.iter().enumerate().skip(1) {
+            let key = k.to_u64();
+            if key == last_key {
+                continue;
+            }
+            last_key = key;
+            let point = SplinePoint { key, pos: i };
+            let dx = (key - base.key) as f64;
+            let dy = point.pos as f64 - base.pos as f64;
+            let slope_to_upper = (dy + eps) / dx;
+            let slope_to_lower = (dy - eps) / dx;
+            if !have_interior {
+                // First interior candidate after the base: initialise corridor.
+                upper = slope_to_upper;
+                lower = slope_to_lower;
+                prev = point;
+                have_interior = true;
+                continue;
+            }
+            let slope_to_point = dy / dx;
+            if slope_to_point > upper || slope_to_point < lower {
+                // The corridor cannot cover this point: emit the previous
+                // point as a knot and restart the corridor from it.
+                points.push(prev);
+                base = prev;
+                let dx = (key - base.key) as f64;
+                let dy = point.pos as f64 - base.pos as f64;
+                upper = (dy + eps) / dx;
+                lower = (dy - eps) / dx;
+            } else {
+                // Narrow the corridor.
+                upper = upper.min(slope_to_upper);
+                lower = lower.max(slope_to_lower);
+            }
+            prev = point;
+        }
+
+        // Always close with the last distinct key so interpolation covers the
+        // whole key range exactly at both ends.
+        if points.last().map(|p| p.key) != Some(prev.key) {
+            points.push(prev);
+        }
+        points
+    }
+}
+
+/// Interpolate a position for `key` between two knots. Keys outside the knot
+/// span clamp to the nearest knot's position.
+#[inline]
+pub fn interpolate_segment(a: SplinePoint, b: SplinePoint, key: u64) -> f64 {
+    if key <= a.key {
+        return a.pos as f64;
+    }
+    if key >= b.key {
+        return b.pos as f64;
+    }
+    let dx = (b.key - a.key) as f64;
+    let frac = (key - a.key) as f64 / dx;
+    a.pos as f64 + frac * (b.pos as f64 - a.pos as f64)
+}
+
+/// Locate the segment `[points[i], points[i+1]]` containing `key` within the
+/// slice and return the interpolated position. The slice must be non-empty
+/// and sorted by key.
+#[inline]
+pub fn predict_from_points(points: &[SplinePoint], key: u64) -> f64 {
+    debug_assert!(!points.is_empty());
+    if points.len() == 1 || key <= points[0].key {
+        return points[0].pos as f64;
+    }
+    let last = points[points.len() - 1];
+    if key >= last.key {
+        return last.pos as f64;
+    }
+    // First knot with knot.key > key; the segment starts one before it.
+    let idx = points.partition_point(|p| p.key <= key);
+    interpolate_segment(points[idx - 1], points[idx], key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_data::generators::SosdName;
+    use sosd_data::prelude::*;
+
+    fn check_error_bound(keys: &[u64], points: &[SplinePoint], eps: usize) {
+        // For distinct keys the interpolated prediction must be within eps of
+        // the first-occurrence position.
+        let mut last = None;
+        for (i, &k) in keys.iter().enumerate() {
+            if last == Some(k) {
+                continue;
+            }
+            last = Some(k);
+            let predicted = predict_from_points(points, k);
+            let err = (predicted - i as f64).abs();
+            assert!(
+                err <= eps as f64 + 1e-6,
+                "key {k} at pos {i} predicted {predicted}, error {err} > eps {eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_data_needs_only_two_knots() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 3).collect();
+        let points = GreedySplineCorridor::new(16).fit(&keys);
+        assert!(
+            points.len() <= 3,
+            "perfectly linear data should need ~2 knots, got {}",
+            points.len()
+        );
+        check_error_bound(&keys, &points, 16);
+    }
+
+    #[test]
+    fn error_bound_holds_on_every_dataset_family() {
+        for name in SosdName::all() {
+            let d: Dataset<u64> = name.generate(20_000, 3);
+            for eps in [4usize, 32, 256] {
+                let points = GreedySplineCorridor::new(eps).fit(d.as_slice());
+                assert!(!points.is_empty());
+                check_error_bound(d.as_slice(), &points, eps);
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_epsilon_needs_more_knots() {
+        let d: Dataset<u64> = SosdName::Face64.generate(50_000, 1);
+        let coarse = GreedySplineCorridor::new(256).fit(d.as_slice()).len();
+        let fine = GreedySplineCorridor::new(4).fit(d.as_slice()).len();
+        assert!(
+            fine > coarse,
+            "eps=4 ({fine} knots) should need more knots than eps=256 ({coarse})"
+        );
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let keys = vec![1u64, 1, 1, 5, 5, 9, 9, 9, 9];
+        let points = GreedySplineCorridor::new(1).fit(&keys);
+        // Knot keys must be distinct.
+        for w in points.windows(2) {
+            assert!(w[0].key < w[1].key);
+        }
+        // Predictions for duplicate keys land near the first occurrence.
+        let p = predict_from_points(&points, 9);
+        assert!((p - 5.0).abs() <= 1.0 + 1e-9, "9 starts at pos 5, predicted {p}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty: Vec<u64> = vec![];
+        assert!(GreedySplineCorridor::new(8).fit(&empty).is_empty());
+
+        let single = vec![42u64];
+        let points = GreedySplineCorridor::new(8).fit(&single);
+        assert_eq!(points.len(), 1);
+        assert_eq!(predict_from_points(&points, 42), 0.0);
+        assert_eq!(predict_from_points(&points, 7), 0.0);
+
+        let constant = vec![7u64; 100];
+        let points = GreedySplineCorridor::new(8).fit(&constant);
+        assert_eq!(points.len(), 1, "a single distinct key yields one knot");
+    }
+
+    #[test]
+    fn interpolation_clamps_outside_span() {
+        let a = SplinePoint { key: 10, pos: 5 };
+        let b = SplinePoint { key: 20, pos: 15 };
+        assert_eq!(interpolate_segment(a, b, 5), 5.0);
+        assert_eq!(interpolate_segment(a, b, 25), 15.0);
+        assert_eq!(interpolate_segment(a, b, 15), 10.0);
+    }
+}

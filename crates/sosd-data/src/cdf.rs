@@ -1,0 +1,289 @@
+//! Empirical CDF utilities and the duplicate-key rank semantics of §3.2.
+//!
+//! The paper defines the "CDF" of a key `x` not as the probabilistic
+//! `P(X <= x)` but as the *index of the result* of a `key >= x` lower-bound
+//! lookup, i.e. `N·F(x_0) = 0` and `N·F(x_{N-1}) = N-1`. [`EmpiricalCdf`]
+//! captures that mapping plus the alternative last-occurrence semantics used
+//! for duplicate-heavy workloads.
+
+use crate::dataset::Dataset;
+use crate::key::Key;
+
+/// Which record among a run of duplicates the CDF should rank a key at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DuplicateRank {
+    /// Rank at the first occurrence — correct for `key <= q` predicates
+    /// scanned to the right (the paper's default, §3.2).
+    #[default]
+    FirstOccurrence,
+    /// Rank at the last occurrence — recommended when most queries use the
+    /// `key >= q` operator over duplicate-heavy data (§3.2).
+    LastOccurrence,
+}
+
+/// Empirical CDF of a sorted key column: maps keys to record positions.
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf<'a, K: Key> {
+    keys: &'a [K],
+    rank: DuplicateRank,
+}
+
+impl<'a, K: Key> EmpiricalCdf<'a, K> {
+    /// Build the CDF view over a dataset using first-occurrence ranking.
+    pub fn new(dataset: &'a Dataset<K>) -> Self {
+        Self {
+            keys: dataset.as_slice(),
+            rank: DuplicateRank::FirstOccurrence,
+        }
+    }
+
+    /// Build the CDF view over a raw sorted slice.
+    ///
+    /// # Panics
+    /// Debug-panics if the slice is not sorted.
+    pub fn from_sorted_slice(keys: &'a [K]) -> Self {
+        debug_assert!(keys.is_sorted());
+        Self {
+            keys,
+            rank: DuplicateRank::FirstOccurrence,
+        }
+    }
+
+    /// Switch the duplicate-ranking semantics.
+    pub fn with_rank(mut self, rank: DuplicateRank) -> Self {
+        self.rank = rank;
+        self
+    }
+
+    /// Number of keys.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if there are no keys.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The underlying sorted keys.
+    #[inline]
+    pub fn keys(&self) -> &[K] {
+        self.keys
+    }
+
+    /// Integer rank `N·F(q)`: the record position the paper's `F` assigns to
+    /// `q` under the configured duplicate semantics. For keys absent from the
+    /// data this is the position the lower bound (or, for
+    /// [`DuplicateRank::LastOccurrence`], the predecessor) would occupy,
+    /// clamped to `[0, N-1]` for non-empty data.
+    #[inline]
+    pub fn rank(&self, q: K) -> usize {
+        if self.keys.is_empty() {
+            return 0;
+        }
+        match self.rank {
+            DuplicateRank::FirstOccurrence => {
+                let lb = self.keys.partition_point(|&k| k < q);
+                lb.min(self.keys.len() - 1)
+            }
+            DuplicateRank::LastOccurrence => {
+                let ub = self.keys.partition_point(|&k| k <= q);
+                ub.saturating_sub(1)
+            }
+        }
+    }
+
+    /// Relative position `F(q) ∈ [0, 1)` of a key (rank divided by `N`).
+    #[inline]
+    pub fn relative(&self, q: K) -> f64 {
+        if self.keys.is_empty() {
+            0.0
+        } else {
+            self.rank(q) as f64 / self.keys.len() as f64
+        }
+    }
+
+    /// Exact lower-bound position (may equal `N` when every key is `< q`),
+    /// independent of the duplicate-ranking mode. This is the search target
+    /// all indexes must return.
+    #[inline]
+    pub fn lower_bound(&self, q: K) -> usize {
+        self.keys.partition_point(|&k| k < q)
+    }
+
+    /// Sample the CDF at `points` evenly spaced keys across the key domain,
+    /// returning `(key, relative_position)` pairs. Used to export the
+    /// Figure 3 macro/micro CDF plots.
+    pub fn sample_curve(&self, points: usize) -> Vec<(K, f64)> {
+        if self.keys.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.keys[0].to_u64();
+        let hi = self.keys[self.keys.len() - 1].to_u64();
+        let span = hi.saturating_sub(lo);
+        let mut out = Vec::with_capacity(points);
+        for i in 0..points {
+            let frac = i as f64 / (points.saturating_sub(1).max(1)) as f64;
+            let key_u64 = lo + (span as f64 * frac) as u64;
+            let key = K::from_u64_saturating(key_u64);
+            out.push((key, self.relative(key)));
+        }
+        out
+    }
+
+    /// Sample the CDF restricted to a sub-range of positions — the "zoomed-in"
+    /// mini-charts of Figure 3 that expose micro-level unpredictability.
+    pub fn sample_zoom(&self, start_pos: usize, len: usize, points: usize) -> Vec<(K, f64)> {
+        if self.keys.is_empty() || points == 0 || start_pos >= self.keys.len() {
+            return Vec::new();
+        }
+        let end_pos = (start_pos + len).min(self.keys.len() - 1);
+        let lo = self.keys[start_pos].to_u64();
+        let hi = self.keys[end_pos].to_u64();
+        let span = hi.saturating_sub(lo);
+        let mut out = Vec::with_capacity(points);
+        for i in 0..points {
+            let frac = i as f64 / (points.saturating_sub(1).max(1)) as f64;
+            let key = K::from_u64_saturating(lo + (span as f64 * frac) as u64);
+            out.push((key, self.relative(key)));
+        }
+        out
+    }
+}
+
+/// Free-standing lower bound over a sorted slice (first index with `k >= q`).
+#[inline]
+pub fn lower_bound_slice<K: Key>(keys: &[K], q: K) -> usize {
+    keys.partition_point(|&k| k < q)
+}
+
+/// Free-standing upper bound over a sorted slice (first index with `k > q`).
+#[inline]
+pub fn upper_bound_slice<K: Key>(keys: &[K], q: K) -> usize {
+    keys.partition_point(|&k| k <= q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset<u64> {
+        Dataset::from_keys("t", vec![10u64, 20, 20, 20, 30, 40, 50])
+    }
+
+    #[test]
+    fn rank_first_occurrence() {
+        let d = dataset();
+        let cdf = EmpiricalCdf::new(&d);
+        assert_eq!(cdf.rank(10), 0);
+        assert_eq!(cdf.rank(20), 1);
+        assert_eq!(cdf.rank(30), 4);
+        assert_eq!(cdf.rank(50), 6);
+        // Non-indexed keys rank at their insertion point.
+        assert_eq!(cdf.rank(25), 4);
+        // Larger than all keys: clamped to N-1.
+        assert_eq!(cdf.rank(99), 6);
+        // Smaller than all keys.
+        assert_eq!(cdf.rank(1), 0);
+    }
+
+    #[test]
+    fn rank_last_occurrence() {
+        let d = dataset();
+        let cdf = EmpiricalCdf::new(&d).with_rank(DuplicateRank::LastOccurrence);
+        assert_eq!(cdf.rank(20), 3);
+        assert_eq!(cdf.rank(10), 0);
+        assert_eq!(cdf.rank(50), 6);
+        assert_eq!(cdf.rank(25), 3, "predecessor's last occurrence");
+        assert_eq!(cdf.rank(5), 0, "clamped at zero");
+    }
+
+    #[test]
+    fn endpoints_match_paper_definition() {
+        // N·F(x_0) = 0 and N·F(x_{N-1}) = N-1.
+        let keys: Vec<u64> = (0..100).map(|i| i * 3 + 7).collect();
+        let d = Dataset::from_keys("t", keys.clone());
+        let cdf = EmpiricalCdf::new(&d);
+        assert_eq!(cdf.rank(keys[0]), 0);
+        assert_eq!(cdf.rank(keys[99]), 99);
+    }
+
+    #[test]
+    fn relative_in_unit_interval() {
+        let d = dataset();
+        let cdf = EmpiricalCdf::new(&d);
+        for q in [0u64, 10, 25, 50, 1000] {
+            let r = cdf.relative(q);
+            assert!((0.0..1.0).contains(&r), "relative({q}) = {r}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_ignores_rank_mode() {
+        let d = dataset();
+        let first = EmpiricalCdf::new(&d);
+        let last = EmpiricalCdf::new(&d).with_rank(DuplicateRank::LastOccurrence);
+        for q in 0u64..60 {
+            assert_eq!(first.lower_bound(q), last.lower_bound(q));
+            assert_eq!(first.lower_bound(q), d.lower_bound(q));
+        }
+    }
+
+    #[test]
+    fn sample_curve_is_monotone() {
+        let keys: Vec<u64> = (0..1000u64).map(|i| i * i).collect();
+        let d = Dataset::from_keys("sq", keys);
+        let cdf = EmpiricalCdf::new(&d);
+        let curve = cdf.sample_curve(64);
+        assert_eq!(curve.len(), 64);
+        for w in curve.windows(2) {
+            assert!(w[0].1 <= w[1].1, "CDF sample must be non-decreasing");
+        }
+        assert!(curve[0].1 <= 0.01);
+    }
+
+    #[test]
+    fn sample_zoom_stays_in_range() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 13 + (i % 7)).collect();
+        let d = Dataset::from_keys("z", keys);
+        let cdf = EmpiricalCdf::new(&d);
+        let zoom = cdf.sample_zoom(5000, 100, 32);
+        assert_eq!(zoom.len(), 32);
+        for (_, rel) in &zoom {
+            assert!((0.49..=0.52).contains(rel), "zoomed CDF should stay local, got {rel}");
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let d: Dataset<u64> = Dataset::from_keys("e", vec![]);
+        let cdf = EmpiricalCdf::new(&d);
+        assert_eq!(cdf.rank(5), 0);
+        assert_eq!(cdf.relative(5), 0.0);
+        assert!(cdf.sample_curve(8).is_empty());
+        assert!(cdf.is_empty());
+
+        let single = Dataset::from_keys("s", vec![42u64]);
+        let cdf = EmpiricalCdf::new(&single);
+        assert_eq!(cdf.rank(0), 0);
+        assert_eq!(cdf.rank(42), 0);
+        assert_eq!(cdf.rank(100), 0);
+    }
+
+    #[test]
+    fn slice_helpers_agree_with_std() {
+        let keys = vec![1u32, 4, 4, 4, 9, 12];
+        for q in 0..15u32 {
+            assert_eq!(
+                lower_bound_slice(&keys, q),
+                keys.partition_point(|&k| k < q)
+            );
+            assert_eq!(
+                upper_bound_slice(&keys, q),
+                keys.partition_point(|&k| k <= q)
+            );
+        }
+    }
+}

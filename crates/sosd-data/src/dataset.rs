@@ -1,0 +1,285 @@
+//! [`Dataset`]: the sorted, read-only key column every index searches over.
+//!
+//! The paper evaluates *clustered* range indexes: keys are physically sorted
+//! and a range query `A <= key <= B` is answered by locating the lower bound
+//! of `A` and scanning right. `Dataset` owns that sorted key column and
+//! provides reference lower/upper-bound implementations that all indexes are
+//! tested against.
+
+use crate::key::Key;
+use crate::stats::DatasetStats;
+
+/// An immutable, sorted collection of keys (possibly containing duplicates).
+///
+/// Invariant: `keys` is sorted in non-decreasing order. All constructors
+/// enforce this (by sorting if necessary), so downstream code may rely on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset<K: Key> {
+    name: String,
+    keys: Vec<K>,
+}
+
+impl<K: Key> Dataset<K> {
+    /// Create a dataset from keys, sorting them if they are not sorted yet.
+    pub fn from_keys(name: impl Into<String>, mut keys: Vec<K>) -> Self {
+        if !keys.is_sorted() {
+            keys.sort_unstable();
+        }
+        Self {
+            name: name.into(),
+            keys,
+        }
+    }
+
+    /// Create a dataset from keys that are already sorted.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the keys are not sorted.
+    pub fn from_sorted_keys(name: impl Into<String>, keys: Vec<K>) -> Self {
+        debug_assert!(keys.is_sorted(), "from_sorted_keys requires sorted input");
+        Self {
+            name: name.into(),
+            keys,
+        }
+    }
+
+    /// Create a dataset from keys, sorting and removing duplicates.
+    pub fn from_keys_deduped(name: impl Into<String>, mut keys: Vec<K>) -> Self {
+        keys.sort_unstable();
+        keys.dedup();
+        Self {
+            name: name.into(),
+            keys,
+        }
+    }
+
+    /// Human-readable dataset name (e.g. `face64`).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of keys.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the dataset contains no keys.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The sorted key slice (the physical layout indexes search over).
+    #[inline]
+    pub fn as_slice(&self) -> &[K] {
+        &self.keys
+    }
+
+    /// Consume the dataset and return the sorted key vector.
+    pub fn into_keys(self) -> Vec<K> {
+        self.keys
+    }
+
+    /// Smallest key, if any.
+    #[inline]
+    pub fn min_key(&self) -> Option<K> {
+        self.keys.first().copied()
+    }
+
+    /// Largest key, if any.
+    #[inline]
+    pub fn max_key(&self) -> Option<K> {
+        self.keys.last().copied()
+    }
+
+    /// Key at position `i`.
+    #[inline]
+    pub fn key_at(&self, i: usize) -> K {
+        self.keys[i]
+    }
+
+    /// Reference lower bound: index of the first key `>= q`, or `len()` if all
+    /// keys are smaller. This is the ground truth every index is tested
+    /// against and matches the paper's `F(x)` definition for `key <= q`
+    /// range predicates (§3.2).
+    #[inline]
+    pub fn lower_bound(&self, q: K) -> usize {
+        self.keys.partition_point(|&k| k < q)
+    }
+
+    /// Reference upper bound: index of the first key `> q`.
+    #[inline]
+    pub fn upper_bound(&self, q: K) -> usize {
+        self.keys.partition_point(|&k| k <= q)
+    }
+
+    /// Index of the *last* occurrence of a key `<= q`, or `None` if every key
+    /// is greater than `q`. This is the alternative CDF definition the paper
+    /// recommends when the dominant query operator is `>=` over data with
+    /// many duplicates (§3.2).
+    #[inline]
+    pub fn last_occurrence_le(&self, q: K) -> Option<usize> {
+        let ub = self.upper_bound(q);
+        if ub == 0 {
+            None
+        } else {
+            Some(ub - 1)
+        }
+    }
+
+    /// All positions holding exactly key `q`, as a half-open range.
+    #[inline]
+    pub fn equal_range(&self, q: K) -> std::ops::Range<usize> {
+        self.lower_bound(q)..self.upper_bound(q)
+    }
+
+    /// Answer the full range query `lo <= key <= hi`, returning the half-open
+    /// index range of qualifying records (the scan the paper omits from its
+    /// timings, provided here for the range-scan example).
+    #[inline]
+    pub fn range_query(&self, lo: K, hi: K) -> std::ops::Range<usize> {
+        if lo > hi {
+            return 0..0;
+        }
+        self.lower_bound(lo)..self.upper_bound(hi)
+    }
+
+    /// Number of duplicate keys (total keys minus distinct keys).
+    pub fn duplicate_count(&self) -> usize {
+        if self.keys.is_empty() {
+            return 0;
+        }
+        let distinct = 1 + self
+            .keys
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count();
+        self.keys.len() - distinct
+    }
+
+    /// True if the dataset contains at least one duplicated key.
+    pub fn has_duplicates(&self) -> bool {
+        self.keys.windows(2).any(|w| w[0] == w[1])
+    }
+
+    /// Size of the key column in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.keys.len() * K::size_bytes()
+    }
+
+    /// Compute the difficulty/shape statistics for this dataset (§2.4).
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::compute(self)
+    }
+
+    /// Empirical CDF value of `q`: the relative position of its lower bound.
+    /// Returns a value in `[0, 1]`.
+    #[inline]
+    pub fn empirical_cdf(&self, q: K) -> f64 {
+        if self.keys.is_empty() {
+            return 0.0;
+        }
+        self.lower_bound(q) as f64 / self.keys.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset<u64> {
+        Dataset::from_keys("sample", vec![5, 1, 3, 3, 9, 7, 3])
+    }
+
+    #[test]
+    fn from_keys_sorts() {
+        let d = sample();
+        assert_eq!(d.as_slice(), &[1, 3, 3, 3, 5, 7, 9]);
+        assert_eq!(d.len(), 7);
+        assert_eq!(d.min_key(), Some(1));
+        assert_eq!(d.max_key(), Some(9));
+    }
+
+    #[test]
+    fn from_keys_deduped_removes_duplicates() {
+        let d = Dataset::from_keys_deduped("d", vec![5u64, 1, 3, 3, 9, 7, 3]);
+        assert_eq!(d.as_slice(), &[1, 3, 5, 7, 9]);
+        assert!(!d.has_duplicates());
+        assert_eq!(d.duplicate_count(), 0);
+    }
+
+    #[test]
+    fn lower_bound_matches_manual_scan() {
+        let d = sample();
+        for q in 0u64..=10 {
+            let expected = d.as_slice().iter().position(|&k| k >= q).unwrap_or(d.len());
+            assert_eq!(d.lower_bound(q), expected, "q={q}");
+        }
+    }
+
+    #[test]
+    fn upper_bound_and_equal_range() {
+        let d = sample();
+        assert_eq!(d.equal_range(3), 1..4);
+        assert_eq!(d.equal_range(4), 4..4);
+        assert_eq!(d.upper_bound(9), 7);
+        assert_eq!(d.upper_bound(0), 0);
+    }
+
+    #[test]
+    fn last_occurrence_le_semantics() {
+        let d = sample();
+        assert_eq!(d.last_occurrence_le(3), Some(3));
+        assert_eq!(d.last_occurrence_le(0), None);
+        assert_eq!(d.last_occurrence_le(100), Some(6));
+        assert_eq!(d.last_occurrence_le(4), Some(3));
+    }
+
+    #[test]
+    fn range_query_inclusive_bounds() {
+        let d = sample();
+        assert_eq!(d.range_query(3, 7), 1..6);
+        assert_eq!(d.range_query(2, 2), 1..1);
+        assert_eq!(d.range_query(8, 2), 0..0, "inverted range is empty");
+        assert_eq!(d.range_query(0, 100), 0..7);
+    }
+
+    #[test]
+    fn duplicate_count() {
+        let d = sample();
+        assert_eq!(d.duplicate_count(), 2);
+        assert!(d.has_duplicates());
+    }
+
+    #[test]
+    fn empty_dataset_is_safe() {
+        let d: Dataset<u32> = Dataset::from_keys("empty", vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.lower_bound(5), 0);
+        assert_eq!(d.upper_bound(5), 0);
+        assert_eq!(d.last_occurrence_le(5), None);
+        assert_eq!(d.duplicate_count(), 0);
+        assert_eq!(d.empirical_cdf(5), 0.0);
+        assert_eq!(d.min_key(), None);
+    }
+
+    #[test]
+    fn empirical_cdf_endpoints() {
+        let d = Dataset::from_keys("d", (0u64..100).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(d.empirical_cdf(0), 0.0);
+        assert!(d.empirical_cdf(991) >= 1.0 - 1e-9);
+        let mid = d.empirical_cdf(500);
+        assert!((mid - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn size_bytes_accounts_for_key_width() {
+        let d32 = Dataset::from_keys("a", vec![1u32, 2, 3]);
+        let d64 = Dataset::from_keys("b", vec![1u64, 2, 3]);
+        assert_eq!(d32.size_bytes(), 12);
+        assert_eq!(d64.size_bytes(), 24);
+    }
+}

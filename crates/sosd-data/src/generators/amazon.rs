@@ -1,0 +1,143 @@
+//! Simulated Amazon book-popularity dataset (`amzn`).
+//!
+//! SOSD's `amzn` keys come from Amazon sales-rank data: a heavy-tailed
+//! popularity distribution whose integer encoding produces dense plateaus of
+//! nearby (and duplicated) keys next to long sparse stretches. Duplicates are
+//! the reason the paper marks ART as "N/A" for `amzn`.
+//!
+//! The simulation draws cluster centres uniformly over the domain, assigns
+//! each cluster a Zipf-like share of the keys, and fills clusters with a
+//! mixture of tiny gaps (plateaus) and exact duplicates; a sparse uniform
+//! background fills the remainder.
+
+use crate::rng::{SplitMix64, Xoshiro256};
+
+/// Fraction of keys that belong to dense clusters (the rest is background).
+const CLUSTERED_FRACTION: f64 = 0.85;
+/// Probability that a key inside a cluster repeats its predecessor exactly.
+const DUPLICATE_PROB: f64 = 0.08;
+/// Zipf exponent controlling how skewed cluster sizes are.
+const ZIPF_EXPONENT: f64 = 1.1;
+
+/// Generate `n` sorted Amazon-like keys in `[0, domain_max]`.
+pub fn generate(n: usize, domain_max: u64, seed: u64) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut seeder = SplitMix64::new(seed);
+    let mut rng = Xoshiro256::new(seeder.next_u64());
+
+    let clustered = ((n as f64) * CLUSTERED_FRACTION) as usize;
+    let background = n - clustered;
+    let num_clusters = (n / 2000).clamp(16, 8192);
+
+    // Zipf-like cluster weights: w_i = 1 / (i+1)^s.
+    let mut weights: Vec<f64> = (0..num_clusters)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(ZIPF_EXPONENT))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    weights.iter_mut().for_each(|w| *w /= total);
+
+    // Random cluster centres; cluster widths shrink with popularity so the
+    // most popular ranks form the densest plateaus.
+    let mut centres: Vec<u64> = (0..num_clusters)
+        .map(|_| rng.next_below(domain_max.saturating_add(1).max(1)))
+        .collect();
+    centres.sort_unstable();
+
+    let mut keys = Vec::with_capacity(n);
+    for (i, (&centre, &w)) in centres.iter().zip(weights.iter()).enumerate() {
+        let count = ((clustered as f64) * w).round() as usize;
+        if count == 0 {
+            continue;
+        }
+        // Width: popular clusters are narrow relative to their population.
+        let width = ((domain_max as f64 / num_clusters as f64) * (0.05 + 0.4 * (i as f64 / num_clusters as f64)))
+            .max(count as f64 * 0.25)
+            .max(1.0) as u64;
+        let start = centre.saturating_sub(width / 2);
+        let mut prev: Option<u64> = None;
+        for _ in 0..count {
+            let key = if let (Some(p), true) = (prev, rng.next_f64() < DUPLICATE_PROB) {
+                p
+            } else {
+                start.saturating_add(rng.next_below(width.max(1))).min(domain_max)
+            };
+            keys.push(key);
+            prev = Some(key);
+        }
+    }
+
+    // Sparse background keys.
+    for _ in 0..background {
+        keys.push(rng.next_below(domain_max.saturating_add(1).max(1)));
+    }
+
+    keys.sort_unstable();
+    // Top up (rounding may have lost a few) or trim to exactly n.
+    while keys.len() < n {
+        keys.push(rng.next_below(domain_max.saturating_add(1).max(1)));
+        keys.sort_unstable();
+    }
+    keys.truncate(n);
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_sized_and_bounded() {
+        let domain = 1u64 << 62;
+        let keys = generate(50_000, domain, 1);
+        assert_eq!(keys.len(), 50_000);
+        assert!(keys.is_sorted());
+        assert!(keys.iter().all(|&k| k <= domain));
+    }
+
+    #[test]
+    fn contains_duplicates_like_sosd_amzn() {
+        let keys = generate(100_000, 1u64 << 62, 2);
+        let distinct = {
+            let mut k = keys.clone();
+            k.dedup();
+            k.len()
+        };
+        assert!(
+            distinct < keys.len(),
+            "amzn simulation must contain duplicate keys (ART is N/A in Table 2)"
+        );
+    }
+
+    #[test]
+    fn is_clustered_not_uniform() {
+        // A large share of the keys should fall into a small share of the
+        // domain (heavy-tailed popularity), unlike uniform data.
+        let domain = 1u64 << 62;
+        let keys = generate(100_000, domain, 3);
+        let bucket_count = 1000usize;
+        let bucket_width = domain / bucket_count as u64;
+        let mut buckets = vec![0usize; bucket_count];
+        for &k in &keys {
+            buckets[((k / bucket_width) as usize).min(bucket_count - 1)] += 1;
+        }
+        buckets.sort_unstable_by(|a, b| b.cmp(a));
+        let top_5pct: usize = buckets[..bucket_count / 20].iter().sum();
+        assert!(
+            top_5pct as f64 > 0.3 * keys.len() as f64,
+            "top 5% of buckets hold {} of {} keys — not clustered enough",
+            top_5pct,
+            keys.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_and_edge_sizes() {
+        assert!(generate(0, 1000, 1).is_empty());
+        assert_eq!(generate(3_000, 1 << 40, 7), generate(3_000, 1 << 40, 7));
+        let tiny = generate(5, 1 << 40, 7);
+        assert_eq!(tiny.len(), 5);
+        assert!(tiny.is_sorted());
+    }
+}

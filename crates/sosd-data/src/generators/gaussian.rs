@@ -1,0 +1,130 @@
+//! Normal (`norm`) and lognormal (`logn`) dataset generators.
+//!
+//! Both are synthetic distributions with a *smooth* CDF: at any zoom level
+//! the curve looks locally linear (Figure 3c), which is why spline-based
+//! learned indexes model them almost perfectly even though `logn` is heavily
+//! skewed. Sampling uses the Box–Muller transform from [`crate::rng`].
+
+use crate::rng::GaussianSource;
+
+/// Normal distribution scaled into `[0, domain_max]`.
+///
+/// Mean is placed at the centre of the domain with a standard deviation of
+/// one eighth of the domain, and samples are clamped at the boundaries (the
+/// clamp affects ~1e-14 of samples, preserving smoothness).
+pub fn generate_normal(n: usize, domain_max: u64, seed: u64) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut g = GaussianSource::new(seed);
+    let mean = domain_max as f64 / 2.0;
+    let sd = domain_max as f64 / 8.0;
+    let mut keys: Vec<u64> = (0..n)
+        .map(|_| {
+            let v = g.next(mean, sd);
+            let clamped = v.clamp(0.0, domain_max as f64);
+            clamped as u64
+        })
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// Lognormal(0, 2) distribution scaled so the largest sample maps near
+/// `domain_max` (mirrors SOSD's integer scaling of the heavy-tailed samples).
+///
+/// The scaling squeezes the dense low end of the distribution into few
+/// distinct integers, so — like SOSD's `logn32` — the 32-bit variant contains
+/// duplicate keys.
+pub fn generate_lognormal(n: usize, domain_max: u64, seed: u64) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut g = GaussianSource::new(seed);
+    let raw: Vec<f64> = (0..n).map(|_| g.next_lognormal(0.0, 2.0)).collect();
+    let max_raw = raw.iter().copied().fold(f64::MIN, f64::max);
+    let scale = if max_raw > 0.0 {
+        domain_max as f64 / max_raw
+    } else {
+        1.0
+    };
+    let mut keys: Vec<u64> = raw
+        .into_iter()
+        .map(|v| ((v * scale).clamp(0.0, domain_max as f64)) as u64)
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_is_sorted_centered_and_bounded() {
+        let domain = 1u64 << 40;
+        let keys = generate_normal(50_000, domain, 1);
+        assert_eq!(keys.len(), 50_000);
+        assert!(keys.is_sorted());
+        assert!(keys.iter().all(|&k| k <= domain));
+        let mean = keys.iter().map(|&k| k as f64).sum::<f64>() / keys.len() as f64;
+        let center = domain as f64 / 2.0;
+        assert!(
+            (mean - center).abs() < center * 0.02,
+            "mean {mean} should be near domain centre {center}"
+        );
+    }
+
+    #[test]
+    fn normal_median_close_to_mean() {
+        let domain = 1u64 << 40;
+        let keys = generate_normal(50_000, domain, 2);
+        let median = keys[keys.len() / 2] as f64;
+        let mean = keys.iter().map(|&k| k as f64).sum::<f64>() / keys.len() as f64;
+        assert!((median - mean).abs() < domain as f64 * 0.01, "normal is symmetric");
+    }
+
+    #[test]
+    fn lognormal_is_sorted_skewed_and_bounded() {
+        let domain = 1u64 << 40;
+        let keys = generate_lognormal(50_000, domain, 3);
+        assert_eq!(keys.len(), 50_000);
+        assert!(keys.is_sorted());
+        assert!(keys.iter().all(|&k| k <= domain));
+        // Heavily right-skewed: the median is a tiny fraction of the max.
+        let median = keys[keys.len() / 2];
+        assert!(
+            (median as f64) < domain as f64 * 0.01,
+            "lognormal median {median} should be far below the max"
+        );
+    }
+
+    #[test]
+    fn lognormal_32bit_scaling_creates_duplicates() {
+        // Mirrors SOSD's logn32 where ART is N/A because of duplicate keys.
+        let keys = generate_lognormal(200_000, (u32::MAX - 1) as u64, 4);
+        let distinct = {
+            let mut k = keys.clone();
+            k.dedup();
+            k.len()
+        };
+        assert!(
+            distinct < keys.len(),
+            "expected duplicates from the dense low end of logn32"
+        );
+    }
+
+    #[test]
+    fn zero_keys_and_determinism() {
+        assert!(generate_normal(0, 1000, 1).is_empty());
+        assert!(generate_lognormal(0, 1000, 1).is_empty());
+        assert_eq!(
+            generate_normal(1000, 1 << 30, 5),
+            generate_normal(1000, 1 << 30, 5)
+        );
+        assert_eq!(
+            generate_lognormal(1000, 1 << 30, 5),
+            generate_lognormal(1000, 1 << 30, 5)
+        );
+    }
+}

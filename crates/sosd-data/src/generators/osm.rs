@@ -1,0 +1,153 @@
+//! Simulated OpenStreetMap cell-ID dataset (`osmc`).
+//!
+//! SOSD's `osmc64` contains cell IDs of OpenStreetMap locations: geography
+//! makes the distribution multi-modal (dense cities, empty oceans) with
+//! several orders of magnitude of density variation and visible "shelves" in
+//! the CDF (Figure 3d). It is the dataset on which the paper demonstrates the
+//! Shift-Table's error correction (Figure 6: a linear model has ~28M average
+//! error; the corrected index has ~129).
+//!
+//! The simulation uses a hierarchical mixture: continents (few, wide) →
+//! cities (many, narrow, lognormal weights) → points (Gaussian around the
+//! city centre), plus a thin uniform background. This creates the same
+//! nested multi-modal structure and extreme local density swings.
+
+use crate::rng::{GaussianSource, SplitMix64, Xoshiro256};
+
+/// Number of top-level regions ("continents").
+const NUM_REGIONS: usize = 6;
+/// Fraction of keys in the uniform background (ocean noise). Kept very small
+/// so large parts of the domain stay empty, as on the real map.
+const BACKGROUND_FRACTION: f64 = 0.003;
+
+/// Generate `n` sorted OSM-like cell IDs in `[0, domain_max]`.
+pub fn generate(n: usize, domain_max: u64, seed: u64) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut seeder = SplitMix64::new(seed);
+    let mut rng = Xoshiro256::new(seeder.next_u64());
+    let mut gauss = GaussianSource::new(seeder.next_u64());
+
+    let background = ((n as f64) * BACKGROUND_FRACTION) as usize;
+    let clustered = n - background;
+
+    // Region weights (continents): moderately unequal.
+    let mut region_weights: Vec<f64> = (0..NUM_REGIONS)
+        .map(|_| gauss.next_lognormal(0.0, 0.6))
+        .collect();
+    let total_rw: f64 = region_weights.iter().sum();
+    region_weights.iter_mut().for_each(|w| *w /= total_rw);
+
+    let region_width = domain_max / NUM_REGIONS as u64;
+    let cities_per_region = (clustered / 3000).clamp(8, 2048);
+
+    let mut keys = Vec::with_capacity(n);
+    for (r, &rw) in region_weights.iter().enumerate() {
+        let region_start = r as u64 * region_width;
+        let region_keys = ((clustered as f64) * rw).round() as usize;
+        if region_keys == 0 {
+            continue;
+        }
+        // City weights inside the region: strongly unequal (lognormal σ=1.5).
+        let mut city_weights: Vec<f64> = (0..cities_per_region)
+            .map(|_| gauss.next_lognormal(0.0, 1.5))
+            .collect();
+        let total_cw: f64 = city_weights.iter().sum();
+        city_weights.iter_mut().for_each(|w| *w /= total_cw);
+
+        for &cw in &city_weights {
+            let city_keys = ((region_keys as f64) * cw).round() as usize;
+            if city_keys == 0 {
+                continue;
+            }
+            // City centre anywhere in the region; width a small fraction of
+            // the region, roughly proportional to the city's population.
+            let centre = region_start + rng.next_below(region_width.max(1));
+            let sigma = (region_width as f64 * 0.002).max(city_keys as f64 * 0.5);
+            for _ in 0..city_keys {
+                let v = gauss.next(centre as f64, sigma);
+                let key = v.clamp(0.0, domain_max as f64) as u64;
+                keys.push(key);
+            }
+        }
+    }
+
+    // Background noise.
+    for _ in 0..background {
+        keys.push(rng.next_below(domain_max.saturating_add(1).max(1)));
+    }
+
+    keys.sort_unstable();
+    while keys.len() < n {
+        keys.push(rng.next_below(domain_max.saturating_add(1).max(1)));
+        keys.sort_unstable();
+    }
+    keys.truncate(n);
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_sized_and_bounded() {
+        let domain = 1u64 << 62;
+        let keys = generate(50_000, domain, 1);
+        assert_eq!(keys.len(), 50_000);
+        assert!(keys.is_sorted());
+        assert!(keys.iter().all(|&k| k <= domain));
+    }
+
+    #[test]
+    fn is_strongly_multi_modal() {
+        // Density must vary over orders of magnitude between domain buckets.
+        let domain = 1u64 << 62;
+        let keys = generate(100_000, domain, 2);
+        let bucket_count = 500usize;
+        let bucket_width = domain / bucket_count as u64;
+        let mut buckets = vec![0usize; bucket_count];
+        for &k in &keys {
+            buckets[((k / bucket_width) as usize).min(bucket_count - 1)] += 1;
+        }
+        let empty = buckets.iter().filter(|&&c| c == 0).count();
+        let max = *buckets.iter().max().unwrap();
+        assert!(
+            empty > bucket_count / 10,
+            "expected many empty buckets (oceans), got {empty}"
+        );
+        assert!(
+            max as f64 > 20.0 * (keys.len() as f64 / bucket_count as f64),
+            "expected dense city buckets, max bucket {max}"
+        );
+    }
+
+    #[test]
+    fn linear_model_error_is_huge() {
+        // The Figure 6 premise: a straight-line model on osmc has enormous
+        // average error relative to the dataset size.
+        let keys = generate(100_000, 1u64 << 62, 3);
+        let n = keys.len() as f64;
+        let min = keys[0] as f64;
+        let max = *keys.last().unwrap() as f64;
+        let mut sum_err = 0.0;
+        for (i, &k) in keys.iter().enumerate() {
+            let predicted = (k as f64 - min) / (max - min) * (n - 1.0);
+            sum_err += (predicted - i as f64).abs();
+        }
+        let mean_err = sum_err / n;
+        assert!(
+            mean_err > 0.05 * n,
+            "mean linear-model error {mean_err} should be a large fraction of n={n}"
+        );
+    }
+
+    #[test]
+    fn deterministic_and_edge_sizes() {
+        assert!(generate(0, 1000, 1).is_empty());
+        assert_eq!(generate(2_000, 1 << 40, 7), generate(2_000, 1 << 40, 7));
+        let tiny = generate(3, 1 << 40, 9);
+        assert_eq!(tiny.len(), 3);
+    }
+}

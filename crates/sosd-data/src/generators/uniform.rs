@@ -1,0 +1,141 @@
+//! Uniform dataset generators: `uden` (dense) and `uspr` (sparse).
+//!
+//! * `uden` — dense integers: `n` distinct values drawn uniformly from a
+//!   domain only marginally larger than `n`. The empirical CDF is nearly a
+//!   perfect line, which is why the paper's learned indexes ace it.
+//! * `uspr` — sparse integers: `n` distinct values drawn uniformly from the
+//!   whole key domain. Macro shape is the same line, but the gap variance is
+//!   much higher, which already hurts compact models (Table 2).
+
+use crate::rng::Xoshiro256;
+
+/// Dense uniform integers: `n` distinct keys packed tightly into a narrow
+/// range (constant stride plus at most one unit of jitter per key).
+///
+/// SOSD's `uden` datasets are the learned index's best case: the empirical
+/// CDF is a straight line and even a two-parameter model fits it with
+/// near-zero error at any scale. The generator therefore keeps the drift of
+/// a min/max interpolation bounded by a constant (≈ 1 record), independent
+/// of `n` — which is exactly the property Table 2 and §2.4 rely on.
+pub fn generate_dense(n: usize, domain_max: u64, seed: u64) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = Xoshiro256::new(seed);
+    // Stride 2..=4 so there is room for one unit of jitter while staying
+    // strictly increasing; fall back to stride 1 (consecutive) when the
+    // domain is too small.
+    let max_stride = (domain_max / n as u64).clamp(1, 4);
+    let stride = if max_stride >= 2 {
+        2 + rng.next_below(max_stride - 1)
+    } else {
+        1
+    };
+    let span = stride * n as u64;
+    // Dense integers start near the bottom of the domain (as in SOSD): the
+    // keys stay small enough that f64 model arithmetic keeps full precision.
+    let start = if domain_max > span {
+        rng.next_below((domain_max - span).min(1_000_000))
+    } else {
+        0
+    };
+    (0..n as u64)
+        .map(|i| {
+            let jitter = if stride >= 2 { rng.next_below(2) } else { 0 };
+            (start + i * stride + jitter).min(domain_max)
+        })
+        .collect()
+}
+
+/// Sparse uniform integers: `n` distinct keys from `[0, domain_max]`.
+pub fn generate_sparse(n: usize, domain_max: u64, seed: u64) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = Xoshiro256::new(seed);
+    let mut keys: Vec<u64> = Vec::with_capacity(n + n / 16 + 16);
+    // Over-sample slightly, then dedup; top up until we have n distinct keys.
+    while keys.len() < n {
+        let missing = n - keys.len();
+        for _ in 0..missing + missing / 8 + 8 {
+            keys.push(rng.next_below(domain_max.saturating_add(1).max(1)));
+        }
+        keys.sort_unstable();
+        keys.dedup();
+    }
+    keys.truncate(n);
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_is_sorted_distinct_and_dense() {
+        let keys = generate_dense(10_000, u32::MAX as u64, 1);
+        assert_eq!(keys.len(), 10_000);
+        assert!(keys.is_sorted());
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "must be distinct");
+        // Dense: the occupied span is at most a few keys per record.
+        let span = keys.last().unwrap() - keys.first().unwrap();
+        assert!(span <= 5 * 10_000, "span {span} should be ≤ stride·n");
+    }
+
+    #[test]
+    fn dense_handles_tiny_domain() {
+        let keys = generate_dense(100, 120, 1);
+        assert_eq!(keys.len(), 100);
+        assert!(keys.iter().all(|&k| k <= 120));
+        assert!(keys.is_sorted());
+    }
+
+    #[test]
+    fn sparse_is_sorted_distinct_and_spread_out() {
+        let domain = 1u64 << 62;
+        let keys = generate_sparse(10_000, domain, 2);
+        assert_eq!(keys.len(), 10_000);
+        assert!(keys.is_sorted());
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert!(keys.iter().all(|&k| k <= domain));
+        // Sparse: spread over a substantial part of the domain.
+        let span = keys.last().unwrap() - keys.first().unwrap();
+        assert!(span > domain / 2, "span {span} too small for sparse uniform");
+    }
+
+    #[test]
+    fn zero_keys() {
+        assert!(generate_dense(0, 1000, 1).is_empty());
+        assert!(generate_sparse(0, 1000, 1).is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_dense(1000, 1 << 20, 9), generate_dense(1000, 1 << 20, 9));
+        assert_eq!(
+            generate_sparse(1000, 1 << 40, 9),
+            generate_sparse(1000, 1 << 40, 9)
+        );
+        assert_ne!(
+            generate_sparse(1000, 1 << 40, 9),
+            generate_sparse(1000, 1 << 40, 10)
+        );
+    }
+
+    #[test]
+    fn dense_cdf_is_nearly_linear() {
+        // The defining property of uden: a straight line through the min and
+        // max key predicts every position within a couple of records,
+        // independent of the dataset size.
+        let keys = generate_dense(50_000, u32::MAX as u64, 3);
+        let n = keys.len() as f64;
+        let min = *keys.first().unwrap() as f64;
+        let max = *keys.last().unwrap() as f64;
+        let mut max_err: f64 = 0.0;
+        for (i, &k) in keys.iter().enumerate() {
+            let predicted = (k as f64 - min) / (max - min) * (n - 1.0);
+            max_err = max_err.max((predicted - i as f64).abs());
+        }
+        assert!(max_err < 3.0, "uden drift {max_err} should be ≈ constant");
+    }
+}

@@ -1,0 +1,148 @@
+//! Simulated Wikipedia edit-timestamp dataset (`wiki`).
+//!
+//! SOSD's `wiki64` contains the timestamps of edit actions on Wikipedia
+//! articles: a monotone stream whose arrival rate grew over the years, with
+//! strong diurnal/weekly burstiness and many *duplicate* timestamps (several
+//! edits within the same second) — which is why ART is N/A for `wiki` in
+//! Table 2.
+//!
+//! The simulation integrates a piecewise arrival-rate curve (slow early era,
+//! accelerating growth, daily bursts) and emits second-granularity
+//! timestamps, so duplicates arise naturally whenever the instantaneous rate
+//! exceeds one edit per second.
+
+use crate::rng::{SplitMix64, Xoshiro256};
+
+/// Number of rate epochs (years of growth).
+const EPOCHS: usize = 20;
+/// Each epoch's rate multiplier relative to the previous one.
+const GROWTH_PER_EPOCH: f64 = 1.35;
+/// Relative amplitude of the burst modulation.
+const BURST_AMPLITUDE: f64 = 0.9;
+
+/// Generate `n` sorted Wikipedia-like edit timestamps in `[0, domain_max]`.
+pub fn generate(n: usize, domain_max: u64, seed: u64) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut seeder = SplitMix64::new(seed);
+    let mut rng = Xoshiro256::new(seeder.next_u64());
+
+    // Build the relative number of edits per epoch (exponential growth).
+    let mut epoch_weights: Vec<f64> = (0..EPOCHS)
+        .map(|e| GROWTH_PER_EPOCH.powi(e as i32))
+        .collect();
+    let total: f64 = epoch_weights.iter().sum();
+    epoch_weights.iter_mut().for_each(|w| *w /= total);
+
+    let epoch_span = (domain_max / EPOCHS as u64).max(1);
+    let mut keys = Vec::with_capacity(n);
+
+    for (e, &w) in epoch_weights.iter().enumerate() {
+        let epoch_start = e as u64 * epoch_span;
+        let epoch_edits = ((n as f64) * w).round() as usize;
+        if epoch_edits == 0 {
+            continue;
+        }
+        // Mean gap between edits within the epoch, in key units ("seconds").
+        let mean_gap = (epoch_span as f64 / epoch_edits as f64).max(0.05);
+        let mut t = epoch_start as f64;
+        // Burst phase drifts slowly so consecutive windows have correlated
+        // density (diurnal pattern).
+        let mut phase = rng.next_f64() * std::f64::consts::TAU;
+        for i in 0..epoch_edits {
+            if i % 256 == 0 {
+                phase += rng.next_f64() * 0.5;
+            }
+            // Burst modulation in [1-A, 1+A]; exponential inter-arrival.
+            let modulation = 1.0 + BURST_AMPLITUDE * (phase + i as f64 * 0.01).sin();
+            let u = rng.next_f64().max(1e-12);
+            let gap = -u.ln() * mean_gap / modulation.max(0.05);
+            t += gap;
+            let key = (t.min(domain_max as f64)) as u64; // truncate to seconds
+            keys.push(key.min(domain_max));
+        }
+    }
+
+    keys.sort_unstable();
+    while keys.len() < n {
+        keys.push(rng.next_below(domain_max.saturating_add(1).max(1)));
+        keys.sort_unstable();
+    }
+    keys.truncate(n);
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_sized_and_bounded() {
+        let domain = 1u64 << 62;
+        let keys = generate(50_000, domain, 1);
+        assert_eq!(keys.len(), 50_000);
+        assert!(keys.is_sorted());
+        assert!(keys.iter().all(|&k| k <= domain));
+    }
+
+    #[test]
+    fn has_duplicates_like_sosd_wiki() {
+        // Use a small domain so several edits land in the same "second".
+        let keys = generate(200_000, 1u64 << 24, 2);
+        let distinct = {
+            let mut k = keys.clone();
+            k.dedup();
+            k.len()
+        };
+        assert!(
+            distinct < keys.len(),
+            "wiki simulation must contain duplicate timestamps"
+        );
+    }
+
+    #[test]
+    fn edit_rate_grows_over_time() {
+        // Later halves of the time domain must contain more edits than
+        // earlier halves (Wikipedia grew).
+        let domain = 1u64 << 40;
+        let keys = generate(100_000, domain, 3);
+        let first_half = keys.iter().filter(|&&k| k < domain / 2).count();
+        let second_half = keys.len() - first_half;
+        assert!(
+            second_half as f64 > 2.0 * first_half as f64,
+            "second half {second_half} should dominate first half {first_half}"
+        );
+    }
+
+    #[test]
+    fn bursty_local_density() {
+        // Windowed gap coefficient of variation should be clearly above a
+        // memoryless (exponential) baseline of ~1 somewhere in the stream.
+        let keys = generate(100_000, 1u64 << 40, 4);
+        let window = 128;
+        let mut max_cv = 0.0f64;
+        let mut start = 0;
+        while start + window < keys.len() {
+            let slice = &keys[start..start + window + 1];
+            let gaps: Vec<f64> = slice.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            if mean > 0.0 {
+                let var =
+                    gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+                max_cv = max_cv.max(var.sqrt() / mean);
+            }
+            start += window;
+        }
+        assert!(max_cv > 1.2, "expected bursty windows, max cv {max_cv}");
+    }
+
+    #[test]
+    fn deterministic_and_edge_sizes() {
+        assert!(generate(0, 1000, 1).is_empty());
+        assert_eq!(generate(2_000, 1 << 40, 7), generate(2_000, 1 << 40, 7));
+        assert_ne!(generate(2_000, 1 << 40, 7), generate(2_000, 1 << 40, 8));
+        let tiny = generate(2, 1 << 40, 9);
+        assert_eq!(tiny.len(), 2);
+    }
+}

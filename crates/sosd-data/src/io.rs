@@ -1,0 +1,193 @@
+//! The SOSD on-disk binary format.
+//!
+//! SOSD datasets are stored as a little-endian `u64` element count followed
+//! by the keys themselves (`u32` or `u64`, little-endian). Supporting the
+//! format means the genuine 200M-key SOSD files can be dropped into the
+//! harness in place of the synthetic stand-ins without any code changes.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::dataset::Dataset;
+use crate::key::Key;
+
+/// Maximum element count accepted when reading, as a sanity guard against
+/// corrupt headers (1e10 keys ≈ 80 GB, far beyond anything SOSD ships).
+const MAX_REASONABLE_COUNT: u64 = 10_000_000_000;
+
+/// Errors produced by SOSD file I/O.
+#[derive(Debug)]
+pub enum SosdIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The header count is implausibly large or the payload is truncated.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SosdIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::Corrupt(msg) => write!(f, "corrupt SOSD file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SosdIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for SosdIoError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Write keys in SOSD binary format (`u64` count + little-endian keys).
+pub fn write_keys<K: Key, W: Write>(mut writer: W, keys: &[K]) -> Result<(), SosdIoError> {
+    writer.write_all(&(keys.len() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(8 * 1024);
+    for chunk in keys.chunks(1024) {
+        buf.clear();
+        for &k in chunk {
+            match K::BITS {
+                32 => buf.extend_from_slice(&(k.to_u64() as u32).to_le_bytes()),
+                _ => buf.extend_from_slice(&k.to_u64().to_le_bytes()),
+            }
+        }
+        writer.write_all(&buf)?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Read keys in SOSD binary format.
+pub fn read_keys<K: Key, R: Read>(mut reader: R) -> Result<Vec<K>, SosdIoError> {
+    let mut header = [0u8; 8];
+    reader.read_exact(&mut header)?;
+    let count = u64::from_le_bytes(header);
+    if count > MAX_REASONABLE_COUNT {
+        return Err(SosdIoError::Corrupt(format!(
+            "header claims {count} keys, which exceeds the sanity limit"
+        )));
+    }
+    let count = count as usize;
+    let key_bytes = K::size_bytes();
+    let mut keys = Vec::with_capacity(count);
+    let mut buf = vec![0u8; key_bytes * 4096];
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = remaining.min(4096);
+        let slice = &mut buf[..take * key_bytes];
+        reader.read_exact(slice).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                SosdIoError::Corrupt(format!(
+                    "file truncated: expected {count} keys, got {}",
+                    count - remaining
+                ))
+            } else {
+                SosdIoError::Io(e)
+            }
+        })?;
+        for chunk in slice.chunks_exact(key_bytes) {
+            let v = match key_bytes {
+                4 => u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) as u64,
+                _ => u64::from_le_bytes([
+                    chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+                ]),
+            };
+            keys.push(K::from_u64_saturating(v));
+        }
+        remaining -= take;
+    }
+    Ok(keys)
+}
+
+/// Write a dataset to a file in SOSD binary format.
+pub fn write_dataset_file<K: Key>(path: &Path, dataset: &Dataset<K>) -> Result<(), SosdIoError> {
+    let file = File::create(path)?;
+    write_keys(BufWriter::new(file), dataset.as_slice())
+}
+
+/// Read a dataset from a SOSD binary file. The dataset name is derived from
+/// the file stem; keys are sorted if the file is unsorted.
+pub fn read_dataset_file<K: Key>(path: &Path) -> Result<Dataset<K>, SosdIoError> {
+    let file = File::open(path)?;
+    let keys = read_keys(BufReader::new(file))?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "sosd".to_string());
+    Ok(Dataset::from_keys(name, keys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::SosdName;
+
+    #[test]
+    fn roundtrip_u64_in_memory() {
+        let d: Dataset<u64> = SosdName::Wiki64.generate(3_000, 1);
+        let mut buf = Vec::new();
+        write_keys(&mut buf, d.as_slice()).unwrap();
+        assert_eq!(buf.len(), 8 + 8 * d.len());
+        let back: Vec<u64> = read_keys(&buf[..]).unwrap();
+        assert_eq!(back, d.as_slice());
+    }
+
+    #[test]
+    fn roundtrip_u32_in_memory() {
+        let d: Dataset<u32> = SosdName::Face32.generate(3_000, 2);
+        let mut buf = Vec::new();
+        write_keys(&mut buf, d.as_slice()).unwrap();
+        assert_eq!(buf.len(), 8 + 4 * d.len());
+        let back: Vec<u32> = read_keys(&buf[..]).unwrap();
+        assert_eq!(back, d.as_slice());
+    }
+
+    #[test]
+    fn roundtrip_via_file() {
+        let dir = std::env::temp_dir().join("sosd_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("uden64_small");
+        let d: Dataset<u64> = SosdName::Uden64.generate(1_000, 3);
+        write_dataset_file(&path, &d).unwrap();
+        let back: Dataset<u64> = read_dataset_file(&path).unwrap();
+        assert_eq!(back.as_slice(), d.as_slice());
+        assert_eq!(back.name(), "uden64_small");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_detected() {
+        let d: Dataset<u64> = SosdName::Uden64.generate(100, 4);
+        let mut buf = Vec::new();
+        write_keys(&mut buf, d.as_slice()).unwrap();
+        buf.truncate(buf.len() - 17);
+        let err = read_keys::<u64, _>(&buf[..]).unwrap_err();
+        assert!(matches!(err, SosdIoError::Corrupt(_)), "got {err}");
+    }
+
+    #[test]
+    fn implausible_header_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_keys::<u64, _>(&buf[..]).unwrap_err();
+        assert!(matches!(err, SosdIoError::Corrupt(_)));
+    }
+
+    #[test]
+    fn empty_dataset_roundtrip() {
+        let mut buf = Vec::new();
+        write_keys::<u64, _>(&mut buf, &[]).unwrap();
+        let back: Vec<u64> = read_keys(&buf[..]).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! SOSD-style dataset generators, query workloads and empirical-CDF utilities.
+//!
+//! This crate is the data substrate of the Shift-Table reproduction. It
+//! provides:
+//!
+//! * [`Dataset`] — an immutable, sorted, in-memory key column (the physical
+//!   layout every range index in the workspace searches over),
+//! * [`generators`] — synthetic generators for the four synthetic SOSD
+//!   distributions (`uden`, `uspr`, `norm`, `logn`) and simulated stand-ins
+//!   for the four real-world SOSD datasets (`face`, `amzn`, `osmc`, `wiki`),
+//! * [`workload`] — query workload generators (lookups sampled from the keys,
+//!   from the whole domain, from non-indexed keys, or from hot ranges),
+//! * [`cdf`] — empirical-CDF helpers implementing the paper's lower-bound
+//!   semantics for duplicate keys (§3.2),
+//! * [`stats`] — the "difficulty" statistics the paper uses to explain why
+//!   real-world data is hard to learn (§2.4): local variance, signed drift
+//!   against a straight line, duplicate structure,
+//! * [`io`] — the SOSD on-disk binary format so genuine SOSD files can be
+//!   dropped in instead of the synthetic stand-ins.
+//!
+//! # Example
+//!
+//! ```
+//! use sosd_data::prelude::*;
+//!
+//! // Generate a small "Facebook-like" dataset and a query workload over it.
+//! let dataset: Dataset<u64> = SosdName::Face64.generate(10_000, 42);
+//! let queries = Workload::uniform_keys(&dataset, 100, 7).queries().to_vec();
+//! for q in queries {
+//!     let pos = dataset.lower_bound(q);
+//!     assert!(pos < dataset.len());
+//!     assert!(dataset.as_slice()[pos] >= q);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod dataset;
+pub mod generators;
+pub mod io;
+pub mod key;
+pub mod rng;
+pub mod stats;
+pub mod workload;
+
+pub use cdf::EmpiricalCdf;
+pub use dataset::Dataset;
+pub use generators::SosdName;
+pub use key::Key;
+pub use rng::SplitMix64;
+pub use stats::DatasetStats;
+pub use workload::Workload;
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::cdf::EmpiricalCdf;
+    pub use crate::dataset::Dataset;
+    pub use crate::generators::{DatasetFamily, SosdName};
+    pub use crate::key::Key;
+    pub use crate::rng::SplitMix64;
+    pub use crate::stats::DatasetStats;
+    pub use crate::workload::{Workload, WorkloadKind};
+}

@@ -1,0 +1,262 @@
+//! Small, deterministic pseudo-random number generators used by the dataset
+//! generators and workloads.
+//!
+//! The generators need reproducible streams that are cheap to seed and fork.
+//! [`SplitMix64`] is used for seeding and simple streams; [`Xoshiro256`]
+//! (xoshiro256**) is the workhorse generator. Gaussian deviates are produced
+//! with the Box–Muller transform ([`GaussianSource`]) so the workspace does
+//! not need an extra distribution crate.
+
+/// SplitMix64: a tiny, high-quality 64-bit generator. Mainly used to expand a
+/// single `u64` seed into the larger state of [`Xoshiro256`] and to derive
+/// independent sub-seeds for parallel generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Any seed (including 0) is fine.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "bound must be non-zero");
+        // Lemire's multiply-shift bounded generation (no modulo bias concerns
+        // matter for data generation, but it is also faster).
+        let x = self.next_u64();
+        ((x as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Derive an independent sub-seed (e.g. for a per-segment generator).
+    #[inline]
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+/// xoshiro256**: fast general-purpose generator used for bulk data generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seed via SplitMix64 expansion, as recommended by the xoshiro authors.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "bound must be non-zero");
+        let x = self.next_u64();
+        ((x as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn next_in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            self.next_u64()
+        } else {
+            lo + self.next_below(span + 1)
+        }
+    }
+}
+
+/// Box–Muller Gaussian source producing standard-normal deviates in pairs.
+#[derive(Debug, Clone)]
+pub struct GaussianSource {
+    rng: Xoshiro256,
+    cached: Option<f64>,
+}
+
+impl GaussianSource {
+    /// Create a Gaussian source from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: Xoshiro256::new(seed),
+            cached: None,
+        }
+    }
+
+    /// Next standard-normal deviate (mean 0, variance 1).
+    pub fn next_standard(&mut self) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms -> two independent normals.
+        loop {
+            let u1 = self.rng.next_f64();
+            let u2 = self.rng.next_f64();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            let z0 = r * theta.cos();
+            let z1 = r * theta.sin();
+            self.cached = Some(z1);
+            return z0;
+        }
+    }
+
+    /// Next normal deviate with the given mean and standard deviation.
+    #[inline]
+    pub fn next(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.next_standard()
+    }
+
+    /// Next lognormal deviate with underlying normal parameters `(mu, sigma)`.
+    #[inline]
+    pub fn next_lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.next_standard()).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(1234);
+        let mut b = SplitMix64::new(1234);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Xoshiro256::new(99);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = Xoshiro256::new(7);
+        for bound in [1u64, 2, 3, 10, 1000, u32::MAX as u64] {
+            for _ in 0..100 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_in_range_inclusive() {
+        let mut r = Xoshiro256::new(7);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let v = r.next_in_range(5, 8);
+            assert!((5..=8).contains(&v));
+            saw_lo |= v == 5;
+            saw_hi |= v == 8;
+        }
+        assert!(saw_lo && saw_hi, "bounds should both be reachable");
+    }
+
+    #[test]
+    fn gaussian_mean_and_variance_roughly_correct() {
+        let mut g = GaussianSource::new(2024);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let z = g.next_standard();
+            sum += z;
+            sum_sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut g = GaussianSource::new(5);
+        let samples: Vec<f64> = (0..10_000).map(|_| g.next_lognormal(0.0, 2.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let median = {
+            let mut s = samples.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[s.len() / 2]
+        };
+        // Lognormal(0, 2) is heavily right-skewed: mean far above median.
+        assert!(mean > 2.0 * median, "mean {mean} median {median}");
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut parent = SplitMix64::new(10);
+        let mut child = parent.fork();
+        let a = parent.next_u64();
+        let b = child.next_u64();
+        assert_ne!(a, b);
+    }
+}

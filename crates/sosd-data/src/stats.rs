@@ -1,0 +1,282 @@
+//! Dataset "difficulty" statistics (§2.4 of the paper).
+//!
+//! The paper argues that what makes real-world data hard for learned indexes
+//! is not skew but *unpredictability*: the micro-level fluctuations of the
+//! empirical CDF. [`DatasetStats`] quantifies that with the gap (first
+//! difference) statistics, a windowed local-variance measure, the signed
+//! drift of the data against a straight-line (min/max interpolation) model,
+//! and duplicate structure. These numbers are reported by the harness next to
+//! each dataset so the qualitative claims of §2.4/§3.6 can be checked.
+
+use crate::dataset::Dataset;
+use crate::key::Key;
+
+/// Summary statistics describing how difficult a dataset is to model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of keys.
+    pub n: usize,
+    /// Smallest key (as u64), 0 for empty data.
+    pub min_key: u64,
+    /// Largest key (as u64), 0 for empty data.
+    pub max_key: u64,
+    /// Number of duplicated key slots (n minus distinct count).
+    pub duplicates: usize,
+    /// Size of the largest run of equal keys.
+    pub max_duplicate_run: usize,
+    /// Mean gap between consecutive keys.
+    pub mean_gap: f64,
+    /// Standard deviation of gaps between consecutive keys.
+    pub gap_std_dev: f64,
+    /// Coefficient of variation of the gaps (std-dev / mean); the paper's
+    /// "local variance" notion — 0 for perfectly regular (dense uniform)
+    /// data, large for spiky real-world data.
+    pub gap_cv: f64,
+    /// Mean of the windowed local coefficient of variation (window = 64
+    /// gaps). Captures micro-level fluctuation even when the global gap
+    /// distribution looks tame.
+    pub local_gap_cv: f64,
+    /// Mean absolute drift (in records) of the true position away from the
+    /// straight-line interpolation between min and max key — exactly the
+    /// error a "dummy" IM model makes (§3.6, Figure 6).
+    pub mean_abs_drift: f64,
+    /// Maximum absolute drift in records.
+    pub max_abs_drift: u64,
+}
+
+impl DatasetStats {
+    /// Compute the statistics for a dataset.
+    pub fn compute<K: Key>(dataset: &Dataset<K>) -> Self {
+        let keys = dataset.as_slice();
+        let n = keys.len();
+        if n == 0 {
+            return Self::empty();
+        }
+        let min_key = keys[0].to_u64();
+        let max_key = keys[n - 1].to_u64();
+
+        // Duplicate structure.
+        let mut duplicates = 0usize;
+        let mut max_run = 1usize;
+        let mut run = 1usize;
+        for w in keys.windows(2) {
+            if w[0] == w[1] {
+                duplicates += 1;
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 1;
+            }
+        }
+
+        // Gap statistics.
+        let (mean_gap, gap_std_dev) = gap_moments(keys);
+        let gap_cv = if mean_gap > 0.0 {
+            gap_std_dev / mean_gap
+        } else {
+            0.0
+        };
+        let local_gap_cv = local_gap_cv(keys, 64);
+
+        // Drift against straight-line interpolation.
+        let (mean_abs_drift, max_abs_drift) = drift_against_line(keys);
+
+        Self {
+            n,
+            min_key,
+            max_key,
+            duplicates,
+            max_duplicate_run: if n == 0 { 0 } else { max_run },
+            mean_gap,
+            gap_std_dev,
+            gap_cv,
+            local_gap_cv,
+            mean_abs_drift,
+            max_abs_drift,
+        }
+    }
+
+    fn empty() -> Self {
+        Self {
+            n: 0,
+            min_key: 0,
+            max_key: 0,
+            duplicates: 0,
+            max_duplicate_run: 0,
+            mean_gap: 0.0,
+            gap_std_dev: 0.0,
+            gap_cv: 0.0,
+            local_gap_cv: 0.0,
+            mean_abs_drift: 0.0,
+            max_abs_drift: 0,
+        }
+    }
+
+    /// A single scalar "difficulty" score used to sanity-check that the
+    /// simulated real-world datasets are harder than the synthetic ones:
+    /// the mean absolute drift normalised by the dataset size.
+    pub fn normalized_drift(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean_abs_drift / self.n as f64
+        }
+    }
+}
+
+/// Mean and standard deviation of consecutive-key gaps.
+fn gap_moments<K: Key>(keys: &[K]) -> (f64, f64) {
+    if keys.len() < 2 {
+        return (0.0, 0.0);
+    }
+    let m = (keys.len() - 1) as f64;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for w in keys.windows(2) {
+        let gap = (w[1].to_u64() - w[0].to_u64()) as f64;
+        sum += gap;
+        sum_sq += gap * gap;
+    }
+    let mean = sum / m;
+    let var = (sum_sq / m - mean * mean).max(0.0);
+    (mean, var.sqrt())
+}
+
+/// Mean of per-window gap coefficient of variation.
+fn local_gap_cv<K: Key>(keys: &[K], window: usize) -> f64 {
+    if keys.len() < window + 1 {
+        let (mean, sd) = gap_moments(keys);
+        return if mean > 0.0 { sd / mean } else { 0.0 };
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    let mut start = 0usize;
+    while start + window < keys.len() {
+        let slice = &keys[start..start + window + 1];
+        let (mean, sd) = gap_moments(slice);
+        if mean > 0.0 {
+            total += sd / mean;
+        }
+        count += 1;
+        start += window;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Mean and max absolute difference between each key's true position and the
+/// position predicted by straight-line interpolation between min and max.
+fn drift_against_line<K: Key>(keys: &[K]) -> (f64, u64) {
+    let n = keys.len();
+    if n < 2 {
+        return (0.0, 0);
+    }
+    let min = keys[0].to_f64();
+    let max = keys[n - 1].to_f64();
+    let span = max - min;
+    if span <= 0.0 {
+        // All keys equal: the line predicts position 0 for every key.
+        let mean = (0..n).map(|i| i as f64).sum::<f64>() / n as f64;
+        return (mean, (n - 1) as u64);
+    }
+    let mut sum_abs = 0.0;
+    let mut max_abs = 0u64;
+    for (i, k) in keys.iter().enumerate() {
+        let predicted = ((k.to_f64() - min) / span) * (n - 1) as f64;
+        let drift = i as f64 - predicted;
+        sum_abs += drift.abs();
+        max_abs = max_abs.max(drift.abs().round() as u64);
+    }
+    (sum_abs / n as f64, max_abs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::SosdName;
+
+    #[test]
+    fn perfectly_linear_data_has_zero_drift() {
+        let keys: Vec<u64> = (0..1000u64).map(|i| i * 7).collect();
+        let d = Dataset::from_keys("lin", keys);
+        let s = d.stats();
+        assert_eq!(s.n, 1000);
+        assert!(s.mean_abs_drift < 1e-6, "drift {}", s.mean_abs_drift);
+        assert_eq!(s.max_abs_drift, 0);
+        assert!(s.gap_cv < 1e-9);
+        assert_eq!(s.duplicates, 0);
+    }
+
+    #[test]
+    fn duplicates_are_counted() {
+        let d = Dataset::from_keys("dup", vec![1u64, 1, 1, 2, 3, 3]);
+        let s = d.stats();
+        assert_eq!(s.duplicates, 3);
+        assert_eq!(s.max_duplicate_run, 3);
+    }
+
+    #[test]
+    fn empty_and_single_key_are_safe() {
+        let e: Dataset<u64> = Dataset::from_keys("e", vec![]);
+        let s = e.stats();
+        assert_eq!(s.n, 0);
+        assert_eq!(s.normalized_drift(), 0.0);
+
+        let one = Dataset::from_keys("one", vec![5u64]);
+        let s = one.stats();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean_abs_drift, 0.0);
+    }
+
+    #[test]
+    fn all_equal_keys() {
+        let d = Dataset::from_keys("eq", vec![9u64; 64]);
+        let s = d.stats();
+        assert_eq!(s.duplicates, 63);
+        assert_eq!(s.max_duplicate_run, 64);
+        assert!(s.mean_abs_drift > 0.0, "a flat line cannot place 64 equal keys");
+    }
+
+    #[test]
+    fn real_world_like_data_is_harder_than_uniform_dense() {
+        let n = 50_000;
+        let uden: Dataset<u64> = SosdName::Uden64.generate(n, 1);
+        let face: Dataset<u64> = SosdName::Face64.generate(n, 1);
+        let osmc: Dataset<u64> = SosdName::Osmc64.generate(n, 1);
+        let s_uden = uden.stats();
+        let s_face = face.stats();
+        let s_osmc = osmc.stats();
+        // The paper's central observation: face/osmc have far more micro-level
+        // drift than dense uniform data, even though face is macro-uniform.
+        assert!(
+            s_face.normalized_drift() > 4.0 * s_uden.normalized_drift().max(1e-9),
+            "face drift {} should exceed uden drift {}",
+            s_face.normalized_drift(),
+            s_uden.normalized_drift()
+        );
+        assert!(
+            s_osmc.normalized_drift() > 4.0 * s_uden.normalized_drift().max(1e-9),
+            "osmc drift {} should exceed uden drift {}",
+            s_osmc.normalized_drift(),
+            s_uden.normalized_drift()
+        );
+    }
+
+    #[test]
+    fn gap_cv_detects_irregular_spacing() {
+        let regular: Vec<u64> = (0..10_000u64).map(|i| i * 100).collect();
+        let mut irregular = Vec::with_capacity(10_000);
+        let mut acc = 0u64;
+        for i in 0..10_000u64 {
+            acc += if i % 97 == 0 { 50_000 } else { 3 };
+            irregular.push(acc);
+        }
+        let r = Dataset::from_keys("r", regular).stats();
+        let ir = Dataset::from_keys("ir", irregular).stats();
+        assert!(ir.gap_cv > 10.0 * r.gap_cv.max(1e-12));
+        assert!(ir.local_gap_cv > r.local_gap_cv);
+    }
+}

@@ -1,0 +1,61 @@
+//! Cost-model driven tuning (§3.7 / §3.9): decide per dataset whether the
+//! Shift-Table layer pays off, using the error heuristics and the latency
+//! cost model (Eqs. 9 and 10).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example cost_model_tuning
+//! ```
+
+use shift_table_repro::prelude::*;
+
+fn main() {
+    let n = 500_000;
+    println!("{:<8} {:>14} {:>14} {:>12} {:>22}", "dataset", "err before", "err after", "factor", "decision");
+    println!("{}", "-".repeat(76));
+
+    for name in SosdName::all() {
+        let dataset: Dataset<u64> = name.generate(n, 42);
+        let model = InterpolationModel::build(&dataset);
+
+        // Error before correction (the raw model) and after (Eq. 8).
+        let before = learned_index::ModelErrorStats::compute(&model, &dataset).mean_abs;
+        let table = ShiftTable::build(&model, dataset.as_slice());
+        let after = table.expected_error();
+
+        // §3.9 heuristics + the Eq. 9/10 latency estimate.
+        let advisor = TuningAdvisor::new();
+        let decision = advisor.decide(before, after);
+        let model_latency_ns = 10.0; // two multiply-adds: essentially free
+        let with_ns = advisor
+            .latency_model()
+            .latency_with_layer(model_latency_ns, &table);
+        let without_ns = advisor
+            .latency_model()
+            .latency_without_layer(model_latency_ns, &table);
+
+        println!(
+            "{:<8} {:>14.1} {:>14.1} {:>11.1}x {:>22}",
+            name.to_string(),
+            before,
+            after,
+            before / after.max(0.01),
+            match decision {
+                TuningDecision::ModelWithShiftTable => "model + Shift-Table",
+                TuningDecision::ModelAlone => "model alone",
+            }
+        );
+        println!(
+            "         est. latency: {without_ns:>7.1} ns without layer, {with_ns:>7.1} ns with layer"
+        );
+
+        // The auto-tuning builder applies exactly this rule.
+        let auto = CorrectedIndex::builder(dataset.as_slice(), model)
+            .with_auto_tuning()
+            .build();
+        assert_eq!(
+            auto.layer_enabled(),
+            decision == TuningDecision::ModelWithShiftTable
+        );
+    }
+}

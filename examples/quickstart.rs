@@ -1,0 +1,58 @@
+//! Quickstart: build a Shift-Table-corrected learned index over a hard
+//! dataset and answer lower-bound and range queries with it.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use shift_table_repro::prelude::*;
+
+fn main() {
+    // 1. A "real-world-like" dataset: one million OSM-style cell IDs.
+    //    (Swap in `sosd_data::io::read_dataset_file` to index your own keys.)
+    let dataset: Dataset<u64> = SosdName::Osmc64.generate(1_000_000, 42);
+    println!(
+        "dataset: {} keys, {} duplicates, {:.1} MiB of key data",
+        dataset.len(),
+        dataset.duplicate_count(),
+        dataset.size_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    // 2. The paper's "dummy" model: a straight line through min and max.
+    let model = InterpolationModel::build(&dataset);
+    let before = learned_index::ModelErrorStats::compute(&model, &dataset);
+    println!("model alone          : {before}");
+
+    // 3. Attach the Shift-Table correction layer (one extra lookup per query).
+    let index = CorrectedIndex::builder(dataset.as_slice(), model)
+        .with_range_table()
+        .build();
+    let after = index.correction_error();
+    println!("model + Shift-Table  : {after}");
+    let narrow = matches!(index.layer(), CorrectionLayer::Range(t) if t.is_narrow());
+    println!(
+        "index footprint      : {:.1} MiB ({} entries, narrow encoding = {narrow})",
+        index.index_size_bytes() as f64 / (1024.0 * 1024.0),
+        dataset.len(),
+    );
+
+    // 4. Point lookups: lower_bound(q) = first position with key >= q.
+    let q = dataset.key_at(dataset.len() / 3);
+    let pos = index.lower_bound(q);
+    assert_eq!(pos, dataset.lower_bound(q));
+    println!("lower_bound({q}) = {pos}");
+
+    // 5. Range queries: locate the lower bound, then scan.
+    let lo = dataset.key_at(dataset.len() / 2);
+    let hi = dataset.key_at(dataset.len() / 2 + 500);
+    let range = index.range(lo, hi, dataset.as_slice());
+    println!(
+        "range [{lo}, {hi}] -> {} matching records (positions {:?})",
+        range.len(),
+        range
+    );
+    assert_eq!(range, dataset.range_query(lo, hi));
+
+    println!("quickstart OK");
+}

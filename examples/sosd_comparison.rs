@@ -1,0 +1,80 @@
+//! SOSD-style comparison: measure every baseline of Table 2 on one dataset
+//! and print a mini version of the paper's headline result.
+//!
+//! Run with (dataset name and key count are optional):
+//! ```text
+//! cargo run --release --example sosd_comparison -- face64 2000000
+//! ```
+
+use shift_table_repro::prelude::*;
+use std::time::Instant;
+
+fn measure<I: RangeIndex<u64>>(label: &str, index: &I, queries: &[u64], expected: &[usize]) {
+    // Verify before timing.
+    for (q, e) in queries.iter().zip(expected.iter()).take(200) {
+        assert_eq!(index.lower_bound(*q), *e, "{label} is incorrect");
+    }
+    let start = Instant::now();
+    let mut checksum = 0usize;
+    for &q in queries {
+        checksum = checksum.wrapping_add(index.lower_bound(q));
+    }
+    let ns = start.elapsed().as_nanos() as f64 / queries.len() as f64;
+    println!(
+        "{label:<18} {ns:>8.1} ns/lookup   (index: {:>12} bytes, checksum {checksum})",
+        index.index_size_bytes()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args
+        .get(1)
+        .and_then(|s| SosdName::parse(s))
+        .unwrap_or(SosdName::Face64);
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2_000_000);
+
+    println!("dataset {name} with {n} keys\n");
+    let dataset: Dataset<u64> = name.generate(n, 42);
+    let keys = dataset.as_slice();
+    let workload = Workload::uniform_keys(&dataset, 200_000.min(n), 7);
+    let (queries, expected) = (workload.queries(), workload.expected());
+
+    // On-the-fly search and algorithmic baselines.
+    measure("BinarySearch", &BinarySearchIndex::new(keys), queries, expected);
+    measure("B+tree", &BPlusTree::new(keys), queries, expected);
+    measure("FAST-style", &FastTree::new(keys), queries, expected);
+    measure("RBS", &RadixBinarySearch::new(keys), queries, expected);
+    measure("TIP", &TipSearchIndex::new(keys), queries, expected);
+    if !dataset.has_duplicates() {
+        measure("ART", &ArtIndex::new(keys), queries, expected);
+    } else {
+        println!("{:<18} N/A (duplicate keys)", "ART");
+    }
+
+    // Learned indexes, with and without the Shift-Table layer.
+    let im = CorrectedIndex::builder(keys, InterpolationModel::build(&dataset))
+        .without_correction()
+        .build();
+    measure("IM", &im, queries, expected);
+
+    let rs = CorrectedIndex::builder(keys, RadixSpline::builder().max_error(32).build(&dataset))
+        .without_correction()
+        .build();
+    measure("RadixSpline", &rs, queries, expected);
+
+    let rmi = CorrectedIndex::builder(keys, RmiIndex::builder().leaf_count(16_384).build(&dataset))
+        .without_correction()
+        .build();
+    measure("RMI", &rmi, queries, expected);
+
+    let im_st = CorrectedIndex::builder(keys, InterpolationModel::build(&dataset))
+        .with_range_table()
+        .build();
+    measure("IM+Shift-Table", &im_st, queries, expected);
+
+    let rs_st = CorrectedIndex::builder(keys, RadixSpline::builder().max_error(32).build(&dataset))
+        .with_range_table()
+        .build();
+    measure("RS+Shift-Table", &rs_st, queries, expected);
+}

@@ -1,0 +1,31 @@
+//! Umbrella crate for the Shift-Table reproduction workspace.
+//!
+//! This crate re-exports the public APIs of the workspace members so the
+//! examples and cross-crate integration tests can use a single import, and so
+//! downstream users who want "everything" can depend on one crate:
+//!
+//! * [`shift_table`] — the Shift-Table correction layer (the paper's
+//!   contribution),
+//! * [`learned_index`] — CDF models (IM, linear, RMI, RadixSpline, PGM),
+//! * [`algo_index`] — algorithmic baselines (binary/interpolation/TIP search,
+//!   B+tree, FAST-style tree, ART, RBS),
+//! * [`sosd_data`] — SOSD-style datasets, workloads and CDF utilities.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench` for the harness that regenerates every table and figure of
+//! the paper.
+
+#![forbid(unsafe_code)]
+
+pub use algo_index;
+pub use learned_index;
+pub use shift_table;
+pub use sosd_data;
+
+/// One-stop prelude: everything the examples need.
+pub mod prelude {
+    pub use algo_index::prelude::*;
+    pub use learned_index::prelude::*;
+    pub use shift_table::prelude::*;
+    pub use sosd_data::prelude::*;
+}

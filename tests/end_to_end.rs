@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: every index in the workspace must agree
+//! with the reference lower bound on every dataset family, end to end.
+
+use shift_table_repro::prelude::*;
+
+const N: usize = 20_000;
+const QUERIES: usize = 400;
+
+/// Every baseline and every corrected learned index, checked against the
+/// reference `partition_point` lower bound on hit, miss and domain-uniform
+/// workloads.
+#[test]
+fn all_indexes_agree_with_the_reference_on_all_datasets() {
+    for name in SosdName::all() {
+        let dataset: Dataset<u64> = name.generate(N, 2024);
+        let keys = dataset.as_slice();
+
+        let bs = BinarySearchIndex::new(keys);
+        let branchless = BranchlessBinarySearch::new(keys);
+        let is = InterpolationSearchIndex::new(keys);
+        let tip = TipSearchIndex::new(keys);
+        let rbs = RadixBinarySearch::new(keys);
+        let btree = BPlusTree::new(keys);
+        let fast = FastTree::new(keys);
+        let art = ArtIndex::new(keys);
+        let im_st = CorrectedIndex::builder(keys, InterpolationModel::build(&dataset))
+            .with_range_table()
+            .build();
+        let im_s10 = CorrectedIndex::builder(keys, InterpolationModel::build(&dataset))
+            .with_compact_table(10)
+            .build();
+        let rs_st = CorrectedIndex::builder(
+            keys,
+            RadixSpline::builder().max_error(32).build(&dataset),
+        )
+        .with_range_table()
+        .build();
+        let rmi = CorrectedIndex::builder(keys, RmiIndex::builder().leaf_count(256).build(&dataset))
+            .without_correction()
+            .build();
+        let pgm_st = CorrectedIndex::builder(keys, PgmModel::with_epsilon(&dataset, 64))
+            .with_range_table()
+            .build();
+
+        let indexes: Vec<(&str, &dyn RangeIndex<u64>)> = vec![
+            ("BS", &bs),
+            ("BS-branchless", &branchless),
+            ("IS", &is),
+            ("TIP", &tip),
+            ("RBS", &rbs),
+            ("B+tree", &btree),
+            ("FAST", &fast),
+            ("ART", &art),
+            ("IM+ShiftTable", &im_st),
+            ("IM+S-10", &im_s10),
+            ("RS+ShiftTable", &rs_st),
+            ("RMI", &rmi),
+            ("PGM+ShiftTable", &pgm_st),
+        ];
+
+        for workload in [
+            Workload::uniform_keys(&dataset, QUERIES, 1),
+            Workload::uniform_domain(&dataset, QUERIES, 2),
+            Workload::non_indexed(&dataset, QUERIES, 3),
+            Workload::hot_range(&dataset, QUERIES, 4),
+        ] {
+            for (q, expected) in workload.iter() {
+                for (label, index) in &indexes {
+                    assert_eq!(
+                        index.lower_bound(q),
+                        expected,
+                        "{label} disagrees on {name} for query {q}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The full query path survives boundary queries on every dataset.
+#[test]
+fn boundary_queries_are_handled_everywhere() {
+    for name in [SosdName::Face64, SosdName::Wiki64, SosdName::Logn64] {
+        let dataset: Dataset<u64> = name.generate(5_000, 7);
+        let keys = dataset.as_slice();
+        let index = CorrectedIndex::builder(keys, InterpolationModel::build(&dataset))
+            .with_range_table()
+            .build();
+        for q in [
+            0u64,
+            dataset.min_key().unwrap(),
+            dataset.min_key().unwrap().saturating_sub(1),
+            dataset.max_key().unwrap(),
+            dataset.max_key().unwrap().saturating_add(1),
+            u64::MAX,
+        ] {
+            assert_eq!(index.lower_bound(q), dataset.lower_bound(q), "{name} q={q}");
+        }
+    }
+}
+
+/// SOSD file round trip feeds the whole pipeline: write a generated dataset,
+/// read it back, index it, query it.
+#[test]
+fn sosd_file_roundtrip_feeds_the_index() {
+    let dir = std::env::temp_dir().join("shift_table_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("amzn64_20k");
+
+    let original: Dataset<u64> = SosdName::Amzn64.generate(N, 11);
+    sosd_data::io::write_dataset_file(&path, &original).unwrap();
+    let reloaded: Dataset<u64> = sosd_data::io::read_dataset_file(&path).unwrap();
+    assert_eq!(original.as_slice(), reloaded.as_slice());
+
+    let index = CorrectedIndex::builder(reloaded.as_slice(), InterpolationModel::build(&reloaded))
+        .with_range_table()
+        .build();
+    let w = Workload::uniform_keys(&reloaded, QUERIES, 13);
+    for (q, expected) in w.iter() {
+        assert_eq!(index.lower_bound(q), expected);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// 32-bit datasets exercise the same pipeline with the narrower key type.
+#[test]
+fn u32_pipeline_end_to_end() {
+    for name in [SosdName::Face32, SosdName::Amzn32, SosdName::Uspr32] {
+        let dataset: Dataset<u32> = name.generate(N, 5);
+        let keys = dataset.as_slice();
+        let fast = FastTree::new(keys);
+        let corrected = CorrectedIndex::builder(keys, InterpolationModel::build(&dataset))
+            .with_range_table()
+            .build();
+        let w = Workload::uniform_domain(&dataset, QUERIES, 17);
+        for (q, expected) in w.iter() {
+            assert_eq!(fast.lower_bound(q), expected, "{name}");
+            assert_eq!(corrected.lower_bound(q), expected, "{name}");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! workspace: for *arbitrary* key multisets and models, every index must
+//! return exactly the reference lower bound, Shift-Table windows must cover
+//! their keys, and error bounds must hold.
+
+use proptest::prelude::*;
+use shift_table_repro::prelude::*;
+
+/// Strategy: a sorted key vector with duplicates, clusters and extremes.
+fn arb_keys() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            // small dense values (forces duplicates)
+            0u64..500,
+            // clustered mid-range values
+            1_000_000u64..1_001_000,
+            // sparse huge values
+            any::<u64>(),
+        ],
+        1..400,
+    )
+    .prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+/// Strategy: query values that mix indexed keys, near misses and extremes.
+fn arb_queries(keys: Vec<u64>) -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    let key_pool = keys.clone();
+    let q = prop_oneof![
+        prop::sample::select(key_pool.clone()),
+        prop::sample::select(key_pool).prop_map(|k| k.saturating_add(1)),
+        any::<u64>(),
+        Just(0u64),
+        Just(u64::MAX),
+    ];
+    (Just(keys), prop::collection::vec(q, 1..50))
+}
+
+fn reference(keys: &[u64], q: u64) -> usize {
+    keys.partition_point(|&k| k < q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The corrected index (IM + range-mode Shift-Table) is exact for any
+    /// key multiset and any query.
+    #[test]
+    fn corrected_index_matches_reference((keys, queries) in arb_keys().prop_flat_map(arb_queries)) {
+        let dataset = Dataset::from_sorted_keys("prop", keys);
+        let index = CorrectedIndex::builder(dataset.as_slice(), InterpolationModel::build(&dataset))
+            .with_range_table()
+            .build();
+        for q in queries {
+            prop_assert_eq!(index.lower_bound(q), reference(dataset.as_slice(), q));
+        }
+    }
+
+    /// The compact (midpoint) layer is exact too, at any compression factor.
+    #[test]
+    fn compact_corrected_index_matches_reference(
+        (keys, queries) in arb_keys().prop_flat_map(arb_queries),
+        x in 1usize..200,
+    ) {
+        let dataset = Dataset::from_sorted_keys("prop", keys);
+        let index = CorrectedIndex::builder(dataset.as_slice(), InterpolationModel::build(&dataset))
+            .with_compact_table(x)
+            .build();
+        for q in queries {
+            prop_assert_eq!(index.lower_bound(q), reference(dataset.as_slice(), q));
+        }
+    }
+
+    /// Every algorithmic baseline agrees with the reference lower bound.
+    #[test]
+    fn baselines_match_reference((keys, queries) in arb_keys().prop_flat_map(arb_queries)) {
+        let dataset = Dataset::from_sorted_keys("prop", keys);
+        let k = dataset.as_slice();
+        let bs = BinarySearchIndex::new(k);
+        let is = InterpolationSearchIndex::new(k);
+        let tip = TipSearchIndex::new(k);
+        let rbs = RadixBinarySearch::new(k);
+        let bt = BPlusTree::new(k);
+        let fast = FastTree::new(k);
+        let art = ArtIndex::new(k);
+        for q in queries {
+            let expected = reference(k, q);
+            prop_assert_eq!(bs.lower_bound(q), expected);
+            prop_assert_eq!(is.lower_bound(q), expected);
+            prop_assert_eq!(tip.lower_bound(q), expected);
+            prop_assert_eq!(rbs.lower_bound(q), expected);
+            prop_assert_eq!(bt.lower_bound(q), expected);
+            prop_assert_eq!(fast.lower_bound(q), expected);
+            prop_assert_eq!(art.lower_bound(q), expected);
+        }
+    }
+
+    /// Shift-Table windows contain the true position of every indexed key
+    /// (the §3 invariant behind Algorithm 1), for any monotone model.
+    #[test]
+    fn shift_table_windows_cover_all_keys(keys in arb_keys()) {
+        let dataset = Dataset::from_sorted_keys("prop", keys);
+        let model = InterpolationModel::build(&dataset);
+        let table = ShiftTable::build(&model, dataset.as_slice());
+        for (i, &k) in dataset.as_slice().iter().enumerate() {
+            let target = dataset.lower_bound(k);
+            let _ = i;
+            let hint = table.correct(learned_index::CdfModel::<u64>::predict_clamped(&model, k));
+            let window = hint.window.unwrap().max(1);
+            prop_assert!(hint.start <= target && target < hint.start + window,
+                "key {} target {} outside [{}, {})", k, target, hint.start, hint.start + window);
+        }
+    }
+
+    /// RadixSpline and PGM honour their declared error bounds on arbitrary
+    /// data.
+    #[test]
+    fn error_bounded_models_hold_their_bounds(keys in arb_keys(), eps in 1usize..128) {
+        let dataset = Dataset::from_sorted_keys("prop", keys);
+        let rs = RadixSpline::builder().max_error(eps).build(&dataset);
+        let pgm = PgmModel::with_epsilon(&dataset, eps);
+        let mut last = None;
+        for (i, &k) in dataset.as_slice().iter().enumerate() {
+            if last == Some(k) { continue; }
+            last = Some(k);
+            let rs_err = (learned_index::CdfModel::<u64>::predict(&rs, k) as i64 - i as i64).unsigned_abs();
+            let pgm_err = (learned_index::CdfModel::<u64>::predict(&pgm, k) as i64 - i as i64).unsigned_abs();
+            prop_assert!(rs_err as usize <= eps + 1, "RS err {} > eps {}", rs_err, eps);
+            prop_assert!(pgm_err as usize <= eps + 1, "PGM err {} > eps {}", pgm_err, eps);
+        }
+    }
+
+    /// The dataset's own range query is consistent with lower/upper bounds,
+    /// and the corrected index reproduces it.
+    #[test]
+    fn range_queries_are_consistent((keys, queries) in arb_keys().prop_flat_map(arb_queries)) {
+        let dataset = Dataset::from_sorted_keys("prop", keys);
+        let index = CorrectedIndex::builder(dataset.as_slice(), InterpolationModel::build(&dataset))
+            .with_range_table()
+            .build();
+        for pair in queries.chunks(2) {
+            if pair.len() < 2 { continue; }
+            let (lo, hi) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+            let expected = dataset.range_query(lo, hi);
+            let got = index.range(lo, hi, dataset.as_slice());
+            prop_assert_eq!(&got, &expected);
+            for i in got {
+                prop_assert!(dataset.key_at(i) >= lo && dataset.key_at(i) <= hi);
+            }
+        }
+    }
+
+    /// The SOSD binary format round-trips arbitrary key vectors.
+    #[test]
+    fn sosd_io_roundtrips(keys in arb_keys()) {
+        let mut buf = Vec::new();
+        sosd_data::io::write_keys(&mut buf, &keys).unwrap();
+        let back: Vec<u64> = sosd_data::io::read_keys(&buf[..]).unwrap();
+        prop_assert_eq!(back, keys);
+    }
+
+    /// Workload ground truth is always the reference lower bound.
+    #[test]
+    fn workloads_report_correct_expected_positions(keys in arb_keys(), seed in any::<u64>()) {
+        let dataset = Dataset::from_sorted_keys("prop", keys);
+        for w in [
+            Workload::uniform_keys(&dataset, 32, seed),
+            Workload::uniform_domain(&dataset, 32, seed),
+            Workload::non_indexed(&dataset, 32, seed),
+        ] {
+            for (q, expected) in w.iter() {
+                prop_assert_eq!(expected, reference(dataset.as_slice(), q));
+            }
+        }
+    }
+}
