@@ -92,14 +92,11 @@ impl Children {
                 let i = bytes.partition_point(|&x| x <= b);
                 nodes.get(i)
             }
-            Children::Indexed { slots, nodes } => ((b as usize + 1)..256)
-                .find_map(|x| {
-                    let i = slots[x];
-                    (i != u8::MAX).then(|| &nodes[i as usize])
-                }),
-            Children::Dense { nodes } => nodes[(b as usize + 1)..]
-                .iter()
-                .find_map(|n| n.as_ref()),
+            Children::Indexed { slots, nodes } => ((b as usize + 1)..256).find_map(|x| {
+                let i = slots[x];
+                (i != u8::MAX).then(|| &nodes[i as usize])
+            }),
+            Children::Dense { nodes } => nodes[(b as usize + 1)..].iter().find_map(|n| n.as_ref()),
         }
     }
 
@@ -303,7 +300,13 @@ fn collect_stats(node: &Node, stats: &mut ArtStats, heap: &mut usize) {
 
 /// Successor search: position of the smallest leaf with key `>= q` in the
 /// subtree, or `None` if every key in the subtree is smaller.
-fn successor(node: &Node, q: u64, key_bytes: usize, byte_offset: usize, depth: usize) -> Option<u32> {
+fn successor(
+    node: &Node,
+    q: u64,
+    key_bytes: usize,
+    byte_offset: usize,
+    depth: usize,
+) -> Option<u32> {
     match node {
         Node::Leaf { key, pos } => (*key >= q).then_some(*pos),
         Node::Inner {

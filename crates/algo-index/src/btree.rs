@@ -136,10 +136,7 @@ impl<K: Key> RangeIndex<K> for BPlusTree<'_, K> {
     }
 
     fn index_size_bytes(&self) -> usize {
-        self.levels
-            .iter()
-            .map(|l| l.len() * K::size_bytes())
-            .sum()
+        self.levels.iter().map(|l| l.len() * K::size_bytes()).sum()
     }
 
     fn name(&self) -> &'static str {

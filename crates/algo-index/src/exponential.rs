@@ -118,7 +118,11 @@ mod tests {
         assert_eq!(lower_bound_from(&keys, 2, 5), 0);
         assert_eq!(lower_bound_from(&keys, 0, 35), 3);
         assert_eq!(lower_bound_from(&keys, 2, 35), 3);
-        assert_eq!(lower_bound_from(&keys, 100, 20), 1, "start clamped to len-1");
+        assert_eq!(
+            lower_bound_from(&keys, 100, 20),
+            1,
+            "start clamped to len-1"
+        );
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub use btree::BPlusTree;
 pub use fast_tree::FastTree;
 pub use interpolation::InterpolationSearchIndex;
 pub use rbs::RadixBinarySearch;
-pub use search::RangeIndex;
+pub use search::{DynRangeIndex, RangeIndex};
 pub use tip::TipSearchIndex;
 
 /// Convenient glob import for downstream crates and examples.
@@ -53,6 +53,6 @@ pub mod prelude {
     pub use crate::fast_tree::FastTree;
     pub use crate::interpolation::InterpolationSearchIndex;
     pub use crate::rbs::RadixBinarySearch;
-    pub use crate::search::RangeIndex;
+    pub use crate::search::{DynRangeIndex, RangeIndex};
     pub use crate::tip::TipSearchIndex;
 }

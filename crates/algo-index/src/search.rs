@@ -3,6 +3,12 @@
 
 use sosd_data::key::Key;
 
+/// An owned, runtime-composable range index behind a trait object: what
+/// `shift_table::spec::IndexSpec::build` hands back. The underlying index is
+/// `'static + Send + Sync`, so the boxed index can be moved across threads or
+/// stored behind `Arc`.
+pub type DynRangeIndex<K> = Box<dyn RangeIndex<K>>;
+
 /// A read-only range index over a sorted key array.
 ///
 /// `lower_bound(q)` returns the index of the first key `>= q`, or `len()` if
@@ -10,6 +16,9 @@ use sosd_data::key::Key;
 /// and to C++ `std::lower_bound`. Locating the lower bound is the only
 /// operation a clustered range index needs to answer `A <= key <= B` range
 /// queries; the result set is then a contiguous scan (§1).
+///
+/// The trait is object safe: `Box<dyn RangeIndex<K>>` (see [`DynRangeIndex`])
+/// is how runtime-composed indexes are passed around.
 pub trait RangeIndex<K: Key>: Send + Sync {
     /// Position of the first key `>= q` (or `len()` if none).
     fn lower_bound(&self, q: K) -> usize;
@@ -30,18 +39,48 @@ pub trait RangeIndex<K: Key>: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Answer a full range query `lo <= key <= hi` as a half-open position
-    /// range, by locating the lower bound of `lo` and scanning to the first
-    /// key greater than `hi`.
-    fn range(&self, lo: K, hi: K, keys: &[K]) -> std::ops::Range<usize> {
+    /// range. Both endpoints are located with a lower-bound probe: the end is
+    /// the lower bound of the successor of `hi`, so the cost is two index
+    /// lookups regardless of how far past the result set the keys continue.
+    fn range(&self, lo: K, hi: K) -> std::ops::Range<usize> {
         if lo > hi || self.is_empty() {
             return 0..0;
         }
         let start = self.lower_bound(lo);
-        let mut end = start;
-        while end < keys.len() && keys[end] <= hi {
-            end += 1;
+        let end = match hi.checked_next() {
+            Some(h) => self.lower_bound(h),
+            None => self.len(),
+        };
+        start..end.max(start)
+    }
+
+    /// Resolve a batch of lower-bound queries, writing `queries[i]`'s result
+    /// to `out[i]`.
+    ///
+    /// The default implementation is the scalar loop. Indexes with a
+    /// multi-stage query path (model → correction → local search) override it
+    /// to amortize each stage across the batch — the hook future SIMD /
+    /// prefetch work attaches to.
+    ///
+    /// # Panics
+    /// Panics if `queries` and `out` have different lengths.
+    fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
+        assert_eq!(
+            queries.len(),
+            out.len(),
+            "lower_bound_batch requires queries and out of equal length"
+        );
+        for (o, &q) in out.iter_mut().zip(queries.iter()) {
+            *o = self.lower_bound(q);
         }
-        start..end
+    }
+
+    /// Convenience wrapper over [`RangeIndex::lower_bound_batch`] that
+    /// allocates the output vector.
+    fn lower_bound_many(&self, queries: &[K]) -> Vec<usize> {
+        let mut out = vec![0usize; queries.len()];
+        self.lower_bound_batch(queries, &mut out);
+        out
     }
 }
 
@@ -58,6 +97,12 @@ impl<K: Key, T: RangeIndex<K> + ?Sized> RangeIndex<K> for &T {
     fn name(&self) -> &'static str {
         (**self).name()
     }
+    fn range(&self, lo: K, hi: K) -> std::ops::Range<usize> {
+        (**self).range(lo, hi)
+    }
+    fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
+        (**self).lower_bound_batch(queries, out)
+    }
 }
 
 impl<K: Key, T: RangeIndex<K> + ?Sized> RangeIndex<K> for Box<T> {
@@ -73,6 +118,33 @@ impl<K: Key, T: RangeIndex<K> + ?Sized> RangeIndex<K> for Box<T> {
     fn name(&self) -> &'static str {
         (**self).name()
     }
+    fn range(&self, lo: K, hi: K) -> std::ops::Range<usize> {
+        (**self).range(lo, hi)
+    }
+    fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
+        (**self).lower_bound_batch(queries, out)
+    }
+}
+
+impl<K: Key, T: RangeIndex<K> + ?Sized> RangeIndex<K> for std::sync::Arc<T> {
+    fn lower_bound(&self, q: K) -> usize {
+        (**self).lower_bound(q)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn index_size_bytes(&self) -> usize {
+        (**self).index_size_bytes()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn range(&self, lo: K, hi: K) -> std::ops::Range<usize> {
+        (**self).range(lo, hi)
+    }
+    fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
+        (**self).lower_bound_batch(queries, out)
+    }
 }
 
 #[cfg(test)]
@@ -84,10 +156,44 @@ mod tests {
     fn range_query_default_impl() {
         let keys = vec![1u64, 3, 5, 5, 7, 9];
         let idx = BinarySearchIndex::new(&keys);
-        assert_eq!(idx.range(3, 7, &keys), 1..5);
-        assert_eq!(idx.range(4, 4, &keys), 2..2);
-        assert_eq!(idx.range(9, 3, &keys), 0..0, "inverted range");
-        assert_eq!(idx.range(0, 100, &keys), 0..6);
+        assert_eq!(idx.range(3, 7), 1..5);
+        assert_eq!(idx.range(4, 4), 2..2);
+        assert_eq!(idx.range(9, 3), 0..0, "inverted range");
+        assert_eq!(idx.range(0, 100), 0..6);
+        assert_eq!(idx.range(0, u64::MAX), 0..6, "hi at the domain maximum");
+        assert_eq!(idx.range(u64::MAX, u64::MAX), 6..6);
+    }
+
+    #[test]
+    fn range_end_is_located_without_scanning() {
+        // A long run of keys <= hi after the first match: the probe-based end
+        // must still be exact (the old default walked this run key by key).
+        let mut keys = vec![1u64, 2];
+        keys.extend(std::iter::repeat_n(5u64, 10_000));
+        keys.push(9);
+        let idx = BinarySearchIndex::new(&keys);
+        assert_eq!(idx.range(2, 5), 1..10_002);
+        assert_eq!(idx.range(5, 8), 2..10_002);
+    }
+
+    #[test]
+    fn batch_default_matches_scalar() {
+        let keys = vec![2u64, 4, 4, 6, 8];
+        let idx = BinarySearchIndex::new(&keys);
+        let queries: Vec<u64> = (0..12).collect();
+        let batch = idx.lower_bound_many(&queries);
+        for (q, got) in queries.iter().zip(batch) {
+            assert_eq!(got, idx.lower_bound(*q), "q={q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn batch_rejects_mismatched_lengths() {
+        let keys = vec![1u64, 2, 3];
+        let idx = BinarySearchIndex::new(&keys);
+        let mut out = [0usize; 2];
+        idx.lower_bound_batch(&[1, 2, 3], &mut out);
     }
 
     #[test]
@@ -98,8 +204,10 @@ mod tests {
         assert_eq!(as_ref.lower_bound(5), 2);
         assert_eq!(as_ref.len(), 3);
         assert!(!as_ref.is_empty());
+        assert_eq!(as_ref.range(2, 4), 0..2);
         let boxed: Box<dyn RangeIndex<u64> + '_> = Box::new(&idx);
         assert_eq!(boxed.lower_bound(1), 0);
         assert_eq!(boxed.name(), "BS");
+        assert_eq!(boxed.lower_bound_many(&[1, 5, 7]), vec![0, 2, 3]);
     }
 }

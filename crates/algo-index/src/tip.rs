@@ -186,7 +186,10 @@ mod tests {
         let x = [0.0, 100.0, 50.0];
         let y = [0.0, 10_000.0, 2_500.0];
         let est = TipSearchIndex::<u64>::three_point_estimate(70.0, x, y);
-        assert!((est - 4_900.0).abs() < 1e-6, "estimate {est} should be 4900");
+        assert!(
+            (est - 4_900.0).abs() < 1e-6,
+            "estimate {est} should be 4900"
+        );
     }
 
     #[test]

@@ -1,41 +1,59 @@
-//! Criterion bench behind Figure 7: index build times.
+//! Bench behind Figure 7: index build times.
+//!
+//! Self-contained harness (no criterion): run with
+//! `cargo bench -p shift-bench --bench build_times`.
 
 use algo_index::prelude::*;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use learned_index::prelude::*;
+use shift_bench::prelude::*;
 use shift_table::prelude::*;
 use sosd_data::prelude::*;
 
-fn bench_builds(c: &mut Criterion) {
-    let d: Dataset<u64> = SosdName::Face64.generate(500_000, 42);
-    let keys = d.as_slice();
-    let mut group = c.benchmark_group("figure7_build_face64");
-    group.sample_size(10);
-
-    group.bench_function("B+tree", |b| b.iter(|| black_box(BPlusTree::new(keys))));
-    group.bench_function("FAST", |b| b.iter(|| black_box(FastTree::new(keys))));
-    group.bench_function("RBS", |b| b.iter(|| black_box(RadixBinarySearch::new(keys))));
-    group.bench_function("ART", |b| b.iter(|| black_box(ArtIndex::new(keys))));
-    group.bench_function("RS", |b| {
-        b.iter(|| black_box(RadixSpline::builder().max_error(32).build(&d)))
-    });
-    group.bench_function("RMI-4096", |b| {
-        b.iter(|| black_box(RmiIndex::builder().leaf_count(4096).build(&d)))
-    });
-    group.bench_function("IM+ShiftTable", |b| {
-        b.iter(|| {
-            let model = InterpolationModel::build(&d);
-            black_box(ShiftTable::build(&model, keys))
-        })
-    });
-    group.bench_function("IM+ShiftTable-parallel4", |b| {
-        b.iter(|| {
-            let model = InterpolationModel::build(&d);
-            black_box(ShiftTable::build_parallel(&model, keys, 4))
-        })
-    });
-    group.finish();
+fn report(label: &str, samples: &[f64]) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "{label:<26} {:>9.2} ms (median of {})",
+        sorted[sorted.len() / 2],
+        sorted.len()
+    );
 }
 
-criterion_group!(benches, bench_builds);
-criterion_main!(benches);
+fn timed<T>(label: &str, repeats: usize, mut build: impl FnMut() -> T) {
+    let samples: Vec<f64> = (0..repeats).map(|_| measure_build(&mut build).0).collect();
+    report(label, &samples);
+}
+
+fn main() {
+    let d: Dataset<u64> = SosdName::Face64.generate(500_000, 42);
+    let keys = d.as_slice();
+    let shared = d.to_shared();
+    let repeats = 5;
+    println!("== figure7_build_face64 ({} keys) ==", d.len());
+
+    timed("B+tree", repeats, || BPlusTree::new(keys));
+    timed("FAST", repeats, || FastTree::new(keys));
+    timed("RBS", repeats, || RadixBinarySearch::new(keys));
+    timed("ART", repeats, || ArtIndex::new(keys));
+    timed("RS (model only)", repeats, || {
+        RadixSpline::builder().max_error(32).build(&d)
+    });
+    timed("RMI-4096 (model only)", repeats, || {
+        RmiIndex::builder().leaf_count(4096).build(&d)
+    });
+    timed("IM+ShiftTable (layer)", repeats, || {
+        let model = InterpolationModel::build(&d);
+        ShiftTable::build(&model, keys)
+    });
+    timed("IM+ShiftTable (par 4)", repeats, || {
+        let model = InterpolationModel::build(&d);
+        ShiftTable::build_parallel(&model, keys, 4)
+    });
+    // Spec-driven end-to-end builds (model + layer over shared storage).
+    for spec in ["im+r1", "rs:32+r1", "rmi:4096+none"] {
+        let parsed = IndexSpec::parse(spec).unwrap();
+        timed(&format!("spec {spec}"), repeats, || {
+            parsed.build(shared.clone()).unwrap()
+        });
+    }
+}

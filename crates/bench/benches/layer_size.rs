@@ -1,54 +1,28 @@
-//! Criterion bench behind Figure 9: lookup latency by Shift-Table layer size.
+//! Bench behind Figure 9: lookup latency by Shift-Table layer size.
+//!
+//! Self-contained harness (no criterion): run with
+//! `cargo bench -p shift-bench --bench layer_size`.
 
 use algo_index::RangeIndex;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use learned_index::prelude::*;
+use shift_bench::prelude::*;
 use shift_table::prelude::*;
 use sosd_data::prelude::*;
 
-fn bench_layer_size(c: &mut Criterion) {
+fn main() {
     let d: Dataset<u64> = SosdName::Osmc64.generate(1_000_000, 42);
-    let keys = d.as_slice();
-    let w = Workload::uniform_keys(&d, 4096, 9);
-    let queries = w.queries().to_vec();
-    let mut group = c.benchmark_group("figure9_layer_size_osmc64");
+    let shared = d.to_shared();
+    let w = Workload::uniform_keys(&d, 100_000, 9);
+    println!("== figure9_layer_size_osmc64 ({} keys) ==", d.len());
 
-    let configs: Vec<(String, CorrectedIndex<'_, u64, InterpolationModel>)> = {
-        let mut v = Vec::new();
-        v.push((
-            "R-1".to_string(),
-            CorrectedIndex::builder(keys, InterpolationModel::build(&d))
-                .with_range_table()
-                .build(),
-        ));
-        for x in [1usize, 10, 100, 1000] {
-            v.push((
-                format!("S-{x}"),
-                CorrectedIndex::builder(keys, InterpolationModel::build(&d))
-                    .with_compact_table(x)
-                    .build(),
-            ));
-        }
-        v.push((
-            "without".to_string(),
-            CorrectedIndex::builder(keys, InterpolationModel::build(&d))
-                .without_correction()
-                .build(),
-        ));
-        v
-    };
-    for (label, index) in &configs {
-        group.bench_with_input(BenchmarkId::new(label, 1_000_000), &1, |b, _| {
-            let mut i = 0;
-            b.iter(|| {
-                let q = queries[i % queries.len()];
-                i += 1;
-                black_box(index.lower_bound(black_box(q)))
-            })
-        });
+    for layer in ["r1", "s1", "s10", "s100", "s1000", "none"] {
+        let spec = IndexSpec::parse(&format!("im+{layer}")).unwrap();
+        let index = spec.build_corrected(shared.clone()).unwrap();
+        let (ns, _) = measure_lookups(w.queries(), |q| index.lower_bound(q));
+        let (batch_ns, _) =
+            measure_lookups_batched(w.queries(), |qs, out| index.lower_bound_batch(qs, out));
+        println!(
+            "im+{layer:<6} {ns:>8.1} ns/lookup   batched {batch_ns:>8.1} ns/lookup   layer {:>10} B",
+            index.layer().size_bytes()
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_layer_size);
-criterion_main!(benches);

@@ -1,17 +1,20 @@
-//! Criterion bench behind Figure 2: bounded/unbounded last-mile search cost
-//! as a function of the prediction error Δ.
+//! Bench behind Figure 2: bounded/unbounded last-mile search cost as a
+//! function of the prediction error Δ.
+//!
+//! Self-contained harness (no criterion): run with
+//! `cargo bench -p shift-bench --bench local_search_cost`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use shift_bench::prelude::*;
 use shift_table::local_search::{binary_in_window, exponential_around, linear_in_window};
 use sosd_data::rng::Xoshiro256;
 
-fn bench_local_search(c: &mut Criterion) {
+fn main() {
     let n = 2_000_000usize;
     let keys: Vec<u64> = (0..n as u64).map(|i| i * 7 + 3).collect();
     let mut rng = Xoshiro256::new(42);
-    let mut group = c.benchmark_group("figure2_local_search");
+    println!("== figure2_local_search (n = {n}) ==");
     for delta in [1usize, 100, 10_000, 1_000_000] {
-        let samples: Vec<(usize, u64)> = (0..4096)
+        let samples: Vec<(usize, u64)> = (0..100_000)
             .map(|_| {
                 let target = rng.next_below(n as u64) as usize;
                 let predicted = target.saturating_sub(delta.min(target));
@@ -19,35 +22,14 @@ fn bench_local_search(c: &mut Criterion) {
             })
             .collect();
         let window = 2 * delta;
-        group.bench_with_input(BenchmarkId::new("binary", delta), &delta, |b, _| {
-            let mut i = 0;
-            b.iter(|| {
-                let (p, q) = samples[i % samples.len()];
-                i += 1;
-                black_box(binary_in_window(&keys, p, window, q))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("exponential", delta), &delta, |b, _| {
-            let mut i = 0;
-            b.iter(|| {
-                let (p, q) = samples[i % samples.len()];
-                i += 1;
-                black_box(exponential_around(&keys, p, q))
-            })
-        });
+        let (bin_ns, _) = measure_lookups(&samples, |(p, q)| binary_in_window(&keys, p, window, q));
+        let (exp_ns, _) = measure_lookups(&samples, |(p, q)| exponential_around(&keys, p, q));
+        print!("delta {delta:>9}: binary {bin_ns:>7.1} ns  exponential {exp_ns:>7.1} ns");
         if delta <= 100 {
-            group.bench_with_input(BenchmarkId::new("linear", delta), &delta, |b, _| {
-                let mut i = 0;
-                b.iter(|| {
-                    let (p, q) = samples[i % samples.len()];
-                    i += 1;
-                    black_box(linear_in_window(&keys, p, window, q))
-                })
-            });
+            let (lin_ns, _) =
+                measure_lookups(&samples, |(p, q)| linear_in_window(&keys, p, window, q));
+            print!("  linear {lin_ns:>7.1} ns");
         }
+        println!();
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_local_search);
-criterion_main!(benches);

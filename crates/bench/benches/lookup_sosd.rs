@@ -1,55 +1,53 @@
-//! Criterion bench behind Table 2: lookup latency of the main competitors on
-//! one easy (uden64) and one hard (osmc64) dataset.
+//! Bench behind Table 2: lookup latency of the main competitors on one easy
+//! (uden64) and one hard (osmc64) dataset, plus the scalar-vs-batched query
+//! path of the spec-driven indexes.
+//!
+//! Self-contained harness (no criterion): run with
+//! `cargo bench -p shift-bench --bench lookup_sosd`.
 
 use algo_index::prelude::*;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use learned_index::prelude::*;
+use shift_bench::prelude::*;
 use shift_table::prelude::*;
 use sosd_data::prelude::*;
 
-fn bench_lookup(c: &mut Criterion) {
+fn main() {
     let n = 1_000_000usize;
     for name in [SosdName::Uden64, SosdName::Osmc64] {
         let d: Dataset<u64> = name.generate(n, 42);
         let keys = d.as_slice();
-        let w = Workload::uniform_keys(&d, 4096, 7);
-        let queries = w.queries().to_vec();
-        let mut group = c.benchmark_group(format!("table2_{name}"));
+        let shared = d.to_shared();
+        let w = Workload::uniform_keys(&d, 100_000, 7);
+        println!("== table2_{name} ({n} keys, {} lookups) ==", w.len());
 
         let bs = BinarySearchIndex::new(keys);
         let bt = BPlusTree::new(keys);
         let fastt = FastTree::new(keys);
-        let im = CorrectedIndex::builder(keys, InterpolationModel::build(&d))
-            .without_correction()
-            .build();
-        let im_st = CorrectedIndex::builder(keys, InterpolationModel::build(&d))
-            .with_range_table()
-            .build();
-        let rs = CorrectedIndex::builder(keys, RadixSpline::builder().max_error(32).build(&d))
-            .without_correction()
-            .build();
+        let learned: Vec<(&str, DynRangeIndex<u64>)> = ["im+none", "im+r1", "rs:32+none"]
+            .iter()
+            .map(|s| {
+                (
+                    *s,
+                    IndexSpec::parse(s).unwrap().build(shared.clone()).unwrap(),
+                )
+            })
+            .collect();
 
-        let contenders: Vec<(&str, &dyn RangeIndex<u64>)> = vec![
-            ("BS", &bs),
-            ("B+tree", &bt),
-            ("FAST", &fastt),
-            ("IM", &im),
-            ("IM+ShiftTable", &im_st),
-            ("RS", &rs),
-        ];
-        for (label, index) in contenders {
-            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
-                let mut i = 0;
-                b.iter(|| {
-                    let q = queries[i % queries.len()];
-                    i += 1;
-                    black_box(index.lower_bound(black_box(q)))
-                })
-            });
+        let mut contenders: Vec<(&str, &dyn RangeIndex<u64>)> =
+            vec![("BS", &bs), ("B+tree", &bt), ("FAST", &fastt)];
+        for (label, index) in &learned {
+            contenders.push((label, index));
         }
-        group.finish();
+
+        for (label, index) in &contenders {
+            let (scalar_ns, checksum) = measure_lookups(w.queries(), |q| index.lower_bound(q));
+            let (batch_ns, batch_checksum) =
+                measure_lookups_batched(w.queries(), |qs, out| index.lower_bound_batch(qs, out));
+            assert_eq!(checksum, batch_checksum, "{label}: batch disagrees");
+            println!(
+                "{label:<12} {scalar_ns:>8.1} ns/lookup   batched {batch_ns:>8.1} ns/lookup ({:+5.1}%)",
+                (batch_ns / scalar_ns - 1.0) * 100.0
+            );
+        }
+        println!();
     }
 }
-
-criterion_group!(benches, bench_lookup);
-criterion_main!(benches);

@@ -18,7 +18,11 @@ fn main() {
         &'static str,
     );
     let all: &[Experiment] = &[
-        ("Figure 2", experiments::figure2::run, "figure2_local_search"),
+        (
+            "Figure 2",
+            experiments::figure2::run,
+            "figure2_local_search",
+        ),
         ("Figure 3", experiments::figure3::run, "figure3_cdf"),
         ("Table 2", experiments::table2::run, "table2_sosd"),
         ("Figure 6", experiments::figure6::run, "figure6_error"),
@@ -32,5 +36,8 @@ fn main() {
         experiments::emit(&run(cfg), stem);
         println!("[{name} done in {:.1} s]\n", t.elapsed().as_secs_f64());
     }
-    println!("All experiments finished in {:.1} s", start.elapsed().as_secs_f64());
+    println!(
+        "All experiments finished in {:.1} s",
+        start.elapsed().as_secs_f64()
+    );
 }

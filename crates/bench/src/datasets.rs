@@ -2,12 +2,11 @@
 //!
 //! Generating a multi-million-key dataset takes longer than measuring it, so
 //! the harness caches generated datasets per (name, size, seed) behind a
-//! `parking_lot` mutex and shares them between experiments via `Arc`.
+//! mutex and shares them between experiments via `Arc`.
 
-use parking_lot::Mutex;
 use sosd_data::prelude::*;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Scale parameters shared by every experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +57,9 @@ impl BenchConfig {
 }
 
 fn read_env(name: &str) -> Option<u64> {
-    std::env::var(name).ok().and_then(|v| v.replace('_', "").parse().ok())
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.replace('_', "").parse().ok())
 }
 
 type CacheKey = (SosdName, usize, u64);
@@ -68,7 +69,7 @@ static CACHE_U32: Mutex<Option<HashMap<CacheKey, Arc<Dataset<u32>>>>> = Mutex::n
 
 /// Fetch (or generate and cache) a dataset with 64-bit physical keys.
 pub fn dataset_u64(name: SosdName, cfg: BenchConfig) -> Arc<Dataset<u64>> {
-    let mut guard = CACHE_U64.lock();
+    let mut guard = CACHE_U64.lock().expect("dataset cache poisoned");
     let map = guard.get_or_insert_with(HashMap::new);
     map.entry((name, cfg.keys, cfg.seed))
         .or_insert_with(|| Arc::new(name.generate(cfg.keys, cfg.seed)))
@@ -77,7 +78,7 @@ pub fn dataset_u64(name: SosdName, cfg: BenchConfig) -> Arc<Dataset<u64>> {
 
 /// Fetch (or generate and cache) a dataset with 32-bit physical keys.
 pub fn dataset_u32(name: SosdName, cfg: BenchConfig) -> Arc<Dataset<u32>> {
-    let mut guard = CACHE_U32.lock();
+    let mut guard = CACHE_U32.lock().expect("dataset cache poisoned");
     let map = guard.get_or_insert_with(HashMap::new);
     map.entry((name, cfg.keys, cfg.seed))
         .or_insert_with(|| Arc::new(name.generate(cfg.keys, cfg.seed)))
@@ -86,8 +87,8 @@ pub fn dataset_u32(name: SosdName, cfg: BenchConfig) -> Arc<Dataset<u32>> {
 
 /// Drop all cached datasets (used to bound memory in long `run_all` runs).
 pub fn clear_cache() {
-    *CACHE_U64.lock() = None;
-    *CACHE_U32.lock() = None;
+    *CACHE_U64.lock().expect("dataset cache poisoned") = None;
+    *CACHE_U32.lock().expect("dataset cache poisoned") = None;
 }
 
 #[cfg(test)]

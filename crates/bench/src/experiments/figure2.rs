@@ -107,7 +107,10 @@ pub fn run(cfg: BenchConfig) -> Vec<Table> {
             format!("{:.1}", (window as f64).log2().max(1.0)),
             format!("{:.1}", 2.0 * (delta as f64).log2().max(1.0)),
             format!("{:.1}", ProbeCounter::binary_search(n)),
-            format!("{:.1}", ProbeCounter::tree(fast.height(), fast.leaf_block())),
+            format!(
+                "{:.1}",
+                ProbeCounter::tree(fast.height(), fast.leaf_block())
+            ),
         ]);
     }
 

@@ -27,7 +27,12 @@ pub fn run(cfg: BenchConfig) -> Vec<Table> {
 
     let mut summary = Table::new(
         "Figure 6 — average prediction error on osmc64 (records)",
-        &["configuration", "mean_abs_error", "median_abs_error", "max_abs_error"],
+        &[
+            "configuration",
+            "mean_abs_error",
+            "median_abs_error",
+            "max_abs_error",
+        ],
     );
     summary.add_row(vec![
         "linear model (IM)".into(),
@@ -51,10 +56,10 @@ pub fn run(cfg: BenchConfig) -> Vec<Table> {
     );
     let keys = d.as_slice();
     for (pos, corrected_err) in series.iter().step_by(step) {
-        let model_err =
-            (learned_index::CdfModel::<u64>::predict_clamped(&model, keys[*pos]) as i64
-                - *pos as i64)
-                .unsigned_abs();
+        let model_err = (learned_index::CdfModel::<u64>::predict_clamped(&model, keys[*pos])
+            as i64
+            - *pos as i64)
+            .unsigned_abs();
         curve.add_row(vec![
             pos.to_string(),
             model_err.to_string(),

@@ -72,19 +72,17 @@ fn log2_error_of_model<M: CdfModel<u64>>(model: &M, d: &Dataset<u64>) -> f64 {
 }
 
 fn sweep_radix_spline(d: &Dataset<u64>, w: &Workload<u64>, out: &mut Vec<SweepPoint>) {
+    let shared = d.to_shared();
     for max_error in [8usize, 32, 128, 512, 2048] {
-        let (_, rs) = measure_build(|| RadixSpline::builder().max_error(max_error).build(d));
-        let log2 = log2_error_of_model(&rs, d);
-        let size = CdfModel::<u64>::size_bytes(&rs);
-        let index = CorrectedIndex::builder(d.as_slice(), rs)
-            .without_correction()
-            .build();
-        let (ns, _) = measure_lookups(w.queries(), |q| index.lower_bound(q));
+        let spec = IndexSpec::parse(&format!("rs:{max_error}+none")).unwrap();
+        let (_, index) =
+            measure_build(|| spec.build_corrected(shared.clone()).expect("sorted keys"));
+        let log2 = log2_error_of_model(index.model(), d);
         out.push(SweepPoint {
             index: "RS",
             parameter: format!("eps={max_error}"),
-            size_bytes: size,
-            lookup_ns: ns,
+            size_bytes: index.model().size_bytes(),
+            lookup_ns: measure_lookups(w.queries(), |q| index.lower_bound(q)).0,
             mean_log2_error: log2,
             probes: ProbeCounter::learned(1.0, (max_error as f64).max(1.0)),
         });
@@ -92,23 +90,21 @@ fn sweep_radix_spline(d: &Dataset<u64>, w: &Workload<u64>, out: &mut Vec<SweepPo
 }
 
 fn sweep_rmi(d: &Dataset<u64>, w: &Workload<u64>, out: &mut Vec<SweepPoint>) {
+    let shared = d.to_shared();
     for leaves in [256usize, 4_096, 65_536, 524_288] {
         if leaves > d.len() {
             continue;
         }
-        let (_, rmi) = measure_build(|| RmiIndex::builder().leaf_count(leaves).build(d));
-        let log2 = log2_error_of_model(&rmi, d);
-        let size = CdfModel::<u64>::size_bytes(&rmi);
-        let err = ModelErrorStats::compute(&rmi, d).mean_abs;
-        let index = CorrectedIndex::builder(d.as_slice(), rmi)
-            .without_correction()
-            .build();
-        let (ns, _) = measure_lookups(w.queries(), |q| index.lower_bound(q));
+        let spec = IndexSpec::parse(&format!("rmi:{leaves}+none")).unwrap();
+        let (_, index) =
+            measure_build(|| spec.build_corrected(shared.clone()).expect("sorted keys"));
+        let log2 = log2_error_of_model(index.model(), d);
+        let err = ModelErrorStats::compute(index.model(), d).mean_abs;
         out.push(SweepPoint {
             index: "RMI",
             parameter: format!("leaves={leaves}"),
-            size_bytes: size,
-            lookup_ns: ns,
+            size_bytes: index.model().size_bytes(),
+            lookup_ns: measure_lookups(w.queries(), |q| index.lower_bound(q)).0,
             mean_log2_error: log2,
             probes: ProbeCounter::learned(1.0, err),
         });
@@ -147,36 +143,22 @@ fn sweep_rbs(d: &Dataset<u64>, w: &Workload<u64>, out: &mut Vec<SweepPoint>) {
 }
 
 fn sweep_shift_table(d: &Dataset<u64>, w: &Workload<u64>, out: &mut Vec<SweepPoint>) {
-    // IM + Shift-Table across layer sizes: R-1 plus the S-X ladder.
-    let model = InterpolationModel::build(d);
-    {
-        let (_, index) = measure_build(|| {
-            CorrectedIndex::builder(d.as_slice(), model.clone())
-                .with_range_table()
-                .build()
-        });
+    // IM + Shift-Table across layer sizes: R-1 plus the S-X ladder, each
+    // configuration named by its layer spec.
+    let shared = d.to_shared();
+    for layer in ["r1", "s1", "s10", "s100", "s1000"] {
+        let spec = IndexSpec::parse(&format!("im+{layer}")).unwrap();
+        let (_, index) =
+            measure_build(|| spec.build_corrected(shared.clone()).expect("sorted keys"));
         let (ns, _) = measure_lookups(w.queries(), |q| index.lower_bound(q));
         let err = index.correction_error();
         out.push(SweepPoint {
             index: "IM+Shift-Table",
-            parameter: "R-1".to_string(),
-            size_bytes: index.index_size_bytes(),
-            lookup_ns: ns,
-            mean_log2_error: err.mean_log2,
-            probes: ProbeCounter::corrected(0.0, err.mean_abs.max(1.0)),
-        });
-    }
-    for x in [1usize, 10, 100, 1_000] {
-        let (_, index) = measure_build(|| {
-            CorrectedIndex::builder(d.as_slice(), model.clone())
-                .with_compact_table(x)
-                .build()
-        });
-        let (ns, _) = measure_lookups(w.queries(), |q| index.lower_bound(q));
-        let err = index.correction_error();
-        out.push(SweepPoint {
-            index: "IM+Shift-Table",
-            parameter: format!("S-{x}"),
+            parameter: if layer == "r1" {
+                "R-1".to_string()
+            } else {
+                format!("S-{}", &layer[1..])
+            },
             size_bytes: index.index_size_bytes(),
             lookup_ns: ns,
             mean_log2_error: err.mean_log2,

@@ -10,7 +10,6 @@ use crate::datasets::{dataset_u32, dataset_u64, BenchConfig};
 use crate::report::{fmt_ns, Table};
 use crate::timer::measure_lookups;
 use algo_index::RangeIndex;
-use learned_index::prelude::*;
 use shift_table::prelude::*;
 use sosd_data::prelude::*;
 
@@ -58,20 +57,24 @@ impl LayerConfig {
             Self::Without => "Without Shift-Table".to_string(),
         }
     }
+
+    /// The layer half of the IM index spec this configuration maps to.
+    pub fn layer_spec(self) -> String {
+        match self {
+            Self::R1 => "r1".to_string(),
+            Self::S(x) => format!("s{x}"),
+            Self::Without => "none".to_string(),
+        }
+    }
 }
 
 fn measure_config<K: Key>(
-    d: &Dataset<K>,
+    shared: &std::sync::Arc<[K]>,
     w: &Workload<K>,
     config: LayerConfig,
 ) -> (f64, f64) {
-    let model = InterpolationModel::build(d);
-    let builder = CorrectedIndex::builder(d.as_slice(), model);
-    let index = match config {
-        LayerConfig::R1 => builder.with_range_table().build(),
-        LayerConfig::S(x) => builder.with_compact_table(x).build(),
-        LayerConfig::Without => builder.without_correction().build(),
-    };
+    let spec = IndexSpec::parse(&format!("im+{}", config.layer_spec())).unwrap();
+    let index = spec.build_corrected(shared.clone()).expect("sorted keys");
     let (ns, _) = measure_lookups(w.queries(), |q| index.lower_bound(q));
     let err = index.correction_error().mean_abs;
     (ns, err)
@@ -81,29 +84,37 @@ fn measure_config<K: Key>(
 pub fn run_subset(cfg: BenchConfig, datasets: &[SosdName]) -> Vec<Table> {
     let mut latency = Table::new(
         "Figure 9a — lookup time (ns) by Shift-Table layer size (IM model)",
-        &["dataset", "R-1", "S-1", "S-10", "S-100", "S-1000", "without"],
+        &[
+            "dataset", "R-1", "S-1", "S-10", "S-100", "S-1000", "without",
+        ],
     );
     let mut error = Table::new(
         "Figure 9b — average prediction error (records) by Shift-Table layer size (IM model)",
-        &["dataset", "R-1", "S-1", "S-10", "S-100", "S-1000", "without"],
+        &[
+            "dataset", "R-1", "S-1", "S-10", "S-100", "S-1000", "without",
+        ],
     );
 
     for &name in datasets {
         let mut ns_cells = vec![name.to_string()];
         let mut err_cells = vec![name.to_string()];
+        // One shared copy of the key column per dataset; each configuration
+        // clones the Arc, not the keys.
         if name.bits() == 32 {
             let d = dataset_u32(name, cfg);
             let w = Workload::uniform_keys(&d, cfg.queries, cfg.seed ^ 0x99);
+            let shared = d.to_shared();
             for config in LayerConfig::all() {
-                let (ns, err) = measure_config(&d, &w, config);
+                let (ns, err) = measure_config(&shared, &w, config);
                 ns_cells.push(fmt_ns(ns));
                 err_cells.push(format!("{err:.1}"));
             }
         } else {
             let d = dataset_u64(name, cfg);
             let w = Workload::uniform_keys(&d, cfg.queries, cfg.seed ^ 0x99);
+            let shared = d.to_shared();
             for config in LayerConfig::all() {
-                let (ns, err) = measure_config(&d, &w, config);
+                let (ns, err) = measure_config(&shared, &w, config);
                 ns_cells.push(fmt_ns(ns));
                 err_cells.push(format!("{err:.1}"));
             }
@@ -138,9 +149,10 @@ mod tests {
         let cfg = BenchConfig::smoke();
         let d = dataset_u64(SosdName::Osmc64, cfg);
         let w = Workload::uniform_keys(&d, 1_000, 5);
-        let (_, e1) = measure_config(&d, &w, LayerConfig::S(1));
-        let (_, e1000) = measure_config(&d, &w, LayerConfig::S(1000));
-        let (_, e_without) = measure_config(&d, &w, LayerConfig::Without);
+        let shared = d.to_shared();
+        let (_, e1) = measure_config(&shared, &w, LayerConfig::S(1));
+        let (_, e1000) = measure_config(&shared, &w, LayerConfig::S(1000));
+        let (_, e_without) = measure_config(&shared, &w, LayerConfig::Without);
         assert!(e1 <= e1000);
         assert!(e1000 <= e_without);
     }

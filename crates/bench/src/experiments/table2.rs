@@ -57,7 +57,10 @@ pub fn run_subset(cfg: BenchConfig, datasets: &[SosdName]) -> Vec<Table> {
         table.add_row(row);
 
         let ns_of = |c: Competitor| -> Option<f64> {
-            results.iter().find(|r| r.competitor == c).and_then(|r| r.lookup_ns)
+            results
+                .iter()
+                .find(|r| r.competitor == c)
+                .and_then(|r| r.lookup_ns)
         };
         if let (Some(st), Some(rmi), Some(rs)) = (
             ns_of(Competitor::ImShiftTable),

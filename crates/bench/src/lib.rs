@@ -8,8 +8,9 @@
 //!   the rows/series the paper reports and write CSVs under
 //!   `target/experiments/`,
 //! * the `run_all` binary that executes every experiment in sequence,
-//! * the Criterion benches in `benches/`, which sample the same
-//!   configurations through `cargo bench`.
+//! * the self-contained benches in `benches/` (`harness = false`), which
+//!   sample the same configurations through `cargo bench` using the
+//!   [`timer`] measurement loops.
 //!
 //! Scale is controlled by environment variables so the same code runs on a
 //! laptop (default 2M keys) or at the paper's 200M-key scale:
@@ -42,5 +43,5 @@ pub mod prelude {
     pub use crate::memlat;
     pub use crate::report::{experiments_dir, Table};
     pub use crate::suites::{self, Competitor, MeasuredResult};
-    pub use crate::timer::{measure_build, measure_lookups};
+    pub use crate::timer::{measure_build, measure_lookups, measure_lookups_batched};
 }

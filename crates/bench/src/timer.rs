@@ -16,10 +16,7 @@ pub const DEFAULT_REPEATS: usize = 3;
 /// Returns `(ns_per_lookup, checksum)`; the checksum is the sum of all
 /// returned positions and is also fed through [`black_box`] so the compiler
 /// cannot remove the loop.
-pub fn measure_lookups<Q: Copy, F: FnMut(Q) -> usize>(
-    queries: &[Q],
-    mut lookup: F,
-) -> (f64, u64) {
+pub fn measure_lookups<Q: Copy, F: FnMut(Q) -> usize>(queries: &[Q], mut lookup: F) -> (f64, u64) {
     measure_lookups_with_repeats(queries, DEFAULT_REPEATS, &mut lookup)
 }
 
@@ -42,6 +39,31 @@ pub fn measure_lookups_with_repeats<Q: Copy, F: FnMut(Q) -> usize>(
         }
         let elapsed = start.elapsed();
         checksum = local;
+        times.push(elapsed.as_nanos() as f64 / queries.len() as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[times.len() / 2], black_box(checksum))
+}
+
+/// Measure the median nanoseconds per query of a *batched* lookup routine:
+/// `batch(queries, out)` resolves every query in one call (e.g.
+/// `RangeIndex::lower_bound_batch`). Returns `(ns_per_lookup, checksum)`
+/// where the checksum sums all returned positions.
+pub fn measure_lookups_batched<Q: Copy, F: FnMut(&[Q], &mut [usize])>(
+    queries: &[Q],
+    mut batch: F,
+) -> (f64, u64) {
+    if queries.is_empty() {
+        return (0.0, 0);
+    }
+    let mut out = vec![0usize; queries.len()];
+    let mut times = Vec::with_capacity(DEFAULT_REPEATS);
+    let mut checksum = 0u64;
+    for _ in 0..DEFAULT_REPEATS {
+        let start = Instant::now();
+        batch(black_box(queries), black_box(&mut out));
+        let elapsed = start.elapsed();
+        checksum = out.iter().map(|&p| p as u64).fold(0u64, u64::wrapping_add);
         times.push(elapsed.as_nanos() as f64 / queries.len() as f64);
     }
     times.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -102,6 +124,19 @@ mod tests {
             acc as usize
         });
         assert!(slow > fast, "slow {slow} should exceed fast {fast}");
+    }
+
+    #[test]
+    fn batched_checksum_matches_scalar_checksum() {
+        let queries: Vec<u64> = (0..500).collect();
+        let (_, scalar) = measure_lookups(&queries, |q| (q * 3) as usize);
+        let (_, batched) = measure_lookups_batched(&queries, |qs, out| {
+            for (o, &q) in out.iter_mut().zip(qs.iter()) {
+                *o = (q * 3) as usize;
+            }
+        });
+        assert_eq!(scalar, batched);
+        assert_eq!(measure_lookups_batched::<u64, _>(&[], |_, _| ()), (0.0, 0));
     }
 
     #[test]

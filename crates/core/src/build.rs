@@ -2,7 +2,7 @@
 //!
 //! The sequential builder is a single pass over the sorted keys plus a
 //! backward pass over the layer (the paper's `O(N · F_θ + M)` complexity).
-//! A crossbeam-based parallel builder splits the key array into contiguous
+//! A scoped-thread parallel builder splits the key array into contiguous
 //! chunks — valid because for a monotone model the predictions of a sorted
 //! chunk cover a contiguous range of partitions, so per-chunk partial layers
 //! can be merged with `min`/`sum` at the seams (the parallelisation the paper
@@ -78,9 +78,9 @@ fn fill_empty_partitions(entries: &mut [ShiftEntry], n: usize) {
     }
 }
 
-/// Parallel variant of [`compute_range_entries`] using `threads` worker
-/// threads (crossbeam scoped threads). Falls back to the sequential builder
-/// for non-monotonic models, tiny inputs or `threads <= 1`.
+/// Parallel variant of [`compute_range_entries`] using `threads` scoped
+/// worker threads. Falls back to the sequential builder for non-monotonic
+/// models, tiny inputs or `threads <= 1`.
 pub(crate) fn compute_range_entries_parallel<K: Key, M: CdfModel<K> + Sync + ?Sized>(
     model: &M,
     keys: &[K],
@@ -107,11 +107,11 @@ pub(crate) fn compute_range_entries_parallel<K: Key, M: CdfModel<K> + Sync + ?Si
     // Each worker fills its own partial layer; partials are merged with
     // min/sum which is associative, so seams are handled for free.
     let mut partials: Vec<Vec<ShiftEntry>> = Vec::with_capacity(bounds.len() - 1);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for w in bounds.windows(2) {
             let (lo, hi) = (w[0], w[1]);
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = vec![ShiftEntry::new(UNSET, 0); n];
                 accumulate_range(model, keys, lo, hi, &mut local);
                 local
@@ -120,8 +120,7 @@ pub(crate) fn compute_range_entries_parallel<K: Key, M: CdfModel<K> + Sync + ?Si
         for h in handles {
             partials.push(h.join().expect("shift-table build worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut entries = vec![ShiftEntry::new(UNSET, 0); n];
     for partial in partials {

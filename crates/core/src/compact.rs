@@ -216,8 +216,7 @@ mod tests {
         // Figure 6's qualitative claim on OSM-like data.
         let d: Dataset<u64> = SosdName::Osmc64.generate(100_000, 1);
         let model = InterpolationModel::build(&d);
-        let uncorrected =
-            learned_index::ModelErrorStats::compute(&model, &d).mean_abs;
+        let uncorrected = learned_index::ModelErrorStats::compute(&model, &d).mean_abs;
         let table = CompactShiftTable::build(&model, d.as_slice(), 1);
         let corrected = mean_corrected_error(&table, &model, &d);
         assert!(
@@ -239,7 +238,10 @@ mod tests {
         let e1 = mean_corrected_error(&s1, &model, &d);
         let e100 = mean_corrected_error(&s100, &model, &d);
         let e1000 = mean_corrected_error(&s1000, &model, &d);
-        assert!(e1 <= e100, "S-1 ({e1}) should not be worse than S-100 ({e100})");
+        assert!(
+            e1 <= e100,
+            "S-1 ({e1}) should not be worse than S-100 ({e100})"
+        );
         assert!(
             e100 <= e1000,
             "S-100 ({e100}) should not be worse than S-1000 ({e1000})"

@@ -242,9 +242,7 @@ mod tests {
     fn eq9_eq10_favour_the_layer_when_the_model_is_bad() {
         // Model with a large bias: without the layer every lookup searches a
         // huge area; with the layer every lookup searches its window only.
-        let entries: Vec<ShiftEntry> = (0..1_000)
-            .map(|_| ShiftEntry::new(-500_000, 2))
-            .collect();
+        let entries: Vec<ShiftEntry> = (0..1_000).map(|_| ShiftEntry::new(-500_000, 2)).collect();
         let table = ShiftTable::from_entries(entries, 1_000);
         let m = LatencyModel::default();
         let with = m.latency_with_layer(100.0, &table);
@@ -322,9 +320,18 @@ mod tests {
     #[test]
     fn local_search_choice_uses_the_threshold() {
         let advisor = TuningAdvisor::new();
-        assert_eq!(advisor.local_search_for_window(1), LocalSearchChoice::Linear);
-        assert_eq!(advisor.local_search_for_window(7), LocalSearchChoice::Linear);
-        assert_eq!(advisor.local_search_for_window(8), LocalSearchChoice::Binary);
+        assert_eq!(
+            advisor.local_search_for_window(1),
+            LocalSearchChoice::Linear
+        );
+        assert_eq!(
+            advisor.local_search_for_window(7),
+            LocalSearchChoice::Linear
+        );
+        assert_eq!(
+            advisor.local_search_for_window(8),
+            LocalSearchChoice::Binary
+        );
         assert_eq!(
             advisor.local_search_for_window(10_000),
             LocalSearchChoice::Binary

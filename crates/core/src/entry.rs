@@ -38,9 +38,7 @@ impl EntryStorage {
     /// Pack a vector of entries, choosing the narrowest lossless encoding.
     pub fn pack(entries: &[ShiftEntry]) -> Self {
         let narrow_ok = entries.iter().all(|e| {
-            e.delta >= i16::MIN as i64
-                && e.delta <= i16::MAX as i64
-                && e.count <= u16::MAX as u64
+            e.delta >= i16::MIN as i64 && e.delta <= i16::MAX as i64 && e.count <= u16::MAX as u64
         });
         if narrow_ok {
             Self::Narrow(
@@ -51,17 +49,10 @@ impl EntryStorage {
             )
         } else {
             debug_assert!(
-                entries
-                    .iter()
-                    .all(|e| e.count <= u32::MAX as u64),
+                entries.iter().all(|e| e.count <= u32::MAX as u64),
                 "window lengths beyond u32 are not supported"
             );
-            Self::Wide(
-                entries
-                    .iter()
-                    .map(|e| (e.delta, e.count as u32))
-                    .collect(),
-            )
+            Self::Wide(entries.iter().map(|e| (e.delta, e.count as u32)).collect())
         }
     }
 

@@ -10,6 +10,39 @@ use crate::correction::Correction;
 use learned_index::model::CdfModel;
 use sosd_data::key::Key;
 
+/// Why an index could not be built.
+///
+/// Construction validates its input instead of `debug_assert!`-ing it: feeding
+/// unsorted keys to a release build used to silently produce a wrong index,
+/// now it is a hard error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The key column is not sorted in non-decreasing order.
+    UnsortedKeys {
+        /// Index of the first key that is smaller than its predecessor.
+        position: usize,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnsortedKeys { position } => write!(
+                f,
+                "keys are not sorted: keys[{position}] is smaller than keys[{}]",
+                position - 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Locate the first out-of-order position in `keys`, if any.
+pub(crate) fn first_unsorted<K: Key>(keys: &[K]) -> Option<usize> {
+    keys.windows(2).position(|w| w[0] > w[1]).map(|i| i + 1)
+}
+
 /// Empirical error statistics of corrected predictions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CorrectionErrorStats {
@@ -204,6 +237,17 @@ mod tests {
         assert_eq!(stats.count, 0);
         assert_eq!(stats.mean_abs, 0.0);
         assert!(CorrectionErrorStats::error_series(&model, &table, &keys).is_empty());
+    }
+
+    #[test]
+    fn build_error_reports_the_offending_position() {
+        assert_eq!(super::first_unsorted(&[1u64, 2, 3]), None);
+        assert_eq!(super::first_unsorted(&[3u64, 2, 3]), Some(1));
+        assert_eq!(super::first_unsorted(&[1u64, 1, 0]), Some(2));
+        assert_eq!(super::first_unsorted::<u64>(&[]), None);
+        let e = BuildError::UnsortedKeys { position: 7 };
+        assert!(e.to_string().contains("keys[7]"));
+        assert!(e.to_string().contains("keys[6]"));
     }
 
     #[test]

@@ -1,18 +1,34 @@
 //! [`CorrectedIndex`]: a complete range index assembled from a learned CDF
 //! model, an optional Shift-Table layer and the last-mile search routines —
 //! the query path of Algorithm 1.
+//!
+//! The index is generic over its key storage `S: AsRef<[K]>`:
+//!
+//! * the default `Arc<[K]>` makes the index **owned** — `'static`, `Send`
+//!   and `Sync`, shareable across threads and buildable from a config at run
+//!   time (see [`crate::spec::IndexSpec`]),
+//! * a borrowed `&[K]` keeps the zero-copy construction path that the
+//!   benchmark harness uses to build many indexes over one key column.
 
 use crate::compact::CompactShiftTable;
 use crate::config::ShiftTableConfig;
-use crate::correction::Correction;
+use crate::correction::{Correction, SearchHint};
 use crate::cost::{TuningAdvisor, TuningDecision};
-use crate::error::CorrectionErrorStats;
+use crate::error::{first_unsorted, BuildError, CorrectionErrorStats};
 use crate::local_search::{binary_in_window, exponential_around, linear_in_window};
 use crate::table::ShiftTable;
 use algo_index::search::RangeIndex;
 use learned_index::model::CdfModel;
 use learned_index::ModelErrorStats;
 use sosd_data::key::Key;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Queries per amortization block in [`RangeIndex::lower_bound_batch`]: the
+/// model-prediction, layer-lookup and local-search stages each run as a tight
+/// loop over one block, so stage state stays in registers/L1 while the block's
+/// layer entries are fetched together.
+const BATCH_BLOCK: usize = 64;
 
 /// Which correction layer (if any) the index carries.
 #[derive(Debug, Clone)]
@@ -42,45 +58,47 @@ impl CorrectionLayer {
     }
 }
 
-/// Builder for [`CorrectedIndex`].
-pub struct CorrectedIndexBuilder<'a, K: Key, M: CdfModel<K>> {
-    keys: &'a [K],
+/// Builder for [`CorrectedIndex`], generic over the key storage `S`.
+pub struct CorrectedIndexBuilder<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync> {
+    keys: S,
     model: M,
-    layer: LayerSpec,
+    layer: LayerChoice,
     config: ShiftTableConfig,
     build_threads: usize,
+    _key: PhantomData<fn(K) -> K>,
 }
 
 /// Which layer the builder should construct.
-enum LayerSpec {
+enum LayerChoice {
     None,
     Range,
     Midpoint { records_per_entry: usize },
     Auto,
 }
 
-impl<'a, K: Key, M: CdfModel<K>> CorrectedIndexBuilder<'a, K, M> {
-    fn new(keys: &'a [K], model: M) -> Self {
+impl<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync> CorrectedIndexBuilder<K, M, S> {
+    fn new(keys: S, model: M) -> Self {
         Self {
             keys,
             model,
-            layer: LayerSpec::None,
+            layer: LayerChoice::None,
             config: ShiftTableConfig::default(),
             build_threads: 1,
+            _key: PhantomData,
         }
     }
 
     /// Attach a full-resolution `<Δ, C>` range layer (the paper's R-1 and the
     /// recommended default, §3.9).
     pub fn with_range_table(mut self) -> Self {
-        self.layer = LayerSpec::Range;
+        self.layer = LayerChoice::Range;
         self
     }
 
     /// Attach a compressed midpoint layer with one entry per
     /// `records_per_entry` records (the paper's S-X).
     pub fn with_compact_table(mut self, records_per_entry: usize) -> Self {
-        self.layer = LayerSpec::Midpoint {
+        self.layer = LayerChoice::Midpoint {
             records_per_entry: records_per_entry.max(1),
         };
         self
@@ -88,14 +106,14 @@ impl<'a, K: Key, M: CdfModel<K>> CorrectedIndexBuilder<'a, K, M> {
 
     /// Use the model alone (no correction layer).
     pub fn without_correction(mut self) -> Self {
-        self.layer = LayerSpec::None;
+        self.layer = LayerChoice::None;
         self
     }
 
     /// Let the §3.9 tuning procedure decide: build a range layer, compare the
     /// model error before/after and keep the layer only if it pays off.
     pub fn with_auto_tuning(mut self) -> Self {
-        self.layer = LayerSpec::Auto;
+        self.layer = LayerChoice::Auto;
         self
     }
 
@@ -105,25 +123,40 @@ impl<'a, K: Key, M: CdfModel<K>> CorrectedIndexBuilder<'a, K, M> {
         self
     }
 
-    /// Build the layer with this many crossbeam worker threads.
+    /// Build the layer with this many scoped worker threads.
     pub fn build_threads(mut self, threads: usize) -> Self {
         self.build_threads = threads.max(1);
         self
     }
 
-    /// Build the corrected index.
-    pub fn build(self) -> CorrectedIndex<'a, K, M> {
+    /// Build the corrected index, validating that the keys are sorted.
+    ///
+    /// # Errors
+    /// Returns [`BuildError::UnsortedKeys`] if the key column is not in
+    /// non-decreasing order (the layer invariants — and every query — would
+    /// be silently wrong otherwise).
+    pub fn build(self) -> Result<CorrectedIndex<K, M, S>, BuildError> {
+        if let Some(position) = first_unsorted(self.keys.as_ref()) {
+            return Err(BuildError::UnsortedKeys { position });
+        }
+        Ok(self.build_prevalidated())
+    }
+
+    /// Build without re-running the sortedness scan — for callers (e.g.
+    /// [`crate::spec::IndexSpec`]) that already validated the key column.
+    pub(crate) fn build_prevalidated(self) -> CorrectedIndex<K, M, S> {
+        let keys = self.keys.as_ref();
         let layer = match self.layer {
-            LayerSpec::None => CorrectionLayer::None,
-            LayerSpec::Range => {
-                CorrectionLayer::Range(self.build_range_table())
+            LayerChoice::None => CorrectionLayer::None,
+            LayerChoice::Range => {
+                CorrectionLayer::Range(build_range_table(&self.model, keys, self.build_threads))
             }
-            LayerSpec::Midpoint { records_per_entry } => CorrectionLayer::Midpoint(
-                CompactShiftTable::build(&self.model, self.keys, records_per_entry),
+            LayerChoice::Midpoint { records_per_entry } => CorrectionLayer::Midpoint(
+                CompactShiftTable::build(&self.model, keys, records_per_entry),
             ),
-            LayerSpec::Auto => {
-                let table = self.build_range_table();
-                let before = ModelErrorStats::compute(&self.model, &sosd_data::Dataset::from_sorted_keys("tmp", self.keys.to_vec())).mean_abs;
+            LayerChoice::Auto => {
+                let table = build_range_table(&self.model, keys, self.build_threads);
+                let before = ModelErrorStats::compute_on_keys(&self.model, keys).mean_abs;
                 let advisor = TuningAdvisor::with(Default::default(), self.config);
                 match advisor.decide(before, table.expected_error()) {
                     TuningDecision::ModelWithShiftTable => CorrectionLayer::Range(table),
@@ -137,39 +170,55 @@ impl<'a, K: Key, M: CdfModel<K>> CorrectedIndexBuilder<'a, K, M> {
             layer,
             enabled: true,
             config: self.config,
+            _key: PhantomData,
         }
     }
+}
 
-    fn build_range_table(&self) -> ShiftTable {
-        if self.build_threads > 1 && self.model.is_monotonic() {
-            // Parallel construction requires `M: Sync`; CdfModel already
-            // requires Send + Sync, so this is always available.
-            ShiftTable::build_parallel(&self.model, self.keys, self.build_threads)
-        } else {
-            ShiftTable::build(&self.model, self.keys)
-        }
+fn build_range_table<K: Key, M: CdfModel<K>>(model: &M, keys: &[K], threads: usize) -> ShiftTable {
+    if threads > 1 && model.is_monotonic() {
+        ShiftTable::build_parallel(model, keys, threads)
+    } else {
+        ShiftTable::build(model, keys)
     }
 }
 
 /// A learned range index with (optional) Shift-Table correction.
 ///
 /// Implements [`RangeIndex`], so it is directly comparable with every
-/// algorithmic baseline in the `algo-index` crate.
-pub struct CorrectedIndex<'a, K: Key, M: CdfModel<K>> {
-    keys: &'a [K],
+/// algorithmic baseline in the `algo-index` crate — and, with the default
+/// `Arc<[K]>` storage, is `'static + Send + Sync`, so it can be boxed into a
+/// [`algo_index::DynRangeIndex`] and shared across threads.
+pub struct CorrectedIndex<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync = Arc<[K]>> {
+    keys: S,
     model: M,
     layer: CorrectionLayer,
     /// §3.9: the layer is optional and can be switched off at run time with
     /// zero cost; when disabled the model's raw prediction is used.
     enabled: bool,
     config: ShiftTableConfig,
+    _key: PhantomData<fn(K) -> K>,
 }
 
-impl<'a, K: Key, M: CdfModel<K>> CorrectedIndex<'a, K, M> {
-    /// Start building a corrected index over `keys` (sorted) with `model`.
-    pub fn builder(keys: &'a [K], model: M) -> CorrectedIndexBuilder<'a, K, M> {
-        debug_assert!(keys.is_sorted());
+/// A corrected index borrowing its key column — the zero-copy construction
+/// path used when many indexes are built over one resident key array.
+pub type BorrowedCorrectedIndex<'a, K, M> = CorrectedIndex<K, M, &'a [K]>;
+
+impl<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync> CorrectedIndex<K, M, S> {
+    /// Start building a corrected index over sorted `keys` with `model`.
+    ///
+    /// `keys` may be any storage the index can read a sorted slice from: a
+    /// borrowed `&[K]` (zero copy, index borrows), `Arc<[K]>` / `Vec<K>`
+    /// (owned, `'static` index). Sortedness is validated by
+    /// [`CorrectedIndexBuilder::build`].
+    pub fn builder(keys: S, model: M) -> CorrectedIndexBuilder<K, M, S> {
         CorrectedIndexBuilder::new(keys, model)
+    }
+
+    /// The sorted key column the index searches over.
+    #[inline]
+    pub fn keys(&self) -> &[K] {
+        self.keys.as_ref()
     }
 
     /// The underlying model.
@@ -218,19 +267,16 @@ impl<'a, K: Key, M: CdfModel<K>> CorrectedIndex<'a, K, M> {
 
     /// Empirical error statistics of the corrected predictions.
     pub fn correction_error(&self) -> CorrectionErrorStats {
+        let keys = self.keys.as_ref();
         match &self.layer {
-            CorrectionLayer::Range(t) => {
-                CorrectionErrorStats::compute(&self.model, t, self.keys)
-            }
-            CorrectionLayer::Midpoint(t) => {
-                CorrectionErrorStats::compute(&self.model, t, self.keys)
-            }
+            CorrectionLayer::Range(t) => CorrectionErrorStats::compute(&self.model, t, keys),
+            CorrectionLayer::Midpoint(t) => CorrectionErrorStats::compute(&self.model, t, keys),
             CorrectionLayer::None => {
                 // The "correction" is the identity: measure the raw model.
                 struct Identity;
                 impl Correction for Identity {
-                    fn correct(&self, prediction: usize) -> crate::correction::SearchHint {
-                        crate::correction::SearchHint::unbounded(prediction)
+                    fn correct(&self, prediction: usize) -> SearchHint {
+                        SearchHint::unbounded(prediction)
                     }
                     fn size_bytes(&self) -> usize {
                         0
@@ -242,7 +288,7 @@ impl<'a, K: Key, M: CdfModel<K>> CorrectedIndex<'a, K, M> {
                         "identity"
                     }
                 }
-                CorrectionErrorStats::compute(&self.model, &Identity, self.keys)
+                CorrectionErrorStats::compute(&self.model, &Identity, keys)
             }
         }
     }
@@ -250,6 +296,7 @@ impl<'a, K: Key, M: CdfModel<K>> CorrectedIndex<'a, K, M> {
     /// Number of key-array probes the last lookup would perform for `q`
     /// (used by the harness as a cache-miss proxy without timing).
     pub fn probe_estimate(&self, q: K) -> usize {
+        let keys = self.keys.as_ref();
         let pred = self.model.predict_clamped(q);
         match (&self.layer, self.enabled) {
             (CorrectionLayer::Range(t), true) => {
@@ -261,12 +308,12 @@ impl<'a, K: Key, M: CdfModel<K>> CorrectedIndex<'a, K, M> {
             }
             (CorrectionLayer::Midpoint(t), true) => {
                 let start = t.correct(pred).start;
-                let actual = self.keys.partition_point(|&k| k < q);
+                let actual = keys.partition_point(|&k| k < q);
                 let distance = start.abs_diff(actual).max(1);
                 1 + 2 * (usize::BITS - distance.leading_zeros()) as usize
             }
             _ => {
-                let actual = self.keys.partition_point(|&k| k < q);
+                let actual = keys.partition_point(|&k| k < q);
                 let distance = pred.abs_diff(actual).max(1);
                 2 * (usize::BITS - distance.leading_zeros()) as usize
             }
@@ -275,48 +322,128 @@ impl<'a, K: Key, M: CdfModel<K>> CorrectedIndex<'a, K, M> {
 
     /// Is `pos` the lower bound of `q`?
     #[inline]
-    fn is_lower_bound(&self, pos: usize, q: K) -> bool {
-        let n = self.keys.len();
-        (pos == n || self.keys[pos] >= q) && (pos == 0 || self.keys[pos - 1] < q)
+    fn is_lower_bound(&self, keys: &[K], pos: usize, q: K) -> bool {
+        let n = keys.len();
+        (pos == n || keys[pos] >= q) && (pos == 0 || keys[pos - 1] < q)
+    }
+
+    /// Algorithm 1 from a range-mode hint: bounded local search, with the
+    /// §3.8 repair path when the window missed (non-monotone model or far
+    /// out-of-range query).
+    #[inline]
+    fn search_range_hint(&self, keys: &[K], hint: SearchHint, q: K) -> usize {
+        let n = keys.len();
+        let window = hint.window.unwrap_or(0).max(1);
+        let pos = if window < self.config.linear_to_binary_threshold {
+            linear_in_window(keys, hint.start, window, q)
+        } else {
+            binary_in_window(keys, hint.start, window, q)
+        };
+        if self.is_lower_bound(keys, pos, q) {
+            pos
+        } else {
+            exponential_around(keys, pos.min(n - 1), q)
+        }
     }
 }
 
-impl<K: Key, M: CdfModel<K>> RangeIndex<K> for CorrectedIndex<'_, K, M> {
+impl<K: Key, M: CdfModel<K>> CorrectedIndex<K, M, Arc<[K]>> {
+    /// Start building an **owned** corrected index: the key column is moved
+    /// (or cheaply converted) into shared `Arc<[K]>` storage, so the finished
+    /// index is `'static + Send + Sync`.
+    ///
+    /// Accepts anything convertible into `Arc<[K]>`: a `Vec<K>`, a boxed
+    /// slice, an existing `Arc<[K]>` clone, or `Dataset::into_shared()`.
+    pub fn owned_builder(
+        keys: impl Into<Arc<[K]>>,
+        model: M,
+    ) -> CorrectedIndexBuilder<K, M, Arc<[K]>> {
+        CorrectedIndexBuilder::new(keys.into(), model)
+    }
+}
+
+impl<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync> RangeIndex<K>
+    for CorrectedIndex<K, M, S>
+{
     fn lower_bound(&self, q: K) -> usize {
-        let n = self.keys.len();
-        if n == 0 {
+        let keys = self.keys.as_ref();
+        if keys.is_empty() {
             return 0;
         }
         let prediction = self.model.predict_clamped(q);
         match (&self.layer, self.enabled) {
             (CorrectionLayer::Range(table), true) => {
-                // Algorithm 1: correct, then bounded local search.
-                let hint = table.correct(prediction);
-                let window = hint.window.unwrap_or(0).max(1);
-                let pos = if window < self.config.linear_to_binary_threshold {
-                    linear_in_window(self.keys, hint.start, window, q)
-                } else {
-                    binary_in_window(self.keys, hint.start, window, q)
-                };
-                // §3.8: with a non-monotone model (or a query far outside the
-                // key range) the window may not contain the result; detect it
-                // with two comparisons and repair with exponential search.
-                if self.is_lower_bound(pos, q) {
-                    pos
-                } else {
-                    exponential_around(self.keys, pos.min(n - 1), q)
-                }
+                self.search_range_hint(keys, table.correct(prediction), q)
             }
             (CorrectionLayer::Midpoint(table), true) => {
                 let start = table.correct(prediction).start;
-                exponential_around(self.keys, start, q)
+                exponential_around(keys, start, q)
             }
-            _ => exponential_around(self.keys, prediction, q),
+            _ => exponential_around(keys, prediction, q),
+        }
+    }
+
+    /// Batched lookups with the per-stage loops split apart: one block of
+    /// model predictions, then one block of Shift-Table lookups, then the
+    /// local searches. Each stage's memory traffic (model parameters, layer
+    /// entries, key windows) is issued back-to-back instead of interleaved,
+    /// which is the structure SIMD prediction and software prefetching attach
+    /// to.
+    fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
+        assert_eq!(
+            queries.len(),
+            out.len(),
+            "lower_bound_batch requires queries and out of equal length"
+        );
+        let keys = self.keys.as_ref();
+        if keys.is_empty() {
+            out.fill(0);
+            return;
+        }
+        let mut predictions = [0usize; BATCH_BLOCK];
+        match (&self.layer, self.enabled) {
+            (CorrectionLayer::Range(table), true) => {
+                let mut hints = [SearchHint::unbounded(0); BATCH_BLOCK];
+                for (qs, os) in queries.chunks(BATCH_BLOCK).zip(out.chunks_mut(BATCH_BLOCK)) {
+                    for (p, &q) in predictions.iter_mut().zip(qs.iter()) {
+                        *p = self.model.predict_clamped(q);
+                    }
+                    for (h, &p) in hints.iter_mut().zip(predictions.iter()).take(qs.len()) {
+                        *h = table.correct(p);
+                    }
+                    for ((o, &q), &h) in os.iter_mut().zip(qs.iter()).zip(hints.iter()) {
+                        *o = self.search_range_hint(keys, h, q);
+                    }
+                }
+            }
+            (CorrectionLayer::Midpoint(table), true) => {
+                for (qs, os) in queries.chunks(BATCH_BLOCK).zip(out.chunks_mut(BATCH_BLOCK)) {
+                    for (p, &q) in predictions.iter_mut().zip(qs.iter()) {
+                        *p = self.model.predict_clamped(q);
+                    }
+                    for (p, _) in predictions.iter_mut().zip(qs.iter()) {
+                        *p = table.correct(*p).start;
+                    }
+                    for ((o, &q), &start) in os.iter_mut().zip(qs.iter()).zip(predictions.iter()) {
+                        *o = exponential_around(keys, start, q);
+                    }
+                }
+            }
+            _ => {
+                for (qs, os) in queries.chunks(BATCH_BLOCK).zip(out.chunks_mut(BATCH_BLOCK)) {
+                    for (p, &q) in predictions.iter_mut().zip(qs.iter()) {
+                        *p = self.model.predict_clamped(q);
+                    }
+                    for ((o, &q), &p) in os.iter_mut().zip(qs.iter()).zip(predictions.iter()) {
+                        *o = exponential_around(keys, p, q);
+                    }
+                }
+            }
         }
     }
 
     fn len(&self) -> usize {
-        self.keys.len()
+        self.keys.as_ref().len()
     }
 
     fn index_size_bytes(&self) -> usize {
@@ -338,7 +465,10 @@ mod tests {
     use learned_index::prelude::*;
     use sosd_data::prelude::*;
 
-    fn check_index<M: CdfModel<u64>>(d: &Dataset<u64>, index: &CorrectedIndex<'_, u64, M>) {
+    fn check_index<M: CdfModel<u64>, S: AsRef<[u64]> + Send + Sync>(
+        d: &Dataset<u64>,
+        index: &CorrectedIndex<u64, M, S>,
+    ) {
         for w in [
             Workload::uniform_keys(d, 300, 1),
             Workload::uniform_domain(d, 300, 2),
@@ -347,6 +477,12 @@ mod tests {
             for (q, expected) in w.iter() {
                 assert_eq!(index.lower_bound(q), expected, "q={q}");
             }
+            // The batched path must agree with the scalar path everywhere.
+            assert_eq!(
+                index.lower_bound_many(w.queries()),
+                w.expected().to_vec(),
+                "batch mismatch"
+            );
         }
         // Out-of-range queries.
         assert_eq!(index.lower_bound(0), d.lower_bound(0));
@@ -359,7 +495,8 @@ mod tests {
             let d: Dataset<u64> = name.generate(8_000, 41);
             let index = CorrectedIndex::builder(d.as_slice(), InterpolationModel::build(&d))
                 .with_range_table()
-                .build();
+                .build()
+                .unwrap();
             check_index(&d, &index);
         }
     }
@@ -371,7 +508,8 @@ mod tests {
             for x in [1usize, 10, 100] {
                 let index = CorrectedIndex::builder(d.as_slice(), InterpolationModel::build(&d))
                     .with_compact_table(x)
-                    .build();
+                    .build()
+                    .unwrap();
                 check_index(&d, &index);
             }
         }
@@ -383,10 +521,67 @@ mod tests {
             let d: Dataset<u64> = name.generate(8_000, 47);
             let index = CorrectedIndex::builder(d.as_slice(), InterpolationModel::build(&d))
                 .without_correction()
-                .build();
+                .build()
+                .unwrap();
             check_index(&d, &index);
             assert_eq!(index.name(), "Model");
         }
+    }
+
+    #[test]
+    fn owned_index_is_static_send_sync_and_shareable() {
+        fn assert_owned<T: Send + Sync + 'static>(_: &T) {}
+        let d: Dataset<u64> = SosdName::Face64.generate(8_000, 11);
+        let w = Workload::uniform_keys(&d, 200, 5);
+        let model = InterpolationModel::build(&d);
+        let shared = d.into_shared();
+        let index = CorrectedIndex::owned_builder(shared.clone(), model)
+            .with_range_table()
+            .build()
+            .unwrap();
+        assert_owned(&index);
+
+        // The owned index moves across threads and stays exact.
+        let index = std::sync::Arc::new(index);
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let index = std::sync::Arc::clone(&index);
+                let queries = w.queries().to_vec();
+                let expected = w.expected().to_vec();
+                std::thread::spawn(move || {
+                    for (&q, &e) in queries.iter().zip(expected.iter()) {
+                        assert_eq!(index.lower_bound(q), e);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // Storage is shared, not copied: the Arc has one more strong owner
+        // inside the index.
+        assert_eq!(std::sync::Arc::strong_count(&shared), 2);
+    }
+
+    #[test]
+    fn unsorted_keys_are_rejected() {
+        let keys = vec![5u64, 3, 9];
+        let err = CorrectedIndex::builder(&keys[..], InterpolationModel::from_sorted_keys(&keys))
+            .with_range_table()
+            .build()
+            .err()
+            .unwrap();
+        assert_eq!(err, BuildError::UnsortedKeys { position: 1 });
+
+        let err = CorrectedIndex::owned_builder(
+            vec![1u64, 2, 0],
+            InterpolationModel::from_sorted_keys(&[1u64, 2, 0]),
+        )
+        .build()
+        .err()
+        .unwrap();
+        assert_eq!(err, BuildError::UnsortedKeys { position: 2 });
     }
 
     #[test]
@@ -395,14 +590,16 @@ mod tests {
         let rs = RadixSpline::builder().max_error(64).build(&d);
         let index = CorrectedIndex::builder(d.as_slice(), rs)
             .with_range_table()
-            .build();
+            .build()
+            .unwrap();
         check_index(&d, &index);
 
         // RMI may be non-monotone; the repair path must keep it correct.
         let rmi = RmiIndex::builder().leaf_count(64).build(&d);
         let index = CorrectedIndex::builder(d.as_slice(), rmi)
             .with_range_table()
-            .build();
+            .build()
+            .unwrap();
         check_index(&d, &index);
     }
 
@@ -412,11 +609,13 @@ mod tests {
         let model = InterpolationModel::build(&d);
         let seq = CorrectedIndex::builder(d.as_slice(), model.clone())
             .with_range_table()
-            .build();
+            .build()
+            .unwrap();
         let par = CorrectedIndex::builder(d.as_slice(), model)
             .with_range_table()
             .build_threads(4)
-            .build();
+            .build()
+            .unwrap();
         let w = Workload::uniform_domain(&d, 500, 61);
         for (q, expected) in w.iter() {
             assert_eq!(seq.lower_bound(q), expected);
@@ -430,7 +629,8 @@ mod tests {
         let d: Dataset<u64> = SosdName::Osmc64.generate(30_000, 67);
         let mut index = CorrectedIndex::builder(d.as_slice(), InterpolationModel::build(&d))
             .with_range_table()
-            .build();
+            .build()
+            .unwrap();
         assert!(index.layer_enabled());
         let w = Workload::uniform_keys(&d, 200, 71);
         let probes_on: usize = w.queries().iter().map(|&q| index.probe_estimate(q)).sum();
@@ -457,7 +657,8 @@ mod tests {
         let uden: Dataset<u64> = SosdName::Uden64.generate(20_000, 73);
         let auto = CorrectedIndex::builder(uden.as_slice(), InterpolationModel::build(&uden))
             .with_auto_tuning()
-            .build();
+            .build()
+            .unwrap();
         assert!(!auto.layer_enabled(), "uden should not need the layer");
         check_index(&uden, &auto);
 
@@ -465,7 +666,8 @@ mod tests {
         let face: Dataset<u64> = SosdName::Face64.generate(20_000, 73);
         let auto = CorrectedIndex::builder(face.as_slice(), InterpolationModel::build(&face))
             .with_auto_tuning()
-            .build();
+            .build()
+            .unwrap();
         assert!(auto.layer_enabled(), "face should enable the layer");
         check_index(&face, &auto);
     }
@@ -475,10 +677,12 @@ mod tests {
         let d: Dataset<u64> = SosdName::Face64.generate(20_000, 79);
         let plain = CorrectedIndex::builder(d.as_slice(), InterpolationModel::build(&d))
             .without_correction()
-            .build();
+            .build()
+            .unwrap();
         let corrected = CorrectedIndex::builder(d.as_slice(), InterpolationModel::build(&d))
             .with_range_table()
-            .build();
+            .build()
+            .unwrap();
         assert!(
             corrected.correction_error().mean_abs * 10.0 < plain.correction_error().mean_abs,
             "correction must reduce the reported error"
@@ -489,24 +693,29 @@ mod tests {
     #[test]
     fn empty_and_tiny_datasets() {
         let empty: Vec<u64> = vec![];
-        let index = CorrectedIndex::builder(&empty, InterpolationModel::from_sorted_keys(&empty))
-            .with_range_table()
-            .build();
+        let index =
+            CorrectedIndex::builder(&empty[..], InterpolationModel::from_sorted_keys(&empty))
+                .with_range_table()
+                .build()
+                .unwrap();
         assert_eq!(index.lower_bound(42), 0);
         assert_eq!(index.len(), 0);
+        assert_eq!(index.lower_bound_many(&[1, 2, 3]), vec![0, 0, 0]);
 
         let one = vec![7u64];
-        let index = CorrectedIndex::builder(&one, InterpolationModel::from_sorted_keys(&one))
+        let index = CorrectedIndex::builder(&one[..], InterpolationModel::from_sorted_keys(&one))
             .with_range_table()
-            .build();
+            .build()
+            .unwrap();
         assert_eq!(index.lower_bound(6), 0);
         assert_eq!(index.lower_bound(7), 0);
         assert_eq!(index.lower_bound(8), 1);
 
         let dups = vec![5u64; 100];
-        let index = CorrectedIndex::builder(&dups, InterpolationModel::from_sorted_keys(&dups))
+        let index = CorrectedIndex::builder(&dups[..], InterpolationModel::from_sorted_keys(&dups))
             .with_range_table()
-            .build();
+            .build()
+            .unwrap();
         assert_eq!(index.lower_bound(5), 0);
         assert_eq!(index.lower_bound(6), 100);
         assert_eq!(index.lower_bound(4), 0);
@@ -517,11 +726,13 @@ mod tests {
         let d: Dataset<u32> = SosdName::Face32.generate(10_000, 83);
         let index = CorrectedIndex::builder(d.as_slice(), InterpolationModel::build(&d))
             .with_range_table()
-            .build();
+            .build()
+            .unwrap();
         let w = Workload::uniform_domain(&d, 500, 5);
         for (q, expected) in w.iter() {
             assert_eq!(index.lower_bound(q), expected);
         }
+        assert_eq!(index.lower_bound_many(w.queries()), w.expected().to_vec());
     }
 
     #[test]
@@ -555,10 +766,12 @@ mod tests {
         let d: Dataset<u64> = SosdName::Uspr64.generate(5_000, 89);
         let index = CorrectedIndex::builder(d.as_slice(), ZigZag(d.len()))
             .with_range_table()
-            .build();
+            .build()
+            .unwrap();
         let w = Workload::uniform_domain(&d, 500, 7);
         for (q, expected) in w.iter() {
             assert_eq!(index.lower_bound(q), expected, "q={q}");
         }
+        assert_eq!(index.lower_bound_many(w.queries()), w.expected().to_vec());
     }
 }

@@ -29,14 +29,19 @@
 //! * [`CorrectedIndex`] — a complete range index assembled from any
 //!   [`learned_index::CdfModel`], an optional correction layer and the local
 //!   search routines (Algorithm 1), implementing
-//!   [`algo_index::RangeIndex`],
+//!   [`algo_index::RangeIndex`]. The index is generic over its key storage:
+//!   the default `Arc<[K]>` makes it owned (`'static + Send + Sync`), while
+//!   `&[K]` keeps a zero-copy borrowed path,
+//! * [`spec`] — runtime composition: parse `"rmi:256+r1"`-style
+//!   [`spec::IndexSpec`] strings and build them into owned
+//!   `Box<dyn RangeIndex<K>>` trait objects,
 //! * [`cost`] — the hardware cost model `L(s)` and the tuning rules of
 //!   §3.7/§3.9 (should the layer be enabled? which local search?),
-//! * [`error`] — the error estimates of §3.5 (Eq. 8) and empirical error
-//!   measurement,
-//! * [`build`] — sequential and parallel (crossbeam) builders.
+//! * [`error`] — construction errors ([`BuildError`]), the error estimates of
+//!   §3.5 (Eq. 8) and empirical error measurement,
+//! * [`build`] — sequential and parallel (scoped-thread) builders.
 //!
-//! ## Example
+//! ## Example: owned index, built at run time
 //!
 //! ```
 //! use shift_table::prelude::*;
@@ -46,17 +51,24 @@
 //!
 //! // A hard, real-world-like dataset and the paper's dummy IM model.
 //! let data: Dataset<u64> = SosdName::Osmc64.generate(100_000, 42);
+//! let reference: Vec<usize> = data.as_slice().iter().map(|&k| data.lower_bound(k)).collect();
 //! let model = InterpolationModel::build(&data);
 //!
-//! // IM alone is hopeless on this data; IM + Shift-Table is exact up to the
-//! // duplicate-run length.
-//! let corrected = CorrectedIndex::builder(data.as_slice(), model)
+//! // The index owns its keys (shared `Arc<[u64]>` storage), so it is
+//! // 'static + Send + Sync. IM alone is hopeless on this data; IM + a
+//! // Shift-Table is exact up to the duplicate-run length.
+//! let corrected = CorrectedIndex::owned_builder(data.to_shared(), model)
 //!     .with_range_table()
-//!     .build();
+//!     .build()
+//!     .expect("keys are sorted");
 //!
-//! for &q in data.as_slice().iter().step_by(1000) {
-//!     assert_eq!(corrected.lower_bound(q), data.lower_bound(q));
+//! for (&q, &expected) in data.as_slice().iter().zip(&reference).step_by(1000) {
+//!     assert_eq!(corrected.lower_bound(q), expected);
 //! }
+//!
+//! // The same index is also constructible from a spec string at run time:
+//! let dynamic = IndexSpec::parse("im+r1").unwrap().build(data.to_shared()).unwrap();
+//! assert_eq!(dynamic.lower_bound(data.key_at(500)), corrected.lower_bound(data.key_at(500)));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -71,6 +83,7 @@ pub mod entry;
 pub mod error;
 pub mod index;
 pub mod local_search;
+pub mod spec;
 pub mod table;
 
 pub use compact::CompactShiftTable;
@@ -78,8 +91,9 @@ pub use config::ShiftTableConfig;
 pub use correction::{Correction, SearchHint};
 pub use cost::{LatencyModel, TuningAdvisor, TuningDecision};
 pub use entry::ShiftEntry;
-pub use error::CorrectionErrorStats;
-pub use index::{CorrectedIndex, CorrectedIndexBuilder, CorrectionLayer};
+pub use error::{BuildError, CorrectionErrorStats};
+pub use index::{BorrowedCorrectedIndex, CorrectedIndex, CorrectedIndexBuilder, CorrectionLayer};
+pub use spec::{DynCorrectedIndex, IndexSpec, LayerSpec};
 pub use table::ShiftTable;
 
 /// Convenient glob import for downstream crates and examples.
@@ -88,7 +102,10 @@ pub mod prelude {
     pub use crate::config::ShiftTableConfig;
     pub use crate::correction::{Correction, SearchHint};
     pub use crate::cost::{LatencyModel, TuningAdvisor, TuningDecision};
-    pub use crate::error::CorrectionErrorStats;
-    pub use crate::index::{CorrectedIndex, CorrectedIndexBuilder, CorrectionLayer};
+    pub use crate::error::{BuildError, CorrectionErrorStats};
+    pub use crate::index::{
+        BorrowedCorrectedIndex, CorrectedIndex, CorrectedIndexBuilder, CorrectionLayer,
+    };
+    pub use crate::spec::{DynCorrectedIndex, IndexSpec, LayerSpec};
     pub use crate::table::ShiftTable;
 }

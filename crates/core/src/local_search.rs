@@ -215,7 +215,11 @@ mod tests {
             assert_eq!(linear_in_window(&keys, 0, keys.len(), q), expected, "q={q}");
             assert_eq!(binary_in_window(&keys, 0, keys.len(), q), expected, "q={q}");
             for hint in 0..keys.len() {
-                assert_eq!(exponential_around(&keys, hint, q), expected, "q={q} hint={hint}");
+                assert_eq!(
+                    exponential_around(&keys, hint, q),
+                    expected,
+                    "q={q} hint={hint}"
+                );
             }
         }
     }

@@ -29,8 +29,9 @@ impl ShiftTable {
         Self::from_entries(entries, keys.len())
     }
 
-    /// Build the layer in parallel with `threads` crossbeam workers. Falls
-    /// back to the sequential build for non-monotone models or small inputs.
+    /// Build the layer in parallel with `threads` scoped worker threads.
+    /// Falls back to the sequential build for non-monotone models or small
+    /// inputs.
     pub fn build_parallel<K: Key, M: CdfModel<K> + Sync + ?Sized>(
         model: &M,
         keys: &[K],
@@ -94,10 +95,7 @@ impl ShiftTable {
         if self.n == 0 {
             return 0.0;
         }
-        let sum_sq: f64 = self
-            .window_lengths()
-            .map(|c| (c as f64) * (c as f64))
-            .sum();
+        let sum_sq: f64 = self.window_lengths().map(|c| (c as f64) * (c as f64)).sum();
         sum_sq / (2.0 * self.n as f64)
     }
 }

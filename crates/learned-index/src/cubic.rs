@@ -190,7 +190,7 @@ mod tests {
     use sosd_data::generators::SosdName;
 
     #[test]
-    fn fits_a_cubic_relationship_almost_exactly()  {
+    fn fits_a_cubic_relationship_almost_exactly() {
         // positions proportional to cube root of key <=> key ~ pos^3.
         let keys: Vec<u64> = (0..500u64).map(|i| i * i * i).collect();
         let m = CubicModel::from_sorted_keys(&keys);

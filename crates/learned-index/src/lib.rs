@@ -50,6 +50,7 @@ pub mod model;
 pub mod pgm;
 pub mod radix_spline;
 pub mod rmi;
+pub mod spec;
 pub mod spline;
 
 pub use cubic::CubicModel;
@@ -59,6 +60,7 @@ pub use model::CdfModel;
 pub use pgm::PgmModel;
 pub use radix_spline::{RadixSpline, RadixSplineBuilder};
 pub use rmi::{RmiBuilder, RmiIndex, RootModelKind};
+pub use spec::{ModelSpec, SpecParseError};
 pub use spline::{GreedySplineCorridor, SplinePoint};
 
 /// Convenient glob import for downstream crates and examples.
@@ -70,4 +72,5 @@ pub mod prelude {
     pub use crate::pgm::PgmModel;
     pub use crate::radix_spline::{RadixSpline, RadixSplineBuilder};
     pub use crate::rmi::{RmiBuilder, RmiIndex, RootModelKind};
+    pub use crate::spec::{ModelSpec, SpecParseError};
 }

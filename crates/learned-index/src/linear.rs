@@ -301,7 +301,13 @@ mod tests {
         let d: Dataset<u64> = SosdName::Face64.generate(10_000, 1);
         let im = InterpolationModel::build(&d);
         let ls = LinearModel::build(&d);
-        assert!(crate::model::verify_monotonic_on::<u64, _>(&im, d.as_slice()));
-        assert!(crate::model::verify_monotonic_on::<u64, _>(&ls, d.as_slice()));
+        assert!(crate::model::verify_monotonic_on::<u64, _>(
+            &im,
+            d.as_slice()
+        ));
+        assert!(crate::model::verify_monotonic_on::<u64, _>(
+            &ls,
+            d.as_slice()
+        ));
     }
 }

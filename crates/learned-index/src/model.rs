@@ -206,6 +206,9 @@ mod tests {
         let keys: Vec<u64> = (0..10).collect();
         assert!(verify_monotonic_on(&Half { n: 10 }, &keys));
         assert!(!verify_monotonic_on(&ZigZag, &keys));
-        assert!(verify_monotonic_on(&ZigZag, &[]), "empty input is trivially monotone");
+        assert!(
+            verify_monotonic_on(&ZigZag, &[]),
+            "empty input is trivially monotone"
+        );
     }
 }

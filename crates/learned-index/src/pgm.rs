@@ -205,10 +205,7 @@ mod tests {
                 last = Some(k);
                 let p = CdfModel::<u64>::predict(&pgm, k) as i64;
                 let err = (p - i as i64).unsigned_abs() as usize;
-                assert!(
-                    err <= 65,
-                    "{name}: key {k} pos {i} predicted {p} err {err}"
-                );
+                assert!(err <= 65, "{name}: key {k} pos {i} predicted {p} err {err}");
             }
         }
     }

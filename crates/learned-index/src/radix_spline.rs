@@ -256,7 +256,10 @@ mod tests {
     fn radix_bits_tradeoff_affects_size_not_correctness() {
         let d: Dataset<u64> = SosdName::Amzn64.generate(20_000, 4);
         let small = RadixSpline::builder().max_error(64).radix_bits(8).build(&d);
-        let large = RadixSpline::builder().max_error(64).radix_bits(20).build(&d);
+        let large = RadixSpline::builder()
+            .max_error(64)
+            .radix_bits(20)
+            .build(&d);
         assert!(CdfModel::<u64>::size_bytes(&large) > CdfModel::<u64>::size_bytes(&small));
         for &k in d.as_slice().iter().step_by(97) {
             let i = d.lower_bound(k);

@@ -20,7 +20,7 @@ use sosd_data::dataset::Dataset;
 use sosd_data::key::Key;
 
 /// Which model family the RMI root uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RootModelKind {
     /// Least-squares straight line (fast, always monotone).
     #[default]

@@ -210,7 +210,10 @@ mod tests {
         }
         // Predictions for duplicate keys land near the first occurrence.
         let p = predict_from_points(&points, 9);
-        assert!((p - 5.0).abs() <= 1.0 + 1e-9, "9 starts at pos 5, predicted {p}");
+        assert!(
+            (p - 5.0).abs() <= 1.0 + 1e-9,
+            "9 starts at pos 5, predicted {p}"
+        );
     }
 
     #[test]

@@ -252,7 +252,10 @@ mod tests {
         let zoom = cdf.sample_zoom(5000, 100, 32);
         assert_eq!(zoom.len(), 32);
         for (_, rel) in &zoom {
-            assert!((0.49..=0.52).contains(rel), "zoomed CDF should stay local, got {rel}");
+            assert!(
+                (0.49..=0.52).contains(rel),
+                "zoomed CDF should stay local, got {rel}"
+            );
         }
     }
 

@@ -82,6 +82,20 @@ impl<K: Key> Dataset<K> {
         self.keys
     }
 
+    /// Consume the dataset and hand its sorted key column over as shared,
+    /// reference-counted storage — the owned form `'static` indexes are built
+    /// from. Moves the keys (no copy beyond the `Vec → Arc` transfer).
+    pub fn into_shared(self) -> std::sync::Arc<[K]> {
+        self.keys.into()
+    }
+
+    /// Clone the sorted key column into shared storage, keeping the dataset
+    /// alive (one `O(n)` copy). Useful when several owned indexes should be
+    /// built over the same generated dataset.
+    pub fn to_shared(&self) -> std::sync::Arc<[K]> {
+        std::sync::Arc::from(self.keys.as_slice())
+    }
+
     /// Smallest key, if any.
     #[inline]
     pub fn min_key(&self) -> Option<K> {
@@ -151,11 +165,7 @@ impl<K: Key> Dataset<K> {
         if self.keys.is_empty() {
             return 0;
         }
-        let distinct = 1 + self
-            .keys
-            .windows(2)
-            .filter(|w| w[0] != w[1])
-            .count();
+        let distinct = 1 + self.keys.windows(2).filter(|w| w[0] != w[1]).count();
         self.keys.len() - distinct
     }
 
@@ -273,6 +283,16 @@ mod tests {
         assert!(d.empirical_cdf(991) >= 1.0 - 1e-9);
         let mid = d.empirical_cdf(500);
         assert!((mid - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn shared_handoff_preserves_the_sorted_column() {
+        let d = sample();
+        let expected = d.as_slice().to_vec();
+        let shared = d.to_shared();
+        assert_eq!(&shared[..], &expected[..]);
+        let moved = d.into_shared();
+        assert_eq!(&moved[..], &expected[..]);
     }
 
     #[test]

@@ -52,7 +52,8 @@ pub fn generate(n: usize, domain_max: u64, seed: u64) -> Vec<u64> {
             continue;
         }
         // Width: popular clusters are narrow relative to their population.
-        let width = ((domain_max as f64 / num_clusters as f64) * (0.05 + 0.4 * (i as f64 / num_clusters as f64)))
+        let width = ((domain_max as f64 / num_clusters as f64)
+            * (0.05 + 0.4 * (i as f64 / num_clusters as f64)))
             .max(count as f64 * 0.25)
             .max(1.0) as u64;
         let start = centre.saturating_sub(width / 2);
@@ -61,7 +62,9 @@ pub fn generate(n: usize, domain_max: u64, seed: u64) -> Vec<u64> {
             let key = if let (Some(p), true) = (prev, rng.next_f64() < DUPLICATE_PROB) {
                 p
             } else {
-                start.saturating_add(rng.next_below(width.max(1))).min(domain_max)
+                start
+                    .saturating_add(rng.next_below(width.max(1)))
+                    .min(domain_max)
             };
             keys.push(key);
             prev = Some(key);

@@ -81,7 +81,10 @@ mod tests {
         let keys = generate_normal(50_000, domain, 2);
         let median = keys[keys.len() / 2] as f64;
         let mean = keys.iter().map(|&k| k as f64).sum::<f64>() / keys.len() as f64;
-        assert!((median - mean).abs() < domain as f64 * 0.01, "normal is symmetric");
+        assert!(
+            (median - mean).abs() < domain as f64 * 0.01,
+            "normal is symmetric"
+        );
     }
 
     #[test]

@@ -159,7 +159,11 @@ impl SosdName {
     /// Key width in bits (32 or 64).
     pub fn bits(self) -> u32 {
         match self {
-            Self::Logn32 | Self::Norm32 | Self::Uden32 | Self::Uspr32 | Self::Amzn32
+            Self::Logn32
+            | Self::Norm32
+            | Self::Uden32
+            | Self::Uspr32
+            | Self::Amzn32
             | Self::Face32 => 32,
             _ => 64,
         }

@@ -100,7 +100,10 @@ mod tests {
         assert!(keys.iter().all(|&k| k <= domain));
         // Sparse: spread over a substantial part of the domain.
         let span = keys.last().unwrap() - keys.first().unwrap();
-        assert!(span > domain / 2, "span {span} too small for sparse uniform");
+        assert!(
+            span > domain / 2,
+            "span {span} too small for sparse uniform"
+        );
     }
 
     #[test]
@@ -111,7 +114,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(generate_dense(1000, 1 << 20, 9), generate_dense(1000, 1 << 20, 9));
+        assert_eq!(
+            generate_dense(1000, 1 << 20, 9),
+            generate_dense(1000, 1 << 20, 9)
+        );
         assert_eq!(
             generate_sparse(1000, 1 << 40, 9),
             generate_sparse(1000, 1 << 40, 9)

@@ -13,9 +13,7 @@ use std::hash::Hash;
 /// The trait exposes the handful of conversions the learned models need:
 /// a widening conversion to `u64` (for exact integer arithmetic) and to `f64`
 /// (for CDF model fitting / interpolation).
-pub trait Key:
-    Copy + Ord + Eq + Hash + Debug + Display + Send + Sync + Default + 'static
-{
+pub trait Key: Copy + Ord + Eq + Hash + Debug + Display + Send + Sync + Default + 'static {
     /// Number of value bits in the key type (32 or 64).
     const BITS: u32;
     /// Smallest representable key.
@@ -54,6 +52,19 @@ pub trait Key:
     #[inline]
     fn distance_from(self, other: Self) -> Option<u64> {
         self.to_u64().checked_sub(other.to_u64())
+    }
+
+    /// The smallest key strictly greater than `self`, or `None` for the
+    /// maximum key. Lets range queries locate their end with a second
+    /// lower-bound probe: the upper bound of `q` is the lower bound of
+    /// `q.checked_next()`.
+    #[inline]
+    fn checked_next(self) -> Option<Self> {
+        if self == Self::MAX_KEY {
+            None
+        } else {
+            Some(Self::from_u64_saturating(self.to_u64() + 1))
+        }
     }
 }
 
@@ -125,6 +136,15 @@ mod tests {
         assert_eq!(10u64.distance_from(3), Some(7));
         assert_eq!(3u64.distance_from(10), None);
         assert_eq!(5u32.distance_from(5), Some(0));
+    }
+
+    #[test]
+    fn checked_next_is_the_successor() {
+        assert_eq!(41u64.checked_next(), Some(42));
+        assert_eq!(u64::MAX.checked_next(), None);
+        assert_eq!(u32::MAX.checked_next(), None);
+        assert_eq!((u32::MAX - 1).checked_next(), Some(u32::MAX));
+        assert_eq!(0u32.checked_next(), Some(1));
     }
 
     #[test]

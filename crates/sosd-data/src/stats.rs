@@ -237,7 +237,10 @@ mod tests {
         let s = d.stats();
         assert_eq!(s.duplicates, 63);
         assert_eq!(s.max_duplicate_run, 64);
-        assert!(s.mean_abs_drift > 0.0, "a flat line cannot place 64 equal keys");
+        assert!(
+            s.mean_abs_drift > 0.0,
+            "a flat line cannot place 64 equal keys"
+        );
     }
 
     #[test]

@@ -175,7 +175,11 @@ mod tests {
         assert_eq!(w.len(), 500);
         assert_eq!(w.kind(), WorkloadKind::UniformKeys);
         for (q, pos) in w.iter() {
-            assert_eq!(d.key_at(pos), q, "expected position must hold the key itself");
+            assert_eq!(
+                d.key_at(pos),
+                q,
+                "expected position must hold the key itself"
+            );
         }
     }
 

@@ -11,7 +11,10 @@ use shift_table_repro::prelude::*;
 
 fn main() {
     let n = 500_000;
-    println!("{:<8} {:>14} {:>14} {:>12} {:>22}", "dataset", "err before", "err after", "factor", "decision");
+    println!(
+        "{:<8} {:>14} {:>14} {:>12} {:>22}",
+        "dataset", "err before", "err after", "factor", "decision"
+    );
     println!("{}", "-".repeat(76));
 
     for name in SosdName::all() {
@@ -52,7 +55,8 @@ fn main() {
         // The auto-tuning builder applies exactly this rule.
         let auto = CorrectedIndex::builder(dataset.as_slice(), model)
             .with_auto_tuning()
-            .build();
+            .build()
+            .unwrap();
         assert_eq!(
             auto.layer_enabled(),
             decision == TuningDecision::ModelWithShiftTable

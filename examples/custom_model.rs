@@ -73,8 +73,12 @@ fn main() {
     // Correct it with a Shift-Table; the layer does not care what the model is.
     let index = CorrectedIndex::builder(dataset.as_slice(), model)
         .with_range_table()
-        .build();
-    println!("histogram + Shift-Table      : {}", index.correction_error());
+        .build()
+        .unwrap();
+    println!(
+        "histogram + Shift-Table      : {}",
+        index.correction_error()
+    );
 
     // Verify on a workload that includes non-indexed keys.
     let workload = Workload::non_indexed(&dataset, 50_000, 3);
@@ -90,6 +94,10 @@ fn main() {
     let pgm = PgmModel::with_epsilon(&dataset, 128);
     let pgm_index = CorrectedIndex::builder(dataset.as_slice(), pgm)
         .with_range_table()
-        .build();
-    println!("PGM(ε=128) + Shift-Table     : {}", pgm_index.correction_error());
+        .build()
+        .unwrap();
+    println!(
+        "PGM(ε=128) + Shift-Table     : {}",
+        pgm_index.correction_error()
+    );
 }

@@ -1,5 +1,5 @@
-//! Quickstart: build a Shift-Table-corrected learned index over a hard
-//! dataset and answer lower-bound and range queries with it.
+//! Quickstart: compose a Shift-Table-corrected learned index at run time,
+//! own the keys, and answer point, batched and range queries with it.
 //!
 //! Run with:
 //! ```text
@@ -19,17 +19,21 @@ fn main() {
         dataset.size_bytes() as f64 / (1024.0 * 1024.0)
     );
 
-    // 2. The paper's "dummy" model: a straight line through min and max.
-    let model = InterpolationModel::build(&dataset);
-    let before = learned_index::ModelErrorStats::compute(&model, &dataset);
-    println!("model alone          : {before}");
+    // 2. The index is described by a spec string — model + correction layer —
+    //    so the configuration can come from a CLI flag or a config file.
+    //    "im+r1" is the paper's headline setup: the dummy two-parameter
+    //    interpolation model corrected by a full-resolution Shift-Table.
+    let spec = IndexSpec::parse("im+r1").expect("valid spec");
 
-    // 3. Attach the Shift-Table correction layer (one extra lookup per query).
-    let index = CorrectedIndex::builder(dataset.as_slice(), model)
-        .with_range_table()
-        .build();
-    let after = index.correction_error();
-    println!("model + Shift-Table  : {after}");
+    // 3. Build it over *owned* (shared) key storage. The result is
+    //    'static + Send + Sync and exposes the corrected-index API.
+    let keys = dataset.to_shared();
+    let index = spec.build_corrected(keys).expect("keys are sorted");
+    println!(
+        "index '{spec}'      : {} — {}",
+        index.name(),
+        index.correction_error()
+    );
     let narrow = matches!(index.layer(), CorrectionLayer::Range(t) if t.is_narrow());
     println!(
         "index footprint      : {:.1} MiB ({} entries, narrow encoding = {narrow})",
@@ -43,10 +47,20 @@ fn main() {
     assert_eq!(pos, dataset.lower_bound(q));
     println!("lower_bound({q}) = {pos}");
 
-    // 5. Range queries: locate the lower bound, then scan.
+    // 5. Batched lookups amortize the model and layer stages across queries.
+    let queries: Vec<u64> = (0..8)
+        .map(|i| dataset.key_at(i * dataset.len() / 8))
+        .collect();
+    let positions = index.lower_bound_many(&queries);
+    for (q, p) in queries.iter().zip(&positions) {
+        assert_eq!(*p, dataset.lower_bound(*q));
+    }
+    println!("batched lookup of {} queries OK", queries.len());
+
+    // 6. Range queries: both endpoints located with index probes.
     let lo = dataset.key_at(dataset.len() / 2);
     let hi = dataset.key_at(dataset.len() / 2 + 500);
-    let range = index.range(lo, hi, dataset.as_slice());
+    let range = index.range(lo, hi);
     println!(
         "range [{lo}, {hi}] -> {} matching records (positions {:?})",
         range.len(),
@@ -54,5 +68,8 @@ fn main() {
     );
     assert_eq!(range, dataset.range_query(lo, hi));
 
-    println!("quickstart OK");
+    // 7. Because the index owns its keys, it can move to another thread.
+    let handle = std::thread::spawn(move || index.lower_bound(q));
+    assert_eq!(handle.join().unwrap(), pos);
+    println!("lookup from a second thread OK — quickstart done");
 }

@@ -21,7 +21,10 @@ struct ClusteredTable {
 impl ClusteredTable {
     fn new(dataset: &Dataset<u64>) -> Self {
         let keys = dataset.as_slice().to_vec();
-        let payloads = keys.iter().map(|k| k.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let payloads = keys
+            .iter()
+            .map(|k| k.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         Self { keys, payloads }
     }
 }
@@ -33,7 +36,8 @@ fn main() {
 
     let index = CorrectedIndex::builder(&table.keys, InterpolationModel::build(&dataset))
         .with_range_table()
-        .build();
+        .build()
+        .unwrap();
     println!(
         "indexed {} records, correction layer: {:.1} MiB",
         table.keys.len(),
@@ -72,7 +76,7 @@ fn main() {
     for &lo in workload.queries().iter().take(100) {
         let hi = lo.saturating_add(window);
         let reference = dataset.range_query(lo, hi);
-        let via_index = index.range(lo, hi, &table.keys);
+        let via_index = index.range(lo, hi);
         assert_eq!(reference, via_index);
     }
     println!("range results verified against the reference lower/upper bounds");

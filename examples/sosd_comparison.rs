@@ -32,7 +32,10 @@ fn main() {
         .get(1)
         .and_then(|s| SosdName::parse(s))
         .unwrap_or(SosdName::Face64);
-    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2_000_000);
+    let n: usize = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
 
     println!("dataset {name} with {n} keys\n");
     let dataset: Dataset<u64> = name.generate(n, 42);
@@ -41,7 +44,12 @@ fn main() {
     let (queries, expected) = (workload.queries(), workload.expected());
 
     // On-the-fly search and algorithmic baselines.
-    measure("BinarySearch", &BinarySearchIndex::new(keys), queries, expected);
+    measure(
+        "BinarySearch",
+        &BinarySearchIndex::new(keys),
+        queries,
+        expected,
+    );
     measure("B+tree", &BPlusTree::new(keys), queries, expected);
     measure("FAST-style", &FastTree::new(keys), queries, expected);
     measure("RBS", &RadixBinarySearch::new(keys), queries, expected);
@@ -52,29 +60,20 @@ fn main() {
         println!("{:<18} N/A (duplicate keys)", "ART");
     }
 
-    // Learned indexes, with and without the Shift-Table layer.
-    let im = CorrectedIndex::builder(keys, InterpolationModel::build(&dataset))
-        .without_correction()
-        .build();
-    measure("IM", &im, queries, expected);
-
-    let rs = CorrectedIndex::builder(keys, RadixSpline::builder().max_error(32).build(&dataset))
-        .without_correction()
-        .build();
-    measure("RadixSpline", &rs, queries, expected);
-
-    let rmi = CorrectedIndex::builder(keys, RmiIndex::builder().leaf_count(16_384).build(&dataset))
-        .without_correction()
-        .build();
-    measure("RMI", &rmi, queries, expected);
-
-    let im_st = CorrectedIndex::builder(keys, InterpolationModel::build(&dataset))
-        .with_range_table()
-        .build();
-    measure("IM+Shift-Table", &im_st, queries, expected);
-
-    let rs_st = CorrectedIndex::builder(keys, RadixSpline::builder().max_error(32).build(&dataset))
-        .with_range_table()
-        .build();
-    measure("RS+Shift-Table", &rs_st, queries, expected);
+    // Learned indexes, with and without the Shift-Table layer — every
+    // configuration composed at run time from a spec string over shared
+    // (owned) key storage.
+    let shared = dataset.to_shared();
+    for spec_str in [
+        "im+none",
+        "rs:32+none",
+        "rmi:16384+none",
+        "im+r1",
+        "rs:32+r1",
+        "im+auto",
+    ] {
+        let spec = IndexSpec::parse(spec_str).expect("valid spec");
+        let index = spec.build(shared.clone()).expect("sorted keys");
+        measure(spec_str, &index, queries, expected);
+    }
 }

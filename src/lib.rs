@@ -5,11 +5,54 @@
 //! downstream users who want "everything" can depend on one crate:
 //!
 //! * [`shift_table`] — the Shift-Table correction layer (the paper's
-//!   contribution),
-//! * [`learned_index`] — CDF models (IM, linear, RMI, RadixSpline, PGM),
-//! * [`algo_index`] — algorithmic baselines (binary/interpolation/TIP search,
-//!   B+tree, FAST-style tree, ART, RBS),
+//!   contribution), the owned [`shift_table::CorrectedIndex`] and the
+//!   runtime [`shift_table::spec::IndexSpec`] composition layer,
+//! * [`learned_index`] — CDF models (IM, linear, cubic, RMI, RadixSpline,
+//!   PGM) plus [`learned_index::ModelSpec`] for choosing one at run time,
+//! * [`algo_index`] — the [`algo_index::RangeIndex`] trait (point, batched
+//!   and range lookups) and the algorithmic baselines (binary/interpolation/
+//!   TIP search, B+tree, FAST-style tree, ART, RBS),
 //! * [`sosd_data`] — SOSD-style datasets, workloads and CDF utilities.
+//!
+//! ## The two construction paths
+//!
+//! **Owned / runtime-composed** — the serving path. The index owns its keys
+//! behind `Arc<[K]>`, is `'static + Send + Sync`, and both the model and the
+//! correction layer are chosen from a spec string:
+//!
+//! ```
+//! use shift_table_repro::prelude::*;
+//!
+//! let dataset: Dataset<u64> = SosdName::Face64.generate(50_000, 42);
+//! let keys = dataset.to_shared();
+//!
+//! // Any model×layer combination, selected at run time:
+//! let index: DynRangeIndex<u64> =
+//!     IndexSpec::parse("rmi:256+r1").unwrap().build(keys).unwrap();
+//!
+//! let q = dataset.key_at(1_000);
+//! assert_eq!(index.lower_bound(q), dataset.lower_bound(q));
+//!
+//! // Batched lookups amortize the model/layer stages across queries:
+//! let queries = [q, dataset.key_at(7), u64::MAX];
+//! let mut out = [0usize; 3];
+//! index.lower_bound_batch(&queries, &mut out);
+//! assert_eq!(out[0], dataset.lower_bound(q));
+//! ```
+//!
+//! **Borrowed / monomorphized** — the benchmarking path. Zero-copy over an
+//! existing key column, with the model as a compile-time generic:
+//!
+//! ```
+//! use shift_table_repro::prelude::*;
+//!
+//! let dataset: Dataset<u64> = SosdName::Osmc64.generate(50_000, 42);
+//! let index = CorrectedIndex::builder(dataset.as_slice(), InterpolationModel::build(&dataset))
+//!     .with_range_table()
+//!     .build()
+//!     .expect("sorted keys");
+//! assert_eq!(index.lower_bound(0), 0);
+//! ```
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the harness that regenerates every table and figure of

@@ -1,5 +1,7 @@
 //! Cross-crate integration tests: every index in the workspace must agree
-//! with the reference lower bound on every dataset family, end to end.
+//! with the reference lower bound on every dataset family, end to end —
+//! whether it is monomorphized over a borrowed key slice or composed at run
+//! time from an `IndexSpec` over owned storage.
 
 use shift_table_repro::prelude::*;
 
@@ -8,12 +10,14 @@ const QUERIES: usize = 400;
 
 /// Every baseline and every corrected learned index, checked against the
 /// reference `partition_point` lower bound on hit, miss and domain-uniform
-/// workloads.
+/// workloads. The learned competitors are built twice: monomorphized over the
+/// borrowed slice, and runtime-composed from spec strings over `Arc` storage.
 #[test]
 fn all_indexes_agree_with_the_reference_on_all_datasets() {
     for name in SosdName::all() {
         let dataset: Dataset<u64> = name.generate(N, 2024);
         let keys = dataset.as_slice();
+        let shared = dataset.to_shared();
 
         let bs = BinarySearchIndex::new(keys);
         let branchless = BranchlessBinarySearch::new(keys);
@@ -25,38 +29,55 @@ fn all_indexes_agree_with_the_reference_on_all_datasets() {
         let art = ArtIndex::new(keys);
         let im_st = CorrectedIndex::builder(keys, InterpolationModel::build(&dataset))
             .with_range_table()
-            .build();
+            .build()
+            .unwrap();
         let im_s10 = CorrectedIndex::builder(keys, InterpolationModel::build(&dataset))
             .with_compact_table(10)
-            .build();
-        let rs_st = CorrectedIndex::builder(
-            keys,
-            RadixSpline::builder().max_error(32).build(&dataset),
-        )
-        .with_range_table()
-        .build();
-        let rmi = CorrectedIndex::builder(keys, RmiIndex::builder().leaf_count(256).build(&dataset))
-            .without_correction()
-            .build();
+            .build()
+            .unwrap();
+        let rs_st =
+            CorrectedIndex::builder(keys, RadixSpline::builder().max_error(32).build(&dataset))
+                .with_range_table()
+                .build()
+                .unwrap();
+        let rmi =
+            CorrectedIndex::builder(keys, RmiIndex::builder().leaf_count(256).build(&dataset))
+                .without_correction()
+                .build()
+                .unwrap();
         let pgm_st = CorrectedIndex::builder(keys, PgmModel::with_epsilon(&dataset, 64))
             .with_range_table()
-            .build();
+            .build()
+            .unwrap();
 
-        let indexes: Vec<(&str, &dyn RangeIndex<u64>)> = vec![
-            ("BS", &bs),
-            ("BS-branchless", &branchless),
-            ("IS", &is),
-            ("TIP", &tip),
-            ("RBS", &rbs),
-            ("B+tree", &btree),
-            ("FAST", &fast),
-            ("ART", &art),
-            ("IM+ShiftTable", &im_st),
-            ("IM+S-10", &im_s10),
-            ("RS+ShiftTable", &rs_st),
-            ("RMI", &rmi),
-            ("PGM+ShiftTable", &pgm_st),
+        // The same learned configurations, composed at run time.
+        let spec_built: Vec<(String, DynRangeIndex<u64>)> =
+            ["im+r1", "im+s10", "rs:32+r1", "rmi:256+none", "pgm:64+r1"]
+                .iter()
+                .map(|s| {
+                    let index = IndexSpec::parse(s).unwrap().build(shared.clone()).unwrap();
+                    (format!("spec:{s}"), index)
+                })
+                .collect();
+
+        let mut indexes: Vec<(String, &dyn RangeIndex<u64>)> = vec![
+            ("BS".into(), &bs),
+            ("BS-branchless".into(), &branchless),
+            ("IS".into(), &is),
+            ("TIP".into(), &tip),
+            ("RBS".into(), &rbs),
+            ("B+tree".into(), &btree),
+            ("FAST".into(), &fast),
+            ("ART".into(), &art),
+            ("IM+ShiftTable".into(), &im_st),
+            ("IM+S-10".into(), &im_s10),
+            ("RS+ShiftTable".into(), &rs_st),
+            ("RMI".into(), &rmi),
+            ("PGM+ShiftTable".into(), &pgm_st),
         ];
+        for (label, index) in &spec_built {
+            indexes.push((label.clone(), index));
+        }
 
         for workload in [
             Workload::uniform_keys(&dataset, QUERIES, 1),
@@ -73,6 +94,14 @@ fn all_indexes_agree_with_the_reference_on_all_datasets() {
                     );
                 }
             }
+            // Batched lookups must agree with the scalar path for every index.
+            for (label, index) in &indexes {
+                assert_eq!(
+                    index.lower_bound_many(workload.queries()),
+                    workload.expected().to_vec(),
+                    "{label} batch disagrees on {name}"
+                );
+            }
         }
     }
 }
@@ -85,7 +114,8 @@ fn boundary_queries_are_handled_everywhere() {
         let keys = dataset.as_slice();
         let index = CorrectedIndex::builder(keys, InterpolationModel::build(&dataset))
             .with_range_table()
-            .build();
+            .build()
+            .unwrap();
         for q in [
             0u64,
             dataset.min_key().unwrap(),
@@ -99,8 +129,37 @@ fn boundary_queries_are_handled_everywhere() {
     }
 }
 
+/// Range queries resolve both endpoints with index probes (no keys argument,
+/// no trailing scan) and agree with the reference on every index kind.
+#[test]
+fn range_queries_agree_with_the_reference() {
+    let dataset: Dataset<u64> = SosdName::Wiki64.generate(N, 33);
+    let keys = dataset.as_slice();
+    let bs = BinarySearchIndex::new(keys);
+    let corrected = CorrectedIndex::builder(keys, InterpolationModel::build(&dataset))
+        .with_range_table()
+        .build()
+        .unwrap();
+    let dynamic = IndexSpec::parse("rs:32+r1")
+        .unwrap()
+        .build(dataset.to_shared())
+        .unwrap();
+    let w = Workload::uniform_domain(&dataset, 2 * QUERIES, 5);
+    for pair in w.queries().chunks(2) {
+        if pair.len() < 2 {
+            continue;
+        }
+        let (lo, hi) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+        let expected = dataset.range_query(lo, hi);
+        assert_eq!(bs.range(lo, hi), expected, "BS [{lo}, {hi}]");
+        assert_eq!(corrected.range(lo, hi), expected, "corrected [{lo}, {hi}]");
+        assert_eq!(dynamic.range(lo, hi), expected, "dyn [{lo}, {hi}]");
+    }
+    assert_eq!(bs.range(0, u64::MAX), 0..dataset.len());
+}
+
 /// SOSD file round trip feeds the whole pipeline: write a generated dataset,
-/// read it back, index it, query it.
+/// read it back, move its keys into shared storage, index it, query it.
 #[test]
 fn sosd_file_roundtrip_feeds_the_index() {
     let dir = std::env::temp_dir().join("shift_table_integration");
@@ -112,10 +171,13 @@ fn sosd_file_roundtrip_feeds_the_index() {
     let reloaded: Dataset<u64> = sosd_data::io::read_dataset_file(&path).unwrap();
     assert_eq!(original.as_slice(), reloaded.as_slice());
 
-    let index = CorrectedIndex::builder(reloaded.as_slice(), InterpolationModel::build(&reloaded))
-        .with_range_table()
-        .build();
     let w = Workload::uniform_keys(&reloaded, QUERIES, 13);
+    // Owned handoff: the dataset's key column moves into the index.
+    let index =
+        CorrectedIndex::owned_builder(reloaded.to_shared(), InterpolationModel::build(&reloaded))
+            .with_range_table()
+            .build()
+            .unwrap();
     for (q, expected) in w.iter() {
         assert_eq!(index.lower_bound(q), expected);
     }
@@ -131,11 +193,17 @@ fn u32_pipeline_end_to_end() {
         let fast = FastTree::new(keys);
         let corrected = CorrectedIndex::builder(keys, InterpolationModel::build(&dataset))
             .with_range_table()
-            .build();
+            .build()
+            .unwrap();
+        let dynamic = IndexSpec::parse("im+r1")
+            .unwrap()
+            .build(dataset.to_shared())
+            .unwrap();
         let w = Workload::uniform_domain(&dataset, QUERIES, 17);
         for (q, expected) in w.iter() {
             assert_eq!(fast.lower_bound(q), expected, "{name}");
             assert_eq!(corrected.lower_bound(q), expected, "{name}");
+            assert_eq!(dynamic.lower_bound(q), expected, "{name}");
         }
     }
 }

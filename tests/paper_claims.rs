@@ -4,8 +4,8 @@
 //! the paper reports must hold: they are what EXPERIMENTS.md records and what
 //! these tests pin down.
 
-use shift_table_repro::prelude::*;
 use learned_index::ModelErrorStats;
+use shift_table_repro::prelude::*;
 
 const N: usize = 100_000;
 
@@ -20,7 +20,8 @@ fn correction_reduces_dummy_model_error_by_an_order_of_magnitude_on_real_world_d
         let before = ModelErrorStats::compute(&model, &dataset).mean_abs;
         let index = CorrectedIndex::builder(dataset.as_slice(), model)
             .with_range_table()
-            .build();
+            .build()
+            .unwrap();
         let after = index.correction_error().mean_abs;
         assert!(
             before >= 10.0 * after.max(0.1),
@@ -73,14 +74,16 @@ fn auto_tuning_matches_the_papers_configuration_choices() {
     let uden: Dataset<u64> = SosdName::Uden64.generate(N, 3);
     let auto = CorrectedIndex::builder(uden.as_slice(), InterpolationModel::build(&uden))
         .with_auto_tuning()
-        .build();
+        .build()
+        .unwrap();
     assert!(!auto.layer_enabled(), "uden64 must not enable the layer");
 
     for name in [SosdName::Face64, SosdName::Osmc64, SosdName::Wiki64] {
         let d: Dataset<u64> = name.generate(N, 3);
         let auto = CorrectedIndex::builder(d.as_slice(), InterpolationModel::build(&d))
             .with_auto_tuning()
-            .build();
+            .build()
+            .unwrap();
         assert!(auto.layer_enabled(), "{name} must enable the layer");
     }
 }
@@ -96,7 +99,8 @@ fn layer_compression_trades_accuracy_for_memory() {
     for x in [1usize, 10, 100, 1000] {
         let index = CorrectedIndex::builder(dataset.as_slice(), model.clone())
             .with_compact_table(x)
-            .build();
+            .build()
+            .unwrap();
         let err = index.correction_error().mean_abs;
         let size = index.layer().size_bytes();
         assert!(
@@ -119,7 +123,8 @@ fn probe_counts_follow_the_papers_cost_analysis() {
     let fast = FastTree::new(keys);
     let im_st = CorrectedIndex::builder(keys, InterpolationModel::build(&dataset))
         .with_range_table()
-        .build();
+        .build()
+        .unwrap();
     let w = Workload::uniform_keys(&dataset, 500, 5);
 
     // Binary search probes ~log2(n) uncached locations; FAST's hierarchy
@@ -147,12 +152,15 @@ fn correction_is_model_agnostic() {
     let dataset: Dataset<u64> = SosdName::Wiki64.generate(N, 31);
     let keys = dataset.as_slice();
     let w = Workload::uniform_domain(&dataset, 500, 7);
-    let rs_st = CorrectedIndex::builder(keys, RadixSpline::builder().max_error(256).build(&dataset))
-        .with_range_table()
-        .build();
+    let rs_st =
+        CorrectedIndex::builder(keys, RadixSpline::builder().max_error(256).build(&dataset))
+            .with_range_table()
+            .build()
+            .unwrap();
     let pgm_st = CorrectedIndex::builder(keys, PgmModel::with_epsilon(&dataset, 256))
         .with_range_table()
-        .build();
+        .build()
+        .unwrap();
     for (q, expected) in w.iter() {
         assert_eq!(rs_st.lower_bound(q), expected);
         assert_eq!(pgm_st.lower_bound(q), expected);

@@ -1,81 +1,119 @@
-//! Property-based tests (proptest) over the core invariants of the
-//! workspace: for *arbitrary* key multisets and models, every index must
-//! return exactly the reference lower bound, Shift-Table windows must cover
-//! their keys, and error bounds must hold.
+//! Randomized property tests over the core invariants of the workspace,
+//! driven by a deterministic in-workspace RNG (`SplitMix64`) so they run
+//! without external dependencies and reproduce exactly: for *arbitrary* key
+//! multisets and models, every index must return exactly the reference lower
+//! bound, batched lookups must equal scalar lookups, Shift-Table windows must
+//! cover their keys, and error bounds must hold.
 
-use proptest::prelude::*;
 use shift_table_repro::prelude::*;
 
-/// Strategy: a sorted key vector with duplicates, clusters and extremes.
-fn arb_keys() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(
-        prop_oneof![
+/// Number of random cases per property.
+const CASES: usize = 64;
+
+/// A sorted key vector with duplicates, clusters and extremes (the shape the
+/// old proptest strategy produced).
+fn arb_keys(rng: &mut SplitMix64) -> Vec<u64> {
+    let len = 1 + rng.next_below(400) as usize;
+    let mut keys = Vec::with_capacity(len);
+    for _ in 0..len {
+        let k = match rng.next_below(3) {
             // small dense values (forces duplicates)
-            0u64..500,
+            0 => rng.next_below(500),
             // clustered mid-range values
-            1_000_000u64..1_001_000,
+            1 => 1_000_000 + rng.next_below(1_000),
             // sparse huge values
-            any::<u64>(),
-        ],
-        1..400,
-    )
-    .prop_map(|mut v| {
-        v.sort_unstable();
-        v
-    })
+            _ => rng.next_u64(),
+        };
+        keys.push(k);
+    }
+    keys.sort_unstable();
+    keys
 }
 
-/// Strategy: query values that mix indexed keys, near misses and extremes.
-fn arb_queries(keys: Vec<u64>) -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
-    let key_pool = keys.clone();
-    let q = prop_oneof![
-        prop::sample::select(key_pool.clone()),
-        prop::sample::select(key_pool).prop_map(|k| k.saturating_add(1)),
-        any::<u64>(),
-        Just(0u64),
-        Just(u64::MAX),
-    ];
-    (Just(keys), prop::collection::vec(q, 1..50))
+/// Query values that mix indexed keys, near misses and extremes.
+fn arb_queries(rng: &mut SplitMix64, keys: &[u64]) -> Vec<u64> {
+    let len = 1 + rng.next_below(50) as usize;
+    (0..len)
+        .map(|_| {
+            let pick = keys[rng.next_below(keys.len() as u64) as usize];
+            match rng.next_below(5) {
+                0 => pick,
+                1 => pick.saturating_add(1),
+                2 => rng.next_u64(),
+                3 => 0,
+                _ => u64::MAX,
+            }
+        })
+        .collect()
 }
 
 fn reference(keys: &[u64], q: u64) -> usize {
     keys.partition_point(|&k| k < q)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The corrected index (IM + range-mode Shift-Table) is exact for any
-    /// key multiset and any query.
-    #[test]
-    fn corrected_index_matches_reference((keys, queries) in arb_keys().prop_flat_map(arb_queries)) {
+/// The corrected index (IM + range-mode Shift-Table) is exact for any key
+/// multiset and any query, on both the scalar and the batched path.
+#[test]
+fn corrected_index_matches_reference() {
+    let mut rng = SplitMix64::new(0x5EED_0001);
+    for case in 0..CASES {
+        let keys = arb_keys(&mut rng);
+        let queries = arb_queries(&mut rng, &keys);
         let dataset = Dataset::from_sorted_keys("prop", keys);
-        let index = CorrectedIndex::builder(dataset.as_slice(), InterpolationModel::build(&dataset))
-            .with_range_table()
-            .build();
-        for q in queries {
-            prop_assert_eq!(index.lower_bound(q), reference(dataset.as_slice(), q));
+        let index =
+            CorrectedIndex::builder(dataset.as_slice(), InterpolationModel::build(&dataset))
+                .with_range_table()
+                .build()
+                .unwrap();
+        for &q in &queries {
+            assert_eq!(
+                index.lower_bound(q),
+                reference(dataset.as_slice(), q),
+                "case {case} q={q}"
+            );
+        }
+        let batch = index.lower_bound_many(&queries);
+        for (&q, got) in queries.iter().zip(batch) {
+            assert_eq!(
+                got,
+                reference(dataset.as_slice(), q),
+                "case {case} batch q={q}"
+            );
         }
     }
+}
 
-    /// The compact (midpoint) layer is exact too, at any compression factor.
-    #[test]
-    fn compact_corrected_index_matches_reference(
-        (keys, queries) in arb_keys().prop_flat_map(arb_queries),
-        x in 1usize..200,
-    ) {
+/// The compact (midpoint) layer is exact too, at any compression factor.
+#[test]
+fn compact_corrected_index_matches_reference() {
+    let mut rng = SplitMix64::new(0x5EED_0002);
+    for case in 0..CASES {
+        let keys = arb_keys(&mut rng);
+        let queries = arb_queries(&mut rng, &keys);
+        let x = 1 + rng.next_below(199) as usize;
         let dataset = Dataset::from_sorted_keys("prop", keys);
-        let index = CorrectedIndex::builder(dataset.as_slice(), InterpolationModel::build(&dataset))
-            .with_compact_table(x)
-            .build();
-        for q in queries {
-            prop_assert_eq!(index.lower_bound(q), reference(dataset.as_slice(), q));
+        let index =
+            CorrectedIndex::builder(dataset.as_slice(), InterpolationModel::build(&dataset))
+                .with_compact_table(x)
+                .build()
+                .unwrap();
+        for &q in &queries {
+            assert_eq!(
+                index.lower_bound(q),
+                reference(dataset.as_slice(), q),
+                "case {case} S-{x} q={q}"
+            );
         }
     }
+}
 
-    /// Every algorithmic baseline agrees with the reference lower bound.
-    #[test]
-    fn baselines_match_reference((keys, queries) in arb_keys().prop_flat_map(arb_queries)) {
+/// Every algorithmic baseline agrees with the reference lower bound.
+#[test]
+fn baselines_match_reference() {
+    let mut rng = SplitMix64::new(0x5EED_0003);
+    for case in 0..CASES {
+        let keys = arb_keys(&mut rng);
+        let queries = arb_queries(&mut rng, &keys);
         let dataset = Dataset::from_sorted_keys("prop", keys);
         let k = dataset.as_slice();
         let bs = BinarySearchIndex::new(k);
@@ -85,85 +123,185 @@ proptest! {
         let bt = BPlusTree::new(k);
         let fast = FastTree::new(k);
         let art = ArtIndex::new(k);
-        for q in queries {
+        for &q in &queries {
             let expected = reference(k, q);
-            prop_assert_eq!(bs.lower_bound(q), expected);
-            prop_assert_eq!(is.lower_bound(q), expected);
-            prop_assert_eq!(tip.lower_bound(q), expected);
-            prop_assert_eq!(rbs.lower_bound(q), expected);
-            prop_assert_eq!(bt.lower_bound(q), expected);
-            prop_assert_eq!(fast.lower_bound(q), expected);
-            prop_assert_eq!(art.lower_bound(q), expected);
+            assert_eq!(bs.lower_bound(q), expected, "case {case} BS q={q}");
+            assert_eq!(is.lower_bound(q), expected, "case {case} IS q={q}");
+            assert_eq!(tip.lower_bound(q), expected, "case {case} TIP q={q}");
+            assert_eq!(rbs.lower_bound(q), expected, "case {case} RBS q={q}");
+            assert_eq!(bt.lower_bound(q), expected, "case {case} B+tree q={q}");
+            assert_eq!(fast.lower_bound(q), expected, "case {case} FAST q={q}");
+            assert_eq!(art.lower_bound(q), expected, "case {case} ART q={q}");
         }
     }
+}
 
-    /// Shift-Table windows contain the true position of every indexed key
-    /// (the §3 invariant behind Algorithm 1), for any monotone model.
-    #[test]
-    fn shift_table_windows_cover_all_keys(keys in arb_keys()) {
+/// For **every** `IndexSpec` model×layer combination, on **all** SOSD
+/// generators: `lower_bound_batch` ≡ scalar `lower_bound` ≡
+/// `slice::partition_point`, for hit, miss and extreme queries. This is the
+/// acceptance matrix of the runtime-composition layer.
+#[test]
+fn every_spec_combination_is_exact_on_all_sosd_generators() {
+    let n = 2_000;
+    let combos = IndexSpec::all_combinations();
+    assert_eq!(combos.len(), 24, "6 model families x 4 layer families");
+    for name in SosdName::all() {
+        let dataset: Dataset<u64> = name.generate(n, 77);
+        let shared = dataset.to_shared();
+        let mut workload = Workload::uniform_domain(&dataset, 100, 7)
+            .queries()
+            .to_vec();
+        workload.extend(Workload::uniform_keys(&dataset, 100, 8).queries());
+        workload.extend([0, 1, u64::MAX, dataset.max_key().unwrap()]);
+        let expected: Vec<usize> = workload
+            .iter()
+            .map(|&q| dataset.as_slice().partition_point(|&k| k < q))
+            .collect();
+        for spec in &combos {
+            let index = spec.build(shared.clone()).unwrap();
+            assert_eq!(index.len(), n, "{name} {spec}");
+            for (&q, &e) in workload.iter().zip(expected.iter()) {
+                assert_eq!(index.lower_bound(q), e, "{name} {spec} scalar q={q}");
+            }
+            assert_eq!(
+                index.lower_bound_many(&workload),
+                expected,
+                "{name} {spec} batch"
+            );
+        }
+    }
+}
+
+/// Spec strings round-trip through `Display`/`parse`, and malformed specs are
+/// rejected with the right error class.
+#[test]
+fn spec_parse_roundtrip_and_errors() {
+    for spec in IndexSpec::all_combinations() {
+        let text = spec.to_string();
+        assert_eq!(IndexSpec::parse(&text).unwrap(), spec, "{text}");
+    }
+    // Layer defaults to r1 when omitted.
+    assert_eq!(
+        IndexSpec::parse("pgm:64").unwrap(),
+        IndexSpec::parse("pgm:64+r1").unwrap()
+    );
+    for bad in [
+        "",
+        "+r1",
+        "im+",
+        "skiplist+r1",
+        "rmi+r1",
+        "rmi:zero+r1",
+        "rs:0+r1",
+        "im+r2",
+        "im+s",
+        "im+s0",
+        "im+auto+r1",
+        "im:s1",
+    ] {
+        assert!(IndexSpec::parse(bad).is_err(), "`{bad}` should not parse");
+    }
+}
+
+/// Shift-Table windows contain the true position of every indexed key (the §3
+/// invariant behind Algorithm 1), for any monotone model.
+#[test]
+fn shift_table_windows_cover_all_keys() {
+    let mut rng = SplitMix64::new(0x5EED_0004);
+    for case in 0..CASES {
+        let keys = arb_keys(&mut rng);
         let dataset = Dataset::from_sorted_keys("prop", keys);
         let model = InterpolationModel::build(&dataset);
         let table = ShiftTable::build(&model, dataset.as_slice());
-        for (i, &k) in dataset.as_slice().iter().enumerate() {
+        for &k in dataset.as_slice() {
             let target = dataset.lower_bound(k);
-            let _ = i;
             let hint = table.correct(learned_index::CdfModel::<u64>::predict_clamped(&model, k));
             let window = hint.window.unwrap().max(1);
-            prop_assert!(hint.start <= target && target < hint.start + window,
-                "key {} target {} outside [{}, {})", k, target, hint.start, hint.start + window);
+            assert!(
+                hint.start <= target && target < hint.start + window,
+                "case {case}: key {k} target {target} outside [{}, {})",
+                hint.start,
+                hint.start + window
+            );
         }
     }
+}
 
-    /// RadixSpline and PGM honour their declared error bounds on arbitrary
-    /// data.
-    #[test]
-    fn error_bounded_models_hold_their_bounds(keys in arb_keys(), eps in 1usize..128) {
+/// RadixSpline and PGM honour their declared error bounds on arbitrary data.
+#[test]
+fn error_bounded_models_hold_their_bounds() {
+    let mut rng = SplitMix64::new(0x5EED_0005);
+    for _ in 0..CASES {
+        let keys = arb_keys(&mut rng);
+        let eps = 1 + rng.next_below(127) as usize;
         let dataset = Dataset::from_sorted_keys("prop", keys);
         let rs = RadixSpline::builder().max_error(eps).build(&dataset);
         let pgm = PgmModel::with_epsilon(&dataset, eps);
         let mut last = None;
         for (i, &k) in dataset.as_slice().iter().enumerate() {
-            if last == Some(k) { continue; }
+            if last == Some(k) {
+                continue;
+            }
             last = Some(k);
-            let rs_err = (learned_index::CdfModel::<u64>::predict(&rs, k) as i64 - i as i64).unsigned_abs();
-            let pgm_err = (learned_index::CdfModel::<u64>::predict(&pgm, k) as i64 - i as i64).unsigned_abs();
-            prop_assert!(rs_err as usize <= eps + 1, "RS err {} > eps {}", rs_err, eps);
-            prop_assert!(pgm_err as usize <= eps + 1, "PGM err {} > eps {}", pgm_err, eps);
+            let rs_err =
+                (learned_index::CdfModel::<u64>::predict(&rs, k) as i64 - i as i64).unsigned_abs();
+            let pgm_err =
+                (learned_index::CdfModel::<u64>::predict(&pgm, k) as i64 - i as i64).unsigned_abs();
+            assert!(rs_err as usize <= eps + 1, "RS err {rs_err} > eps {eps}");
+            assert!(pgm_err as usize <= eps + 1, "PGM err {pgm_err} > eps {eps}");
         }
     }
+}
 
-    /// The dataset's own range query is consistent with lower/upper bounds,
-    /// and the corrected index reproduces it.
-    #[test]
-    fn range_queries_are_consistent((keys, queries) in arb_keys().prop_flat_map(arb_queries)) {
+/// The dataset's own range query is consistent with lower/upper bounds, and
+/// the corrected index reproduces it through the probe-based `range`.
+#[test]
+fn range_queries_are_consistent() {
+    let mut rng = SplitMix64::new(0x5EED_0006);
+    for case in 0..CASES {
+        let keys = arb_keys(&mut rng);
+        let queries = arb_queries(&mut rng, &keys);
         let dataset = Dataset::from_sorted_keys("prop", keys);
-        let index = CorrectedIndex::builder(dataset.as_slice(), InterpolationModel::build(&dataset))
-            .with_range_table()
-            .build();
+        let index =
+            CorrectedIndex::builder(dataset.as_slice(), InterpolationModel::build(&dataset))
+                .with_range_table()
+                .build()
+                .unwrap();
         for pair in queries.chunks(2) {
-            if pair.len() < 2 { continue; }
+            if pair.len() < 2 {
+                continue;
+            }
             let (lo, hi) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
             let expected = dataset.range_query(lo, hi);
-            let got = index.range(lo, hi, dataset.as_slice());
-            prop_assert_eq!(&got, &expected);
+            let got = index.range(lo, hi);
+            assert_eq!(got, expected, "case {case} [{lo}, {hi}]");
             for i in got {
-                prop_assert!(dataset.key_at(i) >= lo && dataset.key_at(i) <= hi);
+                assert!(dataset.key_at(i) >= lo && dataset.key_at(i) <= hi);
             }
         }
     }
+}
 
-    /// The SOSD binary format round-trips arbitrary key vectors.
-    #[test]
-    fn sosd_io_roundtrips(keys in arb_keys()) {
+/// The SOSD binary format round-trips arbitrary key vectors.
+#[test]
+fn sosd_io_roundtrips() {
+    let mut rng = SplitMix64::new(0x5EED_0007);
+    for _ in 0..CASES {
+        let keys = arb_keys(&mut rng);
         let mut buf = Vec::new();
         sosd_data::io::write_keys(&mut buf, &keys).unwrap();
         let back: Vec<u64> = sosd_data::io::read_keys(&buf[..]).unwrap();
-        prop_assert_eq!(back, keys);
+        assert_eq!(back, keys);
     }
+}
 
-    /// Workload ground truth is always the reference lower bound.
-    #[test]
-    fn workloads_report_correct_expected_positions(keys in arb_keys(), seed in any::<u64>()) {
+/// Workload ground truth is always the reference lower bound.
+#[test]
+fn workloads_report_correct_expected_positions() {
+    let mut rng = SplitMix64::new(0x5EED_0008);
+    for _ in 0..CASES {
+        let keys = arb_keys(&mut rng);
+        let seed = rng.next_u64();
         let dataset = Dataset::from_sorted_keys("prop", keys);
         for w in [
             Workload::uniform_keys(&dataset, 32, seed),
@@ -171,7 +309,7 @@ proptest! {
             Workload::non_indexed(&dataset, 32, seed),
         ] {
             for (q, expected) in w.iter() {
-                prop_assert_eq!(expected, reference(dataset.as_slice(), q));
+                assert_eq!(expected, reference(dataset.as_slice(), q));
             }
         }
     }
