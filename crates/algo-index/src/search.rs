@@ -197,6 +197,25 @@ mod tests {
     }
 
     #[test]
+    fn range_index_is_object_safe_with_every_default_method() {
+        // Object-safety audit: all provided methods (`range`,
+        // `lower_bound_batch`, `lower_bound_many`, `is_empty`) must be
+        // callable through `&dyn RangeIndex` — the store layer dispatches
+        // every read through this vtable.
+        fn drive(idx: &dyn RangeIndex<u64>) {
+            assert_eq!(idx.lower_bound(3), 1);
+            assert!(!idx.is_empty());
+            assert_eq!(idx.range(0, u64::MAX), 0..4);
+            let mut out = [0usize; 2];
+            idx.lower_bound_batch(&[1, u64::MAX], &mut out);
+            assert_eq!(out, [0, 4]);
+            assert_eq!(idx.lower_bound_many(&[5]), vec![3]);
+        }
+        let keys = vec![2u64, 4, 4, 6];
+        drive(&BinarySearchIndex::new(&keys));
+    }
+
+    #[test]
     fn trait_object_and_reference_forwarding() {
         let keys = vec![2u64, 4, 6];
         let idx = BinarySearchIndex::new(&keys);

@@ -29,6 +29,11 @@ fn main() {
         ("Figure 7", experiments::figure7::run, "figure7_build_times"),
         ("Figure 8", experiments::figure8::run, "figure8_index_size"),
         ("Figure 9", experiments::figure9::run, "figure9_layer_size"),
+        (
+            "Store (mixed workloads)",
+            experiments::store_mixed::run,
+            "store_mixed",
+        ),
     ];
     for (name, run, stem) in all {
         println!("=== {name} ===");

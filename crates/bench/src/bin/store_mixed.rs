@@ -1,0 +1,9 @@
+//! Store suite: mixed read/write workloads over the sharded store.
+
+use shift_bench::prelude::*;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("Shift-Table reproduction — store mixed workloads (config: {cfg:?})\n");
+    experiments::emit(&experiments::store_mixed::run(cfg), "store_mixed");
+}

@@ -1,0 +1,131 @@
+//! Mixed read/write serving benchmark over the sharded store.
+//!
+//! Not part of the paper's evaluation (the paper serves a static corpus):
+//! this suite measures the `shift-store` layer the workspace grows towards —
+//! a range-sharded store absorbing writes through per-shard delta buffers.
+//! Three trace shapes (read-heavy, insert-heavy, Zipfian shard skew) are
+//! replayed against stores with increasing shard counts; the table reports
+//! throughput, the rebuilds the trace triggered, and the final store size.
+//!
+//! Correctness is not re-derived here (the store's oracle property test owns
+//! that); a fold of every returned position guards against dead-code
+//! elimination, and the final store length is cross-checked against an
+//! insert/delete counter.
+
+use crate::datasets::{dataset_u64, BenchConfig};
+use crate::report::Table;
+use algo_index::RangeIndex;
+use shift_store::{ShardedStore, StoreConfig};
+use shift_table::spec::IndexSpec;
+use sosd_data::prelude::*;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Shard counts the suite sweeps.
+pub const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+
+/// The trace shapes the suite replays.
+const SCENARIOS: [(&str, MixedKind); 3] = [
+    ("read-heavy", MixedKind::ReadHeavy),
+    ("insert-heavy", MixedKind::InsertHeavy),
+    ("zipf-shard-skew", MixedKind::ZipfShardSkew),
+];
+
+/// Replay a trace against a store, returning `(ns_per_op, checksum,
+/// net_inserted)`.
+fn replay(store: &ShardedStore<u64>, ops: &[MixedOp<u64>]) -> (f64, u64, i64) {
+    let mut checksum = 0u64;
+    let mut net = 0i64;
+    let start = Instant::now();
+    for &op in ops {
+        match op {
+            MixedOp::Lookup(q) => {
+                checksum = checksum.wrapping_add(store.lower_bound(black_box(q)) as u64);
+            }
+            MixedOp::Insert(k) => {
+                store.insert(black_box(k)).expect("insert cannot fail");
+                net += 1;
+            }
+            MixedOp::Delete(k) => {
+                if store.delete(black_box(k)).expect("delete cannot fail") {
+                    net -= 1;
+                }
+            }
+            MixedOp::Range(lo, hi) => {
+                let r = store.range(black_box(lo), black_box(hi));
+                checksum = checksum.wrapping_add(r.len() as u64);
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    (elapsed / ops.len().max(1) as f64, black_box(checksum), net)
+}
+
+/// Run the mixed-workload store benchmark.
+pub fn run(cfg: BenchConfig) -> Vec<Table> {
+    let spec = IndexSpec::parse("im+r1").expect("builtin spec parses");
+    let d = dataset_u64(SosdName::Face64, cfg);
+    let ops_per_trace = cfg.queries.max(1);
+    // Threshold chosen so the traces actually trigger rebuilds at every
+    // shard count, but not on every handful of writes.
+    let threshold = (ops_per_trace / 50).clamp(64, 100_000);
+
+    let mut table = Table::new(
+        format!(
+            "Store — mixed workloads on face64 (n = {}, {} ops/trace, spec {spec}, delta threshold {threshold})",
+            d.len(),
+            ops_per_trace
+        ),
+        &[
+            "scenario", "shards", "ns/op", "Mops/s", "rebuilds", "final_keys", "aux_bytes",
+        ],
+    );
+    for (label, kind) in SCENARIOS {
+        for shards in SHARD_COUNTS {
+            let trace = match kind {
+                MixedKind::ReadHeavy => MixedWorkload::read_heavy(&d, ops_per_trace, cfg.seed),
+                MixedKind::InsertHeavy => MixedWorkload::insert_heavy(&d, ops_per_trace, cfg.seed),
+                MixedKind::ZipfShardSkew => {
+                    MixedWorkload::zipf_shard_skew(&d, ops_per_trace, shards.max(4), 0.99, cfg.seed)
+                }
+            };
+            let config = StoreConfig::new(spec)
+                .shards(shards)
+                .delta_threshold(threshold);
+            let store = ShardedStore::build(config, d.as_slice()).expect("sorted dataset");
+            let before = store.len() as i64;
+            let (ns_per_op, _checksum, net) = replay(&store, trace.ops());
+            assert_eq!(
+                store.len() as i64,
+                before + net,
+                "store length must track net inserts"
+            );
+            table.add_row(vec![
+                label.into(),
+                store.shard_count().to_string(),
+                format!("{ns_per_op:.1}"),
+                format!("{:.2}", 1_000.0 / ns_per_op.max(1e-9)),
+                store.total_rebuilds().to_string(),
+                store.len().to_string(),
+                store.index_size_bytes().to_string(),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_a_full_table() {
+        let tables = run(BenchConfig {
+            keys: 20_000,
+            queries: 2_000,
+            seed: 42,
+        });
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].row_count(), SCENARIOS.len() * SHARD_COUNTS.len());
+    }
+}

@@ -137,17 +137,22 @@ pub(crate) fn compute_range_entries_parallel<K: Key, M: CdfModel<K> + Sync + ?Si
 
 /// Compute the midpoint drifts `Δ̄` of a compact (S-X) layer with `m`
 /// partitions over every `sample_step`-th key (§3.4; `sample_step = 1` uses
-/// every key, larger values implement the sampling-based construction).
-pub(crate) fn compute_midpoint_deltas<K: Key, M: CdfModel<K> + ?Sized>(
+/// every key, larger values implement the sampling-based construction),
+/// plus the root-mean-square residual `sqrt(E[(drift − Δ̄)²])` of the
+/// sampled keys — derived from the per-partition drift moments accumulated
+/// by the same single pass, so the layer's build-time error statistic costs
+/// no extra model evaluation.
+pub(crate) fn compute_midpoint_deltas_and_residual<K: Key, M: CdfModel<K> + ?Sized>(
     model: &M,
     keys: &[K],
     m: usize,
     sample_step: usize,
-) -> Vec<i64> {
+) -> (Vec<i64>, f64) {
     let n = keys.len();
     let m = m.max(1);
     let sample_step = sample_step.max(1);
     let mut sums = vec![0i128; m];
+    let mut sums_sq = vec![0.0f64; m];
     let mut counts = vec![0u64; m];
     if n > 0 {
         let mut first_occurrence = 0usize;
@@ -162,7 +167,9 @@ pub(crate) fn compute_midpoint_deltas<K: Key, M: CdfModel<K> + ?Sized>(
             }
             let prediction = model.predict_clamped(keys[i]);
             let partition = partition_of(prediction, m, n);
-            sums[partition] += first_occurrence as i128 - prediction as i128;
+            let drift = first_occurrence as i128 - prediction as i128;
+            sums[partition] += drift;
+            sums_sq[partition] += (drift as f64) * (drift as f64);
             counts[partition] += 1;
         }
     }
@@ -172,6 +179,23 @@ pub(crate) fn compute_midpoint_deltas<K: Key, M: CdfModel<K> + ?Sized>(
             deltas[k] = (sums[k] / counts[k] as i128) as i64;
         }
     }
+    // RMS residual from the moments: E[(x − Δ̄)²] = E[x²] − 2Δ̄E[x] + Δ̄²
+    // per populated partition, weighted by partition cardinality.
+    let mut residual_sq = 0.0f64;
+    let mut total = 0u64;
+    for k in 0..m {
+        if counts[k] > 0 {
+            let c = counts[k] as f64;
+            let d = deltas[k] as f64;
+            residual_sq += sums_sq[k] - 2.0 * d * (sums[k] as f64) + c * d * d;
+            total += counts[k];
+        }
+    }
+    let residual = if total == 0 {
+        0.0
+    } else {
+        (residual_sq.max(0.0) / total as f64).sqrt()
+    };
     // Empty partitions copy the nearest populated neighbour (right first,
     // matching the range-mode backward fill, then left for trailing gaps).
     let mut next: i64 = 0;
@@ -192,7 +216,7 @@ pub(crate) fn compute_midpoint_deltas<K: Key, M: CdfModel<K> + ?Sized>(
             prev = *d;
         }
     }
-    deltas
+    (deltas, residual)
 }
 
 /// Map a prediction (on the `[0, n)` record scale) to a partition index on
@@ -343,6 +367,60 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_is_equivalent_on_every_generator_and_thread_count() {
+        // The chunk-boundary audit as a property: `build_parallel ≡ build`
+        // over every SOSD generator, with 1 thread (sequential fallback), 2
+        // threads (one seam) and 7 threads (seams at non-power-of-two,
+        // non-divisor offsets). n exceeds the 4096-key fallback threshold so
+        // the scoped-thread path actually runs.
+        let n = 6_000;
+        for name in SosdName::all() {
+            let d: Dataset<u64> = name.generate(n, 13);
+            let model = InterpolationModel::build(&d);
+            let seq = compute_range_entries(&model, d.as_slice());
+            for threads in [1usize, 2, 7] {
+                let par = compute_range_entries_parallel(&model, d.as_slice(), threads);
+                assert_eq!(seq, par, "{name} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_never_splits_a_duplicate_run() {
+        use sosd_data::rng::SplitMix64;
+        // Duplicate-heavy key columns whose run boundaries land on (and far
+        // past) the naive n·t/threads chunk offsets: the boundary-alignment
+        // loop must push every seam to the start of a fresh run, or the
+        // per-chunk first-occurrence tracking diverges from the serial build.
+        let mut rng = SplitMix64::new(0xD095);
+        let mut keys: Vec<u64> = Vec::new();
+        while keys.len() < 10_000 {
+            let v = rng.next_below(500);
+            let run = 1 + rng.next_below(900) as usize;
+            keys.extend(std::iter::repeat_n(v, run));
+        }
+        keys.sort_unstable();
+        let model = InterpolationModel::from_sorted_keys(&keys);
+        let seq = compute_range_entries(&model, &keys);
+        for threads in [2usize, 3, 7, 16] {
+            let par = compute_range_entries_parallel(&model, &keys, threads);
+            assert_eq!(seq, par, "duplicate-heavy with {threads} threads");
+        }
+
+        // Degenerate: one run covering almost the whole column — every chunk
+        // boundary collapses into the run's end.
+        let mut keys = vec![7u64; 9_000];
+        keys.splice(0..0, [1u64, 2, 3]);
+        keys.extend([9u64, 10]);
+        let model = InterpolationModel::from_sorted_keys(&keys);
+        let seq = compute_range_entries(&model, &keys);
+        for threads in [2usize, 7] {
+            let par = compute_range_entries_parallel(&model, &keys, threads);
+            assert_eq!(seq, par, "mega-run with {threads} threads");
+        }
+    }
+
+    #[test]
     fn parallel_build_falls_back_for_tiny_input() {
         let d: Dataset<u64> = SosdName::Uden64.generate(100, 1);
         let model = InterpolationModel::build(&d);
@@ -374,8 +452,13 @@ mod tests {
             }
         }
         let keys: Vec<u64> = (0..10u64).collect();
-        let deltas = compute_midpoint_deltas(&Zero, &keys, 1, 1);
+        let (deltas, residual) = compute_midpoint_deltas_and_residual(&Zero, &keys, 1, 1);
         assert_eq!(deltas, vec![4]);
+        // Drifts 0..=9 around Δ̄ = 4: residuals −4..=5, RMS = sqrt(8.5).
+        assert!(
+            (residual - 8.5f64.sqrt()).abs() < 1e-9,
+            "residual {residual}"
+        );
     }
 
     #[test]
@@ -383,7 +466,7 @@ mod tests {
         let keys: Vec<u64> = (0..100u64).map(|i| i * 3).collect();
         let d = Dataset::from_keys("d", keys);
         let model = InterpolationModel::build(&d);
-        let deltas = compute_midpoint_deltas(&model, d.as_slice(), 400, 1);
+        let (deltas, _) = compute_midpoint_deltas_and_residual(&model, d.as_slice(), 400, 1);
         assert_eq!(deltas.len(), 400);
         assert!(deltas.iter().all(|&d| d != i64::MAX));
     }
@@ -392,8 +475,8 @@ mod tests {
     fn sampling_build_is_close_to_full_build() {
         let d: Dataset<u64> = SosdName::Face64.generate(50_000, 5);
         let model = InterpolationModel::build(&d);
-        let full = compute_midpoint_deltas(&model, d.as_slice(), 1000, 1);
-        let sampled = compute_midpoint_deltas(&model, d.as_slice(), 1000, 16);
+        let full = compute_midpoint_deltas_and_residual(&model, d.as_slice(), 1000, 1).0;
+        let sampled = compute_midpoint_deltas_and_residual(&model, d.as_slice(), 1000, 16).0;
         let mut diffs = 0usize;
         for (f, s) in full.iter().zip(sampled.iter()) {
             if (f - s).abs() > 200 {
@@ -421,7 +504,8 @@ mod tests {
         let d: Dataset<u64> = Dataset::from_keys("e", vec![]);
         let model = InterpolationModel::build(&d);
         assert!(compute_range_entries(&model, d.as_slice()).is_empty());
-        let deltas = compute_midpoint_deltas(&model, d.as_slice(), 4, 1);
+        let (deltas, residual) = compute_midpoint_deltas_and_residual(&model, d.as_slice(), 4, 1);
         assert_eq!(deltas, vec![0, 0, 0, 0]);
+        assert_eq!(residual, 0.0);
     }
 }

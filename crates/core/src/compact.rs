@@ -19,6 +19,10 @@ pub struct CompactShiftTable {
     deltas: MidpointStorage,
     m: usize,
     n: usize,
+    /// RMS residual `corrected − true` over the (sampled) build keys,
+    /// recorded at build time so query-time consumers (the probe-count
+    /// proxy, the tuning advisor) never have to probe the key array.
+    rms_residual: f64,
 }
 
 impl CompactShiftTable {
@@ -41,11 +45,13 @@ impl CompactShiftTable {
         keys: &[K],
         m: usize,
     ) -> Self {
-        let deltas = build::compute_midpoint_deltas(model, keys, m.max(1), 1);
+        let m = m.max(1);
+        let (deltas, rms_residual) = build::compute_midpoint_deltas_and_residual(model, keys, m, 1);
         Self {
             deltas: MidpointStorage::pack(&deltas),
-            m: m.max(1),
+            m,
             n: keys.len(),
+            rms_residual,
         }
     }
 
@@ -58,11 +64,16 @@ impl CompactShiftTable {
         m: usize,
         sample_step: usize,
     ) -> Self {
-        let deltas = build::compute_midpoint_deltas(model, keys, m.max(1), sample_step.max(1));
+        let m = m.max(1);
+        let sample_step = sample_step.max(1);
+        // Residual measured over the same sample, preserving the O(S) build.
+        let (deltas, rms_residual) =
+            build::compute_midpoint_deltas_and_residual(model, keys, m, sample_step);
         Self {
             deltas: MidpointStorage::pack(&deltas),
-            m: m.max(1),
+            m,
             n: keys.len(),
+            rms_residual,
         }
     }
 
@@ -91,6 +102,17 @@ impl CompactShiftTable {
     /// True if the narrow 16-bit encoding was selected.
     pub fn is_narrow(&self) -> bool {
         self.deltas.is_narrow()
+    }
+
+    /// Root-mean-square residual `corrected − true position` over the keys
+    /// the layer was built from (§3.5: drifts spread ≈ uniformly over a
+    /// partition of cardinality `C`, giving an RMS of ≈ `C/√12`). Derived
+    /// from the single build pass's drift moments — no extra model sweep —
+    /// and recorded on the layer; the midpoint analogue of
+    /// [`crate::table::ShiftTable::expected_error`].
+    #[inline]
+    pub fn expected_error(&self) -> f64 {
+        self.rms_residual
     }
 
     /// The stored midpoint drift of a partition.
@@ -274,6 +296,33 @@ mod tests {
         assert!(
             e_sampled < 20.0 * e_full.max(1.0),
             "sampled layer error {e_sampled} should stay in the same ballpark as {e_full}"
+        );
+    }
+
+    #[test]
+    fn expected_error_is_recorded_at_build_time() {
+        let d: Dataset<u64> = SosdName::Face64.generate(20_000, 6);
+        let model = InterpolationModel::build(&d);
+        let t = CompactShiftTable::build(&model, d.as_slice(), 1);
+        let empirical = mean_corrected_error(&t, &model, &d);
+        assert!(t.expected_error() > 0.0);
+        // The stored statistic is an RMS over all sampled keys while the
+        // empirical reference is a deduped mean-abs, so they agree in
+        // magnitude (RMS ≥ mean, within a small factor), not to the digit.
+        assert!(
+            t.expected_error() >= 0.5 * empirical && t.expected_error() <= 5.0 * empirical.max(1.0),
+            "stored {} vs empirical {empirical}",
+            t.expected_error()
+        );
+        // Coarser layers must report larger residuals.
+        let t100 = CompactShiftTable::build(&model, d.as_slice(), 100);
+        assert!(t100.expected_error() >= t.expected_error());
+
+        let empty: Vec<u64> = vec![];
+        let em = InterpolationModel::from_sorted_keys(&empty);
+        assert_eq!(
+            CompactShiftTable::build(&em, &empty, 10).expected_error(),
+            0.0
         );
     }
 

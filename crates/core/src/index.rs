@@ -22,7 +22,7 @@ use learned_index::model::CdfModel;
 use learned_index::ModelErrorStats;
 use sosd_data::key::Key;
 use std::marker::PhantomData;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Queries per amortization block in [`RangeIndex::lower_bound_batch`]: the
 /// model-prediction, layer-lookup and local-search stages each run as a tight
@@ -146,6 +146,14 @@ impl<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync> CorrectedIndexBuilder<
     /// [`crate::spec::IndexSpec`]) that already validated the key column.
     pub(crate) fn build_prevalidated(self) -> CorrectedIndex<K, M, S> {
         let keys = self.keys.as_ref();
+        // The raw-model error statistic backs the probe-count proxy whenever
+        // no correction layer serves the query. It is computed lazily on
+        // first use (and cached) so builds never pay an extra per-key model
+        // sweep for a value most indexes never read — the store's write path
+        // re-enters this builder on every shard rebuild. The `Auto` path
+        // needs the statistic for its tuning decision anyway, so it seeds the
+        // cache for free.
+        let model_expected_error = OnceLock::new();
         let layer = match self.layer {
             LayerChoice::None => CorrectionLayer::None,
             LayerChoice::Range => {
@@ -156,7 +164,8 @@ impl<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync> CorrectedIndexBuilder<
             ),
             LayerChoice::Auto => {
                 let table = build_range_table(&self.model, keys, self.build_threads);
-                let before = ModelErrorStats::compute_on_keys(&self.model, keys).mean_abs;
+                let before = ModelErrorStats::mean_abs_on_keys(&self.model, keys);
+                let _ = model_expected_error.set(before);
                 let advisor = TuningAdvisor::with(Default::default(), self.config);
                 match advisor.decide(before, table.expected_error()) {
                     TuningDecision::ModelWithShiftTable => CorrectionLayer::Range(table),
@@ -170,6 +179,7 @@ impl<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync> CorrectedIndexBuilder<
             layer,
             enabled: true,
             config: self.config,
+            model_expected_error,
             _key: PhantomData,
         }
     }
@@ -197,6 +207,11 @@ pub struct CorrectedIndex<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync = 
     /// zero cost; when disabled the model's raw prediction is used.
     enabled: bool,
     config: ShiftTableConfig,
+    /// Mean absolute error of the raw model over the indexed keys — the
+    /// drift statistic `probe_estimate` uses instead of probing the key
+    /// array. Computed once, lazily, on the first estimate that needs it
+    /// (the `Auto` build seeds it as a by-product of its tuning decision).
+    model_expected_error: OnceLock<f64>,
     _key: PhantomData<fn(K) -> K>,
 }
 
@@ -293,28 +308,43 @@ impl<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync> CorrectedIndex<K, M, S
         }
     }
 
-    /// Number of key-array probes the last lookup would perform for `q`
-    /// (used by the harness as a cache-miss proxy without timing).
+    /// Expected number of key-array probes a lookup for `q` performs (used by
+    /// the harness as a cache-miss proxy without timing).
+    ///
+    /// # Contract
+    /// Per call, the estimate never probes the key array: it is derived from
+    /// the model prediction plus cached drift/error statistics — the
+    /// guaranteed window length for the range layer, the RMS residual the
+    /// midpoint layer records at build time, and (for the uncorrected path)
+    /// the model's mean absolute error, computed once on first use and
+    /// cached. (A proxy that located the true position per estimate would
+    /// perturb the very cache behaviour it stands in for, and would cost a
+    /// full lookup each call.)
     pub fn probe_estimate(&self, q: K) -> usize {
-        let keys = self.keys.as_ref();
-        let pred = self.model.predict_clamped(q);
         match (&self.layer, self.enabled) {
+            // Only the range layer needs the query's prediction (to fetch
+            // its per-partition window); the other arms are distributional.
             (CorrectionLayer::Range(t), true) => {
-                let hint = t.correct(pred);
+                let hint = t.correct(self.model.predict_clamped(q));
                 1 + crate::local_search::window_probe_count(
                     hint.window.unwrap_or(1).max(1),
                     self.config.linear_to_binary_threshold,
                 )
             }
             (CorrectionLayer::Midpoint(t), true) => {
-                let start = t.correct(pred).start;
-                let actual = keys.partition_point(|&k| k < q);
-                let distance = start.abs_diff(actual).max(1);
+                // Exponential search from the corrected position: the RMS
+                // residual the layer recorded at build time stands in for
+                // the (unknown) distance to the true position.
+                let distance = (t.expected_error().ceil() as usize).max(1);
                 1 + 2 * (usize::BITS - distance.leading_zeros()) as usize
             }
             _ => {
-                let actual = keys.partition_point(|&k| k < q);
-                let distance = pred.abs_diff(actual).max(1);
+                // Raw model prediction: the model's mean absolute error is
+                // the expected galloping distance (computed once, cached).
+                let expected = *self.model_expected_error.get_or_init(|| {
+                    ModelErrorStats::mean_abs_on_keys(&self.model, self.keys.as_ref())
+                });
+                let distance = (expected.ceil() as usize).max(1);
                 2 * (usize::BITS - distance.leading_zeros()) as usize
             }
         }
@@ -400,15 +430,23 @@ impl<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync> RangeIndex<K>
             out.fill(0);
             return;
         }
+        // The stage buffers are reused across blocks, so entries past the
+        // current chunk length still hold values from the *previous* block.
+        // Every stage loop below is therefore truncated to `qs.len()` up
+        // front (tail chunks have `queries.len() % BATCH_BLOCK != 0`): no
+        // loop may iterate the full buffer, or it would consume a stale
+        // prediction/hint and silently return a wrong position.
         let mut predictions = [0usize; BATCH_BLOCK];
         match (&self.layer, self.enabled) {
             (CorrectionLayer::Range(table), true) => {
                 let mut hints = [SearchHint::unbounded(0); BATCH_BLOCK];
                 for (qs, os) in queries.chunks(BATCH_BLOCK).zip(out.chunks_mut(BATCH_BLOCK)) {
+                    let predictions = &mut predictions[..qs.len()];
+                    let hints = &mut hints[..qs.len()];
                     for (p, &q) in predictions.iter_mut().zip(qs.iter()) {
                         *p = self.model.predict_clamped(q);
                     }
-                    for (h, &p) in hints.iter_mut().zip(predictions.iter()).take(qs.len()) {
+                    for (h, &p) in hints.iter_mut().zip(predictions.iter()) {
                         *h = table.correct(p);
                     }
                     for ((o, &q), &h) in os.iter_mut().zip(qs.iter()).zip(hints.iter()) {
@@ -418,10 +456,11 @@ impl<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync> RangeIndex<K>
             }
             (CorrectionLayer::Midpoint(table), true) => {
                 for (qs, os) in queries.chunks(BATCH_BLOCK).zip(out.chunks_mut(BATCH_BLOCK)) {
+                    let predictions = &mut predictions[..qs.len()];
                     for (p, &q) in predictions.iter_mut().zip(qs.iter()) {
                         *p = self.model.predict_clamped(q);
                     }
-                    for (p, _) in predictions.iter_mut().zip(qs.iter()) {
+                    for p in predictions.iter_mut() {
                         *p = table.correct(*p).start;
                     }
                     for ((o, &q), &start) in os.iter_mut().zip(qs.iter()).zip(predictions.iter()) {
@@ -431,6 +470,7 @@ impl<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync> RangeIndex<K>
             }
             _ => {
                 for (qs, os) in queries.chunks(BATCH_BLOCK).zip(out.chunks_mut(BATCH_BLOCK)) {
+                    let predictions = &mut predictions[..qs.len()];
                     for (p, &q) in predictions.iter_mut().zip(qs.iter()) {
                         *p = self.model.predict_clamped(q);
                     }
@@ -719,6 +759,118 @@ mod tests {
         assert_eq!(index.lower_bound(5), 0);
         assert_eq!(index.lower_bound(6), 100);
         assert_eq!(index.lower_bound(4), 0);
+    }
+
+    #[test]
+    fn batch_tail_chunks_never_consume_stale_stage_state() {
+        // Regression test for the stage-blocked batch path: when
+        // `queries.len() % BATCH_BLOCK != 0` the final chunk is shorter than
+        // the reused stage buffers, and every stage loop must truncate to the
+        // chunk length — a loop running over the full buffer would consume a
+        // prediction/hint left over from the previous block. Duplicate-heavy
+        // keys make any such slip visible (positions jump by the run length).
+        let mut keys: Vec<u64> = Vec::new();
+        for v in 0..300u64 {
+            let run = 1 + (v % 11) as usize; // runs of 1..=11 duplicates
+            keys.extend(std::iter::repeat_n(v * 5, run));
+        }
+        let dataset = Dataset::from_sorted_keys("dups", keys);
+        let model = InterpolationModel::build(&dataset);
+        let keys = dataset.as_slice();
+
+        // A query stream whose values swing wildly between consecutive
+        // positions, so block i's stage state is maximally wrong for block
+        // i+1: stale consumption cannot cancel out.
+        let mut rng = SplitMix64::new(0xBA7C);
+        let queries: Vec<u64> = (0..BATCH_BLOCK * 3 + 17)
+            .map(|i| {
+                if i.is_multiple_of(2) {
+                    keys[rng.next_below(keys.len() as u64) as usize]
+                } else {
+                    rng.next_below(1_600) // misses and duplicate-run interiors
+                }
+            })
+            .collect();
+        let expected: Vec<usize> = queries
+            .iter()
+            .map(|&q| keys.partition_point(|&k| k < q))
+            .collect();
+
+        let indexes: Vec<CorrectedIndex<u64, InterpolationModel, &[u64]>> = vec![
+            CorrectedIndex::builder(keys, model.clone())
+                .with_range_table()
+                .build()
+                .unwrap(),
+            CorrectedIndex::builder(keys, model.clone())
+                .with_compact_table(7)
+                .build()
+                .unwrap(),
+            CorrectedIndex::builder(keys, model.clone())
+                .without_correction()
+                .build()
+                .unwrap(),
+        ];
+        for index in &indexes {
+            // Every non-multiple-of-block prefix length, including lengths
+            // below, at and just past one/two blocks.
+            for len in [
+                1,
+                2,
+                BATCH_BLOCK - 1,
+                BATCH_BLOCK,
+                BATCH_BLOCK + 1,
+                2 * BATCH_BLOCK - 3,
+                2 * BATCH_BLOCK + 5,
+                queries.len(),
+            ] {
+                let got = index.lower_bound_many(&queries[..len]);
+                assert_eq!(got, expected[..len], "{} len={len}", index.name());
+                for (&q, &e) in queries[..len].iter().zip(expected[..len].iter()) {
+                    assert_eq!(index.lower_bound(q), e, "{} scalar q={q}", index.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_estimate_does_not_probe_the_key_array() {
+        // The cache-miss proxy must be computable from build-time statistics
+        // alone. A model whose `predict` panics on non-indexed queries would
+        // not catch a key-array probe, so instead assert the observable
+        // contract: the estimate for a fixed layer state is a function of the
+        // prediction only — two queries with equal predictions get equal
+        // estimates even when their true positions are far apart (the old
+        // implementation partition_point-ed the keys and reported different
+        // distances).
+        // A huge duplicate run in a sparse domain: the interpolation model's
+        // slope is ~2.5e-9 positions per key unit, so the two queries below
+        // share one prediction while their true lower bounds are 5000
+        // positions apart (before vs. after the run).
+        let mut keys: Vec<u64> = vec![0];
+        keys.extend(std::iter::repeat_n(1_000_000_000_000u64, 5_000));
+        keys.push(2_000_000_000_000);
+        let d = Dataset::from_sorted_keys("run", keys);
+        let model = InterpolationModel::build(&d);
+        let (a, b) = (1_000_000_000_000u64, 1_000_000_000_001u64);
+        assert_eq!(d.lower_bound(a), 1);
+        assert_eq!(d.lower_bound(b), 5_001);
+
+        let midpoint = CorrectedIndex::builder(d.as_slice(), model.clone())
+            .with_compact_table(50)
+            .build()
+            .unwrap();
+        assert_eq!(
+            midpoint.predict_uncorrected(a),
+            midpoint.predict_uncorrected(b)
+        );
+        assert_eq!(midpoint.probe_estimate(a), midpoint.probe_estimate(b));
+
+        let raw = CorrectedIndex::builder(d.as_slice(), model)
+            .without_correction()
+            .build()
+            .unwrap();
+        assert_eq!(raw.predict_uncorrected(a), raw.predict_uncorrected(b));
+        assert_eq!(raw.probe_estimate(a), raw.probe_estimate(b));
     }
 
     #[test]

@@ -176,6 +176,26 @@ impl IndexSpec {
         if let Some(position) = crate::error::first_unsorted(keys.as_ref()) {
             return Err(BuildError::UnsortedKeys { position });
         }
+        Ok(self.build_corrected_prevalidated_with(keys, config, threads))
+    }
+
+    /// [`IndexSpec::build_corrected_with`] for callers that *guarantee* the
+    /// key column is already sorted — a rebuild merging sorted inputs, or a
+    /// shard cut from a column validated as a whole — skipping the O(n)
+    /// sortedness scan. Feeding unsorted keys violates the contract and
+    /// produces a silently wrong index; debug builds still assert the
+    /// invariant.
+    pub fn build_corrected_prevalidated_with<K: Key>(
+        &self,
+        keys: impl Into<Arc<[K]>>,
+        config: ShiftTableConfig,
+        threads: usize,
+    ) -> DynCorrectedIndex<K> {
+        let keys: Arc<[K]> = keys.into();
+        debug_assert!(
+            crate::error::first_unsorted(keys.as_ref()).is_none(),
+            "prevalidated build requires sorted keys"
+        );
         let model = self.model.build(keys.as_ref());
         let builder: CorrectedIndexBuilder<K, Box<dyn CdfModel<K>>, Arc<[K]>> =
             CorrectedIndex::builder(keys, model);
@@ -187,10 +207,10 @@ impl IndexSpec {
             }
             LayerSpec::Auto => builder.with_auto_tuning(),
         };
-        Ok(builder
+        builder
             .config(config)
             .build_threads(threads)
-            .build_prevalidated())
+            .build_prevalidated()
     }
 
     /// Train the model and build the layer over shared key storage, returning

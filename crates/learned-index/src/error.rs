@@ -38,6 +38,31 @@ impl ModelErrorStats {
         Self::compute_on_keys(model, dataset.as_slice())
     }
 
+    /// The `mean_abs` statistic alone, as a buffer-free running sum — for
+    /// build paths (layer auto-tuning, the probe-count proxy) that need only
+    /// the mean and would otherwise pay [`Self::compute_on_keys`]'s per-key
+    /// buffer and median sort on every (re)build. Uses the same unclamped
+    /// predictions and first-occurrence duplicate targets, so it is always
+    /// equal to `compute_on_keys(model, keys).mean_abs`.
+    pub fn mean_abs_on_keys<K: Key, M: CdfModel<K> + ?Sized>(model: &M, keys: &[K]) -> f64 {
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        let mut last: Option<K> = None;
+        for (i, &k) in keys.iter().enumerate() {
+            if last == Some(k) {
+                continue; // duplicates: only the first occurrence is a target
+            }
+            last = Some(k);
+            sum += (model.predict(k) as f64 - i as f64).abs();
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
     /// Compute over an explicit sorted key slice.
     pub fn compute_on_keys<K: Key, M: CdfModel<K> + ?Sized>(model: &M, keys: &[K]) -> Self {
         let mut abs_errors: Vec<f64> = Vec::with_capacity(keys.len());
@@ -118,6 +143,28 @@ mod tests {
         assert_eq!(s.max_abs, 0);
         assert_eq!(s.mean_log2, 0.0);
         assert_eq!(s.rmse, 0.0);
+    }
+
+    #[test]
+    fn mean_abs_fast_path_agrees_with_the_full_statistics() {
+        // The buffer-free fast path must stay bit-identical to the full
+        // computation — the §3.9 tuning advisor decides from one while the
+        // reports print the other.
+        for name in [SosdName::Face64, SosdName::Osmc64, SosdName::Uden64] {
+            let d: Dataset<u64> = name.generate(20_000, 17);
+            let m = InterpolationModel::build(&d);
+            let full = ModelErrorStats::compute_on_keys(&m, d.as_slice()).mean_abs;
+            let fast = ModelErrorStats::mean_abs_on_keys(&m, d.as_slice());
+            assert_eq!(full, fast, "{name}");
+        }
+        // Duplicates and the empty slice.
+        let dups = vec![3u64, 3, 3, 9, 9];
+        let m = InterpolationModel::from_sorted_keys(&dups);
+        assert_eq!(
+            ModelErrorStats::compute_on_keys(&m, &dups).mean_abs,
+            ModelErrorStats::mean_abs_on_keys(&m, &dups)
+        );
+        assert_eq!(ModelErrorStats::mean_abs_on_keys(&m, &[] as &[u64]), 0.0);
     }
 
     #[test]

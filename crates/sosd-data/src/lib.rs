@@ -51,7 +51,7 @@ pub use generators::SosdName;
 pub use key::Key;
 pub use rng::SplitMix64;
 pub use stats::DatasetStats;
-pub use workload::Workload;
+pub use workload::{MixedOp, MixedWorkload, Workload};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
@@ -61,5 +61,5 @@ pub mod prelude {
     pub use crate::key::Key;
     pub use crate::rng::SplitMix64;
     pub use crate::stats::DatasetStats;
-    pub use crate::workload::{Workload, WorkloadKind};
+    pub use crate::workload::{MixedKind, MixedOp, MixedWorkload, Workload, WorkloadKind};
 }

@@ -112,6 +112,58 @@ impl Xoshiro256 {
     }
 }
 
+/// A Zipfian sampler over ranks `0..n` with exponent `theta` (`theta = 0` is
+/// uniform; ~0.99 is the YCSB default; larger is more skewed). Implemented by
+/// inverse-CDF binary search over precomputed cumulative weights, which is
+/// exact and cheap for the small `n` (shard counts, hot-set sizes) the
+/// workload generators use.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler for ranks `0..n` (clamped to at least 1).
+    pub fn new(n: usize, theta: f64) -> Self {
+        let n = n.max(1);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in cumulative.iter_mut() {
+            *c /= total;
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if there is a single rank (never: `n >= 1`), for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Map a uniform `u in [0, 1)` to a rank (rank 0 is the most popular).
+    #[inline]
+    pub fn rank_of(&self, u: f64) -> usize {
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
+    }
+
+    /// Draw a rank using `rng`.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        self.rank_of(rng.next_f64())
+    }
+}
+
 /// Box–Muller Gaussian source producing standard-normal deviates in pairs.
 #[derive(Debug, Clone)]
 pub struct GaussianSource {
@@ -214,6 +266,34 @@ mod tests {
             saw_hi |= v == 8;
         }
         assert!(saw_lo && saw_hi, "bounds should both be reachable");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_covers_all_ranks() {
+        let z = Zipf::new(10, 0.99);
+        assert_eq!(z.len(), 10);
+        let mut rng = Xoshiro256::new(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[9] * 5,
+            "rank 0 must dominate: {counts:?}"
+        );
+        assert!(counts.iter().all(|&c| c > 0), "all ranks reachable");
+        // theta = 0 degenerates to uniform.
+        let u = Zipf::new(4, 0.0);
+        let mut counts = [0usize; 4];
+        for _ in 0..20_000 {
+            counts[u.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < min * 2, "uniform-ish: {counts:?}");
+        // Boundary inputs clamp into range.
+        assert_eq!(z.rank_of(0.0), 0);
+        assert_eq!(z.rank_of(0.999_999_9), 9);
+        assert_eq!(Zipf::new(0, 1.0).len(), 1);
     }
 
     #[test]

@@ -4,11 +4,13 @@
 //! queries sampled uniformly from the *indexed keys*. This module provides
 //! that workload plus three extensions used by the tests and ablations:
 //! domain-uniform queries, non-indexed ("miss") queries, and hot-range
-//! (skewed) queries.
+//! (skewed) queries — and, for the updatable store layer, [`MixedWorkload`]:
+//! reproducible read/write traces (read-heavy, insert-heavy, and Zipfian
+//! shard skew) over a dataset's key space.
 
 use crate::dataset::Dataset;
 use crate::key::Key;
-use crate::rng::Xoshiro256;
+use crate::rng::{Xoshiro256, Zipf};
 
 /// Which distribution the query keys are drawn from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,6 +161,178 @@ impl<K: Key> Workload<K> {
     }
 }
 
+/// One operation of a mixed read/write trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixedOp<K: Key> {
+    /// Point lower-bound lookup.
+    Lookup(K),
+    /// Insert one occurrence of the key.
+    Insert(K),
+    /// Delete one occurrence of the key (a no-op when absent).
+    Delete(K),
+    /// Range query `lo <= key <= hi`.
+    Range(K, K),
+}
+
+/// Which trace shape a [`MixedWorkload`] was generated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixedKind {
+    /// 90% lookups, 5% inserts, 3% deletes, 2% ranges — a serving cache in
+    /// front of a mostly-static corpus.
+    ReadHeavy,
+    /// 50% inserts, 10% deletes, 35% lookups, 5% ranges — ingest-dominated.
+    InsertHeavy,
+    /// Read-mostly, but with keys drawn Zipfian-skewed over contiguous
+    /// slices of the key space, so a range-sharded store sees a hot shard.
+    ZipfShardSkew,
+}
+
+/// A reproducible mixed read/write trace over a dataset's key domain.
+///
+/// The trace carries operations only (no ground truth): the truth of an
+/// updatable store depends on every preceding write, so consumers replay the
+/// trace against the store and an oracle side by side (as the store's
+/// property tests do) or just measure throughput (as the bench suite does).
+#[derive(Debug, Clone)]
+pub struct MixedWorkload<K: Key> {
+    kind: MixedKind,
+    ops: Vec<MixedOp<K>>,
+}
+
+impl<K: Key> MixedWorkload<K> {
+    /// Read-heavy trace (see [`MixedKind::ReadHeavy`]).
+    pub fn read_heavy(dataset: &Dataset<K>, count: usize, seed: u64) -> Self {
+        Self::generate(dataset, count, seed, MixedKind::ReadHeavy, None)
+    }
+
+    /// Insert-heavy trace (see [`MixedKind::InsertHeavy`]).
+    pub fn insert_heavy(dataset: &Dataset<K>, count: usize, seed: u64) -> Self {
+        Self::generate(dataset, count, seed, MixedKind::InsertHeavy, None)
+    }
+
+    /// Read-mostly trace whose keys are Zipfian-skewed (exponent `theta`,
+    /// ~0.99 is the YCSB default) over `slices` contiguous slices of the key
+    /// domain — the hot-shard scenario for a range-sharded store.
+    pub fn zipf_shard_skew(
+        dataset: &Dataset<K>,
+        count: usize,
+        slices: usize,
+        theta: f64,
+        seed: u64,
+    ) -> Self {
+        Self::generate(
+            dataset,
+            count,
+            seed,
+            MixedKind::ZipfShardSkew,
+            Some(Zipf::new(slices.max(1), theta)),
+        )
+    }
+
+    fn generate(
+        dataset: &Dataset<K>,
+        count: usize,
+        seed: u64,
+        kind: MixedKind,
+        zipf: Option<Zipf>,
+    ) -> Self {
+        let mut rng = Xoshiro256::new(seed);
+        let (lo, hi) = match (dataset.min_key(), dataset.max_key()) {
+            (Some(min), Some(max)) => (min.to_u64(), max.to_u64()),
+            _ => (0, u64::MAX / 2),
+        };
+        let span = hi.saturating_sub(lo).max(1);
+        // Draw a key, restricted to the Zipf-selected domain slice when the
+        // trace is shard-skewed.
+        let draw_key = |rng: &mut Xoshiro256| -> K {
+            let (slice_lo, slice_span) = match &zipf {
+                Some(z) => {
+                    let slices = z.len() as u64;
+                    // The sampled rank is remapped through a fixed rotation
+                    // so the hot slice is not always the leftmost one.
+                    // Addition is a bijection for every slice count (a
+                    // multiplicative mix would collapse ranks whenever the
+                    // factor shares a divisor with `slices`).
+                    let rank = z.rank_of(rng.next_f64()) as u64;
+                    let slice = (rank + 3) % slices;
+                    let w = (span / slices).max(1);
+                    (lo + slice * w, w)
+                }
+                None => (lo, span),
+            };
+            K::from_u64_saturating(slice_lo + rng.next_below(slice_span.max(1)))
+        };
+        let (insert_pct, delete_pct, range_pct) = match kind {
+            MixedKind::ReadHeavy => (5, 3, 2),
+            MixedKind::InsertHeavy => (50, 10, 5),
+            MixedKind::ZipfShardSkew => (10, 5, 5),
+        };
+        let mut ops = Vec::with_capacity(count);
+        for _ in 0..count {
+            let roll = rng.next_below(100);
+            let op = if roll < insert_pct {
+                MixedOp::Insert(draw_key(&mut rng))
+            } else if roll < insert_pct + delete_pct {
+                // Bias deletes towards keys that exist (sampled from the
+                // base) so they are not all no-ops.
+                let k = if !dataset.is_empty() && rng.next_below(4) != 0 {
+                    dataset.key_at(rng.next_below(dataset.len() as u64) as usize)
+                } else {
+                    draw_key(&mut rng)
+                };
+                MixedOp::Delete(k)
+            } else if roll < insert_pct + delete_pct + range_pct {
+                let a = draw_key(&mut rng);
+                // Short scans: a span of ~0.1% of the domain.
+                let b = K::from_u64_saturating(a.to_u64().saturating_add(span / 1000));
+                MixedOp::Range(a.min(b), a.max(b))
+            } else {
+                MixedOp::Lookup(draw_key(&mut rng))
+            };
+            ops.push(op);
+        }
+        Self { kind, ops }
+    }
+
+    /// The trace shape this workload was generated from.
+    #[inline]
+    pub fn kind(&self) -> MixedKind {
+        self.kind
+    }
+
+    /// The operations, in replay order.
+    #[inline]
+    pub fn ops(&self) -> &[MixedOp<K>] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the trace is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Operation counts as `(lookups, inserts, deletes, ranges)`.
+    pub fn op_counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0usize, 0usize, 0usize, 0usize);
+        for op in &self.ops {
+            match op {
+                MixedOp::Lookup(_) => c.0 += 1,
+                MixedOp::Insert(_) => c.1 += 1,
+                MixedOp::Delete(_) => c.2 += 1,
+                MixedOp::Range(_, _) => c.3 += 1,
+            }
+        }
+        c
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +430,108 @@ mod tests {
         assert!(Workload::uniform_domain(&d, 10, 1).is_empty());
         assert!(Workload::non_indexed(&d, 10, 1).is_empty());
         assert!(Workload::hot_range(&d, 10, 1).is_empty());
+    }
+
+    #[test]
+    fn mixed_workloads_have_the_advertised_shape() {
+        let d = dataset();
+        let read = MixedWorkload::read_heavy(&d, 10_000, 7);
+        assert_eq!(read.len(), 10_000);
+        assert_eq!(read.kind(), MixedKind::ReadHeavy);
+        let (lookups, inserts, deletes, ranges) = read.op_counts();
+        assert_eq!(lookups + inserts + deletes + ranges, 10_000);
+        assert!(
+            lookups > 8_500,
+            "read-heavy must be ~90% lookups: {lookups}"
+        );
+        assert!(inserts > 100 && deletes > 100 && ranges > 50);
+
+        let write = MixedWorkload::insert_heavy(&d, 10_000, 7);
+        let (w_lookups, w_inserts, ..) = write.op_counts();
+        assert!(
+            w_inserts > 4_500,
+            "insert-heavy must be ~50% inserts: {w_inserts}"
+        );
+        assert!(w_inserts > w_lookups);
+    }
+
+    #[test]
+    fn zipf_trace_concentrates_on_few_slices() {
+        let d = dataset();
+        let slices = 16usize;
+        let w = MixedWorkload::zipf_shard_skew(&d, 20_000, slices, 0.99, 9);
+        assert_eq!(w.kind(), MixedKind::ZipfShardSkew);
+        let (lo, hi) = (d.min_key().unwrap(), d.max_key().unwrap());
+        let span = (hi - lo).max(1);
+        let width = (span / slices as u64).max(1);
+        let mut counts = vec![0usize; slices + 1];
+        for op in w.ops() {
+            let k = match *op {
+                MixedOp::Lookup(k) | MixedOp::Insert(k) | MixedOp::Range(k, _) => k,
+                // Deletes are base-biased, not slice-restricted.
+                MixedOp::Delete(_) => continue,
+            };
+            counts[(k.saturating_sub(lo) / width).min(slices as u64) as usize] += 1;
+        }
+        let total: usize = counts.iter().sum();
+        let max = *counts.iter().max().unwrap();
+        // Zipf(0.99) over 16 ranks gives the top rank ~30% of the mass —
+        // roughly 5× the uniform share.
+        assert!(
+            max > 3 * total / slices,
+            "the hot slice should far exceed the uniform share: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn zipf_rank_rotation_reaches_every_slice() {
+        // Regression: the rank → slice rotation must stay a bijection for
+        // every slice count (a multiplicative remap collapsed all ranks onto
+        // one slice whenever the factor divided `slices`). With theta = 0
+        // every slice must receive traffic.
+        let d = dataset();
+        let (lo, hi) = (d.min_key().unwrap(), d.max_key().unwrap());
+        let span = (hi - lo).max(1);
+        for slices in [7usize, 14, 16] {
+            let w = MixedWorkload::zipf_shard_skew(&d, 20_000, slices, 0.0, 9);
+            let width = (span / slices as u64).max(1);
+            let mut hit = vec![false; slices + 1];
+            for op in w.ops() {
+                let k = match *op {
+                    MixedOp::Lookup(k) | MixedOp::Insert(k) | MixedOp::Range(k, _) => k,
+                    MixedOp::Delete(_) => continue,
+                };
+                hit[(k.saturating_sub(lo) / width).min(slices as u64) as usize] = true;
+            }
+            let reached = hit[..slices].iter().filter(|&&h| h).count();
+            assert!(
+                reached == slices,
+                "theta = 0 over {slices} slices must reach all of them, got {reached}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_traces_are_deterministic_per_seed() {
+        let d = dataset();
+        let a = MixedWorkload::insert_heavy(&d, 500, 42);
+        let b = MixedWorkload::insert_heavy(&d, 500, 42);
+        let c = MixedWorkload::insert_heavy(&d, 500, 43);
+        assert_eq!(a.ops(), b.ops());
+        assert_ne!(a.ops(), c.ops());
+    }
+
+    #[test]
+    fn mixed_workload_on_empty_dataset_is_usable() {
+        let d: Dataset<u64> = Dataset::from_keys("e", vec![]);
+        let w = MixedWorkload::read_heavy(&d, 100, 1);
+        assert_eq!(w.len(), 100);
+        // No deletes can be base-biased; all ops must still be well-formed.
+        for op in w.ops() {
+            if let MixedOp::Range(lo, hi) = op {
+                assert!(lo <= hi);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Store-level configuration.
+
+use shift_table::spec::IndexSpec;
+
+/// Configuration of a [`crate::ShardedStore`] (and, minus the write-path
+/// knobs, of a read-only [`crate::ShardedIndex`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// The model×layer spec every shard index is built from.
+    pub spec: IndexSpec,
+    /// Requested number of range shards. The effective count can be lower
+    /// when duplicate runs swallow chunk boundaries (a run never spans two
+    /// shards) or when there are fewer keys than shards.
+    pub shards: usize,
+    /// Number of buffered write operations (inserts plus recorded deletes)
+    /// after which a shard is considered *dirty* and scheduled for a rebuild.
+    pub delta_threshold: usize,
+    /// When true (the default), a write that makes its shard dirty triggers
+    /// that shard's rebuild before the write call returns. When false the
+    /// caller drains dirty shards explicitly via
+    /// [`crate::ShardedStore::maintain`] — e.g. from a maintenance thread.
+    pub auto_rebuild: bool,
+    /// Worker threads used to build each shard's correction layer.
+    pub build_threads: usize,
+}
+
+impl StoreConfig {
+    /// A configuration with the given spec and the default knobs
+    /// (8 shards, 4096-op delta threshold, auto rebuild, 1 build thread).
+    pub fn new(spec: IndexSpec) -> Self {
+        Self {
+            spec,
+            shards: 8,
+            delta_threshold: 4096,
+            auto_rebuild: true,
+            build_threads: 1,
+        }
+    }
+
+    /// Set the shard count (clamped to at least 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Set the delta-buffer rebuild threshold (clamped to at least 1).
+    pub fn delta_threshold(mut self, ops: usize) -> Self {
+        self.delta_threshold = ops.max(1);
+        self
+    }
+
+    /// Enable or disable rebuild-on-write.
+    pub fn auto_rebuild(mut self, auto: bool) -> Self {
+        self.auto_rebuild = auto;
+        self
+    }
+
+    /// Set the per-shard builder thread count (clamped to at least 1).
+    pub fn build_threads(mut self, threads: usize) -> Self {
+        self.build_threads = threads.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_style_knobs() {
+        let spec = IndexSpec::parse("im+r1").unwrap();
+        let c = StoreConfig::new(spec)
+            .shards(0)
+            .delta_threshold(0)
+            .auto_rebuild(false)
+            .build_threads(0);
+        assert_eq!(c.shards, 1);
+        assert_eq!(c.delta_threshold, 1);
+        assert!(!c.auto_rebuild);
+        assert_eq!(c.build_threads, 1);
+        assert_eq!(c.spec, spec);
+        let d = StoreConfig::new(spec);
+        assert_eq!(d.shards, 8);
+        assert!(d.auto_rebuild);
+    }
+}

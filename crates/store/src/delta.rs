@@ -1,0 +1,310 @@
+//! The sorted delta buffer: a mergeable multiset of buffered writes.
+//!
+//! Each shard absorbs writes into a `BTreeMap<K, i64>` of *net occurrence
+//! deltas*: an insert adds `+1` for its key, a recorded delete (a tombstone)
+//! adds `-1`. The merged view of the shard is then
+//!
+//! ```text
+//! count(k)        = base_count(k) + net(k)
+//! lower_bound(q)  = base_lower_bound(q) + Σ_{k < q} net(k)
+//! ```
+//!
+//! with the invariant (maintained by the store's delete path, which only
+//! records a tombstone when the merged count is positive) that
+//! `base_count(k) + net(k) >= 0` for every key — so prefix sums of `net`
+//! never drive a merged position negative.
+//!
+//! A rebuild *freezes* the buffer (cheap clone under the write lock), merges
+//! it into the base key column off-lock, and finally subtracts the frozen
+//! state so writes that arrived during the merge survive as the residual
+//! buffer against the new base.
+
+use sosd_data::key::Key;
+use std::collections::BTreeMap;
+
+/// Buffered writes against one shard's immutable base.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBuffer<K: Key> {
+    net: BTreeMap<K, i64>,
+    /// Operations recorded since the last rebuild — the dirtiness counter.
+    /// Unlike `net.len()`, an insert/delete pair that cancels in `net` still
+    /// counts: it was churn the rebuild threshold should see.
+    ops: usize,
+    /// Running Σ of `net` values, so [`DeltaBuffer::len_delta`] is O(1) — it
+    /// is read for every preceding shard on every global-position read.
+    len_delta: i64,
+}
+
+/// A point-in-time copy of a [`DeltaBuffer`], taken at the start of a rebuild
+/// and subtracted from the live buffer when the rebuilt shard is swapped in.
+#[derive(Debug, Clone)]
+pub struct FrozenDelta<K: Key> {
+    net: BTreeMap<K, i64>,
+    ops: usize,
+    len_delta: i64,
+}
+
+impl<K: Key> DeltaBuffer<K> {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self {
+            net: BTreeMap::new(),
+            ops: 0,
+            len_delta: 0,
+        }
+    }
+
+    /// Record one inserted occurrence of `k`.
+    pub fn record_insert(&mut self, k: K) {
+        *self.net.entry(k).or_insert(0) += 1;
+        self.ops += 1;
+        self.len_delta += 1;
+        if self.net[&k] == 0 {
+            self.net.remove(&k);
+        }
+    }
+
+    /// Record one deleted occurrence of `k`. The caller must have verified
+    /// that the merged count of `k` is positive.
+    pub fn record_delete(&mut self, k: K) {
+        *self.net.entry(k).or_insert(0) -= 1;
+        self.ops += 1;
+        self.len_delta -= 1;
+        if self.net[&k] == 0 {
+            self.net.remove(&k);
+        }
+    }
+
+    /// Net occurrence delta of `k` (0 when unbuffered).
+    #[inline]
+    pub fn net_of(&self, k: K) -> i64 {
+        self.net.get(&k).copied().unwrap_or(0)
+    }
+
+    /// Sum of net deltas of all keys `< q` — the correction added to a base
+    /// lower bound. `O(d)` in the buffer size, which the rebuild threshold
+    /// keeps small.
+    #[inline]
+    pub fn net_below(&self, q: K) -> i64 {
+        self.net.range(..q).map(|(_, &c)| c).sum()
+    }
+
+    /// Net change to the merged key count (O(1): maintained as a running
+    /// counter alongside the map).
+    pub fn len_delta(&self) -> i64 {
+        debug_assert_eq!(self.len_delta, self.net.values().sum::<i64>());
+        self.len_delta
+    }
+
+    /// Materialize the buffer as sorted `(key, cumulative net delta up to
+    /// and including that key)` pairs — one O(d) pass that lets a batch of
+    /// reads resolve [`DeltaBuffer::net_below`] by binary search
+    /// ([`DeltaBuffer::net_below_in`]) instead of an O(d) map scan per query.
+    pub fn prefix_sums(&self) -> Vec<(K, i64)> {
+        let mut acc = 0i64;
+        self.net
+            .iter()
+            .map(|(&k, &c)| {
+                acc += c;
+                (k, acc)
+            })
+            .collect()
+    }
+
+    /// [`DeltaBuffer::net_below`] evaluated against a
+    /// [`DeltaBuffer::prefix_sums`] slice in O(log d).
+    #[inline]
+    pub fn net_below_in(prefix: &[(K, i64)], q: K) -> i64 {
+        let idx = prefix.partition_point(|&(k, _)| k < q);
+        if idx == 0 {
+            0
+        } else {
+            prefix[idx - 1].1
+        }
+    }
+
+    /// Operations recorded since the last rebuild.
+    pub fn ops(&self) -> usize {
+        self.ops
+    }
+
+    /// True when no write has been recorded since the last rebuild.
+    pub fn is_clean(&self) -> bool {
+        self.ops == 0 && self.net.is_empty()
+    }
+
+    /// Snapshot the buffer for a rebuild.
+    pub fn freeze(&self) -> FrozenDelta<K> {
+        FrozenDelta {
+            net: self.net.clone(),
+            ops: self.ops,
+            len_delta: self.len_delta,
+        }
+    }
+
+    /// Subtract a frozen snapshot after its contents were merged into the
+    /// new base: what remains is exactly the writes recorded since
+    /// [`DeltaBuffer::freeze`].
+    pub fn subtract_frozen(&mut self, frozen: &FrozenDelta<K>) {
+        for (&k, &c) in &frozen.net {
+            let entry = self.net.entry(k).or_insert(0);
+            *entry -= c;
+            if *entry == 0 {
+                self.net.remove(&k);
+            }
+        }
+        self.ops = self.ops.saturating_sub(frozen.ops);
+        self.len_delta -= frozen.len_delta;
+    }
+
+    /// Approximate heap footprint of the buffer in bytes.
+    pub fn size_bytes(&self) -> usize {
+        // Key + counter per entry, plus B-tree node overhead.
+        self.net.len() * (K::size_bytes() + std::mem::size_of::<i64>() + 16)
+    }
+}
+
+impl<K: Key> FrozenDelta<K> {
+    /// True if the snapshot holds no net changes.
+    pub fn is_empty(&self) -> bool {
+        self.net.is_empty()
+    }
+
+    /// Merge the frozen deltas into a sorted base column, producing the new
+    /// sorted key column: inserted occurrences are spliced in at their sorted
+    /// positions, tombstoned occurrences are dropped from the front of their
+    /// duplicate run.
+    pub fn merge_into(&self, base: &[K]) -> Vec<K> {
+        let expected = base.len() as i64 + self.len_delta;
+        let mut out = Vec::with_capacity(expected.max(0) as usize);
+        let mut deltas = self.net.iter().peekable();
+        let mut i = 0usize;
+        while i < base.len() {
+            match deltas.peek() {
+                Some(&(&k, &c)) if k <= base[i] => {
+                    if k < base[i] {
+                        // A key absent from the base: only inserts can be
+                        // buffered for it (tombstones require presence).
+                        debug_assert!(c > 0, "tombstone for an absent key");
+                        out.extend(std::iter::repeat_n(k, c.max(0) as usize));
+                    } else {
+                        // k == base[i]: rewrite the whole duplicate run.
+                        let mut run = 0i64;
+                        while i < base.len() && base[i] == k {
+                            run += 1;
+                            i += 1;
+                        }
+                        let total = run + c;
+                        debug_assert!(total >= 0, "tombstones exceed the run");
+                        out.extend(std::iter::repeat_n(k, total.max(0) as usize));
+                    }
+                    deltas.next();
+                }
+                _ => {
+                    out.push(base[i]);
+                    i += 1;
+                }
+            }
+        }
+        for (&k, &c) in deltas {
+            out.extend(std::iter::repeat_n(k, c.max(0) as usize));
+        }
+        debug_assert!(out.is_sorted());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_bookkeeping_cancels_and_counts_ops() {
+        let mut d: DeltaBuffer<u64> = DeltaBuffer::new();
+        assert!(d.is_clean());
+        d.record_insert(5);
+        d.record_insert(5);
+        d.record_delete(5);
+        assert_eq!(d.net_of(5), 1);
+        assert_eq!(d.ops(), 3, "cancelled ops still count towards dirtiness");
+        d.record_delete(5);
+        assert_eq!(d.net_of(5), 0);
+        assert!(
+            !d.is_clean(),
+            "ops keep the buffer dirty after cancellation"
+        );
+        assert_eq!(d.len_delta(), 0);
+    }
+
+    #[test]
+    fn net_below_is_a_prefix_sum() {
+        let mut d: DeltaBuffer<u64> = DeltaBuffer::new();
+        d.record_insert(2);
+        d.record_insert(2);
+        d.record_delete(7);
+        d.record_insert(9);
+        assert_eq!(d.net_below(0), 0);
+        assert_eq!(d.net_below(2), 0);
+        assert_eq!(d.net_below(3), 2);
+        assert_eq!(d.net_below(8), 1);
+        assert_eq!(d.net_below(u64::MAX), 2);
+        assert_eq!(d.len_delta(), 2);
+        // The materialized prefix-sum view agrees with the map scan at
+        // every probe, including before/after the whole buffer.
+        let prefix = d.prefix_sums();
+        assert_eq!(prefix, vec![(2, 2), (7, 1), (9, 2)]);
+        for q in [0u64, 1, 2, 3, 7, 8, 9, 10, u64::MAX] {
+            assert_eq!(
+                DeltaBuffer::net_below_in(&prefix, q),
+                d.net_below(q),
+                "q={q}"
+            );
+        }
+        assert_eq!(DeltaBuffer::<u64>::net_below_in(&[], 5), 0);
+    }
+
+    #[test]
+    fn merge_splices_inserts_and_drops_tombstones() {
+        let base = vec![1u64, 4, 4, 4, 9];
+        let mut d: DeltaBuffer<u64> = DeltaBuffer::new();
+        d.record_insert(0); // before everything
+        d.record_insert(4); // extends the run
+        d.record_delete(9); // removes the last key entirely
+        d.record_insert(12); // after everything
+        d.record_insert(12);
+        let merged = d.freeze().merge_into(&base);
+        assert_eq!(merged, vec![0, 1, 4, 4, 4, 4, 12, 12]);
+
+        // Deleting from the middle of a run shortens it.
+        let mut d: DeltaBuffer<u64> = DeltaBuffer::new();
+        d.record_delete(4);
+        d.record_delete(4);
+        assert_eq!(d.freeze().merge_into(&base), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn merge_into_empty_base() {
+        let mut d: DeltaBuffer<u64> = DeltaBuffer::new();
+        d.record_insert(3);
+        d.record_insert(1);
+        d.record_insert(3);
+        assert_eq!(d.freeze().merge_into(&[]), vec![1, 3, 3]);
+        let empty: DeltaBuffer<u64> = DeltaBuffer::new();
+        assert_eq!(empty.freeze().merge_into(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn subtract_frozen_leaves_the_residual() {
+        let mut d: DeltaBuffer<u64> = DeltaBuffer::new();
+        d.record_insert(1);
+        d.record_insert(2);
+        let frozen = d.freeze();
+        // Writes arriving "during the rebuild".
+        d.record_insert(2);
+        d.record_delete(1);
+        d.subtract_frozen(&frozen);
+        assert_eq!(d.net_of(1), -1, "the in-flight delete survives");
+        assert_eq!(d.net_of(2), 1, "the in-flight insert survives");
+        assert_eq!(d.ops(), 2);
+    }
+}

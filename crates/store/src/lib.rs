@@ -1,0 +1,76 @@
+//! # shift-store: a sharded, updatable serving layer for corrected indexes
+//!
+//! The `shift-table` crate builds *static* corrected range indexes — one
+//! sorted key column, one learned model, one correction layer. This crate
+//! turns those into a serving system:
+//!
+//! * [`ShardedIndex`] — a read-only index range-partitioned across `N`
+//!   shards. A tiny router over *fence keys* (the first key of each shard)
+//!   sends every query to exactly one independently built
+//!   [`algo_index::DynRangeIndex`]; batched lookups are grouped by shard
+//!   before dispatch so each shard's stage-blocked batch path
+//!   (model → layer → local search, one stage loop per block) is preserved.
+//! * [`StoreShard`] — the updatable building block: an immutable, epoch-
+//!   stamped shard snapshot plus a sorted delta buffer of inserts and delete
+//!   tombstones. Reads merge the two views on the fly; once the buffer
+//!   crosses a configurable threshold the buffer is folded into a fresh base
+//!   and the snapshot is atomically swapped (`Arc` swap, epoch + 1) while
+//!   concurrent readers keep serving from the old epoch.
+//! * [`ShardedStore`] — the full store: the router in front of one
+//!   [`StoreShard`] per range, with dirty shards rebuilt inline on the
+//!   crossing write (`auto_rebuild`) or in parallel scoped threads via
+//!   [`ShardedStore::maintain`] / [`ShardedStore::flush`].
+//!
+//! Both sharded types implement [`algo_index::RangeIndex`], so a store drops
+//! into every harness that benchmarks the static indexes.
+//!
+//! ## Example
+//!
+//! ```
+//! use shift_store::{ShardedStore, StoreConfig};
+//! use shift_table::spec::IndexSpec;
+//! use algo_index::RangeIndex;
+//!
+//! let keys: Vec<u64> = (0..10_000u64).map(|i| i * 3).collect();
+//! let config = StoreConfig::new(IndexSpec::parse("im+r1").unwrap())
+//!     .shards(4)
+//!     .delta_threshold(256);
+//! let store = ShardedStore::build(config, &keys).unwrap();
+//!
+//! // Reads go through the fence-key router to exactly one shard.
+//! assert_eq!(store.lower_bound(300), 100);
+//! assert_eq!(store.range(300, 330), 100..111);
+//!
+//! // Writes are absorbed by the shard's delta buffer and visible
+//! // immediately; the shard rebuilds itself once 256 ops accumulate.
+//! store.insert(301).unwrap();
+//! assert_eq!(store.lower_bound(302), 102);
+//! assert!(store.delete(301).unwrap());
+//! assert!(!store.delete(301).unwrap(), "second delete is a no-op");
+//!
+//! // Batched lookups are grouped per shard before dispatch.
+//! let out = store.lower_bound_many(&[0, 3_000, 29_997, u64::MAX]);
+//! assert_eq!(out, vec![0, 1_000, 9_999, 10_000]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod delta;
+pub mod router;
+pub mod shard;
+pub mod sharded;
+
+pub use config::StoreConfig;
+pub use delta::{DeltaBuffer, FrozenDelta};
+pub use router::ShardRouter;
+pub use shard::{ShardSnapshot, StoreShard};
+pub use sharded::{ShardedIndex, ShardedStore};
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::config::StoreConfig;
+    pub use crate::shard::{ShardSnapshot, StoreShard};
+    pub use crate::sharded::{ShardedIndex, ShardedStore};
+}

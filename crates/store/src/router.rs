@@ -1,0 +1,122 @@
+//! The shard router: range partitioning over fence keys.
+//!
+//! A sorted key column is split into contiguous chunks; the first key of each
+//! chunk becomes that shard's *fence*. A query is routed to the last shard
+//! whose fence is `<= q` (shard 0 when `q` is below every fence), so shard
+//! `i` owns the key-value interval `[fence[i], fence[i+1])`. Chunk boundaries
+//! are aligned to duplicate-run starts — a run of equal keys never spans two
+//! shards, which keeps per-shard lower bounds exact and (for the updatable
+//! store) keeps every occurrence of a key in one delta buffer.
+
+use sosd_data::key::Key;
+
+/// Routes keys to shards by fence comparison. The router is tiny (one key per
+/// shard) and sits in front of the per-shard indexes.
+#[derive(Debug, Clone)]
+pub struct ShardRouter<K: Key> {
+    /// First key of each shard; `fences[0]` is the global minimum. Empty for
+    /// an empty (single-shard, zero-key) store.
+    fences: Vec<K>,
+}
+
+impl<K: Key> ShardRouter<K> {
+    /// Split `keys` into at most `shards` contiguous chunks with duplicate
+    /// runs kept whole, returning the router and the chunk bounds
+    /// (`bounds[i]..bounds[i + 1]` is shard `i`; at least one chunk, possibly
+    /// empty, is always produced).
+    pub fn partition(keys: &[K], shards: usize) -> (Self, Vec<usize>) {
+        let n = keys.len();
+        let shards = shards.max(1);
+        let mut bounds = vec![0usize];
+        for t in 1..shards {
+            let mut b = n * t / shards;
+            // Align to the start of a distinct-key run, as the parallel
+            // layer builder does: keys[b - 1] != keys[b] after this loop.
+            while b < n && b > 0 && keys[b] == keys[b - 1] {
+                b += 1;
+            }
+            if b > *bounds.last().expect("bounds start non-empty") && b < n {
+                bounds.push(b);
+            }
+        }
+        bounds.push(n);
+        let fences = bounds[..bounds.len() - 1]
+            .iter()
+            .filter(|&&b| b < n)
+            .map(|&b| keys[b])
+            .collect();
+        (Self { fences }, bounds)
+    }
+
+    /// Number of shards the router addresses (at least 1).
+    pub fn shard_count(&self) -> usize {
+        self.fences.len().max(1)
+    }
+
+    /// The shard owning key value `q`: the last shard whose fence is `<= q`,
+    /// or shard 0 when `q` precedes every fence.
+    #[inline]
+    pub fn shard_of(&self, q: K) -> usize {
+        if self.fences.len() <= 1 {
+            return 0;
+        }
+        // fences[0] is the global minimum; only fences[1..] discriminate.
+        self.fences[1..].partition_point(|&f| f <= q)
+    }
+
+    /// The fence keys (first key of each shard).
+    pub fn fences(&self) -> &[K] {
+        &self.fences
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_aligns_duplicate_runs() {
+        // A run of 6 fives straddles the naive midpoint of 10 keys.
+        let keys = vec![1u64, 2, 5, 5, 5, 5, 5, 5, 9, 10];
+        let (router, bounds) = ShardRouter::partition(&keys, 2);
+        assert_eq!(bounds, vec![0, 8, 10]);
+        assert_eq!(router.fences(), &[1, 9]);
+        for (q, shard) in [(0u64, 0), (1, 0), (5, 0), (8, 0), (9, 1), (100, 1)] {
+            assert_eq!(router.shard_of(q), shard, "q={q}");
+        }
+    }
+
+    #[test]
+    fn partition_collapses_when_one_run_dominates() {
+        let keys = vec![3u64; 100];
+        let (router, bounds) = ShardRouter::partition(&keys, 4);
+        assert_eq!(bounds, vec![0, 100]);
+        assert_eq!(router.shard_count(), 1);
+        assert_eq!(router.shard_of(0), 0);
+        assert_eq!(router.shard_of(u64::MAX), 0);
+    }
+
+    #[test]
+    fn empty_keys_route_to_a_single_shard() {
+        let keys: Vec<u64> = vec![];
+        let (router, bounds) = ShardRouter::partition(&keys, 5);
+        assert_eq!(bounds, vec![0, 0]);
+        assert_eq!(router.shard_count(), 1);
+        assert_eq!(router.shard_of(42), 0);
+    }
+
+    #[test]
+    fn routing_respects_chunk_ownership() {
+        // Every key must route to the chunk that physically holds it.
+        let keys: Vec<u64> = (0..1_000u64).map(|i| i * i / 7).collect();
+        for shards in [1usize, 3, 13] {
+            let (router, bounds) = ShardRouter::partition(&keys, shards);
+            assert_eq!(router.shard_count() + 1, bounds.len());
+            for (chunk, w) in bounds.windows(2).enumerate() {
+                for &k in &keys[w[0]..w[1]] {
+                    assert_eq!(router.shard_of(k), chunk, "key {k} shards={shards}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! The updatable shard: an immutable learned base plus a delta buffer.
+//!
+//! A [`StoreShard`] pairs an epoch-stamped [`ShardSnapshot`] — the sorted
+//! base key column behind `Arc<[K]>` and the corrected index built over it
+//! from an [`IndexSpec`] — with a [`DeltaBuffer`] of writes. Reads merge the
+//! two views on the fly; once the buffer crosses the configured threshold
+//! the shard is *dirty* and a [`StoreShard::rebuild`] folds the buffer into
+//! a fresh base, builds a new index and atomically swaps the snapshot
+//! (`Arc` swap, epoch + 1).
+//!
+//! ## Locking protocol
+//!
+//! Two locks per shard, always taken in the order *delta → snapshot*:
+//!
+//! * reads take the delta lock, clone the snapshot `Arc`, compute, release —
+//!   so a read always sees a (base, delta) pair that belong together;
+//! * writes take only the delta lock;
+//! * a rebuild holds **no** lock during the expensive merge + model build
+//!   (reads and writes proceed against the old epoch); it locks only to
+//!   freeze the buffer at the start and to swap + subtract at the end. A
+//!   per-shard rebuild guard serialises concurrent rebuilders.
+
+use crate::delta::DeltaBuffer;
+use algo_index::search::{DynRangeIndex, RangeIndex};
+use shift_table::error::BuildError;
+use shift_table::spec::IndexSpec;
+use sosd_data::key::Key;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One immutable epoch of a shard: the sorted base keys and the index built
+/// over them. Snapshots are shared behind `Arc` so readers can keep using an
+/// old epoch while the next one is being installed.
+pub struct ShardSnapshot<K: Key> {
+    keys: Arc<[K]>,
+    index: DynRangeIndex<K>,
+    epoch: u64,
+}
+
+impl<K: Key> ShardSnapshot<K> {
+    /// The sorted base key column of this epoch.
+    pub fn keys(&self) -> &[K] {
+        &self.keys
+    }
+
+    /// The index serving this epoch.
+    pub fn index(&self) -> &DynRangeIndex<K> {
+        &self.index
+    }
+
+    /// Epoch number: 0 for the initial build, +1 per rebuild.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// An updatable shard: immutable learned base + mergeable delta buffer.
+pub struct StoreShard<K: Key> {
+    spec: IndexSpec,
+    threshold: usize,
+    build_threads: usize,
+    snapshot: RwLock<Arc<ShardSnapshot<K>>>,
+    delta: Mutex<DeltaBuffer<K>>,
+    /// Serialises rebuilds; never taken by readers or writers.
+    rebuild_guard: Mutex<()>,
+    /// Cached merged key count, updated under the delta lock on every
+    /// recorded write (a rebuild leaves it unchanged — folding the buffer
+    /// into the base is length-neutral). Lets [`StoreShard::len`] — called
+    /// for every preceding shard on every global-position read — be a plain
+    /// atomic load instead of two lock acquisitions.
+    merged_len: AtomicUsize,
+}
+
+impl<K: Key> StoreShard<K> {
+    /// Build a shard over sorted `keys` with the given spec and rebuild
+    /// threshold.
+    ///
+    /// # Errors
+    /// [`BuildError::UnsortedKeys`] if `keys` is not sorted.
+    pub fn build(
+        spec: IndexSpec,
+        keys: impl Into<Arc<[K]>>,
+        threshold: usize,
+        build_threads: usize,
+    ) -> Result<Self, BuildError> {
+        let keys: Arc<[K]> = keys.into();
+        if let Some(position) = keys.windows(2).position(|w| w[0] > w[1]) {
+            return Err(BuildError::UnsortedKeys {
+                position: position + 1,
+            });
+        }
+        Ok(Self::build_prevalidated(
+            spec,
+            keys,
+            threshold,
+            build_threads,
+        ))
+    }
+
+    /// [`StoreShard::build`] for callers that already validated the keys
+    /// (the sharded store validates its whole column once, then cuts it
+    /// into chunks).
+    pub(crate) fn build_prevalidated(
+        spec: IndexSpec,
+        keys: Arc<[K]>,
+        threshold: usize,
+        build_threads: usize,
+    ) -> Self {
+        let index = build_index(&spec, keys.clone(), build_threads);
+        let merged_len = AtomicUsize::new(keys.len());
+        Self {
+            spec,
+            threshold: threshold.max(1),
+            build_threads: build_threads.max(1),
+            snapshot: RwLock::new(Arc::new(ShardSnapshot {
+                keys,
+                index,
+                epoch: 0,
+            })),
+            delta: Mutex::new(DeltaBuffer::new()),
+            rebuild_guard: Mutex::new(()),
+            merged_len,
+        }
+    }
+
+    /// The current epoch snapshot (cheap `Arc` clone).
+    pub fn snapshot(&self) -> Arc<ShardSnapshot<K>> {
+        self.snapshot
+            .read()
+            .expect("snapshot lock poisoned")
+            .clone()
+    }
+
+    /// Number of keys in the merged (base + delta) view (lock-free).
+    pub fn len(&self) -> usize {
+        self.merged_len.load(Ordering::Relaxed)
+    }
+
+    /// True when the merged view holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lower bound of `q` in the merged view.
+    pub fn lower_bound(&self, q: K) -> usize {
+        let delta = self.delta.lock().expect("delta lock poisoned");
+        let snap = self.snapshot();
+        merged_position(snap.index.lower_bound(q), delta.net_below(q))
+    }
+
+    /// Batched lower bounds over the merged view: the base positions are
+    /// resolved through the index's stage-blocked batch path, then each is
+    /// shifted by the delta prefix sum.
+    pub fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
+        assert_eq!(
+            queries.len(),
+            out.len(),
+            "lower_bound_batch requires queries and out of equal length"
+        );
+        let delta = self.delta.lock().expect("delta lock poisoned");
+        let snap = self.snapshot();
+        snap.index.lower_bound_batch(queries, out);
+        // One O(d) materialization, then O(log d) per query — not an O(d)
+        // map scan per query while writers wait on the delta mutex.
+        let prefix = delta.prefix_sums();
+        for (o, &q) in out.iter_mut().zip(queries.iter()) {
+            *o = merged_position(*o, DeltaBuffer::net_below_in(&prefix, q));
+        }
+    }
+
+    /// Merged occurrence count of the exact key `k`.
+    pub fn count_of(&self, k: K) -> usize {
+        let delta = self.delta.lock().expect("delta lock poisoned");
+        let snap = self.snapshot();
+        let base = snap.index.range(k, k).len();
+        (base as i64 + delta.net_of(k)).max(0) as usize
+    }
+
+    /// Range query `lo <= key <= hi` over the merged view, as a half-open
+    /// position range (the [`RangeIndex::range`] contract).
+    pub fn range(&self, lo: K, hi: K) -> std::ops::Range<usize> {
+        if lo > hi {
+            return 0..0;
+        }
+        let delta = self.delta.lock().expect("delta lock poisoned");
+        let snap = self.snapshot();
+        let start = merged_position(snap.index.lower_bound(lo), delta.net_below(lo));
+        let end = match hi.checked_next() {
+            Some(h) => merged_position(snap.index.lower_bound(h), delta.net_below(h)),
+            None => merged_len(snap.index.len(), delta.len_delta()),
+        };
+        start..end.max(start)
+    }
+
+    /// Buffer one inserted occurrence of `k`. Returns true when the write
+    /// made (or left) the shard dirty.
+    pub fn insert(&self, k: K) -> bool {
+        let mut delta = self.delta.lock().expect("delta lock poisoned");
+        delta.record_insert(k);
+        self.merged_len.fetch_add(1, Ordering::Relaxed);
+        delta.ops() >= self.threshold
+    }
+
+    /// Buffer a tombstone for one occurrence of `k`. Returns
+    /// `(removed, dirty)`: `removed` is false (and nothing is recorded) when
+    /// the merged view holds no occurrence of `k`.
+    pub fn delete(&self, k: K) -> (bool, bool) {
+        let mut delta = self.delta.lock().expect("delta lock poisoned");
+        let snap = self.snapshot();
+        let count = snap.index.range(k, k).len() as i64 + delta.net_of(k);
+        if count <= 0 {
+            return (false, delta.ops() >= self.threshold);
+        }
+        delta.record_delete(k);
+        self.merged_len.fetch_sub(1, Ordering::Relaxed);
+        (true, delta.ops() >= self.threshold)
+    }
+
+    /// True when the buffered operation count has reached the threshold.
+    pub fn is_dirty(&self) -> bool {
+        self.delta.lock().expect("delta lock poisoned").ops() >= self.threshold
+    }
+
+    /// Number of operations buffered since the last rebuild.
+    pub fn buffered_ops(&self) -> usize {
+        self.delta.lock().expect("delta lock poisoned").ops()
+    }
+
+    /// Fold the delta buffer into a new base column, rebuild the index and
+    /// swap the epoch snapshot. Returns false (and does nothing) when no
+    /// write is buffered. Reads and writes proceed concurrently against the
+    /// old epoch for the whole merge + build; writes that land during the
+    /// rebuild survive as the residual buffer against the new epoch.
+    ///
+    /// # Errors
+    /// Never fails today — the merged column is sorted by construction and
+    /// the index build takes the prevalidated path. The `Result` is kept so
+    /// future rebuild failure modes (durability, resource limits) can
+    /// surface without an API break.
+    pub fn rebuild(&self) -> Result<bool, BuildError> {
+        let _guard = self.rebuild_guard.lock().expect("rebuild guard poisoned");
+        // Freeze phase: capture (base, delta) coherently.
+        let (old_snap, frozen) = {
+            let delta = self.delta.lock().expect("delta lock poisoned");
+            if delta.is_clean() {
+                return Ok(false);
+            }
+            (self.snapshot(), delta.freeze())
+        };
+        // Build phase — lock-free for readers and writers.
+        let merged: Arc<[K]> = frozen.merge_into(&old_snap.keys).into();
+        let index = build_index(&self.spec, merged.clone(), self.build_threads);
+        // Swap phase: install the new epoch and keep only in-flight writes.
+        let mut delta = self.delta.lock().expect("delta lock poisoned");
+        let mut snap = self.snapshot.write().expect("snapshot lock poisoned");
+        *snap = Arc::new(ShardSnapshot {
+            keys: merged,
+            index,
+            epoch: old_snap.epoch + 1,
+        });
+        delta.subtract_frozen(&frozen);
+        Ok(true)
+    }
+
+    /// Bytes of auxiliary structure: the learned index plus the live buffer.
+    pub fn index_size_bytes(&self) -> usize {
+        let delta = self.delta.lock().expect("delta lock poisoned");
+        self.snapshot().index.index_size_bytes() + delta.size_bytes()
+    }
+}
+
+/// Merged length from a base length and a net delta.
+#[inline]
+fn merged_len(base: usize, len_delta: i64) -> usize {
+    (base as i64 + len_delta).max(0) as usize
+}
+
+/// Merged position from a base lower bound and a delta prefix sum. The
+/// delete-path invariant keeps the true sum non-negative; clamp anyway so a
+/// racy estimate can never underflow.
+#[inline]
+fn merged_position(base: usize, net_below: i64) -> usize {
+    (base as i64 + net_below).max(0) as usize
+}
+
+/// Build a shard index from a spec over shared storage the caller
+/// guarantees is sorted — initial builds validate up front, rebuilds merge
+/// sorted inputs — so no redundant O(n) sortedness scan runs per (re)build.
+fn build_index<K: Key>(spec: &IndexSpec, keys: Arc<[K]>, threads: usize) -> DynRangeIndex<K> {
+    Box::new(spec.build_corrected_prevalidated_with(keys, Default::default(), threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> IndexSpec {
+        IndexSpec::parse("im+r1").unwrap()
+    }
+
+    #[test]
+    fn merged_reads_reflect_buffered_writes() {
+        let keys: Vec<u64> = (0..100u64).map(|i| i * 10).collect();
+        let shard = StoreShard::build(spec(), keys, 1_000, 1).unwrap();
+        assert_eq!(shard.len(), 100);
+        assert_eq!(shard.lower_bound(55), 6);
+        shard.insert(55);
+        assert_eq!(shard.len(), 101);
+        assert_eq!(shard.lower_bound(55), 6);
+        assert_eq!(shard.lower_bound(56), 7);
+        assert_eq!(shard.count_of(55), 1);
+        let (removed, _) = shard.delete(55);
+        assert!(removed);
+        assert_eq!(shard.count_of(55), 0);
+        let (removed, _) = shard.delete(55);
+        assert!(!removed, "deleting an absent key is a no-op");
+        assert_eq!(shard.len(), 100);
+    }
+
+    #[test]
+    fn rebuild_folds_the_buffer_and_bumps_the_epoch() {
+        let keys: Vec<u64> = (0..50u64).map(|i| i * 2).collect();
+        let shard = StoreShard::build(spec(), keys, 4, 1).unwrap();
+        assert_eq!(shard.snapshot().epoch(), 0);
+        assert!(!shard.rebuild().unwrap(), "clean shard does not rebuild");
+        let mut dirty = false;
+        for k in [1u64, 3, 5, 7, 9] {
+            dirty = shard.insert(k);
+        }
+        assert!(dirty);
+        assert!(shard.is_dirty());
+        assert!(shard.rebuild().unwrap());
+        let snap = shard.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.keys().len(), 55, "buffer folded into the base");
+        assert_eq!(shard.buffered_ops(), 0);
+        assert!(!shard.is_dirty());
+        // Merged base is now 0, 1, 2, ..., 9, 10, 12, ...: five odd inserts.
+        assert_eq!(shard.lower_bound(4), 4);
+        assert_eq!(shard.range(1, 5).len(), 5); // 1, 2, 3, 4, 5
+    }
+
+    #[test]
+    fn delete_then_rebuild_shrinks_the_base() {
+        let keys = vec![5u64, 5, 5, 9];
+        let shard = StoreShard::build(spec(), keys, 100, 1).unwrap();
+        assert!(shard.delete(5).0);
+        assert!(shard.delete(5).0);
+        assert_eq!(shard.len(), 2);
+        shard.rebuild().unwrap();
+        assert_eq!(shard.snapshot().keys(), &[5, 9]);
+        assert_eq!(shard.lower_bound(6), 1);
+    }
+
+    #[test]
+    fn empty_shard_accepts_writes() {
+        let shard = StoreShard::build(spec(), Vec::<u64>::new(), 100, 1).unwrap();
+        assert!(shard.is_empty());
+        assert_eq!(shard.lower_bound(7), 0);
+        shard.insert(7);
+        assert_eq!(shard.len(), 1);
+        assert_eq!(shard.lower_bound(7), 0);
+        assert_eq!(shard.lower_bound(8), 1);
+        shard.rebuild().unwrap();
+        assert_eq!(shard.snapshot().keys(), &[7]);
+    }
+}

@@ -1,0 +1,563 @@
+//! Range-sharded indexes: a fence-key router over per-shard indexes.
+//!
+//! [`ShardedIndex`] is the read-only form — `N` independently built
+//! [`DynRangeIndex`] shards over contiguous key chunks, with batched lookups
+//! grouped by shard so each shard's stage-blocked batch path stays intact.
+//! [`ShardedStore`] adds the write path: every shard becomes a
+//! [`StoreShard`] (immutable base + delta buffer) and dirty shards are
+//! rebuilt either inline on the crossing write (`auto_rebuild`) or in
+//! parallel scoped threads via [`ShardedStore::maintain`].
+
+use crate::config::StoreConfig;
+use crate::router::ShardRouter;
+use crate::shard::StoreShard;
+use algo_index::search::{DynRangeIndex, RangeIndex};
+use shift_table::error::BuildError;
+use shift_table::spec::IndexSpec;
+use sosd_data::key::Key;
+use std::sync::Arc;
+
+/// What [`build_chunked`] hands back: the router, the chunk start offsets
+/// and the built shards.
+type ChunkedBuild<K, T> = (ShardRouter<K>, Vec<usize>, Vec<T>);
+
+/// Shared construction path of both sharded types: validate sortedness once,
+/// partition into duplicate-run-aligned chunks, and build one shard value per
+/// chunk with scoped worker threads.
+fn build_chunked<K: Key, T: Send>(
+    keys: &[K],
+    shards: usize,
+    build: impl Fn(&[K]) -> Result<T, BuildError> + Sync,
+) -> Result<ChunkedBuild<K, T>, BuildError> {
+    if let Some(position) = keys.windows(2).position(|w| w[0] > w[1]) {
+        return Err(BuildError::UnsortedKeys {
+            position: position + 1,
+        });
+    }
+    let (router, bounds) = ShardRouter::partition(keys, shards);
+    let chunks: Vec<&[K]> = bounds.windows(2).map(|w| &keys[w[0]..w[1]]).collect();
+    let mut built: Vec<T> = Vec::with_capacity(chunks.len());
+    let build = &build;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&chunk| scope.spawn(move || build(chunk)))
+            .collect();
+        for h in handles {
+            built.push(h.join().expect("shard build worker panicked")?);
+        }
+        Ok::<(), BuildError>(())
+    })?;
+    Ok((router, bounds[..bounds.len() - 1].to_vec(), built))
+}
+
+/// Shared batched-read path of both sharded types: bucket the queries by
+/// shard, resolve each bucket through `per_shard` (one stage-blocked batch
+/// call per shard) and scatter the results back with the shard's global
+/// offset applied.
+fn dispatch_batch_by_shard<K: Key>(
+    router: &ShardRouter<K>,
+    shard_count: usize,
+    offsets: &[usize],
+    queries: &[K],
+    out: &mut [usize],
+    mut per_shard: impl FnMut(usize, &[K], &mut [usize]),
+) {
+    assert_eq!(
+        queries.len(),
+        out.len(),
+        "lower_bound_batch requires queries and out of equal length"
+    );
+    if shard_count == 1 {
+        debug_assert_eq!(offsets[0], 0);
+        per_shard(0, queries, out);
+        return;
+    }
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+    for (i, &q) in queries.iter().enumerate() {
+        buckets[router.shard_of(q)].push(i);
+    }
+    let mut shard_queries: Vec<K> = Vec::new();
+    let mut shard_out: Vec<usize> = Vec::new();
+    for (s, bucket) in buckets.iter().enumerate() {
+        if bucket.is_empty() {
+            continue;
+        }
+        shard_queries.clear();
+        shard_queries.extend(bucket.iter().map(|&i| queries[i]));
+        shard_out.clear();
+        shard_out.resize(bucket.len(), 0);
+        per_shard(s, &shard_queries, &mut shard_out);
+        for (&i, &pos) in bucket.iter().zip(shard_out.iter()) {
+            out[i] = offsets[s] + pos;
+        }
+    }
+}
+
+/// A read-only range index partitioned across shards by fence keys.
+///
+/// Each shard is an independently built [`DynRangeIndex`] over its chunk of
+/// the key column; a lookup touches the tiny router plus exactly one shard.
+/// Global positions are shard-local positions plus the shard's fixed offset.
+pub struct ShardedIndex<K: Key> {
+    router: ShardRouter<K>,
+    /// Cumulative key count before each shard (`offsets[i]` is the global
+    /// position of shard `i`'s first key).
+    offsets: Vec<usize>,
+    shards: Vec<DynRangeIndex<K>>,
+    total: usize,
+    spec: IndexSpec,
+}
+
+impl<K: Key> ShardedIndex<K> {
+    /// Build `shards` shard indexes from `spec` over the sorted `keys`.
+    /// Shards are built concurrently with scoped threads (one per shard).
+    ///
+    /// # Errors
+    /// [`BuildError::UnsortedKeys`] if `keys` is not sorted.
+    pub fn build(spec: IndexSpec, keys: &[K], shards: usize) -> Result<Self, BuildError> {
+        // `build_chunked` validated the whole column; each chunk takes the
+        // prevalidated build path rather than re-scanning.
+        let (router, offsets, built) = build_chunked(keys, shards, |chunk| {
+            Ok::<DynRangeIndex<K>, BuildError>(Box::new(spec.build_corrected_prevalidated_with(
+                Arc::<[K]>::from(chunk),
+                Default::default(),
+                1,
+            )))
+        })?;
+        Ok(Self {
+            router,
+            offsets,
+            shards: built,
+            total: keys.len(),
+            spec,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The fence keys (first key of each shard).
+    pub fn fences(&self) -> &[K] {
+        self.router.fences()
+    }
+
+    /// The spec every shard was built from.
+    pub fn spec(&self) -> IndexSpec {
+        self.spec
+    }
+}
+
+impl<K: Key> RangeIndex<K> for ShardedIndex<K> {
+    fn lower_bound(&self, q: K) -> usize {
+        let s = self.router.shard_of(q);
+        self.offsets[s] + self.shards[s].lower_bound(q)
+    }
+
+    /// Batched lookups grouped by shard: queries are bucketed through the
+    /// router first, each shard resolves its bucket through its own
+    /// stage-blocked [`RangeIndex::lower_bound_batch`], and results are
+    /// scattered back with the shard offset applied — per-shard stage
+    /// blocking is preserved instead of ping-ponging between shards.
+    fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
+        dispatch_batch_by_shard(
+            &self.router,
+            self.shards.len(),
+            &self.offsets,
+            queries,
+            out,
+            |s, qs, os| self.shards[s].lower_bound_batch(qs, os),
+        );
+    }
+
+    fn len(&self) -> usize {
+        self.total
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        let routing = self.router.fences().len() * K::size_bytes()
+            + self.offsets.len() * std::mem::size_of::<usize>();
+        routing
+            + self
+                .shards
+                .iter()
+                .map(|s| s.index_size_bytes())
+                .sum::<usize>()
+    }
+
+    fn name(&self) -> &'static str {
+        "ShardedIndex"
+    }
+}
+
+/// An updatable, range-sharded key-value-less ordered store: immutable
+/// learned shards absorbing writes through per-shard delta buffers.
+///
+/// All methods take `&self`; interior per-shard locking makes the store
+/// shareable across threads (`Arc<ShardedStore<K>>`). Reads are coherent per
+/// shard; a multi-shard read (global position, batch, range) composes
+/// per-shard snapshots and is exact whenever no write races it.
+pub struct ShardedStore<K: Key> {
+    router: ShardRouter<K>,
+    shards: Vec<StoreShard<K>>,
+    config: StoreConfig,
+}
+
+impl<K: Key> ShardedStore<K> {
+    /// Build a store over the sorted `keys` with the given configuration.
+    ///
+    /// # Errors
+    /// [`BuildError::UnsortedKeys`] if `keys` is not sorted.
+    pub fn build(config: StoreConfig, keys: impl AsRef<[K]>) -> Result<Self, BuildError> {
+        // `build_chunked` validated the whole column; each chunk takes the
+        // prevalidated shard constructor rather than re-scanning.
+        let (router, _offsets, shards) = build_chunked(keys.as_ref(), config.shards, |chunk| {
+            Ok::<_, BuildError>(StoreShard::build_prevalidated(
+                config.spec,
+                Arc::<[K]>::from(chunk),
+                config.delta_threshold,
+                config.build_threads,
+            ))
+        })?;
+        Ok(Self {
+            router,
+            shards,
+            config,
+        })
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards themselves (for inspection and tests).
+    pub fn shards(&self) -> &[StoreShard<K>] {
+        &self.shards
+    }
+
+    /// Per-shard epoch numbers (number of rebuilds each shard has absorbed).
+    pub fn epochs(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.snapshot().epoch()).collect()
+    }
+
+    /// Total number of shard rebuilds since the store was built.
+    pub fn total_rebuilds(&self) -> u64 {
+        self.epochs().iter().sum()
+    }
+
+    /// Insert one occurrence of `k`. With `auto_rebuild` enabled, a write
+    /// that pushes its shard over the delta threshold rebuilds that shard
+    /// before returning.
+    ///
+    /// # Errors
+    /// Propagates a shard rebuild failure (cannot happen for store-managed
+    /// buffers; see [`StoreShard::rebuild`]).
+    pub fn insert(&self, k: K) -> Result<(), BuildError> {
+        let s = self.router.shard_of(k);
+        let dirty = self.shards[s].insert(k);
+        if dirty && self.config.auto_rebuild {
+            self.shards[s].rebuild()?;
+        }
+        Ok(())
+    }
+
+    /// Delete one occurrence of `k`. Returns true when an occurrence existed
+    /// (and a tombstone was recorded), false for a no-op.
+    ///
+    /// # Errors
+    /// Propagates a shard rebuild failure, as for [`ShardedStore::insert`].
+    pub fn delete(&self, k: K) -> Result<bool, BuildError> {
+        let s = self.router.shard_of(k);
+        let (removed, dirty) = self.shards[s].delete(k);
+        if dirty && self.config.auto_rebuild {
+            self.shards[s].rebuild()?;
+        }
+        Ok(removed)
+    }
+
+    /// Merged occurrence count of the exact key `k`.
+    pub fn count_of(&self, k: K) -> usize {
+        self.shards[self.router.shard_of(k)].count_of(k)
+    }
+
+    /// Rebuild every *dirty* shard (buffer at or over the threshold), in
+    /// parallel scoped threads — the maintenance entry point when
+    /// `auto_rebuild` is off. Returns the number of shards rebuilt.
+    ///
+    /// # Errors
+    /// Propagates the first shard rebuild failure.
+    pub fn maintain(&self) -> Result<usize, BuildError> {
+        self.rebuild_where(|s| s.is_dirty())
+    }
+
+    /// Rebuild every shard with *any* buffered write, regardless of the
+    /// threshold. Returns the number of shards rebuilt.
+    ///
+    /// # Errors
+    /// Propagates the first shard rebuild failure.
+    pub fn flush(&self) -> Result<usize, BuildError> {
+        self.rebuild_where(|s| s.buffered_ops() > 0)
+    }
+
+    fn rebuild_where(&self, pick: impl Fn(&StoreShard<K>) -> bool) -> Result<usize, BuildError> {
+        let targets: Vec<&StoreShard<K>> = self.shards.iter().filter(|s| pick(s)).collect();
+        if targets.is_empty() {
+            return Ok(0);
+        }
+        let mut rebuilt = 0usize;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = targets
+                .iter()
+                .map(|&shard| scope.spawn(move || shard.rebuild()))
+                .collect();
+            for h in handles {
+                if h.join().expect("shard rebuild worker panicked")? {
+                    rebuilt += 1;
+                }
+            }
+            Ok::<(), BuildError>(())
+        })?;
+        Ok(rebuilt)
+    }
+
+    /// Global position offset of shard `s`: the merged lengths of all shards
+    /// before it.
+    fn offset_of(&self, s: usize) -> usize {
+        self.shards[..s].iter().map(|sh| sh.len()).sum()
+    }
+
+    /// One sweep over the shards: global position offset of each shard plus
+    /// the merged total, for the multi-shard read paths.
+    fn merged_offsets(&self) -> (Vec<usize>, usize) {
+        let mut offsets = Vec::with_capacity(self.shards.len());
+        let mut total = 0usize;
+        for shard in &self.shards {
+            offsets.push(total);
+            total += shard.len();
+        }
+        (offsets, total)
+    }
+}
+
+impl<K: Key> RangeIndex<K> for ShardedStore<K> {
+    fn lower_bound(&self, q: K) -> usize {
+        let s = self.router.shard_of(q);
+        self.offset_of(s) + self.shards[s].lower_bound(q)
+    }
+
+    /// Batched merged lookups, grouped by shard (see
+    /// [`ShardedIndex::lower_bound_batch`]); shard offsets are computed once
+    /// per call from the merged shard lengths.
+    fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
+        let (offsets, _total) = self.merged_offsets();
+        dispatch_batch_by_shard(
+            &self.router,
+            self.shards.len(),
+            &offsets,
+            queries,
+            out,
+            |s, qs, os| self.shards[s].lower_bound_batch(qs, os),
+        );
+    }
+
+    fn range(&self, lo: K, hi: K) -> std::ops::Range<usize> {
+        if lo > hi {
+            return 0..0;
+        }
+        // One sweep over the shards for the merged offsets, then two
+        // shard-local probes — not four separate O(shards) lock sweeps.
+        let (offsets, total) = self.merged_offsets();
+        if total == 0 {
+            return 0..0;
+        }
+        let s = self.router.shard_of(lo);
+        let start = offsets[s] + self.shards[s].lower_bound(lo);
+        let end = match hi.checked_next() {
+            Some(h) => {
+                let s = self.router.shard_of(h);
+                offsets[s] + self.shards[s].lower_bound(h)
+            }
+            None => total,
+        };
+        start..end.max(start)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        let routing = self.router.fences().len() * K::size_bytes();
+        routing
+            + self
+                .shards
+                .iter()
+                .map(|s| s.index_size_bytes())
+                .sum::<usize>()
+    }
+
+    fn name(&self) -> &'static str {
+        "ShardedStore"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_data::prelude::*;
+
+    fn spec() -> IndexSpec {
+        IndexSpec::parse("im+r1").unwrap()
+    }
+
+    #[test]
+    fn sharded_index_matches_reference_on_every_workload() {
+        let d: Dataset<u64> = SosdName::Face64.generate(12_000, 3);
+        for shards in [1usize, 4, 13] {
+            let index = ShardedIndex::build(spec(), d.as_slice(), shards).unwrap();
+            assert!(index.shard_count() <= shards.max(1));
+            assert_eq!(index.len(), d.len());
+            for w in [
+                Workload::uniform_keys(&d, 400, 1),
+                Workload::uniform_domain(&d, 400, 2),
+                Workload::non_indexed(&d, 400, 3),
+            ] {
+                for (q, expected) in w.iter() {
+                    assert_eq!(index.lower_bound(q), expected, "shards={shards} q={q}");
+                }
+                assert_eq!(
+                    index.lower_bound_many(w.queries()),
+                    w.expected().to_vec(),
+                    "shards={shards} batch"
+                );
+            }
+            assert_eq!(index.lower_bound(0), d.lower_bound(0));
+            assert_eq!(index.lower_bound(u64::MAX), d.lower_bound(u64::MAX));
+            assert_eq!(index.range(0, u64::MAX), 0..d.len());
+        }
+    }
+
+    #[test]
+    fn sharded_index_is_send_sync_and_boxable() {
+        fn assert_owned<T: Send + Sync + 'static>(_: &T) {}
+        let keys: Vec<u64> = (0..5_000u64).map(|i| i * 3).collect();
+        let index = ShardedIndex::build(spec(), &keys, 4).unwrap();
+        assert_owned(&index);
+        let boxed: DynRangeIndex<u64> = Box::new(index);
+        assert_eq!(boxed.lower_bound(300), 100);
+        assert_eq!(boxed.name(), "ShardedIndex");
+        assert!(boxed.index_size_bytes() > 0);
+    }
+
+    #[test]
+    fn store_round_trips_writes_across_shards() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 2).collect();
+        let config = StoreConfig::new(spec())
+            .shards(4)
+            .delta_threshold(100_000)
+            .auto_rebuild(false);
+        let store = ShardedStore::build(config, &keys).unwrap();
+        assert_eq!(store.shard_count(), 4);
+        assert_eq!(store.len(), 10_000);
+        // Odd keys land in all four shards.
+        for k in [1u64, 5_001, 10_001, 19_999] {
+            store.insert(k).unwrap();
+        }
+        assert_eq!(store.len(), 10_004);
+        assert_eq!(store.lower_bound(0), 0);
+        assert_eq!(store.lower_bound(2), 2); // 0, 1 precede
+        assert!(store.delete(5_001).unwrap());
+        assert!(!store.delete(5_001).unwrap());
+        assert_eq!(store.len(), 10_003);
+        // Flush drains every shard with buffered ops — including the one
+        // whose insert/delete pair cancelled out in the net view.
+        assert_eq!(store.flush().unwrap(), 4);
+        assert_eq!(store.total_rebuilds(), 4);
+        assert_eq!(store.len(), 10_003);
+        assert_eq!(store.count_of(19_999), 1);
+        assert_eq!(store.count_of(5_001), 0);
+    }
+
+    #[test]
+    fn auto_rebuild_triggers_on_the_crossing_write() {
+        let keys: Vec<u64> = (0..1_000u64).collect();
+        let config = StoreConfig::new(spec()).shards(1).delta_threshold(8);
+        let store = ShardedStore::build(config, &keys).unwrap();
+        for i in 0..8u64 {
+            store.insert(2_000 + i).unwrap();
+        }
+        assert_eq!(store.total_rebuilds(), 1, "8th write crossed the threshold");
+        assert_eq!(store.shards()[0].buffered_ops(), 0);
+        assert_eq!(store.len(), 1_008);
+    }
+
+    #[test]
+    fn maintain_rebuilds_only_dirty_shards() {
+        let keys: Vec<u64> = (0..8_000u64).collect();
+        let config = StoreConfig::new(spec())
+            .shards(4)
+            .delta_threshold(10)
+            .auto_rebuild(false);
+        let store = ShardedStore::build(config, &keys).unwrap();
+        // Make exactly one shard dirty…
+        for i in 0..12u64 {
+            store.insert(10_000 + i).unwrap(); // all route to the last shard
+        }
+        // …and leave another with a sub-threshold buffer.
+        store.insert(1).unwrap();
+        assert_eq!(store.maintain().unwrap(), 1);
+        assert_eq!(store.total_rebuilds(), 1);
+        assert_eq!(store.flush().unwrap(), 1, "flush drains the small buffer");
+        assert_eq!(store.len(), 8_013);
+    }
+
+    #[test]
+    fn reads_stay_exact_while_rebuilds_run_concurrently() {
+        // Buffer writes, freeze the expected merged view, then race reader
+        // threads against the parallel rebuild: every read must be exact
+        // whichever epoch serves it, before, during and after the swap.
+        let keys: Vec<u64> = (0..20_000u64).map(|i| i * 4).collect();
+        let config = StoreConfig::new(spec())
+            .shards(4)
+            .delta_threshold(1_000_000)
+            .auto_rebuild(false);
+        let store = ShardedStore::build(config, &keys).unwrap();
+        let mut merged: Vec<u64> = keys.clone();
+        let mut rng = SplitMix64::new(0xC0FF);
+        for _ in 0..600 {
+            let k = rng.next_below(80_000);
+            store.insert(k).unwrap();
+            let pos = merged.partition_point(|&x| x < k);
+            merged.insert(pos, k);
+        }
+        let queries: Vec<u64> = (0..400).map(|_| rng.next_below(90_000)).collect();
+        let expected: Vec<usize> = queries
+            .iter()
+            .map(|&q| merged.partition_point(|&x| x < q))
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    for _ in 0..30 {
+                        for (&q, &e) in queries.iter().zip(expected.iter()) {
+                            assert_eq!(store.lower_bound(q), e, "q={q}");
+                        }
+                    }
+                });
+            }
+            scope.spawn(|| {
+                assert_eq!(store.flush().unwrap(), 4);
+            });
+        });
+        assert_eq!(store.total_rebuilds(), 4);
+        assert_eq!(store.lower_bound_many(&queries), expected);
+    }
+}

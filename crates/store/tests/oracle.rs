@@ -1,0 +1,164 @@
+//! The store acceptance property: for **every** `IndexSpec` in the matrix,
+//! shard counts {1, 4, 13}, and a mixed insert/delete/lookup/range trace,
+//! every store read — scalar, batched and range — equals a plain sorted-`Vec`
+//! oracle, *before and after* background rebuild triggers.
+
+use algo_index::RangeIndex;
+use shift_store::{ShardedStore, StoreConfig};
+use shift_table::spec::IndexSpec;
+use sosd_data::prelude::*;
+
+/// The reference implementation: a plain sorted vector with the same
+/// insert/delete semantics as the store (delete removes one occurrence if
+/// present, else no-op).
+struct Oracle {
+    keys: Vec<u64>,
+}
+
+impl Oracle {
+    fn insert(&mut self, k: u64) {
+        let pos = self.keys.partition_point(|&x| x < k);
+        self.keys.insert(pos, k);
+    }
+
+    fn delete(&mut self, k: u64) -> bool {
+        let pos = self.keys.partition_point(|&x| x < k);
+        if self.keys.get(pos) == Some(&k) {
+            self.keys.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn lower_bound(&self, q: u64) -> usize {
+        self.keys.partition_point(|&x| x < q)
+    }
+
+    fn range(&self, lo: u64, hi: u64) -> std::ops::Range<usize> {
+        if lo > hi || self.keys.is_empty() {
+            return 0..0;
+        }
+        let start = self.lower_bound(lo);
+        let end = match lo <= hi && hi < u64::MAX {
+            true => self.lower_bound(hi + 1),
+            false => self.keys.len(),
+        };
+        start..end.max(start)
+    }
+}
+
+/// Compare every read path against the oracle.
+fn assert_reads_match(store: &ShardedStore<u64>, oracle: &Oracle, probes: &[u64], tag: &str) {
+    assert_eq!(store.len(), oracle.keys.len(), "{tag}: len");
+    for &q in probes {
+        assert_eq!(store.lower_bound(q), oracle.lower_bound(q), "{tag}: q={q}");
+    }
+    let batch = store.lower_bound_many(probes);
+    let expected: Vec<usize> = probes.iter().map(|&q| oracle.lower_bound(q)).collect();
+    assert_eq!(batch, expected, "{tag}: batch");
+    for pair in probes.chunks(2) {
+        if pair.len() < 2 {
+            continue;
+        }
+        let (lo, hi) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+        assert_eq!(
+            store.range(lo, hi),
+            oracle.range(lo, hi),
+            "{tag}: [{lo}, {hi}]"
+        );
+        // Inverted ranges are always empty.
+        if lo != hi {
+            assert_eq!(store.range(hi, lo), 0..0, "{tag}: inverted [{hi}, {lo}]");
+        }
+    }
+    assert_eq!(
+        store.range(0, u64::MAX),
+        oracle.range(0, u64::MAX),
+        "{tag}: full-domain range"
+    );
+}
+
+/// A probe set mixing present keys, misses and extremes.
+fn probe_set(rng: &mut SplitMix64, oracle: &Oracle) -> Vec<u64> {
+    let mut probes = vec![0u64, 1, u64::MAX];
+    for _ in 0..40 {
+        let q = if !oracle.keys.is_empty() && rng.next_below(2) == 0 {
+            oracle.keys[rng.next_below(oracle.keys.len() as u64) as usize]
+        } else {
+            rng.next_below(60_000)
+        };
+        probes.push(q);
+        probes.push(q.saturating_add(1));
+    }
+    probes
+}
+
+#[test]
+fn store_reads_match_a_sorted_vec_oracle_for_every_spec_and_shard_count() {
+    let combos = IndexSpec::all_combinations();
+    assert_eq!(combos.len(), 24, "6 model families x 4 layer families");
+    let mut rng = SplitMix64::new(0x570E_E0E1);
+    for &spec in &combos {
+        for shards in [1usize, 4, 13] {
+            // A duplicate-bearing base: values in a narrow range so inserts,
+            // deletes and probes collide with existing runs.
+            let n = 1_200 + rng.next_below(400) as usize;
+            let mut base: Vec<u64> = (0..n).map(|_| rng.next_below(40_000)).collect();
+            base.sort_unstable();
+            let mut oracle = Oracle { keys: base.clone() };
+            // A threshold small enough that the trace triggers rebuilds in
+            // every shard-count configuration (auto_rebuild is on).
+            let config = StoreConfig::new(spec).shards(shards).delta_threshold(16);
+            let store = ShardedStore::build(config, &base).unwrap();
+            let tag = format!("{spec} shards={shards}");
+
+            // Reads must be exact before any write or rebuild.
+            let probes = probe_set(&mut rng, &oracle);
+            assert_reads_match(&store, &oracle, &probes, &format!("{tag} pre"));
+
+            // The mixed trace: ~50% lookups, 30% inserts, 20% deletes, with
+            // read verification after every write so mid-buffer and
+            // just-rebuilt states are both exercised.
+            for step in 0..600 {
+                match rng.next_below(10) {
+                    0..=2 => {
+                        let k = rng.next_below(50_000);
+                        store.insert(k).unwrap();
+                        oracle.insert(k);
+                    }
+                    3..=4 => {
+                        // Bias deletes towards existing keys.
+                        let k = if !oracle.keys.is_empty() && rng.next_below(4) != 0 {
+                            oracle.keys[rng.next_below(oracle.keys.len() as u64) as usize]
+                        } else {
+                            rng.next_below(50_000)
+                        };
+                        assert_eq!(store.delete(k).unwrap(), oracle.delete(k), "{tag} del {k}");
+                    }
+                    _ => {
+                        let q = rng.next_below(60_000);
+                        assert_eq!(
+                            store.lower_bound(q),
+                            oracle.lower_bound(q),
+                            "{tag} step {step} q={q}"
+                        );
+                    }
+                }
+                if step % 97 == 0 {
+                    let probes = probe_set(&mut rng, &oracle);
+                    assert_reads_match(&store, &oracle, &probes, &format!("{tag} step {step}"));
+                }
+            }
+            assert!(
+                store.total_rebuilds() > 0,
+                "{tag}: the trace must have triggered background rebuilds"
+            );
+
+            // And again after a full flush (every buffer folded into base).
+            store.flush().unwrap();
+            let probes = probe_set(&mut rng, &oracle);
+            assert_reads_match(&store, &oracle, &probes, &format!("{tag} post-flush"));
+        }
+    }
+}

@@ -12,6 +12,10 @@
 //! * [`algo_index`] — the [`algo_index::RangeIndex`] trait (point, batched
 //!   and range lookups) and the algorithmic baselines (binary/interpolation/
 //!   TIP search, B+tree, FAST-style tree, ART, RBS),
+//! * [`shift_store`] — the serving layer: [`shift_store::ShardedIndex`]
+//!   (fence-key router over per-shard indexes) and
+//!   [`shift_store::ShardedStore`] (delta-buffered shards with epoch-snapshot
+//!   rebuilds, absorbing inserts and deletes),
 //! * [`sosd_data`] — SOSD-style datasets, workloads and CDF utilities.
 //!
 //! ## The two construction paths
@@ -62,6 +66,7 @@
 
 pub use algo_index;
 pub use learned_index;
+pub use shift_store;
 pub use shift_table;
 pub use sosd_data;
 
@@ -69,6 +74,7 @@ pub use sosd_data;
 pub mod prelude {
     pub use algo_index::prelude::*;
     pub use learned_index::prelude::*;
+    pub use shift_store::prelude::*;
     pub use shift_table::prelude::*;
     pub use sosd_data::prelude::*;
 }

@@ -282,6 +282,58 @@ fn range_queries_are_consistent() {
     }
 }
 
+/// `RangeIndex::range` boundary cases hold for **every** `IndexSpec` in the
+/// matrix: `hi == K::MAX` (the `checked_next() → None` path), inverted
+/// ranges (`lo > hi`), the empty index, and ranges fully inside a run of
+/// duplicate keys.
+#[test]
+fn range_boundary_cases_hold_for_every_spec() {
+    // A long duplicate run, sparse neighbours and a key at the domain
+    // maximum (so `hi == u64::MAX` must still include it).
+    let mut keys: Vec<u64> = vec![0, 1, 5];
+    keys.extend(std::iter::repeat_n(1_000u64, 500));
+    keys.extend([2_000, 3_000, u64::MAX]);
+    let dataset = Dataset::from_sorted_keys("edge", keys);
+    let shared = dataset.to_shared();
+    let oracle = |lo: u64, hi: u64| -> std::ops::Range<usize> {
+        let ks = dataset.as_slice();
+        if lo > hi {
+            return 0..0;
+        }
+        let start = ks.partition_point(|&k| k < lo);
+        let end = match hi.checked_add(1) {
+            Some(h) => ks.partition_point(|&k| k < h),
+            None => ks.len(),
+        };
+        start..end.max(start)
+    };
+    let cases: &[(u64, u64)] = &[
+        (0, u64::MAX),        // whole domain, checked_next() → None
+        (u64::MAX, u64::MAX), // single key at the maximum
+        (3_001, u64::MAX),    // tail range ending at the maximum
+        (1_000, 1_000),       // exactly the duplicate run
+        (999, 1_001),         // straddling the run by one on each side
+        (6, 900),             // miss range left of the run
+        (2_001, 2_999),       // miss range right of the run
+        (0, 0),               // single smallest key
+    ];
+    for spec in IndexSpec::all_combinations() {
+        let index = spec.build(shared.clone()).unwrap();
+        for &(lo, hi) in cases {
+            assert_eq!(index.range(lo, hi), oracle(lo, hi), "{spec} [{lo}, {hi}]");
+        }
+        // Inverted ranges are empty regardless of the endpoints.
+        assert_eq!(index.range(9, 3), 0..0, "{spec} inverted");
+        assert_eq!(index.range(u64::MAX, 0), 0..0, "{spec} inverted max");
+
+        // The empty index: every range is empty, on every spec.
+        let empty = spec.build(Vec::<u64>::new()).unwrap();
+        assert_eq!(empty.len(), 0, "{spec} empty len");
+        assert_eq!(empty.range(0, u64::MAX), 0..0, "{spec} empty full");
+        assert_eq!(empty.range(5, 5), 0..0, "{spec} empty point");
+    }
+}
+
 /// The SOSD binary format round-trips arbitrary key vectors.
 #[test]
 fn sosd_io_roundtrips() {
