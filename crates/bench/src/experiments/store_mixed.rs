@@ -1,19 +1,32 @@
-//! Mixed read/write serving benchmark over the sharded store.
+//! Mixed read/write serving benchmarks over the sharded store.
 //!
 //! Not part of the paper's evaluation (the paper serves a static corpus):
 //! this suite measures the `shift-store` layer the workspace grows towards —
-//! a range-sharded store absorbing writes through per-shard delta buffers.
-//! Three trace shapes (read-heavy, insert-heavy, Zipfian shard skew) are
-//! replayed against stores with increasing shard counts; the table reports
-//! throughput, the rebuilds the trace triggered, and the final store size.
+//! a range-sharded store with a lock-free read path absorbing writes through
+//! immutable per-shard delta chains.
 //!
-//! Correctness is not re-derived here (the store's oracle property test owns
-//! that); a fold of every returned position guards against dead-code
-//! elimination, and the final store length is cross-checked against an
-//! insert/delete counter.
+//! Two tables are produced:
+//!
+//! 1. **Single-threaded traces** — three trace shapes (read-heavy,
+//!    insert-heavy, Zipfian shard skew) replayed against stores with
+//!    increasing shard counts. Alongside mean ns/op the table reports the
+//!    serving percentiles (p50/p90/p99/p99.9) — the tail is where rebuild
+//!    swaps and chain merges would show up.
+//! 2. **Multi-threaded driver** — N reader threads racing M writer threads
+//!    (each with its own deterministic trace stream) against one store with
+//!    the background maintenance worker enabled. The table reports the
+//!    aggregate throughput and the pooled read-latency percentiles; read
+//!    scaling with reader count is the lock-free read path's acceptance
+//!    signal.
+//!
+//! Correctness is not re-derived here (the store's oracle and concurrent
+//! property tests own that); a fold of every returned position guards
+//! against dead-code elimination, and the final store length is
+//! cross-checked against an insert/delete counter.
 
 use crate::datasets::{dataset_u64, BenchConfig};
-use crate::report::Table;
+use crate::report::{fmt_mops, fmt_ns, percentile_cells, Table};
+use crate::timer::LatencyRecorder;
 use algo_index::RangeIndex;
 use shift_store::{ShardedStore, StoreConfig};
 use shift_table::spec::IndexSpec;
@@ -21,55 +34,59 @@ use sosd_data::prelude::*;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Shard counts the suite sweeps.
+/// Shard counts the single-threaded suite sweeps.
 pub const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
 
-/// The trace shapes the suite replays.
+/// `(reader, writer)` thread counts the multi-threaded driver sweeps.
+pub const THREAD_MIXES: [(usize, usize); 3] = [(1, 1), (2, 1), (4, 2)];
+
+/// The trace shapes the single-threaded suite replays.
 const SCENARIOS: [(&str, MixedKind); 3] = [
     ("read-heavy", MixedKind::ReadHeavy),
     ("insert-heavy", MixedKind::InsertHeavy),
     ("zipf-shard-skew", MixedKind::ZipfShardSkew),
 ];
 
-/// Replay a trace against a store, returning `(ns_per_op, checksum,
-/// net_inserted)`.
-fn replay(store: &ShardedStore<u64>, ops: &[MixedOp<u64>]) -> (f64, u64, i64) {
+/// Replay a trace against a store with per-op latency recording, returning
+/// `(recorder, checksum, net_inserted)`.
+fn replay(store: &ShardedStore<u64>, ops: &[MixedOp<u64>]) -> (LatencyRecorder, u64, i64) {
+    let mut rec = LatencyRecorder::with_capacity(ops.len());
     let mut checksum = 0u64;
     let mut net = 0i64;
-    let start = Instant::now();
     for &op in ops {
         match op {
             MixedOp::Lookup(q) => {
-                checksum = checksum.wrapping_add(store.lower_bound(black_box(q)) as u64);
+                checksum =
+                    checksum.wrapping_add(rec.time(|| store.lower_bound(black_box(q))) as u64);
             }
             MixedOp::Insert(k) => {
-                store.insert(black_box(k)).expect("insert cannot fail");
+                rec.time(|| store.insert(black_box(k)).expect("insert cannot fail"));
                 net += 1;
             }
             MixedOp::Delete(k) => {
-                if store.delete(black_box(k)).expect("delete cannot fail") {
+                if rec.time(|| store.delete(black_box(k)).expect("delete cannot fail")) {
                     net -= 1;
                 }
             }
             MixedOp::Range(lo, hi) => {
-                let r = store.range(black_box(lo), black_box(hi));
+                let r = rec.time(|| store.range(black_box(lo), black_box(hi)));
                 checksum = checksum.wrapping_add(r.len() as u64);
             }
         }
     }
-    let elapsed = start.elapsed().as_nanos() as f64;
-    (elapsed / ops.len().max(1) as f64, black_box(checksum), net)
+    (rec, black_box(checksum), net)
 }
 
-/// Run the mixed-workload store benchmark.
-pub fn run(cfg: BenchConfig) -> Vec<Table> {
-    let spec = IndexSpec::parse("im+r1").expect("builtin spec parses");
-    let d = dataset_u64(SosdName::Face64, cfg);
-    let ops_per_trace = cfg.queries.max(1);
-    // Threshold chosen so the traces actually trigger rebuilds at every
-    // shard count, but not on every handful of writes.
-    let threshold = (ops_per_trace / 50).clamp(64, 100_000);
+/// The delta threshold the suite uses: large enough not to rebuild on every
+/// handful of writes, small enough that every trace triggers rebuilds.
+fn suite_threshold(ops_per_trace: usize) -> usize {
+    (ops_per_trace / 50).clamp(64, 100_000)
+}
 
+/// Single-threaded trace replay with percentile reporting.
+fn single_threaded(cfg: BenchConfig, spec: IndexSpec, d: &Dataset<u64>) -> Table {
+    let ops_per_trace = cfg.queries.max(1);
+    let threshold = suite_threshold(ops_per_trace);
     let mut table = Table::new(
         format!(
             "Store — mixed workloads on face64 (n = {}, {} ops/trace, spec {spec}, delta threshold {threshold})",
@@ -77,16 +94,17 @@ pub fn run(cfg: BenchConfig) -> Vec<Table> {
             ops_per_trace
         ),
         &[
-            "scenario", "shards", "ns/op", "Mops/s", "rebuilds", "final_keys", "aux_bytes",
+            "scenario", "shards", "ns/op", "Mops/s", "p50", "p90", "p99", "p99.9", "rebuilds",
+            "final_keys", "aux_bytes",
         ],
     );
     for (label, kind) in SCENARIOS {
         for shards in SHARD_COUNTS {
             let trace = match kind {
-                MixedKind::ReadHeavy => MixedWorkload::read_heavy(&d, ops_per_trace, cfg.seed),
-                MixedKind::InsertHeavy => MixedWorkload::insert_heavy(&d, ops_per_trace, cfg.seed),
+                MixedKind::ReadHeavy => MixedWorkload::read_heavy(d, ops_per_trace, cfg.seed),
+                MixedKind::InsertHeavy => MixedWorkload::insert_heavy(d, ops_per_trace, cfg.seed),
                 MixedKind::ZipfShardSkew => {
-                    MixedWorkload::zipf_shard_skew(&d, ops_per_trace, shards.max(4), 0.99, cfg.seed)
+                    MixedWorkload::zipf_shard_skew(d, ops_per_trace, shards.max(4), 0.99, cfg.seed)
                 }
             };
             let config = StoreConfig::new(spec)
@@ -94,24 +112,159 @@ pub fn run(cfg: BenchConfig) -> Vec<Table> {
                 .delta_threshold(threshold);
             let store = ShardedStore::build(config, d.as_slice()).expect("sorted dataset");
             let before = store.len() as i64;
-            let (ns_per_op, _checksum, net) = replay(&store, trace.ops());
+            let (mut rec, _checksum, net) = replay(&store, trace.ops());
             assert_eq!(
                 store.len() as i64,
                 before + net,
                 "store length must track net inserts"
             );
+            let mean = rec.mean_ns();
+            let p = rec.percentiles();
+            let [p50, p90, p99, p999] = percentile_cells(&p);
             table.add_row(vec![
                 label.into(),
                 store.shard_count().to_string(),
-                format!("{ns_per_op:.1}"),
-                format!("{:.2}", 1_000.0 / ns_per_op.max(1e-9)),
+                fmt_ns(mean),
+                fmt_mops(mean),
+                p50,
+                p90,
+                p99,
+                p999,
                 store.total_rebuilds().to_string(),
                 store.len().to_string(),
                 store.index_size_bytes().to_string(),
             ]);
         }
     }
-    vec![table]
+    table
+}
+
+/// Multi-threaded driver: N readers race M writers and the background
+/// maintenance worker; reports aggregate throughput plus pooled read
+/// percentiles.
+fn multi_threaded(cfg: BenchConfig, spec: IndexSpec, d: &Dataset<u64>) -> Table {
+    let ops_per_thread = cfg.queries.max(1);
+    let threshold = suite_threshold(ops_per_thread);
+    let shards = 8usize;
+    let mut table = Table::new(
+        format!(
+            "Store — concurrent driver on face64 (n = {}, {ops_per_thread} ops/thread, {shards} shards, spec {spec}, background maintenance)",
+            d.len(),
+        ),
+        &[
+            "mode",
+            "threads",
+            "agg Mops/s",
+            "read ns/op",
+            "p50",
+            "p90",
+            "p99",
+            "p99.9",
+            "rebuilds",
+            "reshards",
+            "final_keys",
+        ],
+    );
+    for (readers, writers) in THREAD_MIXES {
+        let config = StoreConfig::new(spec)
+            .shards(shards)
+            .delta_threshold(threshold)
+            .auto_rebuild(false)
+            .background_maintenance(true)
+            .maintenance_interval(std::time::Duration::from_millis(1));
+        let store = ShardedStore::build(config, d.as_slice()).expect("sorted dataset");
+        let before = store.len() as i64;
+        let write_traces =
+            MixedWorkload::concurrent(d, writers, ops_per_thread, cfg.seed, MixedKind::InsertHeavy);
+        let read_loads: Vec<Workload<u64>> = (0..readers)
+            .map(|r| Workload::uniform_domain(d, ops_per_thread, cfg.seed ^ (0xBEEF + r as u64)))
+            .collect();
+        let start = Instant::now();
+        let (read_recs, write_nets) = std::thread::scope(|scope| {
+            let read_handles: Vec<_> = read_loads
+                .iter()
+                .map(|w| {
+                    let store = &store;
+                    scope.spawn(move || {
+                        let mut rec = LatencyRecorder::with_capacity(w.len());
+                        let mut checksum = 0u64;
+                        for &q in w.queries() {
+                            checksum = checksum
+                                .wrapping_add(rec.time(|| store.lower_bound(black_box(q))) as u64);
+                        }
+                        black_box(checksum);
+                        rec
+                    })
+                })
+                .collect();
+            let write_handles: Vec<_> = write_traces
+                .iter()
+                .map(|trace| {
+                    let store = &store;
+                    scope.spawn(move || replay(store, trace.ops()).2)
+                })
+                .collect();
+            (
+                read_handles
+                    .into_iter()
+                    .map(|h| h.join().expect("reader thread panicked"))
+                    .collect::<Vec<_>>(),
+                write_handles
+                    .into_iter()
+                    .map(|h| h.join().expect("writer thread panicked"))
+                    .collect::<Vec<_>>(),
+            )
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        // Capture the maintenance counters before draining, so the table
+        // reports only what happened during the measured interval.
+        let rebuilds = store.total_rebuilds();
+        let reshards = store.total_splits() + store.total_merges();
+        // The worker may still be folding the last chains; wait for the
+        // store to go clean before the length cross-check.
+        let net: i64 = write_nets.iter().sum();
+        while store.shards().iter().any(|s| s.buffered_ops() > 0) {
+            store.flush().expect("flush cannot fail");
+        }
+        assert_eq!(
+            store.len() as i64,
+            before + net,
+            "store length must track net inserts across threads"
+        );
+        let mut pooled = LatencyRecorder::default();
+        for rec in read_recs {
+            pooled.absorb(rec);
+        }
+        let total_ops = (readers + writers) * ops_per_thread;
+        let agg_mops = total_ops as f64 / 1e6 / elapsed.max(1e-9);
+        let mean = pooled.mean_ns();
+        let p = pooled.percentiles();
+        let [p50, p90, p99, p999] = percentile_cells(&p);
+        table.add_row(vec![
+            format!("{readers}r+{writers}w"),
+            (readers + writers).to_string(),
+            format!("{agg_mops:.2}"),
+            fmt_ns(mean),
+            p50,
+            p90,
+            p99,
+            p999,
+            rebuilds.to_string(),
+            reshards.to_string(),
+            store.len().to_string(),
+        ]);
+    }
+    table
+}
+
+/// Run the mixed-workload store benchmark (single- and multi-threaded).
+pub fn run(cfg: BenchConfig) -> Vec<Table> {
+    let spec = IndexSpec::parse("im+r1").expect("builtin spec parses");
+    let d = dataset_u64(SosdName::Face64, cfg);
+    vec![
+        single_threaded(cfg, spec, &d),
+        multi_threaded(cfg, spec, &d),
+    ]
 }
 
 #[cfg(test)]
@@ -119,13 +272,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn smoke_run_produces_a_full_table() {
+    fn smoke_run_produces_full_tables() {
         let tables = run(BenchConfig {
             keys: 20_000,
-            queries: 2_000,
+            queries: 1_000,
             seed: 42,
         });
-        assert_eq!(tables.len(), 1);
+        assert_eq!(tables.len(), 2);
         assert_eq!(tables[0].row_count(), SCENARIOS.len() * SHARD_COUNTS.len());
+        assert_eq!(tables[1].row_count(), THREAD_MIXES.len());
     }
 }

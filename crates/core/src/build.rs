@@ -122,7 +122,11 @@ pub(crate) fn compute_range_entries_parallel<K: Key, M: CdfModel<K> + Sync + ?Si
         }
     });
 
-    let mut entries = vec![ShiftEntry::new(UNSET, 0); n];
+    // Reduce in place into the first partial instead of allocating a fresh
+    // n-entry accumulator — one full-layer allocation saved per build, which
+    // the serving layer's rebuild path hits on every epoch swap.
+    let mut partials = partials.into_iter();
+    let mut entries = partials.next().expect("at least one build chunk");
     for partial in partials {
         for (e, p) in entries.iter_mut().zip(partial) {
             if p.count > 0 {

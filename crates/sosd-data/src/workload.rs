@@ -10,7 +10,7 @@
 
 use crate::dataset::Dataset;
 use crate::key::Key;
-use crate::rng::{Xoshiro256, Zipf};
+use crate::rng::{SplitMix64, Xoshiro256, Zipf};
 
 /// Which distribution the query keys are drawn from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,6 +187,11 @@ pub enum MixedKind {
     ZipfShardSkew,
 }
 
+/// Base hot-slice rotation of Zipf-shaped traces: thread 0 (and the
+/// single-threaded generator) places the hottest rank on this slice so it
+/// is not trivially the leftmost one; concurrent threads stagger from here.
+const ZIPF_BASE_ROTATION: u64 = 3;
+
 /// A reproducible mixed read/write trace over a dataset's key domain.
 ///
 /// The trace carries operations only (no ground truth): the truth of an
@@ -210,6 +215,44 @@ impl<K: Key> MixedWorkload<K> {
         Self::generate(dataset, count, seed, MixedKind::InsertHeavy, None)
     }
 
+    /// One deterministic trace per concurrent worker thread: thread `t`'s
+    /// trace is derived from an independent [`SplitMix64`]-forked sub-seed
+    /// of `seed`, so a multi-threaded replay is reproducible *per thread*
+    /// regardless of how the scheduler interleaves them — the property the
+    /// concurrent store tests and the multi-threaded bench driver rely on.
+    /// Every thread's trace has the same shape (`kind`) and `ops_per_thread`
+    /// operations; Zipf-skewed traces rotate the hot slice per thread so
+    /// workers contend on overlapping but not identical key ranges.
+    pub fn concurrent(
+        dataset: &Dataset<K>,
+        threads: usize,
+        ops_per_thread: usize,
+        seed: u64,
+        kind: MixedKind,
+    ) -> Vec<Self> {
+        let mut root = SplitMix64::new(seed);
+        (0..threads.max(1))
+            .map(|t| {
+                // Each thread gets an independent sub-stream of the root
+                // seed, so trace `t` never depends on how many threads run.
+                let thread_seed = root.fork().next_u64();
+                match kind {
+                    MixedKind::ReadHeavy => Self::read_heavy(dataset, ops_per_thread, thread_seed),
+                    MixedKind::InsertHeavy => {
+                        Self::insert_heavy(dataset, ops_per_thread, thread_seed)
+                    }
+                    MixedKind::ZipfShardSkew => Self::generate_zipf(
+                        dataset,
+                        ops_per_thread,
+                        thread_seed,
+                        Zipf::new(16, 0.99),
+                        ZIPF_BASE_ROTATION + t as u64,
+                    ),
+                }
+            })
+            .collect()
+    }
+
     /// Read-mostly trace whose keys are Zipfian-skewed (exponent `theta`,
     /// ~0.99 is the YCSB default) over `slices` contiguous slices of the key
     /// domain — the hot-shard scenario for a range-sharded store.
@@ -220,12 +263,30 @@ impl<K: Key> MixedWorkload<K> {
         theta: f64,
         seed: u64,
     ) -> Self {
+        Self::generate_zipf(
+            dataset,
+            count,
+            seed,
+            Zipf::new(slices.max(1), theta),
+            ZIPF_BASE_ROTATION,
+        )
+    }
+
+    /// Zipf-shaped trace with an explicit hot-slice rotation (the
+    /// per-thread stagger [`MixedWorkload::concurrent`] applies).
+    fn generate_zipf(
+        dataset: &Dataset<K>,
+        count: usize,
+        seed: u64,
+        zipf: Zipf,
+        rotation: u64,
+    ) -> Self {
         Self::generate(
             dataset,
             count,
             seed,
             MixedKind::ZipfShardSkew,
-            Some(Zipf::new(slices.max(1), theta)),
+            Some((zipf, rotation)),
         )
     }
 
@@ -234,7 +295,7 @@ impl<K: Key> MixedWorkload<K> {
         count: usize,
         seed: u64,
         kind: MixedKind,
-        zipf: Option<Zipf>,
+        zipf: Option<(Zipf, u64)>,
     ) -> Self {
         let mut rng = Xoshiro256::new(seed);
         let (lo, hi) = match (dataset.min_key(), dataset.max_key()) {
@@ -246,15 +307,16 @@ impl<K: Key> MixedWorkload<K> {
         // trace is shard-skewed.
         let draw_key = |rng: &mut Xoshiro256| -> K {
             let (slice_lo, slice_span) = match &zipf {
-                Some(z) => {
+                Some((z, rotation)) => {
                     let slices = z.len() as u64;
-                    // The sampled rank is remapped through a fixed rotation
-                    // so the hot slice is not always the leftmost one.
+                    // The sampled rank is remapped through a rotation so the
+                    // hot slice is not always the leftmost one (and
+                    // concurrent traces can stagger theirs per thread).
                     // Addition is a bijection for every slice count (a
                     // multiplicative mix would collapse ranks whenever the
                     // factor shares a divisor with `slices`).
                     let rank = z.rank_of(rng.next_f64()) as u64;
-                    let slice = (rank + 3) % slices;
+                    let slice = (rank + rotation) % slices;
                     let w = (span / slices).max(1);
                     (lo + slice * w, w)
                 }
@@ -509,6 +571,68 @@ mod tests {
                 "theta = 0 over {slices} slices must reach all of them, got {reached}"
             );
         }
+    }
+
+    #[test]
+    fn concurrent_traces_are_deterministic_and_independent_per_thread() {
+        let d = dataset();
+        let a = MixedWorkload::concurrent(&d, 4, 300, 11, MixedKind::InsertHeavy);
+        let b = MixedWorkload::concurrent(&d, 4, 300, 11, MixedKind::InsertHeavy);
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.ops(), y.ops(), "same seed ⇒ identical per-thread traces");
+        }
+        // Thread t's trace does not depend on the total thread count.
+        let wide = MixedWorkload::concurrent(&d, 8, 300, 11, MixedKind::InsertHeavy);
+        for (x, y) in a.iter().zip(wide.iter()) {
+            assert_eq!(x.ops(), y.ops(), "prefix threads keep their streams");
+        }
+        // Distinct threads get distinct streams.
+        assert_ne!(a[0].ops(), a[1].ops());
+        // Other shapes and a different seed.
+        let c = MixedWorkload::concurrent(&d, 2, 300, 12, MixedKind::ReadHeavy);
+        assert_ne!(c[0].ops(), a[0].ops());
+        assert_eq!(c[0].kind(), MixedKind::ReadHeavy);
+        let z = MixedWorkload::concurrent(&d, 2, 300, 12, MixedKind::ZipfShardSkew);
+        assert_eq!(z[1].kind(), MixedKind::ZipfShardSkew);
+        assert_eq!(z[1].len(), 300);
+    }
+
+    #[test]
+    fn concurrent_zipf_threads_stagger_their_hot_slices() {
+        let d = dataset();
+        let (lo, hi) = (d.min_key().unwrap(), d.max_key().unwrap());
+        let span = (hi - lo).max(1);
+        let slices = 16u64;
+        let width = (span / slices).max(1);
+        let traces = MixedWorkload::concurrent(&d, 3, 20_000, 5, MixedKind::ZipfShardSkew);
+        let hot_slice_of = |w: &MixedWorkload<u64>| -> usize {
+            let mut counts = vec![0usize; slices as usize + 1];
+            for op in w.ops() {
+                let k = match *op {
+                    MixedOp::Lookup(k) | MixedOp::Insert(k) | MixedOp::Range(k, _) => k,
+                    MixedOp::Delete(_) => continue, // base-biased, not sliced
+                };
+                counts[((k.saturating_sub(lo) / width).min(slices)) as usize] += 1;
+            }
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &c)| c)
+                .unwrap()
+                .0
+        };
+        let hots: Vec<usize> = traces.iter().map(hot_slice_of).collect();
+        assert_eq!(
+            hots[1],
+            (hots[0] + 1) % slices as usize,
+            "thread hot slices must stagger by one: {hots:?}"
+        );
+        assert_eq!(
+            hots[2],
+            (hots[1] + 1) % slices as usize,
+            "thread hot slices must stagger by one: {hots:?}"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Store-level configuration.
 
 use shift_table::spec::IndexSpec;
+use std::time::Duration;
 
 /// Configuration of a [`crate::ShardedStore`] (and, minus the write-path
 /// knobs, of a read-only [`crate::ShardedIndex`]).
@@ -10,23 +11,47 @@ pub struct StoreConfig {
     pub spec: IndexSpec,
     /// Requested number of range shards. The effective count can be lower
     /// when duplicate runs swallow chunk boundaries (a run never spans two
-    /// shards) or when there are fewer keys than shards.
+    /// shards) or when there are fewer keys than shards — and it changes at
+    /// run time once the rebalancer splits or merges shards.
     pub shards: usize,
     /// Number of buffered write operations (inserts plus recorded deletes)
     /// after which a shard is considered *dirty* and scheduled for a rebuild.
     pub delta_threshold: usize,
     /// When true (the default), a write that makes its shard dirty triggers
     /// that shard's rebuild before the write call returns. When false the
-    /// caller drains dirty shards explicitly via
-    /// [`crate::ShardedStore::maintain`] — e.g. from a maintenance thread.
+    /// shard is drained by the background [`crate::MaintenanceWorker`]
+    /// (see [`StoreConfig::background_maintenance`]) or explicitly via
+    /// [`crate::ShardedStore::maintain`].
     pub auto_rebuild: bool,
     /// Worker threads used to build each shard's correction layer.
     pub build_threads: usize,
+    /// Maximum entry count of the delta-chain head run a write may amend;
+    /// past it the write opens a fresh run. Bounds per-write copy cost.
+    pub max_run_len: usize,
+    /// Unsealed run count past which the writer folds the chain inline (and
+    /// at or past half of which the maintenance worker compacts it). Bounds
+    /// per-read merge cost at one binary search per run.
+    pub compact_runs: usize,
+    /// When true, [`crate::ShardedStore::build`] spawns a background
+    /// [`crate::MaintenanceWorker`] thread that compacts delta chains,
+    /// rebuilds dirty shards and rebalances skewed ones while writers keep
+    /// appending. The thread is shut down when the store is dropped.
+    pub background_maintenance: bool,
+    /// How long the maintenance worker sleeps between passes when nothing
+    /// wakes it early (threshold-crossing writes poke it immediately).
+    pub maintenance_interval: Duration,
+    /// Shard-size skew factor driving the rebalancer: a shard whose live
+    /// key count exceeds `split_skew × mean` is split at a duplicate-run-
+    /// aligned median fence, and a shard smaller than `mean / split_skew`
+    /// is merged into its smaller neighbour. `0` disables rebalancing.
+    pub split_skew: usize,
 }
 
 impl StoreConfig {
     /// A configuration with the given spec and the default knobs
-    /// (8 shards, 4096-op delta threshold, auto rebuild, 1 build thread).
+    /// (8 shards, 4096-op delta threshold, auto rebuild, 1 build thread,
+    /// 32-entry head runs folded past 8 runs, no background worker,
+    /// rebalancing at 4× mean skew).
     pub fn new(spec: IndexSpec) -> Self {
         Self {
             spec,
@@ -34,6 +59,11 @@ impl StoreConfig {
             delta_threshold: 4096,
             auto_rebuild: true,
             build_threads: 1,
+            max_run_len: 32,
+            compact_runs: 8,
+            background_maintenance: false,
+            maintenance_interval: Duration::from_millis(2),
+            split_skew: 4,
         }
     }
 
@@ -60,6 +90,37 @@ impl StoreConfig {
         self.build_threads = threads.max(1);
         self
     }
+
+    /// Set the maximum amendable head-run length (clamped to at least 1).
+    pub fn max_run_len(mut self, len: usize) -> Self {
+        self.max_run_len = len.max(1);
+        self
+    }
+
+    /// Set the unsealed-run count that triggers inline chain compaction
+    /// (clamped to at least 2).
+    pub fn compact_runs(mut self, runs: usize) -> Self {
+        self.compact_runs = runs.max(2);
+        self
+    }
+
+    /// Enable or disable the background maintenance worker.
+    pub fn background_maintenance(mut self, on: bool) -> Self {
+        self.background_maintenance = on;
+        self
+    }
+
+    /// Set the worker's idle sleep between maintenance passes.
+    pub fn maintenance_interval(mut self, interval: Duration) -> Self {
+        self.maintenance_interval = interval;
+        self
+    }
+
+    /// Set the rebalancer's skew factor (`0` disables rebalancing).
+    pub fn split_skew(mut self, factor: usize) -> Self {
+        self.split_skew = factor;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -73,14 +134,26 @@ mod tests {
             .shards(0)
             .delta_threshold(0)
             .auto_rebuild(false)
-            .build_threads(0);
+            .build_threads(0)
+            .max_run_len(0)
+            .compact_runs(0)
+            .background_maintenance(true)
+            .maintenance_interval(Duration::from_millis(7))
+            .split_skew(3);
         assert_eq!(c.shards, 1);
         assert_eq!(c.delta_threshold, 1);
         assert!(!c.auto_rebuild);
         assert_eq!(c.build_threads, 1);
+        assert_eq!(c.max_run_len, 1);
+        assert_eq!(c.compact_runs, 2);
+        assert!(c.background_maintenance);
+        assert_eq!(c.maintenance_interval, Duration::from_millis(7));
+        assert_eq!(c.split_skew, 3);
         assert_eq!(c.spec, spec);
         let d = StoreConfig::new(spec);
         assert_eq!(d.shards, 8);
         assert!(d.auto_rebuild);
+        assert!(!d.background_maintenance);
+        assert_eq!(d.split_skew, 4);
     }
 }

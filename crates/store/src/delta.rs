@@ -1,187 +1,375 @@
-//! The sorted delta buffer: a mergeable multiset of buffered writes.
+//! Immutable delta runs and the delta chain: the lock-free write ledger.
 //!
-//! Each shard absorbs writes into a `BTreeMap<K, i64>` of *net occurrence
-//! deltas*: an insert adds `+1` for its key, a recorded delete (a tombstone)
-//! adds `-1`. The merged view of the shard is then
+//! PR 2 buffered writes in a mutex-guarded `BTreeMap`; every read locked the
+//! map to merge it with the base. This module replaces that buffer with a
+//! **chain of immutable, sorted delta runs**: each [`DeltaRun`] is a frozen,
+//! sorted array of *(key, cumulative net occurrence delta)* pairs, and a
+//! [`DeltaChain`] is a short newest-first list of `Arc`-shared runs. The
+//! merged view of a shard is then
 //!
 //! ```text
-//! count(k)        = base_count(k) + net(k)
-//! lower_bound(q)  = base_lower_bound(q) + Σ_{k < q} net(k)
+//! count(k)        = base_count(k) + Σ_runs net_of(k)
+//! lower_bound(q)  = base_lower_bound(q) + Σ_runs net_below(q)
 //! ```
 //!
-//! with the invariant (maintained by the store's delete path, which only
-//! records a tombstone when the merged count is positive) that
-//! `base_count(k) + net(k) >= 0` for every key — so prefix sums of `net`
-//! never drive a merged position negative.
+//! where each per-run term is a binary search over an immutable array — no
+//! lock is required to evaluate either sum. Writers never mutate a published
+//! run: recording an operation produces a **new chain** that either replaces
+//! the small head run with an amended copy (bounded by the configured
+//! maximum run length) or prepends a fresh singleton run; every other run is
+//! shared by `Arc` with the previous chain. The chain is published to readers
+//! as part of the shard's immutable state (see `shard.rs`).
 //!
-//! A rebuild *freezes* the buffer (cheap clone under the write lock), merges
-//! it into the base key column off-lock, and finally subtracts the frozen
-//! state so writes that arrived during the merge survive as the residual
-//! buffer against the new base.
+//! Three structural operations support the maintenance machinery:
+//!
+//! * [`DeltaChain::sealed`] marks every run *sealed* (writers then start a
+//!   fresh head instead of amending) — the freeze step of a rebuild or a
+//!   shard split. Sealing moves an index, not data: runs are shared.
+//! * [`DeltaChain::strip_sealed`] removes a previously sealed suffix after
+//!   its contents were folded into a new base — what remains is exactly the
+//!   writes recorded since the seal.
+//! * [`DeltaChain::compact`] folds the unsealed runs into a single run so
+//!   chains stay short (reads pay one binary search per run).
+//!
+//! The delete-path invariant from PR 2 is unchanged and still maintained by
+//! the shard's write path: a tombstone is only recorded when the merged
+//! count of its key is positive, so prefix sums of net deltas never drive a
+//! merged position negative.
 
 use sosd_data::key::Key;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-/// Buffered writes against one shard's immutable base.
-#[derive(Debug, Clone, Default)]
-pub struct DeltaBuffer<K: Key> {
-    net: BTreeMap<K, i64>,
-    /// Operations recorded since the last rebuild — the dirtiness counter.
-    /// Unlike `net.len()`, an insert/delete pair that cancels in `net` still
-    /// counts: it was churn the rebuild threshold should see.
+/// One immutable, sorted run of net occurrence deltas.
+///
+/// Entries are `(key, cumulative net delta up to and including that key)`
+/// pairs sorted by key, so both [`DeltaRun::net_below`] (a prefix sum) and
+/// [`DeltaRun::net_of`] (a difference of adjacent prefix sums) are one
+/// binary search. Keys whose net delta cancelled to zero are dropped from
+/// the entry array; the churn they represented is still counted by
+/// [`DeltaRun::ops`], which feeds the rebuild threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaRun<K: Key> {
+    /// Sorted `(key, cumulative net)` pairs; no trailing-zero-net keys.
+    entries: Vec<(K, i64)>,
+    /// Write operations folded into this run (cancelled pairs included).
     ops: usize,
-    /// Running Σ of `net` values, so [`DeltaBuffer::len_delta`] is O(1) — it
-    /// is read for every preceding shard on every global-position read.
-    len_delta: i64,
 }
 
-/// A point-in-time copy of a [`DeltaBuffer`], taken at the start of a rebuild
-/// and subtracted from the live buffer when the rebuilt shard is swapped in.
-#[derive(Debug, Clone)]
-pub struct FrozenDelta<K: Key> {
-    net: BTreeMap<K, i64>,
-    ops: usize,
-    len_delta: i64,
-}
-
-impl<K: Key> DeltaBuffer<K> {
-    /// An empty buffer.
-    pub fn new() -> Self {
+impl<K: Key> DeltaRun<K> {
+    /// A run holding a single operation: `net` is `+1` for an insert, `-1`
+    /// for a tombstone.
+    pub fn singleton(k: K, net: i64) -> Self {
         Self {
-            net: BTreeMap::new(),
-            ops: 0,
-            len_delta: 0,
+            entries: vec![(k, net)],
+            ops: 1,
         }
     }
 
-    /// Record one inserted occurrence of `k`.
-    pub fn record_insert(&mut self, k: K) {
-        *self.net.entry(k).or_insert(0) += 1;
-        self.ops += 1;
-        self.len_delta += 1;
-        if self.net[&k] == 0 {
-            self.net.remove(&k);
-        }
-    }
-
-    /// Record one deleted occurrence of `k`. The caller must have verified
-    /// that the merged count of `k` is positive.
-    pub fn record_delete(&mut self, k: K) {
-        *self.net.entry(k).or_insert(0) -= 1;
-        self.ops += 1;
-        self.len_delta -= 1;
-        if self.net[&k] == 0 {
-            self.net.remove(&k);
-        }
-    }
-
-    /// Net occurrence delta of `k` (0 when unbuffered).
-    #[inline]
-    pub fn net_of(&self, k: K) -> i64 {
-        self.net.get(&k).copied().unwrap_or(0)
-    }
-
-    /// Sum of net deltas of all keys `< q` — the correction added to a base
-    /// lower bound. `O(d)` in the buffer size, which the rebuild threshold
-    /// keeps small.
-    #[inline]
-    pub fn net_below(&self, q: K) -> i64 {
-        self.net.range(..q).map(|(_, &c)| c).sum()
-    }
-
-    /// Net change to the merged key count (O(1): maintained as a running
-    /// counter alongside the map).
-    pub fn len_delta(&self) -> i64 {
-        debug_assert_eq!(self.len_delta, self.net.values().sum::<i64>());
-        self.len_delta
-    }
-
-    /// Materialize the buffer as sorted `(key, cumulative net delta up to
-    /// and including that key)` pairs — one O(d) pass that lets a batch of
-    /// reads resolve [`DeltaBuffer::net_below`] by binary search
-    /// ([`DeltaBuffer::net_below_in`]) instead of an O(d) map scan per query.
-    pub fn prefix_sums(&self) -> Vec<(K, i64)> {
+    /// Build a run from sorted per-key net deltas, dropping zero nets.
+    /// `ops` is the operation count the run accounts for.
+    fn from_net_pairs(pairs: impl IntoIterator<Item = (K, i64)>, ops: usize) -> Self {
+        let mut entries: Vec<(K, i64)> = Vec::new();
         let mut acc = 0i64;
-        self.net
+        for (k, net) in pairs {
+            debug_assert!(
+                entries.last().map(|&(p, _)| p < k).unwrap_or(true),
+                "net pairs must be strictly sorted"
+            );
+            if net == 0 {
+                continue;
+            }
+            acc += net;
+            entries.push((k, acc));
+        }
+        Self { entries, ops }
+    }
+
+    /// A copy of this run with one more operation on `k` folded in. One
+    /// `O(len)` pass and one allocation — this is the hot write path, which
+    /// bounds `len` by the configured maximum run length.
+    pub fn amended(&self, k: K, net: i64) -> Self {
+        let mut entries: Vec<(K, i64)> = Vec::with_capacity(self.entries.len() + 1);
+        let mut prev = 0i64; // previous *input* cumulative net
+        let mut shift = 0i64; // correction applied to cumulatives ≥ k
+        let mut inserted = false;
+        for &(key, cum) in &self.entries {
+            if !inserted && k <= key {
+                inserted = true;
+                shift = net;
+                if k == key {
+                    // Fold into this key; drop it if the net cancels.
+                    if cum - prev + net != 0 {
+                        entries.push((key, cum + shift));
+                    }
+                    prev = cum;
+                    continue;
+                }
+                entries.push((k, prev + net));
+            }
+            entries.push((key, cum + shift));
+            prev = cum;
+        }
+        if !inserted {
+            entries.push((k, prev + net));
+        }
+        Self {
+            entries,
+            ops: self.ops + 1,
+        }
+    }
+
+    /// The per-key net deltas of this run, sorted by key.
+    fn net_pairs(&self) -> Vec<(K, i64)> {
+        let mut prev = 0i64;
+        self.entries
             .iter()
-            .map(|(&k, &c)| {
-                acc += c;
-                (k, acc)
+            .map(|&(k, cum)| {
+                let net = cum - prev;
+                prev = cum;
+                (k, net)
             })
             .collect()
     }
 
-    /// [`DeltaBuffer::net_below`] evaluated against a
-    /// [`DeltaBuffer::prefix_sums`] slice in O(log d).
+    /// Sum of net deltas of all keys `< q`: one binary search.
     #[inline]
-    pub fn net_below_in(prefix: &[(K, i64)], q: K) -> i64 {
-        let idx = prefix.partition_point(|&(k, _)| k < q);
+    pub fn net_below(&self, q: K) -> i64 {
+        let idx = self.entries.partition_point(|&(k, _)| k < q);
         if idx == 0 {
             0
         } else {
-            prefix[idx - 1].1
+            self.entries[idx - 1].1
         }
     }
 
-    /// Operations recorded since the last rebuild.
+    /// Net occurrence delta of exactly `k` (0 when absent).
+    #[inline]
+    pub fn net_of(&self, k: K) -> i64 {
+        match self.entries.binary_search_by(|&(key, _)| key.cmp(&k)) {
+            Err(_) => 0,
+            Ok(i) => self.entries[i].1 - if i == 0 { 0 } else { self.entries[i - 1].1 },
+        }
+    }
+
+    /// Net change to the merged key count contributed by this run.
+    #[inline]
+    pub fn len_delta(&self) -> i64 {
+        self.entries.last().map(|&(_, cum)| cum).unwrap_or(0)
+    }
+
+    /// Number of distinct keys with a non-zero net delta.
+    #[inline]
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Write operations folded into this run.
+    #[inline]
     pub fn ops(&self) -> usize {
         self.ops
     }
 
-    /// True when no write has been recorded since the last rebuild.
-    pub fn is_clean(&self) -> bool {
-        self.ops == 0 && self.net.is_empty()
-    }
-
-    /// Snapshot the buffer for a rebuild.
-    pub fn freeze(&self) -> FrozenDelta<K> {
-        FrozenDelta {
-            net: self.net.clone(),
-            ops: self.ops,
-            len_delta: self.len_delta,
-        }
-    }
-
-    /// Subtract a frozen snapshot after its contents were merged into the
-    /// new base: what remains is exactly the writes recorded since
-    /// [`DeltaBuffer::freeze`].
-    pub fn subtract_frozen(&mut self, frozen: &FrozenDelta<K>) {
-        for (&k, &c) in &frozen.net {
-            let entry = self.net.entry(k).or_insert(0);
-            *entry -= c;
-            if *entry == 0 {
-                self.net.remove(&k);
-            }
-        }
-        self.ops = self.ops.saturating_sub(frozen.ops);
-        self.len_delta -= frozen.len_delta;
-    }
-
-    /// Approximate heap footprint of the buffer in bytes.
+    /// Approximate heap footprint in bytes.
     pub fn size_bytes(&self) -> usize {
-        // Key + counter per entry, plus B-tree node overhead.
-        self.net.len() * (K::size_bytes() + std::mem::size_of::<i64>() + 16)
+        self.entries.len() * (K::size_bytes() + std::mem::size_of::<i64>())
     }
 }
 
-impl<K: Key> FrozenDelta<K> {
-    /// True if the snapshot holds no net changes.
-    pub fn is_empty(&self) -> bool {
-        self.net.is_empty()
+/// A newest-first chain of immutable delta runs, plus cached totals.
+///
+/// The chain itself is an immutable value: every mutation-shaped method
+/// returns a new chain sharing unaffected runs by `Arc`. `runs[..unsealed]`
+/// is the live prefix writers may still amend; `runs[unsealed..]` is the
+/// sealed suffix a rebuild has frozen (see [`DeltaChain::sealed`]).
+#[derive(Debug, Clone, Default)]
+pub struct DeltaChain<K: Key> {
+    /// Newest first: `runs[0]` is the head the next write amends or shadows.
+    runs: Vec<Arc<DeltaRun<K>>>,
+    /// Runs `[..unsealed]` are amendable; `[unsealed..]` are sealed.
+    unsealed: usize,
+    /// Cached `Σ runs.ops`.
+    ops: usize,
+    /// Cached `Σ runs.len_delta()`.
+    len_delta: i64,
+    /// Cached `Σ runs.entry_count()`.
+    entries: usize,
+}
+
+impl<K: Key> DeltaChain<K> {
+    /// The empty chain.
+    pub fn new() -> Self {
+        Self {
+            runs: Vec::new(),
+            unsealed: 0,
+            ops: 0,
+            len_delta: 0,
+            entries: 0,
+        }
     }
 
-    /// Merge the frozen deltas into a sorted base column, producing the new
-    /// sorted key column: inserted occurrences are spliced in at their sorted
-    /// positions, tombstoned occurrences are dropped from the front of their
+    /// Rebuild a chain value from its runs and seal boundary, recomputing
+    /// the cached totals.
+    fn from_runs(runs: Vec<Arc<DeltaRun<K>>>, unsealed: usize) -> Self {
+        debug_assert!(unsealed <= runs.len());
+        let ops = runs.iter().map(|r| r.ops()).sum();
+        let len_delta = runs.iter().map(|r| r.len_delta()).sum();
+        let entries = runs.iter().map(|r| r.entry_count()).sum();
+        Self {
+            runs,
+            unsealed,
+            ops,
+            len_delta,
+            entries,
+        }
+    }
+
+    /// Record one operation (`net` is `+1` insert / `-1` tombstone),
+    /// returning the successor chain. The head run is amended in place-by-
+    /// copy while it stays below `max_run_len` and unsealed; otherwise a
+    /// fresh singleton run is prepended.
+    pub fn with_op(&self, k: K, net: i64, max_run_len: usize) -> Self {
+        let mut runs = self.runs.clone();
+        let mut unsealed = self.unsealed;
+        let amend = unsealed > 0
+            && runs
+                .first()
+                .map(|r| r.entry_count() < max_run_len.max(1))
+                .unwrap_or(false);
+        if amend {
+            runs[0] = Arc::new(runs[0].amended(k, net));
+        } else {
+            runs.insert(0, Arc::new(DeltaRun::singleton(k, net)));
+            unsealed += 1;
+        }
+        Self::from_runs(runs, unsealed)
+    }
+
+    /// Sum of net deltas of all keys `< q`: one binary search per run.
+    #[inline]
+    pub fn net_below(&self, q: K) -> i64 {
+        self.runs.iter().map(|r| r.net_below(q)).sum()
+    }
+
+    /// Net occurrence delta of exactly `k` across the whole chain.
+    #[inline]
+    pub fn net_of(&self, k: K) -> i64 {
+        self.runs.iter().map(|r| r.net_of(k)).sum()
+    }
+
+    /// Net change to the merged key count (cached).
+    #[inline]
+    pub fn len_delta(&self) -> i64 {
+        self.len_delta
+    }
+
+    /// Write operations recorded in the chain (cancelled churn included).
+    #[inline]
+    pub fn ops(&self) -> usize {
+        self.ops
+    }
+
+    /// Total non-zero-net entries across all runs. Zero means reads can
+    /// skip the merge machinery entirely (the empty-delta fast path).
+    #[inline]
+    pub fn entry_count(&self) -> usize {
+        self.entries
+    }
+
+    /// True when no run carries any net delta *and* no churn is recorded.
+    pub fn is_clean(&self) -> bool {
+        self.ops == 0 && self.entries == 0
+    }
+
+    /// Number of runs in the chain.
+    #[inline]
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of unsealed (amendable) runs at the head of the chain.
+    #[inline]
+    pub fn unsealed_run_count(&self) -> usize {
+        self.unsealed
+    }
+
+    /// The chain with every run sealed: writers will start a fresh head run,
+    /// leaving the sealed suffix byte-identical (and `Arc`-shared) until
+    /// [`DeltaChain::strip_sealed`] removes it. Moves an index, not data.
+    pub fn sealed(&self) -> Self {
+        let mut chain = self.clone();
+        chain.unsealed = 0;
+        chain
+    }
+
+    /// The chain with every run unsealed again — the rollback of a seal
+    /// whose consumer abandoned its rebuild/split (e.g. the shard turned
+    /// out to be dominated by one duplicate run). Only safe while the
+    /// caller holds the shard's rebuild guard: no one else may be counting
+    /// on the sealed suffix. Moves an index, not data.
+    pub fn unsealed_all(&self) -> Self {
+        let mut chain = self.clone();
+        chain.unsealed = chain.runs.len();
+        chain
+    }
+
+    /// Remove the sealed suffix previously captured by `frozen` (a chain
+    /// returned by [`DeltaChain::sealed`]): what remains is exactly the runs
+    /// recorded since the seal. The suffix is matched structurally — the
+    /// frozen runs must still sit, `Arc`-identical, at the tail of `self`.
+    pub fn strip_sealed(&self, frozen: &Self) -> Self {
+        let f = frozen.runs.len();
+        assert!(
+            self.runs.len() >= f,
+            "strip_sealed: chain shorter than its frozen suffix"
+        );
+        let keep = self.runs.len() - f;
+        if f > 0 {
+            assert!(
+                Arc::ptr_eq(&self.runs[keep], &frozen.runs[0]),
+                "strip_sealed: sealed suffix was modified concurrently"
+            );
+        }
+        debug_assert!(self.unsealed <= keep, "writers amended a sealed run");
+        Self::from_runs(self.runs[..keep].to_vec(), self.unsealed)
+    }
+
+    /// Fold the unsealed runs into one run, leaving the sealed suffix
+    /// untouched. Returns `self` unchanged when fewer than two unsealed runs
+    /// exist. Keeps read cost at one binary search per run.
+    pub fn compact(&self) -> Self {
+        if self.unsealed < 2 {
+            return self.clone();
+        }
+        let live = &self.runs[..self.unsealed];
+        let ops = live.iter().map(|r| r.ops()).sum();
+        let folded = fold_runs(live);
+        let mut runs: Vec<Arc<DeltaRun<K>>> =
+            Vec::with_capacity(1 + self.runs.len() - self.unsealed);
+        let folded = DeltaRun::from_net_pairs(folded, ops);
+        let unsealed = if folded.entry_count() == 0 && folded.ops() == 0 {
+            0
+        } else {
+            runs.push(Arc::new(folded));
+            1
+        };
+        runs.extend(self.runs[self.unsealed..].iter().cloned());
+        Self::from_runs(runs, unsealed)
+    }
+
+    /// Merge the chain's net deltas into a sorted base column, producing the
+    /// new sorted key column: inserted occurrences are spliced in at their
+    /// sorted positions, tombstoned occurrences are dropped from their
     /// duplicate run.
     pub fn merge_into(&self, base: &[K]) -> Vec<K> {
+        let net = fold_runs(&self.runs);
         let expected = base.len() as i64 + self.len_delta;
         let mut out = Vec::with_capacity(expected.max(0) as usize);
-        let mut deltas = self.net.iter().peekable();
+        let mut deltas = net.iter().peekable();
         let mut i = 0usize;
         while i < base.len() {
             match deltas.peek() {
-                Some(&(&k, &c)) if k <= base[i] => {
+                Some(&&(k, c)) if k <= base[i] => {
                     if k < base[i] {
                         // A key absent from the base: only inserts can be
                         // buffered for it (tombstones require presence).
@@ -206,105 +394,259 @@ impl<K: Key> FrozenDelta<K> {
                 }
             }
         }
-        for (&k, &c) in deltas {
+        for &(k, c) in deltas {
             out.extend(std::iter::repeat_n(k, c.max(0) as usize));
         }
         debug_assert!(out.is_sorted());
         out
     }
+
+    /// Split the chain at `split_key`: per-key nets strictly below the key
+    /// go left, the rest right. Run structure is preserved per side; each
+    /// side's operation count is re-derived as `Σ |net|` of its entries (the
+    /// churn of cancelled pairs cannot be attributed to a side and is
+    /// dropped — it only ever under-counts dirtiness).
+    pub fn partition(&self, split_key: K) -> (Self, Self) {
+        let mut left: Vec<Arc<DeltaRun<K>>> = Vec::new();
+        let mut right: Vec<Arc<DeltaRun<K>>> = Vec::new();
+        for run in &self.runs {
+            let pairs = run.net_pairs();
+            let cut = pairs.partition_point(|&(k, _)| k < split_key);
+            let (l, r) = pairs.split_at(cut);
+            let side = |s: &[(K, i64)]| {
+                let ops = s.iter().map(|&(_, n)| n.unsigned_abs() as usize).sum();
+                DeltaRun::from_net_pairs(s.to_vec(), ops)
+            };
+            let l = side(l);
+            let r = side(r);
+            if l.entry_count() > 0 {
+                left.push(Arc::new(l));
+            }
+            if r.entry_count() > 0 {
+                right.push(Arc::new(r));
+            }
+        }
+        let lu = left.len();
+        let ru = right.len();
+        (Self::from_runs(left, lu), Self::from_runs(right, ru))
+    }
+
+    /// Concatenate two chains (used when two adjacent shards merge): the
+    /// runs of both sides coexist, every read sums across all of them.
+    pub fn concat(&self, other: &Self) -> Self {
+        let mut runs = self.runs.clone();
+        runs.extend(other.runs.iter().cloned());
+        let unsealed = runs.len();
+        Self::from_runs(runs, unsealed)
+    }
+
+    /// Approximate heap footprint of the chain in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.size_bytes() + 16).sum()
+    }
+}
+
+/// Fold a set of runs into sorted `(key, net)` pairs with zero nets dropped.
+fn fold_runs<K: Key>(runs: &[Arc<DeltaRun<K>>]) -> Vec<(K, i64)> {
+    let mut net: BTreeMap<K, i64> = BTreeMap::new();
+    for run in runs {
+        for (k, n) in run.net_pairs() {
+            let e = net.entry(k).or_insert(0);
+            *e += n;
+            if *e == 0 {
+                net.remove(&k);
+            }
+        }
+    }
+    net.into_iter().collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn net_bookkeeping_cancels_and_counts_ops() {
-        let mut d: DeltaBuffer<u64> = DeltaBuffer::new();
-        assert!(d.is_clean());
-        d.record_insert(5);
-        d.record_insert(5);
-        d.record_delete(5);
-        assert_eq!(d.net_of(5), 1);
-        assert_eq!(d.ops(), 3, "cancelled ops still count towards dirtiness");
-        d.record_delete(5);
-        assert_eq!(d.net_of(5), 0);
-        assert!(
-            !d.is_clean(),
-            "ops keep the buffer dirty after cancellation"
-        );
-        assert_eq!(d.len_delta(), 0);
+    fn chain_of(ops: &[(u64, i64)], max_run_len: usize) -> DeltaChain<u64> {
+        let mut c = DeltaChain::new();
+        for &(k, net) in ops {
+            c = c.with_op(k, net, max_run_len);
+        }
+        c
     }
 
     #[test]
-    fn net_below_is_a_prefix_sum() {
-        let mut d: DeltaBuffer<u64> = DeltaBuffer::new();
-        d.record_insert(2);
-        d.record_insert(2);
-        d.record_delete(7);
-        d.record_insert(9);
-        assert_eq!(d.net_below(0), 0);
-        assert_eq!(d.net_below(2), 0);
-        assert_eq!(d.net_below(3), 2);
-        assert_eq!(d.net_below(8), 1);
-        assert_eq!(d.net_below(u64::MAX), 2);
-        assert_eq!(d.len_delta(), 2);
-        // The materialized prefix-sum view agrees with the map scan at
-        // every probe, including before/after the whole buffer.
-        let prefix = d.prefix_sums();
-        assert_eq!(prefix, vec![(2, 2), (7, 1), (9, 2)]);
-        for q in [0u64, 1, 2, 3, 7, 8, 9, 10, u64::MAX] {
-            assert_eq!(
-                DeltaBuffer::net_below_in(&prefix, q),
-                d.net_below(q),
-                "q={q}"
-            );
+    fn run_prefix_sums_and_point_nets() {
+        let run = DeltaRun::singleton(5u64, 1)
+            .amended(2, 2)
+            .amended(7, -1)
+            .amended(9, 1);
+        assert_eq!(run.ops(), 4);
+        assert_eq!(run.net_below(0), 0);
+        assert_eq!(run.net_below(2), 0);
+        assert_eq!(run.net_below(3), 2);
+        assert_eq!(run.net_below(8), 2);
+        assert_eq!(run.net_below(u64::MAX), 3);
+        assert_eq!(run.net_of(2), 2);
+        assert_eq!(run.net_of(7), -1);
+        assert_eq!(run.net_of(4), 0);
+        assert_eq!(run.len_delta(), 3);
+    }
+
+    #[test]
+    fn amend_cancellation_drops_the_entry_but_keeps_ops() {
+        let run = DeltaRun::singleton(5u64, 1).amended(5, -1);
+        assert_eq!(run.entry_count(), 0, "net cancelled to zero");
+        assert_eq!(run.ops(), 2, "churn still counts towards dirtiness");
+        assert_eq!(run.len_delta(), 0);
+    }
+
+    #[test]
+    fn chain_bookkeeping_matches_a_reference_map() {
+        let ops: Vec<(u64, i64)> = vec![
+            (2, 1),
+            (2, 1),
+            (7, -1),
+            (9, 1),
+            (2, -1),
+            (100, 1),
+            (50, 1),
+            (50, -1),
+        ];
+        for max_run_len in [1usize, 2, 4, 64] {
+            let c = chain_of(&ops, max_run_len);
+            assert_eq!(c.ops(), ops.len());
+            assert_eq!(c.len_delta(), ops.iter().map(|&(_, n)| n).sum::<i64>());
+            let mut reference: BTreeMap<u64, i64> = BTreeMap::new();
+            for &(k, n) in &ops {
+                *reference.entry(k).or_insert(0) += n;
+            }
+            for q in [0u64, 1, 2, 3, 7, 8, 9, 10, 50, 51, 100, u64::MAX] {
+                let expect: i64 = reference
+                    .iter()
+                    .filter(|&(&k, _)| k < q)
+                    .map(|(_, &n)| n)
+                    .sum();
+                assert_eq!(c.net_below(q), expect, "q={q} max_run_len={max_run_len}");
+                assert_eq!(
+                    c.net_of(q),
+                    reference.get(&q).copied().unwrap_or(0),
+                    "net_of {q}"
+                );
+            }
         }
-        assert_eq!(DeltaBuffer::<u64>::net_below_in(&[], 5), 0);
+    }
+
+    #[test]
+    fn run_length_bound_controls_chain_growth() {
+        let ops: Vec<(u64, i64)> = (0..64u64).map(|i| (i * 3, 1)).collect();
+        let tight = chain_of(&ops, 4);
+        assert_eq!(tight.run_count(), 16, "64 ops in runs of 4");
+        let loose = chain_of(&ops, 64);
+        assert_eq!(loose.run_count(), 1);
+        assert_eq!(tight.net_below(u64::MAX), loose.net_below(u64::MAX));
+    }
+
+    #[test]
+    fn compact_folds_unsealed_runs_only() {
+        let c = chain_of(&[(1, 1), (2, 1), (3, 1), (4, 1)], 1);
+        assert_eq!(c.run_count(), 4);
+        let sealed = c.sealed();
+        // Writes after the seal start fresh runs.
+        let c2 = sealed.with_op(10, 1, 1).with_op(11, 1, 1).with_op(12, 1, 1);
+        assert_eq!(c2.run_count(), 7);
+        assert_eq!(c2.unsealed_run_count(), 3);
+        let compacted = c2.compact();
+        assert_eq!(compacted.run_count(), 5, "3 unsealed folded into 1");
+        assert_eq!(compacted.unsealed_run_count(), 1);
+        assert_eq!(compacted.ops(), c2.ops());
+        assert_eq!(compacted.len_delta(), c2.len_delta());
+        for q in [0u64, 2, 5, 11, 100] {
+            assert_eq!(compacted.net_below(q), c2.net_below(q), "q={q}");
+        }
+        // Fully-cancelling unsealed runs fold to an entry-less run that
+        // still carries the churn (ops feed the rebuild threshold).
+        let cancel = DeltaChain::new()
+            .sealed()
+            .with_op(5, 1, 1)
+            .with_op(5, -1, 1);
+        let compacted = cancel.compact();
+        assert_eq!(compacted.run_count(), 1);
+        assert_eq!(compacted.entry_count(), 0);
+        assert_eq!(compacted.ops(), 2);
+        assert_eq!(compacted.net_below(u64::MAX), 0);
+    }
+
+    #[test]
+    fn seal_then_strip_leaves_the_residual() {
+        let c = chain_of(&[(1, 1), (2, 1)], 64);
+        let frozen = c.sealed();
+        // Writes arriving "during the rebuild".
+        let live = frozen.with_op(2, 1, 64).with_op(1, -1, 64);
+        assert_eq!(live.run_count(), 2, "post-seal ops opened a fresh head");
+        let residual = live.strip_sealed(&frozen);
+        assert_eq!(residual.net_of(1), -1, "the in-flight delete survives");
+        assert_eq!(residual.net_of(2), 1, "the in-flight insert survives");
+        assert_eq!(residual.ops(), 2);
+        // Stripping an empty freeze is the identity.
+        let empty = DeltaChain::<u64>::new();
+        assert_eq!(c.strip_sealed(&empty.sealed()).ops(), c.ops());
     }
 
     #[test]
     fn merge_splices_inserts_and_drops_tombstones() {
         let base = vec![1u64, 4, 4, 4, 9];
-        let mut d: DeltaBuffer<u64> = DeltaBuffer::new();
-        d.record_insert(0); // before everything
-        d.record_insert(4); // extends the run
-        d.record_delete(9); // removes the last key entirely
-        d.record_insert(12); // after everything
-        d.record_insert(12);
-        let merged = d.freeze().merge_into(&base);
-        assert_eq!(merged, vec![0, 1, 4, 4, 4, 4, 12, 12]);
+        let c = chain_of(&[(0, 1), (4, 1), (9, -1), (12, 1), (12, 1)], 2);
+        assert_eq!(c.merge_into(&base), vec![0, 1, 4, 4, 4, 4, 12, 12]);
 
         // Deleting from the middle of a run shortens it.
-        let mut d: DeltaBuffer<u64> = DeltaBuffer::new();
-        d.record_delete(4);
-        d.record_delete(4);
-        assert_eq!(d.freeze().merge_into(&base), vec![1, 4, 9]);
+        let c = chain_of(&[(4, -1), (4, -1)], 2);
+        assert_eq!(c.merge_into(&base), vec![1, 4, 9]);
+
+        // Empty base: only inserts can exist.
+        let c = chain_of(&[(3, 1), (1, 1), (3, 1)], 1);
+        assert_eq!(c.merge_into(&[]), vec![1, 3, 3]);
+        assert_eq!(DeltaChain::<u64>::new().merge_into(&[]), Vec::<u64>::new());
     }
 
     #[test]
-    fn merge_into_empty_base() {
-        let mut d: DeltaBuffer<u64> = DeltaBuffer::new();
-        d.record_insert(3);
-        d.record_insert(1);
-        d.record_insert(3);
-        assert_eq!(d.freeze().merge_into(&[]), vec![1, 3, 3]);
-        let empty: DeltaBuffer<u64> = DeltaBuffer::new();
-        assert_eq!(empty.freeze().merge_into(&[]), Vec::<u64>::new());
+    fn partition_splits_nets_at_the_key() {
+        let c = chain_of(&[(1, 1), (5, 1), (5, 1), (9, -1), (3, -1)], 2);
+        let (l, r) = c.partition(5);
+        assert_eq!(l.net_of(1), 1);
+        assert_eq!(l.net_of(3), -1);
+        assert_eq!(l.net_of(5), 0, "split key goes right");
+        assert_eq!(r.net_of(5), 2);
+        assert_eq!(r.net_of(9), -1);
+        assert_eq!(l.len_delta() + r.len_delta(), c.len_delta());
+        assert_eq!(
+            l.net_below(u64::MAX) + r.net_below(u64::MAX),
+            c.net_below(u64::MAX)
+        );
+        // Both sides stay amendable.
+        assert_eq!(l.unsealed_run_count(), l.run_count());
     }
 
     #[test]
-    fn subtract_frozen_leaves_the_residual() {
-        let mut d: DeltaBuffer<u64> = DeltaBuffer::new();
-        d.record_insert(1);
-        d.record_insert(2);
-        let frozen = d.freeze();
-        // Writes arriving "during the rebuild".
-        d.record_insert(2);
-        d.record_delete(1);
-        d.subtract_frozen(&frozen);
-        assert_eq!(d.net_of(1), -1, "the in-flight delete survives");
-        assert_eq!(d.net_of(2), 1, "the in-flight insert survives");
-        assert_eq!(d.ops(), 2);
+    fn concat_sums_both_sides() {
+        let a = chain_of(&[(1, 1), (2, 1)], 64);
+        let b = chain_of(&[(10, 1), (11, -1)], 64);
+        let c = a.concat(&b);
+        assert_eq!(c.ops(), 4);
+        assert_eq!(c.len_delta(), 2);
+        assert_eq!(c.net_below(5), 2);
+        assert_eq!(c.net_below(u64::MAX), 2);
+        assert_eq!(c.net_of(11), -1);
+    }
+
+    #[test]
+    fn published_chains_share_runs_structurally() {
+        let a = chain_of(&[(1, 1)], 1);
+        let b = a.with_op(2, 1, 1); // new head, old run shared
+        assert_eq!(b.run_count(), 2);
+        assert!(Arc::ptr_eq(&a.runs[0], &b.runs[1]));
+        // Amending within the run bound copies the head only.
+        let c = chain_of(&[(1, 1)], 8);
+        let d = c.with_op(2, 1, 8);
+        assert_eq!(d.run_count(), 1);
+        assert!(!Arc::ptr_eq(&c.runs[0], &d.runs[0]));
     }
 }

@@ -1,0 +1,99 @@
+//! Epoch-pinned state publication: the snapshot cell behind the lock-free
+//! read path.
+//!
+//! An [`EpochCell`] holds the current `Arc` of an immutable state value and
+//! hands read paths a *pinned* clone of it: once [`EpochCell::load`]
+//! returns, the caller owns a reference to one consistent epoch of the state
+//! and performs every probe and merge against it without further
+//! synchronisation — publishers swapping in a newer epoch never invalidate a
+//! pinned one, they only stop new loads from seeing it.
+//!
+//! ## Why not a bare atomic pointer?
+//!
+//! Reclaiming the *previous* epoch safely (no reader may still hold it)
+//! requires hazard pointers or deferred reclamation, which needs `unsafe`
+//! code or an external crate — this workspace forbids both. Instead the cell
+//! wraps the `Arc` in an `RwLock` whose read guard is held only for the
+//! duration of one reference-count increment (a handful of instructions; no
+//! allocation, no waiting on any shard work). All expensive operations —
+//! delta merges, model training, index builds — happen strictly outside the
+//! cell: publishers prepare the full successor value first and then swap a
+//! single pointer under the write lock. The result keeps the contract the
+//! store's acceptance criteria name: **no lock is held on a read path after
+//! snapshot acquisition, and readers never wait for writers, compactions or
+//! rebuilds** (only for the nanosecond-scale pointer swap itself, which is
+//! starvation-free under `std`'s queued `RwLock`).
+
+use std::sync::{Arc, RwLock};
+
+/// A publication cell for `Arc`-shared immutable state.
+///
+/// Readers call [`EpochCell::load`] once per operation and then work purely
+/// on the returned value; publishers install fully constructed successor
+/// values with [`EpochCell::store`].
+#[derive(Debug)]
+pub struct EpochCell<T> {
+    current: RwLock<Arc<T>>,
+}
+
+impl<T> EpochCell<T> {
+    /// Create a cell publishing `initial`.
+    pub fn new(initial: Arc<T>) -> Self {
+        Self {
+            current: RwLock::new(initial),
+        }
+    }
+
+    /// Pin and return the current epoch. The internal read guard is held
+    /// only for the `Arc` clone; the caller's pinned epoch stays valid (and
+    /// immutable) for as long as the clone lives, regardless of how many
+    /// newer epochs are published meanwhile.
+    #[inline]
+    pub fn load(&self) -> Arc<T> {
+        self.current.read().expect("epoch cell poisoned").clone()
+    }
+
+    /// Publish `next` as the new current epoch. Callers are expected to
+    /// serialise publication among themselves (the store uses a per-shard
+    /// write mutex / the topology lock); the cell itself only guarantees the
+    /// swap is atomic with respect to concurrent loads.
+    #[inline]
+    pub fn store(&self, next: Arc<T>) {
+        *self.current.write().expect("epoch cell poisoned") = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_pins_an_epoch_across_a_store() {
+        let cell = EpochCell::new(Arc::new(vec![1u64, 2, 3]));
+        let pinned = cell.load();
+        cell.store(Arc::new(vec![9u64]));
+        assert_eq!(*pinned, vec![1, 2, 3], "pinned epoch survives the swap");
+        assert_eq!(*cell.load(), vec![9]);
+    }
+
+    #[test]
+    fn concurrent_loads_always_see_a_complete_epoch() {
+        let cell = Arc::new(EpochCell::new(Arc::new((0u64, 0u64))));
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let cell = Arc::clone(&cell);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        let (a, b) = *cell.load();
+                        assert_eq!(a, b, "epochs must be internally consistent");
+                    }
+                });
+            }
+            scope.spawn(move || {
+                for i in 1..=10_000u64 {
+                    cell.store(Arc::new((i, i)));
+                }
+            });
+        });
+    }
+}

@@ -1,28 +1,84 @@
-//! # shift-store: a sharded, updatable serving layer for corrected indexes
+//! # shift-store: a sharded, updatable serving layer with a lock-free
+//! read path
 //!
 //! The `shift-table` crate builds *static* corrected range indexes — one
 //! sorted key column, one learned model, one correction layer. This crate
-//! turns those into a serving system:
+//! turns those into a concurrent serving system:
 //!
 //! * [`ShardedIndex`] — a read-only index range-partitioned across `N`
-//!   shards. A tiny router over *fence keys* (the first key of each shard)
-//!   sends every query to exactly one independently built
-//!   [`algo_index::DynRangeIndex`]; batched lookups are grouped by shard
-//!   before dispatch so each shard's stage-blocked batch path
-//!   (model → layer → local search, one stage loop per block) is preserved.
-//! * [`StoreShard`] — the updatable building block: an immutable, epoch-
-//!   stamped shard snapshot plus a sorted delta buffer of inserts and delete
-//!   tombstones. Reads merge the two views on the fly; once the buffer
-//!   crosses a configurable threshold the buffer is folded into a fresh base
-//!   and the snapshot is atomically swapped (`Arc` swap, epoch + 1) while
-//!   concurrent readers keep serving from the old epoch.
-//! * [`ShardedStore`] — the full store: the router in front of one
-//!   [`StoreShard`] per range, with dirty shards rebuilt inline on the
-//!   crossing write (`auto_rebuild`) or in parallel scoped threads via
-//!   [`ShardedStore::maintain`] / [`ShardedStore::flush`].
+//!   shards behind a fence-key router; batched lookups are grouped by shard
+//!   so each shard's stage-blocked batch path is preserved.
+//! * [`StoreShard`] — the updatable building block: an epoch-stamped
+//!   [`ShardSnapshot`] (sorted base + learned index) paired with an
+//!   immutable [`DeltaChain`] of buffered writes, published together as one
+//!   [`ShardState`].
+//! * [`ShardedStore`] — the full store: an atomically republished
+//!   [`StoreTable`] (router + shards), write paths that transparently
+//!   re-route around splits/merges, and an optional background
+//!   [`MaintenanceWorker`].
 //!
 //! Both sharded types implement [`algo_index::RangeIndex`], so a store drops
 //! into every harness that benchmarks the static indexes.
+//!
+//! ## Concurrency model
+//!
+//! Every piece of state a read touches is **immutable and published by
+//! pointer swap**:
+//!
+//! * A shard's state — base snapshot *and* delta chain — is one immutable
+//!   [`ShardState`] behind an [`EpochCell`]. A scalar or batched read pins
+//!   the state once (a single `Arc` acquisition) and then runs **pure
+//!   merges**: probe the learned index, add the chain's prefix sums. No
+//!   mutex or `RwLock` is held after that acquisition — in particular, no
+//!   lock is held while probing the index — and a read that finds an empty
+//!   chain skips the merge machinery entirely.
+//! * The delta chain is a short, newest-first list of immutable sorted
+//!   runs ([`DeltaRun`]). A write publishes a successor chain that amends
+//!   the small head run by copy (bounded by `max_run_len`) or prepends a
+//!   singleton; all other runs are shared by `Arc`. Writers are serialised
+//!   by a per-shard mutex that readers never take.
+//! * The store's topology — fences plus shard list — is one immutable
+//!   [`StoreTable`] behind its own [`EpochCell`]. Multi-shard reads (global
+//!   positions, batches, ranges) resolve entirely against one pinned table,
+//!   so a concurrent split or merge can never route part of a batch through
+//!   one topology and part through another.
+//!
+//! Maintenance reuses the same mechanism. A **rebuild** seals the chain
+//! (an index move — no data copied), merges chain + base and retrains the
+//! model entirely off-lock while readers and writers proceed against the
+//! sealed state, then swaps in the new epoch and keeps the writes that
+//! landed mid-rebuild as the residual chain. A **split** freezes a shard
+//! the same way, cuts the merged column at a duplicate-run-aligned median
+//! fence, builds both children off-lock, and commits by retiring the old
+//! shard and publishing a new table; an in-flight writer that routed to the
+//! retired shard gets refused at its write lock and transparently retries
+//! against the new table. Merging undersized neighbours is symmetric. The
+//! optional [`MaintenanceWorker`] thread (spawned by
+//! [`ShardedStore::build`] when
+//! [`StoreConfig::background_maintenance`] is set, stopped and joined on
+//! drop) runs compaction, dirty-shard rebuilds and rebalancing on an
+//! interval, kicked early by threshold-crossing writes.
+//!
+//! ## Consistency guarantees
+//!
+//! * **Per-shard reads are linearizable.** Each read observes exactly one
+//!   published `ShardState`; states are published in write order under the
+//!   shard's write mutex and stamped with a strictly monotonic version, so
+//!   a read sees every write published before its pin and none after.
+//! * **Reads never block, and are never blocked by, maintenance.** Sealing,
+//!   compaction, rebuilds, splits and merges only ever *publish new
+//!   values*; a pinned state remains valid and immutable forever.
+//! * **Batched and range reads are table-consistent.** One pinned table
+//!   resolves the whole operation; fences and shard list always match.
+//! * **Cross-shard composition is racy by design.** A multi-shard read
+//!   composes per-shard states pinned at slightly different instants; it is
+//!   exact whenever no write races it, and otherwise reflects for each
+//!   shard some state between the start and the end of the call (the
+//!   "between two oracle epochs" bound the concurrent tests assert).
+//! * **Writes are never lost.** A writer either lands in a live shard's
+//!   chain (and survives rebuilds as residual, splits via the fence-cut of
+//!   the residual) or is refused by a retired shard and retried against the
+//!   successor topology.
 //!
 //! ## Example
 //!
@@ -41,7 +97,7 @@
 //! assert_eq!(store.lower_bound(300), 100);
 //! assert_eq!(store.range(300, 330), 100..111);
 //!
-//! // Writes are absorbed by the shard's delta buffer and visible
+//! // Writes are absorbed by the shard's delta chain and visible
 //! // immediately; the shard rebuilds itself once 256 ops accumulate.
 //! store.insert(301).unwrap();
 //! assert_eq!(store.lower_bound(302), 102);
@@ -58,19 +114,23 @@
 
 pub mod config;
 pub mod delta;
+pub mod epoch;
 pub mod router;
 pub mod shard;
 pub mod sharded;
+pub mod worker;
 
 pub use config::StoreConfig;
-pub use delta::{DeltaBuffer, FrozenDelta};
+pub use delta::{DeltaChain, DeltaRun};
+pub use epoch::EpochCell;
 pub use router::ShardRouter;
-pub use shard::{ShardSnapshot, StoreShard};
-pub use sharded::{ShardedIndex, ShardedStore};
+pub use shard::{ShardSnapshot, ShardState, StoreShard};
+pub use sharded::{ShardedIndex, ShardedStore, StoreTable};
+pub use worker::MaintenanceWorker;
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::config::StoreConfig;
-    pub use crate::shard::{ShardSnapshot, StoreShard};
-    pub use crate::sharded::{ShardedIndex, ShardedStore};
+    pub use crate::shard::{ShardSnapshot, ShardState, StoreShard};
+    pub use crate::sharded::{ShardedIndex, ShardedStore, StoreTable};
 }

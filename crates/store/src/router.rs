@@ -48,6 +48,19 @@ impl<K: Key> ShardRouter<K> {
         (Self { fences }, bounds)
     }
 
+    /// Rebuild a router from an explicit fence table — the constructor the
+    /// rebalancer uses when it publishes a new topology. `fences` must be
+    /// strictly increasing; `fences[0]` is nominal (it is never compared —
+    /// only `fences[1..]` discriminate) but by convention holds the lowest
+    /// fence of the previous table.
+    pub(crate) fn from_fences(fences: Vec<K>) -> Self {
+        debug_assert!(
+            fences.windows(2).all(|w| w[0] < w[1]),
+            "fence table must be strictly increasing"
+        );
+        Self { fences }
+    }
+
     /// Number of shards the router addresses (at least 1).
     pub fn shard_count(&self) -> usize {
         self.fences.len().max(1)

@@ -1,36 +1,41 @@
-//! The updatable shard: an immutable learned base plus a delta buffer.
+//! The updatable shard: an immutable learned base plus an immutable delta
+//! chain, published together as one epoch-pinned state.
 //!
-//! A [`StoreShard`] pairs an epoch-stamped [`ShardSnapshot`] — the sorted
-//! base key column behind `Arc<[K]>` and the corrected index built over it
-//! from an [`IndexSpec`] — with a [`DeltaBuffer`] of writes. Reads merge the
-//! two views on the fly; once the buffer crosses the configured threshold
-//! the shard is *dirty* and a [`StoreShard::rebuild`] folds the buffer into
-//! a fresh base, builds a new index and atomically swaps the snapshot
-//! (`Arc` swap, epoch + 1).
+//! A [`StoreShard`] publishes a [`ShardState`] — the epoch-stamped
+//! [`ShardSnapshot`] (sorted base column behind `Arc<[K]>` plus the
+//! corrected index built over it) *and* the [`DeltaChain`] of buffered
+//! writes — through an [`EpochCell`]. Because both halves are immutable and
+//! travel together, **a read is one snapshot acquisition followed by pure
+//! merges**: pin the state, probe the learned index, add the chain's prefix
+//! sums. No lock is held while probing, and a read that finds an empty chain
+//! skips the merge machinery entirely.
 //!
-//! ## Locking protocol
+//! ## Locking protocol (write side only)
 //!
-//! Two locks per shard, always taken in the order *delta → snapshot*:
+//! * `write` — a per-shard mutex serialising *publishers*: every insert,
+//!   delete, compaction and state swap happens under it. It is never taken
+//!   by a read, and it is never held across a merge or an index build.
+//! * `rebuild_guard` — serialises rebuilds (and, via the store, splits and
+//!   merges targeting this shard). Taken strictly before `write`.
 //!
-//! * reads take the delta lock, clone the snapshot `Arc`, compute, release —
-//!   so a read always sees a (base, delta) pair that belong together;
-//! * writes take only the delta lock;
-//! * a rebuild holds **no** lock during the expensive merge + model build
-//!   (reads and writes proceed against the old epoch); it locks only to
-//!   freeze the buffer at the start and to swap + subtract at the end. A
-//!   per-shard rebuild guard serialises concurrent rebuilders.
+//! A rebuild **seals** the chain under the write lock (an index move — no
+//! data is copied), merges and retrains entirely off-lock while readers and
+//! writers proceed against the sealed state, then reacquires the write lock
+//! only to swap in the new epoch and strip the sealed suffix — writes that
+//! landed during the rebuild survive as the residual chain.
 
-use crate::delta::DeltaBuffer;
+use crate::delta::DeltaChain;
+use crate::epoch::EpochCell;
 use algo_index::search::{DynRangeIndex, RangeIndex};
 use shift_table::error::BuildError;
 use shift_table::spec::IndexSpec;
 use sosd_data::key::Key;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-/// One immutable epoch of a shard: the sorted base keys and the index built
-/// over them. Snapshots are shared behind `Arc` so readers can keep using an
-/// old epoch while the next one is being installed.
+/// One immutable epoch of a shard's *base*: the sorted key column and the
+/// index built over it. Snapshots are shared behind `Arc` so readers can
+/// keep using an old epoch while the next one is being installed.
 pub struct ShardSnapshot<K: Key> {
     keys: Arc<[K]>,
     index: DynRangeIndex<K>,
@@ -38,6 +43,11 @@ pub struct ShardSnapshot<K: Key> {
 }
 
 impl<K: Key> ShardSnapshot<K> {
+    /// Assemble a snapshot (used by rebuilds, splits and merges).
+    pub(crate) fn new(keys: Arc<[K]>, index: DynRangeIndex<K>, epoch: u64) -> Self {
+        Self { keys, index, epoch }
+    }
+
     /// The sorted base key column of this epoch.
     pub fn keys(&self) -> &[K] {
         &self.keys
@@ -48,27 +58,98 @@ impl<K: Key> ShardSnapshot<K> {
         &self.index
     }
 
-    /// Epoch number: 0 for the initial build, +1 per rebuild.
+    /// Epoch number: 0 for the initial build, +1 per rebuild (splits and
+    /// merges also advance it on the shards they produce).
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
 }
 
-/// An updatable shard: immutable learned base + mergeable delta buffer.
+/// The complete immutable state of a shard at one version: base snapshot
+/// plus delta chain. Reads pin one `ShardState` and never look back at the
+/// shard, so base and chain are always a coherent pair.
+pub struct ShardState<K: Key> {
+    snapshot: Arc<ShardSnapshot<K>>,
+    delta: DeltaChain<K>,
+    version: u64,
+}
+
+impl<K: Key> ShardState<K> {
+    /// The base snapshot of this state.
+    pub fn snapshot(&self) -> &Arc<ShardSnapshot<K>> {
+        &self.snapshot
+    }
+
+    /// The delta chain of this state.
+    pub fn delta(&self) -> &DeltaChain<K> {
+        &self.delta
+    }
+
+    /// Publication version: +1 on every published state (writes, seals,
+    /// compactions and swaps all count). Strictly monotonic per shard.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of keys in the merged (base + delta) view of this state.
+    pub fn merged_len(&self) -> usize {
+        merged_len(self.snapshot.keys.len(), self.delta.len_delta())
+    }
+
+    /// Lower bound of `q` in this state's merged view — the pure read,
+    /// evaluated entirely against immutable data.
+    #[inline]
+    pub fn lower_bound(&self, q: K) -> usize {
+        if self.delta.entry_count() == 0 {
+            // Fast path: an empty chain means the base *is* the merged view.
+            return self.snapshot.index.lower_bound(q);
+        }
+        merged_position(self.snapshot.index.lower_bound(q), self.delta.net_below(q))
+    }
+
+    /// Merged occurrence count of exactly `k` in this state.
+    #[inline]
+    pub fn count_of(&self, k: K) -> usize {
+        let base = self.snapshot.index.range(k, k).len();
+        if self.delta.entry_count() == 0 {
+            return base;
+        }
+        (base as i64 + self.delta.net_of(k)).max(0) as usize
+    }
+
+    /// Materialise this state's merged key column (base with the chain
+    /// folded in) — what rebuilds, splits and merges cut their new bases
+    /// from. Skips the merge for an entry-less chain.
+    pub fn merged_keys(&self) -> Vec<K> {
+        if self.delta.entry_count() == 0 {
+            self.snapshot.keys().to_vec()
+        } else {
+            self.delta.merge_into(self.snapshot.keys())
+        }
+    }
+}
+
+/// An updatable shard: immutable learned base + immutable delta chain,
+/// swapped atomically as one state.
 pub struct StoreShard<K: Key> {
     spec: IndexSpec,
     threshold: usize,
     build_threads: usize,
-    snapshot: RwLock<Arc<ShardSnapshot<K>>>,
-    delta: Mutex<DeltaBuffer<K>>,
-    /// Serialises rebuilds; never taken by readers or writers.
+    max_run_len: usize,
+    compact_runs: usize,
+    state: EpochCell<ShardState<K>>,
+    /// Serialises publishers (writes, compactions, swaps); never read-side.
+    write: Mutex<()>,
+    /// Serialises rebuilds / splits / merges; taken before `write`.
     rebuild_guard: Mutex<()>,
-    /// Cached merged key count, updated under the delta lock on every
-    /// recorded write (a rebuild leaves it unchanged — folding the buffer
-    /// into the base is length-neutral). Lets [`StoreShard::len`] — called
-    /// for every preceding shard on every global-position read — be a plain
-    /// atomic load instead of two lock acquisitions.
+    /// Cached merged key count, updated under the write lock on every
+    /// recorded write (rebuilds are length-neutral). Lets [`StoreShard::len`]
+    /// — called for every preceding shard on every global-position read —
+    /// be a plain atomic load.
     merged_len: AtomicUsize,
+    /// Set (under the write lock) when a split or merge replaced this shard:
+    /// writers observing it retry against the new shard table.
+    retired: AtomicBool,
 }
 
 impl<K: Key> StoreShard<K> {
@@ -107,33 +188,64 @@ impl<K: Key> StoreShard<K> {
         build_threads: usize,
     ) -> Self {
         let index = build_index(&spec, keys.clone(), build_threads);
-        let merged_len = AtomicUsize::new(keys.len());
+        let snapshot = Arc::new(ShardSnapshot::new(keys, index, 0));
+        Self::from_parts(spec, threshold, build_threads, snapshot, DeltaChain::new())
+    }
+
+    /// Assemble a shard from an already-built snapshot and a carried-over
+    /// delta chain — the constructor splits and merges use for their
+    /// children.
+    pub(crate) fn from_parts(
+        spec: IndexSpec,
+        threshold: usize,
+        build_threads: usize,
+        snapshot: Arc<ShardSnapshot<K>>,
+        delta: DeltaChain<K>,
+    ) -> Self {
+        let merged_len = AtomicUsize::new(merged_len(snapshot.keys.len(), delta.len_delta()));
+        let version = 0;
         Self {
             spec,
             threshold: threshold.max(1),
             build_threads: build_threads.max(1),
-            snapshot: RwLock::new(Arc::new(ShardSnapshot {
-                keys,
-                index,
-                epoch: 0,
+            max_run_len: 32,
+            compact_runs: 8,
+            state: EpochCell::new(Arc::new(ShardState {
+                snapshot,
+                delta,
+                version,
             })),
-            delta: Mutex::new(DeltaBuffer::new()),
+            write: Mutex::new(()),
             rebuild_guard: Mutex::new(()),
             merged_len,
+            retired: AtomicBool::new(false),
         }
     }
 
-    /// The current epoch snapshot (cheap `Arc` clone).
-    pub fn snapshot(&self) -> Arc<ShardSnapshot<K>> {
-        self.snapshot
-            .read()
-            .expect("snapshot lock poisoned")
-            .clone()
+    /// Tune the delta-chain shape: `max_run_len` bounds the head run a write
+    /// amends (write cost), `compact_runs` caps the unsealed run count
+    /// before the writer folds the chain inline (read cost).
+    pub(crate) fn with_chain_tuning(mut self, max_run_len: usize, compact_runs: usize) -> Self {
+        self.max_run_len = max_run_len.max(1);
+        self.compact_runs = compact_runs.max(2);
+        self
     }
 
-    /// Number of keys in the merged (base + delta) view (lock-free).
+    /// Pin and return the current state (one epoch acquisition; see
+    /// [`EpochCell::load`]). Everything derived from the returned value is
+    /// immutable and internally consistent.
+    pub fn state(&self) -> Arc<ShardState<K>> {
+        self.state.load()
+    }
+
+    /// The current epoch's base snapshot (cheap `Arc` clone).
+    pub fn snapshot(&self) -> Arc<ShardSnapshot<K>> {
+        self.state.load().snapshot.clone()
+    }
+
+    /// Number of keys in the merged (base + delta) view (one atomic load).
     pub fn len(&self) -> usize {
-        self.merged_len.load(Ordering::Relaxed)
+        self.merged_len.load(Ordering::Acquire)
     }
 
     /// True when the merged view holds no keys.
@@ -141,96 +253,161 @@ impl<K: Key> StoreShard<K> {
         self.len() == 0
     }
 
-    /// Lower bound of `q` in the merged view.
+    /// Lower bound of `q` in the merged view: pin the state, then pure
+    /// merges — no lock is held while probing.
     pub fn lower_bound(&self, q: K) -> usize {
-        let delta = self.delta.lock().expect("delta lock poisoned");
-        let snap = self.snapshot();
-        merged_position(snap.index.lower_bound(q), delta.net_below(q))
+        self.state.load().lower_bound(q)
     }
 
     /// Batched lower bounds over the merged view: the base positions are
-    /// resolved through the index's stage-blocked batch path, then each is
-    /// shifted by the delta prefix sum.
+    /// resolved through the pinned index's stage-blocked batch path, then
+    /// each is shifted by the chain's prefix sums. With an empty chain the
+    /// shift loop is skipped entirely.
     pub fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
         assert_eq!(
             queries.len(),
             out.len(),
             "lower_bound_batch requires queries and out of equal length"
         );
-        let delta = self.delta.lock().expect("delta lock poisoned");
-        let snap = self.snapshot();
-        snap.index.lower_bound_batch(queries, out);
-        // One O(d) materialization, then O(log d) per query — not an O(d)
-        // map scan per query while writers wait on the delta mutex.
-        let prefix = delta.prefix_sums();
+        let state = self.state.load();
+        state.snapshot.index.lower_bound_batch(queries, out);
+        if state.delta.entry_count() == 0 {
+            return;
+        }
         for (o, &q) in out.iter_mut().zip(queries.iter()) {
-            *o = merged_position(*o, DeltaBuffer::net_below_in(&prefix, q));
+            *o = merged_position(*o, state.delta.net_below(q));
         }
     }
 
     /// Merged occurrence count of the exact key `k`.
     pub fn count_of(&self, k: K) -> usize {
-        let delta = self.delta.lock().expect("delta lock poisoned");
-        let snap = self.snapshot();
-        let base = snap.index.range(k, k).len();
-        (base as i64 + delta.net_of(k)).max(0) as usize
+        self.state.load().count_of(k)
     }
 
     /// Range query `lo <= key <= hi` over the merged view, as a half-open
-    /// position range (the [`RangeIndex::range`] contract).
+    /// position range (the [`RangeIndex::range`] contract). Both endpoints
+    /// are resolved against the same pinned state.
     pub fn range(&self, lo: K, hi: K) -> std::ops::Range<usize> {
         if lo > hi {
             return 0..0;
         }
-        let delta = self.delta.lock().expect("delta lock poisoned");
-        let snap = self.snapshot();
-        let start = merged_position(snap.index.lower_bound(lo), delta.net_below(lo));
+        let state = self.state.load();
+        let start = state.lower_bound(lo);
         let end = match hi.checked_next() {
-            Some(h) => merged_position(snap.index.lower_bound(h), delta.net_below(h)),
-            None => merged_len(snap.index.len(), delta.len_delta()),
+            Some(h) => state.lower_bound(h),
+            None => state.merged_len(),
         };
         start..end.max(start)
     }
 
-    /// Buffer one inserted occurrence of `k`. Returns true when the write
-    /// made (or left) the shard dirty.
-    pub fn insert(&self, k: K) -> bool {
-        let mut delta = self.delta.lock().expect("delta lock poisoned");
-        delta.record_insert(k);
-        self.merged_len.fetch_add(1, Ordering::Relaxed);
-        delta.ops() >= self.threshold
+    /// Buffer one inserted occurrence of `k`. Returns `Some(dirty)` — true
+    /// when the write made (or left) the shard dirty — or `None` when the
+    /// shard has been retired by a split/merge (the caller re-routes).
+    pub fn try_insert(&self, k: K) -> Option<bool> {
+        let _w = self.write.lock().expect("write lock poisoned");
+        if self.retired.load(Ordering::Relaxed) {
+            return None;
+        }
+        let dirty = self.publish_op(k, 1);
+        self.merged_len.fetch_add(1, Ordering::AcqRel);
+        Some(dirty)
     }
 
     /// Buffer a tombstone for one occurrence of `k`. Returns
-    /// `(removed, dirty)`: `removed` is false (and nothing is recorded) when
-    /// the merged view holds no occurrence of `k`.
-    pub fn delete(&self, k: K) -> (bool, bool) {
-        let mut delta = self.delta.lock().expect("delta lock poisoned");
-        let snap = self.snapshot();
-        let count = snap.index.range(k, k).len() as i64 + delta.net_of(k);
-        if count <= 0 {
-            return (false, delta.ops() >= self.threshold);
+    /// `Some((removed, dirty))`: `removed` is false (and nothing is
+    /// recorded) when the merged view holds no occurrence of `k`. `None`
+    /// means the shard was retired (the caller re-routes).
+    pub fn try_delete(&self, k: K) -> Option<(bool, bool)> {
+        let _w = self.write.lock().expect("write lock poisoned");
+        if self.retired.load(Ordering::Relaxed) {
+            return None;
         }
-        delta.record_delete(k);
-        self.merged_len.fetch_sub(1, Ordering::Relaxed);
-        (true, delta.ops() >= self.threshold)
+        let cur = self.state.load();
+        if cur.count_of(k) == 0 {
+            return Some((false, cur.delta.ops() >= self.threshold));
+        }
+        let dirty = self.publish_op(k, -1);
+        self.merged_len.fetch_sub(1, Ordering::AcqRel);
+        Some((true, dirty))
     }
 
-    /// True when the buffered operation count has reached the threshold.
+    /// Publish a successor state with the given parts and the next version.
+    /// Every publication funnels through here so the strictly-monotonic
+    /// version guarantee (the concurrent tests' anchor) lives in one place.
+    /// Must hold `write`.
+    fn publish(&self, snapshot: Arc<ShardSnapshot<K>>, delta: DeltaChain<K>) -> Arc<ShardState<K>> {
+        let next = Arc::new(ShardState {
+            snapshot,
+            delta,
+            version: self.state.load().version + 1,
+        });
+        self.state.store(next.clone());
+        next
+    }
+
+    /// Record one op and publish the successor state. Must hold `write`.
+    fn publish_op(&self, k: K, net: i64) -> bool {
+        let cur = self.state.load();
+        let mut delta = cur.delta.with_op(k, net, self.max_run_len);
+        if delta.unsealed_run_count() >= self.compact_runs {
+            // Inline amortised compaction: O(chain entries) once every
+            // `compact_runs × max_run_len` ops keeps reads at a handful of
+            // binary searches without waiting for the maintenance worker.
+            delta = delta.compact();
+        }
+        let dirty = delta.ops() >= self.threshold;
+        self.publish(cur.snapshot.clone(), delta);
+        dirty
+    }
+
+    /// Buffer one inserted occurrence of `k` on a shard that is not managed
+    /// by a store (panics if the shard was retired). Returns true when the
+    /// write made (or left) the shard dirty.
+    pub fn insert(&self, k: K) -> bool {
+        self.try_insert(k).expect("insert on a retired shard")
+    }
+
+    /// Buffer a tombstone for one occurrence of `k` on an unmanaged shard
+    /// (panics if retired). Returns `(removed, dirty)`.
+    pub fn delete(&self, k: K) -> (bool, bool) {
+        self.try_delete(k).expect("delete on a retired shard")
+    }
+
+    /// True when the buffered operation count has reached the threshold
+    /// (lock-free: reads the published state).
     pub fn is_dirty(&self) -> bool {
-        self.delta.lock().expect("delta lock poisoned").ops() >= self.threshold
+        self.state.load().delta.ops() >= self.threshold
     }
 
-    /// Number of operations buffered since the last rebuild.
+    /// Number of operations buffered since the last rebuild (lock-free).
     pub fn buffered_ops(&self) -> usize {
-        self.delta.lock().expect("delta lock poisoned").ops()
+        self.state.load().delta.ops()
     }
 
-    /// Fold the delta buffer into a new base column, rebuild the index and
-    /// swap the epoch snapshot. Returns false (and does nothing) when no
-    /// write is buffered. Reads and writes proceed concurrently against the
-    /// old epoch for the whole merge + build; writes that land during the
-    /// rebuild survive as the residual buffer against the new epoch.
+    /// True once a split or merge has replaced this shard in the table.
+    pub fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::Acquire)
+    }
+
+    /// Fold the chain's unsealed runs into one run, bounding per-read merge
+    /// cost. Returns true when the chain shape changed. Called by the
+    /// maintenance worker; writers also compact inline past `compact_runs`.
+    pub fn compact(&self) -> bool {
+        let _w = self.write.lock().expect("write lock poisoned");
+        let cur = self.state.load();
+        if cur.delta.unsealed_run_count() < 2 {
+            return false;
+        }
+        self.publish(cur.snapshot.clone(), cur.delta.compact());
+        true
+    }
+
+    /// Fold the delta chain into a new base column, rebuild the index and
+    /// swap in the new epoch. Returns false (and does nothing) when no
+    /// write is buffered or the shard is retired. Readers and writers
+    /// proceed concurrently against the sealed state for the whole merge +
+    /// build; writes that land during the rebuild survive as the residual
+    /// chain against the new epoch.
     ///
     /// # Errors
     /// Never fails today — the merged column is sorted by construction and
@@ -239,39 +416,105 @@ impl<K: Key> StoreShard<K> {
     /// surface without an API break.
     pub fn rebuild(&self) -> Result<bool, BuildError> {
         let _guard = self.rebuild_guard.lock().expect("rebuild guard poisoned");
-        // Freeze phase: capture (base, delta) coherently.
-        let (old_snap, frozen) = {
-            let delta = self.delta.lock().expect("delta lock poisoned");
-            if delta.is_clean() {
+        if self.retired.load(Ordering::Acquire) {
+            return Ok(false);
+        }
+        // Freeze phase: seal the chain (an index move, no data copied).
+        let frozen = {
+            let _w = self.write.lock().expect("write lock poisoned");
+            let cur = self.state.load();
+            if cur.delta.is_clean() {
                 return Ok(false);
             }
-            (self.snapshot(), delta.freeze())
+            self.publish(cur.snapshot.clone(), cur.delta.sealed())
         };
-        // Build phase — lock-free for readers and writers.
-        let merged: Arc<[K]> = frozen.merge_into(&old_snap.keys).into();
+        // Build phase — no lock held; reads and writes proceed.
+        let merged: Arc<[K]> = frozen.merged_keys().into();
         let index = build_index(&self.spec, merged.clone(), self.build_threads);
-        // Swap phase: install the new epoch and keep only in-flight writes.
-        let mut delta = self.delta.lock().expect("delta lock poisoned");
-        let mut snap = self.snapshot.write().expect("snapshot lock poisoned");
-        *snap = Arc::new(ShardSnapshot {
-            keys: merged,
-            index,
-            epoch: old_snap.epoch + 1,
-        });
-        delta.subtract_frozen(&frozen);
+        let snapshot = Arc::new(ShardSnapshot::new(merged, index, frozen.snapshot.epoch + 1));
+        // Swap phase: install the new epoch, keep only post-seal writes.
+        let _w = self.write.lock().expect("write lock poisoned");
+        let residual = self.residual_since(&frozen);
+        self.publish(snapshot, residual);
         Ok(true)
     }
 
-    /// Bytes of auxiliary structure: the learned index plus the live buffer.
+    /// Bytes of auxiliary structure: the learned index plus the live chain.
     pub fn index_size_bytes(&self) -> usize {
-        let delta = self.delta.lock().expect("delta lock poisoned");
-        self.snapshot().index.index_size_bytes() + delta.size_bytes()
+        let state = self.state.load();
+        state.snapshot.index.index_size_bytes() + state.delta.size_bytes()
+    }
+
+    // ---- split/merge support (used by the sharded store) ----------------
+
+    /// Take the rebuild guard for the duration of a split/merge targeting
+    /// this shard, excluding concurrent rebuilds.
+    pub(crate) fn lock_rebuild(&self) -> MutexGuard<'_, ()> {
+        self.rebuild_guard.lock().expect("rebuild guard poisoned")
+    }
+
+    /// Take the write lock for a topology commit.
+    pub(crate) fn lock_write(&self) -> MutexGuard<'_, ()> {
+        self.write.lock().expect("write lock poisoned")
+    }
+
+    /// Seal the chain and publish the sealed state, returning it. Unlike
+    /// the rebuild freeze this seals even a clean chain (a split of a cold
+    /// shard still needs a frozen view).
+    pub(crate) fn seal(&self) -> Arc<ShardState<K>> {
+        let _w = self.write.lock().expect("write lock poisoned");
+        let cur = self.state.load();
+        self.publish(cur.snapshot.clone(), cur.delta.sealed())
+    }
+
+    /// Roll back a [`StoreShard::seal`] whose consumer abandoned its
+    /// split: republish the current chain with every run amendable again,
+    /// so abandoned seals cannot accumulate unfoldable sealed runs (reads
+    /// pay one binary search per run). The caller must still hold the
+    /// rebuild guard it sealed under.
+    pub(crate) fn unseal(&self) {
+        let _w = self.write.lock().expect("write lock poisoned");
+        let cur = self.state.load();
+        self.publish(cur.snapshot.clone(), cur.delta.unsealed_all());
+    }
+
+    /// Mark the shard retired. Must be called while holding the write lock
+    /// (see [`StoreShard::lock_write`]) so no writer can interleave between
+    /// the residual capture and the flag.
+    pub(crate) fn retire(&self) {
+        self.retired.store(true, Ordering::Release);
+    }
+
+    /// The residual chain recorded since `frozen` (see
+    /// [`DeltaChain::strip_sealed`]). Must hold the write lock.
+    pub(crate) fn residual_since(&self, frozen: &ShardState<K>) -> DeltaChain<K> {
+        self.state.load().delta.strip_sealed(&frozen.delta)
+    }
+
+    /// The spec this shard builds its indexes from.
+    pub(crate) fn spec(&self) -> IndexSpec {
+        self.spec
+    }
+
+    /// The shard's rebuild threshold.
+    pub(crate) fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// The shard's builder thread count.
+    pub(crate) fn build_threads(&self) -> usize {
+        self.build_threads
+    }
+
+    /// The chain tuning pair `(max_run_len, compact_runs)`.
+    pub(crate) fn chain_tuning(&self) -> (usize, usize) {
+        (self.max_run_len, self.compact_runs)
     }
 }
 
 /// Merged length from a base length and a net delta.
 #[inline]
-fn merged_len(base: usize, len_delta: i64) -> usize {
+pub(crate) fn merged_len(base: usize, len_delta: i64) -> usize {
     (base as i64 + len_delta).max(0) as usize
 }
 
@@ -286,8 +529,12 @@ fn merged_position(base: usize, net_below: i64) -> usize {
 /// Build a shard index from a spec over shared storage the caller
 /// guarantees is sorted — initial builds validate up front, rebuilds merge
 /// sorted inputs — so no redundant O(n) sortedness scan runs per (re)build.
-fn build_index<K: Key>(spec: &IndexSpec, keys: Arc<[K]>, threads: usize) -> DynRangeIndex<K> {
-    Box::new(spec.build_corrected_prevalidated_with(keys, Default::default(), threads))
+pub(crate) fn build_index<K: Key>(
+    spec: &IndexSpec,
+    keys: Arc<[K]>,
+    threads: usize,
+) -> DynRangeIndex<K> {
+    spec.build_dyn_prevalidated_with(keys, Default::default(), threads)
 }
 
 #[cfg(test)]
@@ -318,7 +565,7 @@ mod tests {
     }
 
     #[test]
-    fn rebuild_folds_the_buffer_and_bumps_the_epoch() {
+    fn rebuild_folds_the_chain_and_bumps_the_epoch() {
         let keys: Vec<u64> = (0..50u64).map(|i| i * 2).collect();
         let shard = StoreShard::build(spec(), keys, 4, 1).unwrap();
         assert_eq!(shard.snapshot().epoch(), 0);
@@ -332,7 +579,7 @@ mod tests {
         assert!(shard.rebuild().unwrap());
         let snap = shard.snapshot();
         assert_eq!(snap.epoch(), 1);
-        assert_eq!(snap.keys().len(), 55, "buffer folded into the base");
+        assert_eq!(snap.keys().len(), 55, "chain folded into the base");
         assert_eq!(shard.buffered_ops(), 0);
         assert!(!shard.is_dirty());
         // Merged base is now 0, 1, 2, ..., 9, 10, 12, ...: five odd inserts.
@@ -363,5 +610,70 @@ mod tests {
         assert_eq!(shard.lower_bound(8), 1);
         shard.rebuild().unwrap();
         assert_eq!(shard.snapshot().keys(), &[7]);
+    }
+
+    #[test]
+    fn a_pinned_state_is_immune_to_later_writes_and_rebuilds() {
+        let keys: Vec<u64> = (0..100u64).collect();
+        let shard = StoreShard::build(spec(), keys, 4, 1).unwrap();
+        shard.insert(1_000);
+        let pinned = shard.state();
+        let v = pinned.version();
+        assert_eq!(pinned.lower_bound(u64::MAX), 101);
+        for k in 0..20u64 {
+            shard.insert(2_000 + k); // crosses the threshold — no rebuild yet
+        }
+        shard.rebuild().unwrap();
+        // The pinned state still answers from its own epoch.
+        assert_eq!(pinned.lower_bound(u64::MAX), 101);
+        assert_eq!(pinned.version(), v, "pinned state is a frozen value");
+        assert_eq!(shard.lower_bound(u64::MAX), 121);
+        assert!(shard.state().version() > v, "published version advanced");
+    }
+
+    #[test]
+    fn versions_increase_with_every_published_write() {
+        let shard = StoreShard::build(spec(), vec![1u64, 2, 3], 1_000, 1).unwrap();
+        let mut last = shard.state().version();
+        for k in 0..10u64 {
+            shard.insert(k);
+            let v = shard.state().version();
+            assert!(v > last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn inline_compaction_bounds_the_chain() {
+        let keys: Vec<u64> = (0..100u64).collect();
+        let shard = StoreShard::build(spec(), keys, 1_000_000, 1)
+            .unwrap()
+            .with_chain_tuning(1, 4);
+        for k in 0..64u64 {
+            shard.insert(500 + k);
+        }
+        let state = shard.state();
+        assert!(
+            state.delta().run_count() < 4,
+            "inline compaction must bound the chain, got {} runs",
+            state.delta().run_count()
+        );
+        assert_eq!(state.delta().ops(), 64, "compaction preserves churn");
+        assert_eq!(shard.lower_bound(u64::MAX), 164);
+    }
+
+    #[test]
+    fn retired_shard_rejects_writes_but_still_serves_reads() {
+        let shard = StoreShard::build(spec(), vec![1u64, 2, 3], 100, 1).unwrap();
+        shard.insert(10);
+        {
+            let _w = shard.lock_write();
+            shard.retire();
+        }
+        assert!(shard.is_retired());
+        assert_eq!(shard.try_insert(11), None);
+        assert_eq!(shard.try_delete(1), None);
+        assert_eq!(shard.lower_bound(u64::MAX), 4, "reads keep working");
+        assert!(!shard.rebuild().unwrap(), "retired shards do not rebuild");
     }
 }

@@ -1,21 +1,34 @@
-//! Range-sharded indexes: a fence-key router over per-shard indexes.
+//! Range-sharded indexes: an atomically published shard table over
+//! epoch-snapshot shards.
 //!
 //! [`ShardedIndex`] is the read-only form — `N` independently built
 //! [`DynRangeIndex`] shards over contiguous key chunks, with batched lookups
 //! grouped by shard so each shard's stage-blocked batch path stays intact.
-//! [`ShardedStore`] adds the write path: every shard becomes a
-//! [`StoreShard`] (immutable base + delta buffer) and dirty shards are
-//! rebuilt either inline on the crossing write (`auto_rebuild`) or in
-//! parallel scoped threads via [`ShardedStore::maintain`].
+//!
+//! [`ShardedStore`] adds the write path and a *mutable topology*: the router
+//! and the shard list travel together as one immutable [`StoreTable`] behind
+//! an [`EpochCell`], so every read (scalar, batched, range) pins one table
+//! and sees a consistent fence/shard pairing even while the rebalancer is
+//! splitting a hot shard or merging undersized neighbours. Writers load the
+//! table, route, and append to the target shard; a shard replaced by a
+//! split/merge is *retired* (it refuses further writes) and the writer
+//! transparently retries against the freshly published table. Dirty shards
+//! are rebuilt inline on the crossing write (`auto_rebuild`), by the
+//! background [`MaintenanceWorker`], or via [`ShardedStore::maintain`] /
+//! [`ShardedStore::flush`].
 
 use crate::config::StoreConfig;
+use crate::delta::DeltaChain;
+use crate::epoch::EpochCell;
 use crate::router::ShardRouter;
-use crate::shard::StoreShard;
+use crate::shard::{build_index, ShardSnapshot, StoreShard};
+use crate::worker::{MaintenanceWorker, WorkerSignal};
 use algo_index::search::{DynRangeIndex, RangeIndex};
 use shift_table::error::BuildError;
 use shift_table::spec::IndexSpec;
 use sosd_data::key::Key;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// What [`build_chunked`] hands back: the router, the chunk start offsets
 /// and the built shards.
@@ -119,11 +132,11 @@ impl<K: Key> ShardedIndex<K> {
         // `build_chunked` validated the whole column; each chunk takes the
         // prevalidated build path rather than re-scanning.
         let (router, offsets, built) = build_chunked(keys, shards, |chunk| {
-            Ok::<DynRangeIndex<K>, BuildError>(Box::new(spec.build_corrected_prevalidated_with(
+            Ok::<DynRangeIndex<K>, BuildError>(spec.build_dyn_prevalidated_with(
                 Arc::<[K]>::from(chunk),
                 Default::default(),
                 1,
-            )))
+            ))
         })?;
         Ok(Self {
             router,
@@ -192,123 +205,85 @@ impl<K: Key> RangeIndex<K> for ShardedIndex<K> {
     }
 }
 
-/// An updatable, range-sharded key-value-less ordered store: immutable
-/// learned shards absorbing writes through per-shard delta buffers.
-///
-/// All methods take `&self`; interior per-shard locking makes the store
-/// shareable across threads (`Arc<ShardedStore<K>>`). Reads are coherent per
-/// shard; a multi-shard read (global position, batch, range) composes
-/// per-shard snapshots and is exact whenever no write races it.
-pub struct ShardedStore<K: Key> {
+/// One immutable topology epoch of a [`ShardedStore`]: the fence-key router
+/// and the shard list it addresses, published (and replaced) together so a
+/// pinned table always pairs fences with the shards they describe.
+pub struct StoreTable<K: Key> {
     router: ShardRouter<K>,
-    shards: Vec<StoreShard<K>>,
-    config: StoreConfig,
+    shards: Vec<Arc<StoreShard<K>>>,
 }
 
-impl<K: Key> ShardedStore<K> {
-    /// Build a store over the sorted `keys` with the given configuration.
-    ///
-    /// # Errors
-    /// [`BuildError::UnsortedKeys`] if `keys` is not sorted.
-    pub fn build(config: StoreConfig, keys: impl AsRef<[K]>) -> Result<Self, BuildError> {
-        // `build_chunked` validated the whole column; each chunk takes the
-        // prevalidated shard constructor rather than re-scanning.
-        let (router, _offsets, shards) = build_chunked(keys.as_ref(), config.shards, |chunk| {
-            Ok::<_, BuildError>(StoreShard::build_prevalidated(
-                config.spec,
-                Arc::<[K]>::from(chunk),
-                config.delta_threshold,
-                config.build_threads,
-            ))
-        })?;
-        Ok(Self {
-            router,
-            shards,
-            config,
-        })
+impl<K: Key> StoreTable<K> {
+    /// The fence-key router of this topology epoch.
+    pub fn router(&self) -> &ShardRouter<K> {
+        &self.router
     }
 
-    /// The store configuration.
-    pub fn config(&self) -> &StoreConfig {
-        &self.config
-    }
-
-    /// Number of shards.
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// The shards themselves (for inspection and tests).
-    pub fn shards(&self) -> &[StoreShard<K>] {
+    /// The shards of this topology epoch.
+    pub fn shards(&self) -> &[Arc<StoreShard<K>>] {
         &self.shards
     }
 
-    /// Per-shard epoch numbers (number of rebuilds each shard has absorbed).
-    pub fn epochs(&self) -> Vec<u64> {
-        self.shards.iter().map(|s| s.snapshot().epoch()).collect()
-    }
-
-    /// Total number of shard rebuilds since the store was built.
-    pub fn total_rebuilds(&self) -> u64 {
-        self.epochs().iter().sum()
-    }
-
-    /// Insert one occurrence of `k`. With `auto_rebuild` enabled, a write
-    /// that pushes its shard over the delta threshold rebuilds that shard
-    /// before returning.
-    ///
-    /// # Errors
-    /// Propagates a shard rebuild failure (cannot happen for store-managed
-    /// buffers; see [`StoreShard::rebuild`]).
-    pub fn insert(&self, k: K) -> Result<(), BuildError> {
-        let s = self.router.shard_of(k);
-        let dirty = self.shards[s].insert(k);
-        if dirty && self.config.auto_rebuild {
-            self.shards[s].rebuild()?;
+    /// Global position offset of each shard plus the merged total, swept
+    /// once per multi-shard read.
+    fn merged_offsets(&self) -> (Vec<usize>, usize) {
+        let mut offsets = Vec::with_capacity(self.shards.len());
+        let mut total = 0usize;
+        for shard in &self.shards {
+            offsets.push(total);
+            total += shard.len();
         }
-        Ok(())
+        (offsets, total)
     }
 
-    /// Delete one occurrence of `k`. Returns true when an occurrence existed
-    /// (and a tombstone was recorded), false for a no-op.
-    ///
-    /// # Errors
-    /// Propagates a shard rebuild failure, as for [`ShardedStore::insert`].
-    pub fn delete(&self, k: K) -> Result<bool, BuildError> {
-        let s = self.router.shard_of(k);
-        let (removed, dirty) = self.shards[s].delete(k);
-        if dirty && self.config.auto_rebuild {
-            self.shards[s].rebuild()?;
+    /// Locate a shard in this table by identity.
+    fn position_of(&self, shard: &Arc<StoreShard<K>>) -> Option<usize> {
+        self.shards.iter().position(|s| Arc::ptr_eq(s, shard))
+    }
+}
+
+/// The store state shared between the public handle and the maintenance
+/// worker: the published table, the configuration, the topology lock and
+/// the maintenance counters.
+pub(crate) struct StoreCore<K: Key> {
+    table: EpochCell<StoreTable<K>>,
+    config: StoreConfig,
+    /// Serialises topology changes (splits and merges). Taken strictly
+    /// before any shard's rebuild guard.
+    topology: Mutex<()>,
+    signal: Arc<WorkerSignal>,
+    rebuilds: AtomicU64,
+    splits: AtomicU64,
+    merges: AtomicU64,
+    maintenance_error: Mutex<Option<BuildError>>,
+}
+
+impl<K: Key> StoreCore<K> {
+    pub(crate) fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    pub(crate) fn signal(&self) -> Arc<WorkerSignal> {
+        Arc::clone(&self.signal)
+    }
+
+    fn load_table(&self) -> Arc<StoreTable<K>> {
+        self.table.load()
+    }
+
+    /// Rebuild one shard, counting it on success.
+    fn rebuild_shard(&self, shard: &StoreShard<K>) -> Result<bool, BuildError> {
+        let rebuilt = shard.rebuild()?;
+        if rebuilt {
+            self.rebuilds.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(removed)
+        Ok(rebuilt)
     }
 
-    /// Merged occurrence count of the exact key `k`.
-    pub fn count_of(&self, k: K) -> usize {
-        self.shards[self.router.shard_of(k)].count_of(k)
-    }
-
-    /// Rebuild every *dirty* shard (buffer at or over the threshold), in
-    /// parallel scoped threads — the maintenance entry point when
-    /// `auto_rebuild` is off. Returns the number of shards rebuilt.
-    ///
-    /// # Errors
-    /// Propagates the first shard rebuild failure.
-    pub fn maintain(&self) -> Result<usize, BuildError> {
-        self.rebuild_where(|s| s.is_dirty())
-    }
-
-    /// Rebuild every shard with *any* buffered write, regardless of the
-    /// threshold. Returns the number of shards rebuilt.
-    ///
-    /// # Errors
-    /// Propagates the first shard rebuild failure.
-    pub fn flush(&self) -> Result<usize, BuildError> {
-        self.rebuild_where(|s| s.buffered_ops() > 0)
-    }
-
+    /// Rebuild every shard picked by `pick`, in parallel scoped threads.
     fn rebuild_where(&self, pick: impl Fn(&StoreShard<K>) -> bool) -> Result<usize, BuildError> {
-        let targets: Vec<&StoreShard<K>> = self.shards.iter().filter(|s| pick(s)).collect();
+        let table = self.load_table();
+        let targets: Vec<&Arc<StoreShard<K>>> = table.shards.iter().filter(|s| pick(s)).collect();
         if targets.is_empty() {
             return Ok(0);
         }
@@ -316,7 +291,7 @@ impl<K: Key> ShardedStore<K> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = targets
                 .iter()
-                .map(|&shard| scope.spawn(move || shard.rebuild()))
+                .map(|&shard| scope.spawn(move || self.rebuild_shard(shard)))
                 .collect();
             for h in handles {
                 if h.join().expect("shard rebuild worker panicked")? {
@@ -328,43 +303,501 @@ impl<K: Key> ShardedStore<K> {
         Ok(rebuilt)
     }
 
-    /// Global position offset of shard `s`: the merged lengths of all shards
-    /// before it.
-    fn offset_of(&self, s: usize) -> usize {
-        self.shards[..s].iter().map(|sh| sh.len()).sum()
+    /// One background maintenance pass: compact long chains, rebuild dirty
+    /// shards, rebalance skewed ones. Returns the number of actions taken.
+    pub(crate) fn maintenance_pass(&self) -> Result<usize, BuildError> {
+        let mut actions = 0usize;
+        let table = self.load_table();
+        // The worker compacts earlier than the writers' inline fold (at
+        // half the configured run bound, as the config documents) so idle
+        // shards converge to short chains without a write having to pay.
+        let worker_trigger = (self.config.compact_runs / 2).max(2);
+        for shard in &table.shards {
+            if shard.state().delta().unsealed_run_count() >= worker_trigger && shard.compact() {
+                actions += 1;
+            }
+        }
+        actions += self.rebuild_where(|s| s.is_dirty())?;
+        actions += self.rebalance()?;
+        Ok(actions)
     }
 
-    /// One sweep over the shards: global position offset of each shard plus
-    /// the merged total, for the multi-shard read paths.
-    fn merged_offsets(&self) -> (Vec<usize>, usize) {
-        let mut offsets = Vec::with_capacity(self.shards.len());
-        let mut total = 0usize;
-        for shard in &self.shards {
-            offsets.push(total);
-            total += shard.len();
+    pub(crate) fn record_maintenance_error(&self, e: BuildError) {
+        *self
+            .maintenance_error
+            .lock()
+            .expect("maintenance error slot poisoned") = Some(e);
+    }
+
+    fn take_maintenance_error(&self) -> Option<BuildError> {
+        self.maintenance_error
+            .lock()
+            .expect("maintenance error slot poisoned")
+            .take()
+    }
+
+    // ---- rebalancing ----------------------------------------------------
+
+    /// One rebalance sweep: split every shard whose live size exceeds
+    /// `split_skew × mean` at a duplicate-run-aligned median fence (plus
+    /// one catch-up split per sweep while the topology has fewer shards
+    /// than configured), then merge shards smaller than `mean / split_skew`
+    /// into their smaller neighbour. Returns the number of topology
+    /// changes.
+    fn rebalance(&self) -> Result<usize, BuildError> {
+        let skew = self.config.split_skew;
+        if skew == 0 {
+            return Ok(0);
         }
-        (offsets, total)
+        let _topology = self.topology.lock().expect("topology lock poisoned");
+        let mut actions = 0usize;
+
+        // Splits: pick candidates from one consistent sweep, then re-locate
+        // each by identity (earlier splits shift indices).
+        let table = self.load_table();
+        let lens: Vec<usize> = table.shards.iter().map(|s| s.len()).collect();
+        let total: usize = lens.iter().sum();
+        let mean = (total / lens.len().max(1)).max(1);
+        let oversized: Vec<Arc<StoreShard<K>>> = table
+            .shards
+            .iter()
+            .zip(lens.iter())
+            .filter(|&(_, &len)| len > skew * mean && len >= 2)
+            .map(|(s, _)| Arc::clone(s))
+            .collect();
+        for shard in oversized {
+            let table = self.load_table();
+            if let Some(s) = table.position_of(&shard) {
+                if self.split_shard(&table, s)? {
+                    actions += 1;
+                }
+            }
+        }
+
+        // Catch-up growth: a topology with fewer shards than the
+        // configuration requests (born small, grown from empty, or
+        // collapsed by merges) grows back one split per sweep, largest
+        // shard first — skew is relative to peers, so a single-shard store
+        // could otherwise never split at all.
+        let table = self.load_table();
+        if table.shards.len() < self.config.shards {
+            if let Some((s, _)) = table
+                .shards
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, sh)| sh.len())
+            {
+                if table.shards[s].len() >= 2 && self.split_shard(&table, s)? {
+                    actions += 1;
+                }
+            }
+        }
+
+        // Merges: re-sweep against the post-split topology.
+        loop {
+            let table = self.load_table();
+            if table.shards.len() < 2 {
+                break;
+            }
+            let lens: Vec<usize> = table.shards.iter().map(|s| s.len()).collect();
+            let total: usize = lens.iter().sum();
+            let mean = (total / lens.len()).max(1);
+            let undersized = lens
+                .iter()
+                .enumerate()
+                .filter(|&(_, &len)| len * skew < mean)
+                .min_by_key(|&(_, &len)| len)
+                .map(|(s, _)| s);
+            let Some(s) = undersized else { break };
+            // Merge into the smaller neighbour, refusing to create a new
+            // oversized shard.
+            let left_ok = s > 0;
+            let right_ok = s + 1 < lens.len();
+            let partner = match (left_ok, right_ok) {
+                (true, true) if lens[s - 1] <= lens[s + 1] => s - 1,
+                (true, false) => s - 1,
+                (_, true) => s + 1,
+                _ => break,
+            };
+            let (a, b) = (s.min(partner), s.max(partner));
+            if lens[a] + lens[b] > skew * mean || !self.merge_shards(&table, a)? {
+                break;
+            }
+            actions += 1;
+        }
+        Ok(actions)
+    }
+
+    /// Split shard `s` of `table` at a duplicate-run-aligned median fence.
+    /// Returns false when the shard cannot be split (a single duplicate run
+    /// dominates it, or it shrank below two keys). Must hold the topology
+    /// lock.
+    fn split_shard(&self, table: &StoreTable<K>, s: usize) -> Result<bool, BuildError> {
+        let shard = Arc::clone(&table.shards[s]);
+        let _rebuild = shard.lock_rebuild();
+        if shard.is_retired() {
+            return Ok(false);
+        }
+        // Freeze: seal the chain; readers and writers proceed.
+        let frozen = shard.seal();
+        let merged: Vec<K> = frozen.merged_keys();
+        let n = merged.len();
+        if n < 2 {
+            // Abandoned split: roll the seal back, or every retried split of
+            // an unsplittable shard would strand one more sealed (and thus
+            // uncompactable) run on the chain.
+            shard.unseal();
+            return Ok(false);
+        }
+        // Median fence, aligned down to the start of the median key's
+        // duplicate run (or up to the next run when the median run begins
+        // the shard) — a run of equal keys never spans two shards.
+        let mid_key = merged[n / 2];
+        let down = merged.partition_point(|&x| x < mid_key);
+        let p = if down > 0 {
+            down
+        } else {
+            merged.partition_point(|&x| x <= mid_key)
+        };
+        if p == 0 || p >= n {
+            shard.unseal();
+            return Ok(false); // one duplicate run dominates the shard
+        }
+        let split_key = merged[p];
+        let left_keys: Arc<[K]> = merged[..p].to_vec().into();
+        let right_keys: Arc<[K]> = merged[p..].to_vec().into();
+        drop(merged);
+        // Build both child indexes off every lock but the topology/rebuild
+        // guards; reads and writes to the shard continue meanwhile.
+        let spec = shard.spec();
+        let threads = shard.build_threads();
+        let epoch = frozen.snapshot().epoch() + 1;
+        let (left_index, right_index) = std::thread::scope(|scope| {
+            let l = scope.spawn(|| build_index(&spec, left_keys.clone(), threads));
+            let r = scope.spawn(|| build_index(&spec, right_keys.clone(), threads));
+            (
+                l.join().expect("split build worker panicked"),
+                r.join().expect("split build worker panicked"),
+            )
+        });
+        let left_snap = Arc::new(ShardSnapshot::new(left_keys, left_index, epoch));
+        let right_snap = Arc::new(ShardSnapshot::new(right_keys, right_index, epoch));
+        // Commit: capture the residual chain, cut it at the fence, retire
+        // the old shard and publish the new table — all under the shard's
+        // write lock so no write can slip between residual and retirement.
+        let _write = shard.lock_write();
+        let residual = shard.residual_since(&frozen);
+        let (left_delta, right_delta) = residual.partition(split_key);
+        let (max_run_len, compact_runs) = shard.chain_tuning();
+        let child = |snap, delta: DeltaChain<K>| {
+            Arc::new(
+                StoreShard::from_parts(spec, shard.threshold(), threads, snap, delta)
+                    .with_chain_tuning(max_run_len, compact_runs),
+            )
+        };
+        let left = child(left_snap, left_delta);
+        let right = child(right_snap, right_delta);
+        let first_left_key = left.snapshot().keys()[0];
+        let mut shards = table.shards.clone();
+        shards.splice(s..=s, [left, right]);
+        let mut fences = table.router.fences().to_vec();
+        if fences.is_empty() {
+            // A store born empty that grew: materialise the fence table.
+            fences = vec![first_left_key, split_key];
+        } else {
+            if s == 0 {
+                // fences[0] is nominal (never compared); keep it at or
+                // below every key the leftmost shard holds.
+                fences[0] = fences[0].min(first_left_key);
+            }
+            fences.insert(s + 1, split_key);
+        }
+        self.table.store(Arc::new(StoreTable {
+            router: ShardRouter::from_fences(fences),
+            shards,
+        }));
+        shard.retire();
+        self.splits.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Merge shards `s` and `s + 1` of `table` into one. Must hold the
+    /// topology lock.
+    fn merge_shards(&self, table: &StoreTable<K>, s: usize) -> Result<bool, BuildError> {
+        let a = Arc::clone(&table.shards[s]);
+        let b = Arc::clone(&table.shards[s + 1]);
+        let _rebuild_a = a.lock_rebuild();
+        let _rebuild_b = b.lock_rebuild();
+        if a.is_retired() || b.is_retired() {
+            return Ok(false);
+        }
+        let frozen_a = a.seal();
+        let frozen_b = b.seal();
+        let mut combined = frozen_a.merged_keys();
+        combined.extend(frozen_b.merged_keys());
+        debug_assert!(
+            combined.is_sorted(),
+            "adjacent shards must concatenate sorted"
+        );
+        let keys: Arc<[K]> = combined.into();
+        let spec = a.spec();
+        let threads = a.build_threads();
+        let epoch = frozen_a.snapshot().epoch().max(frozen_b.snapshot().epoch()) + 1;
+        let index = build_index(&spec, keys.clone(), threads);
+        let snapshot = Arc::new(ShardSnapshot::new(keys, index, epoch));
+        // Commit under both write locks (taken in shard order).
+        let _write_a = a.lock_write();
+        let _write_b = b.lock_write();
+        let residual = a
+            .residual_since(&frozen_a)
+            .concat(&b.residual_since(&frozen_b));
+        let (max_run_len, compact_runs) = a.chain_tuning();
+        let child = Arc::new(
+            StoreShard::from_parts(spec, a.threshold(), threads, snapshot, residual)
+                .with_chain_tuning(max_run_len, compact_runs),
+        );
+        let mut shards = table.shards.clone();
+        shards.splice(s..=s + 1, [child]);
+        let mut fences = table.router.fences().to_vec();
+        if !fences.is_empty() {
+            fences.remove(s + 1);
+        }
+        self.table.store(Arc::new(StoreTable {
+            router: ShardRouter::from_fences(fences),
+            shards,
+        }));
+        a.retire();
+        b.retire();
+        self.merges.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+}
+
+/// An updatable, range-sharded key-value-less ordered store: immutable
+/// learned shards absorbing writes through per-shard delta chains, behind
+/// an atomically republished fence table.
+///
+/// All methods take `&self`; the store is shareable across threads
+/// (`Arc<ShardedStore<K>>`). Reads are coherent per shard; a multi-shard
+/// read (global position, batch, range) composes per-shard states from one
+/// pinned table and is exact whenever no write races it.
+pub struct ShardedStore<K: Key> {
+    core: Arc<StoreCore<K>>,
+    /// Background maintenance thread; dropped (stopped and joined) with the
+    /// store. `None` unless `background_maintenance` is configured.
+    worker: Option<MaintenanceWorker>,
+}
+
+impl<K: Key> ShardedStore<K> {
+    /// Build a store over the sorted `keys` with the given configuration.
+    /// With [`StoreConfig::background_maintenance`] set this also spawns the
+    /// [`MaintenanceWorker`] thread, shut down when the store is dropped.
+    ///
+    /// # Errors
+    /// [`BuildError::UnsortedKeys`] if `keys` is not sorted.
+    pub fn build(config: StoreConfig, keys: impl AsRef<[K]>) -> Result<Self, BuildError> {
+        // `build_chunked` validated the whole column; each chunk takes the
+        // prevalidated shard constructor rather than re-scanning.
+        let (router, _offsets, shards) = build_chunked(keys.as_ref(), config.shards, |chunk| {
+            Ok::<_, BuildError>(Arc::new(
+                StoreShard::build_prevalidated(
+                    config.spec,
+                    Arc::<[K]>::from(chunk),
+                    config.delta_threshold,
+                    config.build_threads,
+                )
+                .with_chain_tuning(config.max_run_len, config.compact_runs),
+            ))
+        })?;
+        let core = Arc::new(StoreCore {
+            table: EpochCell::new(Arc::new(StoreTable { router, shards })),
+            config,
+            topology: Mutex::new(()),
+            signal: Arc::new(WorkerSignal::default()),
+            rebuilds: AtomicU64::new(0),
+            splits: AtomicU64::new(0),
+            merges: AtomicU64::new(0),
+            maintenance_error: Mutex::new(None),
+        });
+        let worker = config
+            .background_maintenance
+            .then(|| MaintenanceWorker::spawn(Arc::clone(&core)));
+        Ok(Self { core, worker })
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> &StoreConfig {
+        self.core.config()
+    }
+
+    /// Pin and return the current topology epoch (router + shards).
+    pub fn table(&self) -> Arc<StoreTable<K>> {
+        self.core.load_table()
+    }
+
+    /// Number of shards in the current topology.
+    pub fn shard_count(&self) -> usize {
+        self.core.load_table().shards.len()
+    }
+
+    /// The shards of the current topology epoch (for inspection and tests).
+    pub fn shards(&self) -> Vec<Arc<StoreShard<K>>> {
+        self.core.load_table().shards.clone()
+    }
+
+    /// The fence keys of the current topology epoch.
+    pub fn fences(&self) -> Vec<K> {
+        self.core.load_table().router.fences().to_vec()
+    }
+
+    /// Per-shard epoch numbers (rebuilds each current shard has absorbed;
+    /// shards created by a split or merge restart at their parent's
+    /// epoch + 1).
+    pub fn epochs(&self) -> Vec<u64> {
+        self.core
+            .load_table()
+            .shards
+            .iter()
+            .map(|s| s.snapshot().epoch())
+            .collect()
+    }
+
+    /// Total number of shard rebuilds since the store was built (inline,
+    /// maintenance-thread and explicit ones all count; splits and merges
+    /// are counted separately).
+    pub fn total_rebuilds(&self) -> u64 {
+        self.core.rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Number of shard splits the rebalancer has performed.
+    pub fn total_splits(&self) -> u64 {
+        self.core.splits.load(Ordering::Relaxed)
+    }
+
+    /// Number of shard merges the rebalancer has performed.
+    pub fn total_merges(&self) -> u64 {
+        self.core.merges.load(Ordering::Relaxed)
+    }
+
+    /// The last error the background worker hit, if any (sticky until
+    /// taken). Build errors cannot currently occur on the maintenance
+    /// paths; the hook exists for future failure modes.
+    pub fn take_maintenance_error(&self) -> Option<BuildError> {
+        self.core.take_maintenance_error()
+    }
+
+    /// Insert one occurrence of `k`. With `auto_rebuild` enabled, a write
+    /// that pushes its shard over the delta threshold rebuilds that shard
+    /// before returning; with the background worker enabled it is kicked
+    /// instead and the write returns immediately.
+    ///
+    /// # Errors
+    /// Propagates a shard rebuild failure (cannot happen for store-managed
+    /// chains; see [`StoreShard::rebuild`]).
+    pub fn insert(&self, k: K) -> Result<(), BuildError> {
+        loop {
+            let table = self.core.load_table();
+            let shard = &table.shards[table.router.shard_of(k)];
+            // A retired shard (replaced by a concurrent split/merge) refuses
+            // the write; reload the freshly published table and re-route.
+            if let Some(dirty) = shard.try_insert(k) {
+                if dirty {
+                    self.on_dirty(shard)?;
+                }
+                return Ok(());
+            }
+        }
+    }
+
+    /// Delete one occurrence of `k`. Returns true when an occurrence existed
+    /// (and a tombstone was recorded), false for a no-op.
+    ///
+    /// # Errors
+    /// Propagates a shard rebuild failure, as for [`ShardedStore::insert`].
+    pub fn delete(&self, k: K) -> Result<bool, BuildError> {
+        loop {
+            let table = self.core.load_table();
+            let shard = &table.shards[table.router.shard_of(k)];
+            if let Some((removed, dirty)) = shard.try_delete(k) {
+                if dirty {
+                    self.on_dirty(shard)?;
+                }
+                return Ok(removed);
+            }
+        }
+    }
+
+    /// React to a shard crossing its delta threshold.
+    fn on_dirty(&self, shard: &StoreShard<K>) -> Result<(), BuildError> {
+        if self.worker.is_some() {
+            self.core.signal.kick();
+        } else if self.core.config.auto_rebuild {
+            self.core.rebuild_shard(shard)?;
+        }
+        Ok(())
+    }
+
+    /// Merged occurrence count of the exact key `k`.
+    pub fn count_of(&self, k: K) -> usize {
+        let table = self.core.load_table();
+        table.shards[table.router.shard_of(k)].count_of(k)
+    }
+
+    /// Rebuild every *dirty* shard (chain at or over the threshold), in
+    /// parallel scoped threads — the foreground maintenance entry point.
+    /// Returns the number of shards rebuilt.
+    ///
+    /// # Errors
+    /// Propagates the first shard rebuild failure.
+    pub fn maintain(&self) -> Result<usize, BuildError> {
+        self.core.rebuild_where(|s| s.is_dirty())
+    }
+
+    /// Rebuild every shard with *any* buffered write, regardless of the
+    /// threshold. Returns the number of shards rebuilt.
+    ///
+    /// # Errors
+    /// Propagates the first shard rebuild failure.
+    pub fn flush(&self) -> Result<usize, BuildError> {
+        self.core.rebuild_where(|s| s.buffered_ops() > 0)
+    }
+
+    /// Run one rebalance sweep: split shards grown past
+    /// `split_skew × mean`, merge shards shrunk below `mean / split_skew`.
+    /// The background worker runs this automatically; the method is public
+    /// for deterministic tests and explicit maintenance. Returns the number
+    /// of topology changes.
+    ///
+    /// # Errors
+    /// Propagates the first child-index build failure (cannot currently
+    /// occur; merged columns are sorted by construction).
+    pub fn rebalance(&self) -> Result<usize, BuildError> {
+        self.core.rebalance()
     }
 }
 
 impl<K: Key> RangeIndex<K> for ShardedStore<K> {
     fn lower_bound(&self, q: K) -> usize {
-        let s = self.router.shard_of(q);
-        self.offset_of(s) + self.shards[s].lower_bound(q)
+        let table = self.core.load_table();
+        let s = table.router.shard_of(q);
+        let offset: usize = table.shards[..s].iter().map(|sh| sh.len()).sum();
+        offset + table.shards[s].lower_bound(q)
     }
 
     /// Batched merged lookups, grouped by shard (see
-    /// [`ShardedIndex::lower_bound_batch`]); shard offsets are computed once
-    /// per call from the merged shard lengths.
+    /// [`ShardedIndex::lower_bound_batch`]). The whole batch resolves
+    /// against one pinned table, so a concurrent split or merge can never
+    /// route part of a batch through one topology and part through another.
     fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
-        let (offsets, _total) = self.merged_offsets();
+        let table = self.core.load_table();
+        let (offsets, _total) = table.merged_offsets();
         dispatch_batch_by_shard(
-            &self.router,
-            self.shards.len(),
+            &table.router,
+            table.shards.len(),
             &offsets,
             queries,
             out,
-            |s, qs, os| self.shards[s].lower_bound_batch(qs, os),
+            |s, qs, os| table.shards[s].lower_bound_batch(qs, os),
         );
     }
 
@@ -372,18 +805,19 @@ impl<K: Key> RangeIndex<K> for ShardedStore<K> {
         if lo > hi {
             return 0..0;
         }
-        // One sweep over the shards for the merged offsets, then two
-        // shard-local probes — not four separate O(shards) lock sweeps.
-        let (offsets, total) = self.merged_offsets();
+        // One pinned table, one sweep for the merged offsets, two
+        // shard-local probes.
+        let table = self.core.load_table();
+        let (offsets, total) = table.merged_offsets();
         if total == 0 {
             return 0..0;
         }
-        let s = self.router.shard_of(lo);
-        let start = offsets[s] + self.shards[s].lower_bound(lo);
+        let s = table.router.shard_of(lo);
+        let start = offsets[s] + table.shards[s].lower_bound(lo);
         let end = match hi.checked_next() {
             Some(h) => {
-                let s = self.router.shard_of(h);
-                offsets[s] + self.shards[s].lower_bound(h)
+                let s = table.router.shard_of(h);
+                offsets[s] + table.shards[s].lower_bound(h)
             }
             None => total,
         };
@@ -391,13 +825,14 @@ impl<K: Key> RangeIndex<K> for ShardedStore<K> {
     }
 
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.len()).sum()
+        self.core.load_table().shards.iter().map(|s| s.len()).sum()
     }
 
     fn index_size_bytes(&self) -> usize {
-        let routing = self.router.fences().len() * K::size_bytes();
+        let table = self.core.load_table();
+        let routing = table.router.fences().len() * K::size_bytes();
         routing
-            + self
+            + table
                 .shards
                 .iter()
                 .map(|s| s.index_size_bytes())
@@ -511,11 +946,11 @@ mod tests {
         for i in 0..12u64 {
             store.insert(10_000 + i).unwrap(); // all route to the last shard
         }
-        // …and leave another with a sub-threshold buffer.
+        // …and leave another with a sub-threshold chain.
         store.insert(1).unwrap();
         assert_eq!(store.maintain().unwrap(), 1);
         assert_eq!(store.total_rebuilds(), 1);
-        assert_eq!(store.flush().unwrap(), 1, "flush drains the small buffer");
+        assert_eq!(store.flush().unwrap(), 1, "flush drains the small chain");
         assert_eq!(store.len(), 8_013);
     }
 
@@ -559,5 +994,119 @@ mod tests {
         });
         assert_eq!(store.total_rebuilds(), 4);
         assert_eq!(store.lower_bound_many(&queries), expected);
+    }
+
+    #[test]
+    fn skewed_inserts_split_the_hot_shard() {
+        let keys: Vec<u64> = (0..8_000u64).collect();
+        let config = StoreConfig::new(spec())
+            .shards(4)
+            .delta_threshold(1_000_000)
+            .auto_rebuild(false)
+            .split_skew(2);
+        let store = ShardedStore::build(config, &keys).unwrap();
+        assert_eq!(store.shard_count(), 4);
+        // Hammer the last shard's range far past 2× the mean.
+        for i in 0..30_000u64 {
+            store.insert(6_000 + (i % 1_000)).unwrap();
+        }
+        let actions = store.rebalance().unwrap();
+        assert!(store.total_splits() >= 1, "the skewed shard must split");
+        assert_eq!(
+            store.total_splits() + store.total_merges(),
+            actions as u64,
+            "every action is a split or a merge"
+        );
+        assert_eq!(store.len(), 38_000);
+        // Reads stay exact across the new topology: base keys below q plus
+        // the 30 inserted copies of every key in [6000, 7000) below q.
+        for q in [0u64, 3_000, 6_000, 6_500, 7_999, u64::MAX] {
+            let inserted_below = 30 * q.saturating_sub(6_000).min(1_000) as usize;
+            assert_eq!(
+                store.lower_bound(q),
+                8_000.min(q as usize) + inserted_below,
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_split_rolls_back_the_seal() {
+        // A shard dominated by one duplicate run can never split. The
+        // rebalancer keeps trying (catch-up: 1 shard < 4 requested), and
+        // every abandoned attempt must roll its seal back — otherwise each
+        // sweep would strand one more sealed, uncompactable run on the
+        // chain and reads would degrade without bound.
+        let config = StoreConfig::new(spec())
+            .shards(4)
+            .delta_threshold(1_000_000)
+            .auto_rebuild(false)
+            .split_skew(2);
+        let store = ShardedStore::build(config, vec![5u64; 1_000]).unwrap();
+        assert_eq!(store.shard_count(), 1);
+        for _ in 0..100 {
+            store.insert(5).unwrap();
+        }
+        for sweep in 0..3 {
+            assert_eq!(store.rebalance().unwrap(), 0, "sweep {sweep} cannot split");
+            let state = store.shards()[0].state();
+            assert_eq!(
+                state.delta().unsealed_run_count(),
+                state.delta().run_count(),
+                "sweep {sweep} left sealed runs behind"
+            );
+        }
+        assert_eq!(store.lower_bound(6), 1_100);
+    }
+
+    #[test]
+    fn drained_shards_merge_back_together() {
+        let keys: Vec<u64> = (0..9_000u64).collect();
+        let config = StoreConfig::new(spec())
+            .shards(3)
+            .delta_threshold(1_000_000)
+            .auto_rebuild(false)
+            .split_skew(2);
+        let store = ShardedStore::build(config, &keys).unwrap();
+        assert_eq!(store.shard_count(), 3);
+        // Drain the middle shard almost completely.
+        for k in 3_000..5_990u64 {
+            assert!(store.delete(k).unwrap());
+        }
+        let actions = store.rebalance().unwrap();
+        assert!(actions > 0, "the drained shard must merge");
+        assert!(store.shard_count() < 3);
+        assert_eq!(store.total_merges(), actions as u64);
+        assert_eq!(store.len(), 9_000 - 2_990);
+        assert_eq!(store.lower_bound(6_000), 3_010);
+        assert_eq!(store.count_of(3_500), 0);
+        assert_eq!(store.count_of(5_995), 1);
+    }
+
+    #[test]
+    fn background_worker_drains_dirty_shards() {
+        let keys: Vec<u64> = (0..4_000u64).collect();
+        let config = StoreConfig::new(spec())
+            .shards(2)
+            .delta_threshold(64)
+            .auto_rebuild(false)
+            .background_maintenance(true)
+            .maintenance_interval(std::time::Duration::from_millis(1));
+        let store = ShardedStore::build(config, &keys).unwrap();
+        for i in 0..1_000u64 {
+            store.insert(i * 7).unwrap();
+        }
+        // The worker should catch up shortly; poll briefly.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while store.total_rebuilds() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(
+            store.total_rebuilds() > 0,
+            "worker must rebuild in the background"
+        );
+        assert_eq!(store.len(), 5_000);
+        assert!(store.take_maintenance_error().is_none());
+        drop(store); // joins the worker deterministically
     }
 }

@@ -1,0 +1,112 @@
+//! The background maintenance thread.
+//!
+//! A [`MaintenanceWorker`] is spawned by `ShardedStore::build` when
+//! [`crate::StoreConfig::background_maintenance`] is set. Each pass it
+//! compacts delta chains, rebuilds dirty shards and rebalances skewed ones —
+//! all through the same seal/strip machinery the foreground paths use, so
+//! readers never wait for it and writers only overlap it at the
+//! pointer-swap commits. Between passes it sleeps on a condition variable:
+//! a threshold-crossing write *kicks* it awake immediately, otherwise it
+//! wakes every [`crate::StoreConfig::maintenance_interval`].
+//!
+//! The worker owns nothing but a shared handle to the store's core; dropping
+//! the store signals the worker to stop and joins the thread, so no
+//! maintenance pass can outlive the store it serves.
+
+use crate::sharded::StoreCore;
+use sosd_data::key::Key;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Wake-up channel between the store's write path and the worker thread.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerSignal {
+    flags: Mutex<SignalFlags>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct SignalFlags {
+    stop: bool,
+    kicked: bool,
+}
+
+impl WorkerSignal {
+    /// Wake the worker for an immediate pass (a dirty shard appeared).
+    pub(crate) fn kick(&self) {
+        let mut flags = self.flags.lock().expect("worker signal poisoned");
+        flags.kicked = true;
+        drop(flags);
+        self.cv.notify_one();
+    }
+
+    /// Tell the worker to exit after its current pass.
+    fn stop(&self) {
+        let mut flags = self.flags.lock().expect("worker signal poisoned");
+        flags.stop = true;
+        drop(flags);
+        self.cv.notify_one();
+    }
+
+    /// Sleep until kicked, stopped or `interval` elapsed. Returns true when
+    /// the worker should exit.
+    fn wait(&self, interval: Duration) -> bool {
+        let mut flags = self.flags.lock().expect("worker signal poisoned");
+        if !flags.stop && !flags.kicked {
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(flags, interval)
+                .expect("worker signal poisoned");
+            flags = guard;
+        }
+        flags.kicked = false;
+        flags.stop
+    }
+}
+
+/// Handle to the background maintenance thread of one `ShardedStore`.
+///
+/// The handle stops and joins the thread when dropped (the store drops it
+/// from its own `Drop`), so shutdown is deterministic: no pass starts after
+/// the store is gone.
+#[derive(Debug)]
+pub struct MaintenanceWorker {
+    signal: Arc<WorkerSignal>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MaintenanceWorker {
+    /// Spawn the worker over the store core. The thread loops: sleep (or be
+    /// kicked), then run one maintenance pass — compaction, dirty-shard
+    /// rebuilds, rebalancing. Build errors are parked in the core for
+    /// [`crate::ShardedStore::take_maintenance_error`] to surface.
+    pub(crate) fn spawn<K: Key>(core: Arc<StoreCore<K>>) -> Self {
+        let signal = core.signal();
+        let interval = core.config().maintenance_interval;
+        let thread_signal = Arc::clone(&signal);
+        let handle = std::thread::Builder::new()
+            .name("shift-store-maintenance".into())
+            .spawn(move || {
+                while !thread_signal.wait(interval) {
+                    if let Err(e) = core.maintenance_pass() {
+                        core.record_maintenance_error(e);
+                    }
+                }
+            })
+            .expect("failed to spawn the maintenance worker");
+        Self {
+            signal,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for MaintenanceWorker {
+    fn drop(&mut self) {
+        self.signal.stop();
+        if let Some(handle) = self.handle.take() {
+            handle.join().expect("maintenance worker panicked");
+        }
+    }
+}

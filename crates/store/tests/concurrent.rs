@@ -1,0 +1,460 @@
+//! Concurrent acceptance properties of the lock-free read path.
+//!
+//! 1. **Concurrent oracle (bounded-snapshot check).** Reader threads race
+//!    writer threads and the background maintenance worker. Every writer
+//!    publishes two atomic progress counters around each write (`started`
+//!    before, `finished` after); because the per-thread write streams are
+//!    deterministic, a reader can translate any `(finished, started)`
+//!    counter sample into exact lower/upper bounds on what a correct store
+//!    may answer. Every read must land **between the two oracle epochs**
+//!    delimited by the counters sampled immediately before and after it,
+//!    and repeated reads of the same probe must be monotonic while writes
+//!    only move in one direction. The check runs across ≥3 `IndexSpec`s and
+//!    shard counts {1, 4}, through an insert phase and a delete phase, and
+//!    finishes with an exact comparison after the threads join.
+//! 2. **Deterministic rebalance.** A skewed write pattern forces a shard
+//!    split; the test verifies the split actually happened, that every
+//!    fence remains duplicate-run-aligned (no run of equal keys spans two
+//!    shards), and that reads stay exact across the new topology.
+//!
+//! Thread counts and per-thread op counts scale up for the CI release
+//! stress job via `STRESS_READERS` / `STRESS_WRITERS` / `STRESS_OPS`.
+
+use algo_index::RangeIndex;
+use shift_store::{ShardedStore, StoreConfig};
+use shift_table::spec::IndexSpec;
+use sosd_data::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+const KEY_DOMAIN: u64 = 50_000;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The probes the readers check, spanning misses, hits, shard boundaries
+/// and both extremes.
+fn probes() -> Vec<u64> {
+    vec![
+        0,
+        1,
+        5_000,
+        12_345,
+        25_000,
+        40_500,
+        41_000,
+        49_999,
+        KEY_DOMAIN,
+        u64::MAX,
+    ]
+}
+
+/// Per-writer deterministic key streams: writer 0 hammers a narrow hot
+/// range (so the rebalancer sees skew), the rest draw uniformly.
+fn writer_streams(writers: usize, ops: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut root = SplitMix64::new(seed);
+    (0..writers)
+        .map(|w| {
+            let mut rng = root.fork();
+            (0..ops)
+                .map(|_| {
+                    if w == 0 {
+                        40_000 + rng.next_below(2_000)
+                    } else {
+                        rng.next_below(KEY_DOMAIN)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// `prefix[w][i][p]` = how many of the first `i` keys of writer `w`'s
+/// stream are strictly below probe `p` — the translation from a progress
+/// counter to an exact oracle bound.
+fn prefix_counts(streams: &[Vec<u64>], probes: &[u64]) -> Vec<Vec<Vec<u32>>> {
+    streams
+        .iter()
+        .map(|keys| {
+            let mut rows = Vec::with_capacity(keys.len() + 1);
+            let mut acc = vec![0u32; probes.len()];
+            rows.push(acc.clone());
+            for &k in keys {
+                for (c, &p) in acc.iter_mut().zip(probes.iter()) {
+                    if k < p {
+                        *c += 1;
+                    }
+                }
+                rows.push(acc.clone());
+            }
+            rows
+        })
+        .collect()
+}
+
+/// Sum one probe's bound over every writer at the given counter sample.
+fn bound_at(prefix: &[Vec<Vec<u32>>], counts: &[usize], probe_idx: usize) -> i64 {
+    prefix
+        .iter()
+        .zip(counts.iter())
+        .map(|(rows, &i)| rows[i][probe_idx] as i64)
+        .sum()
+}
+
+struct Progress {
+    started: Vec<AtomicUsize>,
+    finished: Vec<AtomicUsize>,
+}
+
+impl Progress {
+    fn new(writers: usize) -> Self {
+        Self {
+            started: (0..writers).map(|_| AtomicUsize::new(0)).collect(),
+            finished: (0..writers).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    fn sample(&self, of: &[AtomicUsize]) -> Vec<usize> {
+        of.iter().map(|a| a.load(Ordering::SeqCst)).collect()
+    }
+}
+
+/// One racing phase: writers apply `apply(w, i)` for each op of their
+/// stream while readers continuously assert the bounded-snapshot property.
+/// `direction` is +1 while counts can only grow (inserts), −1 while they
+/// can only shrink (deletes).
+#[allow(clippy::too_many_arguments)]
+fn race_phase(
+    store: &ShardedStore<u64>,
+    base_lb: &[i64],
+    probes: &[u64],
+    prefix: &[Vec<Vec<u32>>],
+    streams: &[Vec<u64>],
+    readers: usize,
+    direction: i64,
+    tag: &str,
+    apply: impl Fn(usize, u64) + Sync,
+) {
+    let progress = Progress::new(streams.len());
+    let remaining = AtomicUsize::new(streams.len());
+    std::thread::scope(|scope| {
+        for (w, keys) in streams.iter().enumerate() {
+            let progress = &progress;
+            let remaining = &remaining;
+            let apply = &apply;
+            scope.spawn(move || {
+                for (i, &k) in keys.iter().enumerate() {
+                    progress.started[w].store(i + 1, Ordering::SeqCst);
+                    apply(w, k);
+                    progress.finished[w].store(i + 1, Ordering::SeqCst);
+                }
+                remaining.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        for _ in 0..readers {
+            let progress = &progress;
+            let remaining = &remaining;
+            scope.spawn(move || {
+                // An op counted in `finished` sampled *before* the read is
+                // surely visible to it; an op visible to the read is surely
+                // counted in `started` sampled *after* it. For inserts that
+                // brackets the count from below/above; for deletes the signs
+                // flip because each visible op removes a key.
+                let bounds_of = |pre: &[usize], post: &[usize], pi: usize| -> (i64, i64) {
+                    if direction > 0 {
+                        (bound_at(prefix, pre, pi), bound_at(prefix, post, pi))
+                    } else {
+                        (-bound_at(prefix, post, pi), -bound_at(prefix, pre, pi))
+                    }
+                };
+                let mut last: Vec<Option<i64>> = vec![None; probes.len()];
+                let mut rounds = 0usize;
+                loop {
+                    let done = remaining.load(Ordering::SeqCst) == 0;
+                    // Scalar reads, one bound sample pair per probe.
+                    for (pi, &p) in probes.iter().enumerate() {
+                        let pre = progress.sample(&progress.finished);
+                        let x = store.lower_bound(p) as i64 - base_lb[pi];
+                        let post = progress.sample(&progress.started);
+                        let (lo, hi) = bounds_of(&pre, &post, pi);
+                        assert!(
+                            (lo..=hi).contains(&x),
+                            "{tag}: probe {p} read {x} outside oracle bounds [{lo}, {hi}]"
+                        );
+                        if let Some(prev) = last[pi] {
+                            let monotonic = if direction > 0 { x >= prev } else { x <= prev };
+                            assert!(
+                                monotonic,
+                                "{tag}: probe {p} read {x} broke monotonicity (last {prev})"
+                            );
+                        }
+                        last[pi] = Some(x);
+                    }
+                    // Batched reads: the whole batch must sit inside the
+                    // bounds sampled around the one call.
+                    if rounds.is_multiple_of(4) {
+                        let pre = progress.sample(&progress.finished);
+                        let batch = store.lower_bound_many(probes);
+                        let post = progress.sample(&progress.started);
+                        for (pi, (&p, &got)) in probes.iter().zip(batch.iter()).enumerate() {
+                            let x = got as i64 - base_lb[pi];
+                            let (lo, hi) = bounds_of(&pre, &post, pi);
+                            assert!(
+                                (lo..=hi).contains(&x),
+                                "{tag}: batch probe {p} read {x} outside [{lo}, {hi}]"
+                            );
+                        }
+                    }
+                    rounds += 1;
+                    if done {
+                        break;
+                    }
+                }
+                assert!(rounds > 0);
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_reads_stay_between_oracle_epochs_for_every_spec() {
+    let readers = env_usize("STRESS_READERS", 2);
+    let writers = env_usize("STRESS_WRITERS", 2);
+    let ops = env_usize("STRESS_OPS", 250);
+    let specs = ["im+r1", "rmi:64+r1", "rs:32+s10"];
+    let probes = probes();
+    let mut seed = 0xD1CE_u64;
+    for spec_text in specs {
+        let spec = IndexSpec::parse(spec_text).unwrap();
+        for shards in [1usize, 4] {
+            seed += 1;
+            // A duplicate-bearing sorted base in the same domain as the
+            // writers, so writes collide with existing runs.
+            let mut rng = SplitMix64::new(seed);
+            let mut base: Vec<u64> = (0..2_000).map(|_| rng.next_below(KEY_DOMAIN)).collect();
+            base.sort_unstable();
+            let base_lb: Vec<i64> = probes
+                .iter()
+                .map(|&p| base.partition_point(|&x| x < p) as i64)
+                .collect();
+            let streams = writer_streams(writers, ops, seed);
+            let prefix = prefix_counts(&streams, &probes);
+            let config = StoreConfig::new(spec)
+                .shards(shards)
+                .delta_threshold(48)
+                .auto_rebuild(false)
+                .background_maintenance(true)
+                .maintenance_interval(Duration::from_millis(1))
+                .split_skew(2);
+            let store = ShardedStore::build(config, &base).unwrap();
+            let tag = format!("{spec_text} shards={shards}");
+
+            // Phase 1: racing inserts (counts only grow).
+            race_phase(
+                &store,
+                &base_lb,
+                &probes,
+                &prefix,
+                &streams,
+                readers,
+                1,
+                &format!("{tag} insert"),
+                |_, k| store.insert(k).unwrap(),
+            );
+            // Between the phases the merged view is exactly base + inserts.
+            let full: Vec<usize> = vec![ops; streams.len()];
+            for (pi, &p) in probes.iter().enumerate() {
+                let expect = base_lb[pi] + bound_at(&prefix, &full, pi);
+                assert_eq!(store.lower_bound(p) as i64, expect, "{tag}: settle {p}");
+            }
+
+            // Phase 2: racing deletes of the very same per-writer streams
+            // (every delete targets a key its writer inserted, so all
+            // succeed and counts only shrink). Bounds are relative to the
+            // post-insert state.
+            let after_insert: Vec<i64> = probes
+                .iter()
+                .enumerate()
+                .map(|(pi, _)| base_lb[pi] + bound_at(&prefix, &full, pi))
+                .collect();
+            race_phase(
+                &store,
+                &after_insert,
+                &probes,
+                &prefix,
+                &streams,
+                readers,
+                -1,
+                &format!("{tag} delete"),
+                |_, k| {
+                    assert!(store.delete(k).unwrap(), "{tag}: delete of own key");
+                },
+            );
+
+            // Joined: the store must be exactly the base again.
+            while store.flush().unwrap() > 0 {}
+            assert_eq!(store.len(), base.len(), "{tag}: back to base");
+            for (pi, &p) in probes.iter().enumerate() {
+                assert_eq!(store.lower_bound(p) as i64, base_lb[pi], "{tag}: final {p}");
+            }
+            assert!(
+                store.total_rebuilds() > 0,
+                "{tag}: the background worker must have rebuilt mid-race"
+            );
+            assert!(store.take_maintenance_error().is_none(), "{tag}");
+        }
+    }
+}
+
+/// Assert every fence of the current topology is duplicate-run-aligned:
+/// after a flush, shard columns are exact, and no run of equal keys may
+/// span a boundary — the key at each fence must be strictly greater than
+/// the last key of the shard before it.
+fn assert_fences_aligned(store: &ShardedStore<u64>, tag: &str) {
+    let table = store.table();
+    let shards = table.shards();
+    let fences = table.router().fences();
+    assert_eq!(shards.len(), fences.len().max(1), "{tag}: table shape");
+    for i in 1..shards.len() {
+        let prev = shards[i - 1].snapshot();
+        let cur = shards[i].snapshot();
+        let fence = fences[i];
+        let prev_last = *prev.keys().last().expect("non-empty shard");
+        let cur_first = *cur.keys().first().expect("non-empty shard");
+        assert!(
+            prev_last < fence,
+            "{tag}: duplicate run spans the fence at shard {i}: last {prev_last} >= fence {fence}"
+        );
+        assert!(
+            cur_first >= fence,
+            "{tag}: shard {i} holds a key below its fence ({cur_first} < {fence})"
+        );
+        // Routing agrees with physical placement at the boundary.
+        assert_eq!(table.router().shard_of(prev_last), i - 1, "{tag}");
+        assert_eq!(table.router().shard_of(cur_first), i, "{tag}");
+    }
+}
+
+#[test]
+fn forced_skew_splits_deterministically_with_aligned_fences() {
+    let spec = IndexSpec::parse("im+r1").unwrap();
+    let config = StoreConfig::new(spec)
+        .shards(4)
+        .delta_threshold(1_000_000)
+        .auto_rebuild(false)
+        .split_skew(2);
+    let base: Vec<u64> = (0..8_000u64).collect();
+    let store = ShardedStore::build(config, &base).unwrap();
+    let mut oracle: Vec<u64> = base.clone();
+
+    // Skew the last shard: a large duplicate run right at what will become
+    // the split median, plus spread around it — the aligned fence must not
+    // cut the run.
+    for _ in 0..6_000 {
+        store.insert(7_000).unwrap();
+    }
+    oracle.extend(std::iter::repeat_n(7_000, 6_000));
+    let mut rng = SplitMix64::new(7);
+    for _ in 0..6_000 {
+        let k = 6_000 + rng.next_below(2_000);
+        store.insert(k).unwrap();
+        let pos = oracle.partition_point(|&x| x < k);
+        oracle.insert(pos, k);
+    }
+    oracle.sort_unstable();
+
+    let splits_before = store.total_splits();
+    let actions = store.rebalance().unwrap();
+    assert!(actions > 0, "rebalance must act on the forced skew");
+    assert!(store.total_splits() > splits_before, "a split must happen");
+
+    // Determinism: the same trace yields the same topology.
+    let store2 = ShardedStore::build(config, &base).unwrap();
+    for _ in 0..6_000 {
+        store2.insert(7_000).unwrap();
+    }
+    let mut rng = SplitMix64::new(7);
+    for _ in 0..6_000 {
+        store2.insert(6_000 + rng.next_below(2_000)).unwrap();
+    }
+    store2.rebalance().unwrap();
+    assert_eq!(
+        store.fences(),
+        store2.fences(),
+        "rebalancing is deterministic"
+    );
+    assert_eq!(store.shard_count(), store2.shard_count());
+
+    // Fold residual chains so shard columns are exact, then audit fences.
+    while store.flush().unwrap() > 0 {}
+    assert_fences_aligned(&store, "post-split");
+
+    // Reads match the oracle across the new topology, including inside the
+    // big duplicate run.
+    assert_eq!(store.len(), oracle.len());
+    for q in [0u64, 3_999, 6_000, 6_999, 7_000, 7_001, 7_999, u64::MAX] {
+        assert_eq!(
+            store.lower_bound(q),
+            oracle.partition_point(|&x| x < q),
+            "q={q}"
+        );
+    }
+    let queries: Vec<u64> = (0..1_000).map(|i| i * 17 % 10_000).collect();
+    let expected: Vec<usize> = queries
+        .iter()
+        .map(|&q| oracle.partition_point(|&x| x < q))
+        .collect();
+    assert_eq!(store.lower_bound_many(&queries), expected);
+
+    // The giant run sits wholly inside one shard.
+    let run_len = oracle.iter().filter(|&&k| k == 7_000).count();
+    assert!(run_len >= 6_001, "the trace builds a giant run");
+    let table = store.table();
+    let owner = table.router().shard_of(7_000);
+    let count_in_owner = table.shards()[owner]
+        .snapshot()
+        .keys()
+        .iter()
+        .filter(|&&k| k == 7_000)
+        .count();
+    assert_eq!(count_in_owner, run_len, "the duplicate run never splits");
+}
+
+#[test]
+fn growth_from_a_single_shard_reaches_the_requested_count() {
+    let spec = IndexSpec::parse("im+r1").unwrap();
+    let config = StoreConfig::new(spec)
+        .shards(4)
+        .delta_threshold(1_000_000)
+        .auto_rebuild(false)
+        .split_skew(2);
+    // Born with fewer shards than requested (too few keys to cut).
+    let store = ShardedStore::build(config, [10u64, 20]).unwrap();
+    assert!(store.shard_count() < 4);
+    let mut rng = SplitMix64::new(99);
+    let mut oracle = vec![10u64, 20];
+    for _ in 0..4_000 {
+        let k = rng.next_below(100_000);
+        store.insert(k).unwrap();
+        oracle.push(k);
+    }
+    oracle.sort_unstable();
+    // Catch-up growth: one split per sweep until the requested count.
+    for _ in 0..8 {
+        store.rebalance().unwrap();
+    }
+    assert_eq!(store.shard_count(), 4, "grew back to the requested count");
+    while store.flush().unwrap() > 0 {}
+    assert_fences_aligned(&store, "post-growth");
+    for q in [0u64, 1, 50_000, 99_999, u64::MAX] {
+        assert_eq!(
+            store.lower_bound(q),
+            oracle.partition_point(|&x| x < q),
+            "q={q}"
+        );
+    }
+}

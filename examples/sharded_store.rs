@@ -1,35 +1,38 @@
 //! Serving scenario: a sharded, updatable store absorbing a mixed
-//! read/write workload while its shards rebuild themselves in the
-//! background of the write path.
+//! read/write workload while a background maintenance thread compacts
+//! delta chains, rebuilds dirty shards and rebalances skewed ones.
 //!
 //! Run with `cargo run --release --example sharded_store`.
 
 use shift_table_repro::prelude::*;
+use std::time::Duration;
 
 fn main() {
     // A "Facebook-like" key column and a store of 8 range shards, each an
     // IM + Shift-Table corrected index built from the same spec string a
-    // config file would carry.
+    // config file would carry. The background worker owns maintenance:
+    // writes never rebuild inline.
     let dataset: Dataset<u64> = SosdName::Face64.generate(200_000, 42);
     let spec = IndexSpec::parse("im+r1").unwrap();
-    let config = StoreConfig::new(spec).shards(8).delta_threshold(2_048);
+    let config = StoreConfig::new(spec)
+        .shards(8)
+        .delta_threshold(2_048)
+        .auto_rebuild(false)
+        .background_maintenance(true)
+        .maintenance_interval(Duration::from_millis(1))
+        .split_skew(2);
     let store = ShardedStore::build(config, dataset.as_slice()).unwrap();
     println!(
         "store: {} keys across {} shards ({} aux bytes), fences at {:?}…",
         store.len(),
         store.shard_count(),
         store.index_size_bytes(),
-        &store
-            .shards()
-            .iter()
-            .take(3)
-            .map(|s| s.snapshot().keys().first().copied().unwrap_or(0))
-            .collect::<Vec<_>>(),
+        &store.fences()[..3.min(store.shard_count())],
     );
 
-    // Replay an insert-heavy trace: reads merge the delta buffers on the
-    // fly; every shard that crosses the threshold folds its buffer into a
-    // fresh base and swaps the epoch snapshot.
+    // Replay an insert-heavy trace. Every read pins one immutable shard
+    // state (base snapshot + delta chain) — no lock is held while probing —
+    // and the worker folds chains into fresh bases behind the scenes.
     let trace = MixedWorkload::insert_heavy(&dataset, 50_000, 7);
     let (lookups, inserts, deletes, ranges) = trace.op_counts();
     println!("trace: {lookups} lookups, {inserts} inserts, {deletes} deletes, {ranges} ranges");
@@ -52,8 +55,25 @@ fn main() {
         store.epochs(),
     );
 
-    // Batched reads group queries per shard before dispatch, so each
-    // shard's stage-blocked batch path serves its bucket in one go.
+    // Skew one narrow key range hard enough that the rebalancer splits the
+    // hot shard at a duplicate-run-aligned median fence.
+    let (lo, hi) = (dataset.min_key().unwrap(), dataset.max_key().unwrap());
+    let hot = lo + (hi - lo) / 8 * 7;
+    for i in 0..120_000u64 {
+        store.insert(hot + (i % 4_096)).unwrap();
+    }
+    store.rebalance().unwrap();
+    println!(
+        "after skew: {} shards ({} splits, {} merges, {} rebuilds so far)",
+        store.shard_count(),
+        store.total_splits(),
+        store.total_merges(),
+        store.total_rebuilds(),
+    );
+
+    // Batched reads group queries per shard before dispatch against one
+    // pinned topology, so each shard's stage-blocked batch path serves its
+    // bucket in one go even while the table is republished.
     let queries = Workload::uniform_domain(&dataset, 10_000, 3);
     let positions = store.lower_bound_many(queries.queries());
     println!(
@@ -62,10 +82,10 @@ fn main() {
         &positions[..3]
     );
 
-    // Drain every remaining buffer and verify the store against the
+    // Drain every remaining chain and verify the store against the
     // dataset-independent invariant: positions are non-decreasing in the
     // query key.
-    store.flush().unwrap();
+    while store.flush().unwrap() > 0 {}
     let mut sorted = queries.queries().to_vec();
     sorted.sort_unstable();
     let after_flush = store.lower_bound_many(&sorted);

@@ -14,8 +14,9 @@
 //!   TIP search, B+tree, FAST-style tree, ART, RBS),
 //! * [`shift_store`] — the serving layer: [`shift_store::ShardedIndex`]
 //!   (fence-key router over per-shard indexes) and
-//!   [`shift_store::ShardedStore`] (delta-buffered shards with epoch-snapshot
-//!   rebuilds, absorbing inserts and deletes),
+//!   [`shift_store::ShardedStore`] (lock-free reads over epoch-pinned shard
+//!   states — immutable base snapshots plus immutable delta chains — with a
+//!   background maintenance worker and skew-driven shard rebalancing),
 //! * [`sosd_data`] — SOSD-style datasets, workloads and CDF utilities.
 //!
 //! ## The two construction paths
