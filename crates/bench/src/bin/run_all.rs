@@ -34,6 +34,11 @@ fn main() {
             experiments::store_mixed::run,
             "store_mixed",
         ),
+        (
+            "Store (durability)",
+            experiments::store_durable::run,
+            "store_durable",
+        ),
     ];
     for (name, run, stem) in all {
         println!("=== {name} ===");

@@ -1,0 +1,13 @@
+//! Store suite: durable write path — WAL sync policies, checkpoints,
+//! write amplification and recovery latency.
+//!
+//! Scale with `SOSD_N` / `SOSD_QUERIES`; restrict the sync-policy sweep
+//! with `DURABLE_SYNC` (`always` | `every64` | `os`).
+
+use shift_bench::prelude::*;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("Shift-Table reproduction — durable store workloads (config: {cfg:?})\n");
+    experiments::emit(&experiments::store_durable::run(cfg), "store_durable");
+}

@@ -11,6 +11,7 @@ pub mod figure6;
 pub mod figure7;
 pub mod figure8;
 pub mod figure9;
+pub mod store_durable;
 pub mod store_mixed;
 pub mod table2;
 

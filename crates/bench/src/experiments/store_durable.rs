@@ -1,0 +1,187 @@
+//! Durable-store benchmarks: per-op cost and write amplification under
+//! each WAL sync policy.
+//!
+//! Not part of the paper's evaluation: this suite measures the persistence
+//! subsystem the `shift-store` serving layer grew — a write-ahead log with
+//! configurable sync cadence, epoch-consistent checkpoints and crash
+//! recovery. One table is produced, one row per [`SyncPolicy`]:
+//!
+//! * **ns/op and p99** over an insert-heavy mixed trace replayed against a
+//!   freshly seeded durable store (`Always` pays one `fdatasync` per write,
+//!   so its trace is capped shorter than the buffered policies).
+//! * **Write amplification** — physical bytes (WAL frames plus snapshot
+//!   files, including the seed checkpoint) per logical payload byte (one
+//!   8-byte key per logged operation). Full-shard snapshots dominate this
+//!   today; incremental snapshots are an open ROADMAP item.
+//! * **Recovery** — the store is dropped and reopened; the row reports the
+//!   reopen latency and how many WAL-tail records the recovery replayed,
+//!   and the run asserts the recovered key count matches the writes.
+//!
+//! Scratch directories live under the system temp dir and are removed
+//! after each row. The optional `DURABLE_SYNC` environment variable
+//! (`always` | `every64` | `os`) restricts the sweep to one policy — CI's
+//! durability smoke job pins `every64`.
+
+use crate::datasets::{dataset_u64, BenchConfig};
+use crate::report::{fmt_ns, percentile_cells, Table};
+use crate::timer::LatencyRecorder;
+use algo_index::RangeIndex;
+use shift_store::{DurabilityConfig, ShardedStore, StoreConfig, SyncPolicy};
+use shift_table::spec::IndexSpec;
+use sosd_data::prelude::*;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The sync policies the suite sweeps, labelled for the table and the
+/// `DURABLE_SYNC` filter.
+pub const SYNC_POLICIES: [(&str, SyncPolicy); 3] = [
+    ("always", SyncPolicy::Always),
+    ("every64", SyncPolicy::EveryN(64)),
+    ("os", SyncPolicy::Os),
+];
+
+/// Distinguishes scratch directories across rows and parallel test runs.
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "shift-store-durable-{label}-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed),
+    ))
+}
+
+/// Run the durable-store benchmark.
+pub fn run(cfg: BenchConfig) -> Vec<Table> {
+    let spec = IndexSpec::parse("im+r1").expect("builtin spec parses");
+    let d = dataset_u64(SosdName::Face64, cfg);
+    let filter = std::env::var("DURABLE_SYNC").ok();
+    let mut table = Table::new(
+        format!(
+            "Store — durable insert-heavy trace on face64 (n = {}, spec {spec}, WAL + checkpoints)",
+            d.len()
+        ),
+        &[
+            "sync",
+            "ops",
+            "ns/op",
+            "p99",
+            "wal MB",
+            "snap MB",
+            "write amp",
+            "ckpts",
+            "reopen ms",
+            "replayed",
+        ],
+    );
+    for (label, sync) in SYNC_POLICIES {
+        if filter.as_deref().is_some_and(|f| f != label) {
+            continue;
+        }
+        // `Always` costs one device round-trip per write; keep its trace
+        // short enough that the sweep stays interactive.
+        let ops = match sync {
+            SyncPolicy::Always => cfg.queries.min(2_000),
+            _ => cfg.queries.min(20_000),
+        }
+        .max(1);
+        let trace = MixedWorkload::insert_heavy(&d, ops, cfg.seed);
+        let dir = scratch_dir(label);
+        let config = StoreConfig::new(spec)
+            .shards(4)
+            .delta_threshold((ops / 10).clamp(64, 100_000))
+            .auto_rebuild(false)
+            .background_maintenance(true)
+            .maintenance_interval(std::time::Duration::from_millis(1))
+            .durability(
+                DurabilityConfig::new()
+                    .sync(sync)
+                    .checkpoint_ops((ops as u64 / 3).max(64)),
+            );
+        let store = ShardedStore::open_seeded(&dir, config, d.as_slice()).expect("fresh dir");
+        let mut rec = LatencyRecorder::with_capacity(trace.len());
+        let mut checksum = 0u64;
+        let mut net = 0i64;
+        for &op in trace.ops() {
+            match op {
+                MixedOp::Lookup(q) => {
+                    checksum =
+                        checksum.wrapping_add(rec.time(|| store.lower_bound(black_box(q))) as u64);
+                }
+                MixedOp::Insert(k) => {
+                    rec.time(|| store.insert(black_box(k)).expect("insert cannot fail"));
+                    net += 1;
+                }
+                MixedOp::Delete(k) => {
+                    if rec.time(|| store.delete(black_box(k)).expect("delete cannot fail")) {
+                        net -= 1;
+                    }
+                }
+                MixedOp::Range(lo, hi) => {
+                    let r = rec.time(|| store.range(black_box(lo), black_box(hi)));
+                    checksum = checksum.wrapping_add(r.len() as u64);
+                }
+            }
+        }
+        black_box(checksum);
+        let expected_len = (d.len() as i64 + net) as usize;
+        let stats = store.durability_stats().expect("durable store");
+        assert!(store.take_maintenance_error().is_none());
+        drop(store); // "crash": no flush, no final checkpoint
+
+        let reopen = Instant::now();
+        let reopened: ShardedStore<u64> =
+            ShardedStore::open(&dir, StoreConfig::new(spec)).expect("recovery cannot fail");
+        let reopen_ms = reopen.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            reopened.len(),
+            expected_len,
+            "recovery must restore every {label} write"
+        );
+        let replayed = reopened
+            .durability_stats()
+            .expect("durable store")
+            .replayed_records;
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Physical bytes per logical payload byte (one 8-byte key per op).
+        let amplification = (stats.wal_bytes + stats.snapshot_bytes) as f64
+            / ((stats.wal_records * 8).max(1)) as f64;
+        let p = rec.percentiles();
+        let [_p50, _p90, p99, _p999] = percentile_cells(&p);
+        table.add_row(vec![
+            label.into(),
+            ops.to_string(),
+            fmt_ns(rec.mean_ns()),
+            p99,
+            format!("{:.2}", stats.wal_bytes as f64 / 1e6),
+            format!("{:.2}", stats.snapshot_bytes as f64 / 1e6),
+            format!("{amplification:.1}x"),
+            stats.checkpoints.to_string(),
+            format!("{reopen_ms:.1}"),
+            replayed.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_a_row_per_policy() {
+        let tables = run(BenchConfig {
+            keys: 5_000,
+            queries: 400,
+            seed: 42,
+        });
+        assert_eq!(tables.len(), 1);
+        if std::env::var("DURABLE_SYNC").is_err() {
+            assert_eq!(tables[0].row_count(), SYNC_POLICIES.len());
+        }
+    }
+}

@@ -7,9 +7,9 @@
 //!
 //! Two tables are produced:
 //!
-//! 1. **Single-threaded traces** — three trace shapes (read-heavy,
-//!    insert-heavy, Zipfian shard skew) replayed against stores with
-//!    increasing shard counts. Alongside mean ns/op the table reports the
+//! 1. **Single-threaded traces** — four trace shapes (read-heavy,
+//!    insert-heavy, Zipfian shard skew, YCSB-E-style scan-heavy) replayed
+//!    against stores with increasing shard counts. Alongside mean ns/op the table reports the
 //!    serving percentiles (p50/p90/p99/p99.9) — the tail is where rebuild
 //!    swaps and chain merges would show up.
 //! 2. **Multi-threaded driver** — N reader threads racing M writer threads
@@ -41,10 +41,11 @@ pub const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
 pub const THREAD_MIXES: [(usize, usize); 3] = [(1, 1), (2, 1), (4, 2)];
 
 /// The trace shapes the single-threaded suite replays.
-const SCENARIOS: [(&str, MixedKind); 3] = [
+const SCENARIOS: [(&str, MixedKind); 4] = [
     ("read-heavy", MixedKind::ReadHeavy),
     ("insert-heavy", MixedKind::InsertHeavy),
     ("zipf-shard-skew", MixedKind::ZipfShardSkew),
+    ("scan-heavy", MixedKind::ScanHeavy),
 ];
 
 /// Replay a trace against a store with per-op latency recording, returning
@@ -106,6 +107,7 @@ fn single_threaded(cfg: BenchConfig, spec: IndexSpec, d: &Dataset<u64>) -> Table
                 MixedKind::ZipfShardSkew => {
                     MixedWorkload::zipf_shard_skew(d, ops_per_trace, shards.max(4), 0.99, cfg.seed)
                 }
+                MixedKind::ScanHeavy => MixedWorkload::scan_heavy(d, ops_per_trace, cfg.seed),
             };
             let config = StoreConfig::new(spec)
                 .shards(shards)

@@ -18,6 +18,16 @@
 //! storage — `'static + Send + Sync`, selectable from a config file at run
 //! time.
 //!
+//! ## Persistence contract
+//!
+//! The `Display` form of an [`IndexSpec`] is its **canonical serialized
+//! form**: `IndexSpec::parse(spec.to_string())` always round-trips to an
+//! equal value, for every model and layer family. Durable systems persist
+//! that string and rebuild on load (the `shift-store` crate stores it in
+//! its checkpoint manifests and *retrains* the model over the recovered
+//! keys), so changes here must never break parsing of previously displayed
+//! specs — the round-trip property test below is that contract's guard.
+//!
 //! ```
 //! use shift_table::spec::IndexSpec;
 //! use algo_index::RangeIndex;
@@ -273,6 +283,20 @@ mod tests {
         for spec in IndexSpec::all_combinations() {
             let text = spec.to_string();
             assert_eq!(IndexSpec::parse(&text), Ok(spec), "{text}");
+        }
+        // The persistence contract (see the module docs): parameterised
+        // forms — what a manifest on disk actually holds — must round-trip
+        // too, including through surrounding whitespace.
+        for text in [
+            "rmi:512+r1",
+            "rmi:64:cubic+s10",
+            "rs:32+none",
+            "pgm:16+auto",
+            "im+s3",
+        ] {
+            let spec = IndexSpec::parse(text).unwrap();
+            assert_eq!(spec.to_string(), text, "display is canonical");
+            assert_eq!(IndexSpec::parse(&format!(" {text} ")), Ok(spec));
         }
     }
 

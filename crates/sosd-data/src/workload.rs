@@ -185,6 +185,11 @@ pub enum MixedKind {
     /// Read-mostly, but with keys drawn Zipfian-skewed over contiguous
     /// slices of the key space, so a range-sharded store sees a hot shard.
     ZipfShardSkew,
+    /// YCSB-E-style scan-heavy mix: 95% short range scans whose start keys
+    /// are Zipfian-skewed over contiguous domain slices and whose lengths
+    /// are uniform in 1..=100 records (converted to a key span via the
+    /// dataset's mean gap), plus 5% inserts.
+    ScanHeavy,
 }
 
 /// Base hot-slice rotation of Zipf-shaped traces: thread 0 (and the
@@ -215,6 +220,20 @@ impl<K: Key> MixedWorkload<K> {
         Self::generate(dataset, count, seed, MixedKind::InsertHeavy, None)
     }
 
+    /// YCSB-E-style scan-heavy trace (see [`MixedKind::ScanHeavy`]): 95%
+    /// short scans with Zipf(0.99) start keys over 16 domain slices, 5%
+    /// inserts.
+    pub fn scan_heavy(dataset: &Dataset<K>, count: usize, seed: u64) -> Self {
+        Self::generate_zipf(
+            dataset,
+            count,
+            seed,
+            MixedKind::ScanHeavy,
+            Zipf::new(16, 0.99),
+            ZIPF_BASE_ROTATION,
+        )
+    }
+
     /// One deterministic trace per concurrent worker thread: thread `t`'s
     /// trace is derived from an independent [`SplitMix64`]-forked sub-seed
     /// of `seed`, so a multi-threaded replay is reproducible *per thread*
@@ -241,13 +260,16 @@ impl<K: Key> MixedWorkload<K> {
                     MixedKind::InsertHeavy => {
                         Self::insert_heavy(dataset, ops_per_thread, thread_seed)
                     }
-                    MixedKind::ZipfShardSkew => Self::generate_zipf(
-                        dataset,
-                        ops_per_thread,
-                        thread_seed,
-                        Zipf::new(16, 0.99),
-                        ZIPF_BASE_ROTATION + t as u64,
-                    ),
+                    kind @ (MixedKind::ZipfShardSkew | MixedKind::ScanHeavy) => {
+                        Self::generate_zipf(
+                            dataset,
+                            ops_per_thread,
+                            thread_seed,
+                            kind,
+                            Zipf::new(16, 0.99),
+                            ZIPF_BASE_ROTATION + t as u64,
+                        )
+                    }
                 }
             })
             .collect()
@@ -267,6 +289,7 @@ impl<K: Key> MixedWorkload<K> {
             dataset,
             count,
             seed,
+            MixedKind::ZipfShardSkew,
             Zipf::new(slices.max(1), theta),
             ZIPF_BASE_ROTATION,
         )
@@ -278,16 +301,11 @@ impl<K: Key> MixedWorkload<K> {
         dataset: &Dataset<K>,
         count: usize,
         seed: u64,
+        kind: MixedKind,
         zipf: Zipf,
         rotation: u64,
     ) -> Self {
-        Self::generate(
-            dataset,
-            count,
-            seed,
-            MixedKind::ZipfShardSkew,
-            Some((zipf, rotation)),
-        )
+        Self::generate(dataset, count, seed, kind, Some((zipf, rotation)))
     }
 
     fn generate(
@@ -328,7 +346,12 @@ impl<K: Key> MixedWorkload<K> {
             MixedKind::ReadHeavy => (5, 3, 2),
             MixedKind::InsertHeavy => (50, 10, 5),
             MixedKind::ZipfShardSkew => (10, 5, 5),
+            // YCSB-E: 95% scans, 5% inserts, no reads or deletes.
+            MixedKind::ScanHeavy => (5, 0, 95),
         };
+        // Mean key distance between consecutive records, for converting a
+        // record-count scan length into a key span.
+        let mean_gap = (span / (dataset.len().max(1) as u64)).max(1);
         let mut ops = Vec::with_capacity(count);
         for _ in 0..count {
             let roll = rng.next_below(100);
@@ -345,8 +368,13 @@ impl<K: Key> MixedWorkload<K> {
                 MixedOp::Delete(k)
             } else if roll < insert_pct + delete_pct + range_pct {
                 let a = draw_key(&mut rng);
-                // Short scans: a span of ~0.1% of the domain.
-                let b = K::from_u64_saturating(a.to_u64().saturating_add(span / 1000));
+                let scan_span = match kind {
+                    // YCSB-E scan lengths: uniform 1..=100 records.
+                    MixedKind::ScanHeavy => (1 + rng.next_below(100)).saturating_mul(mean_gap),
+                    // Short scans: a span of ~0.1% of the domain.
+                    _ => span / 1000,
+                };
+                let b = K::from_u64_saturating(a.to_u64().saturating_add(scan_span));
                 MixedOp::Range(a.min(b), a.max(b))
             } else {
                 MixedOp::Lookup(draw_key(&mut rng))
@@ -515,6 +543,64 @@ mod tests {
             "insert-heavy must be ~50% inserts: {w_inserts}"
         );
         assert!(w_inserts > w_lookups);
+    }
+
+    #[test]
+    fn scan_heavy_is_ycsb_e_shaped() {
+        let d = dataset();
+        let w = MixedWorkload::scan_heavy(&d, 10_000, 11);
+        assert_eq!(w.kind(), MixedKind::ScanHeavy);
+        let (lookups, inserts, deletes, ranges) = w.op_counts();
+        assert_eq!(lookups + inserts + deletes + ranges, 10_000);
+        assert!(ranges > 9_300, "scan-heavy must be ~95% scans: {ranges}");
+        assert!(inserts > 300, "scan-heavy keeps ~5% inserts: {inserts}");
+        assert_eq!(deletes, 0, "YCSB-E has no deletes");
+
+        // Scan lengths: short (1..=100 records via the mean gap), varied,
+        // and well-formed.
+        let span = d.max_key().unwrap() - d.min_key().unwrap();
+        let mean_gap = (span / d.len() as u64).max(1);
+        let mut spans = Vec::new();
+        for op in w.ops() {
+            if let MixedOp::Range(lo, hi) = *op {
+                assert!(lo <= hi);
+                spans.push(hi.saturating_sub(lo));
+            }
+        }
+        let max = *spans.iter().max().unwrap();
+        assert!(
+            max <= 100 * mean_gap,
+            "scan spans are capped at 100 mean gaps: {max} vs {}",
+            100 * mean_gap
+        );
+        let distinct: std::collections::HashSet<u64> = spans.iter().copied().collect();
+        assert!(distinct.len() > 50, "lengths are drawn, not fixed");
+
+        // Start keys are Zipf-skewed over 16 slices, like the shard-skew
+        // trace: the hot slice gets far more than the uniform share.
+        let lo_key = d.min_key().unwrap();
+        let width = (span / 16).max(1);
+        let mut counts = [0usize; 17];
+        for op in w.ops() {
+            if let MixedOp::Range(lo, _) = *op {
+                counts[((lo.saturating_sub(lo_key) / width).min(16)) as usize] += 1;
+            }
+        }
+        let hot = *counts.iter().max().unwrap();
+        assert!(
+            hot > 3 * spans.len() / 16,
+            "scan starts must be Zipf-skewed: {counts:?}"
+        );
+
+        // Determinism and the concurrent per-thread form.
+        assert_eq!(MixedWorkload::scan_heavy(&d, 500, 3).ops(), {
+            let again = MixedWorkload::scan_heavy(&d, 500, 3);
+            &again.ops().to_vec()[..]
+        });
+        let traces = MixedWorkload::concurrent(&d, 3, 400, 5, MixedKind::ScanHeavy);
+        assert_eq!(traces.len(), 3);
+        assert_ne!(traces[0].ops(), traces[1].ops());
+        assert!(traces.iter().all(|t| t.kind() == MixedKind::ScanHeavy));
     }
 
     #[test]

@@ -3,6 +3,66 @@
 use shift_table::spec::IndexSpec;
 use std::time::Duration;
 
+/// When the write-ahead log is flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fdatasync` after every appended record: no acknowledged write is
+    /// ever lost, at the cost of one device round-trip per write.
+    Always,
+    /// `fdatasync` once every `n` appended records: a crash loses at most
+    /// the last `n − 1` acknowledged writes.
+    EveryN(u32),
+    /// Never sync explicitly; the OS page cache decides. A process crash
+    /// loses nothing (the kernel still holds the pages), a power loss can
+    /// lose everything since the last checkpoint.
+    Os,
+}
+
+/// Durability knobs of a store opened with [`crate::ShardedStore::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// When WAL appends are flushed to stable storage.
+    pub sync: SyncPolicy,
+    /// Number of WAL records after which the maintenance worker takes a
+    /// checkpoint (snapshot every shard, rotate the manifest, truncate the
+    /// WAL). `0` disables automatic checkpoints — only explicit
+    /// [`crate::ShardedStore::checkpoint`] calls persist snapshots then.
+    pub checkpoint_ops: u64,
+}
+
+impl Default for DurabilityConfig {
+    /// Sync every 64 records, checkpoint every 8192.
+    fn default() -> Self {
+        Self {
+            sync: SyncPolicy::EveryN(64),
+            checkpoint_ops: 8192,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// The default durability configuration (see [`DurabilityConfig::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the WAL sync policy ([`SyncPolicy::EveryN`] is normalised to at
+    /// least every record).
+    pub fn sync(mut self, policy: SyncPolicy) -> Self {
+        self.sync = match policy {
+            SyncPolicy::EveryN(n) => SyncPolicy::EveryN(n.max(1)),
+            p => p,
+        };
+        self
+    }
+
+    /// Set the automatic-checkpoint record threshold (`0` disables).
+    pub fn checkpoint_ops(mut self, ops: u64) -> Self {
+        self.checkpoint_ops = ops;
+        self
+    }
+}
+
 /// Configuration of a [`crate::ShardedStore`] (and, minus the write-path
 /// knobs, of a read-only [`crate::ShardedIndex`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +105,18 @@ pub struct StoreConfig {
     /// aligned median fence, and a shard smaller than `mean / split_skew`
     /// is merged into its smaller neighbour. `0` disables rebalancing.
     pub split_skew: usize,
+    /// Absolute shard-size ceiling: a shard whose live key count exceeds
+    /// this splits regardless of the skew signal. The skew signal is
+    /// peer-relative (`split_skew × mean`), so a store configured with one
+    /// shard — where the single shard *is* the mean — could otherwise grow
+    /// without bound. `0` disables the absolute fallback. Rebalancing as a
+    /// whole is still gated by `split_skew != 0`.
+    pub split_max_len: usize,
+    /// Durability knobs used when the store is opened from a path
+    /// ([`crate::ShardedStore::open`]); ignored by the in-memory
+    /// [`crate::ShardedStore::build`]. `None` falls back to
+    /// [`DurabilityConfig::default`] on open.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl StoreConfig {
@@ -64,6 +136,8 @@ impl StoreConfig {
             background_maintenance: false,
             maintenance_interval: Duration::from_millis(2),
             split_skew: 4,
+            split_max_len: 0,
+            durability: None,
         }
     }
 
@@ -121,6 +195,20 @@ impl StoreConfig {
         self.split_skew = factor;
         self
     }
+
+    /// Set the absolute shard-size split ceiling (`0` disables the
+    /// fallback; see [`StoreConfig::split_max_len`]).
+    pub fn split_max_len(mut self, len: usize) -> Self {
+        self.split_max_len = len;
+        self
+    }
+
+    /// Set the durability configuration used by
+    /// [`crate::ShardedStore::open`].
+    pub fn durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -139,7 +227,9 @@ mod tests {
             .compact_runs(0)
             .background_maintenance(true)
             .maintenance_interval(Duration::from_millis(7))
-            .split_skew(3);
+            .split_skew(3)
+            .split_max_len(10_000)
+            .durability(DurabilityConfig::new().sync(SyncPolicy::EveryN(0)));
         assert_eq!(c.shards, 1);
         assert_eq!(c.delta_threshold, 1);
         assert!(!c.auto_rebuild);
@@ -149,11 +239,24 @@ mod tests {
         assert!(c.background_maintenance);
         assert_eq!(c.maintenance_interval, Duration::from_millis(7));
         assert_eq!(c.split_skew, 3);
+        assert_eq!(c.split_max_len, 10_000);
+        assert_eq!(
+            c.durability,
+            Some(DurabilityConfig {
+                sync: SyncPolicy::EveryN(1),
+                checkpoint_ops: 8192,
+            }),
+            "EveryN(0) normalises to every record"
+        );
         assert_eq!(c.spec, spec);
         let d = StoreConfig::new(spec);
         assert_eq!(d.shards, 8);
         assert!(d.auto_rebuild);
         assert!(!d.background_maintenance);
         assert_eq!(d.split_skew, 4);
+        assert_eq!(d.split_max_len, 0, "absolute split fallback off by default");
+        assert_eq!(d.durability, None, "in-memory by default");
+        assert_eq!(DurabilityConfig::new().sync, SyncPolicy::EveryN(64));
+        assert_eq!(DurabilityConfig::new().checkpoint_ops(0).checkpoint_ops, 0);
     }
 }

@@ -1,0 +1,118 @@
+//! Store-level error types.
+//!
+//! The in-memory build paths fail only with [`BuildError`] (unsorted keys);
+//! the durable paths added by the persistence subsystem can also fail with
+//! I/O errors, on-disk corruption, or a spec string that no longer parses.
+//! [`StoreError`] is the union every fallible [`crate::ShardedStore`] method
+//! returns.
+
+use shift_table::error::BuildError;
+use std::path::PathBuf;
+
+/// Any error a [`crate::ShardedStore`] operation can surface.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An index (re)build failed — today only unsorted input keys.
+    Build(BuildError),
+    /// An I/O error from the write-ahead log, a snapshot or the manifest.
+    Io(std::io::Error),
+    /// An on-disk structure failed validation (bad magic, checksum mismatch,
+    /// truncated body, unsorted snapshot keys, inconsistent manifest).
+    Corrupt {
+        /// The file that failed validation.
+        path: PathBuf,
+        /// What exactly was wrong with it.
+        reason: String,
+    },
+    /// The spec string persisted in the manifest no longer parses.
+    Spec {
+        /// The offending spec text.
+        text: String,
+        /// The parse failure, rendered.
+        reason: String,
+    },
+    /// A durability-only operation (checkpoint, stats) was invoked on a
+    /// store that was built in memory rather than opened from a path.
+    NotDurable,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Build(e) => write!(f, "index build failed: {e}"),
+            Self::Io(e) => write!(f, "store I/O failed: {e}"),
+            Self::Corrupt { path, reason } => {
+                write!(f, "corrupt store file {}: {reason}", path.display())
+            }
+            Self::Spec { text, reason } => {
+                write!(f, "persisted spec {text:?} no longer parses: {reason}")
+            }
+            Self::NotDurable => write!(
+                f,
+                "operation requires a durable store (open one with ShardedStore::open)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Build(e) => Some(e),
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for StoreError {
+    fn from(e: BuildError) -> Self {
+        Self::Build(e)
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Error of a direct write to a shard that a split or merge has retired.
+///
+/// Returned by [`crate::StoreShard::insert`] / [`crate::StoreShard::delete`]
+/// on unmanaged shards; under a [`crate::ShardedStore`] the write paths use
+/// [`crate::StoreShard::try_insert`] / [`crate::StoreShard::try_delete`] and
+/// transparently re-route instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetiredShard;
+
+impl std::fmt::Display for RetiredShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard was retired by a split/merge; re-route via the store table"
+        )
+    }
+}
+
+impl std::error::Error for RetiredShard {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_and_convert() {
+        let e: StoreError = BuildError::UnsortedKeys { position: 3 }.into();
+        assert!(e.to_string().contains("build"));
+        let e: StoreError = std::io::Error::other("disk on fire").into();
+        assert!(e.to_string().contains("disk on fire"));
+        let e = StoreError::Corrupt {
+            path: PathBuf::from("/x/manifest-0000000001"),
+            reason: "bad crc".into(),
+        };
+        assert!(e.to_string().contains("bad crc"));
+        assert!(StoreError::NotDurable.to_string().contains("open"));
+        assert!(RetiredShard.to_string().contains("retired"));
+    }
+}

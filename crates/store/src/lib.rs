@@ -80,6 +80,45 @@
 //!   the residual) or is refused by a retired shard and retried against the
 //!   successor topology.
 //!
+//! ## Durability
+//!
+//! A store opened with [`ShardedStore::open`] (or seeded with
+//! [`ShardedStore::open_seeded`]) persists to a directory and survives a
+//! crash; [`ShardedStore::build`] stays purely in memory. Three file kinds
+//! make up the on-disk format (full layouts in the [`persist`] module and
+//! its submodules):
+//!
+//! * **WAL segments** (`wal-<start-version>.log`): every insert/delete is
+//!   appended as a length-prefixed, CRC32-checksummed record *before* it is
+//!   applied in memory. Records carry a monotonically increasing store
+//!   version, assigned under the store-wide WAL lock that also serialises
+//!   the in-memory apply — so per-shard apply order always equals version
+//!   order. [`SyncPolicy`] controls fsync cadence: `Always` (never lose an
+//!   acknowledged write), `EveryN(n)` (lose at most `n − 1`), `Os` (page
+//!   cache decides).
+//! * **Shard snapshots** (`snap-<checkpoint>-<shard>.snap`): a checkpoint
+//!   writes each shard's merged key column, checksummed. The trained model
+//!   is *not* persisted — recovery retrains it from the keys and the spec
+//!   string, which round-trips losslessly through its display form.
+//! * **A manifest** (`manifest-<seq>`): the checkpoint root — spec string,
+//!   fence table, snapshot files, checkpoint version — written to a temp
+//!   file and atomically renamed, so no crash can expose a torn root.
+//!
+//! Checkpoints are **epoch-consistent**: the maintenance worker (or an
+//! explicit [`ShardedStore::checkpoint`]) briefly takes the WAL lock,
+//! rotates to a fresh segment and pins every shard's immutable state —
+//! because durable writes apply under that same lock, the pinned set is an
+//! exact cut at one version `cv`. Snapshot writing then proceeds entirely
+//! off-lock, and WAL segments whose records all sit at or below `cv` are
+//! deleted once the new manifest is durable.
+//!
+//! **Recovery** ([`ShardedStore::open`]) loads the newest manifest that
+//! validates, rebuilds each shard from its snapshot, and replays the WAL
+//! tail through the recovered fence router. Replay is *idempotent*: a
+//! record at or below the routed shard's recovered version is a no-op, so
+//! stale segments are harmless; a torn tail (short frame or checksum
+//! mismatch) simply ends the log, recovering the exact durable prefix.
+//!
 //! ## Example
 //!
 //! ```
@@ -115,14 +154,18 @@
 pub mod config;
 pub mod delta;
 pub mod epoch;
+pub mod error;
+pub mod persist;
 pub mod router;
 pub mod shard;
 pub mod sharded;
 pub mod worker;
 
-pub use config::StoreConfig;
+pub use config::{DurabilityConfig, StoreConfig, SyncPolicy};
 pub use delta::{DeltaChain, DeltaRun};
 pub use epoch::EpochCell;
+pub use error::{RetiredShard, StoreError};
+pub use persist::DurabilityStats;
 pub use router::ShardRouter;
 pub use shard::{ShardSnapshot, ShardState, StoreShard};
 pub use sharded::{ShardedIndex, ShardedStore, StoreTable};
@@ -130,7 +173,9 @@ pub use worker::MaintenanceWorker;
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
-    pub use crate::config::StoreConfig;
+    pub use crate::config::{DurabilityConfig, StoreConfig, SyncPolicy};
+    pub use crate::error::{RetiredShard, StoreError};
+    pub use crate::persist::DurabilityStats;
     pub use crate::shard::{ShardSnapshot, ShardState, StoreShard};
     pub use crate::sharded::{ShardedIndex, ShardedStore, StoreTable};
 }

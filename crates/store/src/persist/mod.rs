@@ -1,0 +1,350 @@
+//! The durability subsystem: write-ahead log, epoch-consistent snapshots,
+//! manifest rotation and crash recovery.
+//!
+//! A store opened with [`crate::ShardedStore::open`] keeps three kinds of
+//! files in its directory:
+//!
+//! * **WAL segments** (`wal-<start-version>.log`, [`wal`]) — the ordered
+//!   ledger of every insert/delete, length-prefixed and CRC32-checksummed.
+//!   Every durable write appends its record *before* it is applied in
+//!   memory, under one store-wide WAL lock that also assigns the record its
+//!   monotonically increasing store version.
+//! * **Shard snapshots** (`snap-<checkpoint>-<shard>.snap`, [`snapshot`]) —
+//!   one file per shard per checkpoint holding the shard's merged key
+//!   column (base plus folded delta chain). The trained model is *not*
+//!   persisted: recovery retrains it from the keys and the spec string.
+//! * **A manifest** (`manifest-<seq>`, [`manifest`]) — the root of every
+//!   checkpoint: the spec string, the fence table, the snapshot file of
+//!   each shard and the checkpoint version. Written to a temp file and
+//!   atomically renamed, so a crash can never leave a half-written root.
+//!
+//! ## Epoch-consistent checkpoints
+//!
+//! Because every durable write applies while holding the WAL lock, holding
+//! that lock is a *global barrier*: a checkpoint takes it, rotates the WAL
+//! to a fresh segment, pins every shard's published [`crate::ShardState`],
+//! and releases it. The pinned set is then an exact cut — it contains every
+//! write with version `<= cv` (the checkpoint version) and none above —
+//! even though the snapshot files themselves are written leisurely after
+//! the lock is dropped (pinned states are immutable). Once the manifest
+//! referencing them is durable, every WAL segment whose records all carry
+//! versions `<= cv` is deleted.
+//!
+//! ## Recovery invariants ([`recovery`])
+//!
+//! 1. The newest manifest that validates wins; older manifests and orphaned
+//!    files are garbage, removed on the next successful checkpoint.
+//! 2. Snapshots are rebuilt into shards by *retraining* the persisted spec
+//!    over the persisted keys — model quality is reproduced, not restored.
+//! 3. The WAL tail is replayed in version order through the recovered fence
+//!    router. Replay is idempotent: a record whose version is at or below
+//!    the routed shard's recovered version is a no-op, so stale segments
+//!    that escaped truncation are harmless.
+//! 4. A torn tail (short frame, or a CRC/length mismatch) ends the log:
+//!    everything before it is the recovered durable prefix, everything
+//!    after it is discarded.
+
+pub mod manifest;
+pub mod recovery;
+pub mod snapshot;
+pub mod wal;
+
+use crate::config::DurabilityConfig;
+use crate::error::StoreError;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use wal::{WalOp, WalRecord, WalWriter};
+
+/// CRC32 (IEEE, reflected) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes` — the checksum guarding every WAL record and
+/// snapshot body. Implemented here so the on-disk format needs no external
+/// dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Cumulative I/O counters of a durable store, for write-amplification
+/// accounting (see the `store_durable` bench experiment).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// WAL records appended since the store was opened.
+    pub wal_records: u64,
+    /// Bytes appended to the WAL since the store was opened.
+    pub wal_bytes: u64,
+    /// Checkpoints taken since the store was opened.
+    pub checkpoints: u64,
+    /// Bytes written to snapshot files since the store was opened.
+    pub snapshot_bytes: u64,
+    /// Store version of the most recent checkpoint (0 before the first).
+    pub last_checkpoint_version: u64,
+    /// WAL records replayed by recovery when the store was opened.
+    pub replayed_records: u64,
+}
+
+/// Mutable persistence state, guarded by the store-wide WAL lock.
+pub(crate) struct PersistInner {
+    wal: WalWriter,
+    /// Version the next WAL record will carry (strictly increasing).
+    next_version: u64,
+    /// Records appended since the last checkpoint (drives the worker duty).
+    since_checkpoint: u64,
+    /// Sequence number of the newest manifest on disk.
+    manifest_seq: u64,
+}
+
+/// The persistence half of a durable store's core: the WAL writer plus the
+/// checkpoint bookkeeping. All durable writes and the checkpoint *cut*
+/// funnel through [`Persistence::append`] / [`Persistence::begin_checkpoint`],
+/// whose shared mutex makes the cut an exact global barrier.
+pub(crate) struct Persistence {
+    dir: PathBuf,
+    durability: DurabilityConfig,
+    /// WAL records recovery replayed before this layer was opened.
+    replayed: u64,
+    inner: Mutex<PersistInner>,
+    /// Serialises whole checkpoints (worker vs. explicit calls); taken
+    /// strictly before the `inner` lock.
+    checkpoint_gate: Mutex<()>,
+    wal_records: AtomicU64,
+    wal_bytes: AtomicU64,
+    checkpoints: AtomicU64,
+    snapshot_bytes: AtomicU64,
+    last_checkpoint_version: AtomicU64,
+}
+
+impl Persistence {
+    /// Open the persistence layer over `dir`, starting a fresh WAL segment
+    /// at `next_version` (recovery already replayed everything below it).
+    pub(crate) fn create(
+        dir: PathBuf,
+        durability: DurabilityConfig,
+        next_version: u64,
+        manifest_seq: u64,
+        replayed: u64,
+    ) -> Result<Self, StoreError> {
+        let wal = WalWriter::create(&dir, next_version, durability.sync)?;
+        Ok(Self {
+            dir,
+            durability,
+            replayed,
+            inner: Mutex::new(PersistInner {
+                wal,
+                next_version,
+                since_checkpoint: 0,
+                manifest_seq,
+            }),
+            checkpoint_gate: Mutex::new(()),
+            wal_records: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            snapshot_bytes: AtomicU64::new(0),
+            last_checkpoint_version: AtomicU64::new(0),
+        })
+    }
+
+    /// The store directory.
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The durability configuration in force.
+    pub(crate) fn durability(&self) -> DurabilityConfig {
+        self.durability
+    }
+
+    /// Assign the next store version, append the record to the WAL
+    /// (honouring the sync policy) and run `apply` — the in-memory write —
+    /// **while still holding the WAL lock**. Holding the lock across the
+    /// apply is what makes per-shard apply order equal version order, the
+    /// invariant replay and the checkpoint cut both lean on.
+    pub(crate) fn append<R>(
+        &self,
+        op: WalOp,
+        key: u64,
+        apply: impl FnOnce(u64) -> R,
+    ) -> Result<R, StoreError> {
+        let mut inner = self.inner.lock().expect("wal lock poisoned");
+        let version = inner.next_version;
+        let bytes = inner.wal.append(&WalRecord { version, op, key })?;
+        inner.next_version += 1;
+        inner.since_checkpoint += 1;
+        self.wal_records.fetch_add(1, Ordering::Relaxed);
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        Ok(apply(version))
+    }
+
+    /// Flush every appended WAL record to stable storage now, regardless of
+    /// the sync policy.
+    pub(crate) fn sync(&self) -> Result<(), StoreError> {
+        Ok(self.inner.lock().expect("wal lock poisoned").wal.sync()?)
+    }
+
+    /// True when the automatic-checkpoint record threshold has been crossed
+    /// (the maintenance worker's duty trigger).
+    pub(crate) fn checkpoint_due(&self) -> bool {
+        self.durability.checkpoint_ops > 0
+            && self
+                .inner
+                .lock()
+                .expect("wal lock poisoned")
+                .since_checkpoint
+                >= self.durability.checkpoint_ops
+    }
+
+    /// Take the gate serialising whole checkpoints.
+    pub(crate) fn checkpoint_gate(&self) -> MutexGuard<'_, ()> {
+        self.checkpoint_gate
+            .lock()
+            .expect("checkpoint gate poisoned")
+    }
+
+    /// The checkpoint *cut*: under the WAL lock — which blocks every durable
+    /// write — rotate the WAL to a fresh segment and run `pin` (which loads
+    /// every shard's published state). Returns the checkpoint version `cv`
+    /// (every write `<= cv` is inside the pinned states, none above), the
+    /// manifest sequence to publish under, and `pin`'s result.
+    pub(crate) fn begin_checkpoint<T>(
+        &self,
+        pin: impl FnOnce() -> T,
+    ) -> Result<(u64, u64, T), StoreError> {
+        let mut inner = self.inner.lock().expect("wal lock poisoned");
+        let cv = inner.next_version - 1;
+        // The outgoing segment stops receiving appends here; flush its
+        // unsynced tail first, or a power loss during the off-lock snapshot
+        // window could lose versions `<= cv` while the *new* segment's
+        // later, synced records survive — a hole, not a prefix.
+        inner.wal.sync()?;
+        inner.wal = WalWriter::create(&self.dir, inner.next_version, self.durability.sync)?;
+        inner.since_checkpoint = 0;
+        inner.manifest_seq += 1;
+        let pinned = pin();
+        Ok((cv, inner.manifest_seq, pinned))
+    }
+
+    /// Record a finished checkpoint in the counters.
+    pub(crate) fn finish_checkpoint(&self, cv: u64, snapshot_bytes: u64) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.snapshot_bytes
+            .fetch_add(snapshot_bytes, Ordering::Relaxed);
+        self.last_checkpoint_version.store(cv, Ordering::Relaxed);
+    }
+
+    /// Current cumulative counters.
+    pub(crate) fn stats(&self) -> DurabilityStats {
+        DurabilityStats {
+            wal_records: self.wal_records.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
+            last_checkpoint_version: self.last_checkpoint_version.load(Ordering::Relaxed),
+            replayed_records: self.replayed,
+        }
+    }
+}
+
+impl Drop for Persistence {
+    /// Best-effort flush of the WAL tail on a clean close: without it, a
+    /// graceful shutdown under `SyncPolicy::EveryN(n)` would leave up to
+    /// `n − 1` acknowledged writes in dirty pages — the same exposure as a
+    /// crash. Errors are swallowed (nothing useful can be done in drop; a
+    /// poisoned or failing segment falls back to crash semantics).
+    fn drop(&mut self) {
+        if let Ok(mut inner) = self.inner.lock() {
+            let _ = inner.wal.sync();
+        }
+    }
+}
+
+/// Best-effort removal of files superseded by the manifest `m`: older
+/// manifests, snapshot files it does not reference, and WAL segments whose
+/// records all sit at or below its checkpoint version. Failures are ignored
+/// — stale files are harmless to recovery (invariant 3) and will be retried
+/// by the next checkpoint.
+pub(crate) fn gc(dir: &Path, m: &manifest::Manifest) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let referenced: std::collections::HashSet<&str> =
+        m.shards.iter().map(|s| s.snapshot.as_str()).collect();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale = match () {
+            _ if manifest::parse_manifest_seq(name).is_some_and(|seq| seq < m.seq) => true,
+            _ if name.starts_with("snap-") && name.ends_with(".snap") => !referenced.contains(name),
+            _ => false,
+        };
+        if stale {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+    // A WAL segment is covered by the checkpoint when the *next* segment
+    // starts at or below `cv + 1`: versions are assigned contiguously, so
+    // every record it holds is `<= cv` and already inside the snapshots.
+    if let Ok(segments) = wal::list_segments(dir) {
+        for pair in segments.windows(2) {
+            if pair[1].0 <= m.version + 1 {
+                let _ = std::fs::remove_file(&pair[0].1);
+            }
+        }
+    }
+}
+
+/// Flush directory metadata so a just-created or just-renamed file survives
+/// a power loss. Best-effort: some filesystems refuse to sync a directory
+/// handle, and losing only metadata degrades to an older (still valid)
+/// recovery point.
+pub(crate) fn sync_dir(dir: &Path) {
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let mut data = vec![0xA5u8; 64];
+        let base = crc32(&data);
+        data[17] ^= 0x04;
+        assert_ne!(crc32(&data), base);
+    }
+}

@@ -1,0 +1,236 @@
+//! Crash recovery: newest valid manifest → rebuilt shards → WAL-tail replay.
+//!
+//! Recovery is a pure function of the store directory and the
+//! [`StoreConfig`]: it never writes (garbage collection is a checkpoint
+//! duty), so a failed open leaves the directory exactly as the crash did.
+//!
+//! The sequence, matching the invariants documented in [`crate::persist`]:
+//!
+//! 1. Load the newest manifest that validates end-to-end — including its
+//!    snapshot files' checksums. A newer manifest that fails validation is
+//!    the debris of an interrupted checkpoint and is skipped; if *every*
+//!    manifest fails, recovery errors out rather than silently dropping a
+//!    checkpoint. No manifest at all means a store that never checkpointed:
+//!    recovery starts from one empty shard and replays the whole WAL.
+//! 2. Load each shard's snapshot key column (the on-disk format stores no
+//!    model — it is retrained below).
+//! 3. Replay every WAL segment in version order through the recovered
+//!    fence router, editing the key columns directly. A record at or below
+//!    the routed shard's recovered version is skipped — replay is
+//!    idempotent, so segments that escaped truncation cost time, never
+//!    correctness. A torn tail ends the log.
+//! 4. Build each shard once over its final column, retraining the
+//!    persisted spec — one model training per shard regardless of how much
+//!    tail was replayed, and every chain starts clean.
+
+use crate::config::StoreConfig;
+use crate::error::StoreError;
+use crate::persist::wal::{self, WalOp};
+use crate::persist::{manifest, snapshot};
+use crate::router::ShardRouter;
+use crate::shard::StoreShard;
+use shift_table::spec::IndexSpec;
+use sosd_data::key::Key;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Everything `ShardedStore::open` needs to assemble a recovered store.
+pub(crate) struct Recovered<K: Key> {
+    /// The fence router of the recovered topology.
+    pub router: ShardRouter<K>,
+    /// The recovered shards, in router order, chains already folded.
+    pub shards: Vec<Arc<StoreShard<K>>>,
+    /// The spec the shards were rebuilt from (the persisted one for a
+    /// checkpointed store, the config's for a fresh directory).
+    pub spec: IndexSpec,
+    /// The version the next WAL record must carry.
+    pub next_version: u64,
+    /// The manifest sequence recovery loaded (0 when none existed).
+    pub manifest_seq: u64,
+    /// WAL records applied during replay (diagnostics / tests).
+    pub replayed: usize,
+}
+
+/// True when `dir` already holds store data — a manifest, or a WAL segment
+/// with at least one *valid record*. The guard `open_seeded` uses to decide
+/// between seeding and recovering: an empty (or wholly torn) leftover
+/// segment does not count, so a seeding that crashed before its first
+/// checkpoint can be retried instead of silently recovering an empty store.
+pub(crate) fn has_store_data(dir: &Path) -> Result<bool, StoreError> {
+    if !manifest::list_manifests(dir)?.is_empty() {
+        return Ok(true);
+    }
+    for (_, path) in wal::list_segments(dir)? {
+        if !wal::read_segment(&path)?.records.is_empty() {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Is this load failure the debris of an interrupted checkpoint — a torn
+/// or corrupt file, a spec that never parsed, a snapshot the crash never
+/// wrote — rather than a real environmental failure? Only debris may fall
+/// back to an older manifest; an EIO or permission error must abort the
+/// open, or a transient fault could silently resurrect a stale checkpoint
+/// whose covering WAL was already truncated.
+fn is_checkpoint_debris(e: &StoreError) -> bool {
+    match e {
+        StoreError::Corrupt { .. } | StoreError::Spec { .. } => true,
+        StoreError::Io(io) => io.kind() == std::io::ErrorKind::NotFound,
+        _ => false,
+    }
+}
+
+/// A checkpoint loaded from one manifest: router, per-shard key columns
+/// (not yet built — replay edits them first, so every shard trains its
+/// model exactly once) and the per-shard replay floors.
+struct LoadedCheckpoint<K: Key> {
+    router: ShardRouter<K>,
+    columns: Vec<Vec<K>>,
+    applied: Vec<u64>,
+    spec: IndexSpec,
+    version: u64,
+    seq: u64,
+}
+
+/// Build one shard over recovered keys with the store's tuning knobs.
+fn recovered_shard<K: Key>(
+    config: &StoreConfig,
+    spec: IndexSpec,
+    keys: Vec<K>,
+) -> Arc<StoreShard<K>> {
+    Arc::new(
+        StoreShard::build_prevalidated(
+            spec,
+            Arc::<[K]>::from(keys),
+            config.delta_threshold,
+            config.build_threads,
+        )
+        .with_chain_tuning(config.max_run_len, config.compact_runs),
+    )
+}
+
+/// Try to materialise the checkpoint a manifest describes, validating
+/// every snapshot it references.
+fn load_checkpoint<K: Key>(dir: &Path, path: &Path) -> Result<LoadedCheckpoint<K>, StoreError> {
+    let m = manifest::load_manifest(path)?;
+    let spec = IndexSpec::parse(&m.spec).map_err(|e| StoreError::Spec {
+        text: m.spec.clone(),
+        reason: e.to_string(),
+    })?;
+    let mut columns = Vec::with_capacity(m.shards.len());
+    let mut applied = Vec::with_capacity(m.shards.len());
+    for entry in &m.shards {
+        let (shard_applied, keys) = snapshot::read_snapshot::<K>(&dir.join(&entry.snapshot))?;
+        if shard_applied != entry.applied {
+            return Err(StoreError::Corrupt {
+                path: dir.join(&entry.snapshot),
+                reason: format!(
+                    "snapshot applied version {shard_applied} disagrees with manifest {}",
+                    entry.applied
+                ),
+            });
+        }
+        columns.push(keys);
+        applied.push(entry.applied);
+    }
+    if columns.is_empty() {
+        return Err(StoreError::Corrupt {
+            path: path.to_path_buf(),
+            reason: "manifest lists no shards".into(),
+        });
+    }
+    let fences: Vec<K> = m
+        .fences
+        .iter()
+        .map(|&f| K::from_u64_saturating(f))
+        .collect();
+    Ok(LoadedCheckpoint {
+        router: ShardRouter::from_fences(fences),
+        columns,
+        applied,
+        spec,
+        version: m.version,
+        seq: m.seq,
+    })
+}
+
+/// Recover a store from `dir` (see the module docs for the sequence).
+pub(crate) fn recover<K: Key>(
+    dir: &Path,
+    config: &StoreConfig,
+) -> Result<Recovered<K>, StoreError> {
+    // 1. Newest valid manifest wins; all-corrupt is an error, none is fresh.
+    let manifests = manifest::list_manifests(dir)?;
+    let mut checkpoint: Option<LoadedCheckpoint<K>> = None;
+    let mut first_failure: Option<StoreError> = None;
+    for (_, path) in &manifests {
+        match load_checkpoint(dir, path) {
+            Ok(cp) => {
+                checkpoint = Some(cp);
+                break;
+            }
+            Err(e) if is_checkpoint_debris(&e) => first_failure = first_failure.or(Some(e)),
+            Err(e) => return Err(e),
+        }
+    }
+    let mut cp = match (checkpoint, first_failure) {
+        (Some(cp), _) => cp,
+        (None, Some(e)) => return Err(e),
+        (None, None) => LoadedCheckpoint {
+            // Fresh directory (or WAL-only): one empty shard, config spec.
+            router: ShardRouter::from_fences(Vec::new()),
+            columns: vec![Vec::new()],
+            applied: vec![0],
+            spec: config.spec,
+            version: 0,
+            seq: 0,
+        },
+    };
+
+    // 2./3. Replay the WAL tail in version order, idempotently — applied
+    // straight into the key columns (store delete semantics: one occurrence
+    // removed when present, else a no-op), so the expensive model training
+    // below happens exactly once per shard, replayed-into or not.
+    let mut next_version = cp.version + 1;
+    let mut replayed = 0usize;
+    for (_, segment) in wal::list_segments(dir)? {
+        for record in wal::read_segment(&segment)?.records {
+            next_version = next_version.max(record.version + 1);
+            let key = K::from_u64_saturating(record.key);
+            let s = cp.router.shard_of(key);
+            if record.version <= cp.applied[s] {
+                continue; // already inside the snapshot: replay is a no-op
+            }
+            let column = &mut cp.columns[s];
+            let pos = column.partition_point(|&x| x < key);
+            match record.op {
+                WalOp::Insert => column.insert(pos, key),
+                WalOp::Delete => {
+                    if column.get(pos) == Some(&key) {
+                        column.remove(pos);
+                    }
+                }
+            }
+            replayed += 1;
+        }
+    }
+
+    // 4. Build each shard once over its final column; chains start clean.
+    let spec = cp.spec;
+    let shards = cp
+        .columns
+        .into_iter()
+        .map(|column| recovered_shard(config, spec, column))
+        .collect();
+
+    Ok(Recovered {
+        router: cp.router,
+        shards,
+        spec,
+        next_version: next_version.max(1),
+        manifest_seq: cp.seq,
+        replayed,
+    })
+}

@@ -26,6 +26,7 @@
 
 use crate::delta::DeltaChain;
 use crate::epoch::EpochCell;
+use crate::error::RetiredShard;
 use algo_index::search::{DynRangeIndex, RangeIndex};
 use shift_table::error::BuildError;
 use shift_table::spec::IndexSpec;
@@ -361,16 +362,44 @@ impl<K: Key> StoreShard<K> {
     }
 
     /// Buffer one inserted occurrence of `k` on a shard that is not managed
-    /// by a store (panics if the shard was retired). Returns true when the
-    /// write made (or left) the shard dirty.
-    pub fn insert(&self, k: K) -> bool {
-        self.try_insert(k).expect("insert on a retired shard")
+    /// by a store. Returns true when the write made (or left) the shard
+    /// dirty.
+    ///
+    /// Prefer [`StoreShard::try_insert`] whenever the shard might live under
+    /// a [`crate::ShardedStore`]: the store's rebalancer retires shards it
+    /// replaces, and the `try_*` form signals that with `None` so the caller
+    /// can re-route instead of failing.
+    ///
+    /// # Errors
+    /// [`RetiredShard`] if a split or merge has replaced this shard. Debug
+    /// builds assert first — writing to a retired shard directly is always a
+    /// routing bug — but release builds surface the typed error rather than
+    /// an ambient panic.
+    pub fn insert(&self, k: K) -> Result<bool, RetiredShard> {
+        let result = self.try_insert(k).ok_or(RetiredShard);
+        debug_assert!(
+            result.is_ok(),
+            "insert on a retired shard (re-route via the store table)"
+        );
+        result
     }
 
-    /// Buffer a tombstone for one occurrence of `k` on an unmanaged shard
-    /// (panics if retired). Returns `(removed, dirty)`.
-    pub fn delete(&self, k: K) -> (bool, bool) {
-        self.try_delete(k).expect("delete on a retired shard")
+    /// Buffer a tombstone for one occurrence of `k` on an unmanaged shard.
+    /// Returns `(removed, dirty)`.
+    ///
+    /// Prefer [`StoreShard::try_delete`] under a [`crate::ShardedStore`];
+    /// see [`StoreShard::insert`] for the retirement contract.
+    ///
+    /// # Errors
+    /// [`RetiredShard`] if a split or merge has replaced this shard
+    /// (`debug_assert!`ed first, as for [`StoreShard::insert`]).
+    pub fn delete(&self, k: K) -> Result<(bool, bool), RetiredShard> {
+        let result = self.try_delete(k).ok_or(RetiredShard);
+        debug_assert!(
+            result.is_ok(),
+            "delete on a retired shard (re-route via the store table)"
+        );
+        result
     }
 
     /// True when the buffered operation count has reached the threshold
@@ -551,15 +580,15 @@ mod tests {
         let shard = StoreShard::build(spec(), keys, 1_000, 1).unwrap();
         assert_eq!(shard.len(), 100);
         assert_eq!(shard.lower_bound(55), 6);
-        shard.insert(55);
+        shard.insert(55).unwrap();
         assert_eq!(shard.len(), 101);
         assert_eq!(shard.lower_bound(55), 6);
         assert_eq!(shard.lower_bound(56), 7);
         assert_eq!(shard.count_of(55), 1);
-        let (removed, _) = shard.delete(55);
+        let (removed, _) = shard.delete(55).unwrap();
         assert!(removed);
         assert_eq!(shard.count_of(55), 0);
-        let (removed, _) = shard.delete(55);
+        let (removed, _) = shard.delete(55).unwrap();
         assert!(!removed, "deleting an absent key is a no-op");
         assert_eq!(shard.len(), 100);
     }
@@ -572,7 +601,7 @@ mod tests {
         assert!(!shard.rebuild().unwrap(), "clean shard does not rebuild");
         let mut dirty = false;
         for k in [1u64, 3, 5, 7, 9] {
-            dirty = shard.insert(k);
+            dirty = shard.insert(k).unwrap();
         }
         assert!(dirty);
         assert!(shard.is_dirty());
@@ -591,8 +620,8 @@ mod tests {
     fn delete_then_rebuild_shrinks_the_base() {
         let keys = vec![5u64, 5, 5, 9];
         let shard = StoreShard::build(spec(), keys, 100, 1).unwrap();
-        assert!(shard.delete(5).0);
-        assert!(shard.delete(5).0);
+        assert!(shard.delete(5).unwrap().0);
+        assert!(shard.delete(5).unwrap().0);
         assert_eq!(shard.len(), 2);
         shard.rebuild().unwrap();
         assert_eq!(shard.snapshot().keys(), &[5, 9]);
@@ -604,7 +633,7 @@ mod tests {
         let shard = StoreShard::build(spec(), Vec::<u64>::new(), 100, 1).unwrap();
         assert!(shard.is_empty());
         assert_eq!(shard.lower_bound(7), 0);
-        shard.insert(7);
+        shard.insert(7).unwrap();
         assert_eq!(shard.len(), 1);
         assert_eq!(shard.lower_bound(7), 0);
         assert_eq!(shard.lower_bound(8), 1);
@@ -616,12 +645,12 @@ mod tests {
     fn a_pinned_state_is_immune_to_later_writes_and_rebuilds() {
         let keys: Vec<u64> = (0..100u64).collect();
         let shard = StoreShard::build(spec(), keys, 4, 1).unwrap();
-        shard.insert(1_000);
+        shard.insert(1_000).unwrap();
         let pinned = shard.state();
         let v = pinned.version();
         assert_eq!(pinned.lower_bound(u64::MAX), 101);
         for k in 0..20u64 {
-            shard.insert(2_000 + k); // crosses the threshold — no rebuild yet
+            shard.insert(2_000 + k).unwrap(); // crosses the threshold — no rebuild yet
         }
         shard.rebuild().unwrap();
         // The pinned state still answers from its own epoch.
@@ -636,7 +665,7 @@ mod tests {
         let shard = StoreShard::build(spec(), vec![1u64, 2, 3], 1_000, 1).unwrap();
         let mut last = shard.state().version();
         for k in 0..10u64 {
-            shard.insert(k);
+            shard.insert(k).unwrap();
             let v = shard.state().version();
             assert!(v > last);
             last = v;
@@ -650,7 +679,7 @@ mod tests {
             .unwrap()
             .with_chain_tuning(1, 4);
         for k in 0..64u64 {
-            shard.insert(500 + k);
+            shard.insert(500 + k).unwrap();
         }
         let state = shard.state();
         assert!(
@@ -665,7 +694,7 @@ mod tests {
     #[test]
     fn retired_shard_rejects_writes_but_still_serves_reads() {
         let shard = StoreShard::build(spec(), vec![1u64, 2, 3], 100, 1).unwrap();
-        shard.insert(10);
+        shard.insert(10).unwrap();
         {
             let _w = shard.lock_write();
             shard.retire();

@@ -20,6 +20,10 @@
 use crate::config::StoreConfig;
 use crate::delta::DeltaChain;
 use crate::epoch::EpochCell;
+use crate::error::StoreError;
+use crate::persist::manifest::{Manifest, ManifestShard};
+use crate::persist::wal::WalOp;
+use crate::persist::{self, recovery, snapshot, DurabilityStats, Persistence};
 use crate::router::ShardRouter;
 use crate::shard::{build_index, ShardSnapshot, StoreShard};
 use crate::worker::{MaintenanceWorker, WorkerSignal};
@@ -27,6 +31,7 @@ use algo_index::search::{DynRangeIndex, RangeIndex};
 use shift_table::error::BuildError;
 use shift_table::spec::IndexSpec;
 use sosd_data::key::Key;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -214,6 +219,11 @@ pub struct StoreTable<K: Key> {
 }
 
 impl<K: Key> StoreTable<K> {
+    /// Assemble a topology epoch (recovery rebuilds tables from manifests).
+    pub(crate) fn new(router: ShardRouter<K>, shards: Vec<Arc<StoreShard<K>>>) -> Self {
+        Self { router, shards }
+    }
+
     /// The fence-key router of this topology epoch.
     pub fn router(&self) -> &ShardRouter<K> {
         &self.router
@@ -252,10 +262,12 @@ pub(crate) struct StoreCore<K: Key> {
     /// before any shard's rebuild guard.
     topology: Mutex<()>,
     signal: Arc<WorkerSignal>,
+    /// The durability layer — `Some` only for stores opened from a path.
+    persist: Option<Persistence>,
     rebuilds: AtomicU64,
     splits: AtomicU64,
     merges: AtomicU64,
-    maintenance_error: Mutex<Option<BuildError>>,
+    maintenance_error: Mutex<Option<StoreError>>,
 }
 
 impl<K: Key> StoreCore<K> {
@@ -304,8 +316,10 @@ impl<K: Key> StoreCore<K> {
     }
 
     /// One background maintenance pass: compact long chains, rebuild dirty
-    /// shards, rebalance skewed ones. Returns the number of actions taken.
-    pub(crate) fn maintenance_pass(&self) -> Result<usize, BuildError> {
+    /// shards, rebalance skewed ones and — on a durable store whose WAL has
+    /// grown past the configured record budget — take a checkpoint. Returns
+    /// the number of actions taken.
+    pub(crate) fn maintenance_pass(&self) -> Result<usize, StoreError> {
         let mut actions = 0usize;
         let table = self.load_table();
         // The worker compacts earlier than the writers' inline fold (at
@@ -319,36 +333,83 @@ impl<K: Key> StoreCore<K> {
         }
         actions += self.rebuild_where(|s| s.is_dirty())?;
         actions += self.rebalance()?;
+        if self.persist.as_ref().is_some_and(|p| p.checkpoint_due()) {
+            self.checkpoint()?;
+            actions += 1;
+        }
         Ok(actions)
     }
 
-    pub(crate) fn record_maintenance_error(&self, e: BuildError) {
+    pub(crate) fn record_maintenance_error(&self, e: StoreError) {
         *self
             .maintenance_error
             .lock()
             .expect("maintenance error slot poisoned") = Some(e);
     }
 
-    fn take_maintenance_error(&self) -> Option<BuildError> {
+    fn take_maintenance_error(&self) -> Option<StoreError> {
         self.maintenance_error
             .lock()
             .expect("maintenance error slot poisoned")
             .take()
     }
 
+    /// Take an epoch-consistent checkpoint (see [`crate::persist`]): rotate
+    /// the WAL and pin every shard state under the WAL lock (an exact cut —
+    /// durable writes apply under that lock), then write the snapshots and
+    /// manifest off-lock and truncate the covered WAL prefix.
+    pub(crate) fn checkpoint(&self) -> Result<u64, StoreError> {
+        let Some(p) = &self.persist else {
+            return Err(StoreError::NotDurable);
+        };
+        let _gate = p.checkpoint_gate();
+        let (cv, seq, (fences, states)) = p.begin_checkpoint(|| {
+            let table = self.load_table();
+            let fences: Vec<u64> = table.router.fences().iter().map(|f| f.to_u64()).collect();
+            let states: Vec<Arc<crate::shard::ShardState<K>>> =
+                table.shards.iter().map(|s| s.state()).collect();
+            (fences, states)
+        })?;
+        let mut shards = Vec::with_capacity(states.len());
+        let mut snapshot_bytes = 0u64;
+        for (i, state) in states.iter().enumerate() {
+            let name = snapshot::snapshot_name(seq, i);
+            snapshot_bytes +=
+                snapshot::write_snapshot(&p.dir().join(&name), cv, &state.merged_keys())?;
+            shards.push(ManifestShard {
+                snapshot: name,
+                applied: cv,
+            });
+        }
+        let m = Manifest {
+            seq,
+            version: cv,
+            spec: self.config.spec.to_string(),
+            fences,
+            shards,
+        };
+        persist::manifest::write_manifest(p.dir(), &m)?;
+        p.finish_checkpoint(cv, snapshot_bytes);
+        persist::gc(p.dir(), &m);
+        Ok(cv)
+    }
+
     // ---- rebalancing ----------------------------------------------------
 
     /// One rebalance sweep: split every shard whose live size exceeds
-    /// `split_skew × mean` at a duplicate-run-aligned median fence (plus
-    /// one catch-up split per sweep while the topology has fewer shards
-    /// than configured), then merge shards smaller than `mean / split_skew`
-    /// into their smaller neighbour. Returns the number of topology
-    /// changes.
+    /// `split_skew × mean` — or the absolute `split_max_len` ceiling, which
+    /// still fires when the peer-relative skew signal is inert (a 1-shard
+    /// store *is* its own mean) — at a duplicate-run-aligned median fence
+    /// (plus one catch-up split per sweep while the topology has fewer
+    /// shards than configured), then merge shards smaller than
+    /// `mean / split_skew` into their smaller neighbour. Returns the number
+    /// of topology changes.
     fn rebalance(&self) -> Result<usize, BuildError> {
         let skew = self.config.split_skew;
         if skew == 0 {
             return Ok(0);
         }
+        let max_len = self.config.split_max_len;
         let _topology = self.topology.lock().expect("topology lock poisoned");
         let mut actions = 0usize;
 
@@ -362,7 +423,7 @@ impl<K: Key> StoreCore<K> {
             .shards
             .iter()
             .zip(lens.iter())
-            .filter(|&(_, &len)| len > skew * mean && len >= 2)
+            .filter(|&(_, &len)| len >= 2 && (len > skew * mean || (max_len > 0 && len > max_len)))
             .map(|(s, _)| Arc::clone(s))
             .collect();
         for shard in oversized {
@@ -420,7 +481,14 @@ impl<K: Key> StoreCore<K> {
                 _ => break,
             };
             let (a, b) = (s.min(partner), s.max(partner));
-            if lens[a] + lens[b] > skew * mean || !self.merge_shards(&table, a)? {
+            // Refuse to create a new oversized shard — by the skew signal or
+            // by the absolute ceiling (which would oscillate with the split
+            // fallback otherwise).
+            let merged = lens[a] + lens[b];
+            if merged > skew * mean
+                || (max_len > 0 && merged > max_len)
+                || !self.merge_shards(&table, a)?
+            {
                 break;
             }
             actions += 1;
@@ -589,16 +657,91 @@ pub struct ShardedStore<K: Key> {
 }
 
 impl<K: Key> ShardedStore<K> {
-    /// Build a store over the sorted `keys` with the given configuration.
-    /// With [`StoreConfig::background_maintenance`] set this also spawns the
-    /// [`MaintenanceWorker`] thread, shut down when the store is dropped.
+    /// Build an **in-memory** store over the sorted `keys` with the given
+    /// configuration — nothing is persisted (see [`ShardedStore::open`] for
+    /// the durable form). With [`StoreConfig::background_maintenance`] set
+    /// this also spawns the [`MaintenanceWorker`] thread, shut down when the
+    /// store is dropped.
     ///
     /// # Errors
     /// [`BuildError::UnsortedKeys`] if `keys` is not sorted.
     pub fn build(config: StoreConfig, keys: impl AsRef<[K]>) -> Result<Self, BuildError> {
-        // `build_chunked` validated the whole column; each chunk takes the
-        // prevalidated shard constructor rather than re-scanning.
-        let (router, _offsets, shards) = build_chunked(keys.as_ref(), config.shards, |chunk| {
+        let table = Self::table_from_keys(&config, keys.as_ref())?;
+        Ok(Self::assemble(config, table, None))
+    }
+
+    /// Open (or create) a **durable** store at directory `path`: load the
+    /// newest checkpoint manifest, rebuild each shard by retraining the
+    /// persisted spec over its snapshot keys, replay the WAL tail
+    /// idempotently, and start a fresh WAL segment for new writes. A fresh
+    /// directory starts an empty store. On-disk format, checkpointing and
+    /// the recovery invariants are documented in [`crate::persist`].
+    ///
+    /// For a recovered store the **persisted** spec wins over
+    /// `config.spec` (the shards must match what the snapshots were cut
+    /// from); every other knob — thresholds, shard tuning,
+    /// [`StoreConfig::durability`] — comes from `config`.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on filesystem failures, [`StoreError::Corrupt`]
+    /// when a manifest or snapshot fails validation, [`StoreError::Spec`]
+    /// when the persisted spec no longer parses.
+    pub fn open(path: impl AsRef<Path>, config: StoreConfig) -> Result<Self, StoreError> {
+        let dir = path.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let recovered = recovery::recover::<K>(dir, &config)?;
+        let mut config = config;
+        config.spec = recovered.spec;
+        let persistence = Persistence::create(
+            dir.to_path_buf(),
+            config.durability.unwrap_or_default(),
+            recovered.next_version,
+            recovered.manifest_seq,
+            recovered.replayed as u64,
+        )?;
+        let table = StoreTable::new(recovered.router, recovered.shards);
+        Ok(Self::assemble(config, table, Some(persistence)))
+    }
+
+    /// [`ShardedStore::open`] that seeds a **fresh** directory with the
+    /// sorted `keys` and checkpoints them immediately (the seed never
+    /// transits the WAL, so it must be snapshot-durable before the store is
+    /// handed out). A directory that already holds store data — a manifest,
+    /// or a WAL segment with at least one valid record — recovers normally
+    /// and ignores `keys`; a seeding that crashed before its first
+    /// checkpoint leaves neither, so retrying it seeds again.
+    ///
+    /// # Errors
+    /// As [`ShardedStore::open`], plus [`StoreError::Build`] if `keys` is
+    /// not sorted.
+    pub fn open_seeded(
+        path: impl AsRef<Path>,
+        config: StoreConfig,
+        keys: impl AsRef<[K]>,
+    ) -> Result<Self, StoreError> {
+        let dir = path.as_ref();
+        std::fs::create_dir_all(dir)?;
+        if recovery::has_store_data(dir)? {
+            return Self::open(dir, config);
+        }
+        let table = Self::table_from_keys(&config, keys.as_ref())?;
+        let persistence = Persistence::create(
+            dir.to_path_buf(),
+            config.durability.unwrap_or_default(),
+            1,
+            0,
+            0,
+        )?;
+        let store = Self::assemble(config, table, Some(persistence));
+        store.checkpoint()?;
+        Ok(store)
+    }
+
+    /// Shared constructor: chunk the validated column and build one shard
+    /// per chunk (`build_chunked` validated the whole column; each chunk
+    /// takes the prevalidated shard constructor rather than re-scanning).
+    fn table_from_keys(config: &StoreConfig, keys: &[K]) -> Result<StoreTable<K>, BuildError> {
+        let (router, _offsets, shards) = build_chunked(keys, config.shards, |chunk| {
             Ok::<_, BuildError>(Arc::new(
                 StoreShard::build_prevalidated(
                     config.spec,
@@ -609,11 +752,18 @@ impl<K: Key> ShardedStore<K> {
                 .with_chain_tuning(config.max_run_len, config.compact_runs),
             ))
         })?;
+        Ok(StoreTable { router, shards })
+    }
+
+    /// Wrap a table (built or recovered) into a live store, spawning the
+    /// worker when configured.
+    fn assemble(config: StoreConfig, table: StoreTable<K>, persist: Option<Persistence>) -> Self {
         let core = Arc::new(StoreCore {
-            table: EpochCell::new(Arc::new(StoreTable { router, shards })),
+            table: EpochCell::new(Arc::new(table)),
             config,
             topology: Mutex::new(()),
             signal: Arc::new(WorkerSignal::default()),
+            persist,
             rebuilds: AtomicU64::new(0),
             splits: AtomicU64::new(0),
             merges: AtomicU64::new(0),
@@ -622,7 +772,7 @@ impl<K: Key> ShardedStore<K> {
         let worker = config
             .background_maintenance
             .then(|| MaintenanceWorker::spawn(Arc::clone(&core)));
-        Ok(Self { core, worker })
+        Self { core, worker }
     }
 
     /// The store configuration.
@@ -680,49 +830,73 @@ impl<K: Key> ShardedStore<K> {
     }
 
     /// The last error the background worker hit, if any (sticky until
-    /// taken). Build errors cannot currently occur on the maintenance
-    /// paths; the hook exists for future failure modes.
-    pub fn take_maintenance_error(&self) -> Option<BuildError> {
+    /// taken). On a durable store the checkpoint duty can fail with real
+    /// I/O errors; the in-memory maintenance paths cannot currently fail.
+    pub fn take_maintenance_error(&self) -> Option<StoreError> {
         self.core.take_maintenance_error()
     }
 
-    /// Insert one occurrence of `k`. With `auto_rebuild` enabled, a write
-    /// that pushes its shard over the delta threshold rebuilds that shard
-    /// before returning; with the background worker enabled it is kicked
-    /// instead and the write returns immediately.
+    /// Insert one occurrence of `k`. On a durable store the record is
+    /// appended to the write-ahead log (honouring the configured
+    /// [`crate::SyncPolicy`]) *before* it is applied in memory. With
+    /// `auto_rebuild` enabled, a write that pushes its shard over the delta
+    /// threshold rebuilds that shard before returning; with the background
+    /// worker enabled it is kicked instead and the write returns
+    /// immediately.
     ///
     /// # Errors
-    /// Propagates a shard rebuild failure (cannot happen for store-managed
-    /// chains; see [`StoreShard::rebuild`]).
-    pub fn insert(&self, k: K) -> Result<(), BuildError> {
+    /// [`StoreError::Io`] if the WAL append fails (durable stores only);
+    /// [`StoreError::Build`] from a shard rebuild (cannot happen for
+    /// store-managed chains; see [`StoreShard::rebuild`]).
+    pub fn insert(&self, k: K) -> Result<(), StoreError> {
+        let dirty = match &self.core.persist {
+            Some(p) => p.append(WalOp::Insert, k.to_u64(), |_version| self.apply_insert(k))?,
+            None => self.apply_insert(k),
+        };
+        if let Some(shard) = dirty {
+            self.on_dirty(&shard)?;
+        }
+        Ok(())
+    }
+
+    /// Delete one occurrence of `k`. Returns true when an occurrence existed
+    /// (and a tombstone was recorded), false for a no-op. Durable stores log
+    /// the delete before applying it; a logged no-op replays as a no-op.
+    ///
+    /// # Errors
+    /// As for [`ShardedStore::insert`].
+    pub fn delete(&self, k: K) -> Result<bool, StoreError> {
+        let (removed, dirty) = match &self.core.persist {
+            Some(p) => p.append(WalOp::Delete, k.to_u64(), |_version| self.apply_delete(k))?,
+            None => self.apply_delete(k),
+        };
+        if let Some(shard) = dirty {
+            self.on_dirty(&shard)?;
+        }
+        Ok(removed)
+    }
+
+    /// Apply an insert in memory, re-routing around retired shards (one
+    /// replaced by a concurrent split/merge refuses the write; reload the
+    /// freshly published table and retry). Returns the shard to maintain
+    /// when the write made it dirty.
+    fn apply_insert(&self, k: K) -> Option<Arc<StoreShard<K>>> {
         loop {
             let table = self.core.load_table();
             let shard = &table.shards[table.router.shard_of(k)];
-            // A retired shard (replaced by a concurrent split/merge) refuses
-            // the write; reload the freshly published table and re-route.
             if let Some(dirty) = shard.try_insert(k) {
-                if dirty {
-                    self.on_dirty(shard)?;
-                }
-                return Ok(());
+                return dirty.then(|| Arc::clone(shard));
             }
         }
     }
 
-    /// Delete one occurrence of `k`. Returns true when an occurrence existed
-    /// (and a tombstone was recorded), false for a no-op.
-    ///
-    /// # Errors
-    /// Propagates a shard rebuild failure, as for [`ShardedStore::insert`].
-    pub fn delete(&self, k: K) -> Result<bool, BuildError> {
+    /// Apply a delete in memory (see [`ShardedStore::apply_insert`]).
+    fn apply_delete(&self, k: K) -> (bool, Option<Arc<StoreShard<K>>>) {
         loop {
             let table = self.core.load_table();
             let shard = &table.shards[table.router.shard_of(k)];
             if let Some((removed, dirty)) = shard.try_delete(k) {
-                if dirty {
-                    self.on_dirty(shard)?;
-                }
-                return Ok(removed);
+                return (removed, dirty.then(|| Arc::clone(shard)));
             }
         }
     }
@@ -737,6 +911,59 @@ impl<K: Key> ShardedStore<K> {
         Ok(())
     }
 
+    /// Take an epoch-consistent checkpoint now: snapshot every shard's
+    /// merged view at one exact cut of the write stream, publish a new
+    /// manifest, and truncate the WAL prefix the snapshots cover. Returns
+    /// the checkpoint version. The maintenance worker calls this
+    /// automatically every [`crate::DurabilityConfig::checkpoint_ops`] WAL
+    /// records.
+    ///
+    /// # Errors
+    /// [`StoreError::NotDurable`] on an in-memory store; [`StoreError::Io`]
+    /// on filesystem failures.
+    pub fn checkpoint(&self) -> Result<u64, StoreError> {
+        self.core.checkpoint()
+    }
+
+    /// Force every acknowledged write's WAL record to stable storage now,
+    /// regardless of the configured [`crate::SyncPolicy`] — a durability
+    /// point without the cost of a checkpoint. Dropping the store does this
+    /// best-effort; call it explicitly when the result matters.
+    ///
+    /// # Errors
+    /// [`StoreError::NotDurable`] on an in-memory store; [`StoreError::Io`]
+    /// if the sync fails.
+    pub fn sync_wal(&self) -> Result<(), StoreError> {
+        match &self.core.persist {
+            Some(p) => p.sync(),
+            None => Err(StoreError::NotDurable),
+        }
+    }
+
+    /// True when the store persists to disk (opened via
+    /// [`ShardedStore::open`] / [`ShardedStore::open_seeded`]).
+    pub fn is_durable(&self) -> bool {
+        self.core.persist.is_some()
+    }
+
+    /// The directory a durable store persists to (`None` for in-memory
+    /// stores).
+    pub fn dir(&self) -> Option<&Path> {
+        self.core.persist.as_ref().map(|p| p.dir())
+    }
+
+    /// Cumulative durability counters (`None` for in-memory stores): WAL
+    /// records/bytes, checkpoints taken, snapshot bytes — the inputs of a
+    /// write-amplification measurement.
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        self.core.persist.as_ref().map(|p| p.stats())
+    }
+
+    /// The durability configuration in force (`None` for in-memory stores).
+    pub fn durability_config(&self) -> Option<crate::config::DurabilityConfig> {
+        self.core.persist.as_ref().map(|p| p.durability())
+    }
+
     /// Merged occurrence count of the exact key `k`.
     pub fn count_of(&self, k: K) -> usize {
         let table = self.core.load_table();
@@ -749,30 +976,32 @@ impl<K: Key> ShardedStore<K> {
     ///
     /// # Errors
     /// Propagates the first shard rebuild failure.
-    pub fn maintain(&self) -> Result<usize, BuildError> {
-        self.core.rebuild_where(|s| s.is_dirty())
+    pub fn maintain(&self) -> Result<usize, StoreError> {
+        Ok(self.core.rebuild_where(|s| s.is_dirty())?)
     }
 
     /// Rebuild every shard with *any* buffered write, regardless of the
-    /// threshold. Returns the number of shards rebuilt.
+    /// threshold. Returns the number of shards rebuilt. On a durable store
+    /// this folds chains into in-memory bases only — call
+    /// [`ShardedStore::checkpoint`] to persist them.
     ///
     /// # Errors
     /// Propagates the first shard rebuild failure.
-    pub fn flush(&self) -> Result<usize, BuildError> {
-        self.core.rebuild_where(|s| s.buffered_ops() > 0)
+    pub fn flush(&self) -> Result<usize, StoreError> {
+        Ok(self.core.rebuild_where(|s| s.buffered_ops() > 0)?)
     }
 
-    /// Run one rebalance sweep: split shards grown past
-    /// `split_skew × mean`, merge shards shrunk below `mean / split_skew`.
-    /// The background worker runs this automatically; the method is public
-    /// for deterministic tests and explicit maintenance. Returns the number
-    /// of topology changes.
+    /// Run one rebalance sweep: split shards grown past `split_skew × mean`
+    /// (or past the absolute [`StoreConfig::split_max_len`] ceiling), merge
+    /// shards shrunk below `mean / split_skew`. The background worker runs
+    /// this automatically; the method is public for deterministic tests and
+    /// explicit maintenance. Returns the number of topology changes.
     ///
     /// # Errors
     /// Propagates the first child-index build failure (cannot currently
     /// occur; merged columns are sorted by construction).
-    pub fn rebalance(&self) -> Result<usize, BuildError> {
-        self.core.rebalance()
+    pub fn rebalance(&self) -> Result<usize, StoreError> {
+        Ok(self.core.rebalance()?)
     }
 }
 
@@ -1028,6 +1257,45 @@ mod tests {
                 "q={q}"
             );
         }
+    }
+
+    #[test]
+    fn absolute_ceiling_splits_a_single_giant_shard() {
+        // The skew signal is peer-relative: a 1-shard store is its own mean
+        // and `len > skew × mean` can never fire, and with the configured
+        // count already reached the catch-up path is inert too. The
+        // absolute `split_max_len` ceiling must still split it.
+        let keys: Vec<u64> = (0..2_000u64).collect();
+        let config = StoreConfig::new(spec())
+            .shards(1)
+            .delta_threshold(1_000_000)
+            .auto_rebuild(false)
+            .split_skew(4)
+            .split_max_len(1_500);
+        let store = ShardedStore::build(config, &keys).unwrap();
+        assert_eq!(store.shard_count(), 1);
+        // Without the ceiling nothing would happen (control).
+        let control = ShardedStore::build(config.split_max_len(0), &keys).unwrap();
+        assert_eq!(control.rebalance().unwrap(), 0);
+        assert_eq!(control.shard_count(), 1);
+        // With it, the giant shard splits and reads stay exact.
+        assert!(store.rebalance().unwrap() >= 1);
+        assert!(store.shard_count() >= 2);
+        assert!(store.total_splits() >= 1);
+        assert!(
+            store.shards().iter().all(|s| s.len() <= 1_500),
+            "children must respect the ceiling: {:?}",
+            store.shards().iter().map(|s| s.len()).collect::<Vec<_>>()
+        );
+        for q in [0u64, 999, 1_000, 1_999, u64::MAX] {
+            assert_eq!(store.lower_bound(q), 2_000.min(q as usize), "q={q}");
+        }
+        // A follow-up sweep must not merge the children straight back.
+        store.rebalance().unwrap();
+        assert!(
+            store.shard_count() >= 2,
+            "ceiling splits must not oscillate"
+        );
     }
 
     #[test]

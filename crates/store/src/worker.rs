@@ -1,13 +1,18 @@
 //! The background maintenance thread.
 //!
-//! A [`MaintenanceWorker`] is spawned by `ShardedStore::build` when
+//! A [`MaintenanceWorker`] is spawned by `ShardedStore::build` (or
+//! `ShardedStore::open`) when
 //! [`crate::StoreConfig::background_maintenance`] is set. Each pass it
 //! compacts delta chains, rebuilds dirty shards and rebalances skewed ones —
 //! all through the same seal/strip machinery the foreground paths use, so
 //! readers never wait for it and writers only overlap it at the
-//! pointer-swap commits. Between passes it sleeps on a condition variable:
-//! a threshold-crossing write *kicks* it awake immediately, otherwise it
-//! wakes every [`crate::StoreConfig::maintenance_interval`].
+//! pointer-swap commits. On a durable store it has one more duty: once the
+//! WAL has grown by [`crate::DurabilityConfig::checkpoint_ops`] records it
+//! takes an epoch-consistent checkpoint (snapshots + manifest rotation +
+//! WAL truncation; see [`crate::persist`]). Between passes it sleeps on a
+//! condition variable: a threshold-crossing write *kicks* it awake
+//! immediately, otherwise it wakes every
+//! [`crate::StoreConfig::maintenance_interval`].
 //!
 //! The worker owns nothing but a shared handle to the store's core; dropping
 //! the store signals the worker to stop and joins the thread, so no
@@ -79,7 +84,8 @@ pub struct MaintenanceWorker {
 impl MaintenanceWorker {
     /// Spawn the worker over the store core. The thread loops: sleep (or be
     /// kicked), then run one maintenance pass — compaction, dirty-shard
-    /// rebuilds, rebalancing. Build errors are parked in the core for
+    /// rebuilds, rebalancing, and (durable stores) the checkpoint duty.
+    /// Errors are parked in the core for
     /// [`crate::ShardedStore::take_maintenance_error`] to surface.
     pub(crate) fn spawn<K: Key>(core: Arc<StoreCore<K>>) -> Self {
         let signal = core.signal();

@@ -16,7 +16,10 @@
 //!   (fence-key router over per-shard indexes) and
 //!   [`shift_store::ShardedStore`] (lock-free reads over epoch-pinned shard
 //!   states — immutable base snapshots plus immutable delta chains — with a
-//!   background maintenance worker and skew-driven shard rebalancing),
+//!   background maintenance worker, skew-driven shard rebalancing, and an
+//!   optional durable form: a checksummed write-ahead log with
+//!   epoch-consistent checkpoints and crash recovery behind
+//!   [`shift_store::ShardedStore::open`]),
 //! * [`sosd_data`] — SOSD-style datasets, workloads and CDF utilities.
 //!
 //! ## The two construction paths
