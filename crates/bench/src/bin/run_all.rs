@@ -39,6 +39,11 @@ fn main() {
             experiments::store_durable::run,
             "store_durable",
         ),
+        (
+            "Store (batch + snapshot)",
+            experiments::store_batch::run,
+            "store_batch",
+        ),
     ];
     for (name, run, stem) in all {
         println!("=== {name} ===");

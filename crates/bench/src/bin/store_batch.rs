@@ -1,0 +1,13 @@
+//! Store suite: WriteBatch amortisation (one WAL frame + one sync per
+//! batch) and snapshot reads (pin cost, pinned-vs-one-shot probes,
+//! consistent scans under write churn).
+//!
+//! Scale with `SOSD_N` / `SOSD_QUERIES`.
+
+use shift_bench::prelude::*;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("Shift-Table reproduction — WriteBatch + snapshot workloads (config: {cfg:?})\n");
+    experiments::emit(&experiments::store_batch::run(cfg), "store_batch");
+}

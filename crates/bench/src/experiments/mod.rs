@@ -11,11 +11,27 @@ pub mod figure6;
 pub mod figure7;
 pub mod figure8;
 pub mod figure9;
+pub mod store_batch;
 pub mod store_durable;
 pub mod store_mixed;
 pub mod table2;
 
 use crate::report::Table;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes scratch directories across rows and parallel test runs.
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory under the system temp dir for one durable
+/// experiment row; the caller removes it when the row is done.
+pub(crate) fn scratch_dir(prefix: &str, label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "{prefix}-{label}-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed),
+    ))
+}
 
 /// Print every table of an experiment and write the CSVs.
 pub fn emit(tables: &[Table], file_prefix: &str) {

@@ -17,10 +17,21 @@
 //!   reopen latency and how many WAL-tail records the recovery replayed,
 //!   and the run asserts the recovered key count matches the writes.
 //!
+//! A second table measures **group commit**: `W` concurrent writers insert
+//! under each sync policy, and the row reports aggregate throughput plus
+//! the actual `fdatasync` count. Under `SyncPolicy::Always` with group
+//! commit (the default) concurrent writers share syncs — the acceptance
+//! signal is `always` multi-writer throughput landing within ~2× of
+//! `every64` instead of the ~per-op-sync gap, at full durability. The
+//! `always-solo` row (group commit disabled) is the old one-sync-per-write
+//! behaviour, kept as the baseline the committer is beating.
+//!
 //! Scratch directories live under the system temp dir and are removed
 //! after each row. The optional `DURABLE_SYNC` environment variable
-//! (`always` | `every64` | `os`) restricts the sweep to one policy — CI's
-//! durability smoke job pins `every64`.
+//! (`always` | `every64` | `os`) restricts the per-policy trace sweep to
+//! one policy — CI's durability smoke job pins `every64`; the (small)
+//! group-commit table always runs all rows, since its point *is* the
+//! cross-policy comparison.
 
 use crate::datasets::{dataset_u64, BenchConfig};
 use crate::report::{fmt_ns, percentile_cells, Table};
@@ -30,8 +41,6 @@ use shift_store::{DurabilityConfig, ShardedStore, StoreConfig, SyncPolicy};
 use shift_table::spec::IndexSpec;
 use sosd_data::prelude::*;
 use std::hint::black_box;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// The sync policies the suite sweeps, labelled for the table and the
@@ -42,15 +51,8 @@ pub const SYNC_POLICIES: [(&str, SyncPolicy); 3] = [
     ("os", SyncPolicy::Os),
 ];
 
-/// Distinguishes scratch directories across rows and parallel test runs.
-static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
-
-fn scratch_dir(label: &str) -> PathBuf {
-    std::env::temp_dir().join(format!(
-        "shift-store-durable-{label}-{}-{}",
-        std::process::id(),
-        DIR_COUNTER.fetch_add(1, Ordering::Relaxed),
-    ))
+fn scratch_dir(label: &str) -> std::path::PathBuf {
+    super::scratch_dir("shift-store-durable", label)
 }
 
 /// Run the durable-store benchmark.
@@ -165,7 +167,101 @@ pub fn run(cfg: BenchConfig) -> Vec<Table> {
             replayed.to_string(),
         ]);
     }
-    vec![table]
+    vec![table, group_commit_table(cfg, spec)]
+}
+
+/// The group-commit variants the multi-writer table sweeps: label, policy,
+/// group commit on/off.
+pub const GROUP_VARIANTS: [(&str, SyncPolicy, bool); 4] = [
+    ("always", SyncPolicy::Always, true),
+    ("always-solo", SyncPolicy::Always, false),
+    ("every64", SyncPolicy::EveryN(64), true),
+    ("os", SyncPolicy::Os, true),
+];
+
+/// Writer thread counts the group-commit table sweeps. The deepest mix is
+/// where group commit pays off: every writer parked behind the WAL lock
+/// while a leader syncs is drained by the *next* single sync, so
+/// syncs/record falls roughly as `1/writers`.
+pub const GROUP_WRITERS: [usize; 3] = [1, 4, 32];
+
+/// Multi-writer durable insert throughput per sync policy: the group-commit
+/// acceptance table (see the module docs).
+fn group_commit_table(cfg: BenchConfig, spec: IndexSpec) -> Table {
+    // Writers insert disjoint fresh key ranges; the `always-solo` row pays
+    // one fdatasync per op, so the per-writer trace is kept short.
+    let total_ops = cfg.queries.clamp(64, 4_000);
+    let seed_keys: Vec<u64> = (0..(cfg.keys.min(50_000) as u64)).map(|i| i * 7).collect();
+    let mut table = Table::new(
+        format!(
+            "Store — group commit: {total_ops} concurrent durable inserts per row (seed n = {}, spec {spec}, WriteBatch every 4th op)",
+            seed_keys.len()
+        ),
+        &[
+            "sync",
+            "writers",
+            "ns/op",
+            "agg Kops/s",
+            "wal records",
+            "fdatasyncs",
+            "syncs/record",
+        ],
+    );
+    for (label, sync, group) in GROUP_VARIANTS {
+        for writers in GROUP_WRITERS {
+            let per_writer = (total_ops / writers).max(1);
+            let dir = scratch_dir(&format!("group-{label}-{writers}"));
+            let config = StoreConfig::new(spec)
+                .shards(4)
+                .delta_threshold(1_000_000)
+                .auto_rebuild(false)
+                .durability(
+                    DurabilityConfig::new()
+                        .sync(sync)
+                        .group_commit(group)
+                        .checkpoint_ops(0),
+                );
+            let store =
+                ShardedStore::open_seeded(&dir, config, &seed_keys).expect("fresh dir seeds");
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for w in 0..writers {
+                    let store = &store;
+                    scope.spawn(move || {
+                        let base = 1_000_000 + ((w as u64) << 20);
+                        for i in 0..per_writer as u64 {
+                            if i % 4 == 3 {
+                                let mut batch = shift_store::WriteBatch::with_capacity(2);
+                                batch.insert(base + i).insert(base + i + (1 << 19));
+                                store.apply(&batch).expect("batch apply cannot fail");
+                            } else {
+                                store.insert(base + i).expect("insert cannot fail");
+                            }
+                        }
+                    });
+                }
+            });
+            let elapsed = start.elapsed().as_secs_f64();
+            let stats = store.durability_stats().expect("durable store");
+            let logical = stats.wal_ops.max(1);
+            drop(store);
+            let _ = std::fs::remove_dir_all(&dir);
+            let ns_per_op = elapsed * 1e9 / logical as f64;
+            table.add_row(vec![
+                label.into(),
+                writers.to_string(),
+                fmt_ns(ns_per_op),
+                format!("{:.1}", logical as f64 / elapsed / 1e3),
+                stats.wal_records.to_string(),
+                stats.wal_syncs.to_string(),
+                format!(
+                    "{:.2}",
+                    stats.wal_syncs as f64 / stats.wal_records.max(1) as f64
+                ),
+            ]);
+        }
+    }
+    table
 }
 
 #[cfg(test)]
@@ -179,9 +275,14 @@ mod tests {
             queries: 400,
             seed: 42,
         });
-        assert_eq!(tables.len(), 1);
+        assert_eq!(tables.len(), 2);
         if std::env::var("DURABLE_SYNC").is_err() {
             assert_eq!(tables[0].row_count(), SYNC_POLICIES.len());
         }
+        assert_eq!(
+            tables[1].row_count(),
+            GROUP_VARIANTS.len() * GROUP_WRITERS.len(),
+            "the group-commit table ignores the DURABLE_SYNC filter"
+        );
     }
 }

@@ -35,6 +35,9 @@
 //! * [`spec`] — runtime composition: parse `"rmi:256+r1"`-style
 //!   [`spec::IndexSpec`] strings and build them into owned
 //!   `Box<dyn RangeIndex<K>>` trait objects,
+//! * [`snapshot`] — the [`SnapshotRead`] trait updatable stores implement
+//!   to hand out point-in-time, repeatable [`algo_index::RangeIndex`]
+//!   views (the `shift-store` serving layer is the canonical implementor),
 //! * [`cost`] — the hardware cost model `L(s)` and the tuning rules of
 //!   §3.7/§3.9 (should the layer be enabled? which local search?),
 //! * [`error`] — construction errors ([`BuildError`]), the error estimates of
@@ -83,6 +86,7 @@ pub mod entry;
 pub mod error;
 pub mod index;
 pub mod local_search;
+pub mod snapshot;
 pub mod spec;
 pub mod table;
 
@@ -93,6 +97,7 @@ pub use cost::{LatencyModel, TuningAdvisor, TuningDecision};
 pub use entry::ShiftEntry;
 pub use error::{BuildError, CorrectionErrorStats};
 pub use index::{BorrowedCorrectedIndex, CorrectedIndex, CorrectedIndexBuilder, CorrectionLayer};
+pub use snapshot::SnapshotRead;
 pub use spec::{DynCorrectedIndex, IndexSpec, LayerSpec};
 pub use table::ShiftTable;
 
@@ -106,6 +111,7 @@ pub mod prelude {
     pub use crate::index::{
         BorrowedCorrectedIndex, CorrectedIndex, CorrectedIndexBuilder, CorrectionLayer,
     };
+    pub use crate::snapshot::SnapshotRead;
     pub use crate::spec::{DynCorrectedIndex, IndexSpec, LayerSpec};
     pub use crate::table::ShiftTable;
 }

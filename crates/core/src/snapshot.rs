@@ -1,0 +1,41 @@
+//! The [`SnapshotRead`] trait: point-in-time, repeatable read views over
+//! updatable indexes.
+//!
+//! [`algo_index::RangeIndex`] describes *what* a range index answers; it says
+//! nothing about *when* the answer is true. For a static index the question
+//! never arises, but an updatable structure (the `shift-store` serving
+//! layer) answers every call against whatever state it holds at that
+//! instant, so two calls — or the two probes inside one `range` — may
+//! straddle a concurrent write. `SnapshotRead` closes that gap: it is
+//! implemented by stores that can hand out an **owned, immutable view**
+//! pinned to one version of the data, on which every [`RangeIndex`] read is
+//! exactly repeatable no matter how the underlying store moves on.
+//!
+//! The trait is deliberately tiny so any updatable index can adopt it: the
+//! view is just another `RangeIndex` (it drops into every benchmark harness
+//! and oracle the static indexes use), plus the version it is pinned at.
+
+use algo_index::search::RangeIndex;
+use sosd_data::key::Key;
+
+/// An updatable index that can pin an immutable, repeatable read view.
+///
+/// Laws implementors must uphold:
+///
+/// 1. **Repeatability** — every read on one view returns the same answer
+///    forever, regardless of concurrent writes to `self`.
+/// 2. **Self-consistency** — all reads on one view observe the same set of
+///    writes (a multi-key or ranged read never straddles a write).
+/// 3. **Monotonicity** — versions of successively taken views never
+///    decrease, and a view's reads reflect exactly the writes its version
+///    covers.
+pub trait SnapshotRead<K: Key> {
+    /// The pinned view: an owned, immutable [`RangeIndex`] over one version
+    /// of the data.
+    type Snapshot: RangeIndex<K>;
+
+    /// Pin the current state. Acquisition must not block concurrent
+    /// writers indefinitely, and the returned view must stay valid for as
+    /// long as the caller holds it.
+    fn snapshot(&self) -> Self::Snapshot;
+}

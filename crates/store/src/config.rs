@@ -23,19 +23,28 @@ pub enum SyncPolicy {
 pub struct DurabilityConfig {
     /// When WAL appends are flushed to stable storage.
     pub sync: SyncPolicy,
-    /// Number of WAL records after which the maintenance worker takes a
-    /// checkpoint (snapshot every shard, rotate the manifest, truncate the
-    /// WAL). `0` disables automatic checkpoints — only explicit
+    /// Number of logged operations after which the maintenance worker takes
+    /// a checkpoint (snapshot every shard, rotate the manifest, truncate
+    /// the WAL). `0` disables automatic checkpoints — only explicit
     /// [`crate::ShardedStore::checkpoint`] calls persist snapshots then.
     pub checkpoint_ops: u64,
+    /// Coalesce the `fdatasync`s of concurrent writers under
+    /// [`SyncPolicy::Always`] (on by default): each write still returns
+    /// only once its record is durable, but one leader's sync covers every
+    /// record appended before it, recovering most of the
+    /// [`SyncPolicy::EveryN`] throughput at full durability. Has no effect
+    /// under the other policies. Disable to force the strict
+    /// one-sync-per-record behaviour (e.g. to benchmark against it).
+    pub group_commit: bool,
 }
 
 impl Default for DurabilityConfig {
-    /// Sync every 64 records, checkpoint every 8192.
+    /// Sync every 64 records, checkpoint every 8192, group commit on.
     fn default() -> Self {
         Self {
             sync: SyncPolicy::EveryN(64),
             checkpoint_ops: 8192,
+            group_commit: true,
         }
     }
 }
@@ -59,6 +68,12 @@ impl DurabilityConfig {
     /// Set the automatic-checkpoint record threshold (`0` disables).
     pub fn checkpoint_ops(mut self, ops: u64) -> Self {
         self.checkpoint_ops = ops;
+        self
+    }
+
+    /// Enable or disable group commit under [`SyncPolicy::Always`].
+    pub fn group_commit(mut self, on: bool) -> Self {
+        self.group_commit = on;
         self
     }
 }
@@ -245,8 +260,13 @@ mod tests {
             Some(DurabilityConfig {
                 sync: SyncPolicy::EveryN(1),
                 checkpoint_ops: 8192,
+                group_commit: true,
             }),
             "EveryN(0) normalises to every record"
+        );
+        assert!(
+            !DurabilityConfig::new().group_commit(false).group_commit,
+            "group commit can be disabled"
         );
         assert_eq!(c.spec, spec);
         let d = StoreConfig::new(spec);

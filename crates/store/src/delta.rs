@@ -132,6 +132,28 @@ impl<K: Key> DeltaRun<K> {
             .collect()
     }
 
+    /// The per-key net deltas of the keys in `lo ..= hi` only: two binary
+    /// searches plus one pass over the in-range entries (the cumulative
+    /// just before the range start recovers each net exactly).
+    fn net_pairs_in(&self, lo: K, hi: K) -> Vec<(K, i64)> {
+        let start = self.entries.partition_point(|&(k, _)| k < lo);
+        // An inverted range (`hi < lo`) clamps to an empty sub-slice.
+        let end = self.entries.partition_point(|&(k, _)| k <= hi).max(start);
+        let mut prev = if start == 0 {
+            0
+        } else {
+            self.entries[start - 1].1
+        };
+        self.entries[start..end]
+            .iter()
+            .map(|&(k, cum)| {
+                let net = cum - prev;
+                prev = cum;
+                (k, net)
+            })
+            .collect()
+    }
+
     /// Sum of net deltas of all keys `< q`: one binary search.
     #[inline]
     pub fn net_below(&self, q: K) -> i64 {
@@ -362,43 +384,29 @@ impl<K: Key> DeltaChain<K> {
     /// sorted positions, tombstoned occurrences are dropped from their
     /// duplicate run.
     pub fn merge_into(&self, base: &[K]) -> Vec<K> {
-        let net = fold_runs(&self.runs);
-        let expected = base.len() as i64 + self.len_delta;
-        let mut out = Vec::with_capacity(expected.max(0) as usize);
-        let mut deltas = net.iter().peekable();
-        let mut i = 0usize;
-        while i < base.len() {
-            match deltas.peek() {
-                Some(&&(k, c)) if k <= base[i] => {
-                    if k < base[i] {
-                        // A key absent from the base: only inserts can be
-                        // buffered for it (tombstones require presence).
-                        debug_assert!(c > 0, "tombstone for an absent key");
-                        out.extend(std::iter::repeat_n(k, c.max(0) as usize));
-                    } else {
-                        // k == base[i]: rewrite the whole duplicate run.
-                        let mut run = 0i64;
-                        while i < base.len() && base[i] == k {
-                            run += 1;
-                            i += 1;
-                        }
-                        let total = run + c;
-                        debug_assert!(total >= 0, "tombstones exceed the run");
-                        out.extend(std::iter::repeat_n(k, total.max(0) as usize));
-                    }
-                    deltas.next();
-                }
-                _ => {
-                    out.push(base[i]);
-                    i += 1;
+        merge_pairs(base, &fold_runs(&self.runs))
+    }
+
+    /// Merge only the chain entries with keys in `lo ..= hi` into `base`,
+    /// which must be the base column restricted to exactly that key range
+    /// (full duplicate runs included) — the bounded form
+    /// [`crate::ShardState::merged_range_keys`] (snapshot scans) uses. The
+    /// fold itself is range-bounded (each run is sub-sliced by binary
+    /// search before folding), so a short scan pays for the chain entries
+    /// *inside* the range, never the whole chain.
+    pub fn merge_range(&self, base: &[K], lo: K, hi: K) -> Vec<K> {
+        let mut net: BTreeMap<K, i64> = BTreeMap::new();
+        for run in &self.runs {
+            for (k, n) in run.net_pairs_in(lo, hi) {
+                let e = net.entry(k).or_insert(0);
+                *e += n;
+                if *e == 0 {
+                    net.remove(&k);
                 }
             }
         }
-        for &(k, c) in deltas {
-            out.extend(std::iter::repeat_n(k, c.max(0) as usize));
-        }
-        debug_assert!(out.is_sorted());
-        out
+        let net: Vec<(K, i64)> = net.into_iter().collect();
+        merge_pairs(base, &net)
     }
 
     /// Split the chain at `split_key`: per-key nets strictly below the key
@@ -444,6 +452,48 @@ impl<K: Key> DeltaChain<K> {
     pub fn size_bytes(&self) -> usize {
         self.runs.iter().map(|r| r.size_bytes() + 16).sum()
     }
+}
+
+/// Splice sorted `(key, net)` pairs into a sorted base column: inserted
+/// occurrences land at their sorted positions, tombstoned occurrences drop
+/// out of their duplicate run.
+fn merge_pairs<K: Key>(base: &[K], net: &[(K, i64)]) -> Vec<K> {
+    let expected = base.len() as i64 + net.iter().map(|&(_, c)| c).sum::<i64>();
+    let mut out = Vec::with_capacity(expected.max(0) as usize);
+    let mut deltas = net.iter().peekable();
+    let mut i = 0usize;
+    while i < base.len() {
+        match deltas.peek() {
+            Some(&&(k, c)) if k <= base[i] => {
+                if k < base[i] {
+                    // A key absent from the base: only inserts can be
+                    // buffered for it (tombstones require presence).
+                    debug_assert!(c > 0, "tombstone for an absent key");
+                    out.extend(std::iter::repeat_n(k, c.max(0) as usize));
+                } else {
+                    // k == base[i]: rewrite the whole duplicate run.
+                    let mut run = 0i64;
+                    while i < base.len() && base[i] == k {
+                        run += 1;
+                        i += 1;
+                    }
+                    let total = run + c;
+                    debug_assert!(total >= 0, "tombstones exceed the run");
+                    out.extend(std::iter::repeat_n(k, total.max(0) as usize));
+                }
+                deltas.next();
+            }
+            _ => {
+                out.push(base[i]);
+                i += 1;
+            }
+        }
+    }
+    for &(k, c) in deltas {
+        out.extend(std::iter::repeat_n(k, c.max(0) as usize));
+    }
+    debug_assert!(out.is_sorted());
+    out
 }
 
 /// Fold a set of runs into sorted `(key, net)` pairs with zero nets dropped.
@@ -605,6 +655,26 @@ mod tests {
         let c = chain_of(&[(3, 1), (1, 1), (3, 1)], 1);
         assert_eq!(c.merge_into(&[]), vec![1, 3, 3]);
         assert_eq!(DeltaChain::<u64>::new().merge_into(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn merge_range_agrees_with_the_full_merge() {
+        let base = vec![1u64, 4, 4, 4, 9, 12, 15];
+        let c = chain_of(&[(0, 1), (4, 1), (9, -1), (13, 1), (13, 1), (4, -1)], 2);
+        let full = c.merge_into(&base);
+        // Inverted range: empty pair set, base passed through (no panic).
+        assert_eq!(c.merge_range(&[], 10, 1), Vec::<u64>::new());
+        for (lo, hi) in [(0u64, u64::MAX), (4, 9), (2, 13), (5, 8), (13, 13)] {
+            let start = base.partition_point(|&x| x < lo);
+            let end = base.partition_point(|&x| x <= hi);
+            let got = c.merge_range(&base[start..end], lo, hi);
+            let expect: Vec<u64> = full
+                .iter()
+                .copied()
+                .filter(|&k| lo <= k && k <= hi)
+                .collect();
+            assert_eq!(got, expect, "[{lo}, {hi}]");
+        }
     }
 
     #[test]

@@ -34,6 +34,17 @@ pub enum StoreError {
     /// A durability-only operation (checkpoint, stats) was invoked on a
     /// store that was built in memory rather than opened from a path.
     NotDurable,
+    /// The write-ahead log was poisoned by an earlier append or sync
+    /// failure: the durable tail of the live segment is in an unknown
+    /// state, so no further durable write can be accepted until the store
+    /// heals (in-memory reads keep working). A successful checkpoint heals
+    /// it — snapshots are cut from the in-memory states, the damaged
+    /// segment rotates away and writes resume on a fresh one; reopening
+    /// the store instead recovers the durable prefix. Under group commit a
+    /// *failed* sync also returns this to every writer whose record had
+    /// not yet been proven durable — those writes are applied in memory
+    /// but their durability is unknowable.
+    WalPoisoned,
 }
 
 impl std::fmt::Display for StoreError {
@@ -50,6 +61,11 @@ impl std::fmt::Display for StoreError {
             Self::NotDurable => write!(
                 f,
                 "operation requires a durable store (open one with ShardedStore::open)"
+            ),
+            Self::WalPoisoned => write!(
+                f,
+                "write-ahead log poisoned by an earlier append/sync failure; \
+                 reopen the store to recover its durable prefix"
             ),
         }
     }

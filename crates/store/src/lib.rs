@@ -59,26 +59,68 @@
 //! drop) runs compaction, dirty-shard rebuilds and rebalancing on an
 //! interval, kicked early by threshold-crossing writes.
 //!
-//! ## Consistency guarantees
+//! ## Consistency model
 //!
+//! The store exposes two first-class handles — [`StoreSnapshot`], the unit
+//! of **consistency**, and [`WriteBatch`], the unit of **atomicity** — and
+//! every guarantee below is phrased in terms of the store-wide **commit
+//! version**: a monotonic counter ([`EpochCell`]'s sibling
+//! [`epoch::CommitClock`]) stamped on every applied write and on every
+//! applied batch as a whole.
+//!
+//! * **Snapshots are store-wide consistent cuts.** [`ShardedStore::snapshot`]
+//!   pins one topology epoch plus every shard's state inside one quiescent
+//!   window of the commit clock (a seqlock-style capture that never blocks
+//!   writers): the snapshot contains **exactly** the writes with commit
+//!   version `<= StoreSnapshot::version()`, across all shards at once, and
+//!   every read on it — scalar, batch, range, count, scan — is repeatable
+//!   forever. This closes the old "cross-shard composition is racy by
+//!   design" caveat: multi-shard reads no longer compose states pinned at
+//!   different instants.
+//! * **All store reads are snapshot reads.** The store's own read methods
+//!   pin a fresh snapshot per call, so a batched or ranged read is exact
+//!   even while writers, rebuilds and the rebalancer race it — including
+//!   mid-`rebalance()`, where the old direct path could combine a retired
+//!   shard's final state with its successors'.
+//! * **Batches are atomic.** [`ShardedStore::apply`] stamps one commit
+//!   version on every operation of a [`WriteBatch`] inside one clock
+//!   window: a snapshot observes all of a batch or none of it. On a durable
+//!   store the batch is one multi-op WAL record under one checksum, synced
+//!   once — after a crash it recovers all-or-nothing.
 //! * **Per-shard reads are linearizable.** Each read observes exactly one
 //!   published `ShardState`; states are published in write order under the
 //!   shard's write mutex and stamped with a strictly monotonic version, so
 //!   a read sees every write published before its pin and none after.
 //! * **Reads never block, and are never blocked by, maintenance.** Sealing,
 //!   compaction, rebuilds, splits and merges only ever *publish new
-//!   values*; a pinned state remains valid and immutable forever.
-//! * **Batched and range reads are table-consistent.** One pinned table
-//!   resolves the whole operation; fences and shard list always match.
-//! * **Cross-shard composition is racy by design.** A multi-shard read
-//!   composes per-shard states pinned at slightly different instants; it is
-//!   exact whenever no write races it, and otherwise reflects for each
-//!   shard some state between the start and the end of the call (the
-//!   "between two oracle epochs" bound the concurrent tests assert).
+//!   values*; a pinned state (or snapshot) remains valid and immutable
+//!   forever. Maintenance never changes the merged view, so it carries a
+//!   state's `applied_cv` stamp forward unchanged.
 //! * **Writes are never lost.** A writer either lands in a live shard's
 //!   chain (and survives rebuilds as residual, splits via the fence-cut of
 //!   the residual) or is refused by a retired shard and retried against the
 //!   successor topology.
+//!
+//! ### Migrating from the direct-read API
+//!
+//! The pre-snapshot direct reads survive as one-shot conveniences (each
+//! pins a fresh snapshot internally), but correlated reads should migrate
+//! to an explicit snapshot:
+//!
+//! | Old (per-call pin)                   | New (explicit consistent cut)           |
+//! |--------------------------------------|-----------------------------------------|
+//! | `store.lower_bound(q)`               | `store.snapshot().lower_bound(q)`       |
+//! | `store.lower_bound_batch(qs, out)`   | `store.snapshot().lower_bound_batch(…)` |
+//! | `store.range(lo, hi)`                | `store.snapshot().range(lo, hi)`        |
+//! | `store.count_of(k)`                  | `store.snapshot().count_of(k)`          |
+//! | `store.len()`                        | `store.snapshot().len()`                |
+//! | *(no equivalent)*                    | `store.snapshot().scan(lo, hi)`         |
+//! | `store.insert(k)` loop               | `store.apply(&batch)` (atomic, 1 sync)  |
+//! | `for k { store.insert(k)?; }`        | `WriteBatch::new().insert(k)…` + apply  |
+//!
+//! Two reads on **one** snapshot always agree with each other; two
+//! one-shot calls each see their own (newer) cut, exactly like the old
+//! behaviour when no write raced them.
 //!
 //! ## Durability
 //!
@@ -90,12 +132,15 @@
 //!
 //! * **WAL segments** (`wal-<start-version>.log`): every insert/delete is
 //!   appended as a length-prefixed, CRC32-checksummed record *before* it is
-//!   applied in memory. Records carry a monotonically increasing store
-//!   version, assigned under the store-wide WAL lock that also serialises
-//!   the in-memory apply — so per-shard apply order always equals version
-//!   order. [`SyncPolicy`] controls fsync cadence: `Always` (never lose an
-//!   acknowledged write), `EveryN(n)` (lose at most `n − 1`), `Os` (page
-//!   cache decides).
+//!   applied in memory — and a whole [`WriteBatch`] is appended as **one
+//!   multi-op record** (format v2, see [`persist::wal`]) under one
+//!   checksum, so it is durable all-or-nothing. Records carry a
+//!   monotonically increasing store version, assigned under the store-wide
+//!   WAL lock that also serialises the in-memory apply — so per-shard apply
+//!   order always equals version order. [`SyncPolicy`] controls fsync
+//!   cadence: `Always` (never lose an acknowledged write; concurrent
+//!   writers share `fdatasync`s through the WAL's group committer),
+//!   `EveryN(n)` (lose at most `n − 1`), `Os` (page cache decides).
 //! * **Shard snapshots** (`snap-<checkpoint>-<shard>.snap`): a checkpoint
 //!   writes each shard's merged key column, checksummed. The trained model
 //!   is *not* persisted — recovery retrains it from the keys and the spec
@@ -151,6 +196,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod delta;
 pub mod epoch;
@@ -159,23 +205,37 @@ pub mod persist;
 pub mod router;
 pub mod shard;
 pub mod sharded;
+pub mod snapshot;
 pub mod worker;
 
+pub use batch::{BatchOp, BatchReceipt, WriteBatch};
 pub use config::{DurabilityConfig, StoreConfig, SyncPolicy};
 pub use delta::{DeltaChain, DeltaRun};
-pub use epoch::EpochCell;
+pub use epoch::{CommitClock, EpochCell};
 pub use error::{RetiredShard, StoreError};
 pub use persist::DurabilityStats;
 pub use router::ShardRouter;
 pub use shard::{ShardSnapshot, ShardState, StoreShard};
 pub use sharded::{ShardedIndex, ShardedStore, StoreTable};
+pub use snapshot::StoreSnapshot;
 pub use worker::MaintenanceWorker;
+
+impl<K: sosd_data::key::Key> shift_table::snapshot::SnapshotRead<K> for ShardedStore<K> {
+    type Snapshot = StoreSnapshot<K>;
+
+    fn snapshot(&self) -> StoreSnapshot<K> {
+        ShardedStore::snapshot(self)
+    }
+}
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
+    pub use crate::batch::{BatchOp, BatchReceipt, WriteBatch};
     pub use crate::config::{DurabilityConfig, StoreConfig, SyncPolicy};
     pub use crate::error::{RetiredShard, StoreError};
     pub use crate::persist::DurabilityStats;
     pub use crate::shard::{ShardSnapshot, ShardState, StoreShard};
     pub use crate::sharded::{ShardedIndex, ShardedStore, StoreTable};
+    pub use crate::snapshot::StoreSnapshot;
+    pub use shift_table::snapshot::SnapshotRead;
 }

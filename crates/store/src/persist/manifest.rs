@@ -31,6 +31,11 @@
 //! per-shard values keep the format ready for incremental snapshots). The
 //! trailing `end` guards against truncation on filesystems that rename
 //! non-atomically.
+//!
+//! Versions count WAL *records*, and a multi-op batch record
+//! ([`crate::WriteBatch`], WAL format v2) consumes exactly one — so `cv`
+//! can never land in the middle of a batch: a checkpoint's snapshots
+//! contain whole batches, and replay past `cv` re-applies whole batches.
 
 use crate::error::StoreError;
 use std::io::Write;

@@ -49,12 +49,12 @@ pub mod recovery;
 pub mod snapshot;
 pub mod wal;
 
-use crate::config::DurabilityConfig;
+use crate::config::{DurabilityConfig, SyncPolicy};
 use crate::error::StoreError;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
-use wal::{WalOp, WalRecord, WalWriter};
+use wal::{GroupCommitError, GroupCommitter, WalOp, WalRecord, WalWriter};
 
 /// CRC32 (IEEE, reflected) lookup table, built at compile time.
 const CRC32_TABLE: [u32; 256] = {
@@ -92,8 +92,15 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// accounting (see the `store_durable` bench experiment).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DurabilityStats {
-    /// WAL records appended since the store was opened.
+    /// WAL records (frames) appended since the store was opened — a whole
+    /// [`crate::WriteBatch`] is one record.
     pub wal_records: u64,
+    /// Logical operations appended since the store was opened (every op of
+    /// a batch counts).
+    pub wal_ops: u64,
+    /// `fdatasync` calls issued against the WAL since the store was opened
+    /// — under group commit, concurrent writers share them.
+    pub wal_syncs: u64,
     /// Bytes appended to the WAL since the store was opened.
     pub wal_bytes: u64,
     /// Checkpoints taken since the store was opened.
@@ -102,7 +109,9 @@ pub struct DurabilityStats {
     pub snapshot_bytes: u64,
     /// Store version of the most recent checkpoint (0 before the first).
     pub last_checkpoint_version: u64,
-    /// WAL records replayed by recovery when the store was opened.
+    /// Logical operations replayed from the WAL tail when the store was
+    /// opened — every operation of a batch record counts, so this is
+    /// `wal_ops`-denominated, not `wal_records`-denominated.
     pub replayed_records: u64,
 }
 
@@ -124,14 +133,22 @@ pub(crate) struct PersistInner {
 pub(crate) struct Persistence {
     dir: PathBuf,
     durability: DurabilityConfig,
-    /// WAL records recovery replayed before this layer was opened.
+    /// Logical operations recovery replayed before this layer was opened.
     replayed: u64,
     inner: Mutex<PersistInner>,
+    /// `Some` when [`SyncPolicy::Always`] syncs are coalesced across
+    /// concurrent writers (see [`GroupCommitter`]); appends then defer
+    /// their sync to the commit wait below the WAL lock.
+    group: Option<GroupCommitter>,
     /// Serialises whole checkpoints (worker vs. explicit calls); taken
     /// strictly before the `inner` lock.
     checkpoint_gate: Mutex<()>,
     wal_records: AtomicU64,
+    wal_ops: AtomicU64,
     wal_bytes: AtomicU64,
+    /// Syncs of rotated-away segments (the live segment's count lives in
+    /// its writer).
+    wal_syncs_rotated: AtomicU64,
     checkpoints: AtomicU64,
     snapshot_bytes: AtomicU64,
     last_checkpoint_version: AtomicU64,
@@ -147,7 +164,10 @@ impl Persistence {
         manifest_seq: u64,
         replayed: u64,
     ) -> Result<Self, StoreError> {
-        let wal = WalWriter::create(&dir, next_version, durability.sync)?;
+        let group = (durability.sync == SyncPolicy::Always && durability.group_commit)
+            .then(GroupCommitter::new);
+        let mut wal = WalWriter::create(&dir, next_version, durability.sync)?;
+        wal.defer_sync(group.is_some());
         Ok(Self {
             dir,
             durability,
@@ -158,9 +178,12 @@ impl Persistence {
                 since_checkpoint: 0,
                 manifest_seq,
             }),
+            group,
             checkpoint_gate: Mutex::new(()),
             wal_records: AtomicU64::new(0),
+            wal_ops: AtomicU64::new(0),
             wal_bytes: AtomicU64::new(0),
+            wal_syncs_rotated: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
             snapshot_bytes: AtomicU64::new(0),
             last_checkpoint_version: AtomicU64::new(0),
@@ -182,20 +205,91 @@ impl Persistence {
     /// **while still holding the WAL lock**. Holding the lock across the
     /// apply is what makes per-shard apply order equal version order, the
     /// invariant replay and the checkpoint cut both lean on.
+    ///
+    /// Under group commit ([`SyncPolicy::Always`] with
+    /// [`DurabilityConfig::group_commit`]), the durability wait happens
+    /// *after* the lock is released, so concurrent writers share one
+    /// `fdatasync`; the call still only returns once this record is durable
+    /// (or the sync failed, poisoning the writer).
     pub(crate) fn append<R>(
         &self,
         op: WalOp,
         key: u64,
         apply: impl FnOnce(u64) -> R,
     ) -> Result<R, StoreError> {
-        let mut inner = self.inner.lock().expect("wal lock poisoned");
-        let version = inner.next_version;
-        let bytes = inner.wal.append(&WalRecord { version, op, key })?;
-        inner.next_version += 1;
-        inner.since_checkpoint += 1;
-        self.wal_records.fetch_add(1, Ordering::Relaxed);
-        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
-        Ok(apply(version))
+        let (result, ticket) = {
+            let mut inner = self.inner.lock().expect("wal lock poisoned");
+            if inner.wal.is_poisoned() {
+                return Err(StoreError::WalPoisoned);
+            }
+            let version = inner.next_version;
+            let bytes = inner.wal.append(&WalRecord { version, op, key })?;
+            inner.next_version += 1;
+            inner.since_checkpoint += 1;
+            self.wal_records.fetch_add(1, Ordering::Relaxed);
+            self.wal_ops.fetch_add(1, Ordering::Relaxed);
+            self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+            (apply(version), version)
+        };
+        self.group_commit(ticket)?;
+        Ok(result)
+    }
+
+    /// [`Persistence::append`] for a whole [`crate::WriteBatch`]: one
+    /// version, one multi-op frame, one durability wait. The batch is
+    /// applied in memory under the WAL lock, so a checkpoint cut always
+    /// contains whole batches.
+    pub(crate) fn append_batch<R>(
+        &self,
+        ops: &[(WalOp, u64)],
+        apply: impl FnOnce(u64) -> R,
+    ) -> Result<R, StoreError> {
+        let (result, ticket) = {
+            let mut inner = self.inner.lock().expect("wal lock poisoned");
+            if inner.wal.is_poisoned() {
+                return Err(StoreError::WalPoisoned);
+            }
+            let version = inner.next_version;
+            let bytes = inner.wal.append_batch(version, ops)?;
+            inner.next_version += 1;
+            inner.since_checkpoint += ops.len() as u64;
+            self.wal_records.fetch_add(1, Ordering::Relaxed);
+            self.wal_ops.fetch_add(ops.len() as u64, Ordering::Relaxed);
+            self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+            (apply(version), version)
+        };
+        self.group_commit(ticket)?;
+        Ok(result)
+    }
+
+    /// Wait until the record carrying `ticket` (its store version) is
+    /// durable. A no-op unless group commit is active — every other policy
+    /// synced (or deliberately didn't) inside the append.
+    ///
+    /// On a sync failure the record **is** applied in memory but its
+    /// durability is unknowable; the writer is poisoned so the divergence
+    /// cannot widen (every later append fails), and the caller gets
+    /// [`StoreError::WalPoisoned`] / the sync error.
+    fn group_commit(&self, ticket: u64) -> Result<(), StoreError> {
+        let Some(group) = &self.group else {
+            return Ok(());
+        };
+        group
+            .commit(
+                ticket,
+                || self.wal_records.load(Ordering::Relaxed),
+                || {
+                    let mut inner = self.inner.lock().expect("wal lock poisoned");
+                    let upto = inner.next_version - 1;
+                    // A failure here poisons the writer (see WalWriter::sync),
+                    // so no later leader can falsely acknowledge lost records.
+                    inner.wal.sync().map(|()| upto)
+                },
+            )
+            .map_err(|e| match e {
+                GroupCommitError::Sync(e) => StoreError::Io(e),
+                GroupCommitError::Poisoned => StoreError::WalPoisoned,
+            })
     }
 
     /// Flush every appended WAL record to stable storage now, regardless of
@@ -237,11 +331,32 @@ impl Persistence {
         // The outgoing segment stops receiving appends here; flush its
         // unsynced tail first, or a power loss during the off-lock snapshot
         // window could lose versions `<= cv` while the *new* segment's
-        // later, synced records survive — a hole, not a prefix.
-        inner.wal.sync()?;
-        inner.wal = WalWriter::create(&self.dir, inner.next_version, self.durability.sync)?;
+        // later, synced records survive — a hole, not a prefix. A
+        // *poisoned* segment skips the doomed sync: every write it ever
+        // acknowledged was synced before the poisoning, and the snapshots
+        // about to be cut come from the in-memory states (which hold every
+        // applied write), so this checkpoint is exactly how a poisoned
+        // store heals — durability is rebuilt from fresh files and the
+        // damaged segment becomes garbage once the manifest lands.
+        let was_poisoned = inner.wal.is_poisoned();
+        if !was_poisoned {
+            inner.wal.sync()?;
+        }
+        self.wal_syncs_rotated
+            .fetch_add(inner.wal.sync_count(), Ordering::Relaxed);
+        let mut wal = WalWriter::create(&self.dir, inner.next_version, self.durability.sync)?;
+        wal.defer_sync(self.group.is_some());
+        inner.wal = wal;
         inner.since_checkpoint = 0;
         inner.manifest_seq += 1;
+        if was_poisoned {
+            // Heal the group committer in step with the writer it mirrors:
+            // new-segment tickets commit normally, poisoned-era tickets
+            // keep failing (their durability is unknowable).
+            if let Some(group) = &self.group {
+                group.reset(inner.next_version);
+            }
+        }
         let pinned = pin();
         Ok((cv, inner.manifest_seq, pinned))
     }
@@ -256,8 +371,16 @@ impl Persistence {
 
     /// Current cumulative counters.
     pub(crate) fn stats(&self) -> DurabilityStats {
+        let live_syncs = self
+            .inner
+            .lock()
+            .expect("wal lock poisoned")
+            .wal
+            .sync_count();
         DurabilityStats {
             wal_records: self.wal_records.load(Ordering::Relaxed),
+            wal_ops: self.wal_ops.load(Ordering::Relaxed),
+            wal_syncs: self.wal_syncs_rotated.load(Ordering::Relaxed) + live_syncs,
             wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),

@@ -25,7 +25,7 @@
 
 use crate::config::StoreConfig;
 use crate::error::StoreError;
-use crate::persist::wal::{self, WalOp};
+use crate::persist::wal::{self, WalEntry, WalOp};
 use crate::persist::{manifest, snapshot};
 use crate::router::ShardRouter;
 use crate::shard::StoreShard;
@@ -47,7 +47,8 @@ pub(crate) struct Recovered<K: Key> {
     pub next_version: u64,
     /// The manifest sequence recovery loaded (0 when none existed).
     pub manifest_seq: u64,
-    /// WAL records applied during replay (diagnostics / tests).
+    /// Logical operations applied during replay — each op of a batch
+    /// record counts (diagnostics / tests).
     pub replayed: usize,
 }
 
@@ -192,38 +193,68 @@ pub(crate) fn recover<K: Key>(
     // 2./3. Replay the WAL tail in version order, idempotently — applied
     // straight into the key columns (store delete semantics: one occurrence
     // removed when present, else a no-op), so the expensive model training
-    // below happens exactly once per shard, replayed-into or not.
+    // below happens exactly once per shard, replayed-into or not. A batch
+    // entry replays all of its operations under its single version — and a
+    // torn batch frame was already dropped whole by the segment scan, so a
+    // batch is never half-recovered.
     let mut next_version = cp.version + 1;
     let mut replayed = 0usize;
-    for (_, segment) in wal::list_segments(dir)? {
-        for record in wal::read_segment(&segment)?.records {
-            next_version = next_version.max(record.version + 1);
-            let key = K::from_u64_saturating(record.key);
-            let s = cp.router.shard_of(key);
-            if record.version <= cp.applied[s] {
-                continue; // already inside the snapshot: replay is a no-op
+    let apply_one = |cp: &mut LoadedCheckpoint<K>, version: u64, op: WalOp, key: u64| {
+        let key = K::from_u64_saturating(key);
+        let s = cp.router.shard_of(key);
+        if version <= cp.applied[s] {
+            return 0usize; // already inside the snapshot: replay is a no-op
+        }
+        let column = &mut cp.columns[s];
+        let pos = column.partition_point(|&x| x < key);
+        match op {
+            WalOp::Insert => column.insert(pos, key),
+            WalOp::Delete => {
+                if column.get(pos) == Some(&key) {
+                    column.remove(pos);
+                }
             }
-            let column = &mut cp.columns[s];
-            let pos = column.partition_point(|&x| x < key);
-            match record.op {
-                WalOp::Insert => column.insert(pos, key),
-                WalOp::Delete => {
-                    if column.get(pos) == Some(&key) {
-                        column.remove(pos);
+        }
+        1
+    };
+    for (_, segment) in wal::list_segments(dir)? {
+        for entry in wal::read_segment(&segment)?.records {
+            next_version = next_version.max(entry.version() + 1);
+            match entry {
+                WalEntry::Op(r) => replayed += apply_one(&mut cp, r.version, r.op, r.key),
+                WalEntry::Batch(b) => {
+                    for &(op, key) in &b.ops {
+                        replayed += apply_one(&mut cp, b.version, op, key);
                     }
                 }
             }
-            replayed += 1;
         }
     }
 
-    // 4. Build each shard once over its final column; chains start clean.
+    // 4. Build each shard once over its final column, in parallel scoped
+    // threads: model retraining dominates reopen latency for large stores,
+    // and the columns are independent by construction. Concurrency is
+    // capped at the machine's parallelism (a long-lived store's split
+    // cascade can leave hundreds of shards; one OS thread per shard — each
+    // fanning out `build_threads` more — would oversubscribe the reopen).
     let spec = cp.spec;
-    let shards = cp
-        .columns
-        .into_iter()
-        .map(|column| recovered_shard(config, spec, column))
-        .collect();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut shards: Vec<Arc<StoreShard<K>>> = Vec::with_capacity(cp.columns.len());
+    let mut columns = cp.columns.into_iter().peekable();
+    while columns.peek().is_some() {
+        let wave: Vec<Vec<K>> = columns.by_ref().take(workers).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = wave
+                .into_iter()
+                .map(|column| scope.spawn(move || recovered_shard(config, spec, column)))
+                .collect();
+            for h in handles {
+                shards.push(h.join().expect("shard retrain worker panicked"));
+            }
+        });
+    }
 
     Ok(Recovered {
         router: cp.router,

@@ -1,41 +1,77 @@
-//! The write-ahead log: length-prefixed, CRC32-checksummed record segments.
+//! The write-ahead log: length-prefixed, CRC32-checksummed record segments,
+//! plus the group committer that coalesces concurrent `fdatasync`s.
 //!
 //! ## On-disk format
 //!
 //! A WAL is a sequence of *segment* files named `wal-<start>.log`, where
 //! `<start>` is the zero-padded store version of the segment's first
-//! record. Versions are assigned contiguously, so segment `i` holds exactly
-//! the versions `[start_i, start_{i+1})`. A fresh segment is started on
-//! every store open and on every checkpoint (rotation), and a segment is
-//! deleted once a checkpoint covers all of its records.
+//! record. Versions are assigned contiguously — one version per record,
+//! whether the record carries one operation or a whole batch — so segment
+//! `i` holds exactly the versions `[start_i, start_{i+1})`. A fresh segment
+//! is started on every store open and on every checkpoint (rotation), and a
+//! segment is deleted once a checkpoint covers all of its records.
 //!
-//! Each record is one frame:
+//! Each record is one frame. A **v1 (single-op)** frame:
 //!
 //! ```text
 //! ┌──────────┬──────────┬───────────────────────────────────────────┐
-//! │ len: u32 │ crc: u32 │ payload (len bytes)                       │
+//! │ len: u32 │ crc: u32 │ payload (len = 17 bytes)                  │
 //! │  (LE)    │  (LE)    │ version: u64 LE │ op: u8 │ key: u64 LE    │
 //! └──────────┴──────────┴───────────────────────────────────────────┘
 //! ```
 //!
-//! `crc` is the CRC32 (IEEE) of the payload. `op` is `0` for an insert,
-//! `1` for a delete tombstone. Keys are widened to `u64` on disk
-//! regardless of the store's key width.
+//! A **v2 (multi-op batch)** frame — what [`crate::WriteBatch`] appends —
+//! shares the outer framing and is discriminated by the tag byte where a v1
+//! frame keeps its op:
 //!
-//! A reader stops at the first frame that is short, has an unexpected
-//! length, or fails its checksum: that is the torn tail of a crash, and
-//! everything before it is the durable prefix.
+//! ```text
+//! ┌──────────┬──────────┬────────────────────────────────────────────────────────┐
+//! │ len: u32 │ crc: u32 │ payload (len = 13 + 9·n bytes)                         │
+//! │  (LE)    │  (LE)    │ version: u64 │ tag: u8 = 2 │ n: u32 │ n × (op, key)    │
+//! └──────────┴──────────┴────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! `crc` is the CRC32 (IEEE) of the payload. `op` is `0` for an insert,
+//! `1` for a delete tombstone; tag `2` marks a batch. Keys are widened to
+//! `u64` on disk regardless of the store's key width. Because a batch is
+//! one frame under one checksum, it is durable **all-or-nothing**: a crash
+//! can never persist a prefix of a batch.
+//!
+//! A reader stops at the first frame that is short, has an inconsistent
+//! length, carries an unknown tag, or fails its checksum: that is the torn
+//! tail of a crash, and everything before it is the durable prefix.
+//!
+//! ## Group commit
+//!
+//! Under [`SyncPolicy::Always`] every record must be durable before its
+//! write is acknowledged — naively one `fdatasync` per record. The
+//! crate-internal `GroupCommitter` instead lets concurrently submitted records share
+//! syncs: each writer appends its frame (and applies in memory) under the
+//! WAL lock, then waits on the committer; one waiter is elected *leader*,
+//! syncs the file once — covering every frame appended before the sync —
+//! and publishes how far durability reached, releasing every waiter at or
+//! below that point. Writers that arrive while the leader is inside
+//! `fdatasync` pile up behind the WAL lock and are drained by the *next*
+//! leader's single sync, so `w` concurrent writers pay ~2 syncs per wave
+//! instead of `w`.
 
 use crate::config::SyncPolicy;
 use crate::persist::crc32;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex};
 
 /// Payload bytes of a v1 record: version (8) + op (1) + key (8).
 pub const PAYLOAD_LEN: usize = 17;
 /// Total frame bytes of a v1 record: len (4) + crc (4) + payload.
 pub const FRAME_LEN: usize = 8 + PAYLOAD_LEN;
+/// Payload tag byte marking a v2 multi-op batch record.
+pub const BATCH_TAG: u8 = 2;
+/// Payload bytes of a v2 batch record holding `n` operations.
+pub const fn batch_payload_len(n: usize) -> usize {
+    8 + 1 + 4 + 9 * n
+}
 
 /// The operation a WAL record describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,14 +94,13 @@ pub struct WalRecord {
 }
 
 impl WalRecord {
-    /// Encode the record as one frame.
-    fn encode(&self) -> [u8; FRAME_LEN] {
+    /// Encode the record as one complete frame, on the stack — the
+    /// single-op append path runs under the store-wide WAL lock for every
+    /// durable write, so it must not allocate.
+    fn encode_frame(&self) -> [u8; FRAME_LEN] {
         let mut payload = [0u8; PAYLOAD_LEN];
         payload[..8].copy_from_slice(&self.version.to_le_bytes());
-        payload[8] = match self.op {
-            WalOp::Insert => 0,
-            WalOp::Delete => 1,
-        };
+        payload[8] = op_byte(self.op);
         payload[9..17].copy_from_slice(&self.key.to_le_bytes());
         let mut frame = [0u8; FRAME_LEN];
         frame[..4].copy_from_slice(&(PAYLOAD_LEN as u32).to_le_bytes());
@@ -73,19 +108,115 @@ impl WalRecord {
         frame[8..].copy_from_slice(&payload);
         frame
     }
+}
 
-    /// Decode one payload (already length- and CRC-validated).
-    fn decode(payload: &[u8; PAYLOAD_LEN]) -> Option<Self> {
-        let op = match payload[8] {
-            0 => WalOp::Insert,
-            1 => WalOp::Delete,
-            _ => return None,
-        };
-        Some(Self {
-            version: u64::from_le_bytes(payload[..8].try_into().expect("8 bytes")),
-            op,
+/// One decoded multi-op (v2) WAL record: every operation of one applied
+/// [`crate::WriteBatch`], under a single version and a single checksum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalBatchRecord {
+    /// The monotonic store version assigned to the whole batch.
+    pub version: u64,
+    /// The batch's operations, in application order, keys widened to `u64`.
+    pub ops: Vec<(WalOp, u64)>,
+}
+
+/// Encode a batch payload from borrowed ops (the append path passes the
+/// caller's staged slice straight through — no intermediate record value).
+fn encode_batch_payload(version: u64, ops: &[(WalOp, u64)]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(batch_payload_len(ops.len()));
+    payload.extend_from_slice(&version.to_le_bytes());
+    payload.push(BATCH_TAG);
+    payload.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for &(op, key) in ops {
+        payload.push(op_byte(op));
+        payload.extend_from_slice(&key.to_le_bytes());
+    }
+    payload
+}
+
+/// One decoded WAL entry: a single-op record or a multi-op batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalEntry {
+    /// A v1 single-operation record.
+    Op(WalRecord),
+    /// A v2 multi-operation batch record.
+    Batch(WalBatchRecord),
+}
+
+impl WalEntry {
+    /// The store version the entry carries.
+    pub fn version(&self) -> u64 {
+        match self {
+            Self::Op(r) => r.version,
+            Self::Batch(b) => b.version,
+        }
+    }
+
+    /// Number of logical operations the entry carries.
+    pub fn op_count(&self) -> usize {
+        match self {
+            Self::Op(_) => 1,
+            Self::Batch(b) => b.ops.len(),
+        }
+    }
+}
+
+fn op_byte(op: WalOp) -> u8 {
+    match op {
+        WalOp::Insert => 0,
+        WalOp::Delete => 1,
+    }
+}
+
+fn byte_op(b: u8) -> Option<WalOp> {
+    match b {
+        0 => Some(WalOp::Insert),
+        1 => Some(WalOp::Delete),
+        _ => None,
+    }
+}
+
+/// Frame a payload: length prefix, CRC32, body.
+fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Decode one length- and CRC-validated payload into an entry. `None`
+/// means an unknown shape (treated as a torn tail by the reader).
+fn decode_payload(payload: &[u8]) -> Option<WalEntry> {
+    if payload.len() < 9 {
+        return None;
+    }
+    let version = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    match payload[8] {
+        BATCH_TAG => {
+            if payload.len() < batch_payload_len(0) {
+                return None;
+            }
+            let count = u32::from_le_bytes(payload[9..13].try_into().expect("4 bytes")) as usize;
+            if count == 0 || payload.len() != batch_payload_len(count) {
+                return None;
+            }
+            let mut ops = Vec::with_capacity(count);
+            for chunk in payload[13..].chunks_exact(9) {
+                let op = byte_op(chunk[0])?;
+                ops.push((
+                    op,
+                    u64::from_le_bytes(chunk[1..9].try_into().expect("8 bytes")),
+                ));
+            }
+            Some(WalEntry::Batch(WalBatchRecord { version, ops }))
+        }
+        b if payload.len() == PAYLOAD_LEN => Some(WalEntry::Op(WalRecord {
+            version,
+            op: byte_op(b)?,
             key: u64::from_le_bytes(payload[9..17].try_into().expect("8 bytes")),
-        })
+        })),
+        _ => None,
     }
 }
 
@@ -119,41 +250,42 @@ pub fn list_segments(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
 /// The decoded contents of one segment scan.
 #[derive(Debug, Clone, Default)]
 pub struct SegmentScan {
-    /// The validated records, in append (= version) order.
-    pub records: Vec<WalRecord>,
-    /// Byte offset of the end of each validated record — `boundaries[i]` is
-    /// where record `i`'s frame ends, so truncating the file there keeps
-    /// exactly the first `i + 1` records (crash-point tests lean on this).
+    /// The validated entries (single-op records and batches), in append
+    /// (= version) order.
+    pub records: Vec<WalEntry>,
+    /// Byte offset of the end of each validated entry — `boundaries[i]` is
+    /// where entry `i`'s frame ends, so truncating the file there keeps
+    /// exactly the first `i + 1` entries (crash-point tests lean on this).
     pub boundaries: Vec<u64>,
-    /// True when trailing bytes after the last validated record were
+    /// True when trailing bytes after the last validated entry were
     /// discarded (a torn frame, a checksum mismatch, or garbage).
     pub torn_tail: bool,
 }
 
 /// Scan a segment file, validating every frame. Never fails on a damaged
-/// *tail* — a short frame, a bad length or a CRC mismatch terminates the
-/// scan with `torn_tail` set (recovery invariant 4); only the initial open
-/// or read can error.
+/// *tail* — a short frame, a bad length, an unknown tag or a CRC mismatch
+/// terminates the scan with `torn_tail` set (recovery invariant 4); only
+/// the initial open or read can error.
 pub fn read_segment(path: &Path) -> std::io::Result<SegmentScan> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
     let mut scan = SegmentScan::default();
     let mut at = 0usize;
-    while bytes.len() - at >= FRAME_LEN {
+    while bytes.len() - at >= 8 {
         let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
         let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
-        let payload: &[u8; PAYLOAD_LEN] = match bytes[at + 8..at + 8 + PAYLOAD_LEN].try_into() {
-            Ok(p) if len == PAYLOAD_LEN => p,
-            _ => break, // unknown record shape: treat as torn
-        };
+        if bytes.len() - at - 8 < len {
+            break; // short frame: the torn tail of a crash
+        }
+        let payload = &bytes[at + 8..at + 8 + len];
         if crc32(payload) != crc {
             break;
         }
-        let Some(record) = WalRecord::decode(payload) else {
-            break;
+        let Some(entry) = decode_payload(payload) else {
+            break; // unknown record shape: treat as torn
         };
-        at += FRAME_LEN;
-        scan.records.push(record);
+        at += 8 + len;
+        scan.records.push(entry);
         scan.boundaries.push(at as u64);
     }
     scan.torn_tail = at < bytes.len();
@@ -170,13 +302,21 @@ pub fn read_segment(path: &Path) -> std::io::Result<SegmentScan> {
 pub(crate) struct WalWriter {
     file: File,
     policy: SyncPolicy,
+    /// When set, [`SyncPolicy::Always`] appends do **not** sync inline —
+    /// the [`GroupCommitter`] owns the sync instead (after the in-memory
+    /// apply, outside the append), so concurrent writers can share it.
+    defer_sync: bool,
     /// Appends since the last explicit sync (drives [`SyncPolicy::EveryN`]).
     unsynced: u32,
+    /// `fdatasync`s issued against this segment (for the group-commit
+    /// accounting surfaced by `DurabilityStats::wal_syncs`).
+    syncs: u64,
     /// Bytes of accepted frames: every successful append ends here, and a
     /// failed one truncates back to here.
     len: u64,
-    /// Set when a failed append could not be rolled back: the segment tail
-    /// is in an unknown state, so no further record may land after it.
+    /// Set when a failed append could not be rolled back — or a deferred
+    /// (group) sync failed: the segment tail is in an unknown state, so no
+    /// further record may land after it.
     poisoned: bool,
 }
 
@@ -195,46 +335,85 @@ impl WalWriter {
         Ok(Self {
             file,
             policy,
+            defer_sync: false,
             unsynced: 0,
+            syncs: 0,
             len: 0,
             poisoned: false,
         })
     }
 
-    /// Append one record and apply the sync policy. Returns the bytes
-    /// written (for write-amplification accounting).
+    /// `fdatasync`s issued against this segment so far.
+    pub(crate) fn sync_count(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Hand [`SyncPolicy::Always`] syncs to the group committer (see the
+    /// module docs) instead of syncing inline on every append.
+    pub(crate) fn defer_sync(&mut self, defer: bool) {
+        self.defer_sync = defer;
+    }
+
+    /// True once an unrecoverable append/sync failure has been observed.
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Append one single-op record and apply the sync policy. Returns the
+    /// bytes written (for write-amplification accounting). The frame is
+    /// encoded on the stack — this path runs once per durable write.
+    pub(crate) fn append(&mut self, record: &WalRecord) -> std::io::Result<u64> {
+        self.append_frame(&record.encode_frame(), 1)
+    }
+
+    /// Append one multi-op batch record and apply the sync policy. The
+    /// whole batch is one frame under one checksum — durable
+    /// all-or-nothing — but it advances the [`SyncPolicy::EveryN`] counter
+    /// by its full operation count, so the documented "lose at most `n − 1`
+    /// acknowledged *writes*" bound holds regardless of batching.
+    pub(crate) fn append_batch(
+        &mut self,
+        version: u64,
+        ops: &[(WalOp, u64)],
+    ) -> std::io::Result<u64> {
+        self.append_frame(
+            &encode_frame(&encode_batch_payload(version, ops)),
+            ops.len().min(u32::MAX as usize) as u32,
+        )
+    }
+
+    /// Append one encoded frame carrying `ops` logical operations and apply
+    /// the sync policy (unless deferred to the group committer).
     ///
     /// On a short write the frame is rolled back (durably — the truncate is
     /// fsynced) before the error is returned, so the caller's view ("this
-    /// write did not happen") matches the disk. On a *sync* error the
-    /// writer additionally poisons itself: once `fdatasync` has failed, the
-    /// kernel may drop the dirty pages of earlier acknowledged frames while
-    /// clearing the error, so no durability promise about this segment can
-    /// be kept any more and continuing to append would silently widen the
-    /// loss beyond the documented `n − 1` bound.
-    pub(crate) fn append(&mut self, record: &WalRecord) -> std::io::Result<u64> {
+    /// write did not happen") matches the disk. On an inline *sync* error
+    /// the writer additionally poisons itself: once `fdatasync` has failed,
+    /// the kernel may drop the dirty pages of earlier acknowledged frames
+    /// while clearing the error, so no durability promise about this
+    /// segment can be kept any more and continuing to append would silently
+    /// widen the loss beyond the documented `n − 1` bound.
+    fn append_frame(&mut self, frame: &[u8], ops: u32) -> std::io::Result<u64> {
         if self.poisoned {
             return Err(std::io::Error::other(
                 "WAL writer poisoned by an earlier append or sync failure",
             ));
         }
-        let frame = record.encode();
-        if let Err(e) = self.file.write_all(&frame) {
+        if let Err(e) = self.file.write_all(frame) {
             if self.rollback().is_err() {
                 self.poisoned = true;
             }
             return Err(e);
         }
-        self.unsynced += 1;
+        self.unsynced = self.unsynced.saturating_add(ops);
         let sync_due = match self.policy {
-            SyncPolicy::Always => true,
+            SyncPolicy::Always => !self.defer_sync,
             SyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
             SyncPolicy::Os => false,
         };
         if sync_due {
             if let Err(e) = self.sync() {
                 let _ = self.rollback();
-                self.poisoned = true;
                 return Err(e);
             }
         }
@@ -252,10 +431,145 @@ impl WalWriter {
     }
 
     /// Force everything appended so far to stable storage.
+    ///
+    /// A failed `fdatasync` **poisons the writer**, whichever path issued
+    /// it (an inline policy sync, the checkpoint rotation, an explicit
+    /// `sync_wal`, or a group-commit leader): the kernel reports a
+    /// writeback error once per fd and may drop the dirty pages while
+    /// clearing it, so a *later* sync on the same segment could falsely
+    /// report lost records as durable. Once poisoned, no further append or
+    /// sync is accepted — reopening the store recovers the durable prefix.
     pub(crate) fn sync(&mut self) -> std::io::Result<()> {
-        self.file.sync_data()?;
+        if self.poisoned {
+            return Err(std::io::Error::other(
+                "WAL writer poisoned by an earlier append or sync failure",
+            ));
+        }
+        self.syncs += 1;
+        if let Err(e) = self.file.sync_data() {
+            self.poisoned = true;
+            return Err(e);
+        }
         self.unsynced = 0;
         Ok(())
+    }
+}
+
+/// Outcome of one group-commit wait (see [`GroupCommitter::commit`]).
+#[derive(Debug)]
+pub(crate) enum GroupCommitError {
+    /// This waiter's own leader sync failed.
+    Sync(std::io::Error),
+    /// An earlier sync failure poisoned the log before this record became
+    /// durable.
+    Poisoned,
+}
+
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Highest ticket (append sequence) proven durable.
+    synced: u64,
+    /// A leader is currently inside the sync.
+    leader: bool,
+    /// A sync failed on the **live** segment: no later ticket on it can
+    /// ever become durable. Cleared by [`GroupCommitter::reset`] when a
+    /// checkpoint rotates the poisoned segment away.
+    failed: bool,
+    /// Tickets below this belong to a poisoned, rotated-away segment whose
+    /// unsynced durability is unknowable — they must still fail even after
+    /// `failed` is cleared (unless `synced` already covered them before the
+    /// failure, in which case they are genuinely durable).
+    invalid_below: u64,
+}
+
+/// Coalesces the `fdatasync`s of concurrently committed records under
+/// [`SyncPolicy::Always`] (see the module docs): waiters elect one leader
+/// per wave, the leader's single sync covers every frame appended before
+/// it, and everyone whose ticket the sync reached is released at once.
+#[derive(Debug, Default)]
+pub(crate) struct GroupCommitter {
+    state: Mutex<GroupState>,
+    cv: Condvar,
+}
+
+impl GroupCommitter {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Block until the append identified by `ticket` is durable. `sync` is
+    /// the leader duty: flush the log and report the highest ticket the
+    /// flush covered (the caller runs it under its WAL lock; this committer
+    /// never holds its own state lock across it). `arrivals` is a cheap
+    /// monotonic append counter: before paying the sync, the elected
+    /// leader yields while it still observes new appends landing (bounded),
+    /// so a burst of concurrent writers is drained by one deep wave instead
+    /// of several shallow ones — a solo writer sees arrivals stop after one
+    /// probe and syncs immediately.
+    ///
+    /// On a sync failure every waiter whose ticket was not yet covered
+    /// gets an error — their records may or may not have reached the disk,
+    /// and the caller is expected to poison the writer so the uncertainty
+    /// cannot widen.
+    pub(crate) fn commit(
+        &self,
+        ticket: u64,
+        arrivals: impl Fn() -> u64,
+        mut sync: impl FnMut() -> std::io::Result<u64>,
+    ) -> Result<(), GroupCommitError> {
+        let mut st = self.state.lock().expect("group commit state poisoned");
+        loop {
+            if st.synced >= ticket {
+                return Ok(()); // covered by a successful sync: durable
+            }
+            if st.failed || ticket < st.invalid_below {
+                return Err(GroupCommitError::Poisoned);
+            }
+            if !st.leader {
+                st.leader = true;
+                drop(st);
+                // Deepen the wave: while appends keep arriving, one yield
+                // buys many more records per fdatasync. Bounded so a
+                // steady trickle cannot delay durability indefinitely.
+                let mut last = arrivals();
+                for _ in 0..64 {
+                    std::thread::yield_now();
+                    let now = arrivals();
+                    if now == last {
+                        break;
+                    }
+                    last = now;
+                }
+                let result = sync();
+                st = self.state.lock().expect("group commit state poisoned");
+                st.leader = false;
+                match result {
+                    Ok(upto) => st.synced = st.synced.max(upto),
+                    Err(e) => {
+                        st.failed = true;
+                        self.cv.notify_all();
+                        return Err(GroupCommitError::Sync(e));
+                    }
+                }
+                self.cv.notify_all();
+            } else {
+                st = self.cv.wait(st).expect("group commit state poisoned");
+            }
+        }
+    }
+
+    /// Heal the committer after a checkpoint rotated a **poisoned** segment
+    /// away: tickets on the fresh segment (`>= next_ticket`) commit
+    /// normally again, while tickets from the poisoned era keep failing —
+    /// their records' durability is unknowable. Without this, the store
+    /// would apply-and-append every post-rotation write but report it
+    /// failed forever, and retrying callers would double-apply.
+    pub(crate) fn reset(&self, next_ticket: u64) {
+        let mut st = self.state.lock().expect("group commit state poisoned");
+        st.failed = false;
+        st.invalid_below = st.invalid_below.max(next_ticket);
+        drop(st);
+        self.cv.notify_all();
     }
 }
 
@@ -285,6 +599,10 @@ mod tests {
             .collect()
     }
 
+    fn entries(recs: &[WalRecord]) -> Vec<WalEntry> {
+        recs.iter().map(|&r| WalEntry::Op(r)).collect()
+    }
+
     #[test]
     fn append_then_scan_round_trips() {
         let dir = tmp_dir("roundtrip");
@@ -298,10 +616,123 @@ mod tests {
         assert_eq!(segments.len(), 1);
         assert_eq!(segments[0].0, 1);
         let scan = read_segment(&segments[0].1).unwrap();
-        assert_eq!(scan.records, recs);
+        assert_eq!(scan.records, entries(&recs));
         assert!(!scan.torn_tail);
         assert_eq!(scan.boundaries.len(), 20);
         assert_eq!(*scan.boundaries.last().unwrap(), 20 * FRAME_LEN as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_records_round_trip_interleaved_with_singles() {
+        let dir = tmp_dir("batch-roundtrip");
+        let single = WalRecord {
+            version: 1,
+            op: WalOp::Insert,
+            key: 42,
+        };
+        let batch = WalBatchRecord {
+            version: 2,
+            ops: vec![(WalOp::Insert, 7), (WalOp::Delete, 42), (WalOp::Insert, 7)],
+        };
+        let tail = WalRecord {
+            version: 3,
+            op: WalOp::Delete,
+            key: 7,
+        };
+        let mut w = WalWriter::create(&dir, 1, SyncPolicy::Os).unwrap();
+        assert_eq!(w.append(&single).unwrap(), FRAME_LEN as u64);
+        assert_eq!(
+            w.append_batch(batch.version, &batch.ops).unwrap(),
+            (8 + batch_payload_len(3)) as u64
+        );
+        w.append(&tail).unwrap();
+        drop(w);
+        let scan = read_segment(&dir.join(segment_name(1))).unwrap();
+        assert!(!scan.torn_tail);
+        assert_eq!(
+            scan.records,
+            vec![
+                WalEntry::Op(single),
+                WalEntry::Batch(batch.clone()),
+                WalEntry::Op(tail),
+            ]
+        );
+        assert_eq!(scan.records[1].version(), 2);
+        assert_eq!(scan.records[1].op_count(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batches_advance_the_every_n_counter_by_their_op_count() {
+        // The `EveryN(n)` loss bound is phrased in acknowledged *writes*:
+        // a 64-op batch under EveryN(64) must sync just like 64 singles
+        // would, not count as one record towards the threshold.
+        let dir = tmp_dir("batch-everyn");
+        let mut w = WalWriter::create(&dir, 1, SyncPolicy::EveryN(64)).unwrap();
+        let batch = WalBatchRecord {
+            version: 1,
+            ops: (0..64u64).map(|i| (WalOp::Insert, i)).collect(),
+        };
+        w.append_batch(batch.version, &batch.ops).unwrap();
+        assert_eq!(w.sync_count(), 1, "64 batched ops hit the n = 64 bound");
+        // A small batch leaves the counter partially filled…
+        let small = WalBatchRecord {
+            version: 2,
+            ops: (0..60u64).map(|i| (WalOp::Delete, i)).collect(),
+        };
+        w.append_batch(small.version, &small.ops).unwrap();
+        assert_eq!(w.sync_count(), 1);
+        // …and singles top it up to the next sync.
+        for v in 3..7u64 {
+            w.append(&WalRecord {
+                version: v,
+                op: WalOp::Insert,
+                key: v,
+            })
+            .unwrap();
+        }
+        assert_eq!(w.sync_count(), 2, "60 + 4 ops crossed the bound");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_batch_records_drop_whole_not_prefix() {
+        let dir = tmp_dir("batch-torn");
+        let single = WalRecord {
+            version: 1,
+            op: WalOp::Insert,
+            key: 9,
+        };
+        let batch = WalBatchRecord {
+            version: 2,
+            ops: (0..8u64).map(|i| (WalOp::Insert, i * 3)).collect(),
+        };
+        let mut w = WalWriter::create(&dir, 1, SyncPolicy::Os).unwrap();
+        w.append(&single).unwrap();
+        w.append_batch(batch.version, &batch.ops).unwrap();
+        drop(w);
+        let path = dir.join(segment_name(1));
+        let full = std::fs::read(&path).unwrap();
+
+        // Truncate anywhere inside the batch frame: the single before it
+        // survives, the batch vanishes whole — never a prefix of its ops.
+        for cut in [1usize, 8, 13, 20, full.len() - FRAME_LEN - 1] {
+            std::fs::write(&path, &full[..FRAME_LEN + cut]).unwrap();
+            let scan = read_segment(&path).unwrap();
+            assert_eq!(scan.records, vec![WalEntry::Op(single)], "cut {cut}");
+            assert!(scan.torn_tail, "cut {cut}");
+        }
+
+        // A checksum-valid frame with a lying op count is rejected whole.
+        let mut payload = encode_batch_payload(batch.version, &batch.ops);
+        payload[9] = 7; // count 8 -> 7: length no longer matches
+        let mut evil = full[..FRAME_LEN].to_vec();
+        evil.extend_from_slice(&encode_frame(&payload));
+        std::fs::write(&path, &evil).unwrap();
+        let scan = read_segment(&path).unwrap();
+        assert_eq!(scan.records, vec![WalEntry::Op(single)]);
+        assert!(scan.torn_tail);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -320,7 +751,7 @@ mod tests {
         // Truncate mid-record: the partial frame is discarded.
         std::fs::write(&path, &full[..4 * FRAME_LEN + 7]).unwrap();
         let scan = read_segment(&path).unwrap();
-        assert_eq!(scan.records, recs[..4]);
+        assert_eq!(scan.records, entries(&recs[..4]));
         assert!(scan.torn_tail);
 
         // Flip one payload byte of record 6: records 0..=5 survive.
@@ -328,7 +759,7 @@ mod tests {
         bent[6 * FRAME_LEN + 12] ^= 0xFF;
         std::fs::write(&path, &bent).unwrap();
         let scan = read_segment(&path).unwrap();
-        assert_eq!(scan.records, recs[..6]);
+        assert_eq!(scan.records, entries(&recs[..6]));
         assert!(scan.torn_tail);
 
         // A bogus op byte is rejected by decode, not just by the CRC: craft
@@ -341,9 +772,41 @@ mod tests {
         evil.extend_from_slice(&payload);
         std::fs::write(&path, &evil).unwrap();
         let scan = read_segment(&path).unwrap();
-        assert_eq!(scan.records, recs[..2]);
+        assert_eq!(scan.records, entries(&recs[..2]));
         assert!(scan.torn_tail);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_committer_fails_poisoned_era_tickets_and_heals_on_reset() {
+        let g = GroupCommitter::new();
+        let no_arrivals = || 0u64;
+        // Ticket 3 synced successfully through version 5.
+        assert!(g.commit(3, no_arrivals, || Ok(5)).is_ok());
+        // Ticket 7's leader sync fails: the committer is failed.
+        assert!(matches!(
+            g.commit(7, no_arrivals, || Err(std::io::Error::other("EIO"))),
+            Err(GroupCommitError::Sync(_))
+        ));
+        // Everything not already covered now fails fast, even with a sync
+        // that would succeed (no leader may run while failed).
+        assert!(matches!(
+            g.commit(6, no_arrivals, || Ok(100)),
+            Err(GroupCommitError::Poisoned)
+        ));
+        // …but a ticket the pre-failure sync covered is genuinely durable.
+        assert!(g.commit(4, no_arrivals, || Ok(100)).is_ok());
+
+        // A checkpoint rotates the poisoned segment away at version 10.
+        g.reset(10);
+        // Poisoned-era tickets stay rejected (durability unknowable)…
+        assert!(matches!(
+            g.commit(8, no_arrivals, || Ok(100)),
+            Err(GroupCommitError::Poisoned)
+        ));
+        // …old durable tickets stay Ok, and fresh-segment tickets commit.
+        assert!(g.commit(5, no_arrivals, || Ok(100)).is_ok());
+        assert!(g.commit(11, no_arrivals, || Ok(12)).is_ok());
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! landed during the rebuild survive as the residual chain.
 
 use crate::delta::DeltaChain;
-use crate::epoch::EpochCell;
+use crate::epoch::{CommitClock, EpochCell};
 use crate::error::RetiredShard;
 use algo_index::search::{DynRangeIndex, RangeIndex};
 use shift_table::error::BuildError;
@@ -73,6 +73,10 @@ pub struct ShardState<K: Key> {
     snapshot: Arc<ShardSnapshot<K>>,
     delta: DeltaChain<K>,
     version: u64,
+    /// Highest store-wide commit version among the writes this state has
+    /// absorbed (0 before the first write; maintenance republications carry
+    /// it forward unchanged — they never change the merged view).
+    applied_cv: u64,
 }
 
 impl<K: Key> ShardState<K> {
@@ -90,6 +94,14 @@ impl<K: Key> ShardState<K> {
     /// compactions and swaps all count). Strictly monotonic per shard.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Highest store-wide commit version this state has absorbed (see
+    /// [`CommitClock`]): every write stamped at or below it and routed to
+    /// this shard is contained, and — at a quiescent cut — none above it is.
+    /// 0 for a state that has never absorbed a write.
+    pub fn applied_cv(&self) -> u64 {
+        self.applied_cv
     }
 
     /// Number of keys in the merged (base + delta) view of this state.
@@ -118,6 +130,40 @@ impl<K: Key> ShardState<K> {
         (base as i64 + self.delta.net_of(k)).max(0) as usize
     }
 
+    /// Batched lower bounds over this state's merged view: the base
+    /// positions go through the pinned index's stage-blocked batch path,
+    /// then each is shifted by the chain's prefix sums. With an empty chain
+    /// the shift loop is skipped entirely.
+    pub fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
+        assert_eq!(
+            queries.len(),
+            out.len(),
+            "lower_bound_batch requires queries and out of equal length"
+        );
+        self.snapshot.index.lower_bound_batch(queries, out);
+        if self.delta.entry_count() == 0 {
+            return;
+        }
+        for (o, &q) in out.iter_mut().zip(queries.iter()) {
+            *o = merged_position(*o, self.delta.net_below(q));
+        }
+    }
+
+    /// Range query `lo <= key <= hi` over this state's merged view, as a
+    /// half-open position range. Both endpoints resolve against the same
+    /// immutable state by construction.
+    pub fn range(&self, lo: K, hi: K) -> std::ops::Range<usize> {
+        if lo > hi {
+            return 0..0;
+        }
+        let start = self.lower_bound(lo);
+        let end = match hi.checked_next() {
+            Some(h) => self.lower_bound(h),
+            None => self.merged_len(),
+        };
+        start..end.max(start)
+    }
+
     /// Materialise this state's merged key column (base with the chain
     /// folded in) — what rebuilds, splits and merges cut their new bases
     /// from. Skips the merge for an entry-less chain.
@@ -126,6 +172,22 @@ impl<K: Key> ShardState<K> {
             self.snapshot.keys().to_vec()
         } else {
             self.delta.merge_into(self.snapshot.keys())
+        }
+    }
+
+    /// Materialise the merged keys in `lo ..= hi` only — the snapshot-scan
+    /// read. Cost is two index probes plus a merge bounded by the result
+    /// size (never the whole shard).
+    pub fn merged_range_keys(&self, lo: K, hi: K) -> Vec<K> {
+        if lo > hi {
+            return Vec::new();
+        }
+        let base = self.snapshot.index.range(lo, hi);
+        let base = &self.snapshot.keys()[base];
+        if self.delta.entry_count() == 0 {
+            base.to_vec()
+        } else {
+            self.delta.merge_range(base, lo, hi)
         }
     }
 }
@@ -138,6 +200,11 @@ pub struct StoreShard<K: Key> {
     build_threads: usize,
     max_run_len: usize,
     compact_runs: usize,
+    /// Commit clock for writes applied through the shard's own public API.
+    /// Store-managed shards are written through the `*_clocked` / `*_at`
+    /// crate paths instead, which stamp the **store's** clock so one
+    /// store-wide snapshot can cut across every shard.
+    own_clock: CommitClock,
     state: EpochCell<ShardState<K>>,
     /// Serialises publishers (writes, compactions, swaps); never read-side.
     write: Mutex<()>,
@@ -203,6 +270,20 @@ impl<K: Key> StoreShard<K> {
         snapshot: Arc<ShardSnapshot<K>>,
         delta: DeltaChain<K>,
     ) -> Self {
+        Self::from_parts_at(spec, threshold, build_threads, snapshot, delta, 0)
+    }
+
+    /// [`StoreShard::from_parts`] with an inherited commit-version floor —
+    /// split/merge children start at their parent's `applied_cv` so the
+    /// stamp stays monotonic across topology changes.
+    pub(crate) fn from_parts_at(
+        spec: IndexSpec,
+        threshold: usize,
+        build_threads: usize,
+        snapshot: Arc<ShardSnapshot<K>>,
+        delta: DeltaChain<K>,
+        applied_cv: u64,
+    ) -> Self {
         let merged_len = AtomicUsize::new(merged_len(snapshot.keys.len(), delta.len_delta()));
         let version = 0;
         Self {
@@ -211,10 +292,12 @@ impl<K: Key> StoreShard<K> {
             build_threads: build_threads.max(1),
             max_run_len: 32,
             compact_runs: 8,
+            own_clock: CommitClock::new(),
             state: EpochCell::new(Arc::new(ShardState {
                 snapshot,
                 delta,
                 version,
+                applied_cv,
             })),
             write: Mutex::new(()),
             rebuild_guard: Mutex::new(()),
@@ -265,19 +348,7 @@ impl<K: Key> StoreShard<K> {
     /// each is shifted by the chain's prefix sums. With an empty chain the
     /// shift loop is skipped entirely.
     pub fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
-        assert_eq!(
-            queries.len(),
-            out.len(),
-            "lower_bound_batch requires queries and out of equal length"
-        );
-        let state = self.state.load();
-        state.snapshot.index.lower_bound_batch(queries, out);
-        if state.delta.entry_count() == 0 {
-            return;
-        }
-        for (o, &q) in out.iter_mut().zip(queries.iter()) {
-            *o = merged_position(*o, state.delta.net_below(q));
-        }
+        self.state.load().lower_bound_batch(queries, out);
     }
 
     /// Merged occurrence count of the exact key `k`.
@@ -289,27 +360,42 @@ impl<K: Key> StoreShard<K> {
     /// position range (the [`RangeIndex::range`] contract). Both endpoints
     /// are resolved against the same pinned state.
     pub fn range(&self, lo: K, hi: K) -> std::ops::Range<usize> {
-        if lo > hi {
-            return 0..0;
-        }
-        let state = self.state.load();
-        let start = state.lower_bound(lo);
-        let end = match hi.checked_next() {
-            Some(h) => state.lower_bound(h),
-            None => state.merged_len(),
-        };
-        start..end.max(start)
+        self.state.load().range(lo, hi)
     }
 
     /// Buffer one inserted occurrence of `k`. Returns `Some(dirty)` — true
     /// when the write made (or left) the shard dirty — or `None` when the
     /// shard has been retired by a split/merge (the caller re-routes).
     pub fn try_insert(&self, k: K) -> Option<bool> {
+        self.try_insert_clocked(k, &self.own_clock)
+    }
+
+    /// [`StoreShard::try_insert`] stamped against the caller's commit clock
+    /// (the store's, so store-wide snapshots can cut across shards). The
+    /// clock window is opened under the shard's write lock, which is what
+    /// keeps per-shard apply order equal to commit-version order.
+    pub(crate) fn try_insert_clocked(&self, k: K, clock: &CommitClock) -> Option<bool> {
         let _w = self.write.lock().expect("write lock poisoned");
         if self.retired.load(Ordering::Relaxed) {
             return None;
         }
-        let dirty = self.publish_op(k, 1);
+        let cv = clock.begin();
+        let dirty = self.publish_op(k, 1, cv);
+        self.merged_len.fetch_add(1, Ordering::AcqRel);
+        clock.end();
+        Some(dirty)
+    }
+
+    /// Apply one insert that already owns an open clock window (a
+    /// [`crate::WriteBatch`] apply: the store brackets the whole batch in
+    /// one `begin`/`end` and stamps every op with the batch's single commit
+    /// version `cv`).
+    pub(crate) fn try_insert_at(&self, k: K, cv: u64) -> Option<bool> {
+        let _w = self.write.lock().expect("write lock poisoned");
+        if self.retired.load(Ordering::Relaxed) {
+            return None;
+        }
+        let dirty = self.publish_op(k, 1, cv);
         self.merged_len.fetch_add(1, Ordering::AcqRel);
         Some(dirty)
     }
@@ -319,6 +405,12 @@ impl<K: Key> StoreShard<K> {
     /// recorded) when the merged view holds no occurrence of `k`. `None`
     /// means the shard was retired (the caller re-routes).
     pub fn try_delete(&self, k: K) -> Option<(bool, bool)> {
+        self.try_delete_clocked(k, &self.own_clock)
+    }
+
+    /// [`StoreShard::try_delete`] stamped against the caller's commit clock
+    /// (see [`StoreShard::try_insert_clocked`]).
+    pub(crate) fn try_delete_clocked(&self, k: K, clock: &CommitClock) -> Option<(bool, bool)> {
         let _w = self.write.lock().expect("write lock poisoned");
         if self.retired.load(Ordering::Relaxed) {
             return None;
@@ -327,27 +419,62 @@ impl<K: Key> StoreShard<K> {
         if cur.count_of(k) == 0 {
             return Some((false, cur.delta.ops() >= self.threshold));
         }
-        let dirty = self.publish_op(k, -1);
+        let cv = clock.begin();
+        let dirty = self.publish_op(k, -1, cv);
+        self.merged_len.fetch_sub(1, Ordering::AcqRel);
+        clock.end();
+        Some((true, dirty))
+    }
+
+    /// Apply one delete inside an already-open clock window (see
+    /// [`StoreShard::try_insert_at`]).
+    pub(crate) fn try_delete_at(&self, k: K, cv: u64) -> Option<(bool, bool)> {
+        let _w = self.write.lock().expect("write lock poisoned");
+        if self.retired.load(Ordering::Relaxed) {
+            return None;
+        }
+        let cur = self.state.load();
+        if cur.count_of(k) == 0 {
+            return Some((false, cur.delta.ops() >= self.threshold));
+        }
+        let dirty = self.publish_op(k, -1, cv);
         self.merged_len.fetch_sub(1, Ordering::AcqRel);
         Some((true, dirty))
     }
 
-    /// Publish a successor state with the given parts and the next version.
-    /// Every publication funnels through here so the strictly-monotonic
-    /// version guarantee (the concurrent tests' anchor) lives in one place.
-    /// Must hold `write`.
-    fn publish(&self, snapshot: Arc<ShardSnapshot<K>>, delta: DeltaChain<K>) -> Arc<ShardState<K>> {
+    /// Publish a successor state with the given parts, the next version and
+    /// an explicit applied commit version. Every publication funnels through
+    /// here so the strictly-monotonic version guarantee (the concurrent
+    /// tests' anchor) lives in one place. Must hold `write`.
+    fn publish_at(
+        &self,
+        snapshot: Arc<ShardSnapshot<K>>,
+        delta: DeltaChain<K>,
+        applied_cv: u64,
+    ) -> Arc<ShardState<K>> {
         let next = Arc::new(ShardState {
             snapshot,
             delta,
             version: self.state.load().version + 1,
+            applied_cv,
         });
         self.state.store(next.clone());
         next
     }
 
-    /// Record one op and publish the successor state. Must hold `write`.
-    fn publish_op(&self, k: K, net: i64) -> bool {
+    /// Publish a maintenance successor (seal, compaction, swap): the merged
+    /// view is unchanged, so the applied commit version carries forward.
+    /// Must hold `write`.
+    fn publish(&self, snapshot: Arc<ShardSnapshot<K>>, delta: DeltaChain<K>) -> Arc<ShardState<K>> {
+        let applied_cv = self.state.load().applied_cv;
+        self.publish_at(snapshot, delta, applied_cv)
+    }
+
+    /// Record one op stamped with commit version `cv` and publish the
+    /// successor state. The stamp is `max`-folded so a batch's single commit
+    /// version interleaving with later singles can never move a shard's
+    /// `applied_cv` backwards. Must hold `write`.
+    fn publish_op(&self, k: K, net: i64, cv: u64) -> bool {
         let cur = self.state.load();
         let mut delta = cur.delta.with_op(k, net, self.max_run_len);
         if delta.unsealed_run_count() >= self.compact_runs {
@@ -357,7 +484,7 @@ impl<K: Key> StoreShard<K> {
             delta = delta.compact();
         }
         let dirty = delta.ops() >= self.threshold;
-        self.publish(cur.snapshot.clone(), delta);
+        self.publish_at(cur.snapshot.clone(), delta, cur.applied_cv.max(cv));
         dirty
     }
 

@@ -17,15 +17,17 @@
 //! background [`MaintenanceWorker`], or via [`ShardedStore::maintain`] /
 //! [`ShardedStore::flush`].
 
+use crate::batch::{BatchOp, BatchReceipt, WriteBatch};
 use crate::config::StoreConfig;
 use crate::delta::DeltaChain;
-use crate::epoch::EpochCell;
+use crate::epoch::{CommitClock, EpochCell};
 use crate::error::StoreError;
 use crate::persist::manifest::{Manifest, ManifestShard};
 use crate::persist::wal::WalOp;
 use crate::persist::{self, recovery, snapshot, DurabilityStats, Persistence};
 use crate::router::ShardRouter;
 use crate::shard::{build_index, ShardSnapshot, StoreShard};
+use crate::snapshot::StoreSnapshot;
 use crate::worker::{MaintenanceWorker, WorkerSignal};
 use algo_index::search::{DynRangeIndex, RangeIndex};
 use shift_table::error::BuildError;
@@ -33,7 +35,7 @@ use shift_table::spec::IndexSpec;
 use sosd_data::key::Key;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// What [`build_chunked`] hands back: the router, the chunk start offsets
 /// and the built shards.
@@ -73,7 +75,7 @@ fn build_chunked<K: Key, T: Send>(
 /// shard, resolve each bucket through `per_shard` (one stage-blocked batch
 /// call per shard) and scatter the results back with the shard's global
 /// offset applied.
-fn dispatch_batch_by_shard<K: Key>(
+pub(crate) fn dispatch_batch_by_shard<K: Key>(
     router: &ShardRouter<K>,
     shard_count: usize,
     offsets: &[usize],
@@ -234,18 +236,6 @@ impl<K: Key> StoreTable<K> {
         &self.shards
     }
 
-    /// Global position offset of each shard plus the merged total, swept
-    /// once per multi-shard read.
-    fn merged_offsets(&self) -> (Vec<usize>, usize) {
-        let mut offsets = Vec::with_capacity(self.shards.len());
-        let mut total = 0usize;
-        for shard in &self.shards {
-            offsets.push(total);
-            total += shard.len();
-        }
-        (offsets, total)
-    }
-
     /// Locate a shard in this table by identity.
     fn position_of(&self, shard: &Arc<StoreShard<K>>) -> Option<usize> {
         self.shards.iter().position(|s| Arc::ptr_eq(s, shard))
@@ -258,6 +248,19 @@ impl<K: Key> StoreTable<K> {
 pub(crate) struct StoreCore<K: Key> {
     table: EpochCell<StoreTable<K>>,
     config: StoreConfig,
+    /// The store-wide commit clock: assigns every applied write (and every
+    /// applied batch) its monotonic commit version and lets snapshots
+    /// capture a consistent per-shard state vector without blocking
+    /// writers.
+    clock: CommitClock,
+    /// Snapshot liveness gate: every write path holds a **read** guard
+    /// across its commit-clock window, and a snapshot that keeps losing the
+    /// seqlock race (a continuous write storm on few cores) takes the
+    /// **write** side once — in-flight windows drain, no new one can open,
+    /// and the capture succeeds immediately. Uncontended cost to writers is
+    /// one atomic read-lock per op; the gate is never touched on the happy
+    /// snapshot path.
+    write_gate: RwLock<()>,
     /// Serialises topology changes (splits and merges). Taken strictly
     /// before any shard's rebuild guard.
     topology: Mutex<()>,
@@ -281,6 +284,33 @@ impl<K: Key> StoreCore<K> {
 
     fn load_table(&self) -> Arc<StoreTable<K>> {
         self.table.load()
+    }
+
+    /// Capture a store-wide consistent cut: pin the table and every shard's
+    /// state inside one quiescent commit-clock window (see
+    /// [`CommitClock::try_read_consistent`]). The returned snapshot is
+    /// exact at its commit version and repeatable forever.
+    ///
+    /// Liveness: the lock-free seqlock capture is retried a bounded number
+    /// of times; if a write window overlapped every attempt (possible only
+    /// under a continuous write storm with fewer cores than threads), the
+    /// capture falls back to taking the write gate — writers pause for the
+    /// microseconds one pin sweep takes, and the snapshot is guaranteed.
+    pub(crate) fn snapshot(&self) -> StoreSnapshot<K> {
+        let mut pin = || {
+            let table = self.load_table();
+            let states: Vec<_> = table.shards.iter().map(|s| s.state()).collect();
+            (table, states)
+        };
+        let ((table, states), version) = match self.clock.try_read_consistent(128, &mut pin) {
+            Some(cut) => cut,
+            None => {
+                let _gate = self.write_gate.write().expect("write gate poisoned");
+                // No window can be open or opened: first attempt succeeds.
+                self.clock.read_consistent(&mut pin)
+            }
+        };
+        StoreSnapshot::new(table, states, version)
     }
 
     /// Rebuild one shard, counting it on success.
@@ -557,9 +587,12 @@ impl<K: Key> StoreCore<K> {
         let residual = shard.residual_since(&frozen);
         let (left_delta, right_delta) = residual.partition(split_key);
         let (max_run_len, compact_runs) = shard.chain_tuning();
+        // Children start at the parent's commit-version floor so the
+        // `applied_cv` stamp stays monotonic across the topology change.
+        let parent_cv = shard.state().applied_cv();
         let child = |snap, delta: DeltaChain<K>| {
             Arc::new(
-                StoreShard::from_parts(spec, shard.threshold(), threads, snap, delta)
+                StoreShard::from_parts_at(spec, shard.threshold(), threads, snap, delta, parent_cv)
                     .with_chain_tuning(max_run_len, compact_runs),
             )
         };
@@ -620,8 +653,9 @@ impl<K: Key> StoreCore<K> {
             .residual_since(&frozen_a)
             .concat(&b.residual_since(&frozen_b));
         let (max_run_len, compact_runs) = a.chain_tuning();
+        let parent_cv = a.state().applied_cv().max(b.state().applied_cv());
         let child = Arc::new(
-            StoreShard::from_parts(spec, a.threshold(), threads, snapshot, residual)
+            StoreShard::from_parts_at(spec, a.threshold(), threads, snapshot, residual, parent_cv)
                 .with_chain_tuning(max_run_len, compact_runs),
         );
         let mut shards = table.shards.clone();
@@ -761,6 +795,8 @@ impl<K: Key> ShardedStore<K> {
         let core = Arc::new(StoreCore {
             table: EpochCell::new(Arc::new(table)),
             config,
+            clock: CommitClock::new(),
+            write_gate: RwLock::new(()),
             topology: Mutex::new(()),
             signal: Arc::new(WorkerSignal::default()),
             persist,
@@ -778,6 +814,30 @@ impl<K: Key> ShardedStore<K> {
     /// The store configuration.
     pub fn config(&self) -> &StoreConfig {
         self.core.config()
+    }
+
+    /// Pin a **store-wide consistent snapshot**: one topology epoch plus
+    /// every shard's state, captured at a single quiescent cut of the
+    /// commit clock. Every read evaluated on the snapshot — scalar, batch,
+    /// range, count, scan — is exact at [`StoreSnapshot::version`] and
+    /// repeatable forever, no matter how many writers, rebuilds, splits or
+    /// merges race the caller. On the happy path acquisition is a lock-free
+    /// capture that never blocks writers; only when a continuous write
+    /// storm outlasts the bounded retries does it briefly gate new writes
+    /// out (for the microseconds one pin sweep takes) to guarantee
+    /// progress. Holding a snapshot only pins memory.
+    ///
+    /// The store's own read methods are thin one-shot delegations to a
+    /// fresh snapshot; take an explicit one whenever two reads must agree.
+    pub fn snapshot(&self) -> StoreSnapshot<K> {
+        self.core.snapshot()
+    }
+
+    /// The newest assigned commit version (diagnostics; a concurrent writer
+    /// may not have published it yet — pin a [`ShardedStore::snapshot`] for
+    /// an exact cut).
+    pub fn commit_version(&self) -> u64 {
+        self.core.clock.version()
     }
 
     /// Pin and return the current topology epoch (router + shards).
@@ -876,15 +936,107 @@ impl<K: Key> ShardedStore<K> {
         Ok(removed)
     }
 
+    /// Apply the staged operations of `batch` **atomically**: one commit
+    /// version is stamped on every operation, so a concurrent
+    /// [`ShardedStore::snapshot`] observes all of the batch or none of it.
+    /// On a durable store the whole batch is appended as **one** multi-op
+    /// WAL record — synced once under [`crate::SyncPolicy::Always`] (where
+    /// concurrent batches additionally share `fdatasync`s through the WAL's
+    /// group committer) — and recovery replays it all-or-nothing: a torn
+    /// record drops the entire batch, never a prefix of it.
+    ///
+    /// Operations apply in staging order; a staged delete whose key has no
+    /// occurrence by its turn is a no-op, counted out of the receipt's
+    /// `deleted`. An empty batch is a no-op that writes no WAL record.
+    ///
+    /// # Errors
+    /// As for [`ShardedStore::insert`]; a failed WAL append means *nothing*
+    /// of the batch was applied.
+    pub fn apply(&self, batch: &WriteBatch<K>) -> Result<BatchReceipt, StoreError> {
+        if batch.is_empty() {
+            return Ok(BatchReceipt::default());
+        }
+        let (receipt, dirty) = match &self.core.persist {
+            Some(p) => {
+                let ops: Vec<(WalOp, u64)> = batch
+                    .ops()
+                    .iter()
+                    .map(|op| match *op {
+                        BatchOp::Insert(k) => (WalOp::Insert, k.to_u64()),
+                        BatchOp::Delete(k) => (WalOp::Delete, k.to_u64()),
+                    })
+                    .collect();
+                p.append_batch(&ops, |_version| self.apply_batch_mem(batch))?
+            }
+            None => self.apply_batch_mem(batch),
+        };
+        for shard in dirty {
+            self.on_dirty(&shard)?;
+        }
+        Ok(receipt)
+    }
+
+    /// Apply a batch in memory inside one commit-clock window: every op is
+    /// stamped with the batch's single commit version, and no snapshot can
+    /// cut between two ops of the batch. Returns the receipt and the shards
+    /// the batch made dirty (deduplicated).
+    fn apply_batch_mem(&self, batch: &WriteBatch<K>) -> (BatchReceipt, Vec<Arc<StoreShard<K>>>) {
+        let _gate = self.core.write_gate.read().expect("write gate poisoned");
+        let cv = self.core.clock.begin();
+        let mut receipt = BatchReceipt {
+            commit_version: cv,
+            inserted: 0,
+            deleted: 0,
+        };
+        let mut dirty: Vec<Arc<StoreShard<K>>> = Vec::new();
+        let mut note_dirty = |shard: &Arc<StoreShard<K>>| {
+            if !dirty.iter().any(|s| Arc::ptr_eq(s, shard)) {
+                dirty.push(Arc::clone(shard));
+            }
+        };
+        for op in batch.ops() {
+            // Route against the freshest table, re-routing around shards a
+            // concurrent split/merge retires (as the single-op paths do).
+            loop {
+                let table = self.core.load_table();
+                match *op {
+                    BatchOp::Insert(k) => {
+                        let shard = &table.shards[table.router.shard_of(k)];
+                        if let Some(d) = shard.try_insert_at(k, cv) {
+                            receipt.inserted += 1;
+                            if d {
+                                note_dirty(shard);
+                            }
+                            break;
+                        }
+                    }
+                    BatchOp::Delete(k) => {
+                        let shard = &table.shards[table.router.shard_of(k)];
+                        if let Some((removed, d)) = shard.try_delete_at(k, cv) {
+                            receipt.deleted += removed as usize;
+                            if d {
+                                note_dirty(shard);
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.core.clock.end();
+        (receipt, dirty)
+    }
+
     /// Apply an insert in memory, re-routing around retired shards (one
     /// replaced by a concurrent split/merge refuses the write; reload the
     /// freshly published table and retry). Returns the shard to maintain
     /// when the write made it dirty.
     fn apply_insert(&self, k: K) -> Option<Arc<StoreShard<K>>> {
+        let _gate = self.core.write_gate.read().expect("write gate poisoned");
         loop {
             let table = self.core.load_table();
             let shard = &table.shards[table.router.shard_of(k)];
-            if let Some(dirty) = shard.try_insert(k) {
+            if let Some(dirty) = shard.try_insert_clocked(k, &self.core.clock) {
                 return dirty.then(|| Arc::clone(shard));
             }
         }
@@ -892,10 +1044,11 @@ impl<K: Key> ShardedStore<K> {
 
     /// Apply a delete in memory (see [`ShardedStore::apply_insert`]).
     fn apply_delete(&self, k: K) -> (bool, Option<Arc<StoreShard<K>>>) {
+        let _gate = self.core.write_gate.read().expect("write gate poisoned");
         loop {
             let table = self.core.load_table();
             let shard = &table.shards[table.router.shard_of(k)];
-            if let Some((removed, dirty)) = shard.try_delete(k) {
+            if let Some((removed, dirty)) = shard.try_delete_clocked(k, &self.core.clock) {
                 return (removed, dirty.then(|| Arc::clone(shard)));
             }
         }
@@ -964,10 +1117,16 @@ impl<K: Key> ShardedStore<K> {
         self.core.persist.as_ref().map(|p| p.durability())
     }
 
-    /// Merged occurrence count of the exact key `k`.
+    /// Merged occurrence count of the exact key `k`, at a fresh snapshot
+    /// (pin a [`ShardedStore::snapshot`] to correlate several counts).
     pub fn count_of(&self, k: K) -> usize {
-        let table = self.core.load_table();
-        table.shards[table.router.shard_of(k)].count_of(k)
+        self.core.snapshot().count_of(k)
+    }
+
+    /// Materialise every key in `lo ..= hi` at a fresh snapshot, in sorted
+    /// order (see [`StoreSnapshot::scan`]).
+    pub fn scan(&self, lo: K, hi: K) -> Vec<K> {
+        self.core.snapshot().scan(lo, hi)
     }
 
     /// Rebuild every *dirty* shard (chain at or over the threshold), in
@@ -1005,56 +1164,29 @@ impl<K: Key> ShardedStore<K> {
     }
 }
 
+/// Every read is a thin delegation to a freshly pinned
+/// [`ShardedStore::snapshot`], so even a multi-shard composition (global
+/// position, batch, range) is **exact at one commit version** while writers,
+/// rebuilds and the rebalancer race it — the old direct per-shard reads
+/// could observe different shards at different instants.
 impl<K: Key> RangeIndex<K> for ShardedStore<K> {
     fn lower_bound(&self, q: K) -> usize {
-        let table = self.core.load_table();
-        let s = table.router.shard_of(q);
-        let offset: usize = table.shards[..s].iter().map(|sh| sh.len()).sum();
-        offset + table.shards[s].lower_bound(q)
+        self.core.snapshot().lower_bound(q)
     }
 
     /// Batched merged lookups, grouped by shard (see
-    /// [`ShardedIndex::lower_bound_batch`]). The whole batch resolves
-    /// against one pinned table, so a concurrent split or merge can never
-    /// route part of a batch through one topology and part through another.
+    /// [`ShardedIndex::lower_bound_batch`]), resolved entirely against one
+    /// pinned snapshot: exact even while writes race the batch.
     fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
-        let table = self.core.load_table();
-        let (offsets, _total) = table.merged_offsets();
-        dispatch_batch_by_shard(
-            &table.router,
-            table.shards.len(),
-            &offsets,
-            queries,
-            out,
-            |s, qs, os| table.shards[s].lower_bound_batch(qs, os),
-        );
+        self.core.snapshot().lower_bound_batch(queries, out);
     }
 
     fn range(&self, lo: K, hi: K) -> std::ops::Range<usize> {
-        if lo > hi {
-            return 0..0;
-        }
-        // One pinned table, one sweep for the merged offsets, two
-        // shard-local probes.
-        let table = self.core.load_table();
-        let (offsets, total) = table.merged_offsets();
-        if total == 0 {
-            return 0..0;
-        }
-        let s = table.router.shard_of(lo);
-        let start = offsets[s] + table.shards[s].lower_bound(lo);
-        let end = match hi.checked_next() {
-            Some(h) => {
-                let s = table.router.shard_of(h);
-                offsets[s] + table.shards[s].lower_bound(h)
-            }
-            None => total,
-        };
-        start..end.max(start)
+        self.core.snapshot().range(lo, hi)
     }
 
     fn len(&self) -> usize {
-        self.core.load_table().shards.iter().map(|s| s.len()).sum()
+        self.core.snapshot().len()
     }
 
     fn index_size_bytes(&self) -> usize {

@@ -6,10 +6,15 @@
 //! compacts delta chains, rebuilds dirty shards and rebalances skewed ones —
 //! all through the same seal/strip machinery the foreground paths use, so
 //! readers never wait for it and writers only overlap it at the
-//! pointer-swap commits. On a durable store it has one more duty: once the
-//! WAL has grown by [`crate::DurabilityConfig::checkpoint_ops`] records it
-//! takes an epoch-consistent checkpoint (snapshots + manifest rotation +
-//! WAL truncation; see [`crate::persist`]). Between passes it sleeps on a
+//! pointer-swap commits. None of its duties change a shard's *merged view*,
+//! so maintenance never moves a state's commit-version stamp: a pinned
+//! [`crate::StoreSnapshot`] stays exact while the worker rebuilds, splits
+//! or merges underneath it. On a durable store it has one more duty: once
+//! the WAL has grown by [`crate::DurabilityConfig::checkpoint_ops`] logged
+//! operations it takes an epoch-consistent checkpoint (snapshots + manifest
+//! rotation + WAL truncation; see [`crate::persist`]) — the cut always
+//! contains whole [`crate::WriteBatch`]es, because batches apply under the
+//! same WAL lock the cut pins states under. Between passes it sleeps on a
 //! condition variable: a threshold-crossing write *kicks* it awake
 //! immediately, otherwise it wakes every
 //! [`crate::StoreConfig::maintenance_interval`].

@@ -21,10 +21,10 @@
 //! stress job via `STRESS_READERS` / `STRESS_WRITERS` / `STRESS_OPS`.
 
 use algo_index::RangeIndex;
-use shift_store::{ShardedStore, StoreConfig};
+use shift_store::{ShardedStore, StoreConfig, WriteBatch};
 use shift_table::spec::IndexSpec;
 use sosd_data::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
 
 const KEY_DOMAIN: u64 = 50_000;
@@ -422,6 +422,227 @@ fn forced_skew_splits_deterministically_with_aligned_fences() {
         .filter(|&&k| k == 7_000)
         .count();
     assert_eq!(count_in_owner, run_len, "the duplicate run never splits");
+}
+
+/// The snapshot-consistency stress property: N readers each pin a
+/// [`shift_store::StoreSnapshot`] and assert every probed read is **frozen**
+/// — byte-identical across re-reads — while M writers (mixing single ops
+/// and atomic [`WriteBatch`]es) and the background maintenance worker churn
+/// rebuilds, compactions, splits and merges underneath. Batch atomicity is
+/// asserted through cross-shard pair keys: every batch inserts one low key
+/// and one high key (routed to different shards), so any snapshot in which
+/// the two counts disagree caught a batch half-applied.
+#[test]
+fn snapshots_freeze_consistent_cuts_under_write_and_rebalance_churn() {
+    let readers = env_usize("STRESS_READERS", 2);
+    let writers = env_usize("STRESS_WRITERS", 2);
+    let ops = env_usize("STRESS_OPS", 200);
+    let mut rng = SplitMix64::new(0x5AAF);
+    // Even base keys only: the odd half of the domain is reserved for the
+    // pair batches' low keys, so their counts stay exactly 0-then-1.
+    let mut base: Vec<u64> = (0..3_000)
+        .map(|_| rng.next_below(KEY_DOMAIN / 2) * 2)
+        .collect();
+    base.sort_unstable();
+    let config = StoreConfig::new(IndexSpec::parse("im+r1").unwrap())
+        .shards(4)
+        .delta_threshold(48)
+        .auto_rebuild(false)
+        .background_maintenance(true)
+        .maintenance_interval(Duration::from_millis(1))
+        .split_skew(2);
+    let store = ShardedStore::build(config, &base).unwrap();
+
+    // Pair keys: batch b of writer w inserts lo(w, b) — an *odd* key inside
+    // the base domain, so it routes through the low/middle shards the base
+    // populated — and hi(w, b), far above every base key (the last shard),
+    // in one atomic batch: the pair is genuinely cross-shard from the very
+    // first batch, not only after splits. Keys are unique per (w, b), never
+    // collide with the even base keys or the even churn keys, and each is
+    // inserted exactly once, so any snapshot where the two counts disagree
+    // caught a batch half-applied.
+    let lo_key = |w: usize, b: usize| (w * ops + b) as u64 * 2 + 1;
+    let hi_key = |w: usize, b: usize| (w * ops + b) as u64 * 2 + KEY_DOMAIN * 4;
+    assert!(
+        lo_key(writers - 1, ops - 1) < KEY_DOMAIN,
+        "low pair keys must stay inside the sharded base domain"
+    );
+    let probes = probes();
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let store = &store;
+            scope.spawn(move || {
+                let mut rng = SplitMix64::new(0xB00 + w as u64);
+                for b in 0..ops {
+                    // One atomic cross-shard pair batch…
+                    let mut batch = WriteBatch::with_capacity(2);
+                    batch.insert(lo_key(w, b)).insert(hi_key(w, b));
+                    let receipt = store.apply(&batch).unwrap();
+                    assert_eq!(receipt.inserted, 2);
+                    // …plus a single-op insert/delete churn pair (net zero;
+                    // even keys only — see the pair-key reservation above).
+                    let k = rng.next_below(KEY_DOMAIN / 2) * 2;
+                    store.insert(k).unwrap();
+                    assert!(store.delete(k).unwrap(), "own key must delete");
+                }
+            });
+        }
+        for r in 0..readers {
+            let store = &store;
+            let done = &done;
+            let probes = &probes;
+            scope.spawn(move || {
+                let mut last_version = 0u64;
+                let mut rng = SplitMix64::new(0x5EE + r as u64);
+                loop {
+                    let finished = done.load(Ordering::SeqCst);
+                    let snap = store.snapshot();
+                    assert!(
+                        snap.version() >= last_version,
+                        "snapshot versions must never go backwards"
+                    );
+                    last_version = snap.version();
+                    // Freeze check: two full read sweeps over the pinned
+                    // snapshot must agree exactly, however the store moves.
+                    let sweep = |s: &shift_store::StoreSnapshot<u64>| {
+                        let mut v: Vec<usize> = probes.iter().map(|&p| s.lower_bound(p)).collect();
+                        v.extend(probes.iter().map(|&p| s.count_of(p)));
+                        v.push(s.len());
+                        v
+                    };
+                    let first = sweep(&snap);
+                    std::thread::yield_now();
+                    assert_eq!(sweep(&snap), first, "pinned snapshot moved");
+                    // Batch atomicity: pair keys always arrive together.
+                    for w in 0..writers {
+                        let b = rng.next_below(ops as u64) as usize;
+                        assert_eq!(
+                            snap.count_of(lo_key(w, b)),
+                            snap.count_of(hi_key(w, b)),
+                            "snapshot v{} split the pair batch (w={w} b={b})",
+                            snap.version()
+                        );
+                    }
+                    // Internal consistency: a batched read equals scalars,
+                    // and a range's width equals its endpoints' distance.
+                    let batch_lb = snap.lower_bound_many(probes);
+                    assert_eq!(&batch_lb[..], &first[..probes.len()], "batch != scalar");
+                    let r = snap.range(1_000, 40_000);
+                    assert_eq!(r.len(), snap.lower_bound(40_001) - snap.lower_bound(1_000));
+                    if finished {
+                        break;
+                    }
+                }
+            });
+        }
+        scope.spawn(|| {
+            // Main thread duty: wait for writers by polling the expected
+            // final pair count, then release the readers.
+            let expected = writers * ops * 2 + base.len();
+            while store.len() != expected {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            done.store(true, Ordering::SeqCst);
+        });
+    });
+
+    // Settled: every pair key is present exactly once, churn cancelled out.
+    let snap = store.snapshot();
+    assert_eq!(snap.len(), base.len() + writers * ops * 2);
+    for w in 0..writers {
+        for b in (0..ops).step_by(13.max(ops / 16)) {
+            assert_eq!(snap.count_of(lo_key(w, b)), 1);
+            assert_eq!(snap.count_of(hi_key(w, b)), 1);
+        }
+    }
+    assert!(store.take_maintenance_error().is_none());
+    assert!(
+        store.commit_version() >= (writers * ops * 3) as u64,
+        "every batch and single stamped a commit version"
+    );
+}
+
+/// Regression: `range` / `count_of` (and every other read) taken
+/// mid-`rebalance()` must be exact. The store's content is static, so any
+/// deviation means the read composed a retired shard's state with its
+/// successors' — the bug the snapshot read path closes.
+#[test]
+fn ranged_reads_stay_exact_while_rebalance_retires_shards() {
+    let spec = IndexSpec::parse("im+r1").unwrap();
+    // Born as one giant shard; the absolute ceiling forces a cascade of
+    // splits (and the shard count stays 1 in config, so only the ceiling
+    // drives the churn — deterministic, content-preserving).
+    let n = 16_000u64;
+    let config = StoreConfig::new(spec)
+        .shards(1)
+        .delta_threshold(1_000_000)
+        .auto_rebuild(false)
+        .split_skew(2)
+        .split_max_len(1_000);
+    let keys: Vec<u64> = (0..n).map(|i| i * 3).collect();
+    let store = ShardedStore::build(config, &keys).unwrap();
+    assert_eq!(store.shard_count(), 1);
+
+    let mut rng = SplitMix64::new(0x7A11);
+    let cases: Vec<(u64, u64)> = (0..64)
+        .map(|_| {
+            let lo = rng.next_below(3 * n);
+            (lo, lo + rng.next_below(9_000))
+        })
+        .collect();
+    let expected: Vec<std::ops::Range<usize>> = cases
+        .iter()
+        .map(|&(lo, hi)| {
+            let start = keys.partition_point(|&x| x < lo);
+            let end = keys.partition_point(|&x| x <= hi);
+            start..end.max(start)
+        })
+        .collect();
+
+    let churning = AtomicBool::new(true);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let store = &store;
+            let churning = &churning;
+            let cases = &cases;
+            let expected = &expected;
+            scope.spawn(move || {
+                while churning.load(Ordering::SeqCst) {
+                    for (&(lo, hi), want) in cases.iter().zip(expected.iter()) {
+                        assert_eq!(store.range(lo, hi), *want, "range [{lo}, {hi}]");
+                        assert_eq!(
+                            store.count_of(lo),
+                            usize::from(lo % 3 == 0 && lo < 3 * n),
+                            "count {lo}"
+                        );
+                    }
+                }
+            });
+        }
+        scope.spawn(|| {
+            // Drive the split cascade to quiescence, then keep sweeping a
+            // few more times mid-read for good measure.
+            let mut sweeps = 0;
+            loop {
+                let actions = store.rebalance().unwrap();
+                sweeps += 1;
+                if actions == 0 && sweeps > 6 {
+                    break;
+                }
+            }
+            churning.store(false, Ordering::SeqCst);
+        });
+    });
+    assert!(
+        store.total_splits() >= 4,
+        "the ceiling cascade must have retired shards mid-read"
+    );
+    assert!(store.shards().iter().all(|s| s.len() <= 1_000));
+    for (&(lo, hi), want) in cases.iter().zip(expected.iter()) {
+        assert_eq!(store.range(lo, hi), *want, "settled range [{lo}, {hi}]");
+    }
 }
 
 #[test]

@@ -5,7 +5,9 @@
 
 use algo_index::RangeIndex;
 use shift_store::persist::wal;
-use shift_store::{DurabilityConfig, ShardedStore, StoreConfig, StoreError, SyncPolicy};
+use shift_store::{
+    DurabilityConfig, ShardedStore, StoreConfig, StoreError, SyncPolicy, WriteBatch,
+};
 use shift_table::spec::IndexSpec;
 use sosd_data::prelude::*;
 use std::path::{Path, PathBuf};
@@ -299,6 +301,239 @@ fn wal_truncated_at_every_record_boundary_recovers_the_exact_prefix() {
     drop(recovered);
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
+/// The batch crash-point property: a trace of multi-op [`WriteBatch`]es
+/// (interleaved with singles) is truncated at every entry boundary *and* at
+/// cuts strictly inside each batch frame — recovery must land on a whole
+/// number of entries, never a prefix of a batch's operations
+/// (all-or-nothing), and must match the oracle at exactly that entry count.
+#[test]
+fn torn_multi_op_wal_records_recover_all_or_nothing() {
+    let dir = scratch("batch-crash-points");
+    let mut rng = SplitMix64::new(0xBA7C_0003);
+    let mut base: Vec<u64> = (0..2_000).map(|_| rng.next_below(30_000)).collect();
+    base.sort_unstable();
+
+    let config = StoreConfig::new(spec())
+        .shards(4)
+        .delta_threshold(64)
+        .durability(DurabilityConfig::new().checkpoint_ops(0));
+    let store = ShardedStore::open_seeded(&dir, config, &base).unwrap();
+
+    // A trace of entries: every third a single op, the rest batches of
+    // 2..=6 mixed ops spanning the whole key domain (and thus shards).
+    // `prefixes[i]` is the oracle after the first `i` *entries*, and
+    // `ops_after[i]` the logical op count recovery should report.
+    let mut oracle = Oracle { keys: base };
+    let mut prefixes: Vec<Oracle> = vec![oracle.clone()];
+    let mut ops_after: Vec<u64> = vec![0];
+    let mut logical_ops = 0u64;
+    for e in 0..60 {
+        if e % 3 == 2 {
+            let k = rng.next_below(35_000);
+            store.insert(k).unwrap();
+            oracle.insert(k);
+            logical_ops += 1;
+        } else {
+            let mut batch = WriteBatch::new();
+            let n = 2 + rng.next_below(5) as usize;
+            let mut expect_deleted = 0usize;
+            for _ in 0..n {
+                if rng.next_below(3) == 0 && !oracle.keys.is_empty() {
+                    let k = oracle.keys[rng.next_below(oracle.keys.len() as u64) as usize];
+                    batch.delete(k);
+                    expect_deleted += oracle.delete(k) as usize;
+                } else {
+                    let k = rng.next_below(35_000);
+                    batch.insert(k);
+                    oracle.insert(k);
+                }
+            }
+            let receipt = store.apply(&batch).unwrap();
+            assert_eq!(receipt.deleted, expect_deleted, "entry {e}");
+            logical_ops += n as u64;
+        }
+        prefixes.push(oracle.clone());
+        ops_after.push(logical_ops);
+    }
+    assert_matches_oracle(&store, &oracle, "pre-crash");
+    drop(store); // crash
+
+    let segments = wal::list_segments(&dir).unwrap();
+    assert_eq!(segments.len(), 1);
+    let wal_path = segments[0].1.clone();
+    let scan = wal::read_segment(&wal_path).unwrap();
+    assert_eq!(scan.records.len(), 60, "one WAL record per entry");
+    assert!(scan.records.iter().any(|r| r.op_count() > 1));
+    let full = std::fs::read(&wal_path).unwrap();
+
+    let crash_dir = scratch("batch-crash-image");
+    let open_config = StoreConfig::new(spec()).durability(DurabilityConfig::new());
+    for entries in 0..=60usize {
+        let keep = if entries == 0 {
+            0u64
+        } else {
+            scan.boundaries[entries - 1]
+        };
+        // Cut exactly at the boundary, and (for the next entry, if it is a
+        // batch) at several points strictly inside its frame: the torn
+        // batch must vanish whole.
+        let next_len = scan
+            .boundaries
+            .get(entries)
+            .map(|&b| (b - keep) as usize)
+            .unwrap_or(0);
+        let mut cuts = vec![keep as usize];
+        if next_len > 0 {
+            cuts.push(keep as usize + 5); // inside the header
+            cuts.push(keep as usize + next_len / 2); // mid-payload
+            cuts.push(keep as usize + next_len - 1); // one byte short
+        }
+        for cut in cuts {
+            clone_dir(&dir, &crash_dir);
+            std::fs::write(crash_dir.join(wal_path.file_name().unwrap()), &full[..cut]).unwrap();
+            let recovered: ShardedStore<u64> = ShardedStore::open(&crash_dir, open_config).unwrap();
+            let oracle = &prefixes[entries];
+            assert_eq!(
+                recovered.len(),
+                oracle.keys.len(),
+                "entries {entries} cut {cut}: len"
+            );
+            assert_eq!(
+                recovered.durability_stats().unwrap().replayed_records,
+                ops_after[entries],
+                "entries {entries} cut {cut}: replayed ops"
+            );
+            let mut prng = SplitMix64::new(entries as u64 * 31 + cut as u64);
+            for _ in 0..15 {
+                let q = prng.next_below(40_000);
+                assert_eq!(
+                    recovered.lower_bound(q),
+                    oracle.lower_bound(q),
+                    "entries {entries} cut {cut}: q={q}"
+                );
+            }
+            if entries % 20 == 0 {
+                assert_matches_oracle(&recovered, oracle, &format!("entries {entries}"));
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
+/// Group commit under `SyncPolicy::Always`: concurrent writers (singles and
+/// batches) share `fdatasync`s, yet **every** acknowledged write is durable
+/// — asserted by recovering a byte-for-byte copy of the directory taken
+/// right after the writers return, without any clean shutdown of the
+/// original store.
+#[test]
+fn group_commit_keeps_every_acknowledged_write_durable() {
+    let dir = scratch("group-commit");
+    let writers = 4usize;
+    let per_writer = 60u64;
+    let keys: Vec<u64> = (0..2_000u64).map(|i| i * 5).collect();
+    let config = StoreConfig::new(spec())
+        .shards(4)
+        .auto_rebuild(false)
+        .durability(
+            DurabilityConfig::new()
+                .sync(SyncPolicy::Always)
+                .checkpoint_ops(0),
+        );
+    let store = ShardedStore::open_seeded(&dir, config, &keys).unwrap();
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let store = &store;
+            scope.spawn(move || {
+                for i in 0..per_writer {
+                    let k = 100_000 + (w as u64) * 10_000 + i;
+                    if i % 4 == 0 {
+                        let mut batch = WriteBatch::new();
+                        batch.insert(k).insert(k + 5_000);
+                        store.apply(&batch).unwrap();
+                    } else {
+                        store.insert(k).unwrap();
+                    }
+                }
+            });
+        }
+    });
+    let stats = store.durability_stats().unwrap();
+    let expected_extra = writers as u64 * (per_writer + per_writer / 4);
+    assert_eq!(stats.wal_ops, expected_extra, "every op logged");
+    assert!(
+        stats.wal_syncs >= 1 && stats.wal_syncs <= stats.wal_records,
+        "group commit can never sync more than once per record"
+    );
+
+    // Simulate power loss: image the directory while the store is still
+    // open (no drop, no final sync) — Always means everything acknowledged
+    // is already on disk.
+    let image = scratch("group-commit-image");
+    clone_dir(&dir, &image);
+    let recovered: ShardedStore<u64> =
+        ShardedStore::open(&image, StoreConfig::new(spec())).unwrap();
+    assert_eq!(
+        recovered.len() as u64,
+        keys.len() as u64 + expected_extra,
+        "all acknowledged writes survive the image"
+    );
+    for w in 0..writers {
+        for i in 0..per_writer {
+            assert_eq!(
+                recovered.count_of(100_000 + (w as u64) * 10_000 + i),
+                1,
+                "w={w} i={i}"
+            );
+        }
+    }
+    drop(recovered);
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&image);
+}
+
+/// A batch round-trips the full durable lifecycle: logged as one record,
+/// contained whole in a checkpoint, replayed whole from the WAL tail.
+#[test]
+fn batches_round_trip_checkpoints_and_replay() {
+    let dir = scratch("batch-roundtrip");
+    let config = StoreConfig::new(spec())
+        .shards(3)
+        .durability(DurabilityConfig::new().checkpoint_ops(0));
+    let keys: Vec<u64> = (0..1_000u64).collect();
+    let store = ShardedStore::open_seeded(&dir, config, &keys).unwrap();
+
+    let mut pre = WriteBatch::new();
+    pre.insert(5_000).insert(5_001).delete(0);
+    store.apply(&pre).unwrap();
+    store.checkpoint().unwrap(); // the batch rides into the snapshot cut
+
+    let mut post = WriteBatch::new();
+    post.insert(6_000).delete(5_000).delete(999);
+    let receipt = store.apply(&post).unwrap();
+    assert_eq!(receipt.deleted, 2);
+    let stats = store.durability_stats().unwrap();
+    assert_eq!(stats.wal_records, 2, "one frame per batch");
+    assert_eq!(stats.wal_ops, 6);
+    drop(store); // crash: the post-checkpoint batch lives in the WAL tail
+
+    let recovered: ShardedStore<u64> = ShardedStore::open(&dir, StoreConfig::new(spec())).unwrap();
+    assert_eq!(recovered.durability_stats().unwrap().replayed_records, 3);
+    assert_eq!(recovered.len(), 1_000, "+3 −3 across both batches");
+    assert_eq!(
+        recovered.count_of(5_000),
+        0,
+        "pre-checkpoint insert deleted"
+    );
+    assert_eq!(recovered.count_of(5_001), 1);
+    assert_eq!(recovered.count_of(6_000), 1);
+    assert_eq!(recovered.count_of(0), 0);
+    assert_eq!(recovered.count_of(999), 0);
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// A checkpoint truncates the covered WAL prefix and rotates the manifest;

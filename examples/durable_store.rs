@@ -63,10 +63,25 @@ fn main() {
         s.wal_records, s.wal_bytes, s.checkpoints, s.snapshot_bytes
     );
 
-    // More writes after the checkpoint, then a "crash": drop without flush.
-    for i in 0..5_000u64 {
-        store.insert(i * 17).unwrap();
+    // More writes after the checkpoint — batched: each WriteBatch is ONE
+    // multi-op WAL record under one checksum, stamped with one commit
+    // version and synced once, so it recovers all-or-nothing.
+    let records_before = store.durability_stats().unwrap().wal_records;
+    let mut batched = 0usize;
+    for chunk in 0..50u64 {
+        let mut batch = WriteBatch::with_capacity(100);
+        for i in 0..100u64 {
+            batch.insert((chunk * 100 + i) * 17);
+        }
+        batched += store.apply(&batch).unwrap().inserted;
     }
+    let s = store.durability_stats().unwrap();
+    println!(
+        "applied {batched} batched inserts as {} WAL records ({} fdatasyncs so far)",
+        s.wal_records - records_before,
+        s.wal_syncs,
+    );
+    // …then a "crash": drop without flush.
     drop(store);
 
     // Recovery: newest manifest → retrained shards → WAL-tail replay.

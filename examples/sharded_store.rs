@@ -72,14 +72,42 @@ fn main() {
     );
 
     // Batched reads group queries per shard before dispatch against one
-    // pinned topology, so each shard's stage-blocked batch path serves its
-    // bucket in one go even while the table is republished.
+    // pinned snapshot, so each shard's stage-blocked batch path serves its
+    // bucket in one go and the whole batch is exact at one commit version
+    // even while writers and the rebalancer race it.
     let queries = Workload::uniform_domain(&dataset, 10_000, 3);
     let positions = store.lower_bound_many(queries.queries());
     println!(
         "batched {} lookups; first three: {:?}",
         positions.len(),
         &positions[..3]
+    );
+
+    // A pinned snapshot is a store-wide consistent cut: reads on it are
+    // repeatable forever, however the store moves on. Correlated reads —
+    // here a range count cross-checked against a key scan — should always
+    // share one snapshot.
+    let snap = store.snapshot();
+    let (lo_q, hi_q) = (hot, hot + 2_048);
+    let width = snap.range(lo_q, hi_q).len();
+    assert_eq!(width, snap.scan(lo_q, hi_q).len(), "one cut, one answer");
+    store.insert(hot).unwrap(); // races nothing: the snapshot is immutable
+    assert_eq!(snap.range(lo_q, hi_q).len(), width);
+    println!(
+        "snapshot v{}: {} keys in [{lo_q}, {hi_q}], repeatable mid-write",
+        snap.version(),
+        width
+    );
+
+    // Writes that must land together go through a WriteBatch: one commit
+    // version, atomic under every snapshot (and, on a durable store, one
+    // WAL record + one fdatasync).
+    let mut batch = WriteBatch::new();
+    batch.insert(lo).insert(hi).delete(hot);
+    let receipt = store.apply(&batch).unwrap();
+    println!(
+        "batch @v{}: {} inserted, {} deleted atomically",
+        receipt.commit_version, receipt.inserted, receipt.deleted
     );
 
     // Drain every remaining chain and verify the store against the

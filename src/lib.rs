@@ -15,7 +15,9 @@
 //! * [`shift_store`] — the serving layer: [`shift_store::ShardedIndex`]
 //!   (fence-key router over per-shard indexes) and
 //!   [`shift_store::ShardedStore`] (lock-free reads over epoch-pinned shard
-//!   states — immutable base snapshots plus immutable delta chains — with a
+//!   states — immutable base snapshots plus immutable delta chains — with
+//!   store-wide consistent reads behind [`shift_store::StoreSnapshot`],
+//!   atomic group-committed writes behind [`shift_store::WriteBatch`], a
 //!   background maintenance worker, skew-driven shard rebalancing, and an
 //!   optional durable form: a checksummed write-ahead log with
 //!   epoch-consistent checkpoints and crash recovery behind
