@@ -2,7 +2,10 @@
 //! write amplification and recovery latency.
 //!
 //! Scale with `SOSD_N` / `SOSD_QUERIES`; restrict the sync-policy sweep
-//! with `DURABLE_SYNC` (`always` | `every64` | `os`).
+//! with `DURABLE_SYNC` (`always` | `every64` | `os`); set
+//! `COLD_START_ASSERT=1` to enforce the incremental-checkpoint and
+//! cold-start acceptance signals (CI's cold-start job does, on a large
+//! store).
 
 use shift_bench::prelude::*;
 

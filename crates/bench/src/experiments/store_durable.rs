@@ -11,8 +11,7 @@
 //!   so its trace is capped shorter than the buffered policies).
 //! * **Write amplification** — physical bytes (WAL frames plus snapshot
 //!   files, including the seed checkpoint) per logical payload byte (one
-//!   8-byte key per logged operation). Full-shard snapshots dominate this
-//!   today; incremental snapshots are an open ROADMAP item.
+//!   8-byte key per logged operation).
 //! * **Recovery** — the store is dropped and reopened; the row reports the
 //!   reopen latency and how many WAL-tail records the recovery replayed,
 //!   and the run asserts the recovered key count matches the writes.
@@ -26,12 +25,32 @@
 //! `always-solo` row (group commit disabled) is the old one-sync-per-write
 //! behaviour, kept as the baseline the committer is beating.
 //!
+//! A third table measures **incremental checkpoints**: with writes
+//! confined to one shard of many, the `incremental` row re-references
+//! every clean shard's snapshot file instead of rewriting it — the
+//! `full` row (knob off) is the PR-4 behaviour whose write amplification
+//! the incremental path is cutting. Shards written/skipped and snapshot
+//! MB written/reused come straight from [`shift_store::DurabilityStats`].
+//!
+//! A fourth table measures **cold starts**: the same durable image is
+//! reopened eagerly and with [`shift_store::StoreConfig::cold_start`],
+//! and each row breaks the reopen down (manifest parse / snapshot mount /
+//! WAL replay / foreground retrain, via
+//! [`shift_store::ShardedStore::open_breakdown`]) and reports the first
+//! read's latency, how many shards were still cold when it ran, and how
+//! long background hydration took to finish. Both modes must answer the
+//! probe set identically — asserted unconditionally.
+//!
 //! Scratch directories live under the system temp dir and are removed
 //! after each row. The optional `DURABLE_SYNC` environment variable
 //! (`always` | `every64` | `os`) restricts the per-policy trace sweep to
 //! one policy — CI's durability smoke job pins `every64`; the (small)
 //! group-commit table always runs all rows, since its point *is* the
-//! cross-policy comparison.
+//! cross-policy comparison. Setting `COLD_START_ASSERT=1` (CI's cold-start
+//! job does, on a large store) additionally asserts the acceptance
+//! signals: incremental checkpoints skip and reuse, cold opens mount every
+//! shard cold, the first read precedes model training, and the cold open's
+//! foreground retrain time is a small fraction of the eager open's.
 
 use crate::datasets::{dataset_u64, BenchConfig};
 use crate::report::{fmt_ns, percentile_cells, Table};
@@ -167,7 +186,211 @@ pub fn run(cfg: BenchConfig) -> Vec<Table> {
             replayed.to_string(),
         ]);
     }
-    vec![table, group_commit_table(cfg, spec)]
+    vec![
+        table,
+        group_commit_table(cfg, spec),
+        incremental_checkpoint_table(cfg, spec),
+        cold_start_table(cfg, spec),
+    ]
+}
+
+/// True when the run should enforce the cold-start/incremental acceptance
+/// signals (CI's cold-start job sets `COLD_START_ASSERT=1` on a large
+/// store; the smoke test's tiny store leaves them as report-only).
+fn assert_acceptance() -> bool {
+    std::env::var("COLD_START_ASSERT").is_ok_and(|v| v == "1")
+}
+
+/// Incremental vs full checkpoints with writes confined to a single shard:
+/// the write-amplification acceptance table (see the module docs).
+fn incremental_checkpoint_table(cfg: BenchConfig, spec: IndexSpec) -> Table {
+    let d = dataset_u64(SosdName::Face64, cfg);
+    let rounds: u64 = 4;
+    let mut table = Table::new(
+        format!(
+            "Store — incremental checkpoints: {rounds} checkpoints, writes confined to one shard of 8 (n = {}, spec {spec})",
+            d.len()
+        ),
+        &[
+            "mode",
+            "ckpts",
+            "shards written",
+            "shards skipped",
+            "snap MB written",
+            "snap MB reused",
+            "ms/ckpt",
+        ],
+    );
+    for (label, incremental) in [("full", false), ("incremental", true)] {
+        let dir = scratch_dir(&format!("incr-{label}"));
+        let config = StoreConfig::new(spec)
+            .shards(8)
+            .delta_threshold(1_000_000)
+            .auto_rebuild(false)
+            .durability(
+                DurabilityConfig::new()
+                    .sync(SyncPolicy::Os)
+                    .checkpoint_ops(0)
+                    .incremental_checkpoints(incremental),
+            );
+        let store = ShardedStore::open_seeded(&dir, config, d.as_slice()).expect("fresh dir");
+        let base = store.durability_stats().expect("durable store");
+        // Duplicates of the dataset minimum land in the first shard only,
+        // so every other shard stays clean across all rounds.
+        let hot_key = d.as_slice()[0];
+        let start = Instant::now();
+        for _ in 0..rounds {
+            for _ in 0..64 {
+                store.insert(hot_key).expect("insert cannot fail");
+            }
+            store.checkpoint().expect("checkpoint cannot fail");
+        }
+        let ms_per_ckpt = start.elapsed().as_secs_f64() * 1e3 / rounds as f64;
+        let stats = store.durability_stats().expect("durable store");
+        let written = stats.checkpoint_shards_written - base.checkpoint_shards_written;
+        let skipped = stats.checkpoint_shards_skipped - base.checkpoint_shards_skipped;
+        let mb_written = (stats.snapshot_bytes - base.snapshot_bytes) as f64 / 1e6;
+        let mb_reused = (stats.snapshot_bytes_reused - base.snapshot_bytes_reused) as f64 / 1e6;
+        if incremental {
+            assert!(
+                skipped > written,
+                "single-shard writes must leave most shards re-referenced"
+            );
+            if assert_acceptance() {
+                assert!(mb_reused > 0.0, "re-referenced snapshots must report bytes");
+            }
+        } else {
+            assert_eq!(skipped, 0, "full mode rewrites every shard");
+        }
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+        table.add_row(vec![
+            label.into(),
+            rounds.to_string(),
+            written.to_string(),
+            skipped.to_string(),
+            format!("{mb_written:.2}"),
+            format!("{mb_reused:.2}"),
+            format!("{ms_per_ckpt:.1}"),
+        ]);
+    }
+    table
+}
+
+/// Eager vs cold reopen of the same durable image: the reopen-latency
+/// breakdown table (see the module docs).
+fn cold_start_table(cfg: BenchConfig, spec: IndexSpec) -> Table {
+    let d = dataset_u64(SosdName::Face64, cfg);
+    let dir = scratch_dir("cold-start");
+    let durability = DurabilityConfig::new()
+        .sync(SyncPolicy::Os)
+        .checkpoint_ops(0);
+    let seed_config = StoreConfig::new(spec)
+        .shards(8)
+        .delta_threshold(1_000_000)
+        .auto_rebuild(false)
+        .durability(durability);
+    let store = ShardedStore::open_seeded(&dir, seed_config, d.as_slice()).expect("fresh dir");
+    // Dirty every shard, checkpoint, then leave a WAL tail so the reopen
+    // exercises manifest parse, snapshot mount *and* replay.
+    let mut rng = SplitMix64::new(cfg.seed ^ 0xC01D);
+    let mut touch = |store: &ShardedStore<u64>, n: usize| {
+        for _ in 0..n {
+            let k = d.as_slice()[rng.next_below(d.len() as u64) as usize];
+            store.insert(k).expect("insert cannot fail");
+        }
+    };
+    touch(&store, 512);
+    store.checkpoint().expect("checkpoint cannot fail");
+    touch(&store, 256);
+    store.sync_wal().expect("sync cannot fail");
+    let probes: Vec<u64> = (0..64)
+        .map(|_| d.as_slice()[rng.next_below(d.len() as u64) as usize])
+        .collect();
+    drop(store);
+
+    let mut table = Table::new(
+        format!(
+            "Store — cold start: reopen breakdown on the same image (n = {}, 8 shards, spec {spec}, WAL tail of 256 ops)",
+            d.len()
+        ),
+        &[
+            "mode",
+            "open ms",
+            "manifest ms",
+            "mount ms",
+            "replay ms",
+            "retrain ms",
+            "first read µs",
+            "cold@first read",
+            "hydrate ms",
+        ],
+    );
+    let mut reference: Option<(usize, u64)> = None;
+    let mut eager_retrain_ms = 0.0f64;
+    for (label, cold) in [("eager", false), ("cold", true)] {
+        let open_config = StoreConfig::new(spec)
+            .cold_start(cold)
+            .durability(durability);
+        let open = Instant::now();
+        let reopened: ShardedStore<u64> =
+            ShardedStore::open(&dir, open_config).expect("recovery cannot fail");
+        let open_ms = open.elapsed().as_secs_f64() * 1e3;
+        let cold_at_first = reopened.cold_shards();
+        let first = Instant::now();
+        let mut sum = 0u64;
+        for &q in &probes {
+            sum = sum.wrapping_add(reopened.lower_bound(black_box(q)) as u64);
+        }
+        let first_us = first.elapsed().as_secs_f64() * 1e6;
+        let b = reopened.open_breakdown().expect("durable store");
+        let hydrate = Instant::now();
+        let deadline = Instant::now() + std::time::Duration::from_secs(120);
+        while reopened.cold_shards() > 0 {
+            assert!(Instant::now() < deadline, "hydration must finish");
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        let hydrate_ms = hydrate.elapsed().as_secs_f64() * 1e3;
+        let retrain_ms = b.retrain.as_secs_f64() * 1e3;
+        match reference {
+            None => reference = Some((reopened.len(), sum)),
+            Some((len, eager_sum)) => {
+                assert_eq!(reopened.len(), len, "cold reopen must match eager len");
+                assert_eq!(sum, eager_sum, "cold reads must equal eager reads");
+            }
+        }
+        if cold {
+            assert_eq!(b.cold_shards, 8, "cold_start must mount every shard cold");
+            if assert_acceptance() {
+                assert!(
+                    cold_at_first > 0,
+                    "first read must run before hydration finishes"
+                );
+                assert!(
+                    retrain_ms * 5.0 < eager_retrain_ms,
+                    "cold foreground retrain ({retrain_ms:.1} ms) must be a small \
+                     fraction of eager ({eager_retrain_ms:.1} ms)"
+                );
+            }
+        } else {
+            assert_eq!(cold_at_first, 0, "eager reopen has no cold shards");
+            eager_retrain_ms = retrain_ms;
+        }
+        table.add_row(vec![
+            label.into(),
+            format!("{open_ms:.1}"),
+            format!("{:.2}", b.manifest.as_secs_f64() * 1e3),
+            format!("{:.2}", b.mount.as_secs_f64() * 1e3),
+            format!("{:.2}", b.replay.as_secs_f64() * 1e3),
+            format!("{retrain_ms:.2}"),
+            format!("{first_us:.1}"),
+            cold_at_first.to_string(),
+            format!("{hydrate_ms:.1}"),
+        ]);
+        drop(reopened);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    table
 }
 
 /// The group-commit variants the multi-writer table sweeps: label, policy,
@@ -275,7 +498,7 @@ mod tests {
             queries: 400,
             seed: 42,
         });
-        assert_eq!(tables.len(), 2);
+        assert_eq!(tables.len(), 4);
         if std::env::var("DURABLE_SYNC").is_err() {
             assert_eq!(tables[0].row_count(), SYNC_POLICIES.len());
         }
@@ -283,6 +506,16 @@ mod tests {
             tables[1].row_count(),
             GROUP_VARIANTS.len() * GROUP_WRITERS.len(),
             "the group-commit table ignores the DURABLE_SYNC filter"
+        );
+        assert_eq!(
+            tables[2].row_count(),
+            2,
+            "incremental-checkpoint table: full + incremental rows"
+        );
+        assert_eq!(
+            tables[3].row_count(),
+            2,
+            "cold-start table: eager + cold rows"
         );
     }
 }

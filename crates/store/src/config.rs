@@ -36,15 +36,30 @@ pub struct DurabilityConfig {
     /// under the other policies. Disable to force the strict
     /// one-sync-per-record behaviour (e.g. to benchmark against it).
     pub group_commit: bool,
+    /// When true (the default), a checkpoint rewrites only shards whose
+    /// applied commit version advanced since their last snapshot and
+    /// re-references the prior file for the rest (see
+    /// [`crate::persist`]'s incremental-checkpoint invariants). Disable to
+    /// force every checkpoint to rewrite every shard (e.g. to measure the
+    /// write amplification incremental checkpoints save).
+    pub incremental_checkpoints: bool,
+    /// Keys per block of v2 snapshot files. Smaller blocks tighten the
+    /// blast radius of a corrupt byte and the cost of one cold read;
+    /// larger blocks shrink the per-block header/index overhead. Clamped
+    /// to at least 1 when writing.
+    pub snapshot_block_keys: usize,
 }
 
 impl Default for DurabilityConfig {
-    /// Sync every 64 records, checkpoint every 8192, group commit on.
+    /// Sync every 64 records, checkpoint every 8192 (incrementally), group
+    /// commit on, 4096-key snapshot blocks.
     fn default() -> Self {
         Self {
             sync: SyncPolicy::EveryN(64),
             checkpoint_ops: 8192,
             group_commit: true,
+            incremental_checkpoints: true,
+            snapshot_block_keys: 4096,
         }
     }
 }
@@ -74,6 +89,20 @@ impl DurabilityConfig {
     /// Enable or disable group commit under [`SyncPolicy::Always`].
     pub fn group_commit(mut self, on: bool) -> Self {
         self.group_commit = on;
+        self
+    }
+
+    /// Enable or disable incremental checkpoints (skip-and-re-reference
+    /// for shards whose applied version has not advanced).
+    pub fn incremental_checkpoints(mut self, on: bool) -> Self {
+        self.incremental_checkpoints = on;
+        self
+    }
+
+    /// Set the keys-per-block granularity of v2 snapshot files (clamped to
+    /// at least 1).
+    pub fn snapshot_block_keys(mut self, keys: usize) -> Self {
+        self.snapshot_block_keys = keys.max(1);
         self
     }
 }
@@ -132,6 +161,14 @@ pub struct StoreConfig {
     /// [`crate::ShardedStore::build`]. `None` falls back to
     /// [`DurabilityConfig::default`] on open.
     pub durability: Option<DurabilityConfig>,
+    /// When true, [`crate::ShardedStore::open`] *mounts* v2 snapshots cold
+    /// — first reads are served off the per-block index in O(manifest +
+    /// mount) time — and decodes + retrains the models in a background
+    /// hydrator thread, swapping each shard hot as it finishes (see the
+    /// cold → hot lifecycle in [`crate::persist`]). When false (the
+    /// default), open decodes and retrains everything before returning,
+    /// exactly as before. v1 snapshot files always load eagerly.
+    pub cold_start: bool,
 }
 
 impl StoreConfig {
@@ -153,6 +190,7 @@ impl StoreConfig {
             split_skew: 4,
             split_max_len: 0,
             durability: None,
+            cold_start: false,
         }
     }
 
@@ -224,6 +262,13 @@ impl StoreConfig {
         self.durability = Some(durability);
         self
     }
+
+    /// Enable or disable streaming (cold-start) opens — see
+    /// [`StoreConfig::cold_start`].
+    pub fn cold_start(mut self, on: bool) -> Self {
+        self.cold_start = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +306,8 @@ mod tests {
                 sync: SyncPolicy::EveryN(1),
                 checkpoint_ops: 8192,
                 group_commit: true,
+                incremental_checkpoints: true,
+                snapshot_block_keys: 4096,
             }),
             "EveryN(0) normalises to every record"
         );
@@ -268,6 +315,21 @@ mod tests {
             !DurabilityConfig::new().group_commit(false).group_commit,
             "group commit can be disabled"
         );
+        assert!(
+            !DurabilityConfig::new()
+                .incremental_checkpoints(false)
+                .incremental_checkpoints,
+            "incremental checkpoints can be disabled"
+        );
+        assert_eq!(
+            DurabilityConfig::new()
+                .snapshot_block_keys(0)
+                .snapshot_block_keys,
+            1,
+            "block size clamps to at least one key"
+        );
+        assert!(!c.cold_start, "eager opens by default");
+        assert!(StoreConfig::new(spec).cold_start(true).cold_start);
         assert_eq!(c.spec, spec);
         let d = StoreConfig::new(spec);
         assert_eq!(d.shards, 8);

@@ -37,13 +37,16 @@ pub enum StoreError {
     /// The write-ahead log was poisoned by an earlier append or sync
     /// failure: the durable tail of the live segment is in an unknown
     /// state, so no further durable write can be accepted until the store
-    /// heals (in-memory reads keep working). A successful checkpoint heals
-    /// it — snapshots are cut from the in-memory states, the damaged
+    /// heals (in-memory reads keep working). Three ways out:
+    /// [`crate::ShardedStore::repair_wal`] rotates to a fresh segment and
+    /// restores writability immediately; a successful checkpoint is the
+    /// full heal — snapshots are cut from the in-memory states, the damaged
     /// segment rotates away and writes resume on a fresh one; reopening
     /// the store instead recovers the durable prefix. Under group commit a
     /// *failed* sync also returns this to every writer whose record had
     /// not yet been proven durable — those writes are applied in memory
-    /// but their durability is unknowable.
+    /// but their durability is unknowable, and repair never resurrects
+    /// them.
     WalPoisoned,
 }
 
@@ -65,7 +68,8 @@ impl std::fmt::Display for StoreError {
             Self::WalPoisoned => write!(
                 f,
                 "write-ahead log poisoned by an earlier append/sync failure; \
-                 reopen the store to recover its durable prefix"
+                 repair_wal() restores writability, or reopen the store to \
+                 recover its durable prefix"
             ),
         }
     }

@@ -142,9 +142,14 @@
 //!   writers share `fdatasync`s through the WAL's group committer),
 //!   `EveryN(n)` (lose at most `n − 1`), `Os` (page cache decides).
 //! * **Shard snapshots** (`snap-<checkpoint>-<shard>.snap`): a checkpoint
-//!   writes each shard's merged key column, checksummed. The trained model
-//!   is *not* persisted — recovery retrains it from the keys and the spec
-//!   string, which round-trips losslessly through its display form.
+//!   writes each shard's merged key column in the **block-structured v2
+//!   format** ([`persist::v2`]) — fixed-size key blocks each under its own
+//!   CRC32, plus a trailing block index — so recovery can validate blocks
+//!   independently and a cold start can serve `lower_bound` straight off
+//!   the index before decoding anything. The trained model is *not*
+//!   persisted — recovery retrains it from the keys and the spec string,
+//!   which round-trips losslessly through its display form. PR-4-era v1
+//!   files are still read (the loader dispatches on the leading magic).
 //! * **A manifest** (`manifest-<seq>`): the checkpoint root — spec string,
 //!   fence table, snapshot files, checkpoint version — written to a temp
 //!   file and atomically renamed, so no crash can expose a torn root.
@@ -155,7 +160,13 @@
 //! because durable writes apply under that same lock, the pinned set is an
 //! exact cut at one version `cv`. Snapshot writing then proceeds entirely
 //! off-lock, and WAL segments whose records all sit at or below `cv` are
-//! deleted once the new manifest is durable.
+//! deleted once the new manifest is durable. Checkpoints are also
+//! **incremental** by default
+//! ([`DurabilityConfig::incremental_checkpoints`]): a shard whose merged
+//! view has not moved since the previous checkpoint is *skipped* — the new
+//! manifest re-references the prior snapshot file instead of rewriting
+//! identical bytes ([`DurabilityStats::checkpoint_shards_skipped`] and
+//! [`DurabilityStats::snapshot_bytes_reused`] account the savings).
 //!
 //! **Recovery** ([`ShardedStore::open`]) loads the newest manifest that
 //! validates, rebuilds each shard from its snapshot, and replays the WAL
@@ -163,6 +174,13 @@
 //! record at or below the routed shard's recovered version is a no-op, so
 //! stale segments are harmless; a torn tail (short frame or checksum
 //! mismatch) simply ends the log, recovering the exact durable prefix.
+//! With [`StoreConfig::cold_start`], reopen is **streaming**: v2 snapshots
+//! are *mounted* (footer + block index, no decode, no training) and served
+//! cold while a background hydrator retrains models shard by shard — first
+//! reads precede model training, and [`ShardedStore::open_breakdown`]
+//! reports where the open time went. A WAL sync failure no longer forces a
+//! reopen either: [`ShardedStore::repair_wal`] rotates to a fresh segment
+//! and restores writability online.
 //!
 //! ## Example
 //!
@@ -213,12 +231,13 @@ pub use config::{DurabilityConfig, StoreConfig, SyncPolicy};
 pub use delta::{DeltaChain, DeltaRun};
 pub use epoch::{CommitClock, EpochCell};
 pub use error::{RetiredShard, StoreError};
+pub use persist::recovery::OpenBreakdown;
 pub use persist::DurabilityStats;
 pub use router::ShardRouter;
 pub use shard::{ShardSnapshot, ShardState, StoreShard};
 pub use sharded::{ShardedIndex, ShardedStore, StoreTable};
 pub use snapshot::StoreSnapshot;
-pub use worker::MaintenanceWorker;
+pub use worker::{HydrationWorker, MaintenanceWorker};
 
 impl<K: sosd_data::key::Key> shift_table::snapshot::SnapshotRead<K> for ShardedStore<K> {
     type Snapshot = StoreSnapshot<K>;
@@ -233,6 +252,7 @@ pub mod prelude {
     pub use crate::batch::{BatchOp, BatchReceipt, WriteBatch};
     pub use crate::config::{DurabilityConfig, StoreConfig, SyncPolicy};
     pub use crate::error::{RetiredShard, StoreError};
+    pub use crate::persist::recovery::OpenBreakdown;
     pub use crate::persist::DurabilityStats;
     pub use crate::shard::{ShardSnapshot, ShardState, StoreShard};
     pub use crate::sharded::{ShardedIndex, ShardedStore, StoreTable};

@@ -27,10 +27,11 @@
 //!
 //! `fences` lists the router's fence keys (widened to `u64`; empty for a
 //! store that has never held a key), and each `shard` line pairs a snapshot
-//! file with the store version it is consistent with (today always `cv`;
-//! per-shard values keep the format ready for incremental snapshots). The
-//! trailing `end` guards against truncation on filesystems that rename
-//! non-atomically.
+//! file with the store version it is consistent with — `cv` for shards the
+//! checkpoint rewrote, the *prior* manifest's value for clean shards an
+//! incremental checkpoint re-referenced (replay past an older floor is
+//! idempotent, so the lower gate is safe). The trailing `end` guards
+//! against truncation on filesystems that rename non-atomically.
 //!
 //! Versions count WAL *records*, and a multi-op batch record
 //! ([`crate::WriteBatch`], WAL format v2) consumes exactly one — so `cv`

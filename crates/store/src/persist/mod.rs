@@ -9,14 +9,21 @@
 //!   Every durable write appends its record *before* it is applied in
 //!   memory, under one store-wide WAL lock that also assigns the record its
 //!   monotonically increasing store version.
-//! * **Shard snapshots** (`snap-<checkpoint>-<shard>.snap`, [`snapshot`]) —
-//!   one file per shard per checkpoint holding the shard's merged key
-//!   column (base plus folded delta chain). The trained model is *not*
-//!   persisted: recovery retrains it from the keys and the spec string.
+//! * **Shard snapshots** (`snap-<checkpoint>-<shard>.snap`) — one file per
+//!   shard holding the shard's merged key column (base plus folded delta
+//!   chain). New checkpoints write the block-structured **format v2**
+//!   ([`v2`]): fixed-size key blocks each under its own CRC32, a trailing
+//!   block index, and a versioned footer — so recovery can *mount* a shard
+//!   cold and serve reads off the block index before any key is decoded.
+//!   The monolithic **v1** format ([`snapshot`]) is still read (PR-4-era
+//!   directories recover unchanged; the loader dispatches on the file
+//!   magic). In either format the trained model is *not* persisted:
+//!   recovery retrains it from the keys and the spec string.
 //! * **A manifest** (`manifest-<seq>`, [`manifest`]) — the root of every
 //!   checkpoint: the spec string, the fence table, the snapshot file of
-//!   each shard and the checkpoint version. Written to a temp file and
-//!   atomically renamed, so a crash can never leave a half-written root.
+//!   each shard (with the shard's own applied version) and the checkpoint
+//!   version. Written to a temp file and atomically renamed, so a crash can
+//!   never leave a half-written root.
 //!
 //! ## Epoch-consistent checkpoints
 //!
@@ -30,16 +37,61 @@
 //! referencing them is durable, every WAL segment whose records all carry
 //! versions `<= cv` is deleted.
 //!
+//! ## Incremental checkpoints and their GC invariants
+//!
+//! Each manifest shard entry records the shard's **own** `applied` version
+//! — the highest commit version folded into that snapshot file. A
+//! checkpoint therefore only rewrites shards whose applied version advanced
+//! since their last snapshot; a clean shard's entry is carried forward
+//! verbatim, **re-referencing the prior checkpoint's file** under the new
+//! manifest. That makes three invariants load-bearing:
+//!
+//! 1. *GC is manifest-driven, not sequence-driven*: a snapshot file is
+//!    garbage only when the **newest** manifest does not reference it, so a
+//!    `snap-0000000003-*.snap` file re-referenced by manifest 9 survives
+//!    every intermediate collection (`gc` builds the referenced set from
+//!    the manifest it just published).
+//! 2. *Snapshot names never collide*: fresh files are always named under
+//!    the current manifest sequence, so a rewrite can never overwrite a
+//!    file an older manifest still references.
+//! 3. *Skipping is only sound for identical content*: a shard is skipped
+//!    iff its state's `applied_cv` equals the memoised value at its last
+//!    snapshot **and** the topology (fence table) is unchanged — rebuilds
+//!    and compaction never move `applied_cv` precisely because they never
+//!    change the merged view, so "same `applied_cv`, same fences" implies
+//!    byte-identical merged keys. Replay keeps its per-shard gate
+//!    (`version <= shard.applied`), so a WAL record covered by a reused
+//!    snapshot is a no-op on recovery exactly as before.
+//!
+//! ## The cold → hot shard lifecycle (streaming open)
+//!
+//! With [`crate::StoreConfig::cold_start`] set, recovery does not decode or
+//! retrain anything on the open path: it parses the manifest, **mounts**
+//! each v2 snapshot ([`v2::ColdBase`] — footer + index validation plus one
+//! checksum sweep), and publishes each shard *cold*: an empty base column
+//! whose [`RangeIndex`](algo_index::search::RangeIndex) is a
+//! [`v2::ColdBlockIndex`] answering `lower_bound` off the per-block index,
+//! with the WAL tail replayed into the shard's delta chain. First reads are
+//! served in O(manifest + mount) time. A background hydrator then decodes
+//! and retrains shards (bounded parallelism, the same scaffolding as
+//! parallel recovery builds) and atomically swaps each hot via the ordinary
+//! rebuild path — readers never block, and a pinned cold state stays valid
+//! forever. Writes to a cold shard land in its delta chain unchanged, since
+//! write paths only consult the index. v1 snapshot files cannot be mounted
+//! (no block index) and are always loaded eagerly.
+//!
 //! ## Recovery invariants ([`recovery`])
 //!
 //! 1. The newest manifest that validates wins; older manifests and orphaned
 //!    files are garbage, removed on the next successful checkpoint.
 //! 2. Snapshots are rebuilt into shards by *retraining* the persisted spec
-//!    over the persisted keys — model quality is reproduced, not restored.
+//!    over the persisted keys — model quality is reproduced, not restored —
+//!    either eagerly at open or in the background after a cold mount.
 //! 3. The WAL tail is replayed in version order through the recovered fence
 //!    router. Replay is idempotent: a record whose version is at or below
 //!    the routed shard's recovered version is a no-op, so stale segments
-//!    that escaped truncation are harmless.
+//!    that escaped truncation — and records already folded into a reused
+//!    incremental snapshot — are harmless.
 //! 4. A torn tail (short frame, or a CRC/length mismatch) ends the log:
 //!    everything before it is the recovered durable prefix, everything
 //!    after it is discarded.
@@ -47,6 +99,7 @@
 pub mod manifest;
 pub mod recovery;
 pub mod snapshot;
+pub mod v2;
 pub mod wal;
 
 use crate::config::{DurabilityConfig, SyncPolicy};
@@ -113,6 +166,15 @@ pub struct DurabilityStats {
     /// opened — every operation of a batch record counts, so this is
     /// `wal_ops`-denominated, not `wal_records`-denominated.
     pub replayed_records: u64,
+    /// Shard snapshot files actually (re)written by checkpoints since the
+    /// store was opened.
+    pub checkpoint_shards_written: u64,
+    /// Shards skipped by incremental checkpoints (their `applied_cv` had
+    /// not advanced; the prior snapshot file was re-referenced).
+    pub checkpoint_shards_skipped: u64,
+    /// Bytes of prior snapshot files re-referenced instead of rewritten —
+    /// the write amplification incremental checkpoints saved.
+    pub snapshot_bytes_reused: u64,
 }
 
 /// Mutable persistence state, guarded by the store-wide WAL lock.
@@ -152,6 +214,9 @@ pub(crate) struct Persistence {
     checkpoints: AtomicU64,
     snapshot_bytes: AtomicU64,
     last_checkpoint_version: AtomicU64,
+    checkpoint_shards_written: AtomicU64,
+    checkpoint_shards_skipped: AtomicU64,
+    snapshot_bytes_reused: AtomicU64,
 }
 
 impl Persistence {
@@ -187,6 +252,9 @@ impl Persistence {
             checkpoints: AtomicU64::new(0),
             snapshot_bytes: AtomicU64::new(0),
             last_checkpoint_version: AtomicU64::new(0),
+            checkpoint_shards_written: AtomicU64::new(0),
+            checkpoint_shards_skipped: AtomicU64::new(0),
+            snapshot_bytes_reused: AtomicU64::new(0),
         })
     }
 
@@ -298,6 +366,18 @@ impl Persistence {
         Ok(self.inner.lock().expect("wal lock poisoned").wal.sync()?)
     }
 
+    /// Test hook: poison the live WAL writer exactly as a failed
+    /// `fdatasync` would, so repair and rejection paths can be exercised
+    /// without injecting real I/O errors (reachable from integration tests
+    /// via the `doc(hidden)` hook on [`crate::ShardedStore`]).
+    pub(crate) fn poison_for_tests(&self) {
+        self.inner
+            .lock()
+            .expect("wal lock poisoned")
+            .wal
+            .poison_for_tests();
+    }
+
     /// True when the automatic-checkpoint record threshold has been crossed
     /// (the maintenance worker's duty trigger).
     pub(crate) fn checkpoint_due(&self) -> bool {
@@ -361,12 +441,57 @@ impl Persistence {
         Ok((cv, inner.manifest_seq, pinned))
     }
 
-    /// Record a finished checkpoint in the counters.
-    pub(crate) fn finish_checkpoint(&self, cv: u64, snapshot_bytes: u64) {
+    /// Record a finished checkpoint in the counters: bytes written, plus
+    /// the incremental accounting — shards rewritten vs. skipped, and the
+    /// bytes of prior snapshots re-referenced instead of rewritten.
+    pub(crate) fn finish_checkpoint(
+        &self,
+        cv: u64,
+        snapshot_bytes: u64,
+        shards_written: u64,
+        shards_skipped: u64,
+        bytes_reused: u64,
+    ) {
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
         self.snapshot_bytes
             .fetch_add(snapshot_bytes, Ordering::Relaxed);
         self.last_checkpoint_version.store(cv, Ordering::Relaxed);
+        self.checkpoint_shards_written
+            .fetch_add(shards_written, Ordering::Relaxed);
+        self.checkpoint_shards_skipped
+            .fetch_add(shards_skipped, Ordering::Relaxed);
+        self.snapshot_bytes_reused
+            .fetch_add(bytes_reused, Ordering::Relaxed);
+    }
+
+    /// Online WAL-poison repair: if the writer is poisoned, rotate to a
+    /// fresh segment at the current `next_version` and re-arm the group
+    /// committer, restoring writability without reopening the store.
+    /// Returns whether a repair happened (`false` = the WAL was healthy).
+    ///
+    /// Poisoned-era commits stay rejected — their durability is unknowable
+    /// — and the damaged segment stays on disk (harmless to recovery: its
+    /// acknowledged prefix is valid, replay is idempotent) until the next
+    /// checkpoint's GC. Repair restores *writability only*; the writes
+    /// applied in memory after the poisoning remain covered by nothing but
+    /// the next [`begin_checkpoint`](Self::begin_checkpoint), which is the
+    /// full heal.
+    pub(crate) fn repair(&self) -> Result<bool, StoreError> {
+        // Same order as a checkpoint: gate first, then the WAL lock.
+        let _gate = self.checkpoint_gate();
+        let mut inner = self.inner.lock().expect("wal lock poisoned");
+        if !inner.wal.is_poisoned() {
+            return Ok(false);
+        }
+        self.wal_syncs_rotated
+            .fetch_add(inner.wal.sync_count(), Ordering::Relaxed);
+        let mut wal = WalWriter::create(&self.dir, inner.next_version, self.durability.sync)?;
+        wal.defer_sync(self.group.is_some());
+        inner.wal = wal;
+        if let Some(group) = &self.group {
+            group.reset(inner.next_version);
+        }
+        Ok(true)
     }
 
     /// Current cumulative counters.
@@ -386,6 +511,9 @@ impl Persistence {
             snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
             last_checkpoint_version: self.last_checkpoint_version.load(Ordering::Relaxed),
             replayed_records: self.replayed,
+            checkpoint_shards_written: self.checkpoint_shards_written.load(Ordering::Relaxed),
+            checkpoint_shards_skipped: self.checkpoint_shards_skipped.load(Ordering::Relaxed),
+            snapshot_bytes_reused: self.snapshot_bytes_reused.load(Ordering::Relaxed),
         }
     }
 }

@@ -12,33 +12,67 @@
 //!    manifest fails, recovery errors out rather than silently dropping a
 //!    checkpoint. No manifest at all means a store that never checkpointed:
 //!    recovery starts from one empty shard and replays the whole WAL.
-//! 2. Load each shard's snapshot key column (the on-disk format stores no
-//!    model — it is retrained below).
+//! 2. Load each shard's snapshot. Eagerly this decodes the key column (the
+//!    on-disk format stores no model — it is retrained below). With
+//!    [`StoreConfig::cold_start`] set, a v2 snapshot is instead **mounted**
+//!    ([`crate::persist::v2::ColdBase`]): footer + index parse plus one
+//!    checksum sweep, no decode, no training — the shard will serve reads
+//!    off the block index until the background hydrator retrains it. v1
+//!    files have no block index and always load eagerly.
 //! 3. Replay every WAL segment in version order through the recovered
-//!    fence router, editing the key columns directly. A record at or below
-//!    the routed shard's recovered version is skipped — replay is
-//!    idempotent, so segments that escaped truncation cost time, never
-//!    correctness. A torn tail ends the log.
-//! 4. Build each shard once over its final column, retraining the
-//!    persisted spec — one model training per shard regardless of how much
-//!    tail was replayed, and every chain starts clean.
+//!    fence router — editing hot key columns directly, and buffering into
+//!    a cold shard's delta chain (write paths never touch base keys, so a
+//!    cold base absorbs its tail without decoding). A record at or below
+//!    the routed shard's recovered `applied` floor is skipped — replay is
+//!    idempotent, so both stale segments and records already folded into a
+//!    re-referenced incremental snapshot cost time, never correctness. A
+//!    torn tail ends the log.
+//! 4. Build each hot shard once over its final column, retraining the
+//!    persisted spec in bounded-parallel waves; a cold shard is assembled
+//!    in O(1) from its mounted base plus replayed chain.
+//!
+//! Recovery also reports *where the time went* ([`OpenBreakdown`]) and
+//! which manifest entries are safe to re-reference at the next incremental
+//! checkpoint (shards whose WAL tail replayed nothing).
 
 use crate::config::StoreConfig;
+use crate::delta::DeltaChain;
 use crate::error::StoreError;
+use crate::persist::manifest::{self, ManifestShard};
 use crate::persist::wal::{self, WalEntry, WalOp};
-use crate::persist::{manifest, snapshot};
+use crate::persist::{snapshot, v2};
 use crate::router::ShardRouter;
-use crate::shard::StoreShard;
+use crate::shard::{ShardSnapshot, StoreShard};
 use shift_table::spec::IndexSpec;
 use sosd_data::key::Key;
+use std::io::Read;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Where a [`crate::ShardedStore::open`] spent its time, plus how much
+/// work was deferred to background hydration. All phases are measured on
+/// the opening thread: `retrain` is the *foreground* model-training time —
+/// near zero for a cold start, where training happens after open returns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpenBreakdown {
+    /// Parsing and validating the manifest (including its spec string).
+    pub manifest: Duration,
+    /// Reading snapshot files: eager decode, or cold mount + checksum sweep.
+    pub mount: Duration,
+    /// Scanning and applying the WAL tail.
+    pub replay: Duration,
+    /// Foreground model retraining (the wave-parallel shard builds).
+    pub retrain: Duration,
+    /// Shards published cold (0 on an eager open): the hydrator's backlog.
+    pub cold_shards: usize,
+}
 
 /// Everything `ShardedStore::open` needs to assemble a recovered store.
 pub(crate) struct Recovered<K: Key> {
     /// The fence router of the recovered topology.
     pub router: ShardRouter<K>,
-    /// The recovered shards, in router order, chains already folded.
+    /// The recovered shards, in router order (cold ones still mounted).
     pub shards: Vec<Arc<StoreShard<K>>>,
     /// The spec the shards were rebuilt from (the persisted one for a
     /// checkpointed store, the config's for a fresh directory).
@@ -50,6 +84,13 @@ pub(crate) struct Recovered<K: Key> {
     /// Logical operations applied during replay — each op of a batch
     /// record counts (diagnostics / tests).
     pub replayed: usize,
+    /// Per shard: the loaded manifest entry, kept only when the WAL tail
+    /// replayed *nothing* into the shard — the next incremental checkpoint
+    /// may then re-reference the entry's file verbatim. `None` forces a
+    /// rewrite (fresh directory, or a replayed-into shard).
+    pub memo_entries: Vec<Option<ManifestShard>>,
+    /// Where the open time went.
+    pub breakdown: OpenBreakdown,
 }
 
 /// True when `dir` already holds store data — a manifest, or a WAL segment
@@ -83,19 +124,33 @@ fn is_checkpoint_debris(e: &StoreError) -> bool {
     }
 }
 
-/// A checkpoint loaded from one manifest: router, per-shard key columns
-/// (not yet built — replay edits them first, so every shard trains its
+/// One shard's recovered backing: a decoded (hot) key column that replay
+/// edits in place, or a mounted (cold) v2 base whose replayed tail buffers
+/// into a delta chain.
+enum ShardBacking<K: Key> {
+    Hot(Vec<K>),
+    Cold {
+        base: Arc<v2::ColdBase<K>>,
+        delta: DeltaChain<K>,
+    },
+}
+
+/// A checkpoint loaded from one manifest: router, per-shard backings (not
+/// yet built — replay edits them first, so every hot shard trains its
 /// model exactly once) and the per-shard replay floors.
 struct LoadedCheckpoint<K: Key> {
     router: ShardRouter<K>,
-    columns: Vec<Vec<K>>,
+    backings: Vec<ShardBacking<K>>,
     applied: Vec<u64>,
+    entries: Vec<Option<ManifestShard>>,
     spec: IndexSpec,
     version: u64,
     seq: u64,
+    manifest_time: Duration,
+    mount_time: Duration,
 }
 
-/// Build one shard over recovered keys with the store's tuning knobs.
+/// Build one hot shard over recovered keys with the store's tuning knobs.
 fn recovered_shard<K: Key>(
     config: &StoreConfig,
     spec: IndexSpec,
@@ -113,30 +168,58 @@ fn recovered_shard<K: Key>(
 }
 
 /// Try to materialise the checkpoint a manifest describes, validating
-/// every snapshot it references.
-fn load_checkpoint<K: Key>(dir: &Path, path: &Path) -> Result<LoadedCheckpoint<K>, StoreError> {
+/// every snapshot it references. With `cold` set, v2 snapshots are mounted
+/// instead of decoded.
+fn load_checkpoint<K: Key>(
+    dir: &Path,
+    path: &Path,
+    cold: bool,
+) -> Result<LoadedCheckpoint<K>, StoreError> {
+    let manifest_start = Instant::now();
     let m = manifest::load_manifest(path)?;
     let spec = IndexSpec::parse(&m.spec).map_err(|e| StoreError::Spec {
         text: m.spec.clone(),
         reason: e.to_string(),
     })?;
-    let mut columns = Vec::with_capacity(m.shards.len());
+    let manifest_time = manifest_start.elapsed();
+
+    let mount_start = Instant::now();
+    let mut backings = Vec::with_capacity(m.shards.len());
     let mut applied = Vec::with_capacity(m.shards.len());
     for entry in &m.shards {
-        let (shard_applied, keys) = snapshot::read_snapshot::<K>(&dir.join(&entry.snapshot))?;
+        let snap_path = dir.join(&entry.snapshot);
+        let mut bytes = Vec::new();
+        std::fs::File::open(&snap_path)?.read_to_end(&mut bytes)?;
+        let (shard_applied, backing) = if bytes.starts_with(&v2::MAGIC) {
+            let base = v2::ColdBase::<K>::from_bytes(&snap_path, bytes)?;
+            if cold {
+                (
+                    base.applied(),
+                    ShardBacking::Cold {
+                        base: Arc::new(base),
+                        delta: DeltaChain::new(),
+                    },
+                )
+            } else {
+                (base.applied(), ShardBacking::Hot(base.decode_all()))
+            }
+        } else {
+            let (a, keys) = snapshot::read_snapshot_bytes::<K>(&snap_path, bytes)?;
+            (a, ShardBacking::Hot(keys))
+        };
         if shard_applied != entry.applied {
             return Err(StoreError::Corrupt {
-                path: dir.join(&entry.snapshot),
+                path: snap_path,
                 reason: format!(
                     "snapshot applied version {shard_applied} disagrees with manifest {}",
                     entry.applied
                 ),
             });
         }
-        columns.push(keys);
+        backings.push(backing);
         applied.push(entry.applied);
     }
-    if columns.is_empty() {
+    if backings.is_empty() {
         return Err(StoreError::Corrupt {
             path: path.to_path_buf(),
             reason: "manifest lists no shards".into(),
@@ -149,11 +232,14 @@ fn load_checkpoint<K: Key>(dir: &Path, path: &Path) -> Result<LoadedCheckpoint<K
         .collect();
     Ok(LoadedCheckpoint {
         router: ShardRouter::from_fences(fences),
-        columns,
+        backings,
         applied,
+        entries: m.shards.into_iter().map(Some).collect(),
         spec,
         version: m.version,
         seq: m.seq,
+        manifest_time,
+        mount_time: mount_start.elapsed(),
     })
 }
 
@@ -167,7 +253,7 @@ pub(crate) fn recover<K: Key>(
     let mut checkpoint: Option<LoadedCheckpoint<K>> = None;
     let mut first_failure: Option<StoreError> = None;
     for (_, path) in &manifests {
-        match load_checkpoint(dir, path) {
+        match load_checkpoint(dir, path, config.cold_start) {
             Ok(cp) => {
                 checkpoint = Some(cp);
                 break;
@@ -182,21 +268,27 @@ pub(crate) fn recover<K: Key>(
         (None, None) => LoadedCheckpoint {
             // Fresh directory (or WAL-only): one empty shard, config spec.
             router: ShardRouter::from_fences(Vec::new()),
-            columns: vec![Vec::new()],
+            backings: vec![ShardBacking::Hot(Vec::new())],
             applied: vec![0],
+            entries: vec![None],
             spec: config.spec,
             version: 0,
             seq: 0,
+            manifest_time: Duration::ZERO,
+            mount_time: Duration::ZERO,
         },
     };
 
     // 2./3. Replay the WAL tail in version order, idempotently — applied
-    // straight into the key columns (store delete semantics: one occurrence
-    // removed when present, else a no-op), so the expensive model training
-    // below happens exactly once per shard, replayed-into or not. A batch
-    // entry replays all of its operations under its single version — and a
-    // torn batch frame was already dropped whole by the segment scan, so a
-    // batch is never half-recovered.
+    // straight into hot key columns (store delete semantics: one occurrence
+    // removed when present, else a no-op) and buffered into cold shards'
+    // delta chains, so the expensive model training below happens at most
+    // once per shard, replayed-into or not. A batch entry replays all of
+    // its operations under its single version — and a torn batch frame was
+    // already dropped whole by the segment scan, so a batch is never
+    // half-recovered. A replayed-into shard loses its re-reference memo:
+    // its merged view moved past the snapshot on disk.
+    let replay_start = Instant::now();
     let mut next_version = cp.version + 1;
     let mut replayed = 0usize;
     let apply_one = |cp: &mut LoadedCheckpoint<K>, version: u64, op: WalOp, key: u64| {
@@ -205,15 +297,47 @@ pub(crate) fn recover<K: Key>(
         if version <= cp.applied[s] {
             return 0usize; // already inside the snapshot: replay is a no-op
         }
-        let column = &mut cp.columns[s];
-        let pos = column.partition_point(|&x| x < key);
-        match op {
-            WalOp::Insert => column.insert(pos, key),
-            WalOp::Delete => {
-                if column.get(pos) == Some(&key) {
-                    column.remove(pos);
+        let applied = match &mut cp.backings[s] {
+            ShardBacking::Hot(column) => {
+                let pos = column.partition_point(|&x| x < key);
+                match op {
+                    WalOp::Insert => {
+                        column.insert(pos, key);
+                        true
+                    }
+                    WalOp::Delete => {
+                        if column.get(pos) == Some(&key) {
+                            column.remove(pos);
+                            true
+                        } else {
+                            false
+                        }
+                    }
                 }
             }
+            ShardBacking::Cold { base, delta } => {
+                let net = match op {
+                    WalOp::Insert => 1,
+                    // A delete applies only when the merged view still
+                    // holds an occurrence — same semantics as the write
+                    // path's count probe.
+                    WalOp::Delete if base.count_of(key) as i64 + delta.net_of(key) > 0 => -1,
+                    WalOp::Delete => 0,
+                };
+                if net != 0 {
+                    let mut next = delta.with_op(key, net, config.max_run_len);
+                    if next.unsealed_run_count() >= config.compact_runs {
+                        next = next.compact();
+                    }
+                    *delta = next;
+                }
+                net != 0
+            }
+        };
+        if applied {
+            // The on-disk snapshot no longer matches this shard's merged
+            // view: the next checkpoint must rewrite it.
+            cp.entries[s] = None;
         }
         1
     };
@@ -230,31 +354,62 @@ pub(crate) fn recover<K: Key>(
             }
         }
     }
+    let replay_time = replay_start.elapsed();
 
-    // 4. Build each shard once over its final column, in parallel scoped
+    // 4. Assemble the shards. Cold backings are O(1) — mounted base plus
+    // replayed chain, no training. Hot columns build in parallel scoped
     // threads: model retraining dominates reopen latency for large stores,
     // and the columns are independent by construction. Concurrency is
     // capped at the machine's parallelism (a long-lived store's split
     // cascade can leave hundreds of shards; one OS thread per shard — each
     // fanning out `build_threads` more — would oversubscribe the reopen).
+    let retrain_start = Instant::now();
     let spec = cp.spec;
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let mut shards: Vec<Arc<StoreShard<K>>> = Vec::with_capacity(cp.columns.len());
-    let mut columns = cp.columns.into_iter().peekable();
-    while columns.peek().is_some() {
-        let wave: Vec<Vec<K>> = columns.by_ref().take(workers).collect();
+    let shard_count = cp.backings.len();
+    let mut cold_shards = 0usize;
+    let mut slots: Vec<Option<Arc<StoreShard<K>>>> = Vec::with_capacity(shard_count);
+    slots.resize_with(shard_count, || None);
+    let mut hot: Vec<(usize, Vec<K>)> = Vec::new();
+    for (i, backing) in cp.backings.into_iter().enumerate() {
+        match backing {
+            ShardBacking::Hot(column) => hot.push((i, column)),
+            ShardBacking::Cold { base, delta } => {
+                cold_shards += 1;
+                slots[i] = Some(Arc::new(
+                    StoreShard::from_parts_at(
+                        spec,
+                        config.delta_threshold,
+                        config.build_threads,
+                        Arc::new(ShardSnapshot::new_cold(base, 0)),
+                        delta,
+                        0,
+                    )
+                    .with_chain_tuning(config.max_run_len, config.compact_runs),
+                ));
+            }
+        }
+    }
+    let mut hot = hot.into_iter().peekable();
+    while hot.peek().is_some() {
+        let wave: Vec<(usize, Vec<K>)> = hot.by_ref().take(workers).collect();
         std::thread::scope(|scope| {
             let handles: Vec<_> = wave
                 .into_iter()
-                .map(|column| scope.spawn(move || recovered_shard(config, spec, column)))
+                .map(|(i, column)| scope.spawn(move || (i, recovered_shard(config, spec, column))))
                 .collect();
             for h in handles {
-                shards.push(h.join().expect("shard retrain worker panicked"));
+                let (i, shard) = h.join().expect("shard retrain worker panicked");
+                slots[i] = Some(shard);
             }
         });
     }
+    let shards: Vec<Arc<StoreShard<K>>> = slots
+        .into_iter()
+        .map(|s| s.expect("every shard slot filled"))
+        .collect();
 
     Ok(Recovered {
         router: cp.router,
@@ -263,5 +418,13 @@ pub(crate) fn recover<K: Key>(
         next_version: next_version.max(1),
         manifest_seq: cp.seq,
         replayed,
+        memo_entries: cp.entries,
+        breakdown: OpenBreakdown {
+            manifest: cp.manifest_time,
+            mount: cp.mount_time,
+            replay: replay_time,
+            retrain: retrain_start.elapsed(),
+            cold_shards,
+        },
     })
 }

@@ -1,6 +1,14 @@
-//! Shard snapshot files: one shard's merged key column, checksummed.
+//! Shard snapshot files, format **v1**: one shard's merged key column
+//! under a single checksum.
 //!
-//! ## On-disk format
+//! New checkpoints write the block-structured v2 format
+//! ([`crate::persist::v2`]); this module keeps the v1 writer for its own
+//! round-trip tests and the v1 *reader* for backward compatibility —
+//! [`read_snapshot`] dispatches on the leading magic, so a PR-4-era
+//! directory full of v1 files recovers unchanged (eagerly: v1 files have
+//! no block index and can never be cold-mounted).
+//!
+//! ## On-disk format (v1)
 //!
 //! ```text
 //! ┌───────────────┬──────────┬──────────────┬──────────────────────────┐
@@ -33,14 +41,15 @@ pub fn snapshot_name(seq: u64, shard: usize) -> String {
     format!("snap-{seq:010}-{shard:04}.snap")
 }
 
-/// Write a snapshot of `keys` (consistent with store version `applied`) to
-/// `path`, fsyncing it before returning — the manifest must never reference
-/// a snapshot that could still be lost. Returns the bytes written.
-pub(crate) fn write_snapshot<K: Key>(
-    path: &Path,
-    applied: u64,
-    keys: &[K],
-) -> std::io::Result<u64> {
+/// Write a **v1** snapshot of `keys` (consistent with store version
+/// `applied`) to `path`, fsyncing it before returning — the manifest must
+/// never reference a snapshot that could still be lost. Returns the bytes
+/// written.
+///
+/// Checkpoints write the v2 format; this writer is kept public as the
+/// backward-compatibility fixture generator (tests craft v1 directories
+/// with it and assert recovery still reads them).
+pub fn write_snapshot<K: Key>(path: &Path, applied: u64, keys: &[K]) -> std::io::Result<u64> {
     let mut body = Vec::with_capacity(20 + keys.len() * 8);
     body.extend_from_slice(&applied.to_le_bytes());
     body.extend_from_slice(&K::BITS.to_le_bytes());
@@ -64,7 +73,10 @@ fn corrupt(path: &Path, reason: impl Into<String>) -> StoreError {
     }
 }
 
-/// Load and validate a snapshot, returning `(applied_version, keys)`.
+/// Load and validate a snapshot of either format, returning
+/// `(applied_version, keys)` — v2 files (leading magic `SSTSNAP2`) are
+/// routed to [`crate::persist::v2::read_snapshot_v2`], everything else is
+/// parsed as v1.
 ///
 /// # Errors
 /// [`StoreError::Corrupt`] on any structural damage: bad magic, truncated
@@ -73,6 +85,18 @@ fn corrupt(path: &Path, reason: impl Into<String>) -> StoreError {
 pub fn read_snapshot<K: Key>(path: &Path) -> Result<(u64, Vec<K>), StoreError> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    read_snapshot_bytes(path, bytes)
+}
+
+/// [`read_snapshot`] over bytes already in memory (`path` is for error
+/// reporting only) — recovery reads each file once and dispatches here.
+pub(crate) fn read_snapshot_bytes<K: Key>(
+    path: &Path,
+    bytes: Vec<u8>,
+) -> Result<(u64, Vec<K>), StoreError> {
+    if bytes.starts_with(&crate::persist::v2::MAGIC) {
+        return crate::persist::v2::reader::read_snapshot_v2_bytes(path, bytes);
+    }
     if bytes.len() < MAGIC.len() + 12 {
         return Err(corrupt(path, "truncated header"));
     }

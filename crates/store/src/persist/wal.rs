@@ -359,6 +359,12 @@ impl WalWriter {
         self.poisoned
     }
 
+    /// Test hook: mark the writer poisoned as a failed sync would, without
+    /// injecting a real I/O error.
+    pub(crate) fn poison_for_tests(&mut self) {
+        self.poisoned = true;
+    }
+
     /// Append one single-op record and apply the sync policy. Returns the
     /// bytes written (for write-amplification accounting). The frame is
     /// encoded on the stack — this path runs once per durable write.

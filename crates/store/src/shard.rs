@@ -23,6 +23,20 @@
 //! writers proceed against the sealed state, then reacquires the write lock
 //! only to swap in the new epoch and strip the sealed suffix — writes that
 //! landed during the rebuild survive as the residual chain.
+//!
+//! ## Cold bases
+//!
+//! A streaming open ([`crate::StoreConfig::cold_start`]) publishes shards
+//! whose base is a **cold** [`ShardSnapshot`]: the key column stays encoded
+//! inside a mounted v2 snapshot file ([`crate::persist::v2::ColdBase`]) and
+//! the state's index is a [`crate::persist::v2::ColdBlockIndex`] answering
+//! probes off the per-block index. Every read and write path below works
+//! unchanged — reads only probe the index, writes only append to the delta
+//! chain — except the paths that materialise base *keys*
+//! ([`ShardState::merged_keys`] / [`ShardState::merged_range_keys`]), which
+//! decode from the cold base on demand. [`StoreShard::rebuild`] doubles as
+//! **hydration**: on a cold base it proceeds even with a clean chain,
+//! decoding + retraining off-lock and swapping in a hot epoch.
 
 use crate::delta::DeltaChain;
 use crate::epoch::{CommitClock, EpochCell};
@@ -37,30 +51,76 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// One immutable epoch of a shard's *base*: the sorted key column and the
 /// index built over it. Snapshots are shared behind `Arc` so readers can
 /// keep using an old epoch while the next one is being installed.
+///
+/// A **cold** snapshot (streaming open) keeps the column encoded inside a
+/// mounted v2 file instead of a decoded `Arc<[K]>`: [`ShardSnapshot::keys`]
+/// is then empty and [`ShardSnapshot::base_len`] /
+/// [`ShardSnapshot::cold`] are the truth — use `base_len` wherever the
+/// base's key count is meant.
 pub struct ShardSnapshot<K: Key> {
     keys: Arc<[K]>,
     index: DynRangeIndex<K>,
     epoch: u64,
+    /// `Some` while the base is still encoded in a mounted v2 snapshot
+    /// file; hydration replaces the whole snapshot with a hot epoch.
+    cold: Option<Arc<crate::persist::v2::ColdBase<K>>>,
 }
 
 impl<K: Key> ShardSnapshot<K> {
-    /// Assemble a snapshot (used by rebuilds, splits and merges).
+    /// Assemble a hot snapshot (used by rebuilds, splits and merges).
     pub(crate) fn new(keys: Arc<[K]>, index: DynRangeIndex<K>, epoch: u64) -> Self {
-        Self { keys, index, epoch }
+        Self {
+            keys,
+            index,
+            epoch,
+            cold: None,
+        }
     }
 
-    /// The sorted base key column of this epoch.
+    /// Assemble a cold snapshot over a mounted v2 base: the published index
+    /// is a [`crate::persist::v2::ColdBlockIndex`] and the decoded key
+    /// column is empty until hydration swaps the shard hot.
+    pub(crate) fn new_cold(base: Arc<crate::persist::v2::ColdBase<K>>, epoch: u64) -> Self {
+        Self {
+            keys: Arc::from(Vec::new()),
+            index: Box::new(crate::persist::v2::ColdBlockIndex(base.clone())),
+            epoch,
+            cold: Some(base),
+        }
+    }
+
+    /// The decoded sorted base key column of this epoch — empty on a cold
+    /// snapshot (see [`ShardSnapshot::base_len`]).
     pub fn keys(&self) -> &[K] {
         &self.keys
     }
 
-    /// The index serving this epoch.
+    /// The index serving this epoch (a cold block index until hydration).
     pub fn index(&self) -> &DynRangeIndex<K> {
         &self.index
     }
 
+    /// Number of keys in the base column, decoded or not.
+    pub fn base_len(&self) -> usize {
+        match &self.cold {
+            Some(base) => base.len(),
+            None => self.keys.len(),
+        }
+    }
+
+    /// The mounted cold base, while this epoch is still cold.
+    pub fn cold(&self) -> Option<&Arc<crate::persist::v2::ColdBase<K>>> {
+        self.cold.as_ref()
+    }
+
+    /// True while the base is still encoded (not yet hydrated).
+    pub fn is_cold(&self) -> bool {
+        self.cold.is_some()
+    }
+
     /// Epoch number: 0 for the initial build, +1 per rebuild (splits and
-    /// merges also advance it on the shards they produce).
+    /// merges also advance it on the shards they produce; hydration is a
+    /// rebuild).
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
@@ -106,7 +166,7 @@ impl<K: Key> ShardState<K> {
 
     /// Number of keys in the merged (base + delta) view of this state.
     pub fn merged_len(&self) -> usize {
-        merged_len(self.snapshot.keys.len(), self.delta.len_delta())
+        merged_len(self.snapshot.base_len(), self.delta.len_delta())
     }
 
     /// Lower bound of `q` in this state's merged view — the pure read,
@@ -165,25 +225,46 @@ impl<K: Key> ShardState<K> {
     }
 
     /// Materialise this state's merged key column (base with the chain
-    /// folded in) — what rebuilds, splits and merges cut their new bases
-    /// from. Skips the merge for an entry-less chain.
+    /// folded in) — what rebuilds, splits, merges and checkpoints cut
+    /// their output from. Skips the merge for an entry-less chain; a cold
+    /// base is decoded on demand.
     pub fn merged_keys(&self) -> Vec<K> {
-        if self.delta.entry_count() == 0 {
-            self.snapshot.keys().to_vec()
-        } else {
-            self.delta.merge_into(self.snapshot.keys())
+        match self.snapshot.cold() {
+            Some(base) => {
+                let decoded = base.decode_all();
+                if self.delta.entry_count() == 0 {
+                    decoded
+                } else {
+                    self.delta.merge_into(&decoded)
+                }
+            }
+            None => {
+                if self.delta.entry_count() == 0 {
+                    self.snapshot.keys().to_vec()
+                } else {
+                    self.delta.merge_into(self.snapshot.keys())
+                }
+            }
         }
     }
 
     /// Materialise the merged keys in `lo ..= hi` only — the snapshot-scan
     /// read. Cost is two index probes plus a merge bounded by the result
-    /// size (never the whole shard).
+    /// size (never the whole shard); a cold base decodes only the touched
+    /// blocks.
     pub fn merged_range_keys(&self, lo: K, hi: K) -> Vec<K> {
         if lo > hi {
             return Vec::new();
         }
-        let base = self.snapshot.index.range(lo, hi);
-        let base = &self.snapshot.keys()[base];
+        let range = self.snapshot.index.range(lo, hi);
+        let decoded;
+        let base: &[K] = match self.snapshot.cold() {
+            Some(cold) => {
+                decoded = cold.keys_in(range);
+                &decoded
+            }
+            None => &self.snapshot.keys()[range],
+        };
         if self.delta.entry_count() == 0 {
             base.to_vec()
         } else {
@@ -284,7 +365,7 @@ impl<K: Key> StoreShard<K> {
         delta: DeltaChain<K>,
         applied_cv: u64,
     ) -> Self {
-        let merged_len = AtomicUsize::new(merged_len(snapshot.keys.len(), delta.len_delta()));
+        let merged_len = AtomicUsize::new(merged_len(snapshot.base_len(), delta.len_delta()));
         let version = 0;
         Self {
             spec,
@@ -560,7 +641,9 @@ impl<K: Key> StoreShard<K> {
 
     /// Fold the delta chain into a new base column, rebuild the index and
     /// swap in the new epoch. Returns false (and does nothing) when no
-    /// write is buffered or the shard is retired. Readers and writers
+    /// write is buffered or the shard is retired — except on a **cold**
+    /// base, where a rebuild is exactly hydration (decode + retrain + hot
+    /// swap) and proceeds even with a clean chain. Readers and writers
     /// proceed concurrently against the sealed state for the whole merge +
     /// build; writes that land during the rebuild survive as the residual
     /// chain against the new epoch.
@@ -579,7 +662,7 @@ impl<K: Key> StoreShard<K> {
         let frozen = {
             let _w = self.write.lock().expect("write lock poisoned");
             let cur = self.state.load();
-            if cur.delta.is_clean() {
+            if cur.delta.is_clean() && !cur.snapshot.is_cold() {
                 return Ok(false);
             }
             self.publish(cur.snapshot.clone(), cur.delta.sealed())
@@ -816,6 +899,66 @@ mod tests {
         );
         assert_eq!(state.delta().ops(), 64, "compaction preserves churn");
         assert_eq!(shard.lower_bound(u64::MAX), 164);
+    }
+
+    #[test]
+    fn cold_shard_reads_equal_hot_reads_and_rebuild_hydrates() {
+        let dir = std::env::temp_dir().join(format!("shift-store-cold-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let keys: Vec<u64> = (0..3_000u64).map(|i| i * 3).collect();
+        let path = dir.join("cold.snap");
+        crate::persist::v2::write_snapshot(&path, 17, &keys, 256).unwrap();
+        let base = Arc::new(crate::persist::v2::ColdBase::<u64>::mount(&path).unwrap());
+        assert_eq!(base.applied(), 17);
+
+        let hot = StoreShard::build(spec(), keys.clone(), 1_000_000, 1).unwrap();
+        let cold = StoreShard::from_parts_at(
+            spec(),
+            1_000_000,
+            1,
+            Arc::new(ShardSnapshot::new_cold(base, 0)),
+            DeltaChain::new(),
+            17,
+        );
+        assert!(cold.snapshot().is_cold());
+        assert_eq!(cold.snapshot().base_len(), keys.len());
+        assert_eq!(cold.len(), hot.len());
+        assert_eq!(cold.state().applied_cv(), 17);
+
+        // Writes land in the chain of a cold shard exactly as a hot one.
+        for shard in [&cold, &hot] {
+            shard.insert(10).unwrap();
+            shard.insert(9_001).unwrap();
+            assert!(shard.delete(6).unwrap().0);
+        }
+        let probes: Vec<u64> = (0..400).map(|i| i * 23).collect();
+        for &q in &probes {
+            assert_eq!(cold.lower_bound(q), hot.lower_bound(q), "q={q}");
+            assert_eq!(cold.count_of(q), hot.count_of(q), "count {q}");
+        }
+        assert_eq!(cold.range(100, 5_000), hot.range(100, 5_000));
+        assert_eq!(
+            cold.state().merged_range_keys(100, 200),
+            hot.state().merged_range_keys(100, 200)
+        );
+        assert_eq!(cold.state().merged_keys(), hot.state().merged_keys());
+        assert_eq!(cold.state().snapshot().index().name(), "cold-v2");
+
+        // Hydration: rebuild proceeds on a cold base, swaps it hot, and the
+        // merged view is unchanged.
+        assert!(cold.rebuild().unwrap());
+        assert!(!cold.snapshot().is_cold());
+        assert_eq!(cold.snapshot().epoch(), 1);
+        assert!(
+            !cold.rebuild().unwrap(),
+            "hydrated + clean shard does not rebuild again"
+        );
+        for &q in &probes {
+            assert_eq!(cold.lower_bound(q), hot.lower_bound(q), "hydrated q={q}");
+        }
+        assert_eq!(cold.state().merged_keys(), hot.state().merged_keys());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,12 +23,13 @@ use crate::delta::DeltaChain;
 use crate::epoch::{CommitClock, EpochCell};
 use crate::error::StoreError;
 use crate::persist::manifest::{Manifest, ManifestShard};
+use crate::persist::recovery::OpenBreakdown;
 use crate::persist::wal::WalOp;
-use crate::persist::{self, recovery, snapshot, DurabilityStats, Persistence};
+use crate::persist::{self, recovery, snapshot, v2, DurabilityStats, Persistence};
 use crate::router::ShardRouter;
 use crate::shard::{build_index, ShardSnapshot, StoreShard};
 use crate::snapshot::StoreSnapshot;
-use crate::worker::{MaintenanceWorker, WorkerSignal};
+use crate::worker::{HydrationWorker, MaintenanceWorker, WorkerSignal};
 use algo_index::search::{DynRangeIndex, RangeIndex};
 use shift_table::error::BuildError;
 use shift_table::spec::IndexSpec;
@@ -242,6 +243,29 @@ impl<K: Key> StoreTable<K> {
     }
 }
 
+/// What the previous checkpoint referenced per shard, kept so the next
+/// incremental checkpoint can *skip* shards whose merged view has not
+/// moved since (see the invariants in [`crate::persist`]). Invalidated
+/// whole by any topology change (the fences are part of the memo) and per
+/// shard by any `applied_cv` advance.
+pub(crate) struct CheckpointMemo {
+    /// The fence keys (widened) the memoised checkpoint was cut over.
+    fences: Vec<u64>,
+    /// One entry per shard, in the memoised topology's order.
+    shards: Vec<MemoShard>,
+}
+
+#[derive(Clone)]
+struct MemoShard {
+    /// The shard's `applied_cv` stamp at the memoised checkpoint's cut —
+    /// equal stamp now ⟹ identical merged view ⟹ identical snapshot file.
+    state_cv: u64,
+    /// The manifest entry written (or re-referenced) for the shard; `None`
+    /// forces a rewrite (a fresh store, or a reopen that replayed WAL-tail
+    /// records into the shard).
+    entry: Option<ManifestShard>,
+}
+
 /// The store state shared between the public handle and the maintenance
 /// worker: the published table, the configuration, the topology lock and
 /// the maintenance counters.
@@ -267,6 +291,9 @@ pub(crate) struct StoreCore<K: Key> {
     signal: Arc<WorkerSignal>,
     /// The durability layer — `Some` only for stores opened from a path.
     persist: Option<Persistence>,
+    /// What the last checkpoint wrote (`None` until one ran, or after a
+    /// failed one): the incremental checkpoint's skip oracle.
+    ckpt_memo: Mutex<Option<CheckpointMemo>>,
     rebuilds: AtomicU64,
     splits: AtomicU64,
     merges: AtomicU64,
@@ -388,6 +415,14 @@ impl<K: Key> StoreCore<K> {
     /// the WAL and pin every shard state under the WAL lock (an exact cut —
     /// durable writes apply under that lock), then write the snapshots and
     /// manifest off-lock and truncate the covered WAL prefix.
+    ///
+    /// With [`crate::DurabilityConfig::incremental_checkpoints`] (the
+    /// default), a shard whose `applied_cv` stamp has not moved since the
+    /// previous checkpoint is **skipped**: the new manifest re-references
+    /// the previous snapshot file (old name, old `applied` floor) instead
+    /// of rewriting identical bytes, and garbage collection keeps every
+    /// file the newest manifest references regardless of its sequence
+    /// number. Any topology change invalidates the whole memo.
     pub(crate) fn checkpoint(&self) -> Result<u64, StoreError> {
         let Some(p) = &self.persist else {
             return Err(StoreError::NotDurable);
@@ -400,28 +435,125 @@ impl<K: Key> StoreCore<K> {
                 table.shards.iter().map(|s| s.state()).collect();
             (fences, states)
         })?;
+        // Take the memo out for the duration: a checkpoint that fails
+        // mid-write leaves `None` behind, and the next attempt rewrites
+        // everything rather than trusting a cut that never finished.
+        let memo = self
+            .ckpt_memo
+            .lock()
+            .expect("checkpoint memo poisoned")
+            .take();
+        let prior: Option<Vec<MemoShard>> = memo
+            .filter(|m| {
+                p.durability().incremental_checkpoints
+                    && m.fences == fences
+                    && m.shards.len() == states.len()
+            })
+            .map(|m| m.shards);
+        let block_keys = p.durability().snapshot_block_keys;
         let mut shards = Vec::with_capacity(states.len());
+        let mut new_memo = Vec::with_capacity(states.len());
         let mut snapshot_bytes = 0u64;
+        let (mut written, mut skipped, mut reused_bytes) = (0u64, 0u64, 0u64);
         for (i, state) in states.iter().enumerate() {
-            let name = snapshot::snapshot_name(seq, i);
-            snapshot_bytes +=
-                snapshot::write_snapshot(&p.dir().join(&name), cv, &state.merged_keys())?;
-            shards.push(ManifestShard {
-                snapshot: name,
-                applied: cv,
+            let state_cv = state.applied_cv();
+            let reuse = prior
+                .as_ref()
+                .and_then(|m| m[i].entry.clone().filter(|_| m[i].state_cv == state_cv));
+            let entry = match reuse {
+                Some(entry) => {
+                    skipped += 1;
+                    reused_bytes += std::fs::metadata(p.dir().join(&entry.snapshot))
+                        .map(|meta| meta.len())
+                        .unwrap_or(0);
+                    entry
+                }
+                None => {
+                    let name = snapshot::snapshot_name(seq, i);
+                    snapshot_bytes += v2::write_snapshot(
+                        &p.dir().join(&name),
+                        cv,
+                        &state.merged_keys(),
+                        block_keys,
+                    )?;
+                    written += 1;
+                    ManifestShard {
+                        snapshot: name,
+                        applied: cv,
+                    }
+                }
+            };
+            new_memo.push(MemoShard {
+                state_cv,
+                entry: Some(entry.clone()),
             });
+            shards.push(entry);
         }
         let m = Manifest {
             seq,
             version: cv,
             spec: self.config.spec.to_string(),
-            fences,
+            fences: fences.clone(),
             shards,
         };
         persist::manifest::write_manifest(p.dir(), &m)?;
-        p.finish_checkpoint(cv, snapshot_bytes);
+        // The manifest is durable: these entries are now safe to skip from.
+        *self.ckpt_memo.lock().expect("checkpoint memo poisoned") = Some(CheckpointMemo {
+            fences,
+            shards: new_memo,
+        });
+        p.finish_checkpoint(cv, snapshot_bytes, written, skipped, reused_bytes);
         persist::gc(p.dir(), &m);
         Ok(cv)
+    }
+
+    /// Background-hydrate every cold shard (see
+    /// [`crate::worker::HydrationWorker`]): retrain models in waves capped
+    /// at the machine's parallelism, re-scanning until the table holds no
+    /// cold shard or `stop` is raised. A build failure is parked for
+    /// [`crate::ShardedStore::take_maintenance_error`] and ends the pass —
+    /// cold shards keep serving off their block index.
+    pub(crate) fn hydrate_cold_shards(&self, stop: &std::sync::atomic::AtomicBool) {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let table = self.load_table();
+            let cold: Vec<Arc<StoreShard<K>>> = table
+                .shards
+                .iter()
+                .filter(|s| s.snapshot().is_cold())
+                .cloned()
+                .collect();
+            if cold.is_empty() {
+                return;
+            }
+            for wave in cold.chunks(workers) {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                let failed = std::thread::scope(|scope| {
+                    let handles: Vec<_> = wave
+                        .iter()
+                        .map(|shard| scope.spawn(move || self.rebuild_shard(shard)))
+                        .collect();
+                    let mut failed = false;
+                    for h in handles {
+                        if let Err(e) = h.join().expect("hydration worker panicked") {
+                            self.record_maintenance_error(e.into());
+                            failed = true;
+                        }
+                    }
+                    failed
+                });
+                if failed {
+                    return;
+                }
+            }
+        }
     }
 
     // ---- rebalancing ----------------------------------------------------
@@ -688,6 +820,11 @@ pub struct ShardedStore<K: Key> {
     /// Background maintenance thread; dropped (stopped and joined) with the
     /// store. `None` unless `background_maintenance` is configured.
     worker: Option<MaintenanceWorker>,
+    /// Background hydration thread; `Some` only when a cold-start open
+    /// mounted at least one cold shard. Dropped with the store.
+    hydrator: Option<HydrationWorker>,
+    /// Where the open spent its time; `None` for in-memory stores.
+    breakdown: Option<OpenBreakdown>,
 }
 
 impl<K: Key> ShardedStore<K> {
@@ -701,7 +838,7 @@ impl<K: Key> ShardedStore<K> {
     /// [`BuildError::UnsortedKeys`] if `keys` is not sorted.
     pub fn build(config: StoreConfig, keys: impl AsRef<[K]>) -> Result<Self, BuildError> {
         let table = Self::table_from_keys(&config, keys.as_ref())?;
-        Ok(Self::assemble(config, table, None))
+        Ok(Self::assemble(config, table, None, None, None))
     }
 
     /// Open (or create) a **durable** store at directory `path`: load the
@@ -733,8 +870,36 @@ impl<K: Key> ShardedStore<K> {
             recovered.manifest_seq,
             recovered.replayed as u64,
         )?;
+        // Seed the incremental-checkpoint memo: a shard the WAL tail
+        // replayed nothing into still matches its on-disk snapshot, and the
+        // recovered shard's `applied_cv` restarts at 0 — so the first
+        // post-reopen checkpoint can re-reference the file if no new write
+        // lands on the shard meanwhile.
+        let memo = CheckpointMemo {
+            fences: recovered
+                .router
+                .fences()
+                .iter()
+                .map(|f| f.to_u64())
+                .collect(),
+            shards: recovered
+                .memo_entries
+                .iter()
+                .map(|entry| MemoShard {
+                    state_cv: 0,
+                    entry: entry.clone(),
+                })
+                .collect(),
+        };
+        let breakdown = recovered.breakdown;
         let table = StoreTable::new(recovered.router, recovered.shards);
-        Ok(Self::assemble(config, table, Some(persistence)))
+        Ok(Self::assemble(
+            config,
+            table,
+            Some(persistence),
+            Some(memo),
+            Some(breakdown),
+        ))
     }
 
     /// [`ShardedStore::open`] that seeds a **fresh** directory with the
@@ -766,7 +931,7 @@ impl<K: Key> ShardedStore<K> {
             0,
             0,
         )?;
-        let store = Self::assemble(config, table, Some(persistence));
+        let store = Self::assemble(config, table, Some(persistence), None, None);
         store.checkpoint()?;
         Ok(store)
     }
@@ -790,8 +955,15 @@ impl<K: Key> ShardedStore<K> {
     }
 
     /// Wrap a table (built or recovered) into a live store, spawning the
-    /// worker when configured.
-    fn assemble(config: StoreConfig, table: StoreTable<K>, persist: Option<Persistence>) -> Self {
+    /// maintenance worker when configured and the hydrator when the open
+    /// mounted cold shards.
+    fn assemble(
+        config: StoreConfig,
+        table: StoreTable<K>,
+        persist: Option<Persistence>,
+        memo: Option<CheckpointMemo>,
+        breakdown: Option<OpenBreakdown>,
+    ) -> Self {
         let core = Arc::new(StoreCore {
             table: EpochCell::new(Arc::new(table)),
             config,
@@ -800,6 +972,7 @@ impl<K: Key> ShardedStore<K> {
             topology: Mutex::new(()),
             signal: Arc::new(WorkerSignal::default()),
             persist,
+            ckpt_memo: Mutex::new(memo),
             rebuilds: AtomicU64::new(0),
             splits: AtomicU64::new(0),
             merges: AtomicU64::new(0),
@@ -808,7 +981,14 @@ impl<K: Key> ShardedStore<K> {
         let worker = config
             .background_maintenance
             .then(|| MaintenanceWorker::spawn(Arc::clone(&core)));
-        Self { core, worker }
+        let hydrator = (breakdown.is_some_and(|b| b.cold_shards > 0))
+            .then(|| HydrationWorker::spawn(Arc::clone(&core)));
+        Self {
+            core,
+            worker,
+            hydrator,
+            breakdown,
+        }
     }
 
     /// The store configuration.
@@ -1076,6 +1256,82 @@ impl<K: Key> ShardedStore<K> {
     /// on filesystem failures.
     pub fn checkpoint(&self) -> Result<u64, StoreError> {
         self.core.checkpoint()
+    }
+
+    /// Restore writability after a WAL sync failure (see
+    /// [`StoreError::WalPoisoned`]) **without reopening the store**: rotate
+    /// to a fresh WAL segment, re-arm group commit, and resume accepting
+    /// writes. Returns `true` when a poisoned WAL was repaired, `false`
+    /// when the WAL was healthy (the call is then a no-op).
+    ///
+    /// Every write rejected while the WAL was poisoned stays rejected —
+    /// repair never resurrects an unacknowledged operation. Reads were
+    /// never affected. The repair restores *writability* only: WAL records
+    /// from before the failed sync may or may not be durable, so the next
+    /// [`ShardedStore::checkpoint`] (which snapshots in-memory state and
+    /// truncates the suspect segments) is the full heal — call it promptly
+    /// if the failure was transient.
+    ///
+    /// # Errors
+    /// [`StoreError::NotDurable`] on an in-memory store; [`StoreError::Io`]
+    /// if the fresh segment cannot be created (the store stays poisoned and
+    /// repair can be retried).
+    pub fn repair_wal(&self) -> Result<bool, StoreError> {
+        match &self.core.persist {
+            Some(p) => p.repair(),
+            None => Err(StoreError::NotDurable),
+        }
+    }
+
+    /// Poison the WAL as a failed `fdatasync` would (durable stores only;
+    /// returns whether there was a WAL to poison). Test hook for exercising
+    /// [`ShardedStore::repair_wal`] without faulting the filesystem.
+    #[doc(hidden)]
+    pub fn poison_wal_for_tests(&self) -> bool {
+        match &self.core.persist {
+            Some(p) => {
+                p.poison_for_tests();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True while the background hydrator still has cold shards to retrain
+    /// (poll [`ShardedStore::cold_shards`] for the backlog size).
+    pub fn is_hydrating(&self) -> bool {
+        self.hydrator.is_some() && self.cold_shards() > 0
+    }
+
+    /// Number of shards currently serving reads **cold** — off the mounted
+    /// snapshot's block index, model not yet retrained (nonzero only after
+    /// a [`StoreConfig::cold_start`] open, and dropping towards zero as the
+    /// background hydrator works through them).
+    pub fn cold_shards(&self) -> usize {
+        self.core
+            .load_table()
+            .shards
+            .iter()
+            .filter(|s| s.snapshot().is_cold())
+            .count()
+    }
+
+    /// Hydrate every cold shard **now**, in parallel scoped threads,
+    /// instead of waiting for the background hydrator (safe to race it:
+    /// whoever takes a shard's rebuild guard first does the work). Returns
+    /// the number of shards hydrated by this call.
+    ///
+    /// # Errors
+    /// Propagates the first model-build failure.
+    pub fn hydrate(&self) -> Result<usize, StoreError> {
+        Ok(self.core.rebuild_where(|s| s.snapshot().is_cold())?)
+    }
+
+    /// Where [`ShardedStore::open`] spent its time, and how many shards it
+    /// mounted cold (`None` for in-memory stores). The reopen-latency
+    /// breakdown the `store_durable` bench reports.
+    pub fn open_breakdown(&self) -> Option<OpenBreakdown> {
+        self.breakdown
     }
 
     /// Force every acknowledged write's WAL record to stable storage now,

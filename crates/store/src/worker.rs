@@ -1,4 +1,4 @@
-//! The background maintenance thread.
+//! The background maintenance and hydration threads.
 //!
 //! A [`MaintenanceWorker`] is spawned by `ShardedStore::build` (or
 //! `ShardedStore::open`) when
@@ -25,6 +25,7 @@
 
 use crate::sharded::StoreCore;
 use sosd_data::key::Key;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -118,6 +119,47 @@ impl Drop for MaintenanceWorker {
         self.signal.stop();
         if let Some(handle) = self.handle.take() {
             handle.join().expect("maintenance worker panicked");
+        }
+    }
+}
+
+/// Handle to the background **hydration** thread of a cold-started store
+/// (see [`crate::StoreConfig::cold_start`]): it retrains every cold shard's
+/// model off the open path, hottest-first in bounded-parallel waves, and
+/// exits once the store is fully hot. Each hydration goes through the same
+/// rebuild machinery as any other shard rebuild, so it races safely with
+/// reads, writes, explicit [`crate::ShardedStore::hydrate`] calls and the
+/// maintenance worker — whoever gets a shard's rebuild guard first does the
+/// work, everyone else no-ops.
+///
+/// Dropped (stopped between waves and joined) with the store.
+#[derive(Debug)]
+pub struct HydrationWorker {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HydrationWorker {
+    /// Spawn the hydrator over the store core.
+    pub(crate) fn spawn<K: Key>(core: Arc<StoreCore<K>>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("shift-store-hydrator".into())
+            .spawn(move || core.hydrate_cold_shards(&thread_stop))
+            .expect("failed to spawn the hydration worker");
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for HydrationWorker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.join().expect("hydration worker panicked");
         }
     }
 }
