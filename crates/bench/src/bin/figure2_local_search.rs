@@ -1,5 +1,7 @@
 //! Figure 2: cost of the last-mile search vs prediction error.
 
+#![forbid(unsafe_code)]
+
 use shift_bench::prelude::*;
 
 fn main() {

@@ -1,5 +1,7 @@
 //! Figure 3: macro/micro CDF shapes of four example distributions.
 
+#![forbid(unsafe_code)]
+
 use shift_bench::prelude::*;
 
 fn main() {

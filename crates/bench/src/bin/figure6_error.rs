@@ -1,5 +1,7 @@
 //! Figure 6: error correction of a linear model on the OSMC dataset.
 
+#![forbid(unsafe_code)]
+
 use shift_bench::prelude::*;
 
 fn main() {

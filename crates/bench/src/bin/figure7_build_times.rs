@@ -1,5 +1,7 @@
 //! Figure 7: index build times (average over datasets, with std-dev).
 
+#![forbid(unsafe_code)]
+
 use shift_bench::prelude::*;
 
 fn main() {

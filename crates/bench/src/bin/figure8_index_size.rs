@@ -1,5 +1,7 @@
 //! Figure 8: effect of index size on performance (face64 / osmc64).
 
+#![forbid(unsafe_code)]
+
 use shift_bench::prelude::*;
 
 fn main() {

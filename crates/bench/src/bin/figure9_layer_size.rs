@@ -1,5 +1,7 @@
 //! Figure 9: effect of the Shift-Table layer size (R-1, S-1 ... S-1000).
 
+#![forbid(unsafe_code)]
+
 use shift_bench::prelude::*;
 
 fn main() {

@@ -3,6 +3,8 @@
 //! Output is printed and written as CSV under `target/experiments/`.
 //! Scale with `SOSD_N` (keys per dataset) and `SOSD_QUERIES`.
 
+#![forbid(unsafe_code)]
+
 use shift_bench::prelude::*;
 use std::time::Instant;
 

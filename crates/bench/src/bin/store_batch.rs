@@ -4,6 +4,8 @@
 //!
 //! Scale with `SOSD_N` / `SOSD_QUERIES`.
 
+#![forbid(unsafe_code)]
+
 use shift_bench::prelude::*;
 
 fn main() {

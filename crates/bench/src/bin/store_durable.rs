@@ -7,6 +7,8 @@
 //! cold-start acceptance signals (CI's cold-start job does, on a large
 //! store).
 
+#![forbid(unsafe_code)]
+
 use shift_bench::prelude::*;
 
 fn main() {

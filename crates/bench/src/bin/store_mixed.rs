@@ -1,5 +1,7 @@
 //! Store suite: mixed read/write workloads over the sharded store.
 
+#![forbid(unsafe_code)]
+
 use shift_bench::prelude::*;
 
 fn main() {

@@ -3,6 +3,8 @@
 //! Scale with `SOSD_N` / `SOSD_QUERIES`; restrict to a subset of datasets
 //! with `SOSD_DATASETS=face64,osmc64,...`.
 
+#![forbid(unsafe_code)]
+
 use shift_bench::prelude::*;
 
 fn main() {

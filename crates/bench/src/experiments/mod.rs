@@ -29,7 +29,7 @@ pub(crate) fn scratch_dir(prefix: &str, label: &str) -> PathBuf {
     std::env::temp_dir().join(format!(
         "{prefix}-{label}-{}-{}",
         std::process::id(),
-        DIR_COUNTER.fetch_add(1, Ordering::Relaxed),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed), // lint: ordering(Relaxed) unique-suffix counter; no memory is published through it
     ))
 }
 

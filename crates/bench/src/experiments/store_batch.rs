@@ -213,6 +213,7 @@ fn snapshot_reads(cfg: BenchConfig, spec: IndexSpec, d: &Dataset<u64>) -> Table 
             let stop = &stop;
             let writer = scope.spawn(move || {
                 let mut i = 0u64;
+                // lint: ordering(Relaxed) advisory stop flag; the join below synchronizes
                 while !stop.load(Ordering::Relaxed) {
                     store.insert(20_000_000 + i).expect("insert cannot fail");
                     i += 1;
@@ -230,7 +231,7 @@ fn snapshot_reads(cfg: BenchConfig, spec: IndexSpec, d: &Dataset<u64>) -> Table 
                 sum += snap.scan(lo, lo + span / 8).len();
                 scans += 1;
             }
-            stop.store(true, Ordering::Relaxed);
+            stop.store(true, Ordering::Relaxed); // lint: ordering(Relaxed) advisory stop flag; the join below synchronizes
             black_box(sum);
             writer.join().expect("writer thread panicked");
             (scans, last_version - first_version.unwrap_or(0))

@@ -348,6 +348,7 @@ fn cold_start_table(cfg: BenchConfig, spec: IndexSpec) -> Table {
         let deadline = Instant::now() + std::time::Duration::from_secs(120);
         while reopened.cold_shards() > 0 {
             assert!(Instant::now() < deadline, "hydration must finish");
+            // lint: allow(sleep) deliberate poll backoff while the hydrator drains cold shards
             std::thread::sleep(std::time::Duration::from_micros(200));
         }
         let hydrate_ms = hydrate.elapsed().as_secs_f64() * 1e3;

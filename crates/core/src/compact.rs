@@ -233,6 +233,7 @@ mod tests {
         assert_eq!(table.corrected_position(77), 37);
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn s1_layer_reduces_the_error_of_a_dummy_model_dramatically() {
         // Figure 6's qualitative claim on OSM-like data.
@@ -247,6 +248,7 @@ mod tests {
         );
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn larger_compression_factor_means_smaller_layer_and_larger_error() {
         // The Figure 9 trade-off.
@@ -270,6 +272,7 @@ mod tests {
         );
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn s1_footprint_is_half_of_r1() {
         // §4.3: "the memory footprint of S-1 is half the size of R-1" (when
@@ -285,6 +288,7 @@ mod tests {
         }
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn sample_built_layer_is_usable() {
         let d: Dataset<u64> = SosdName::Wiki64.generate(50_000, 4);
@@ -299,6 +303,7 @@ mod tests {
         );
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn expected_error_is_recorded_at_build_time() {
         let d: Dataset<u64> = SosdName::Face64.generate(20_000, 6);
@@ -341,6 +346,7 @@ mod tests {
         assert_eq!(t.records_per_entry(), 1);
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn corrected_position_is_always_in_range() {
         let d: Dataset<u64> = SosdName::Amzn64.generate(10_000, 7);

@@ -96,7 +96,7 @@ impl CorrectionErrorStats {
                 mean_log2: 0.0,
             };
         }
-        abs_errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        abs_errors.sort_by(|a, b| a.total_cmp(b));
         Self {
             count,
             mean_abs: sum_abs / count as f64,
@@ -146,6 +146,7 @@ mod tests {
     use learned_index::ModelErrorStats;
     use sosd_data::prelude::*;
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn range_mode_correction_error_is_bounded_by_window_lengths() {
         let d: Dataset<u64> = SosdName::Face64.generate(30_000, 1);
@@ -162,6 +163,7 @@ mod tests {
         assert!(stats.count > 0);
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn figure6_shape_shift_table_crushes_the_dummy_model_error() {
         // Figure 6: on OSM data the raw linear model averages millions of
@@ -216,6 +218,7 @@ mod tests {
         );
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn error_series_matches_stats() {
         let d: Dataset<u64> = SosdName::Wiki64.generate(5_000, 3);

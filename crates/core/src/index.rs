@@ -420,6 +420,7 @@ impl<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync> RangeIndex<K>
     /// which is the structure SIMD prediction and software prefetching attach
     /// to.
     fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
+        // lint: allow(panic) API contract: unequal lengths would silently write predictions to wrong slots
         assert_eq!(
             queries.len(),
             out.len(),
@@ -529,6 +530,7 @@ mod tests {
         assert_eq!(index.lower_bound(u64::MAX), d.lower_bound(u64::MAX));
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn im_with_range_table_is_correct_on_every_dataset() {
         for name in SosdName::all() {
@@ -541,6 +543,7 @@ mod tests {
         }
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn im_with_compact_table_is_correct_on_every_dataset() {
         for name in SosdName::all() {
@@ -555,6 +558,7 @@ mod tests {
         }
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn model_without_correction_is_still_correct() {
         for name in [SosdName::Osmc64, SosdName::Face64, SosdName::Logn64] {
@@ -568,6 +572,7 @@ mod tests {
         }
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn owned_index_is_static_send_sync_and_shareable() {
         fn assert_owned<T: Send + Sync + 'static>(_: &T) {}
@@ -624,6 +629,7 @@ mod tests {
         assert_eq!(err, BuildError::UnsortedKeys { position: 2 });
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn works_with_radix_spline_and_rmi_models() {
         let d: Dataset<u64> = SosdName::Wiki64.generate(10_000, 53);
@@ -643,6 +649,7 @@ mod tests {
         check_index(&d, &index);
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn parallel_build_produces_an_equivalent_index() {
         let d: Dataset<u64> = SosdName::Amzn64.generate(30_000, 59);
@@ -664,6 +671,7 @@ mod tests {
         assert_eq!(seq.index_size_bytes(), par.index_size_bytes());
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn toggling_the_layer_preserves_correctness_and_changes_probes() {
         let d: Dataset<u64> = SosdName::Osmc64.generate(30_000, 67);
@@ -691,6 +699,7 @@ mod tests {
         }
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn auto_tuning_attaches_the_layer_only_when_it_pays_off() {
         // Near-perfect model on uden → layer rejected.
@@ -712,6 +721,7 @@ mod tests {
         check_index(&face, &auto);
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn correction_error_reporting() {
         let d: Dataset<u64> = SosdName::Face64.generate(20_000, 79);
@@ -832,6 +842,7 @@ mod tests {
         }
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn probe_estimate_does_not_probe_the_key_array() {
         // The cache-miss proxy must be computable from build-time statistics
@@ -873,6 +884,7 @@ mod tests {
         assert_eq!(raw.probe_estimate(a), raw.probe_estimate(b));
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn works_with_u32_keys() {
         let d: Dataset<u32> = SosdName::Face32.generate(10_000, 83);
@@ -887,6 +899,7 @@ mod tests {
         assert_eq!(index.lower_bound_many(w.queries()), w.expected().to_vec());
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn adversarial_non_monotone_model_is_repaired() {
         // A deliberately broken model that zig-zags: the range-mode windows

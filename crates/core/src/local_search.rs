@@ -130,6 +130,7 @@ mod tests {
         keys.partition_point(|&k| k < q)
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn window_searches_agree_with_reference_when_window_covers_target() {
         let d: Dataset<u64> = SosdName::Face64.generate(5_000, 1);
@@ -161,6 +162,7 @@ mod tests {
         assert_eq!(binary_in_window(&keys, 7, 0, 42), 7);
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn exponential_matches_reference_from_any_hint() {
         let d: Dataset<u64> = SosdName::Wiki64.generate(5_000, 5);

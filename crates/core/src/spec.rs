@@ -330,6 +330,7 @@ mod tests {
         assert_eq!(IndexSpec::parse("im+"), Err(SpecParseError::Empty));
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn built_index_is_exact_and_owned() {
         fn assert_owned<T: Send + Sync + 'static>(_: &T) {}
@@ -354,6 +355,7 @@ mod tests {
         assert_eq!(err, BuildError::UnsortedKeys { position: 1 });
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn corrected_build_exposes_the_corrected_api() {
         let d: Dataset<u64> = SosdName::Face64.generate(6_000, 23);

@@ -132,6 +132,7 @@ mod tests {
     use learned_index::linear::InterpolationModel;
     use sosd_data::prelude::*;
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn corrected_windows_cover_every_indexed_key() {
         for name in SosdName::all() {
@@ -182,6 +183,7 @@ mod tests {
         assert!(table.is_narrow());
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn wide_encoding_used_for_huge_drift() {
         // A model with an enormous bias forces i64 deltas.
@@ -234,6 +236,7 @@ mod tests {
         assert_eq!(Correction::size_bytes(&table), 0);
     }
 
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
     #[test]
     fn size_bytes_reflects_encoding() {
         let d: Dataset<u64> = SosdName::Uden64.generate(10_000, 1);

@@ -1,0 +1,419 @@
+//! Per-file analysis context: lexed tokens, parsed `lint:` annotations, and
+//! `#[cfg(test)]` masking.
+//!
+//! ## Annotation syntax
+//!
+//! Justifications live in ordinary line or block comments and bind to the
+//! first *code* line at or after the comment:
+//!
+//! ```text
+//! // lint: ordering(Relaxed) per-shard stats counter, no synchronising role
+//! self.hits.fetch_add(1, Ordering::Relaxed);
+//!
+//! let n = known_nonempty.last().unwrap(); // lint: allow(panic) len checked above
+//! ```
+//!
+//! Forms: `lint: ordering(<Ordering>) <reason>` and
+//! `lint: allow(<rule>) <reason>`, where `<rule>` is one of `panic`,
+//! `guard-across-sync`, `sleep`, `unsafe-crate`. The reason is mandatory —
+//! an annotation is a recorded design decision, not a mute button — and
+//! every annotation must be *consumed* by a matching site, so stale ones
+//! fail the build instead of rotting.
+
+use crate::lexer::{self, Comment, Lexed, Tok, TokKind};
+use std::cell::Cell;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// What an annotation claims about its target line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnotKind {
+    /// `lint: ordering(X)` — justifies an `Ordering::X` use on the line.
+    Ordering(String),
+    /// `lint: allow(rule)` — suppresses `rule` findings on the line.
+    Allow(String),
+}
+
+/// One parsed `lint:` annotation.
+#[derive(Debug)]
+pub struct Annot {
+    /// What the annotation justifies.
+    pub kind: AnnotKind,
+    /// Line of the comment that carries it (for diagnostics).
+    pub line: u32,
+    /// The code line the annotation binds to.
+    pub target_line: u32,
+    /// The mandatory free-text justification.
+    pub reason: String,
+    /// Set when a rule consumes the annotation; unconsumed ones are findings.
+    pub used: Cell<bool>,
+}
+
+/// A malformed `lint:` comment (unknown form, missing reason, …).
+#[derive(Debug)]
+pub struct BadAnnot {
+    /// Line of the offending comment.
+    pub line: u32,
+    /// Column of the offending comment.
+    pub col: u32,
+    /// What is wrong with it.
+    pub what: String,
+}
+
+/// Everything the rules need to know about one source file.
+#[derive(Debug)]
+pub struct FileCtx {
+    /// Workspace-relative path (used verbatim in diagnostics).
+    pub path: PathBuf,
+    /// All non-comment tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+    /// Parsed well-formed annotations.
+    pub annots: Vec<Annot>,
+    /// Malformed `lint:` comments.
+    pub bad_annots: Vec<BadAnnot>,
+    /// Token-index ranges (inclusive) covered by `#[cfg(test)]` / `#[test]`
+    /// items — invisible to every rule.
+    masked: Vec<(usize, usize)>,
+    /// Line ranges (inclusive) of the masked items, for comment masking.
+    masked_lines: Vec<(u32, u32)>,
+}
+
+impl FileCtx {
+    /// Lex and analyse one file.
+    pub fn new(path: PathBuf, src: &str) -> Self {
+        let Lexed { toks, comments } = lexer::lex(src);
+        let masked = mask_test_items(&toks);
+        let masked_lines = masked
+            .iter()
+            .map(|&(s, e)| (toks[s].line, toks[e].line))
+            .collect::<Vec<_>>();
+        let mut ctx = Self {
+            path,
+            toks,
+            comments,
+            annots: Vec::new(),
+            bad_annots: Vec::new(),
+            masked,
+            masked_lines,
+        };
+        ctx.parse_annotations();
+        ctx
+    }
+
+    /// True when token `ti` belongs to a `#[cfg(test)]` / `#[test]` item.
+    pub fn is_masked(&self, ti: usize) -> bool {
+        self.masked.iter().any(|&(s, e)| s <= ti && ti <= e)
+    }
+
+    /// True when `line` falls inside a masked (test-only) item.
+    pub fn line_is_masked(&self, line: u32) -> bool {
+        self.masked_lines
+            .iter()
+            .any(|&(s, e)| s <= line && line <= e)
+    }
+
+    /// The annotations bound to `line`.
+    pub fn annots_for(&self, line: u32) -> impl Iterator<Item = &Annot> {
+        self.annots.iter().filter(move |a| a.target_line == line)
+    }
+
+    /// Consume (and return) an `allow(rule)` annotation bound to `line`.
+    pub fn take_allow(&self, rule: &str, line: u32) -> Option<&Annot> {
+        let a = self
+            .annots_for(line)
+            .find(|a| a.kind == AnnotKind::Allow(rule.to_string()))?;
+        a.used.set(true);
+        Some(a)
+    }
+
+    /// Consume (and return) an `ordering(name)` annotation bound to `line`.
+    pub fn take_ordering(&self, name: &str, line: u32) -> Option<&Annot> {
+        let a = self
+            .annots_for(line)
+            .find(|a| matches!(&a.kind, AnnotKind::Ordering(n) if n == name))?;
+        a.used.set(true);
+        Some(a)
+    }
+
+    /// True when a `// SAFETY:` comment ends on `line` or one of the
+    /// `above` lines directly above it.
+    pub fn has_safety_comment(&self, line: u32, above: u32) -> bool {
+        self.comments.iter().any(|c| {
+            c.end_line <= line
+                && c.end_line + above >= line
+                && c.text
+                    .trim_start_matches(['/', '*', '!'])
+                    .trim_start()
+                    .starts_with("SAFETY:")
+        })
+    }
+
+    fn parse_annotations(&mut self) {
+        // Lines that carry at least one token, for binding comments to code.
+        let tok_lines: BTreeSet<u32> = self.toks.iter().map(|t| t.line).collect();
+        let mut annots = Vec::new();
+        let mut bad = Vec::new();
+        for c in &self.comments {
+            let Some(body) = annotation_body(&c.text) else {
+                continue;
+            };
+            // Bind to the comment's own line when code precedes it there,
+            // else to the next line that has code on it.
+            let target_line = if tok_lines.contains(&c.line)
+                && self.toks.iter().any(|t| t.line == c.line && t.col < c.col)
+            {
+                c.line
+            } else {
+                match tok_lines.range(c.end_line + 1..).next() {
+                    Some(&l) => l,
+                    None => {
+                        bad.push(BadAnnot {
+                            line: c.line,
+                            col: c.col,
+                            what: "annotation binds to no code line".into(),
+                        });
+                        continue;
+                    }
+                }
+            };
+            match parse_annotation(body) {
+                Ok(kind_reason) => annots.push(Annot {
+                    kind: kind_reason.0,
+                    line: c.line,
+                    target_line,
+                    reason: kind_reason.1,
+                    used: Cell::new(false),
+                }),
+                Err(what) => bad.push(BadAnnot {
+                    line: c.line,
+                    col: c.col,
+                    what,
+                }),
+            }
+        }
+        self.annots = annots;
+        self.bad_annots = bad;
+    }
+}
+
+/// Extract the `lint: …` body from a comment, if it carries one.
+fn annotation_body(comment: &str) -> Option<&str> {
+    let stripped = comment.trim_start_matches(['/', '*', '!']).trim_start();
+    stripped.strip_prefix("lint:").map(str::trim_start)
+}
+
+const ALLOW_RULES: [&str; 4] = ["panic", "guard-across-sync", "sleep", "unsafe-crate"];
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn parse_annotation(body: &str) -> Result<(AnnotKind, String), String> {
+    let open = body.find('(').ok_or_else(|| {
+        format!("malformed annotation `lint: {body}`: expected `kind(arg) reason`")
+    })?;
+    let close = body[open..]
+        .find(')')
+        .map(|k| open + k)
+        .ok_or_else(|| format!("malformed annotation `lint: {body}`: unclosed `(`"))?;
+    let kind = body[..open].trim();
+    let arg = body[open + 1..close].trim();
+    let reason = body[close + 1..].trim();
+    if reason.is_empty() {
+        return Err(format!(
+            "annotation `lint: {kind}({arg})` is missing its justification text"
+        ));
+    }
+    match kind {
+        "ordering" => {
+            if ORDERINGS.contains(&arg) {
+                Ok((AnnotKind::Ordering(arg.to_string()), reason.to_string()))
+            } else {
+                Err(format!(
+                    "`lint: ordering({arg})`: unknown ordering (expected one of {ORDERINGS:?})"
+                ))
+            }
+        }
+        "allow" => {
+            if ALLOW_RULES.contains(&arg) {
+                Ok((AnnotKind::Allow(arg.to_string()), reason.to_string()))
+            } else {
+                Err(format!(
+                    "`lint: allow({arg})`: unknown rule (expected one of {ALLOW_RULES:?})"
+                ))
+            }
+        }
+        other => Err(format!(
+            "`lint: {other}(…)`: unknown annotation kind (expected `ordering` or `allow`)"
+        )),
+    }
+}
+
+/// Find token ranges covered by `#[cfg(test)]` / `#[test]` / `#[bench]`
+/// attributes and the item each one precedes.
+fn mask_test_items(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if let Some(attr_end) = test_attr_end(toks, i) {
+            if out.last().is_none_or(|&(_, e)| i > e) {
+                let item_end = item_end_after(toks, attr_end + 1);
+                out.push((i, item_end));
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// If the tokens at `i` start a `#[cfg(test)]`, `#[test]` or `#[bench]`
+/// attribute, return the index of its closing `]`.
+fn test_attr_end(toks: &[Tok], i: usize) -> Option<usize> {
+    if !(toks.get(i)?.is_punct('#') && toks.get(i + 1)?.is_punct('[')) {
+        return None;
+    }
+    let name = toks.get(i + 2)?;
+    if name.is_ident("test") || name.is_ident("bench") {
+        return toks.get(i + 3)?.is_punct(']').then_some(i + 3);
+    }
+    if name.is_ident("cfg")
+        && toks.get(i + 3)?.is_punct('(')
+        && toks.get(i + 4)?.is_ident("test")
+        && toks.get(i + 5)?.is_punct(')')
+        && toks.get(i + 6)?.is_punct(']')
+    {
+        return Some(i + 6);
+    }
+    None
+}
+
+/// The index of the last token of the item starting at `i` (first token
+/// after an attribute): either the matching `}` of its first brace block,
+/// or a `;` at bracket depth zero (`#[cfg(test)] use …;`), skipping any
+/// further attributes in between.
+fn item_end_after(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.chars().next() {
+                Some('{') | Some('(') | Some('[') => depth += 1,
+                Some('}') | Some(')') | Some(']') => {
+                    depth -= 1;
+                    if depth == 0 && t.is_punct('}') {
+                        return j;
+                    }
+                }
+                Some(';') if depth == 0 => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotations_bind_to_trailing_code_or_next_code_line() {
+        let src = "\
+// lint: ordering(Relaxed) stats counter, no sync role
+x.fetch_add(1, Ordering::Relaxed);
+let v = m.last().unwrap(); // lint: allow(panic) len checked above
+";
+        let ctx = FileCtx::new("x.rs".into(), src);
+        assert_eq!(ctx.annots.len(), 2);
+        assert_eq!(ctx.annots[0].kind, AnnotKind::Ordering("Relaxed".into()));
+        assert_eq!(ctx.annots[0].target_line, 2, "binds down to the code line");
+        assert_eq!(ctx.annots[1].kind, AnnotKind::Allow("panic".into()));
+        assert_eq!(
+            ctx.annots[1].target_line, 3,
+            "trailing comment binds to its own line"
+        );
+        assert!(ctx.bad_annots.is_empty());
+    }
+
+    #[test]
+    fn annotations_skip_interleaved_comment_lines() {
+        let src = "\
+// lint: allow(panic) first element exists: split produced it
+// (routing invariant, see ShardRouter docs)
+let v = fences.first().unwrap();
+";
+        let ctx = FileCtx::new("x.rs".into(), src);
+        assert_eq!(ctx.annots[0].target_line, 3);
+    }
+
+    #[test]
+    fn missing_reason_and_unknown_kinds_are_bad_annotations() {
+        for bad in [
+            "// lint: ordering(Relaxed)",
+            "// lint: allow(panic)   ",
+            "// lint: ordering(Sequential) x",
+            "// lint: allow(unwrap) y",
+            "// lint: suppress(panic) z",
+            "// lint: allow(panic",
+        ] {
+            let src = format!("{bad}\nlet x = 1;\n");
+            let ctx = FileCtx::new("x.rs".into(), &src);
+            assert_eq!(ctx.annots.len(), 0, "{bad:?} must not parse");
+            assert_eq!(ctx.bad_annots.len(), 1, "{bad:?} must be reported");
+        }
+    }
+
+    #[test]
+    fn cfg_test_items_are_masked() {
+        let src = "\
+fn live() { }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); }
+}
+fn also_live() { }
+";
+        let ctx = FileCtx::new("x.rs".into(), src);
+        let unwrap_ti = ctx
+            .toks
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("unwrap token");
+        assert!(ctx.is_masked(unwrap_ti));
+        let live = ctx.toks.iter().position(|t| t.is_ident("live")).unwrap();
+        let also = ctx
+            .toks
+            .iter()
+            .position(|t| t.is_ident("also_live"))
+            .unwrap();
+        assert!(!ctx.is_masked(live));
+        assert!(!ctx.is_masked(also));
+        assert!(ctx.line_is_masked(5));
+        assert!(!ctx.line_is_masked(7));
+    }
+
+    #[test]
+    fn cfg_test_use_item_masks_to_semicolon_only() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() { x.lock() }\n";
+        let ctx = FileCtx::new("x.rs".into(), src);
+        let lock = ctx.toks.iter().position(|t| t.is_ident("lock")).unwrap();
+        assert!(!ctx.is_masked(lock));
+        let use_ti = ctx.toks.iter().position(|t| t.is_ident("use")).unwrap();
+        assert!(ctx.is_masked(use_ti));
+    }
+
+    #[test]
+    fn safety_comments_found_on_or_above_line() {
+        let src = "// SAFETY: len checked\nunsafe { }\n\n\n\nunsafe { }\n";
+        let ctx = FileCtx::new("x.rs".into(), src);
+        assert!(ctx.has_safety_comment(2, 3));
+        assert!(
+            !ctx.has_safety_comment(6, 3),
+            "line 6 is too far from line 1"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Workspace walking and rule orchestration.
+//!
+//! The engine scans every `.rs` file under the workspace's crate source
+//! roots (`src/` and `crates/*/src/`). Integration tests, benches and
+//! examples are *not* scanned — the rules guard production code paths, and
+//! `#[cfg(test)]` items inside scanned files are masked by [`FileCtx`].
+
+use crate::context::FileCtx;
+use crate::rules::{self, Diagnostic};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test code must be panic-free (rule 2). These are the
+/// serving-path crates: a panic in them can take down reader threads or
+/// poison the store-wide locks.
+pub const PANIC_FREE_ROOTS: [&str; 2] = ["crates/store/src", "crates/core/src"];
+
+/// Run the linter over the workspace rooted at `root`.
+///
+/// Returns all findings, sorted by path, line, column. I/O failures (a
+/// vanished file, an unreadable directory) surface as `Err` — the linter
+/// must never pass vacuously.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    let top_src = root.join("src");
+    if top_src.is_dir() {
+        collect_rs_files(&top_src, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<_> = fs::read_dir(&crates_dir)?.collect::<Result<Vec<_>, _>>()?;
+        entries.sort_by_key(|e| e.path());
+        for entry in entries {
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                collect_rs_files(&src, &mut files)?;
+            }
+        }
+    }
+    if files.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no .rs files under {} — wrong --root?", root.display()),
+        ));
+    }
+    files.sort();
+
+    let mut out = Vec::new();
+    for file in &files {
+        let src = fs::read_to_string(file)?;
+        let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
+        let scope = rules::scope_for(&rel, &PANIC_FREE_ROOTS);
+        let ctx = FileCtx::new(rel, &src);
+        rules::check_file(&ctx, scope, &mut out);
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(out)
+}
+
+/// Lint a single in-memory source, as if it lived at `rel_path` in the
+/// workspace. This is the fixture entry point the rule tests use.
+pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let rel = PathBuf::from(rel_path);
+    let scope = rules::scope_for(&rel, &PANIC_FREE_ROOTS);
+    let ctx = FileCtx::new(rel, src);
+    let mut out = Vec::new();
+    rules::check_file(&ctx, scope, &mut out);
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<Vec<_>, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,620 @@
+//! A hand-rolled, comment/string/char-literal-aware Rust lexer.
+//!
+//! The rules in this crate reason about *token* streams, never raw text, so
+//! an `unwrap()` inside a doc-comment example, a `panic!` inside a string
+//! literal, or an `Ordering::Relaxed` inside a nested block comment can
+//! never produce a finding. The lexer is deliberately lossy where the rules
+//! do not care (numeric literal grammar, punctuation joining) and exact
+//! where they do:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments are
+//!   captured as [`Comment`]s, not tokens — annotations live there;
+//! - plain/byte/C strings honour escapes; raw strings (`r"…"`, `br#"…"#`,
+//!   any hash depth) honour their hash-delimited terminator;
+//! - `'a'` is a char literal, `'a` is a lifetime, `'\''` is a char literal;
+//! - every token and comment carries a 1-based `line:col` position.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `let`, `Ordering`, `unwrap`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`). Never confused with a char literal.
+    Lifetime,
+    /// A numeric literal, lexed permissively.
+    Num,
+    /// Any string literal: `"…"`, `b"…"`, `c"…"`, `r"…"`, `br#"…"#`, ….
+    Str,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// A single punctuation character (`.`, `:`, `!`, `#`, `{`, …).
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token class.
+    pub kind: TokKind,
+    /// The literal source text of the token.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based source column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block) with its source position.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the delimiters (`// …` or `/* … */`).
+    pub text: String,
+    /// 1-based line of the opening delimiter.
+    pub line: u32,
+    /// 1-based column of the opening delimiter.
+    pub col: u32,
+    /// 1-based line of the closing delimiter (== `line` for line comments).
+    pub end_line: u32,
+}
+
+/// The output of [`lex`]: tokens and comments, in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens.
+    pub toks: Vec<Tok>,
+    /// All comments (doc comments included).
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated literals
+/// and stray characters degrade to best-effort tokens so the linter can
+/// still report on the rest of the file.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            out.comments.push(line_comment(&mut cur, line, col));
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            out.comments.push(block_comment(&mut cur, line, col));
+            continue;
+        }
+        if let Some(tok) = maybe_string_prefix(&mut cur, line, col) {
+            out.toks.push(tok);
+            continue;
+        }
+        if is_ident_start(c) {
+            out.toks.push(ident(&mut cur, line, col));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.toks.push(number(&mut cur, line, col));
+            continue;
+        }
+        if c == '"' {
+            out.toks.push(plain_string(&mut cur, line, col));
+            continue;
+        }
+        if c == '\'' {
+            out.toks.push(quote(&mut cur, line, col));
+            continue;
+        }
+        cur.bump();
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn line_comment(cur: &mut Cursor, line: u32, col: u32) -> Comment {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Comment {
+        text,
+        line,
+        col,
+        end_line: line,
+    }
+}
+
+fn block_comment(cur: &mut Cursor, line: u32, col: u32) -> Comment {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        if c == '*' && cur.peek(1) == Some('/') {
+            depth -= 1;
+            text.push_str("*/");
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+            continue;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Comment {
+        text,
+        line,
+        col,
+        end_line: cur.line,
+    }
+}
+
+/// Recognise raw/byte/C string literals starting at an `r`/`b`/`c` prefix:
+/// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`, `cr##"…"##`, `b'x'`.
+/// Returns `None` when the prefix is just the start of an identifier.
+fn maybe_string_prefix(cur: &mut Cursor, line: u32, col: u32) -> Option<Tok> {
+    let c0 = cur.peek(0)?;
+    if !matches!(c0, 'r' | 'b' | 'c') {
+        return None;
+    }
+    // Byte-char literal b'x': lex the prefix away and let `quote` handle it.
+    if c0 == 'b' && cur.peek(1) == Some('\'') {
+        cur.bump();
+        let mut tok = quote(cur, line, col);
+        tok.text.insert(0, 'b');
+        return Some(tok);
+    }
+    // Two-letter prefixes: br / cr.
+    let (prefix_len, raw) = match (c0, cur.peek(1)) {
+        ('b' | 'c', Some('r')) => {
+            let mut k = 2;
+            while cur.peek(k) == Some('#') {
+                k += 1;
+            }
+            if cur.peek(k) == Some('"') {
+                (2, true)
+            } else {
+                return None;
+            }
+        }
+        ('r', _) => {
+            let mut k = 1;
+            while cur.peek(k) == Some('#') {
+                k += 1;
+            }
+            if cur.peek(k) == Some('"') {
+                (1, true)
+            } else {
+                return None;
+            }
+        }
+        ('b' | 'c', Some('"')) => (1, false),
+        _ => return None,
+    };
+    let mut text = String::new();
+    for _ in 0..prefix_len {
+        text.push(cur.bump().expect("prefix chars were peeked"));
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while cur.peek(0) == Some('#') {
+            hashes += 1;
+            text.push(cur.bump().expect("hash was peeked"));
+        }
+        text.push(cur.bump().expect("quote was peeked")); // opening "
+                                                          // Scan to `"` followed by `hashes` hash marks.
+        while let Some(c) = cur.peek(0) {
+            if c == '"' && (0..hashes).all(|k| cur.peek(1 + k) == Some('#')) {
+                text.push(cur.bump().expect("closing quote was peeked"));
+                for _ in 0..hashes {
+                    text.push(cur.bump().expect("closing hash was peeked"));
+                }
+                return Some(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            text.push(c);
+            cur.bump();
+        }
+        // Unterminated raw string: degrade to what we have.
+        return Some(Tok {
+            kind: TokKind::Str,
+            text,
+            line,
+            col,
+        });
+    }
+    // b"…" / c"…": escaped string body.
+    let mut tok = plain_string(cur, line, col);
+    tok.text.insert_str(0, &text);
+    Some(tok)
+}
+
+fn ident(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Tok {
+        kind: TokKind::Ident,
+        text,
+        line,
+        col,
+    }
+}
+
+fn number(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c.is_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+            continue;
+        }
+        // A dot continues the number only when followed by a digit
+        // (`1.5`), so `1..n` and `1.max(2)` keep their punctuation.
+        if c == '.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()) && !text.contains('.') {
+            text.push(c);
+            cur.bump();
+            continue;
+        }
+        break;
+    }
+    Tok {
+        kind: TokKind::Num,
+        text,
+        line,
+        col,
+    }
+}
+
+fn plain_string(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    text.push(cur.bump().expect("opening quote was peeked"));
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        text.push(c);
+        cur.bump();
+        if c == '"' {
+            break;
+        }
+    }
+    Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Disambiguate `'` between char literals and lifetimes.
+fn quote(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    text.push(cur.bump().expect("quote was peeked")); // '
+    match cur.peek(0) {
+        // Escaped char literal: '\n', '\'', '\u{1F600}'.
+        Some('\\') => {
+            text.push(cur.bump().expect("backslash was peeked"));
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+                if esc == 'u' {
+                    while let Some(c) = cur.peek(0) {
+                        text.push(c);
+                        cur.bump();
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                }
+            }
+            if cur.peek(0) == Some('\'') {
+                text.push(cur.bump().expect("closing quote was peeked"));
+            }
+            Tok {
+                kind: TokKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        // 'x' — any single char directly closed by a quote.
+        Some(c) if cur.peek(1) == Some('\'') => {
+            text.push(c);
+            cur.bump();
+            text.push(cur.bump().expect("closing quote was peeked"));
+            Tok {
+                kind: TokKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        // 'ident — a lifetime.
+        Some(c) if is_ident_start(c) => {
+            while let Some(c) = cur.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            Tok {
+                kind: TokKind::Lifetime,
+                text,
+                line,
+                col,
+            }
+        }
+        // Stray quote (invalid Rust); emit as punctuation and move on.
+        _ => Tok {
+            kind: TokKind::Punct,
+            text,
+            line,
+            col,
+        },
+    }
+}
+
+impl Lexed {
+    /// The set of identifier tokens rendered as `(text, line)` — a compact
+    /// form several unit tests assert against.
+    pub fn ident_spans(&self) -> Vec<(&str, u32)> {
+        self.toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{:?}({})",
+            self.line, self.col, self.kind, self.text
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_punct() {
+        let l = lex("let x = a.unwrap();");
+        assert_eq!(
+            l.ident_spans(),
+            vec![("let", 1), ("x", 1), ("a", 1), ("unwrap", 1)]
+        );
+        assert!(l.toks.iter().any(|t| t.is_punct(';')));
+    }
+
+    #[test]
+    fn line_and_nested_block_comments_are_not_tokens() {
+        let src = "a // unwrap() in a comment\n/* outer /* nested panic!() */ still comment */ b";
+        let l = lex(src);
+        assert_eq!(l.ident_spans(), vec![("a", 1), ("b", 2)]);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("unwrap"));
+        assert!(l.comments[1].text.contains("nested panic!()"));
+        assert_eq!(l.comments[1].end_line, 2);
+    }
+
+    #[test]
+    fn doc_comments_hide_code_examples() {
+        let src = "/// ```\n/// x.unwrap();\n/// ```\nfn f() {}";
+        let l = lex(src);
+        assert_eq!(l.ident_spans(), vec![("fn", 4), ("f", 4)]);
+    }
+
+    #[test]
+    fn strings_honour_escapes() {
+        let src = r#"let s = "quote \" unwrap() \\"; t"#;
+        let l = lex(src);
+        assert_eq!(
+            l.ident_spans(),
+            vec![("let", 1), ("s", 1), ("t", 1)],
+            "contents of the string must not token-ize"
+        );
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        // A raw string whose body contains a quote-hash that is NOT the
+        // terminator, plus code after it.
+        let src = "let s = r##\"body \"# with panic!() \"##; after";
+        let l = lex(src);
+        assert_eq!(l.ident_spans(), vec![("let", 1), ("s", 1), ("after", 1)]);
+        let s = &l.toks[3];
+        assert_eq!(s.kind, TokKind::Str);
+        assert!(s.text.contains("panic!()"));
+        // Byte and C raw strings too.
+        let l = lex("br#\"x\"# cr#\"y\"# b\"z\" c\"w\"");
+        assert!(l.toks.iter().all(|t| t.kind == TokKind::Str));
+        assert_eq!(l.toks.len(), 4);
+    }
+
+    #[test]
+    fn raw_string_with_comment_lookalike_inside() {
+        let l = lex("r\"// not a comment\" x");
+        assert!(l.comments.is_empty());
+        assert_eq!(l.ident_spans(), vec![("x", 1)]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\''; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, vec!["'x'", "'\\''", "'\\n'"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_unicode_escape() {
+        let l = lex("&'static str; '\\u{1F600}'");
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'static"));
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text.contains("u{1F600}")));
+    }
+
+    #[test]
+    fn byte_char_literals() {
+        let l = lex("b'x' b'\\0'");
+        let chars: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, vec!["b'x'", "b'\\0'"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let l = lex("1..n 1.5 0x1f_u32 1.max(2)");
+        let nums: Vec<_> = kinds("1..n 1.5 0x1f_u32 1.max(2)")
+            .into_iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(nums, vec!["1", "1.5", "0x1f_u32", "1", "2"]);
+        // `..` and `.max` survive as punctuation + ident.
+        assert!(l.toks.iter().any(|t| t.is_ident("max")));
+        assert_eq!(l.toks.iter().filter(|t| t.is_punct('.')).count(), 3);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let l = lex("a\n  bb\n");
+        assert_eq!((l.toks[0].line, l.toks[0].col), (1, 1));
+        assert_eq!((l.toks[1].line, l.toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn r_prefix_identifiers_are_not_strings() {
+        // `r` / `b` / `c` starting ordinary identifiers must not trigger
+        // the raw-string path.
+        let l = lex("ret b_var crate r#match");
+        assert_eq!(
+            l.toks.iter().filter(|t| t.kind == TokKind::Ident).count(),
+            5
+        );
+        assert!(l.comments.is_empty());
+    }
+
+    #[test]
+    fn unterminated_string_degrades_gracefully() {
+        let l = lex("let s = \"never closed...");
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Str));
+        assert_eq!(l.ident_spans(), vec![("let", 1), ("s", 1)]);
+    }
+}

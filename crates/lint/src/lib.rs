@@ -1,0 +1,47 @@
+//! `shift-lint` — the workspace's self-contained invariant linter.
+//!
+//! The store's correctness rests on properties the compiler cannot see:
+//! which atomic orderings carry real happens-before edges, that serving
+//! paths never panic, that no lock guard is held across an fsync without
+//! intent, that background threads wait on condvars instead of polling.
+//! This crate checks those properties statically, with zero dependencies:
+//! a hand-rolled comment/string/char-literal-aware Rust lexer
+//! ([`lexer`]), a per-file analysis context with `#[cfg(test)]` masking and
+//! a justification-annotation grammar ([`context`]), and a rule engine
+//! ([`rules`], [`engine`]) that emits rustc-style `file:line:col`
+//! diagnostics and exits non-zero so CI can gate on it.
+//!
+//! ## The rules
+//!
+//! | rule | checks |
+//! |------|--------|
+//! | `atomics-ordering` | every `Ordering::*` use carries `// lint: ordering(<Ordering>) <sync role>`; unjustified `Relaxed` is called out as a hard error |
+//! | `panic-path` | no `unwrap`/`expect`/`panic!`/`assert!` family in `crates/store/src` + `crates/core/src` non-test code (`debug_assert!` allowed); `// lint: allow(panic) <proof>` for provably-infallible sites |
+//! | `unsafe-hygiene` | `unsafe` needs `// SAFETY:`; crate roots without unsafe need `#![forbid(unsafe_code)]` |
+//! | `guard-across-sync` | no `.lock()`/`.write()` guard live at a `sync_all`/`sync_data` call without `// lint: allow(guard-across-sync) <why>` |
+//! | `bare-sleep` | no `thread::sleep` outside tests without `// lint: allow(sleep) <why>` |
+//! | `bad-annotation` | `lint:` comments must parse and carry a non-empty justification |
+//! | `unused-annotation` | every annotation must be consumed by a real site — stale allows fail the build |
+//!
+//! Annotations double as in-place documentation: after the baseline sweep,
+//! every atomic in the store states its synchronisation role next to the
+//! code that relies on it.
+//!
+//! ## Usage
+//!
+//! ```text
+//! cargo run -p shift-lint --release -- check [--root DIR]
+//! cargo run -p shift-lint --release -- rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/I-O error.
+
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{check_source, check_workspace, PANIC_FREE_ROOTS};
+pub use rules::{Diagnostic, RULES};

@@ -1,0 +1,64 @@
+//! CLI for `shift-lint`. See the library docs for the rule set.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            for (name, what) in shift_lint::RULES {
+                println!("{name:>18}  {what}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "usage: shift-lint check [--root DIR]\n       shift-lint rules\n\n\
+                 Lints the workspace's crate sources for concurrency/durability\n\
+                 invariants (see `shift-lint rules`). Exit 1 on findings."
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match shift_lint::check_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("shift-lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for d in &findings {
+                println!("{}\n", d.render());
+            }
+            println!("shift-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("shift-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! The rule set. Each rule walks one [`FileCtx`] token stream and emits
+//! [`Diagnostic`]s; `#[cfg(test)]` items are invisible to every rule.
+//!
+//! See the crate docs for the full rationale of each rule and the
+//! annotation grammar that satisfies it.
+
+use crate::context::{AnnotKind, FileCtx};
+use crate::lexer::{Tok, TokKind};
+use std::path::Path;
+
+/// One finding, rendered rustc-style by [`Diagnostic::render`].
+#[derive(Debug)]
+pub struct Diagnostic {
+    /// Stable rule identifier (`atomics-ordering`, `panic-path`, …).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub msg: String,
+    /// Workspace-relative file.
+    pub path: std::path::PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Diagnostic {
+    fn at(rule: &'static str, ctx: &FileCtx, tok: &Tok, msg: String) -> Self {
+        Self {
+            rule,
+            msg,
+            path: ctx.path.clone(),
+            line: tok.line,
+            col: tok.col,
+        }
+    }
+
+    /// Render as `error[rule]: msg` + ` --> file:line:col`.
+    pub fn render(&self) -> String {
+        format!(
+            "error[{}]: {}\n  --> {}:{}:{}",
+            self.rule,
+            self.msg,
+            self.path.display(),
+            self.line,
+            self.col
+        )
+    }
+}
+
+/// Which rule families apply to a file, decided by the engine from its path.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleScope {
+    /// Rule 2 (panic-free) applies — serving-path crates only.
+    pub panic_free: bool,
+    /// The file is a crate root (`src/lib.rs`, `src/main.rs`, `src/bin/*`)
+    /// and must carry `#![forbid(unsafe_code)]`.
+    pub crate_root: bool,
+}
+
+/// Names and one-line summaries of every rule, for `shift-lint rules`.
+pub const RULES: [(&str, &str); 7] = [
+    (
+        "atomics-ordering",
+        "every atomic Ordering::* site carries `// lint: ordering(<Ordering>) <why>`",
+    ),
+    (
+        "panic-path",
+        "no unwrap/expect/panic!/assert! in serving-path crates (debug_assert! ok); allow(panic) for provably-infallible sites",
+    ),
+    (
+        "unsafe-hygiene",
+        "unsafe blocks need `// SAFETY:`; crate roots need `#![forbid(unsafe_code)]`",
+    ),
+    (
+        "guard-across-sync",
+        "no lock guard live across sync_all/sync_data unless allow(guard-across-sync)",
+    ),
+    (
+        "bare-sleep",
+        "no thread::sleep outside tests (workers wait on condvars); allow(sleep) for intentional throttles",
+    ),
+    (
+        "bad-annotation",
+        "lint: comments must parse and carry a justification",
+    ),
+    (
+        "unused-annotation",
+        "every lint: annotation must match a real site (no rot)",
+    ),
+];
+
+/// Run every applicable rule over `ctx` and append findings to `out`.
+pub fn check_file(ctx: &FileCtx, scope: RuleScope, out: &mut Vec<Diagnostic>) {
+    atomics_ordering(ctx, out);
+    if scope.panic_free {
+        panic_path(ctx, out);
+    }
+    unsafe_hygiene(ctx, scope, out);
+    guard_across_sync(ctx, out);
+    bare_sleep(ctx, out);
+    annotation_hygiene(ctx, out);
+}
+
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Rule 1: every `Ordering::<atomic variant>` site in non-test code must be
+/// justified by a matching `lint: ordering(<variant>)` annotation on its
+/// line. `Relaxed` is called out as the hard error it is — an unjustified
+/// relaxed access is how publication bugs are born — but every ordering
+/// needs its sync role written down.
+fn atomics_ordering(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if !t.is_ident("Ordering") || ctx.is_masked(i) {
+            continue;
+        }
+        // Match `Ordering :: <variant>` (the variant set is disjoint from
+        // `cmp::Ordering`'s Less/Equal/Greater, so no path analysis needed).
+        let Some(variant) = path_segment_after(&ctx.toks, i) else {
+            continue;
+        };
+        if !ATOMIC_ORDERINGS.contains(&variant.text.as_str()) {
+            continue;
+        }
+        if ctx.take_ordering(&variant.text, variant.line).is_some()
+            || ctx.take_ordering(&variant.text, t.line).is_some()
+        {
+            continue;
+        }
+        let hint = format!(
+            "add `// lint: ordering({v}) <sync role>` on this line (or the line above)",
+            v = variant.text
+        );
+        let msg = if variant.text == "Relaxed" {
+            format!("unjustified `Ordering::Relaxed` — relaxed atomics carry no happens-before edge; {hint}")
+        } else {
+            format!(
+                "`Ordering::{v}` without a written justification of its sync role; {hint}",
+                v = variant.text
+            )
+        };
+        out.push(Diagnostic::at("atomics-ordering", ctx, variant, msg));
+    }
+}
+
+/// The identifier after `<tok i> ::`, if the next tokens are `:` `:` ident.
+fn path_segment_after(toks: &[Tok], i: usize) -> Option<&Tok> {
+    if toks.get(i + 1)?.is_punct(':') && toks.get(i + 2)?.is_punct(':') {
+        let t = toks.get(i + 3)?;
+        (t.kind == TokKind::Ident).then_some(t)
+    } else {
+        None
+    }
+}
+
+const PANIC_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Rule 2: the serving path must not panic. `.unwrap()` / `.expect(…)` and
+/// the panicking macro family are errors in non-test code of the scoped
+/// crates; `debug_assert!*` stays allowed (it vanishes in release builds).
+/// A provably-infallible site carries `lint: allow(panic) <proof>`.
+fn panic_path(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.is_masked(i) {
+            continue;
+        }
+        let name = t.text.as_str();
+        let is_method = PANIC_METHODS.contains(&name)
+            && i > 0
+            && ctx.toks[i - 1].is_punct('.')
+            && ctx.toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let is_macro =
+            PANIC_MACROS.contains(&name) && ctx.toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if !(is_method || is_macro) {
+            continue;
+        }
+        if ctx.take_allow("panic", t.line).is_some() {
+            continue;
+        }
+        let what = if is_method {
+            format!("`.{name}()`")
+        } else {
+            format!("`{name}!`")
+        };
+        out.push(Diagnostic::at(
+            "panic-path",
+            ctx,
+            t,
+            format!(
+                "{what} on the serving path — return a typed error, use debug_assert!, \
+                 or prove infallibility with `// lint: allow(panic) <why>`"
+            ),
+        ));
+    }
+}
+
+/// Rule 3: `unsafe` tokens need a `// SAFETY:` comment on the same line or
+/// within the three lines above; crate roots without any unsafe must say so
+/// with `#![forbid(unsafe_code)]` (escape hatch: `lint: allow(unsafe-crate)`
+/// bound to the first code line).
+fn unsafe_hygiene(ctx: &FileCtx, scope: RuleScope, out: &mut Vec<Diagnostic>) {
+    let mut has_unsafe = false;
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if !t.is_ident("unsafe") || ctx.is_masked(i) {
+            continue;
+        }
+        has_unsafe = true;
+        if !ctx.has_safety_comment(t.line, 3) {
+            out.push(Diagnostic::at(
+                "unsafe-hygiene",
+                ctx,
+                t,
+                "`unsafe` without a `// SAFETY:` comment on or directly above it".to_string(),
+            ));
+        }
+    }
+    if scope.crate_root && !has_forbid_unsafe(&ctx.toks) && !has_unsafe {
+        if let Some(first) = ctx.toks.first() {
+            if ctx.take_allow("unsafe-crate", first.line).is_some() {
+                return;
+            }
+            out.push(Diagnostic::at(
+                "unsafe-hygiene",
+                ctx,
+                first,
+                "crate root is missing `#![forbid(unsafe_code)]` (this workspace is 100% safe Rust; keep it machine-checked)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Detect the inner attribute `#![forbid(unsafe_code)]` anywhere in a file.
+fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+    toks.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    })
+}
+
+/// `.sync()` is included alongside the raw fd syncs: the WAL writer's
+/// `sync()` is the store's durability point and bottoms out in `fdatasync`.
+const SYNC_CALLS: [&str; 3] = ["sync_all", "sync_data", "sync"];
+const GUARD_METHODS: [&str; 2] = ["lock", "write"];
+
+/// Rule 4 (heuristic): a `let g = ….lock()/….write()` guard binding that is
+/// still in scope at a `sync_all()`/`sync_data()` call holds that lock
+/// across an fsync — seconds of stall for every other thread on the lock.
+/// The intentional sites (the WAL lock doubling as the checkpoint barrier)
+/// carry `lint: allow(guard-across-sync)` on the *sync* line or the lock
+/// line. Read guards (`.read()`) are exempt: the store's read paths pin and
+/// release before any I/O, and `.read()` collides with `io::Read::read`.
+fn guard_across_sync(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    // Live guards: (name, brace depth at binding, token index, allow-line).
+    let mut guards: Vec<(String, i64, usize)> = Vec::new();
+    let mut depth = 0i64;
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.kind == TokKind::Punct {
+            match t.text.chars().next() {
+                Some('{') => depth += 1,
+                Some('}') => {
+                    depth -= 1;
+                    guards.retain(|&(_, d, _)| d <= depth);
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if t.kind != TokKind::Ident || ctx.is_masked(i) {
+            continue;
+        }
+        // `drop(name)` ends a guard early.
+        if t.is_ident("drop") && ctx.toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            if let Some(arg) = ctx.toks.get(i + 2) {
+                guards.retain(|(name, _, _)| name != &arg.text);
+            }
+            continue;
+        }
+        // `let <name> … = … .lock() / .write() …;` — bind a guard.
+        if GUARD_METHODS.contains(&t.text.as_str())
+            && i > 0
+            && ctx.toks[i - 1].is_punct('.')
+            && ctx.toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && ctx.toks.get(i + 2).is_some_and(|n| n.is_punct(')'))
+        {
+            if let Some(name) = binding_name_before(&ctx.toks, i) {
+                if name != "_" {
+                    guards.push((name, depth, i));
+                }
+            }
+            continue;
+        }
+        // A sync method call with guards live?
+        if SYNC_CALLS.contains(&t.text.as_str())
+            && i > 0
+            && ctx.toks[i - 1].is_punct('.')
+            && ctx.toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            for &(ref name, _, gi) in &guards {
+                let lock_line = ctx.toks[gi].line;
+                if ctx.take_allow("guard-across-sync", t.line).is_some()
+                    || ctx.take_allow("guard-across-sync", lock_line).is_some()
+                {
+                    continue;
+                }
+                out.push(Diagnostic::at(
+                    "guard-across-sync",
+                    ctx,
+                    t,
+                    format!(
+                        "`{sync}` runs while guard `{name}` (acquired line {lock_line}) is live — \
+                         an fsync under a lock stalls every waiter; drop the guard first or \
+                         annotate `// lint: allow(guard-across-sync) <why>`",
+                        sync = t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Walk back from a `.lock()`/`.write()` call to the `let` that binds it
+/// (same statement: no `;` in between) and return the bound name.
+fn binding_name_before(toks: &[Tok], i: usize) -> Option<String> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return None;
+        }
+        if t.is_ident("let") {
+            // `let [mut] name` — also looking through one level of
+            // `let Ok([mut] name)` / `let Some([mut] name)` patterns.
+            let mut k = j + 1;
+            if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+                k += 1;
+            }
+            if toks.get(k).is_some_and(|t| t.kind == TokKind::Ident)
+                && toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+            {
+                k += 2;
+                if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+                    k += 1;
+                }
+            }
+            let name = toks.get(k)?;
+            return (name.kind == TokKind::Ident).then(|| name.text.clone());
+        }
+    }
+    None
+}
+
+/// Rule 5: `thread::sleep` in non-test code is a scheduling smell — the
+/// maintenance/hydration workers wait on condvars with wake-up kicks, and
+/// polling loops burn latency budgets. `lint: allow(sleep)` marks the
+/// intentional throttles.
+fn bare_sleep(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if !t.is_ident("thread") || ctx.is_masked(i) {
+            continue;
+        }
+        let Some(seg) = path_segment_after(&ctx.toks, i) else {
+            continue;
+        };
+        if !seg.is_ident("sleep") {
+            continue;
+        }
+        if ctx.take_allow("sleep", seg.line).is_some() || ctx.take_allow("sleep", t.line).is_some()
+        {
+            continue;
+        }
+        out.push(Diagnostic::at(
+            "bare-sleep",
+            ctx,
+            seg,
+            "bare `thread::sleep` outside tests — workers must wait on a condvar (kickable, \
+             shutdown-aware); annotate `// lint: allow(sleep) <why>` if the delay is the point"
+                .to_string(),
+        ));
+    }
+}
+
+/// Rules 6–7: malformed `lint:` comments are findings, and so is any
+/// well-formed annotation no rule consumed — a stale allow is a silent
+/// hole in the audit.
+fn annotation_hygiene(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    for b in &ctx.bad_annots {
+        out.push(Diagnostic {
+            rule: "bad-annotation",
+            msg: b.what.clone(),
+            path: ctx.path.clone(),
+            line: b.line,
+            col: b.col,
+        });
+    }
+    for a in &ctx.annots {
+        if a.used.get() || ctx.line_is_masked(a.target_line) {
+            continue;
+        }
+        let kind = match &a.kind {
+            AnnotKind::Ordering(v) => format!("ordering({v})"),
+            AnnotKind::Allow(r) => format!("allow({r})"),
+        };
+        out.push(Diagnostic {
+            rule: "unused-annotation",
+            msg: format!(
+                "`lint: {kind}` matches no site on line {} — remove it or move it to the code it justifies",
+                a.target_line
+            ),
+            path: ctx.path.clone(),
+            line: a.line,
+            col: 1,
+        });
+    }
+}
+
+/// Decide rule scope from a workspace-relative path.
+pub fn scope_for(path: &Path, panic_free_roots: &[&str]) -> RuleScope {
+    let p = path.to_string_lossy().replace('\\', "/");
+    let panic_free = panic_free_roots.iter().any(|r| p.starts_with(r));
+    let crate_root = p.ends_with("src/lib.rs")
+        || p.ends_with("src/main.rs")
+        || p.contains("/src/bin/")
+        || p.starts_with("examples/");
+    RuleScope {
+        panic_free,
+        crate_root,
+    }
+}

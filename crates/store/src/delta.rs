@@ -341,12 +341,14 @@ impl<K: Key> DeltaChain<K> {
     /// frozen runs must still sit, `Arc`-identical, at the tail of `self`.
     pub fn strip_sealed(&self, frozen: &Self) -> Self {
         let f = frozen.runs.len();
+        // lint: allow(panic) structural invariant: a shorter chain means the seal was violated; stripping anyway would drop live runs
         assert!(
             self.runs.len() >= f,
             "strip_sealed: chain shorter than its frozen suffix"
         );
         let keep = self.runs.len() - f;
         if f > 0 {
+            // lint: allow(panic) structural invariant: a moved suffix means concurrent mutation of sealed runs; continuing would double-apply them
             assert!(
                 Arc::ptr_eq(&self.runs[keep], &frozen.runs[0]),
                 "strip_sealed: sealed suffix was modified concurrently"

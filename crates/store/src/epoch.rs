@@ -51,6 +51,7 @@ impl<T> EpochCell<T> {
     /// newer epochs are published meanwhile.
     #[inline]
     pub fn load(&self) -> Arc<T> {
+        // lint: allow(panic) epoch-cell poisoning means a publisher panicked mid-swap; no sound continuation
         self.current.read().expect("epoch cell poisoned").clone()
     }
 
@@ -60,6 +61,7 @@ impl<T> EpochCell<T> {
     /// swap is atomic with respect to concurrent loads.
     #[inline]
     pub fn store(&self, next: Arc<T>) {
+        // lint: allow(panic) epoch-cell poisoning means a publisher panicked mid-swap; no sound continuation
         *self.current.write().expect("epoch cell poisoned") = next;
     }
 }
@@ -110,18 +112,21 @@ impl CommitClock {
     /// (the store's write paths hold no user code inside the window).
     #[inline]
     pub fn begin(&self) -> u64 {
+        // lint: ordering(SeqCst) seqlock open: begun must be totally ordered with done and with every reader's begun/done loads
         self.begun.fetch_add(1, Ordering::SeqCst) + 1
     }
 
     /// Close the write window opened by the matching [`CommitClock::begin`].
     #[inline]
     pub fn end(&self) {
+        // lint: ordering(SeqCst) seqlock close: totally ordered with begin so begun == done really means no write in flight
         self.done.fetch_add(1, Ordering::SeqCst);
     }
 
     /// The newest assigned commit version (for diagnostics; a concurrent
     /// writer may not have published it yet).
     pub fn version(&self) -> u64 {
+        // lint: ordering(SeqCst) diagnostic read kept in the seqlock counters' total order
         self.begun.load(Ordering::SeqCst)
     }
 
@@ -153,10 +158,11 @@ impl CommitClock {
         mut pin: impl FnMut() -> T,
     ) -> Option<(T, u64)> {
         for attempt in 0..attempts {
-            let done = self.done.load(Ordering::SeqCst);
-            let begun = self.begun.load(Ordering::SeqCst);
+            let done = self.done.load(Ordering::SeqCst); // lint: ordering(SeqCst) seqlock read: done before begun, in the writers' total order
+            let begun = self.begun.load(Ordering::SeqCst); // lint: ordering(SeqCst) seqlock read: a begun/done match proves a quiescent window
             if begun == done {
                 let pinned = pin();
+                // lint: ordering(SeqCst) seqlock validate: re-read after the pin; any interleaved begin is seen
                 if self.begun.load(Ordering::SeqCst) == begun {
                     return Some((pinned, begun));
                 }

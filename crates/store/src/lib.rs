@@ -182,6 +182,47 @@
 //! reopen either: [`ShardedStore::repair_wal`] rotates to a fresh segment
 //! and restores writability online.
 //!
+//! ## Checked invariants
+//!
+//! The claims above are machine-checked by `shift-lint` (`crates/lint`), a
+//! repo-local static analyzer that runs in CI (`cargo run -p shift-lint --
+//! check`) and fails the build on any finding. The rules, and what they
+//! guarantee about this crate:
+//!
+//! * **`atomics-ordering`** — every `Ordering::*` argument in non-test code
+//!   carries a `// lint: ordering(X) <why>` annotation naming the ordering
+//!   actually used and its synchronisation role. The interesting pairings
+//!   are documented where they live: the retired-shard flag
+//!   (Release store / Acquire load), `merged_len` (AcqRel / Acquire), the
+//!   [`CommitClock`] seqlock (SeqCst throughout), and the `Relaxed` stats
+//!   counters that publish nothing. An unjustified `Relaxed` is a hard
+//!   error.
+//! * **`panic-path`** — no `unwrap`/`expect`/`panic!`/`assert!` in this
+//!   crate's (or `shift-table`'s) non-test sources. Fallible conditions
+//!   return [`StoreError`]; the surviving sites are each annotated
+//!   `// lint: allow(panic) <why>` and fall into four audited classes:
+//!   lock-poisoning propagation (a dead writer has no sound continuation),
+//!   thread-join re-raises, provably infallible conversions (length-checked
+//!   `try_into`), and documented API contracts where truncating would
+//!   silently serve wrong answers. `debug_assert!` is always allowed.
+//! * **`unsafe-hygiene`** — every crate root carries
+//!   `#![forbid(unsafe_code)]`; any future `unsafe` block must carry a
+//!   `// SAFETY:` comment. This crate's lock-free read path is built
+//!   entirely from safe `Arc` swaps — the linter keeps it that way.
+//! * **`guard-across-sync`** — no lock guard may be live across an
+//!   `fsync`-class call (`sync_all`/`sync_data`/WAL `sync`) unless the site
+//!   is annotated `// lint: allow(guard-across-sync) <why>`. The three
+//!   annotated sites in `persist/` are intentional: the WAL lock *is* the
+//!   checkpoint barrier (group-commit leader, checkpoint cut, drop-time
+//!   tail flush).
+//! * **`bare-sleep`** — no `thread::sleep` outside tests; coordination uses
+//!   condvars and joins, not timing.
+//!
+//! Annotations are themselves checked: a malformed `// lint:` comment or an
+//! annotation no finding consumes (`unused-annotation`) is an error, so
+//! justifications cannot rot. See `crates/lint/src/lib.rs` for the rule
+//! engine and its fixtures.
+//!
 //! ## Example
 //!
 //! ```

@@ -286,7 +286,7 @@ impl Persistence {
         apply: impl FnOnce(u64) -> R,
     ) -> Result<R, StoreError> {
         let (result, ticket) = {
-            let mut inner = self.inner.lock().expect("wal lock poisoned");
+            let mut inner = self.inner.lock().expect("wal lock poisoned"); // lint: allow(panic) WAL-lock poisoning means a writer died mid-frame; no sound continuation
             if inner.wal.is_poisoned() {
                 return Err(StoreError::WalPoisoned);
             }
@@ -294,9 +294,9 @@ impl Persistence {
             let bytes = inner.wal.append(&WalRecord { version, op, key })?;
             inner.next_version += 1;
             inner.since_checkpoint += 1;
-            self.wal_records.fetch_add(1, Ordering::Relaxed);
-            self.wal_ops.fetch_add(1, Ordering::Relaxed);
-            self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.wal_records.fetch_add(1, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
+            self.wal_ops.fetch_add(1, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
+            self.wal_bytes.fetch_add(bytes, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
             (apply(version), version)
         };
         self.group_commit(ticket)?;
@@ -313,7 +313,7 @@ impl Persistence {
         apply: impl FnOnce(u64) -> R,
     ) -> Result<R, StoreError> {
         let (result, ticket) = {
-            let mut inner = self.inner.lock().expect("wal lock poisoned");
+            let mut inner = self.inner.lock().expect("wal lock poisoned"); // lint: allow(panic) WAL-lock poisoning means a writer died mid-frame; no sound continuation
             if inner.wal.is_poisoned() {
                 return Err(StoreError::WalPoisoned);
             }
@@ -321,9 +321,9 @@ impl Persistence {
             let bytes = inner.wal.append_batch(version, ops)?;
             inner.next_version += 1;
             inner.since_checkpoint += ops.len() as u64;
-            self.wal_records.fetch_add(1, Ordering::Relaxed);
-            self.wal_ops.fetch_add(ops.len() as u64, Ordering::Relaxed);
-            self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.wal_records.fetch_add(1, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
+            self.wal_ops.fetch_add(ops.len() as u64, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
+            self.wal_bytes.fetch_add(bytes, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
             (apply(version), version)
         };
         self.group_commit(ticket)?;
@@ -345,12 +345,13 @@ impl Persistence {
         group
             .commit(
                 ticket,
-                || self.wal_records.load(Ordering::Relaxed),
+                || self.wal_records.load(Ordering::Relaxed), // lint: ordering(Relaxed) arrival-count hint for wave deepening; correctness never reads it
                 || {
-                    let mut inner = self.inner.lock().expect("wal lock poisoned");
+                    let mut inner = self.inner.lock().expect("wal lock poisoned"); // lint: allow(panic) WAL-lock poisoning means a writer died mid-frame; no sound continuation
                     let upto = inner.next_version - 1;
                     // A failure here poisons the writer (see WalWriter::sync),
                     // so no later leader can falsely acknowledge lost records.
+                    // lint: allow(guard-across-sync) group-commit leader: the flush must cover exactly the appended prefix, so the WAL lock stays held
                     inner.wal.sync().map(|()| upto)
                 },
             )
@@ -363,7 +364,7 @@ impl Persistence {
     /// Flush every appended WAL record to stable storage now, regardless of
     /// the sync policy.
     pub(crate) fn sync(&self) -> Result<(), StoreError> {
-        Ok(self.inner.lock().expect("wal lock poisoned").wal.sync()?)
+        Ok(self.inner.lock().expect("wal lock poisoned").wal.sync()?) // lint: allow(panic) WAL-lock poisoning means a writer died mid-frame; no sound continuation
     }
 
     /// Test hook: poison the live WAL writer exactly as a failed
@@ -373,7 +374,7 @@ impl Persistence {
     pub(crate) fn poison_for_tests(&self) {
         self.inner
             .lock()
-            .expect("wal lock poisoned")
+            .expect("wal lock poisoned") // lint: allow(panic) WAL-lock poisoning means a writer died mid-frame; no sound continuation
             .wal
             .poison_for_tests();
     }
@@ -385,7 +386,7 @@ impl Persistence {
             && self
                 .inner
                 .lock()
-                .expect("wal lock poisoned")
+                .expect("wal lock poisoned") // lint: allow(panic) WAL-lock poisoning means a writer died mid-frame; no sound continuation
                 .since_checkpoint
                 >= self.durability.checkpoint_ops
     }
@@ -394,7 +395,7 @@ impl Persistence {
     pub(crate) fn checkpoint_gate(&self) -> MutexGuard<'_, ()> {
         self.checkpoint_gate
             .lock()
-            .expect("checkpoint gate poisoned")
+            .expect("checkpoint gate poisoned") // lint: allow(panic) gate poisoning means a checkpoint died half-written; no sound continuation
     }
 
     /// The checkpoint *cut*: under the WAL lock — which blocks every durable
@@ -406,7 +407,7 @@ impl Persistence {
         &self,
         pin: impl FnOnce() -> T,
     ) -> Result<(u64, u64, T), StoreError> {
-        let mut inner = self.inner.lock().expect("wal lock poisoned");
+        let mut inner = self.inner.lock().expect("wal lock poisoned"); // lint: allow(panic) WAL-lock poisoning means a writer died mid-frame; no sound continuation
         let cv = inner.next_version - 1;
         // The outgoing segment stops receiving appends here; flush its
         // unsynced tail first, or a power loss during the off-lock snapshot
@@ -420,10 +421,11 @@ impl Persistence {
         // damaged segment becomes garbage once the manifest lands.
         let was_poisoned = inner.wal.is_poisoned();
         if !was_poisoned {
+            // lint: allow(guard-across-sync) the WAL lock IS the checkpoint barrier: appends must stall while the outgoing segment flushes and rotates
             inner.wal.sync()?;
         }
         self.wal_syncs_rotated
-            .fetch_add(inner.wal.sync_count(), Ordering::Relaxed);
+            .fetch_add(inner.wal.sync_count(), Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
         let mut wal = WalWriter::create(&self.dir, inner.next_version, self.durability.sync)?;
         wal.defer_sync(self.group.is_some());
         inner.wal = wal;
@@ -452,16 +454,16 @@ impl Persistence {
         shards_skipped: u64,
         bytes_reused: u64,
     ) {
-        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.checkpoints.fetch_add(1, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
         self.snapshot_bytes
-            .fetch_add(snapshot_bytes, Ordering::Relaxed);
-        self.last_checkpoint_version.store(cv, Ordering::Relaxed);
+            .fetch_add(snapshot_bytes, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
+        self.last_checkpoint_version.store(cv, Ordering::Relaxed); // lint: ordering(Relaxed) stats gauge; no synchronising role
         self.checkpoint_shards_written
-            .fetch_add(shards_written, Ordering::Relaxed);
+            .fetch_add(shards_written, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
         self.checkpoint_shards_skipped
-            .fetch_add(shards_skipped, Ordering::Relaxed);
+            .fetch_add(shards_skipped, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
         self.snapshot_bytes_reused
-            .fetch_add(bytes_reused, Ordering::Relaxed);
+            .fetch_add(bytes_reused, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
     }
 
     /// Online WAL-poison repair: if the writer is poisoned, rotate to a
@@ -479,12 +481,12 @@ impl Persistence {
     pub(crate) fn repair(&self) -> Result<bool, StoreError> {
         // Same order as a checkpoint: gate first, then the WAL lock.
         let _gate = self.checkpoint_gate();
-        let mut inner = self.inner.lock().expect("wal lock poisoned");
+        let mut inner = self.inner.lock().expect("wal lock poisoned"); // lint: allow(panic) WAL-lock poisoning means a writer died mid-frame; no sound continuation
         if !inner.wal.is_poisoned() {
             return Ok(false);
         }
         self.wal_syncs_rotated
-            .fetch_add(inner.wal.sync_count(), Ordering::Relaxed);
+            .fetch_add(inner.wal.sync_count(), Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
         let mut wal = WalWriter::create(&self.dir, inner.next_version, self.durability.sync)?;
         wal.defer_sync(self.group.is_some());
         inner.wal = wal;
@@ -499,21 +501,21 @@ impl Persistence {
         let live_syncs = self
             .inner
             .lock()
-            .expect("wal lock poisoned")
+            .expect("wal lock poisoned") // lint: allow(panic) WAL-lock poisoning means a writer died mid-frame; no sound continuation
             .wal
             .sync_count();
         DurabilityStats {
-            wal_records: self.wal_records.load(Ordering::Relaxed),
-            wal_ops: self.wal_ops.load(Ordering::Relaxed),
-            wal_syncs: self.wal_syncs_rotated.load(Ordering::Relaxed) + live_syncs,
-            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
-            checkpoints: self.checkpoints.load(Ordering::Relaxed),
-            snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
-            last_checkpoint_version: self.last_checkpoint_version.load(Ordering::Relaxed),
+            wal_records: self.wal_records.load(Ordering::Relaxed), // lint: ordering(Relaxed) stats snapshot; counters are independent
+            wal_ops: self.wal_ops.load(Ordering::Relaxed), // lint: ordering(Relaxed) stats snapshot; counters are independent
+            wal_syncs: self.wal_syncs_rotated.load(Ordering::Relaxed) + live_syncs, // lint: ordering(Relaxed) stats snapshot; counters are independent
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed), // lint: ordering(Relaxed) stats snapshot; counters are independent
+            checkpoints: self.checkpoints.load(Ordering::Relaxed), // lint: ordering(Relaxed) stats snapshot; counters are independent
+            snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed), // lint: ordering(Relaxed) stats snapshot; counters are independent
+            last_checkpoint_version: self.last_checkpoint_version.load(Ordering::Relaxed), // lint: ordering(Relaxed) stats snapshot; counters are independent
             replayed_records: self.replayed,
-            checkpoint_shards_written: self.checkpoint_shards_written.load(Ordering::Relaxed),
-            checkpoint_shards_skipped: self.checkpoint_shards_skipped.load(Ordering::Relaxed),
-            snapshot_bytes_reused: self.snapshot_bytes_reused.load(Ordering::Relaxed),
+            checkpoint_shards_written: self.checkpoint_shards_written.load(Ordering::Relaxed), // lint: ordering(Relaxed) stats snapshot; counters are independent
+            checkpoint_shards_skipped: self.checkpoint_shards_skipped.load(Ordering::Relaxed), // lint: ordering(Relaxed) stats snapshot; counters are independent
+            snapshot_bytes_reused: self.snapshot_bytes_reused.load(Ordering::Relaxed), // lint: ordering(Relaxed) stats snapshot; counters are independent
         }
     }
 }
@@ -526,6 +528,7 @@ impl Drop for Persistence {
     /// poisoned or failing segment falls back to crash semantics).
     fn drop(&mut self) {
         if let Ok(mut inner) = self.inner.lock() {
+            // lint: allow(guard-across-sync) drop-time tail flush; the store is gone, nothing else can hold or want the lock
             let _ = inner.wal.sync();
         }
     }

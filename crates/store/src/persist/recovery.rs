@@ -401,6 +401,7 @@ pub(crate) fn recover<K: Key>(
                 .map(|(i, column)| scope.spawn(move || (i, recovered_shard(config, spec, column))))
                 .collect();
             for h in handles {
+                // lint: allow(panic) join fails only when the child panicked; re-raising preserves the failure
                 let (i, shard) = h.join().expect("shard retrain worker panicked");
                 slots[i] = Some(shard);
             }
@@ -408,6 +409,7 @@ pub(crate) fn recover<K: Key>(
     }
     let shards: Vec<Arc<StoreShard<K>>> = slots
         .into_iter()
+        // lint: allow(panic) the waves above cover every shard index exactly once; a hole is unreachable
         .map(|s| s.expect("every shard slot filled"))
         .collect();
 

@@ -103,7 +103,9 @@ pub(crate) fn read_snapshot_bytes<K: Key>(
     if bytes[..8] != MAGIC {
         return Err(corrupt(path, "bad magic"));
     }
+    // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
     let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
     let body_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
     let Some(body) = bytes.get(20..20 + body_len) else {
         return Err(corrupt(path, "truncated body"));
@@ -114,7 +116,9 @@ pub(crate) fn read_snapshot_bytes<K: Key>(
     if body.len() < 20 {
         return Err(corrupt(path, "body too short"));
     }
+    // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
     let applied = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+    // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
     let key_bits = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes"));
     if key_bits != K::BITS {
         return Err(corrupt(
@@ -125,6 +129,7 @@ pub(crate) fn read_snapshot_bytes<K: Key>(
             ),
         ));
     }
+    // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
     let count = u64::from_le_bytes(body[12..20].try_into().expect("8 bytes"));
     // Derive the count the body can actually hold and compare — the naive
     // `20 + count * 8` wraps for a crafted count and would pass the check
@@ -136,6 +141,7 @@ pub(crate) fn read_snapshot_bytes<K: Key>(
     let mut keys = Vec::with_capacity(key_bytes / 8);
     for chunk in body[20..].chunks_exact(8) {
         keys.push(K::from_u64_saturating(u64::from_le_bytes(
+            // lint: allow(panic) chunks_exact(8) yields 8-byte slices; try_into cannot fail
             chunk.try_into().expect("8 bytes"),
         )));
     }

@@ -43,8 +43,11 @@ impl BlockMeta {
     pub fn decode_entry(bytes: &[u8]) -> Self {
         debug_assert_eq!(bytes.len(), INDEX_ENTRY_LEN);
         Self {
+            // lint: allow(panic) entry length asserted above; fixed-width slices cannot fail try_into
             first_key: u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
+            // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
             offset: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+            // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
             count: u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes")),
         }
     }
@@ -66,6 +69,7 @@ pub fn encode_block(keys: &[u64], out: &mut Vec<u8>) {
 
 /// The raw key `u64` at index `i` of a block's key bytes.
 pub fn key_u64(data: &[u8], i: usize) -> u64 {
+    // lint: allow(panic) an 8-byte slice by construction; try_into cannot fail
     u64::from_le_bytes(data[i * 8..i * 8 + 8].try_into().expect("8 bytes"))
 }
 
@@ -94,6 +98,7 @@ pub fn block_crc(file: &[u8], meta: &BlockMeta) -> u32 {
 /// The stored CRC of a block header.
 pub fn stored_crc(file: &[u8], meta: &BlockMeta) -> u32 {
     let at = meta.offset as usize;
+    // lint: allow(panic) a 4-byte slice by construction; try_into cannot fail
     u32::from_le_bytes(file[at..at + 4].try_into().expect("4 bytes"))
 }
 

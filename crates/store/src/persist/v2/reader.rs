@@ -82,6 +82,7 @@ impl<K: Key> ColdBase<K> {
         if footer[44..52] != MAGIC {
             return Err(corrupt(path, "bad trailing magic (torn footer)"));
         }
+        // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
         let version = u32::from_le_bytes(footer[40..44].try_into().expect("4 bytes"));
         if version != FORMAT_VERSION {
             return Err(corrupt(
@@ -89,11 +90,14 @@ impl<K: Key> ColdBase<K> {
                 format!("unsupported format version {version}"),
             ));
         }
+        // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
         let footer_crc = u32::from_le_bytes(footer[36..40].try_into().expect("4 bytes"));
         if crc32(&footer[..36]) != footer_crc {
             return Err(corrupt(path, "footer checksum mismatch"));
         }
+        // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
         let applied = u64::from_le_bytes(footer[..8].try_into().expect("8 bytes"));
+        // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
         let key_bits = u32::from_le_bytes(footer[8..12].try_into().expect("4 bytes"));
         if key_bits != K::BITS {
             return Err(corrupt(
@@ -104,9 +108,13 @@ impl<K: Key> ColdBase<K> {
                 ),
             ));
         }
+        // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
         let total = u64::from_le_bytes(footer[12..20].try_into().expect("8 bytes"));
+        // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
         let block_count = u32::from_le_bytes(footer[20..24].try_into().expect("4 bytes")) as usize;
+        // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
         let index_offset = u64::from_le_bytes(footer[24..32].try_into().expect("8 bytes")) as usize;
+        // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
         let index_crc = u32::from_le_bytes(footer[32..36].try_into().expect("4 bytes"));
 
         let index_end = bytes.len() - FOOTER_LEN;

@@ -191,12 +191,14 @@ fn decode_payload(payload: &[u8]) -> Option<WalEntry> {
     if payload.len() < 9 {
         return None;
     }
+    // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
     let version = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
     match payload[8] {
         BATCH_TAG => {
             if payload.len() < batch_payload_len(0) {
                 return None;
             }
+            // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
             let count = u32::from_le_bytes(payload[9..13].try_into().expect("4 bytes")) as usize;
             if count == 0 || payload.len() != batch_payload_len(count) {
                 return None;
@@ -206,6 +208,7 @@ fn decode_payload(payload: &[u8]) -> Option<WalEntry> {
                 let op = byte_op(chunk[0])?;
                 ops.push((
                     op,
+                    // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
                     u64::from_le_bytes(chunk[1..9].try_into().expect("8 bytes")),
                 ));
             }
@@ -214,6 +217,7 @@ fn decode_payload(payload: &[u8]) -> Option<WalEntry> {
         b if payload.len() == PAYLOAD_LEN => Some(WalEntry::Op(WalRecord {
             version,
             op: byte_op(b)?,
+            // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
             key: u64::from_le_bytes(payload[9..17].try_into().expect("8 bytes")),
         })),
         _ => None,
@@ -272,7 +276,9 @@ pub fn read_segment(path: &Path) -> std::io::Result<SegmentScan> {
     let mut scan = SegmentScan::default();
     let mut at = 0usize;
     while bytes.len() - at >= 8 {
+        // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
         let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        // lint: allow(panic) slice length is fixed by the bounds check/slicing above; try_into cannot fail
         let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
         if bytes.len() - at - 8 < len {
             break; // short frame: the torn tail of a crash
@@ -523,6 +529,7 @@ impl GroupCommitter {
         arrivals: impl Fn() -> u64,
         mut sync: impl FnMut() -> std::io::Result<u64>,
     ) -> Result<(), GroupCommitError> {
+        // lint: allow(panic) group-commit state poisoning means a leader panicked mid-commit; propagate
         let mut st = self.state.lock().expect("group commit state poisoned");
         loop {
             if st.synced >= ticket {
@@ -547,6 +554,7 @@ impl GroupCommitter {
                     last = now;
                 }
                 let result = sync();
+                // lint: allow(panic) group-commit state poisoning means a leader panicked mid-commit; propagate
                 st = self.state.lock().expect("group commit state poisoned");
                 st.leader = false;
                 match result {
@@ -559,6 +567,7 @@ impl GroupCommitter {
                 }
                 self.cv.notify_all();
             } else {
+                // lint: allow(panic) group-commit state poisoning means a leader panicked mid-commit; propagate
                 st = self.cv.wait(st).expect("group commit state poisoned");
             }
         }
@@ -571,6 +580,7 @@ impl GroupCommitter {
     /// would apply-and-append every post-rotation write but report it
     /// failed forever, and retrying callers would double-apply.
     pub(crate) fn reset(&self, next_ticket: u64) {
+        // lint: allow(panic) group-commit state poisoning means a leader panicked mid-commit; propagate
         let mut st = self.state.lock().expect("group commit state poisoned");
         st.failed = false;
         st.invalid_below = st.invalid_below.max(next_ticket);

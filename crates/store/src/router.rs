@@ -35,6 +35,7 @@ impl<K: Key> ShardRouter<K> {
             while b < n && b > 0 && keys[b] == keys[b - 1] {
                 b += 1;
             }
+            // lint: allow(panic) bounds starts with one element and only grows; last() cannot fail
             if b > *bounds.last().expect("bounds start non-empty") && b < n {
                 bounds.push(b);
             }

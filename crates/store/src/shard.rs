@@ -195,6 +195,7 @@ impl<K: Key> ShardState<K> {
     /// then each is shifted by the chain's prefix sums. With an empty chain
     /// the shift loop is skipped entirely.
     pub fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
+        // lint: allow(panic) API contract: slices must be equal length — zip-truncating would silently serve wrong positions
         assert_eq!(
             queries.len(),
             out.len(),
@@ -410,7 +411,7 @@ impl<K: Key> StoreShard<K> {
 
     /// Number of keys in the merged (base + delta) view (one atomic load).
     pub fn len(&self) -> usize {
-        self.merged_len.load(Ordering::Acquire)
+        self.merged_len.load(Ordering::Acquire) // lint: ordering(Acquire) pairs with the write paths' AcqRel updates: a count is never staler than the publication it rode in on
     }
 
     /// True when the merged view holds no keys.
@@ -456,13 +457,15 @@ impl<K: Key> StoreShard<K> {
     /// clock window is opened under the shard's write lock, which is what
     /// keeps per-shard apply order equal to commit-version order.
     pub(crate) fn try_insert_clocked(&self, k: K, clock: &CommitClock) -> Option<bool> {
+        // lint: allow(panic) lock poisoning propagates a writer panic; continuing would publish torn state
         let _w = self.write.lock().expect("write lock poisoned");
+        // lint: ordering(Relaxed) read under the shard write lock, which retire() also holds; the lock orders it
         if self.retired.load(Ordering::Relaxed) {
             return None;
         }
         let cv = clock.begin();
         let dirty = self.publish_op(k, 1, cv);
-        self.merged_len.fetch_add(1, Ordering::AcqRel);
+        self.merged_len.fetch_add(1, Ordering::AcqRel); // lint: ordering(AcqRel) release side of len()'s Acquire load: the count stays paired with the state published before it
         clock.end();
         Some(dirty)
     }
@@ -472,12 +475,14 @@ impl<K: Key> StoreShard<K> {
     /// one `begin`/`end` and stamps every op with the batch's single commit
     /// version `cv`).
     pub(crate) fn try_insert_at(&self, k: K, cv: u64) -> Option<bool> {
+        // lint: allow(panic) lock poisoning propagates a writer panic; continuing would publish torn state
         let _w = self.write.lock().expect("write lock poisoned");
+        // lint: ordering(Relaxed) read under the shard write lock, which retire() also holds; the lock orders it
         if self.retired.load(Ordering::Relaxed) {
             return None;
         }
         let dirty = self.publish_op(k, 1, cv);
-        self.merged_len.fetch_add(1, Ordering::AcqRel);
+        self.merged_len.fetch_add(1, Ordering::AcqRel); // lint: ordering(AcqRel) release side of len()'s Acquire load: the count stays paired with the state published before it
         Some(dirty)
     }
 
@@ -492,7 +497,9 @@ impl<K: Key> StoreShard<K> {
     /// [`StoreShard::try_delete`] stamped against the caller's commit clock
     /// (see [`StoreShard::try_insert_clocked`]).
     pub(crate) fn try_delete_clocked(&self, k: K, clock: &CommitClock) -> Option<(bool, bool)> {
+        // lint: allow(panic) lock poisoning propagates a writer panic; continuing would publish torn state
         let _w = self.write.lock().expect("write lock poisoned");
+        // lint: ordering(Relaxed) read under the shard write lock, which retire() also holds; the lock orders it
         if self.retired.load(Ordering::Relaxed) {
             return None;
         }
@@ -502,7 +509,7 @@ impl<K: Key> StoreShard<K> {
         }
         let cv = clock.begin();
         let dirty = self.publish_op(k, -1, cv);
-        self.merged_len.fetch_sub(1, Ordering::AcqRel);
+        self.merged_len.fetch_sub(1, Ordering::AcqRel); // lint: ordering(AcqRel) release side of len()'s Acquire load: the count stays paired with the state published before it
         clock.end();
         Some((true, dirty))
     }
@@ -510,7 +517,9 @@ impl<K: Key> StoreShard<K> {
     /// Apply one delete inside an already-open clock window (see
     /// [`StoreShard::try_insert_at`]).
     pub(crate) fn try_delete_at(&self, k: K, cv: u64) -> Option<(bool, bool)> {
+        // lint: allow(panic) lock poisoning propagates a writer panic; continuing would publish torn state
         let _w = self.write.lock().expect("write lock poisoned");
+        // lint: ordering(Relaxed) read under the shard write lock, which retire() also holds; the lock orders it
         if self.retired.load(Ordering::Relaxed) {
             return None;
         }
@@ -519,7 +528,7 @@ impl<K: Key> StoreShard<K> {
             return Some((false, cur.delta.ops() >= self.threshold));
         }
         let dirty = self.publish_op(k, -1, cv);
-        self.merged_len.fetch_sub(1, Ordering::AcqRel);
+        self.merged_len.fetch_sub(1, Ordering::AcqRel); // lint: ordering(AcqRel) release side of len()'s Acquire load: the count stays paired with the state published before it
         Some((true, dirty))
     }
 
@@ -623,13 +632,14 @@ impl<K: Key> StoreShard<K> {
 
     /// True once a split or merge has replaced this shard in the table.
     pub fn is_retired(&self) -> bool {
-        self.retired.load(Ordering::Acquire)
+        self.retired.load(Ordering::Acquire) // lint: ordering(Acquire) pairs with retire()'s Release store: seeing `retired` implies the replacement table is published
     }
 
     /// Fold the chain's unsealed runs into one run, bounding per-read merge
     /// cost. Returns true when the chain shape changed. Called by the
     /// maintenance worker; writers also compact inline past `compact_runs`.
     pub fn compact(&self) -> bool {
+        // lint: allow(panic) lock poisoning propagates a writer panic; continuing would publish torn state
         let _w = self.write.lock().expect("write lock poisoned");
         let cur = self.state.load();
         if cur.delta.unsealed_run_count() < 2 {
@@ -654,12 +664,15 @@ impl<K: Key> StoreShard<K> {
     /// future rebuild failure modes (durability, resource limits) can
     /// surface without an API break.
     pub fn rebuild(&self) -> Result<bool, BuildError> {
+        // lint: allow(panic) guard poisoning propagates a rebuild/split panic; shard shape is unknowable
         let _guard = self.rebuild_guard.lock().expect("rebuild guard poisoned");
+        // lint: ordering(Acquire) pairs with retire()'s Release store; a retired shard must not rebuild
         if self.retired.load(Ordering::Acquire) {
             return Ok(false);
         }
         // Freeze phase: seal the chain (an index move, no data copied).
         let frozen = {
+            // lint: allow(panic) lock poisoning propagates a writer panic; continuing would publish torn state
             let _w = self.write.lock().expect("write lock poisoned");
             let cur = self.state.load();
             if cur.delta.is_clean() && !cur.snapshot.is_cold() {
@@ -672,6 +685,7 @@ impl<K: Key> StoreShard<K> {
         let index = build_index(&self.spec, merged.clone(), self.build_threads);
         let snapshot = Arc::new(ShardSnapshot::new(merged, index, frozen.snapshot.epoch + 1));
         // Swap phase: install the new epoch, keep only post-seal writes.
+        // lint: allow(panic) lock poisoning propagates a writer panic; continuing would publish torn state
         let _w = self.write.lock().expect("write lock poisoned");
         let residual = self.residual_since(&frozen);
         self.publish(snapshot, residual);
@@ -689,11 +703,13 @@ impl<K: Key> StoreShard<K> {
     /// Take the rebuild guard for the duration of a split/merge targeting
     /// this shard, excluding concurrent rebuilds.
     pub(crate) fn lock_rebuild(&self) -> MutexGuard<'_, ()> {
+        // lint: allow(panic) guard poisoning propagates a rebuild/split panic; shard shape is unknowable
         self.rebuild_guard.lock().expect("rebuild guard poisoned")
     }
 
     /// Take the write lock for a topology commit.
     pub(crate) fn lock_write(&self) -> MutexGuard<'_, ()> {
+        // lint: allow(panic) lock poisoning propagates a writer panic; continuing would publish torn state
         self.write.lock().expect("write lock poisoned")
     }
 
@@ -701,6 +717,7 @@ impl<K: Key> StoreShard<K> {
     /// the rebuild freeze this seals even a clean chain (a split of a cold
     /// shard still needs a frozen view).
     pub(crate) fn seal(&self) -> Arc<ShardState<K>> {
+        // lint: allow(panic) lock poisoning propagates a writer panic; continuing would publish torn state
         let _w = self.write.lock().expect("write lock poisoned");
         let cur = self.state.load();
         self.publish(cur.snapshot.clone(), cur.delta.sealed())
@@ -712,6 +729,7 @@ impl<K: Key> StoreShard<K> {
     /// pay one binary search per run). The caller must still hold the
     /// rebuild guard it sealed under.
     pub(crate) fn unseal(&self) {
+        // lint: allow(panic) lock poisoning propagates a writer panic; continuing would publish torn state
         let _w = self.write.lock().expect("write lock poisoned");
         let cur = self.state.load();
         self.publish(cur.snapshot.clone(), cur.delta.unsealed_all());
@@ -721,7 +739,7 @@ impl<K: Key> StoreShard<K> {
     /// (see [`StoreShard::lock_write`]) so no writer can interleave between
     /// the residual capture and the flag.
     pub(crate) fn retire(&self) {
-        self.retired.store(true, Ordering::Release);
+        self.retired.store(true, Ordering::Release); // lint: ordering(Release) pairs with is_retired()'s Acquire loads: retirement is ordered after the table swap it follows
     }
 
     /// The residual chain recorded since `frozen` (see

@@ -65,7 +65,7 @@ fn build_chunked<K: Key, T: Send>(
             .map(|&chunk| scope.spawn(move || build(chunk)))
             .collect();
         for h in handles {
-            built.push(h.join().expect("shard build worker panicked")?);
+            built.push(h.join().expect("shard build worker panicked")?); // lint: allow(panic) join fails only when the child panicked; re-raising preserves the failure
         }
         Ok::<(), BuildError>(())
     })?;
@@ -84,6 +84,7 @@ pub(crate) fn dispatch_batch_by_shard<K: Key>(
     out: &mut [usize],
     mut per_shard: impl FnMut(usize, &[K], &mut [usize]),
 ) {
+    // lint: allow(panic) API contract: slices must be equal length — zip-truncating would silently serve wrong positions
     assert_eq!(
         queries.len(),
         out.len(),
@@ -332,8 +333,8 @@ impl<K: Key> StoreCore<K> {
         let ((table, states), version) = match self.clock.try_read_consistent(128, &mut pin) {
             Some(cut) => cut,
             None => {
-                let _gate = self.write_gate.write().expect("write gate poisoned");
-                // No window can be open or opened: first attempt succeeds.
+                let _gate = self.write_gate.write().expect("write gate poisoned"); // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
+                                                                                   // No window can be open or opened: first attempt succeeds.
                 self.clock.read_consistent(&mut pin)
             }
         };
@@ -344,7 +345,7 @@ impl<K: Key> StoreCore<K> {
     fn rebuild_shard(&self, shard: &StoreShard<K>) -> Result<bool, BuildError> {
         let rebuilt = shard.rebuild()?;
         if rebuilt {
-            self.rebuilds.fetch_add(1, Ordering::Relaxed);
+            self.rebuilds.fetch_add(1, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
         }
         Ok(rebuilt)
     }
@@ -363,6 +364,7 @@ impl<K: Key> StoreCore<K> {
                 .map(|&shard| scope.spawn(move || self.rebuild_shard(shard)))
                 .collect();
             for h in handles {
+                // lint: allow(panic) join fails only when the child panicked; re-raising preserves the failure
                 if h.join().expect("shard rebuild worker panicked")? {
                     rebuilt += 1;
                 }
@@ -401,13 +403,13 @@ impl<K: Key> StoreCore<K> {
         *self
             .maintenance_error
             .lock()
-            .expect("maintenance error slot poisoned") = Some(e);
+            .expect("maintenance error slot poisoned") = Some(e); // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
     }
 
     fn take_maintenance_error(&self) -> Option<StoreError> {
         self.maintenance_error
             .lock()
-            .expect("maintenance error slot poisoned")
+            .expect("maintenance error slot poisoned") // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
             .take()
     }
 
@@ -441,7 +443,7 @@ impl<K: Key> StoreCore<K> {
         let memo = self
             .ckpt_memo
             .lock()
-            .expect("checkpoint memo poisoned")
+            .expect("checkpoint memo poisoned") // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
             .take();
         let prior: Option<Vec<MemoShard>> = memo
             .filter(|m| {
@@ -498,6 +500,7 @@ impl<K: Key> StoreCore<K> {
         };
         persist::manifest::write_manifest(p.dir(), &m)?;
         // The manifest is durable: these entries are now safe to skip from.
+        // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
         *self.ckpt_memo.lock().expect("checkpoint memo poisoned") = Some(CheckpointMemo {
             fences,
             shards: new_memo,
@@ -518,6 +521,7 @@ impl<K: Key> StoreCore<K> {
             .map(|n| n.get())
             .unwrap_or(1);
         loop {
+            // lint: ordering(Relaxed) advisory shutdown flag; a stale read costs one extra wave, thread join orders the rest
             if stop.load(Ordering::Relaxed) {
                 return;
             }
@@ -532,6 +536,7 @@ impl<K: Key> StoreCore<K> {
                 return;
             }
             for wave in cold.chunks(workers) {
+                // lint: ordering(Relaxed) advisory shutdown flag; a stale read costs one extra wave, thread join orders the rest
                 if stop.load(Ordering::Relaxed) {
                     return;
                 }
@@ -542,6 +547,7 @@ impl<K: Key> StoreCore<K> {
                         .collect();
                     let mut failed = false;
                     for h in handles {
+                        // lint: allow(panic) join fails only when the child panicked; re-raising preserves the failure
                         if let Err(e) = h.join().expect("hydration worker panicked") {
                             self.record_maintenance_error(e.into());
                             failed = true;
@@ -572,7 +578,7 @@ impl<K: Key> StoreCore<K> {
             return Ok(0);
         }
         let max_len = self.config.split_max_len;
-        let _topology = self.topology.lock().expect("topology lock poisoned");
+        let _topology = self.topology.lock().expect("topology lock poisoned"); // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
         let mut actions = 0usize;
 
         // Splits: pick candidates from one consistent sweep, then re-locate
@@ -706,8 +712,8 @@ impl<K: Key> StoreCore<K> {
             let l = scope.spawn(|| build_index(&spec, left_keys.clone(), threads));
             let r = scope.spawn(|| build_index(&spec, right_keys.clone(), threads));
             (
-                l.join().expect("split build worker panicked"),
-                r.join().expect("split build worker panicked"),
+                l.join().expect("split build worker panicked"), // lint: allow(panic) join fails only when the child panicked; re-raising preserves the failure
+                r.join().expect("split build worker panicked"), // lint: allow(panic) join fails only when the child panicked; re-raising preserves the failure
             )
         });
         let left_snap = Arc::new(ShardSnapshot::new(left_keys, left_index, epoch));
@@ -750,7 +756,7 @@ impl<K: Key> StoreCore<K> {
             shards,
         }));
         shard.retire();
-        self.splits.fetch_add(1, Ordering::Relaxed);
+        self.splits.fetch_add(1, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
         Ok(true)
     }
 
@@ -802,7 +808,7 @@ impl<K: Key> StoreCore<K> {
         }));
         a.retire();
         b.retire();
-        self.merges.fetch_add(1, Ordering::Relaxed);
+        self.merges.fetch_add(1, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
         Ok(true)
     }
 }
@@ -1056,17 +1062,17 @@ impl<K: Key> ShardedStore<K> {
     /// maintenance-thread and explicit ones all count; splits and merges
     /// are counted separately).
     pub fn total_rebuilds(&self) -> u64 {
-        self.core.rebuilds.load(Ordering::Relaxed)
+        self.core.rebuilds.load(Ordering::Relaxed) // lint: ordering(Relaxed) stats read; no synchronising role
     }
 
     /// Number of shard splits the rebalancer has performed.
     pub fn total_splits(&self) -> u64 {
-        self.core.splits.load(Ordering::Relaxed)
+        self.core.splits.load(Ordering::Relaxed) // lint: ordering(Relaxed) stats read; no synchronising role
     }
 
     /// Number of shard merges the rebalancer has performed.
     pub fn total_merges(&self) -> u64 {
-        self.core.merges.load(Ordering::Relaxed)
+        self.core.merges.load(Ordering::Relaxed) // lint: ordering(Relaxed) stats read; no synchronising role
     }
 
     /// The last error the background worker hit, if any (sticky until
@@ -1161,7 +1167,7 @@ impl<K: Key> ShardedStore<K> {
     /// cut between two ops of the batch. Returns the receipt and the shards
     /// the batch made dirty (deduplicated).
     fn apply_batch_mem(&self, batch: &WriteBatch<K>) -> (BatchReceipt, Vec<Arc<StoreShard<K>>>) {
-        let _gate = self.core.write_gate.read().expect("write gate poisoned");
+        let _gate = self.core.write_gate.read().expect("write gate poisoned"); // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
         let cv = self.core.clock.begin();
         let mut receipt = BatchReceipt {
             commit_version: cv,
@@ -1212,7 +1218,7 @@ impl<K: Key> ShardedStore<K> {
     /// freshly published table and retry). Returns the shard to maintain
     /// when the write made it dirty.
     fn apply_insert(&self, k: K) -> Option<Arc<StoreShard<K>>> {
-        let _gate = self.core.write_gate.read().expect("write gate poisoned");
+        let _gate = self.core.write_gate.read().expect("write gate poisoned"); // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
         loop {
             let table = self.core.load_table();
             let shard = &table.shards[table.router.shard_of(k)];
@@ -1224,7 +1230,7 @@ impl<K: Key> ShardedStore<K> {
 
     /// Apply a delete in memory (see [`ShardedStore::apply_insert`]).
     fn apply_delete(&self, k: K) -> (bool, Option<Arc<StoreShard<K>>>) {
-        let _gate = self.core.write_gate.read().expect("write gate poisoned");
+        let _gate = self.core.write_gate.read().expect("write gate poisoned"); // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
         loop {
             let table = self.core.load_table();
             let shard = &table.shards[table.router.shard_of(k)];

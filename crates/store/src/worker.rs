@@ -46,6 +46,7 @@ struct SignalFlags {
 impl WorkerSignal {
     /// Wake the worker for an immediate pass (a dirty shard appeared).
     pub(crate) fn kick(&self) {
+        // lint: allow(panic) signal-lock poisoning means a worker panicked holding it; propagate
         let mut flags = self.flags.lock().expect("worker signal poisoned");
         flags.kicked = true;
         drop(flags);
@@ -54,6 +55,7 @@ impl WorkerSignal {
 
     /// Tell the worker to exit after its current pass.
     fn stop(&self) {
+        // lint: allow(panic) signal-lock poisoning means a worker panicked holding it; propagate
         let mut flags = self.flags.lock().expect("worker signal poisoned");
         flags.stop = true;
         drop(flags);
@@ -63,11 +65,13 @@ impl WorkerSignal {
     /// Sleep until kicked, stopped or `interval` elapsed. Returns true when
     /// the worker should exit.
     fn wait(&self, interval: Duration) -> bool {
+        // lint: allow(panic) signal-lock poisoning means a worker panicked holding it; propagate
         let mut flags = self.flags.lock().expect("worker signal poisoned");
         if !flags.stop && !flags.kicked {
             let (guard, _timeout) = self
                 .cv
                 .wait_timeout(flags, interval)
+                // lint: allow(panic) signal-lock poisoning means a worker panicked holding it; propagate
                 .expect("worker signal poisoned");
             flags = guard;
         }
@@ -106,6 +110,7 @@ impl MaintenanceWorker {
                     }
                 }
             })
+            // lint: allow(panic) thread spawn fails only on resource exhaustion during store construction
             .expect("failed to spawn the maintenance worker");
         Self {
             signal,
@@ -118,6 +123,7 @@ impl Drop for MaintenanceWorker {
     fn drop(&mut self) {
         self.signal.stop();
         if let Some(handle) = self.handle.take() {
+            // lint: allow(panic) join fails only when the child panicked; re-raising preserves the failure
             handle.join().expect("maintenance worker panicked");
         }
     }
@@ -147,6 +153,7 @@ impl HydrationWorker {
         let handle = std::thread::Builder::new()
             .name("shift-store-hydrator".into())
             .spawn(move || core.hydrate_cold_shards(&thread_stop))
+            // lint: allow(panic) thread spawn fails only on resource exhaustion during store construction
             .expect("failed to spawn the hydration worker");
         Self {
             stop,
@@ -157,8 +164,10 @@ impl HydrationWorker {
 
 impl Drop for HydrationWorker {
     fn drop(&mut self) {
+        // lint: ordering(Relaxed) advisory shutdown flag; the join below synchronizes with the exiting thread
         self.stop.store(true, Ordering::Relaxed);
         if let Some(handle) = self.handle.take() {
+            // lint: allow(panic) join fails only when the child panicked; re-raising preserves the failure
             handle.join().expect("hydration worker panicked");
         }
     }
