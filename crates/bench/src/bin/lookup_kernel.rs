@@ -1,0 +1,17 @@
+//! Lookup-kernel suite: the software-pipelined batch kernel vs. the
+//! stage-blocked baseline (with scalar-parity checks), plus the block/wave
+//! tuning sweep.
+//!
+//! Scale with `SOSD_N` / `SOSD_QUERIES`. With `KERNEL_ASSERT=1` and at
+//! least 1M keys the run aborts unless the pipelined kernel reaches its
+//! acceptance speedup on at least half the distributions.
+
+#![forbid(unsafe_code)]
+
+use shift_bench::prelude::*;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("Shift-Table reproduction — pipelined lookup kernel (config: {cfg:?})\n");
+    experiments::emit(&experiments::lookup_kernel::run(cfg), "lookup_kernel");
+}

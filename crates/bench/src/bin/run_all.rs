@@ -32,6 +32,11 @@ fn main() {
         ("Figure 8", experiments::figure8::run, "figure8_index_size"),
         ("Figure 9", experiments::figure9::run, "figure9_layer_size"),
         (
+            "Lookup kernel",
+            experiments::lookup_kernel::run,
+            "lookup_kernel",
+        ),
+        (
             "Store (mixed workloads)",
             experiments::store_mixed::run,
             "store_mixed",

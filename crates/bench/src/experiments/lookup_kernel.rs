@@ -1,0 +1,206 @@
+//! Lookup-kernel benchmarks: the software-pipelined batch kernel vs. the
+//! stage-blocked baseline, plus the block/wave tuning sweep.
+//!
+//! Not part of the paper's evaluation: this suite measures the
+//! [`shift_table::kernel`] perf work. Two tables are produced:
+//!
+//! 1. **Pipelined vs. stage-blocked** — the same query batch resolved
+//!    through `CorrectedIndex::lower_bound_batch` (the wave-pipelined
+//!    kernel: predict → correct → touch → resolve) and through
+//!    `lower_bound_batch_blocked` (the historical stage-blocked loops, kept
+//!    as the oracle baseline), across synthetic and real-world SOSD
+//!    distributions. A parity column asserts both paths equal the scalar
+//!    `lower_bound` per query — the kernel must buy latency, never
+//!    positions. With `KERNEL_ASSERT=1` and at least
+//!    [`ASSERT_MIN_KEYS`] keys, the run aborts unless the pipelined kernel
+//!    reaches [`ASSERT_MIN_SPEEDUP`]× on at least half the distributions
+//!    (the CI `kernel-perf` job's acceptance gate).
+//! 2. **Block/wave tuning sweep** — `ns/lookup` as
+//!    [`shift_table::ShiftTableConfig::batch_block`] and
+//!    [`shift_table::ShiftTableConfig::wave_depth`] move around the
+//!    defaults (64-query blocks, 8-lookup waves), on one easy and one
+//!    adversarial distribution. The documented defaults should sit at or
+//!    near the sweep's floor; rerun on wider machines before retuning.
+
+use crate::datasets::{dataset_u64, BenchConfig};
+use crate::report::{fmt_ns, Table};
+use crate::timer::measure_lookups_batched_pair;
+use algo_index::RangeIndex;
+use shift_table::spec::IndexSpec;
+use shift_table::ShiftTableConfig;
+use sosd_data::prelude::*;
+
+/// SOSD distributions the pipelined-vs-blocked table sweeps: the four
+/// synthetic generators plus the two hardest real-world ones.
+pub const KERNEL_DATASETS: [SosdName; 6] = [
+    SosdName::Uden64,
+    SosdName::Uspr64,
+    SosdName::Logn64,
+    SosdName::Face64,
+    SosdName::Amzn64,
+    SosdName::Osmc64,
+];
+
+/// Wave depths the tuning table sweeps at the default 64-query block.
+pub const WAVE_SWEEP: [usize; 6] = [1, 4, 8, 16, 32, 64];
+
+/// Block sizes the tuning table sweeps at the default wave depth of 8.
+pub const BLOCK_SWEEP: [usize; 4] = [16, 32, 64, 128];
+
+/// Speedup floor the `KERNEL_ASSERT=1` gate enforces on at least half the
+/// swept distributions.
+pub const ASSERT_MIN_SPEEDUP: f64 = 1.15;
+
+/// The gate only engages at a scale where the key column outruns the cache
+/// hierarchy — below this the touch stage has nothing to hide.
+pub const ASSERT_MIN_KEYS: usize = 1_000_000;
+
+/// Table 1: pipelined kernel vs. stage-blocked baseline per distribution.
+fn pipelined_vs_blocked(cfg: BenchConfig, spec: IndexSpec) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Lookup kernel — pipelined vs. stage-blocked batch lower bounds \
+             (n = {}, {} queries, spec {spec}, block 64 / wave 8)",
+            cfg.keys, cfg.queries
+        ),
+        &["dataset", "blocked ns", "pipelined ns", "speedup", "parity"],
+    );
+    let mut meets_floor = 0usize;
+    for name in KERNEL_DATASETS {
+        let d = dataset_u64(name, cfg);
+        let w = Workload::uniform_keys(&d, cfg.queries, cfg.seed ^ 0x7A7A);
+        let index = spec.build_corrected(d.to_shared()).expect("sorted dataset");
+
+        // Parity first: both batch paths must equal the scalar path on
+        // every query (checked once, outside the timing loops).
+        let mut out = vec![0usize; w.queries().len()];
+        let mut mismatches = 0usize;
+        index.lower_bound_batch(w.queries(), &mut out);
+        for (&q, &got) in w.queries().iter().zip(out.iter()) {
+            mismatches += (got != index.lower_bound(q)) as usize;
+        }
+        index.lower_bound_batch_blocked(w.queries(), &mut out);
+        for (&q, &got) in w.queries().iter().zip(out.iter()) {
+            mismatches += (got != index.lower_bound(q)) as usize;
+        }
+        assert_eq!(mismatches, 0, "{name}: batch paths diverged from scalar");
+
+        // Head-to-head: interleaved rounds with a min estimator, so shared-
+        // vCPU noise and frequency drift hit both paths symmetrically
+        // instead of whichever happened to run second.
+        let ((blocked_ns, blocked_sum), (kernel_ns, kernel_sum)) = measure_lookups_batched_pair(
+            w.queries(),
+            7,
+            |qs, os| index.lower_bound_batch_blocked(qs, os),
+            |qs, os| index.lower_bound_batch(qs, os),
+        );
+        assert_eq!(blocked_sum, kernel_sum, "{name}: checksums diverged");
+
+        let speedup = if kernel_ns > 0.0 {
+            blocked_ns / kernel_ns
+        } else {
+            1.0
+        };
+        meets_floor += (speedup >= ASSERT_MIN_SPEEDUP) as usize;
+        table.add_row(vec![
+            name.to_string(),
+            fmt_ns(blocked_ns),
+            fmt_ns(kernel_ns),
+            format!("{speedup:.2}x"),
+            "exact".into(),
+        ]);
+    }
+    if std::env::var("KERNEL_ASSERT").as_deref() == Ok("1") && cfg.keys >= ASSERT_MIN_KEYS {
+        assert!(
+            meets_floor * 2 >= KERNEL_DATASETS.len(),
+            "KERNEL_ASSERT: pipelined kernel reached {ASSERT_MIN_SPEEDUP}x on only \
+             {meets_floor}/{} distributions (need at least half)",
+            KERNEL_DATASETS.len()
+        );
+        println!(
+            "[kernel-assert] ok: >= {ASSERT_MIN_SPEEDUP}x on {meets_floor}/{} distributions\n",
+            KERNEL_DATASETS.len()
+        );
+    }
+    table
+}
+
+/// Table 2: `ns/lookup` across the block/wave tuning grid.
+fn tuning_sweep(cfg: BenchConfig, spec: IndexSpec) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Lookup kernel — block/wave tuning sweep (n = {}, {} queries, spec {spec}; \
+             defaults are block 64 / wave 8)",
+            cfg.keys, cfg.queries
+        ),
+        &["dataset", "block", "wave", "ns/lookup", "vs 64/8"],
+    );
+    // One combo list, defaults first so every later row can report a ratio.
+    let mut combos: Vec<(usize, usize)> = vec![(64, 8)];
+    combos.extend(WAVE_SWEEP.iter().filter(|&&w| w != 8).map(|&w| (64, w)));
+    combos.extend(BLOCK_SWEEP.iter().filter(|&&b| b != 64).map(|&b| (b, 8)));
+    for name in [SosdName::Uden64, SosdName::Osmc64] {
+        let d = dataset_u64(name, cfg);
+        let w = Workload::uniform_keys(&d, cfg.queries, cfg.seed ^ 0x1717);
+        // Every combo is measured head-to-head against a default-config index
+        // built once, so each "vs 64/8" ratio comes from one interleaved pair
+        // (drift between rows cannot skew it).
+        let default_index = spec
+            .build_corrected_with(d.to_shared(), ShiftTableConfig::default(), 1)
+            .expect("sorted dataset");
+        for &(block, wave) in &combos {
+            let config = ShiftTableConfig::default()
+                .with_batch_block(block)
+                .with_wave_depth(wave);
+            let index = spec
+                .build_corrected_with(d.to_shared(), config, 1)
+                .expect("sorted dataset");
+            let ((default_ns, _), (ns, _)) = measure_lookups_batched_pair(
+                w.queries(),
+                5,
+                |qs, os| default_index.lower_bound_batch(qs, os),
+                |qs, os| index.lower_bound_batch(qs, os),
+            );
+            table.add_row(vec![
+                name.to_string(),
+                block.to_string(),
+                wave.to_string(),
+                fmt_ns(ns),
+                if ns > 0.0 {
+                    format!("{:.2}x", default_ns / ns)
+                } else {
+                    "-".into()
+                },
+            ]);
+        }
+    }
+    table
+}
+
+/// Run the lookup-kernel benchmark.
+pub fn run(cfg: BenchConfig) -> Vec<Table> {
+    let spec = IndexSpec::parse("im+r1").expect("builtin spec parses");
+    vec![pipelined_vs_blocked(cfg, spec), tuning_sweep(cfg, spec)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_both_tables_with_exact_parity() {
+        let tables = run(BenchConfig {
+            keys: 4_000,
+            queries: 300,
+            seed: 7,
+        });
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].row_count(), KERNEL_DATASETS.len());
+        let rendered = tables[0].render();
+        assert!(rendered.contains("exact"), "parity column must be exact");
+        assert!(!rendered.contains("MISMATCH"));
+        // Sweep: defaults row plus the two partial grids, per dataset.
+        let combos = 1 + (WAVE_SWEEP.len() - 1) + (BLOCK_SWEEP.len() - 1);
+        assert_eq!(tables[1].row_count(), 2 * combos);
+    }
+}

@@ -11,6 +11,7 @@ pub mod figure6;
 pub mod figure7;
 pub mod figure8;
 pub mod figure9;
+pub mod lookup_kernel;
 pub mod store_batch;
 pub mod store_durable;
 pub mod store_mixed;

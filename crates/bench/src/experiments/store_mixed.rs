@@ -90,7 +90,7 @@ fn single_threaded(cfg: BenchConfig, spec: IndexSpec, d: &Dataset<u64>) -> Table
     let threshold = suite_threshold(ops_per_trace);
     let mut table = Table::new(
         format!(
-            "Store — mixed workloads on face64 (n = {}, {} ops/trace, spec {spec}, delta threshold {threshold})",
+            "Store — mixed workloads on face64 (n = {}, {} ops/trace, spec {spec}, delta threshold {threshold}, pipelined batch kernel on the read path)",
             d.len(),
             ops_per_trace
         ),

@@ -43,5 +43,7 @@ pub mod prelude {
     pub use crate::memlat;
     pub use crate::report::{experiments_dir, Table};
     pub use crate::suites::{self, Competitor, MeasuredResult};
-    pub use crate::timer::{measure_build, measure_lookups, measure_lookups_batched};
+    pub use crate::timer::{
+        measure_build, measure_lookups, measure_lookups_batched, measure_lookups_batched_pair,
+    };
 }

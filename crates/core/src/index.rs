@@ -15,6 +15,7 @@ use crate::config::ShiftTableConfig;
 use crate::correction::{Correction, SearchHint};
 use crate::cost::{TuningAdvisor, TuningDecision};
 use crate::error::{first_unsorted, BuildError, CorrectionErrorStats};
+use crate::kernel;
 use crate::local_search::{binary_in_window, exponential_around, linear_in_window};
 use crate::table::ShiftTable;
 use algo_index::search::RangeIndex;
@@ -23,12 +24,6 @@ use learned_index::ModelErrorStats;
 use sosd_data::key::Key;
 use std::marker::PhantomData;
 use std::sync::{Arc, OnceLock};
-
-/// Queries per amortization block in [`RangeIndex::lower_bound_batch`]: the
-/// model-prediction, layer-lookup and local-search stages each run as a tight
-/// loop over one block, so stage state stays in registers/L1 while the block's
-/// layer entries are fetched together.
-const BATCH_BLOCK: usize = 64;
 
 /// Which correction layer (if any) the index carries.
 #[derive(Debug, Clone)]
@@ -350,13 +345,6 @@ impl<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync> CorrectedIndex<K, M, S
         }
     }
 
-    /// Is `pos` the lower bound of `q`?
-    #[inline]
-    fn is_lower_bound(&self, keys: &[K], pos: usize, q: K) -> bool {
-        let n = keys.len();
-        (pos == n || keys[pos] >= q) && (pos == 0 || keys[pos - 1] < q)
-    }
-
     /// Algorithm 1 from a range-mode hint: bounded local search, with the
     /// §3.8 repair path when the window missed (non-monotone model or far
     /// out-of-range query).
@@ -369,10 +357,39 @@ impl<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync> CorrectedIndex<K, M, S
         } else {
             binary_in_window(keys, hint.start, window, q)
         };
-        if self.is_lower_bound(keys, pos, q) {
+        if kernel::is_lower_bound(keys, pos, q) {
             pos
         } else {
             exponential_around(keys, pos.min(n - 1), q)
+        }
+    }
+
+    /// Batched lookups through the pre-pipeline **stage-blocked** loops: the
+    /// predict/correct/search stages run as per-block loops, but each local
+    /// search resolves serially with branchy routines. Kept as the benchmark
+    /// baseline the pipelined kernel is measured against and as a
+    /// differential-test oracle; production callers use
+    /// [`RangeIndex::lower_bound_batch`], which routes through
+    /// [`crate::kernel`].
+    ///
+    /// # Panics
+    /// Panics if `queries` and `out` have different lengths.
+    pub fn lower_bound_batch_blocked(&self, queries: &[K], out: &mut [usize]) {
+        // lint: allow(panic) API contract: unequal lengths would silently write predictions to wrong slots
+        assert_eq!(
+            queries.len(),
+            out.len(),
+            "lower_bound_batch_blocked requires queries and out of equal length"
+        );
+        let keys = self.keys.as_ref();
+        match (&self.layer, self.enabled) {
+            (CorrectionLayer::Range(table), true) => {
+                kernel::run_range_blocked(&self.model, table, keys, &self.config, queries, out)
+            }
+            (CorrectionLayer::Midpoint(table), true) => {
+                kernel::run_midpoint_blocked(&self.model, table, keys, queries, out)
+            }
+            _ => kernel::run_raw_blocked(&self.model, keys, queries, out),
         }
     }
 }
@@ -413,12 +430,13 @@ impl<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync> RangeIndex<K>
         }
     }
 
-    /// Batched lookups with the per-stage loops split apart: one block of
-    /// model predictions, then one block of Shift-Table lookups, then the
-    /// local searches. Each stage's memory traffic (model parameters, layer
-    /// entries, key windows) is issued back-to-back instead of interleaved,
-    /// which is the structure SIMD prediction and software prefetching attach
-    /// to.
+    /// Batched lookups through the software-pipelined [`crate::kernel`]: the
+    /// predict and correct stages run as per-block loops (issuing their
+    /// independent loads back-to-back), and the local searches are cut into
+    /// waves — the kernel touches the key cache lines of wave `i + 1` while
+    /// it resolves the branch-free searches of wave `i`, so DRAM latency
+    /// overlaps compute. Block size and wave depth come from
+    /// [`ShiftTableConfig::batch_block`] / [`ShiftTableConfig::wave_depth`].
     fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
         // lint: allow(panic) API contract: unequal lengths would silently write predictions to wrong slots
         assert_eq!(
@@ -431,55 +449,33 @@ impl<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync> RangeIndex<K>
             out.fill(0);
             return;
         }
-        // The stage buffers are reused across blocks, so entries past the
-        // current chunk length still hold values from the *previous* block.
-        // Every stage loop below is therefore truncated to `qs.len()` up
-        // front (tail chunks have `queries.len() % BATCH_BLOCK != 0`): no
-        // loop may iterate the full buffer, or it would consume a stale
-        // prediction/hint and silently return a wrong position.
-        let mut predictions = [0usize; BATCH_BLOCK];
         match (&self.layer, self.enabled) {
             (CorrectionLayer::Range(table), true) => {
-                let mut hints = [SearchHint::unbounded(0); BATCH_BLOCK];
-                for (qs, os) in queries.chunks(BATCH_BLOCK).zip(out.chunks_mut(BATCH_BLOCK)) {
-                    let predictions = &mut predictions[..qs.len()];
-                    let hints = &mut hints[..qs.len()];
-                    for (p, &q) in predictions.iter_mut().zip(qs.iter()) {
-                        *p = self.model.predict_clamped(q);
-                    }
-                    for (h, &p) in hints.iter_mut().zip(predictions.iter()) {
-                        *h = table.correct(p);
-                    }
-                    for ((o, &q), &h) in os.iter_mut().zip(qs.iter()).zip(hints.iter()) {
-                        *o = self.search_range_hint(keys, h, q);
-                    }
-                }
+                kernel::run_range(&self.model, table, keys, &self.config, queries, out)
             }
             (CorrectionLayer::Midpoint(table), true) => {
-                for (qs, os) in queries.chunks(BATCH_BLOCK).zip(out.chunks_mut(BATCH_BLOCK)) {
-                    let predictions = &mut predictions[..qs.len()];
-                    for (p, &q) in predictions.iter_mut().zip(qs.iter()) {
-                        *p = self.model.predict_clamped(q);
-                    }
-                    for p in predictions.iter_mut() {
-                        *p = table.correct(*p).start;
-                    }
-                    for ((o, &q), &start) in os.iter_mut().zip(qs.iter()).zip(predictions.iter()) {
-                        *o = exponential_around(keys, start, q);
-                    }
-                }
+                kernel::run_midpoint(&self.model, table, keys, &self.config, queries, out)
             }
-            _ => {
-                for (qs, os) in queries.chunks(BATCH_BLOCK).zip(out.chunks_mut(BATCH_BLOCK)) {
-                    let predictions = &mut predictions[..qs.len()];
-                    for (p, &q) in predictions.iter_mut().zip(qs.iter()) {
-                        *p = self.model.predict_clamped(q);
-                    }
-                    for ((o, &q), &p) in os.iter_mut().zip(qs.iter()).zip(predictions.iter()) {
-                        *o = exponential_around(keys, p, q);
-                    }
-                }
+            _ => kernel::run_raw(&self.model, keys, &self.config, queries, out),
+        }
+    }
+
+    /// Range endpoints resolved as one two-query batch through the kernel:
+    /// the start probe's and end probe's stage loads overlap instead of the
+    /// two lookups running strictly back-to-back.
+    fn range(&self, lo: K, hi: K) -> std::ops::Range<usize> {
+        if lo > hi || self.keys.as_ref().is_empty() {
+            return 0..0;
+        }
+        match hi.checked_next() {
+            Some(h) => {
+                let queries = [lo, h];
+                let mut out = [0usize; 2];
+                self.lower_bound_batch(&queries, &mut out);
+                out[0]..out[1].max(out[0])
             }
+            // `hi` is the domain maximum: the end is the key count.
+            None => self.lower_bound(lo)..self.keys.as_ref().len(),
         }
     }
 
@@ -503,6 +499,7 @@ impl<K: Key, M: CdfModel<K>, S: AsRef<[K]> + Send + Sync> RangeIndex<K>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::DEFAULT_BATCH_BLOCK as BATCH_BLOCK;
     use learned_index::prelude::*;
     use sosd_data::prelude::*;
 
@@ -518,16 +515,41 @@ mod tests {
             for (q, expected) in w.iter() {
                 assert_eq!(index.lower_bound(q), expected, "q={q}");
             }
-            // The batched path must agree with the scalar path everywhere.
+            // The batched (pipelined-kernel) path must agree with the scalar
+            // path everywhere — and so must the stage-blocked baseline.
             assert_eq!(
                 index.lower_bound_many(w.queries()),
                 w.expected().to_vec(),
                 "batch mismatch"
             );
+            let mut blocked = vec![0usize; w.queries().len()];
+            index.lower_bound_batch_blocked(w.queries(), &mut blocked);
+            assert_eq!(blocked, w.expected().to_vec(), "blocked batch mismatch");
         }
         // Out-of-range queries.
         assert_eq!(index.lower_bound(0), d.lower_bound(0));
         assert_eq!(index.lower_bound(u64::MAX), d.lower_bound(u64::MAX));
+        // Ranges resolve through the batched kernel; spot-check them against
+        // scalar probes.
+        let keys = d.as_slice();
+        for (lo, hi) in [
+            (0u64, u64::MAX),
+            (keys[0], keys[keys.len() / 2]),
+            (keys[keys.len() / 3], keys[keys.len() / 3]),
+            (u64::MAX, 0),
+        ] {
+            let expected = if lo > hi {
+                0..0
+            } else {
+                let start = d.lower_bound(lo);
+                let end = match hi.checked_next() {
+                    Some(h) => d.lower_bound(h),
+                    None => keys.len(),
+                };
+                start..end.max(start)
+            };
+            assert_eq!(index.range(lo, hi), expected, "range {lo}..={hi}");
+        }
     }
 
     #[cfg_attr(miri, ignore = "dataset too large for Miri")]
@@ -835,6 +857,14 @@ mod tests {
             ] {
                 let got = index.lower_bound_many(&queries[..len]);
                 assert_eq!(got, expected[..len], "{} len={len}", index.name());
+                let mut blocked = vec![0usize; len];
+                index.lower_bound_batch_blocked(&queries[..len], &mut blocked);
+                assert_eq!(
+                    blocked,
+                    expected[..len],
+                    "{} blocked len={len}",
+                    index.name()
+                );
                 for (&q, &e) in queries[..len].iter().zip(expected[..len].iter()) {
                     assert_eq!(index.lower_bound(q), e, "{} scalar q={q}", index.name());
                 }

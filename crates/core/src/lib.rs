@@ -44,6 +44,27 @@
 //!   §3.5 (Eq. 8) and empirical error measurement,
 //! * [`build`] — sequential and parallel (scoped-thread) builders.
 //!
+//! ## Batch kernel pipeline
+//!
+//! Batched lookups ([`algo_index::RangeIndex::lower_bound_batch`]) run
+//! through the software-pipelined kernel in [`kernel`]: each block of
+//! [`ShiftTableConfig::batch_block`] queries is predicted and corrected in
+//! stage loops (so the independent model/layer loads overlap in the memory
+//! system), and the local searches split by corrected window size:
+//! cache-line-sized windows resolve with early-exit scans (behind a
+//! [`ShiftTableConfig::wave_depth`] lookahead touch when the block also
+//! holds wide windows), and wide windows resolve breadth-first across the
+//! whole block — one iterated-interpolation probe level of independent
+//! loads per pass (block-wide memory-level parallelism instead of one
+//! lane's serial compare chain). The touch
+//! stage is plain safe Rust (bounds-checked reads into a
+//! [`std::hint::black_box`] sink — a prefetch without intrinsics); the
+//! off-by-default `prefetch` cargo feature swaps it for `_mm_prefetch` on
+//! x86_64, which is the only `unsafe` in the crate (audited, and the crate
+//! root escalates from `forbid` to `deny` only under that feature). See the
+//! [`kernel`] module docs for the wave structure and the tail-truncation
+//! invariant its reused stage buffers rely on.
+//!
 //! ## Example: owned index, built at run time
 //!
 //! ```
@@ -74,7 +95,12 @@
 //! assert_eq!(dynamic.lower_bound(data.key_at(500)), corrected.lower_bound(data.key_at(500)));
 //! ```
 
-#![forbid(unsafe_code)]
+// The default build is 100% safe Rust. The opt-in `prefetch` feature uses
+// `core::arch` prefetch intrinsics in the batch kernel's touch stage, so it
+// relaxes the crate-level `forbid` to `deny` + per-site audited
+// `#[allow(unsafe_code)]` with `// SAFETY:` comments (see `kernel.rs`).
+#![cfg_attr(not(feature = "prefetch"), forbid(unsafe_code))]
+#![cfg_attr(feature = "prefetch", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod build;
@@ -85,6 +111,7 @@ pub mod cost;
 pub mod entry;
 pub mod error;
 pub mod index;
+pub mod kernel;
 pub mod local_search;
 pub mod snapshot;
 pub mod spec;

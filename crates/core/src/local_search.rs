@@ -2,18 +2,40 @@
 //!
 //! After the model (and optionally the Shift-Table) has produced a position
 //! hint, the true lower bound is located by searching the sorted key array
-//! around that hint (Figure 1a). Three routines are provided, matching the
-//! paper's discussion:
+//! around that hint (Figure 1a). The routines match the paper's discussion:
 //!
 //! * [`linear_in_window`] — forward linear scan inside a known window; best
 //!   when the window is only a few keys (Algorithm 1 uses it below the
 //!   `linear_to_binary_threshold`),
-//! * [`binary_in_window`] — branchless binary search inside a known window;
-//!   best for larger bounded windows,
+//! * [`binary_in_window`] — binary search inside a known window; best for
+//!   larger bounded windows,
 //! * [`exponential_around`] — galloping search from an unbounded hint; used
 //!   when only a corrected *position* (midpoint mode) is known, not a window.
 //!
-//! All three return lower-bound positions over the whole array and are
+//! Three branch-free variants, whose loop structure is independent of the
+//! data, round out the toolbox (and served as stepping stones for the batch
+//! kernel's wavefront — see below):
+//!
+//! * [`branchless_count_in_window`] — the linear variant: the lower bound in
+//!   a sorted window is `start + |{k in window : k < q}|`, and the count is a
+//!   pure reduction LLVM autovectorizes (with a manual 4-wide unroll),
+//! * [`branchless_in_window`] — the binary variant: the classic conditional-
+//!   move formulation (`base += (keys[mid] < q) * half`) whose trip count
+//!   depends only on the window length,
+//! * [`interpolated_in_window`] — one interpolation probe splits the window
+//!   with a branch-free select, then [`branchless_in_window`] finishes the
+//!   surviving half. Interpolation is a *hint*, never trusted: the result is
+//!   exact for any key distribution.
+//!
+//! The batch kernel's wavefront ([`crate::kernel`]) generalizes the
+//! interpolated probe: it iterates interpolation level by level across every
+//! wide lane of a block (boundary keys cached from prior probes, every
+//! eighth level halving as a convergence guard), then finishes each lane
+//! with [`linear_in_window`] once the bracket is a few cache lines wide —
+//! measured block-wide, the early-exit scan beats both branch-free finishes
+//! because its compares are sequential and predictable.
+//!
+//! All routines return lower-bound positions over the whole array and are
 //! correct for any window/hint: if the true position lies outside the given
 //! window, the window variants return the window boundary, which the caller
 //! ([`crate::index::CorrectedIndex`]) detects and repairs.
@@ -34,9 +56,32 @@ pub fn linear_in_window<K: Key>(keys: &[K], start: usize, len: usize, q: K) -> u
     i
 }
 
-/// Branchless binary search of `keys[start..start + len]`, returning the
-/// first position with key `>= q`, or `start + len` if every key in the
-/// window is smaller. `start + len` is clamped to the array length.
+/// Branchless-count linear search of `keys[start..start + len]`: because the
+/// window is sorted, the lower bound is `start` plus the number of window
+/// keys smaller than `q`. The count is a data-independent reduction — no
+/// early exit, no branch to mispredict — written with a manual 4-wide unroll
+/// over [`slice::chunks_exact`] so LLVM vectorizes the comparison loop.
+/// Same contract as [`linear_in_window`] and always the same result.
+#[inline]
+pub fn branchless_count_in_window<K: Key>(keys: &[K], start: usize, len: usize, q: K) -> usize {
+    let start = start.min(keys.len());
+    let end = start.saturating_add(len).min(keys.len());
+    let window = &keys[start..end];
+    let mut below = 0usize;
+    let mut chunks = window.chunks_exact(4);
+    for c in &mut chunks {
+        below +=
+            (c[0] < q) as usize + (c[1] < q) as usize + (c[2] < q) as usize + (c[3] < q) as usize;
+    }
+    for &k in chunks.remainder() {
+        below += (k < q) as usize;
+    }
+    start + below
+}
+
+/// Binary search of `keys[start..start + len]`, returning the first position
+/// with key `>= q`, or `start + len` if every key in the window is smaller.
+/// `start + len` is clamped to the array length.
 #[inline]
 pub fn binary_in_window<K: Key>(keys: &[K], start: usize, len: usize, q: K) -> usize {
     let start = start.min(keys.len());
@@ -60,9 +105,81 @@ pub fn binary_in_window<K: Key>(keys: &[K], start: usize, len: usize, q: K) -> u
     }
 }
 
+/// Branch-free binary search of `keys[start..start + len]` — same contract
+/// and result as [`binary_in_window`], but the window always shrinks by
+/// `half` regardless of the comparison outcome (`base` advances by a masked
+/// `half`, a conditional move), so the loop trip count is a function of the
+/// window length alone. That makes consecutive searches in a pipelined wave
+/// uniform: no data-dependent branch separates one lookup's loads from the
+/// next lookup's.
+#[inline]
+pub fn branchless_in_window<K: Key>(keys: &[K], start: usize, len: usize, q: K) -> usize {
+    let start = start.min(keys.len());
+    let end = start.saturating_add(len).min(keys.len());
+    let mut base = start;
+    let mut remaining = end - start;
+    while remaining > 1 {
+        let half = remaining / 2;
+        // Conditional-move idiom: keep the lower half or skip past it.
+        base += ((keys[base + half - 1] < q) as usize) * half;
+        remaining -= half;
+    }
+    if remaining == 1 {
+        base + (keys[base] < q) as usize
+    } else {
+        base
+    }
+}
+
+/// Interpolated search of `keys[start..start + len]` — same contract and
+/// result as [`binary_in_window`]. One interpolation probe estimates where
+/// `q` falls between the window's first and last key and splits the window
+/// there with a branch-free select; [`branchless_in_window`] then finishes
+/// the surviving part. On near-linear windows (the common case after a
+/// Shift-Table correction) the probe lands within a cache line of the
+/// answer, halving the comparison count; on adversarial windows it merely
+/// degrades to the branch-free binary search — the result is exact either
+/// way, because the probe only narrows the bracket, never decides it.
+#[inline]
+pub fn interpolated_in_window<K: Key>(keys: &[K], start: usize, len: usize, q: K) -> usize {
+    let start = start.min(keys.len());
+    let end = start.saturating_add(len).min(keys.len());
+    let n = end - start;
+    if n <= 1 {
+        return if n == 1 && keys[start] < q {
+            start + 1
+        } else {
+            start
+        };
+    }
+    let lo = keys[start].to_f64();
+    let hi = keys[end - 1].to_f64();
+    let span = hi - lo;
+    let (sub_start, sub_len) = if span > 0.0 {
+        let frac = ((q.to_f64() - lo) / span).clamp(0.0, 1.0);
+        let g = start + ((frac * (n - 1) as f64) as usize).min(n - 1);
+        // Branch-free select of the surviving sub-window: if keys[g] < q the
+        // answer is in (g, end], otherwise in [start, g].
+        let below = (keys[g] < q) as usize;
+        (
+            start + below * (g + 1 - start),
+            below * (end - g - 1) + (1 - below) * (g + 1 - start),
+        )
+    } else {
+        // Constant window (duplicate run or f64-indistinguishable keys):
+        // nothing to interpolate on.
+        (start, n)
+    };
+    branchless_in_window(keys, sub_start, sub_len, q)
+}
+
 /// Exponential (galloping) search from an unbounded position hint: doubles
 /// the step until the lower bound is bracketed, then binary-searches the
 /// bracket. Cost is `O(log |hint − result|)`.
+///
+/// The bracketing probes are not repeated: once the gallop has compared
+/// `keys[b]` against `q`, position `b` is excluded from the window handed to
+/// [`binary_in_window`], so each boundary key is probed exactly once.
 #[inline]
 pub fn exponential_around<K: Key>(keys: &[K], hint: usize, q: K) -> usize {
     let n = keys.len();
@@ -80,7 +197,10 @@ pub fn exponential_around<K: Key>(keys: &[K], hint: usize, q: K) -> usize {
                 _ => return binary_in_window(keys, prev + 1, n - prev - 1, q),
             };
             if keys[next] >= q {
-                return binary_in_window(keys, prev + 1, next - prev, q);
+                // `keys[next] >= q` is already known: exclude `next` from the
+                // bracket (the search returns `next` when the rest of the
+                // bracket is smaller) instead of re-probing it.
+                return binary_in_window(keys, prev + 1, next - prev - 1, q);
             }
             prev = next;
             step *= 2;
@@ -95,10 +215,13 @@ pub fn exponential_around<K: Key>(keys: &[K], hint: usize, q: K) -> usize {
             }
             let next = prev.saturating_sub(step);
             if keys[next] < q {
-                return binary_in_window(keys, next + 1, prev - next, q);
+                // `keys[prev] >= q` is already known: exclude `prev`.
+                return binary_in_window(keys, next + 1, prev - next - 1, q);
             }
             if next == 0 {
-                return binary_in_window(keys, 0, prev, q);
+                // `keys[0] >= q` (the branch above did not take), so position
+                // 0 is the lower bound — no further search needed.
+                return 0;
             }
             prev = next;
             step *= 2;
@@ -142,24 +265,32 @@ mod tests {
             let len = 40.min(keys.len() - start);
             assert_eq!(linear_in_window(keys, start, len, q), expected);
             assert_eq!(binary_in_window(keys, start, len, q), expected);
+            assert_eq!(branchless_count_in_window(keys, start, len, q), expected);
+            assert_eq!(branchless_in_window(keys, start, len, q), expected);
+            assert_eq!(interpolated_in_window(keys, start, len, q), expected);
         }
     }
 
     #[test]
     fn window_searches_clamp_when_target_is_outside() {
         let keys: Vec<u64> = (0..100u64).map(|i| i * 10).collect();
-        // Target (lower bound of 995 -> index 100) is to the right of the window.
-        assert_eq!(linear_in_window(&keys, 10, 5, 995), 15);
-        assert_eq!(binary_in_window(&keys, 10, 5, 995), 15);
-        // Target (index 0) is to the left of the window.
-        assert_eq!(linear_in_window(&keys, 10, 5, 0), 10);
-        assert_eq!(binary_in_window(&keys, 10, 5, 0), 10);
-        // Window beyond the end of the array.
-        assert_eq!(linear_in_window(&keys, 98, 50, 2_000), 100);
-        assert_eq!(binary_in_window(&keys, 98, 50, 2_000), 100);
-        // Degenerate zero-length window.
-        assert_eq!(linear_in_window(&keys, 7, 0, 42), 7);
-        assert_eq!(binary_in_window(&keys, 7, 0, 42), 7);
+        let all = [
+            linear_in_window as fn(&[u64], usize, usize, u64) -> usize,
+            binary_in_window,
+            branchless_count_in_window,
+            branchless_in_window,
+            interpolated_in_window,
+        ];
+        for search in all {
+            // Target (lower bound of 995 -> index 100) is right of the window.
+            assert_eq!(search(&keys, 10, 5, 995), 15);
+            // Target (index 0) is to the left of the window.
+            assert_eq!(search(&keys, 10, 5, 0), 10);
+            // Window beyond the end of the array.
+            assert_eq!(search(&keys, 98, 50, 2_000), 100);
+            // Degenerate zero-length window.
+            assert_eq!(search(&keys, 7, 0, 42), 7);
+        }
     }
 
     #[cfg_attr(miri, ignore = "dataset too large for Miri")]
@@ -198,6 +329,9 @@ mod tests {
         }
         assert_eq!(linear_in_window(&keys, 0, 6, 4), 1);
         assert_eq!(binary_in_window(&keys, 0, 6, 4), 1);
+        assert_eq!(branchless_count_in_window(&keys, 0, 6, 4), 1);
+        assert_eq!(branchless_in_window(&keys, 0, 6, 4), 1);
+        assert_eq!(interpolated_in_window(&keys, 0, 6, 4), 1);
     }
 
     #[test]
@@ -217,6 +351,208 @@ mod tests {
             assert_eq!(linear_in_window(&keys, 0, keys.len(), q), expected, "q={q}");
             assert_eq!(binary_in_window(&keys, 0, keys.len(), q), expected, "q={q}");
             for hint in 0..keys.len() {
+                assert_eq!(
+                    exponential_around(&keys, hint, q),
+                    expected,
+                    "q={q} hint={hint}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn branch_free_variants_equal_binary_on_every_subwindow() {
+        // Exhaustive (start, len, q) sweep over a duplicate-heavy array: the
+        // three branch-free routines must return exactly what the reference
+        // window search returns for *every* window, including windows that
+        // miss the target, zero-length windows and windows past the end.
+        let keys = vec![2u64, 4, 4, 6, 8, 8, 8, 10, 10, 13];
+        for q in 0..=15u64 {
+            for start in 0..=keys.len() + 1 {
+                for len in 0..=keys.len() + 2 {
+                    let expected = binary_in_window(&keys, start, len, q);
+                    assert_eq!(
+                        branchless_in_window(&keys, start, len, q),
+                        expected,
+                        "branchless q={q} start={start} len={len}"
+                    );
+                    assert_eq!(
+                        branchless_count_in_window(&keys, start, len, q),
+                        expected,
+                        "count q={q} start={start} len={len}"
+                    );
+                    assert_eq!(
+                        interpolated_in_window(&keys, start, len, q),
+                        expected,
+                        "interpolated q={q} start={start} len={len}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[cfg_attr(miri, ignore = "dataset too large for Miri")]
+    #[test]
+    fn branch_free_variants_match_reference_on_skewed_data() {
+        // Heavy-tailed gaps stress the interpolation probe: it lands far from
+        // the answer, and correctness must not depend on probe quality.
+        let d: Dataset<u64> = SosdName::Osmc64.generate(5_000, 9);
+        let keys = d.as_slice();
+        let w = Workload::uniform_domain(&d, 400, 11);
+        for (q, expected) in w.iter() {
+            for (off, len) in [(0usize, keys.len()), (50, 200), (3, 9), (0, 1)] {
+                let start = expected.saturating_sub(off);
+                let want = binary_in_window(keys, start, len, q);
+                assert_eq!(branchless_in_window(keys, start, len, q), want);
+                assert_eq!(branchless_count_in_window(keys, start, len, q), want);
+                assert_eq!(interpolated_in_window(keys, start, len, q), want);
+            }
+        }
+    }
+
+    /// A `u64` wrapper whose comparisons are counted, for probe-accounting
+    /// regression tests.
+    #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+    struct CountedKey(u64);
+
+    thread_local! {
+        static COMPARES: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    }
+
+    impl PartialOrd for CountedKey {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl Ord for CountedKey {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            COMPARES.with(|c| c.set(c.get() + 1));
+            self.0.cmp(&other.0)
+        }
+    }
+
+    impl std::fmt::Display for CountedKey {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl Key for CountedKey {
+        const BITS: u32 = 64;
+        const MIN_KEY: Self = CountedKey(u64::MIN);
+        const MAX_KEY: Self = CountedKey(u64::MAX);
+        fn to_u64(self) -> u64 {
+            self.0
+        }
+        fn from_u64_saturating(v: u64) -> Self {
+            CountedKey(v)
+        }
+    }
+
+    fn compares_during<T>(f: impl FnOnce() -> T) -> (T, usize) {
+        COMPARES.with(|c| c.set(0));
+        let r = f();
+        (r, COMPARES.with(|c| c.get()))
+    }
+
+    /// The pre-fix galloping search: its bracket windows include the boundary
+    /// position the gallop already probed, so the binary phase re-compares a
+    /// key whose ordering against `q` is known.
+    fn exponential_around_with_reprobe<K: Key>(keys: &[K], hint: usize, q: K) -> usize {
+        let n = keys.len();
+        if n == 0 {
+            return 0;
+        }
+        let hint = hint.min(n - 1);
+        if keys[hint] < q {
+            let mut step = 1usize;
+            let mut prev = hint;
+            loop {
+                let next = match prev.checked_add(step) {
+                    Some(i) if i < n => i,
+                    _ => return binary_in_window(keys, prev + 1, n - prev - 1, q),
+                };
+                if keys[next] >= q {
+                    return binary_in_window(keys, prev + 1, next - prev, q);
+                }
+                prev = next;
+                step *= 2;
+            }
+        } else {
+            let mut step = 1usize;
+            let mut prev = hint;
+            loop {
+                if prev == 0 {
+                    return 0;
+                }
+                let next = prev.saturating_sub(step);
+                if keys[next] < q {
+                    return binary_in_window(keys, next + 1, prev - next, q);
+                }
+                if next == 0 {
+                    return binary_in_window(keys, 0, prev, q);
+                }
+                prev = next;
+                step *= 2;
+            }
+        }
+    }
+
+    #[test]
+    fn galloping_brackets_skip_the_already_probed_boundary() {
+        // Regression for the boundary re-probe micro-fix: the fixed gallop
+        // must return the same position as the re-probing variant everywhere
+        // while performing strictly fewer key comparisons in aggregate.
+        let keys: Vec<CountedKey> = (0..4_096u64).map(|i| CountedKey(i * 3)).collect();
+        let mut total_new = 0usize;
+        let mut total_old = 0usize;
+        for hint in [0usize, 1, 7, 100, 2_048, 4_095, 9_999] {
+            for raw in [0u64, 1, 3, 300, 301, 3_000, 6_144, 6_145, 12_285, 20_000] {
+                let q = CountedKey(raw);
+                let expected = keys.partition_point(|&k| k < q);
+                let (got_new, n_new) = compares_during(|| exponential_around(&keys, hint, q));
+                let (got_old, n_old) =
+                    compares_during(|| exponential_around_with_reprobe(&keys, hint, q));
+                assert_eq!(got_new, expected, "hint={hint} q={raw}");
+                assert_eq!(got_old, expected, "hint={hint} q={raw}");
+                // The shrunken bracket can shift the binary search onto a
+                // slightly different halving path, so allow per-case jitter;
+                // the aggregate below must still come out ahead.
+                assert!(
+                    n_new <= n_old + 1,
+                    "hint={hint} q={raw}: {n_new} vs {n_old} compares"
+                );
+                total_new += n_new;
+                total_old += n_old;
+            }
+        }
+        assert!(
+            total_new < total_old,
+            "boundary exclusion must save comparisons: {total_new} vs {total_old}"
+        );
+
+        // The `keys[0] >= q` left-gallop exit returns without any binary
+        // phase at all: gallop comparisons only (hint probe + log2 steps).
+        let (pos, n) = compares_during(|| exponential_around(&keys, 4_095, CountedKey(0)));
+        assert_eq!(pos, 0);
+        assert!(
+            n <= 14,
+            "left exit should be gallop-only, took {n} compares"
+        );
+    }
+
+    #[test]
+    fn duplicate_runs_at_gallop_brackets_stay_exact() {
+        // Duplicates sitting exactly on a gallop boundary are the case where
+        // an off-by-one in the shrunken bracket would surface: the first
+        // occurrence must still be found from every hint.
+        let mut keys: Vec<u64> = vec![0, 1, 2];
+        keys.extend(std::iter::repeat_n(50u64, 37));
+        keys.extend([60, 61, 62, 63]);
+        for hint in 0..keys.len() + 3 {
+            for q in [0u64, 1, 3, 49, 50, 51, 59, 60, 64, 100] {
+                let expected = reference(&keys, q);
                 assert_eq!(
                     exponential_around(&keys, hint, q),
                     expected,

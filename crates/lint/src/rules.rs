@@ -239,8 +239,15 @@ fn unsafe_hygiene(ctx: &FileCtx, scope: RuleScope, out: &mut Vec<Diagnostic>) {
 }
 
 /// Detect the inner attribute `#![forbid(unsafe_code)]` anywhere in a file.
+///
+/// The feature-gated form
+/// `#![cfg_attr(not(feature = "…"), forbid(unsafe_code))]` also satisfies
+/// the rule: a crate whose default build forbids unsafe and whose opt-in
+/// feature escalates only to `deny` (with per-site `// SAFETY:` audits,
+/// which this rule still enforces) keeps the machine-checked guarantee for
+/// every default consumer.
 fn has_forbid_unsafe(toks: &[Tok]) -> bool {
-    toks.windows(8).any(|w| {
+    let plain = toks.windows(8).any(|w| {
         w[0].is_punct('#')
             && w[1].is_punct('!')
             && w[2].is_punct('[')
@@ -249,7 +256,29 @@ fn has_forbid_unsafe(toks: &[Tok]) -> bool {
             && w[5].is_ident("unsafe_code")
             && w[6].is_punct(')')
             && w[7].is_punct(']')
-    })
+    });
+    // `# ! [ cfg_attr ( not ( feature = <str> ) , forbid ( unsafe_code ) ) ]`
+    let feature_gated = toks.windows(18).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("cfg_attr")
+            && w[4].is_punct('(')
+            && w[5].is_ident("not")
+            && w[6].is_punct('(')
+            && w[7].is_ident("feature")
+            && w[8].is_punct('=')
+            && w[9].kind == TokKind::Str
+            && w[10].is_punct(')')
+            && w[11].is_punct(',')
+            && w[12].is_ident("forbid")
+            && w[13].is_punct('(')
+            && w[14].is_ident("unsafe_code")
+            && w[15].is_punct(')')
+            && w[16].is_punct(')')
+            && w[17].is_punct(']')
+    });
+    plain || feature_gated
 }
 
 /// `.sync()` is included alongside the raw fd syncs: the WAL writer's

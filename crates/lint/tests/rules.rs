@@ -162,6 +162,30 @@ fn crate_root_with_forbid_unsafe_is_clean() {
 }
 
 #[test]
+fn crate_root_with_feature_gated_forbid_is_clean() {
+    // The default build still forbids unsafe; an opt-in feature may relax to
+    // `deny` + audited `// SAFETY:` sites, which rule 3 keeps enforcing.
+    let src = "\
+#![cfg_attr(not(feature = \"prefetch\"), forbid(unsafe_code))]
+#![cfg_attr(feature = \"prefetch\", deny(unsafe_code))]
+pub mod x;";
+    assert_eq!(
+        check_source("crates/store/src/lib.rs", src).len(),
+        0,
+        "cfg_attr(not(feature), forbid(unsafe_code)) satisfies the rule"
+    );
+    // A cfg_attr that only *denies* does not count as a forbid.
+    let deny_only = "#![cfg_attr(not(feature = \"x\"), deny(unsafe_code))]\npub mod x;";
+    assert_eq!(
+        check_source("crates/store/src/lib.rs", deny_only)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect::<Vec<_>>(),
+        vec!["unsafe-hygiene"]
+    );
+}
+
+#[test]
 fn unsafe_needs_a_safety_comment() {
     let bare = "fn f() { unsafe { std::hint::unreachable_unchecked() } }";
     assert_eq!(bench_findings(bare), vec!["unsafe-hygiene"]);

@@ -279,6 +279,20 @@ impl<K: Key> DeltaChain<K> {
         self.runs.iter().map(|r| r.net_of(k)).sum()
     }
 
+    /// Batched [`DeltaChain::net_below`]: accumulate the prefix sum of every
+    /// query into `acc` (callers zero it first). The loop nest is
+    /// **run-outer** so one run's entry array stays cache-resident across
+    /// the whole query block — the chain-side half of the store's pipelined
+    /// batch read path (see `shard.rs`).
+    pub fn net_below_batch(&self, queries: &[K], acc: &mut [i64]) {
+        debug_assert_eq!(queries.len(), acc.len());
+        for run in &self.runs {
+            for (a, &q) in acc.iter_mut().zip(queries.iter()) {
+                *a += run.net_below(q);
+            }
+        }
+    }
+
     /// Net change to the merged key count (cached).
     #[inline]
     pub fn len_delta(&self) -> i64 {
@@ -585,6 +599,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn net_below_batch_matches_scalar_and_accumulates() {
+        let ops: Vec<(u64, i64)> = vec![(2, 1), (2, 1), (7, -1), (9, 1), (50, 1), (50, -1)];
+        for max_run_len in [1usize, 2, 64] {
+            let c = chain_of(&ops, max_run_len);
+            let queries = [0u64, 2, 3, 7, 8, 9, 10, 50, 51, u64::MAX];
+            let mut acc = [0i64; 10];
+            c.net_below_batch(&queries, &mut acc);
+            for (&q, &a) in queries.iter().zip(acc.iter()) {
+                assert_eq!(a, c.net_below(q), "q={q} max_run_len={max_run_len}");
+            }
+            // The batch accumulates into (not overwrites) the scratch, so a
+            // pre-seeded accumulator keeps its floor.
+            let mut seeded = [100i64; 10];
+            c.net_below_batch(&queries, &mut seeded);
+            for (&q, &a) in queries.iter().zip(seeded.iter()) {
+                assert_eq!(a, 100 + c.net_below(q), "seeded q={q}");
+            }
+        }
+        // The empty chain is a no-op.
+        let mut acc = [7i64; 3];
+        DeltaChain::<u64>::new().net_below_batch(&[1, 2, 3], &mut acc);
+        assert_eq!(acc, [7, 7, 7]);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!
 //! * [`ShardedIndex`] — a read-only index range-partitioned across `N`
 //!   shards behind a fence-key router; batched lookups are grouped by shard
-//!   so each shard's stage-blocked batch path is preserved.
+//!   so each shard's pipelined batch kernel is preserved.
 //! * [`StoreShard`] — the updatable building block: an epoch-stamped
 //!   [`ShardSnapshot`] (sorted base + learned index) paired with an
 //!   immutable [`DeltaChain`] of buffered writes, published together as one
@@ -19,6 +19,21 @@
 //!
 //! Both sharded types implement [`algo_index::RangeIndex`], so a store drops
 //! into every harness that benchmarks the static indexes.
+//!
+//! ## Kernel-backed read path
+//!
+//! Every batched read bottoms out in the core crate's software-pipelined
+//! lookup kernel ([`shift_table::kernel`]): per-shard query groups run the
+//! corrected index's predict → correct → touch → resolve wave pipeline, the
+//! delta shift is accumulated **run-outer** per block
+//! ([`DeltaChain::net_below_batch`]) so a run's entry array stays
+//! cache-resident across the whole block, and a still-cold base answers
+//! batches through its own route → touch → resolve stage split
+//! ([`persist::v2::ColdBase::lower_bound_batch`]). Ranges ride the same
+//! path: both endpoints of a snapshot's `range` (and
+//! [`ShardState::range`]) travel as one two-query batch whenever they
+//! resolve in one shard, and [`StoreSnapshot::scan`] derives its per-shard
+//! start positions from the kernel-backed `range` of each pinned index.
 //!
 //! ## Concurrency model
 //!

@@ -231,6 +231,51 @@ impl<K: Key> ColdBase<K> {
         self.cum[b - 1] + block_lower_bound(self.block_data(b - 1), meta.count as usize, q)
     }
 
+    /// Batched lower bounds with the same stage split as the core batch
+    /// kernel ([`shift_table::kernel`]): per block of queries, **route**
+    /// them all over the (cache-resident) first-key array, then **touch**
+    /// the midpoint byte of every routed snapshot block — bounds-checked
+    /// reads folded into a [`std::hint::black_box`] sink, so the raw block
+    /// bytes start travelling toward the cache as independent overlapping
+    /// loads — and only then **resolve** the per-block binary searches.
+    pub fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
+        debug_assert_eq!(queries.len(), out.len());
+        if self.total == 0 {
+            out.fill(0);
+            return;
+        }
+        const BLOCK: usize = shift_table::kernel::DEFAULT_BATCH_BLOCK;
+        let mut routed = [0usize; BLOCK];
+        let mut touched = 0u64;
+        for (qs, os) in queries.chunks(BLOCK).zip(out.chunks_mut(BLOCK)) {
+            let routed = &mut routed[..qs.len()];
+            // Stage 1: route every query by its block's first key.
+            for (r, &q) in routed.iter_mut().zip(qs.iter()) {
+                *r = self
+                    .first_keys
+                    .partition_point(|fk| fk.to_u64() < q.to_u64());
+            }
+            // Stage 2: touch each routed block's midpoint entry.
+            for &r in routed.iter() {
+                if r > 0 {
+                    let meta = &self.blocks[r - 1];
+                    touched ^= key_u64(self.block_data(r - 1), meta.count as usize / 2);
+                }
+            }
+            // Stage 3: resolve each query inside its single block.
+            for ((o, &q), &r) in os.iter_mut().zip(qs.iter()).zip(routed.iter()) {
+                *o = if r == 0 {
+                    0
+                } else {
+                    let meta = &self.blocks[r - 1];
+                    self.cum[r - 1]
+                        + block_lower_bound(self.block_data(r - 1), meta.count as usize, q.to_u64())
+                };
+            }
+        }
+        std::hint::black_box(touched);
+    }
+
     /// Occurrence count of exactly `k`.
     pub fn count_of(&self, k: K) -> usize {
         let start = self.lower_bound(k);
@@ -273,13 +318,24 @@ impl<K: Key> ColdBase<K> {
 /// [`RangeIndex`] adapter over a shared [`ColdBase`]: what a cold shard
 /// publishes in place of a trained model. Routing costs one binary search
 /// over the per-block first keys plus one over a single block's raw bytes —
-/// no decode, no training.
+/// no decode, no training. Batched probes override the trait default and
+/// run [`ColdBase::lower_bound_batch`]'s route/touch/resolve stage split.
 #[derive(Debug)]
 pub struct ColdBlockIndex<K: Key>(pub Arc<ColdBase<K>>);
 
 impl<K: Key> RangeIndex<K> for ColdBlockIndex<K> {
     fn lower_bound(&self, q: K) -> usize {
         self.0.lower_bound(q)
+    }
+
+    fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
+        // lint: allow(panic) API contract: unequal lengths would silently write positions to wrong slots
+        assert_eq!(
+            queries.len(),
+            out.len(),
+            "lower_bound_batch requires queries and out of equal length"
+        );
+        self.0.lower_bound_batch(queries, out);
     }
 
     fn len(&self) -> usize {

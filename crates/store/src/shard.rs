@@ -191,9 +191,12 @@ impl<K: Key> ShardState<K> {
     }
 
     /// Batched lower bounds over this state's merged view: the base
-    /// positions go through the pinned index's stage-blocked batch path,
-    /// then each is shifted by the chain's prefix sums. With an empty chain
-    /// the shift loop is skipped entirely.
+    /// positions go through the pinned index's pipelined batch kernel
+    /// ([`shift_table::kernel`]), then each block of positions is shifted by
+    /// the chain's prefix sums — accumulated run-outer into a stack scratch
+    /// ([`DeltaChain::net_below_batch`]) so a run's entry array stays
+    /// cache-resident across the block. With an empty chain the shift stage
+    /// is skipped entirely.
     pub fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
         // lint: allow(panic) API contract: slices must be equal length — zip-truncating would silently serve wrong positions
         assert_eq!(
@@ -205,24 +208,38 @@ impl<K: Key> ShardState<K> {
         if self.delta.entry_count() == 0 {
             return;
         }
-        for (o, &q) in out.iter_mut().zip(queries.iter()) {
-            *o = merged_position(*o, self.delta.net_below(q));
+        const BLOCK: usize = shift_table::kernel::DEFAULT_BATCH_BLOCK;
+        let mut acc = [0i64; BLOCK];
+        for (qs, os) in queries.chunks(BLOCK).zip(out.chunks_mut(BLOCK)) {
+            let acc = &mut acc[..qs.len()];
+            acc.fill(0);
+            self.delta.net_below_batch(qs, acc);
+            for (o, &net) in os.iter_mut().zip(acc.iter()) {
+                *o = merged_position(*o, net);
+            }
         }
     }
 
     /// Range query `lo <= key <= hi` over this state's merged view, as a
     /// half-open position range. Both endpoints resolve against the same
-    /// immutable state by construction.
+    /// immutable state by construction; they travel as one two-query batch
+    /// so the pinned index's pipelined kernel overlaps their probes.
     pub fn range(&self, lo: K, hi: K) -> std::ops::Range<usize> {
         if lo > hi {
             return 0..0;
         }
-        let start = self.lower_bound(lo);
-        let end = match hi.checked_next() {
-            Some(h) => self.lower_bound(h),
-            None => self.merged_len(),
-        };
-        start..end.max(start)
+        match hi.checked_next() {
+            Some(h) => {
+                let queries = [lo, h];
+                let mut out = [0usize; 2];
+                self.lower_bound_batch(&queries, &mut out);
+                out[0]..out[1].max(out[0])
+            }
+            None => {
+                let start = self.lower_bound(lo);
+                start..self.merged_len().max(start)
+            }
+        }
     }
 
     /// Materialise this state's merged key column (base with the chain
@@ -426,9 +443,9 @@ impl<K: Key> StoreShard<K> {
     }
 
     /// Batched lower bounds over the merged view: the base positions are
-    /// resolved through the pinned index's stage-blocked batch path, then
-    /// each is shifted by the chain's prefix sums. With an empty chain the
-    /// shift loop is skipped entirely.
+    /// resolved through the pinned index's pipelined batch kernel, then
+    /// each block is shifted by the chain's prefix sums. With an empty chain
+    /// the shift stage is skipped entirely.
     pub fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
         self.state.load().lower_bound_batch(queries, out);
     }

@@ -92,7 +92,10 @@ impl<K: Key> StoreSnapshot<K> {
 
     /// Materialise every key in `lo ..= hi` at this snapshot, in sorted
     /// order — the snapshot scan. Cost is bounded by the result size plus
-    /// two probes per touched shard, never a whole-shard merge.
+    /// two probes per touched shard, never a whole-shard merge. The start
+    /// positions come from each pinned index's `range`, which the corrected
+    /// index answers through its batched kernel (both endpoints travel as
+    /// one two-query batch).
     pub fn scan(&self, lo: K, hi: K) -> Vec<K> {
         if lo > hi || self.total == 0 {
             return Vec::new();
@@ -113,9 +116,11 @@ impl<K: Key> RangeIndex<K> for StoreSnapshot<K> {
         self.offsets[s] + self.states[s].lower_bound(q)
     }
 
-    /// Batched lookups grouped by shard (each shard's stage-blocked batch
-    /// path stays intact), resolved entirely against the pinned cut — exact
-    /// even while writers race the caller.
+    /// Batched lookups grouped by shard — each group runs the shard's
+    /// pipelined batch kernel (see [`shift_table::kernel`]) over the pinned
+    /// state, so the prefetch-overlapped read path serves store-wide
+    /// batches too — resolved entirely against the pinned cut: exact even
+    /// while writers race the caller.
     fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
         dispatch_batch_by_shard(
             self.table.router(),
@@ -132,16 +137,29 @@ impl<K: Key> RangeIndex<K> for StoreSnapshot<K> {
             return 0..0;
         }
         let router = self.table.router();
-        let s = router.shard_of(lo);
-        let start = self.offsets[s] + self.states[s].lower_bound(lo);
-        let end = match hi.checked_next() {
+        let s_lo = router.shard_of(lo);
+        match hi.checked_next() {
             Some(h) => {
-                let s = router.shard_of(h);
-                self.offsets[s] + self.states[s].lower_bound(h)
+                let s_hi = router.shard_of(h);
+                if s_lo == s_hi {
+                    // Both endpoints resolve inside one pinned state: ride
+                    // the shard's two-query batch through the kernel.
+                    let queries = [lo, h];
+                    let mut out = [0usize; 2];
+                    self.states[s_lo].lower_bound_batch(&queries, &mut out);
+                    let start = self.offsets[s_lo] + out[0];
+                    start..(self.offsets[s_lo] + out[1]).max(start)
+                } else {
+                    let start = self.offsets[s_lo] + self.states[s_lo].lower_bound(lo);
+                    let end = self.offsets[s_hi] + self.states[s_hi].lower_bound(h);
+                    start..end.max(start)
+                }
             }
-            None => self.total,
-        };
-        start..end.max(start)
+            None => {
+                let start = self.offsets[s_lo] + self.states[s_lo].lower_bound(lo);
+                start..self.total
+            }
+        }
     }
 
     fn len(&self) -> usize {

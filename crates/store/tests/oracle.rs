@@ -94,6 +94,111 @@ fn probe_set(rng: &mut SplitMix64, oracle: &Oracle) -> Vec<u64> {
     probes
 }
 
+/// Pinned snapshots keep serving **batched** reads from their frozen cut
+/// while churn, rebuilds and flushes race them: every snapshot taken during
+/// a mixed trace is paired with a clone of the oracle at capture time, and
+/// `lower_bound_batch` / `range` / `scan` against the pinned view must equal
+/// that frozen oracle — verified twice, once mid-trace and once after all
+/// later churn has landed, so repeatability is part of the contract. Batch
+/// lengths are deliberately not multiples of the kernel's 64-query block.
+#[test]
+fn pinned_snapshots_serve_batched_reads_from_their_frozen_cut_during_churn() {
+    let mut rng = SplitMix64::new(0xBA7C_4E11);
+    for spec_str in ["im+r1", "rmi:64+s8", "pgm:32+auto"] {
+        let spec = IndexSpec::parse(spec_str).unwrap();
+        for shards in [1usize, 5] {
+            let mut base: Vec<u64> = (0..1_400).map(|_| rng.next_below(40_000)).collect();
+            base.sort_unstable();
+            let mut oracle = Oracle { keys: base.clone() };
+            let config = StoreConfig::new(spec).shards(shards).delta_threshold(16);
+            let store = ShardedStore::build(config, &base).unwrap();
+            let tag = format!("{spec} shards={shards}");
+
+            let frozen_matches = |snap: &shift_store::StoreSnapshot<u64>,
+                                  keys: &[u64],
+                                  probes: &[u64],
+                                  tag: &str| {
+                let expected: Vec<usize> = probes
+                    .iter()
+                    .map(|&q| keys.partition_point(|&x| x < q))
+                    .collect();
+                let mut out = vec![0usize; probes.len()];
+                snap.lower_bound_batch(probes, &mut out);
+                assert_eq!(out, expected, "{tag}: pinned batch");
+                for pair in probes.chunks(2) {
+                    if pair.len() < 2 {
+                        continue;
+                    }
+                    let (lo, hi) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+                    let start = keys.partition_point(|&x| x < lo);
+                    let end = match hi.checked_add(1) {
+                        Some(h) => keys.partition_point(|&x| x < h),
+                        None => keys.len(),
+                    };
+                    assert_eq!(snap.range(lo, hi), start..end.max(start), "{tag}: range");
+                    assert_eq!(
+                        snap.scan(lo, hi),
+                        keys[start..end.max(start)],
+                        "{tag}: scan"
+                    );
+                }
+            };
+
+            // Churn with a snapshot pinned every 80 steps; verify each new
+            // snapshot immediately against its frozen oracle.
+            let mut pinned: Vec<(shift_store::StoreSnapshot<u64>, Vec<u64>)> = Vec::new();
+            for step in 0..400 {
+                match rng.next_below(10) {
+                    0..=3 => {
+                        let k = rng.next_below(50_000);
+                        store.insert(k).unwrap();
+                        oracle.insert(k);
+                    }
+                    4..=5 => {
+                        let k = if !oracle.keys.is_empty() && rng.next_below(4) != 0 {
+                            oracle.keys[rng.next_below(oracle.keys.len() as u64) as usize]
+                        } else {
+                            rng.next_below(50_000)
+                        };
+                        assert_eq!(store.delete(k).unwrap(), oracle.delete(k), "{tag} del {k}");
+                    }
+                    _ => {
+                        let q = rng.next_below(60_000);
+                        assert_eq!(store.lower_bound(q), oracle.lower_bound(q), "{tag} q={q}");
+                    }
+                }
+                if step % 80 == 0 {
+                    let snap = store.snapshot();
+                    // 131 probes: straddles two 64-query kernel blocks with a
+                    // 3-query tail.
+                    let mut probes = vec![0u64, 1, u64::MAX];
+                    for _ in 0..64 {
+                        let q = rng.next_below(60_000);
+                        probes.push(q);
+                        probes.push(q.saturating_add(1));
+                    }
+                    frozen_matches(&snap, &oracle.keys, &probes, &format!("{tag} step {step}"));
+                    pinned.push((snap, oracle.keys.clone()));
+                }
+            }
+            assert!(store.total_rebuilds() > 0, "{tag}: trace must rebuild");
+            store.flush().unwrap();
+
+            // Every snapshot still answers from its own cut after all later
+            // churn, rebuilds and the final flush have landed.
+            let mut probes = vec![0u64, 1, u64::MAX];
+            for _ in 0..64 {
+                let q = rng.next_below(60_000);
+                probes.push(q);
+                probes.push(q.saturating_add(1));
+            }
+            for (i, (snap, keys)) in pinned.iter().enumerate() {
+                frozen_matches(snap, keys, &probes, &format!("{tag} pinned#{i} post"));
+            }
+        }
+    }
+}
+
 #[test]
 fn store_reads_match_a_sorted_vec_oracle_for_every_spec_and_shard_count() {
     let combos = IndexSpec::all_combinations();

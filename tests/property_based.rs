@@ -172,6 +172,97 @@ fn every_spec_combination_is_exact_on_all_sosd_generators() {
     }
 }
 
+/// For **every** `IndexSpec` combination, the pipelined batch kernel, the
+/// stage-blocked baseline and the scalar path all equal
+/// `slice::partition_point` — on SOSD-shaped data and on adversarial
+/// shapes (empty and single-key columns, duplicate-heavy runs), with query
+/// slices whose lengths are deliberately not multiples of the kernel's
+/// batch block (so the tail-truncation invariant is exercised every case).
+#[test]
+fn batched_kernel_equals_blocked_and_reference_for_every_spec() {
+    let mut dup_heavy: Vec<u64> = (0..1_500u64).map(|v| (v % 13) * 100).collect();
+    dup_heavy.sort_unstable();
+    let shapes: Vec<(&str, Vec<u64>)> = vec![
+        ("empty", Vec::new()),
+        ("single", vec![42]),
+        ("dup-heavy", dup_heavy),
+        (
+            "osmc",
+            SosdName::Osmc64.generate(1_500, 99).as_slice().to_vec(),
+        ),
+        (
+            "face",
+            SosdName::Face64.generate(1_500, 99).as_slice().to_vec(),
+        ),
+    ];
+    // 0 and 1 are degenerate batches; 63/65/130/203 straddle the 64-query
+    // default block without ever being a multiple of it.
+    let lens = [0usize, 1, 63, 64, 65, 130, 203];
+    for (label, keys) in &shapes {
+        let mut rng = SplitMix64::new(0x5EED_0010);
+        let pool: Vec<u64> = (0..lens.iter().copied().max().unwrap())
+            .map(|_| match rng.next_below(5) {
+                0 if !keys.is_empty() => keys[rng.next_below(keys.len() as u64) as usize],
+                1 if !keys.is_empty() => {
+                    keys[rng.next_below(keys.len() as u64) as usize].saturating_add(1)
+                }
+                2 => rng.next_u64(),
+                3 => 0,
+                _ => u64::MAX,
+            })
+            .collect();
+        let expected: Vec<usize> = pool
+            .iter()
+            .map(|&q| keys.partition_point(|&k| k < q))
+            .collect();
+        let shared: std::sync::Arc<[u64]> = keys.clone().into();
+        for spec in IndexSpec::all_combinations() {
+            let index = spec.build_corrected(shared.clone()).unwrap();
+            for &len in &lens {
+                let queries = &pool[..len];
+                let mut kernel = vec![0usize; len];
+                let mut blocked = vec![0usize; len];
+                index.lower_bound_batch(queries, &mut kernel);
+                index.lower_bound_batch_blocked(queries, &mut blocked);
+                assert_eq!(kernel, expected[..len], "{label} {spec} kernel len={len}");
+                assert_eq!(blocked, expected[..len], "{label} {spec} blocked len={len}");
+                for (&q, &e) in queries.iter().zip(expected.iter()) {
+                    assert_eq!(index.lower_bound(q), e, "{label} {spec} scalar q={q}");
+                }
+            }
+        }
+    }
+}
+
+/// The kernel stays exact across the whole block/wave tuning grid (clamping
+/// included), not just the defaults: every configured index must equal the
+/// reference on the same adversarial query pool.
+#[test]
+fn batched_kernel_is_exact_across_the_tuning_grid() {
+    let dataset: Dataset<u64> = SosdName::Amzn64.generate(2_000, 5);
+    let shared = dataset.to_shared();
+    let mut workload = Workload::uniform_keys(&dataset, 150, 11).queries().to_vec();
+    workload.extend([0, 1, u64::MAX]);
+    let expected: Vec<usize> = workload
+        .iter()
+        .map(|&q| dataset.as_slice().partition_point(|&k| k < q))
+        .collect();
+    let spec = IndexSpec::parse("im+r1").unwrap();
+    for block in [1usize, 2, 7, 64, 128, 100_000] {
+        for wave in [1usize, 3, 8, 64, 100_000] {
+            let config = ShiftTableConfig::default()
+                .with_batch_block(block)
+                .with_wave_depth(wave);
+            let index = spec
+                .build_corrected_with(shared.clone(), config, 1)
+                .unwrap();
+            let mut out = vec![0usize; workload.len()];
+            index.lower_bound_batch(&workload, &mut out);
+            assert_eq!(out, expected, "block={block} wave={wave}");
+        }
+    }
+}
+
 /// Spec strings round-trip through `Display`/`parse`, and malformed specs are
 /// rejected with the right error class.
 #[test]
