@@ -149,7 +149,7 @@ pub fn run(cfg: BenchConfig) -> Vec<Table> {
         black_box(checksum);
         let expected_len = (d.len() as i64 + net) as usize;
         let stats = store.durability_stats().expect("durable store");
-        assert!(store.take_maintenance_error().is_none());
+        assert!(store.take_maintenance_errors().is_empty());
         drop(store); // "crash": no flush, no final checkpoint
 
         let reopen = Instant::now();

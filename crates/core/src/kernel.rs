@@ -169,6 +169,11 @@ pub(crate) fn run_range<K: Key, M: CdfModel<K> + ?Sized>(
     }
     let (block, wave) = block_and_wave(config);
     let threshold = config.linear_to_binary_threshold;
+    // Kernel statistics: plain local accumulators in the loop, one set of
+    // relaxed atomic adds at the end — and only when someone is listening
+    // (the gate is a predicted branch per call when stats are off).
+    let stats_on = config.kernel_stats || crate::stats::enabled();
+    let (mut st_blocks, mut st_wide, mut st_levels) = (0u64, 0u64, 0u64);
     let mut predictions = [0usize; MAX_BATCH_BLOCK];
     let mut hints = [SearchHint::unbounded(0); MAX_BATCH_BLOCK];
     // Lane lists and wavefront state, indexed by cohort slot.
@@ -318,6 +323,14 @@ pub(crate) fn run_range<K: Key, M: CdfModel<K> + ?Sized>(
             let pos = linear_in_window(keys, blo[b], bhi[b] - blo[b], qs[i]);
             os[i] = repair(keys, pos, qs[i]);
         }
+        if stats_on {
+            st_blocks += 1;
+            st_wide += nb as u64;
+            st_levels += level as u64;
+        }
+    }
+    if stats_on {
+        crate::stats::record(st_blocks, queries.len() as u64, st_wide, st_levels);
     }
     std::hint::black_box(touched);
 }
@@ -624,6 +637,29 @@ mod tests {
         let model = InterpolationModel::from_sorted_keys(&dups);
         let table = ShiftTable::build(&model, &dups);
         run_range(&model, &table, &dups, &config, &[], &mut []);
+    }
+
+    #[test]
+    fn kernel_stats_record_lanes_and_blocks_when_opted_in() {
+        let d: Dataset<u64> = SosdName::Logn64.generate(10_000, 7);
+        let keys = d.as_slice();
+        let model = InterpolationModel::from_sorted_keys(keys);
+        let table = ShiftTable::build(&model, keys);
+        let w = Workload::uniform_domain(&d, 1_000, 5);
+        let mut out = vec![0usize; w.len()];
+
+        let off = crate::stats::snapshot();
+        let config = ShiftTableConfig::default();
+        run_range(&model, &table, keys, &config, w.queries(), &mut out);
+        // Other tests may run concurrently with global stats enabled, so
+        // only the opted-in delta below is asserted exactly.
+        let config = ShiftTableConfig::default().with_kernel_stats(true);
+        let before = crate::stats::snapshot();
+        run_range(&model, &table, keys, &config, w.queries(), &mut out);
+        let after = crate::stats::snapshot();
+        assert!(after.lanes - before.lanes >= 1_000);
+        assert!(after.blocks - before.blocks >= 1_000_u64.div_ceil(64));
+        assert!(after.wide_lanes >= off.wide_lanes);
     }
 
     #[test]

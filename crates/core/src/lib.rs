@@ -115,6 +115,7 @@ pub mod kernel;
 pub mod local_search;
 pub mod snapshot;
 pub mod spec;
+pub mod stats;
 pub mod table;
 
 pub use compact::CompactShiftTable;

@@ -204,7 +204,13 @@ fn annotation_body(comment: &str) -> Option<&str> {
     stripped.strip_prefix("lint:").map(str::trim_start)
 }
 
-const ALLOW_RULES: [&str; 4] = ["panic", "guard-across-sync", "sleep", "unsafe-crate"];
+const ALLOW_RULES: [&str; 5] = [
+    "panic",
+    "guard-across-sync",
+    "sleep",
+    "unsafe-crate",
+    "timing",
+];
 const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
 fn parse_annotation(body: &str) -> Result<(AnnotKind, String), String> {

@@ -13,8 +13,15 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose non-test code must be panic-free (rule 2). These are the
 /// serving-path crates: a panic in them can take down reader threads or
-/// poison the store-wide locks.
-pub const PANIC_FREE_ROOTS: [&str; 2] = ["crates/store/src", "crates/core/src"];
+/// poison the store-wide locks. The observability crate is included because
+/// its counters and timers run inline on those same paths.
+pub const PANIC_FREE_ROOTS: [&str; 3] = ["crates/store/src", "crates/core/src", "crates/obs/src"];
+
+/// Crates whose non-test code may not call `Instant::now()` without a
+/// sampling guard or an `allow(timing)` justification (rule 8). These are
+/// the hot-path crates where an unconditional clock read per operation
+/// would show up in the latency profile it is trying to measure.
+pub const TIMING_ROOTS: [&str; 2] = ["crates/store/src", "crates/core/src"];
 
 /// Run the linter over the workspace rooted at `root`.
 ///
@@ -50,7 +57,7 @@ pub fn check_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
     for file in &files {
         let src = fs::read_to_string(file)?;
         let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
-        let scope = rules::scope_for(&rel, &PANIC_FREE_ROOTS);
+        let scope = rules::scope_for(&rel, &PANIC_FREE_ROOTS, &TIMING_ROOTS);
         let ctx = FileCtx::new(rel, &src);
         rules::check_file(&ctx, scope, &mut out);
     }
@@ -62,7 +69,7 @@ pub fn check_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
 /// workspace. This is the fixture entry point the rule tests use.
 pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     let rel = PathBuf::from(rel_path);
-    let scope = rules::scope_for(&rel, &PANIC_FREE_ROOTS);
+    let scope = rules::scope_for(&rel, &PANIC_FREE_ROOTS, &TIMING_ROOTS);
     let ctx = FileCtx::new(rel, src);
     let mut out = Vec::new();
     rules::check_file(&ctx, scope, &mut out);

@@ -20,6 +20,7 @@
 //! | `unsafe-hygiene` | `unsafe` needs `// SAFETY:`; crate roots without unsafe need `#![forbid(unsafe_code)]` |
 //! | `guard-across-sync` | no `.lock()`/`.write()` guard live at a `sync_all`/`sync_data` call without `// lint: allow(guard-across-sync) <why>` |
 //! | `bare-sleep` | no `thread::sleep` outside tests without `// lint: allow(sleep) <why>` |
+//! | `instant-in-hot-path` | no raw `Instant::now()` in `crates/store/src` + `crates/core/src` non-test code — clock reads on the serving path sit behind a `shift_obs::Sampler`; `// lint: allow(timing) <why>` marks deliberately-unsampled cold phases |
 //! | `bad-annotation` | `lint:` comments must parse and carry a non-empty justification |
 //! | `unused-annotation` | every annotation must be consumed by a real site — stale allows fail the build |
 //!
@@ -43,5 +44,5 @@ pub mod engine;
 pub mod lexer;
 pub mod rules;
 
-pub use engine::{check_source, check_workspace, PANIC_FREE_ROOTS};
+pub use engine::{check_source, check_workspace, PANIC_FREE_ROOTS, TIMING_ROOTS};
 pub use rules::{Diagnostic, RULES};

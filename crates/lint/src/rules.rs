@@ -55,10 +55,13 @@ pub struct RuleScope {
     /// The file is a crate root (`src/lib.rs`, `src/main.rs`, `src/bin/*`)
     /// and must carry `#![forbid(unsafe_code)]`.
     pub crate_root: bool,
+    /// Rule 8 (instant-in-hot-path) applies — hot-path crates where a raw
+    /// `Instant::now()` on every operation would dominate the work itself.
+    pub timing_scoped: bool,
 }
 
 /// Names and one-line summaries of every rule, for `shift-lint rules`.
-pub const RULES: [(&str, &str); 7] = [
+pub const RULES: [(&str, &str); 8] = [
     (
         "atomics-ordering",
         "every atomic Ordering::* site carries `// lint: ordering(<Ordering>) <why>`",
@@ -80,6 +83,10 @@ pub const RULES: [(&str, &str); 7] = [
         "no thread::sleep outside tests (workers wait on condvars); allow(sleep) for intentional throttles",
     ),
     (
+        "instant-in-hot-path",
+        "no raw Instant::now() in hot-path crates — clock reads on the serving path must sit behind a sampler; allow(timing) for deliberate unsampled phases",
+    ),
+    (
         "bad-annotation",
         "lint: comments must parse and carry a justification",
     ),
@@ -98,6 +105,9 @@ pub fn check_file(ctx: &FileCtx, scope: RuleScope, out: &mut Vec<Diagnostic>) {
     unsafe_hygiene(ctx, scope, out);
     guard_across_sync(ctx, out);
     bare_sleep(ctx, out);
+    if scope.timing_scoped {
+        instant_in_hot_path(ctx, out);
+    }
     annotation_hygiene(ctx, out);
 }
 
@@ -424,6 +434,41 @@ fn bare_sleep(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Rule 8: a raw `Instant::now()` in a hot-path crate is a per-operation
+/// clock read — tens of nanoseconds of syscall-adjacent work on paths whose
+/// entire budget is tens of nanoseconds. Timing there must go through a
+/// sampling guard (`shift_obs::Sampler::start()` amortises the clock to
+/// 1-in-N operations and compiles to one relaxed fetch_add when disarmed).
+/// Cold paths that deliberately time every occurrence (ms-scale maintenance
+/// phases, recovery) carry `// lint: allow(timing) <why>`.
+fn instant_in_hot_path(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if !t.is_ident("Instant") || ctx.is_masked(i) {
+            continue;
+        }
+        let Some(seg) = path_segment_after(&ctx.toks, i) else {
+            continue;
+        };
+        if !seg.is_ident("now") {
+            continue;
+        }
+        if ctx.take_allow("timing", seg.line).is_some()
+            || ctx.take_allow("timing", t.line).is_some()
+        {
+            continue;
+        }
+        out.push(Diagnostic::at(
+            "instant-in-hot-path",
+            ctx,
+            seg,
+            "raw `Instant::now()` in a hot-path crate — put the clock read behind a \
+             sampling guard (`Sampler::start()`), or mark a deliberately-unsampled \
+             cold path with `// lint: allow(timing) <why>`"
+                .to_string(),
+        ));
+    }
+}
+
 /// Rules 6–7: malformed `lint:` comments are findings, and so is any
 /// well-formed annotation no rule consumed — a stale allow is a silent
 /// hole in the audit.
@@ -459,9 +504,10 @@ fn annotation_hygiene(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
 }
 
 /// Decide rule scope from a workspace-relative path.
-pub fn scope_for(path: &Path, panic_free_roots: &[&str]) -> RuleScope {
+pub fn scope_for(path: &Path, panic_free_roots: &[&str], timing_roots: &[&str]) -> RuleScope {
     let p = path.to_string_lossy().replace('\\', "/");
     let panic_free = panic_free_roots.iter().any(|r| p.starts_with(r));
+    let timing_scoped = timing_roots.iter().any(|r| p.starts_with(r));
     let crate_root = p.ends_with("src/lib.rs")
         || p.ends_with("src/main.rs")
         || p.contains("/src/bin/")
@@ -469,5 +515,6 @@ pub fn scope_for(path: &Path, panic_free_roots: &[&str]) -> RuleScope {
     RuleScope {
         panic_free,
         crate_root,
+        timing_scoped,
     }
 }

@@ -269,6 +269,47 @@ mod tests {
     assert_eq!(bench_findings(in_tests), Vec::<&str>::new());
 }
 
+// ---------------------------------------------------------------- rule 8
+
+#[test]
+fn instant_now_flagged_in_hot_path_crates() {
+    let src = "fn f() { let t0 = Instant::now(); work(); let _ = t0.elapsed(); }";
+    assert_eq!(store_findings(src), vec!["instant-in-hot-path"]);
+    let qualified = "fn f() { let t0 = std::time::Instant::now(); let _ = t0; }";
+    assert_eq!(store_findings(qualified), vec!["instant-in-hot-path"]);
+}
+
+#[test]
+fn instant_now_allowed_outside_hot_path_crates() {
+    // Bench and tooling crates time freely — the rule is scoped.
+    let src = "fn f() { let t0 = Instant::now(); work(); let _ = t0.elapsed(); }";
+    assert_eq!(bench_findings(src), Vec::<&str>::new());
+}
+
+#[test]
+fn instant_now_with_timing_annotation_is_clean() {
+    let annotated = "\
+fn replay(&mut self) {
+    // lint: allow(timing) recovery is cold; timing every record is the point
+    let t0 = Instant::now();
+    let _ = t0;
+}";
+    assert_eq!(store_findings(annotated), Vec::<&str>::new());
+    let in_tests = "\
+#[cfg(test)]
+mod tests {
+    fn t() { let _ = Instant::now(); }
+}";
+    assert_eq!(store_findings(in_tests), Vec::<&str>::new());
+}
+
+#[test]
+fn instant_elapsed_alone_is_not_a_site() {
+    // Only the `Instant::now` path triggers; using a passed-in Instant is fine.
+    let src = "fn f(t0: Instant) -> Duration { t0.elapsed() }";
+    assert_eq!(store_findings(src), Vec::<&str>::new());
+}
+
 // ------------------------------------------------------- annotation rules
 
 #[test]

@@ -1,0 +1,419 @@
+//! Metric export: a small document model rendered to Prometheus text
+//! exposition format and JSON, plus a Prometheus text parser used by the
+//! round-trip tests (and handy for scraping a peer in integration tests).
+//!
+//! The renderer emits format version 0.0.4 text: `# HELP` / `# TYPE`
+//! comment lines, then one sample per line. Histograms render the standard
+//! cumulative `_bucket{le="…"}` series plus `_sum` and `_count`, and the
+//! precomputed quantile quartet renders as a separate `<name>_quantile`
+//! gauge family labelled `{quantile="0.5"}` … — quantiles computed on the
+//! server are gauges by convention, since they cannot be aggregated.
+
+use crate::metrics::{HistogramSnapshot, HISTOGRAM_BUCKETS};
+use std::fmt::Write as _;
+
+/// The value of one exported metric family member.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// An instantaneous value.
+    Gauge(f64),
+    /// A full histogram readout (boxed: a snapshot is ~70× the size of the
+    /// scalar variants, and reports are built only at scrape time).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// One exported metric: name, help text, optional labels, value.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Prometheus-safe metric name (`[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub name: String,
+    /// One-line description, rendered as `# HELP`.
+    pub help: String,
+    /// Label pairs, rendered inside `{…}`.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: MetricValue,
+}
+
+impl Metric {
+    /// A counter sample without labels.
+    pub fn counter(name: impl Into<String>, help: impl Into<String>, v: u64) -> Self {
+        Self {
+            name: name.into(),
+            help: help.into(),
+            labels: Vec::new(),
+            value: MetricValue::Counter(v),
+        }
+    }
+
+    /// A gauge sample without labels.
+    pub fn gauge(name: impl Into<String>, help: impl Into<String>, v: f64) -> Self {
+        Self {
+            name: name.into(),
+            help: help.into(),
+            labels: Vec::new(),
+            value: MetricValue::Gauge(v),
+        }
+    }
+
+    /// A histogram sample without labels.
+    pub fn histogram(
+        name: impl Into<String>,
+        help: impl Into<String>,
+        snap: HistogramSnapshot,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            help: help.into(),
+            labels: Vec::new(),
+            value: MetricValue::Histogram(Box::new(snap)),
+        }
+    }
+
+    /// Attach a label pair.
+    pub fn with_label(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+        self.labels.push((k.into(), v.into()));
+        self
+    }
+}
+
+/// An ordered collection of metrics ready for export.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsReport {
+    /// The metrics, in catalogue order. Members of one family (same name,
+    /// different labels) should be adjacent.
+    pub metrics: Vec<Metric>,
+}
+
+/// Render a label set as `{k="v",…}` (empty string when no labels).
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Format an `f64` the way Prometheus expects (no exponent for integers).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl MetricsReport {
+    /// Render as Prometheus text exposition format (version 0.0.4).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family: &str = "";
+        for m in &self.metrics {
+            let ty = match &m.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            // One HELP/TYPE header per family: adjacent members that share
+            // a name (same family, different labels) reuse the header.
+            if last_family != m.name {
+                let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+                let _ = writeln!(out, "# TYPE {} {ty}", m.name);
+                last_family = &m.name;
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {v}", m.name, render_labels(&m.labels, None));
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        m.name,
+                        render_labels(&m.labels, None),
+                        fmt_f64(*v)
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for i in 0..HISTOGRAM_BUCKETS {
+                        if h.buckets[i] == 0 {
+                            continue;
+                        }
+                        cum += h.buckets[i];
+                        let le = HistogramSnapshot::bucket_upper(i).to_string();
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {cum}",
+                            m.name,
+                            render_labels(&m.labels, Some(("le", &le)))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {cum}",
+                        m.name,
+                        render_labels(&m.labels, Some(("le", "+Inf")))
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        m.name,
+                        render_labels(&m.labels, None),
+                        h.sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {cum}",
+                        m.name,
+                        render_labels(&m.labels, None)
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as a JSON object: `{"metrics": [{name, labels, value…}…]}`.
+    ///
+    /// Histograms serialise their count/sum/mean and the p50/p90/p99/p99.9
+    /// quartet (units follow the metric name's `_ns` / `_bytes` suffix).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"labels\":{{",
+                escape_label(&m.name)
+            );
+            for (j, (k, v)) in m.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":\"{}\"", escape_label(k), escape_label(v));
+            }
+            out.push_str("},");
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "\"type\":\"counter\",\"value\":{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "\"type\":\"gauge\",\"value\":{}", fmt_f64(*v));
+                }
+                MetricValue::Histogram(h) => {
+                    let [p50, p90, p99, p999] = h.percentiles();
+                    let _ = write!(
+                        out,
+                        "\"type\":\"histogram\",\"count\":{},\"sum\":{},\"mean\":{:.1},\
+                         \"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\"p999\":{p999}",
+                        h.count(),
+                        h.sum,
+                        h.mean()
+                    );
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One parsed Prometheus sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSample {
+    /// Sample name as written (includes `_bucket`/`_sum`/`_count` suffixes).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// Parse Prometheus text exposition format into its sample lines.
+///
+/// Supports the subset [`MetricsReport::to_prometheus`] emits (which is the
+/// subset real scrapers require): `# HELP`/`# TYPE` comments are skipped,
+/// every other non-empty line must be `name[{labels}] value`.
+pub fn parse_prometheus(text: &str) -> Result<Vec<ParsedSample>, String> {
+    let mut out = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {raw:?}", ln + 1);
+        // Split the trailing value off first: labels may contain spaces.
+        let (head, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err("expected `name value`"))?;
+        let value: f64 = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v.parse().map_err(|_| err("unparsable value"))?,
+        };
+        let (name, labels) = match head.split_once('{') {
+            None => (head.trim().to_string(), Vec::new()),
+            Some((n, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unclosed label set"))?;
+                (n.trim().to_string(), parse_labels(body).map_err(err)?)
+            }
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+        {
+            return Err(err("invalid metric name"));
+        }
+        out.push(ParsedSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(out)
+}
+
+/// Parse `k="v",k2="v2"` (the body of a label set).
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, &'static str> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without `=`")?;
+        let key = rest[..eq].trim().to_string();
+        rest = rest[eq + 1..].trim_start();
+        let inner = rest.strip_prefix('"').ok_or("label value must be quoted")?;
+        // Find the closing quote, honouring backslash escapes.
+        let mut val = String::new();
+        let mut chars = inner.char_indices();
+        let mut close = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    match chars.next() {
+                        Some((_, 'n')) => val.push('\n'),
+                        Some((_, e)) => val.push(e),
+                        None => return Err("dangling escape"),
+                    };
+                }
+                '"' => {
+                    close = Some(i);
+                    break;
+                }
+                c => val.push(c),
+            }
+        }
+        let close = close.ok_or("unterminated label value")?;
+        labels.push((key, val));
+        rest = inner[close + 1..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let report = MetricsReport {
+            metrics: vec![
+                Metric::counter("store_reads_total", "total reads", 42),
+                Metric::gauge("store_shards", "current shard count", 8.0).with_label("kind", "hot"),
+            ],
+        };
+        let text = report.to_prometheus();
+        let parsed = parse_prometheus(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "store_reads_total");
+        assert_eq!(parsed[0].value, 42.0);
+        assert_eq!(parsed[1].labels, vec![("kind".into(), "hot".into())]);
+        assert!(text.contains("# TYPE store_reads_total counter"));
+        assert!(text.contains("# TYPE store_shards gauge"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let h = Histogram::new();
+        for v in [3u64, 3, 3, 100, 100, 5000] {
+            h.record(v);
+        }
+        let report = MetricsReport {
+            metrics: vec![Metric::histogram("lat_ns", "latency", h.snapshot())],
+        };
+        let text = report.to_prometheus();
+        let parsed = parse_prometheus(&text).unwrap();
+        // Cumulative bucket counts end at the total.
+        let buckets: Vec<&ParsedSample> = parsed
+            .iter()
+            .filter(|s| s.name == "lat_ns_bucket")
+            .collect();
+        let cum: Vec<f64> = buckets.iter().map(|s| s.value).collect();
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]), "{cum:?}");
+        assert_eq!(*cum.last().unwrap(), 6.0);
+        let inf = buckets.last().unwrap();
+        assert_eq!(inf.labels, vec![("le".into(), "+Inf".into())]);
+        assert_eq!(inf.value, 6.0);
+        let count = parsed.iter().find(|s| s.name == "lat_ns_count").unwrap();
+        assert_eq!(count.value, 6.0);
+        let sum = parsed.iter().find(|s| s.name == "lat_ns_sum").unwrap();
+        assert_eq!(sum.value, (3 + 3 + 3 + 100 + 100 + 5000) as f64);
+    }
+
+    #[test]
+    fn json_export_contains_percentiles() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(64);
+        }
+        let report = MetricsReport {
+            metrics: vec![Metric::histogram("lat_ns", "latency", h.snapshot())],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"name\":\"lat_ns\""));
+        assert!(json.contains("\"count\":100"));
+        assert!(json.contains("\"p99\":"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_prometheus("no_value_here").is_err());
+        assert!(parse_prometheus("name{unclosed 1").is_err());
+        assert!(parse_prometheus("name{k=unquoted} 1").is_err());
+        assert!(parse_prometheus("1badname 2").is_err());
+        assert!(parse_prometheus("ok_name 2\n# comment\n\n").is_ok());
+    }
+
+    #[test]
+    fn label_escapes_roundtrip() {
+        let report = MetricsReport {
+            metrics: vec![Metric::gauge("g", "h", 1.0).with_label("path", "a\"b\\c\nd")],
+        };
+        let parsed = parse_prometheus(&report.to_prometheus()).unwrap();
+        assert_eq!(parsed[0].labels[0].1, "a\"b\\c\nd");
+    }
+}

@@ -1,0 +1,168 @@
+//! A minimal, dependency-free `/metrics` HTTP endpoint.
+//!
+//! One `std::net::TcpListener` accept loop on one background thread,
+//! serving HTTP/1.0 responses: `/metrics` renders the provider's
+//! [`MetricsReport`] as Prometheus text, `/metrics.json` as JSON, anything
+//! else is 404. Connections are served sequentially — a scrape endpoint is
+//! polled by one collector every few seconds, not load-balanced traffic —
+//! and a short read timeout keeps a stuck client from wedging the loop.
+//!
+//! Shutdown is condvar-free and sleep-free: [`MetricsServer::shutdown`]
+//! (also invoked on drop) sets a stop flag and then connects to the
+//! listener itself, which unblocks the accept call so the thread observes
+//! the flag and exits. The provider closure runs on the server thread, so
+//! it must be `Send + Sync` and should stay cheap (the store's scrape is a
+//! pass over relaxed counters).
+
+use crate::export::MetricsReport;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The metrics provider callback: produces a fresh report per scrape.
+pub type MetricsProvider = Arc<dyn Fn() -> MetricsReport + Send + Sync>;
+
+/// A running `/metrics` endpoint; shuts down when dropped.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving.
+    pub fn start(addr: SocketAddr, provider: MetricsProvider) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("shift-obs-metrics".into())
+            .spawn(move || serve(listener, provider, stop2))?;
+        Ok(Self {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolved port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the server thread (idempotent).
+    pub fn shutdown(&mut self) {
+        // lint: ordering(Release) stop flag — pairs with the Acquire load in the accept loop
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept call by connecting to ourselves; if the
+        // connect fails the listener is already gone and the loop exits on
+        // its own error path.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve(listener: TcpListener, provider: MetricsProvider, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        // lint: ordering(Acquire) stop flag — pairs with the Release store in shutdown
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(mut stream) = conn else {
+            // Transient accept errors (EMFILE, aborted handshake): keep
+            // serving; a broken listener yields errors forever, but the
+            // stop flag still ends the loop on shutdown.
+            continue;
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = handle(&mut stream, &provider);
+    }
+}
+
+fn handle(stream: &mut TcpStream, provider: &MetricsProvider) -> std::io::Result<()> {
+    // Read the request head (we only need the request line; 1KiB is plenty
+    // for `GET /metrics HTTP/1.1` plus scraper headers to locate the path).
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf)?;
+    let head = String::from_utf8_lossy(&buf[..n]);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, ctype, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            provider().to_prometheus(),
+        ),
+        "/metrics.json" => ("200 OK", "application/json", provider().to_json()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "404: try /metrics or /metrics.json\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::{parse_prometheus, Metric};
+
+    fn scrape(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        // One write_all: a fragmented request could race the server's
+        // response-and-close and see a broken pipe on the tail fragment.
+        s.write_all(format!("GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_prometheus_and_json_then_shuts_down() {
+        let provider: MetricsProvider = Arc::new(|| MetricsReport {
+            metrics: vec![Metric::counter("test_total", "a test counter", 7)],
+        });
+        let mut server = MetricsServer::start("127.0.0.1:0".parse().unwrap(), provider).unwrap();
+        let addr = server.addr();
+
+        let text = scrape(addr, "/metrics");
+        assert!(text.starts_with("HTTP/1.0 200"));
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        let parsed = parse_prometheus(body).unwrap();
+        assert_eq!(parsed[0].name, "test_total");
+        assert_eq!(parsed[0].value, 7.0);
+
+        let json = scrape(addr, "/metrics.json");
+        assert!(json.contains("\"value\":7"));
+
+        let missing = scrape(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"));
+
+        // The real assertion is that shutdown joins instead of hanging on
+        // the blocked accept; calling it twice checks idempotence.
+        server.shutdown();
+        server.shutdown();
+    }
+}

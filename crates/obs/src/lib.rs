@@ -1,0 +1,48 @@
+//! # shift-obs: zero-dependency observability primitives
+//!
+//! The metrics, tracing and profiling layer behind the `shift-store`
+//! serving stack. Everything here is plain std, 100% safe Rust, and built
+//! for instrumentation *inside* lock-free hot paths:
+//!
+//! * [`metrics`] — relaxed-atomic [`Counter`]s, [`Gauge`]s and log2-bucketed
+//!   [`Histogram`]s with p50/p90/p99/p99.9 readout. Recording is one or two
+//!   uncontended `fetch_add`s; no locks, no allocation, no floating point.
+//! * [`sample`] — deterministic 1-in-N [`Sampler`]s and [`SampledTimer`]
+//!   scoped timers that read the clock only on sampled calls, so an
+//!   unsampled operation pays one relaxed increment and one predictable
+//!   branch instead of an `Instant::now()` pair.
+//! * [`trace`] — a bounded, lock-free, drop-oldest [`TraceRing`] of
+//!   `[u64; 4]` records with exact drop accounting: structured events from
+//!   maintenance machinery, drained by a cold-path consumer.
+//! * [`export`] — a [`MetricsReport`] document model rendered to Prometheus
+//!   text exposition format and JSON, plus a parser for round-trip tests.
+//! * [`http`] — an optional one-thread `std::net::TcpListener`
+//!   [`MetricsServer`] serving `/metrics` and `/metrics.json`.
+//!
+//! The crate deliberately knows nothing about the store: the store layer
+//! names its metrics, owns the registry struct, and decides what to sample.
+//! That keeps this crate reusable by benches and tests as plain data types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod http;
+pub mod metrics;
+pub mod sample;
+pub mod trace;
+
+pub use export::{parse_prometheus, Metric, MetricValue, MetricsReport, ParsedSample};
+pub use http::{MetricsProvider, MetricsServer};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use sample::{SampledTimer, Sampler};
+pub use trace::TraceRing;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::export::{parse_prometheus, Metric, MetricValue, MetricsReport};
+    pub use crate::http::{MetricsProvider, MetricsServer};
+    pub use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+    pub use crate::sample::{SampledTimer, Sampler};
+    pub use crate::trace::TraceRing;
+}

@@ -1,0 +1,311 @@
+//! Lock-free metric primitives: counters, gauges and log2-bucketed
+//! histograms.
+//!
+//! Every primitive is a thin shell over relaxed atomics — increments on the
+//! serving path cost one uncontended `lock xadd` and carry no
+//! happens-before edges. Readouts are therefore *statistical*, not
+//! transactional: a snapshot taken while writers are active can observe a
+//! count that is a few increments ahead of the matching sum. That is the
+//! correct trade for telemetry; anything that needs exactness (tests, the
+//! churn oracle) quiesces writers first, at which point relaxed counters
+//! are exact (same-variable modification order is total).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets in a [`Histogram`]: one per possible bit width of
+/// a `u64` value, so any nanosecond latency (or byte size) has a bucket.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        // lint: ordering(Relaxed) statistics counter — no reader synchronises through it
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add `n` and return the value the counter held *before* the add.
+    ///
+    /// One `fetch_add`, same cost as [`Counter::add`] — callers that already
+    /// pay for the count can derive a deterministic sampling decision from
+    /// the returned ordinal (e.g. "did this add cross a power-of-two
+    /// stride?") without a second atomic RMW.
+    #[inline]
+    pub fn add_get(&self, n: u64) -> u64 {
+        // lint: ordering(Relaxed) statistics counter — no reader synchronises through it
+        self.value.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        // lint: ordering(Relaxed) statistics readout — staleness is acceptable by contract
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (queue depths, decayed frequencies).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        // lint: ordering(Relaxed) statistics gauge — no reader synchronises through it
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        // lint: ordering(Relaxed) statistics readout — staleness is acceptable by contract
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free latency/size histogram with power-of-two buckets.
+///
+/// Bucket `i` counts observations `v` with `bit_width(v) == i`, i.e. bucket
+/// 0 holds `v == 0`, bucket `i > 0` holds `2^(i-1) <= v < 2^i`. Recording is
+/// two relaxed `fetch_add`s (bucket + sum); there is no lock, no allocation
+/// and no floating point on the write path.
+///
+/// Percentile readouts interpolate linearly *inside* the winning bucket, so
+/// a reported quantile `q` is always within the bucket that contains the
+/// true `q`-th observation: `true/2 < reported <= 2*true` in the worst case,
+/// and exact when all observations in the bucket share one value's scale.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub const fn new() -> Self {
+        // `AtomicU64` is not `Copy`; an inline-const element builds the
+        // array without a named interior-mutable constant.
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index of a value: its bit width.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        // `bucket_of` is in 0..=64 but 64 only for v with the top bit set;
+        // clamp keeps the index in range for every input.
+        let b = Self::bucket_of(v).min(HISTOGRAM_BUCKETS - 1);
+        // lint: ordering(Relaxed) statistics histogram — no reader synchronises through it
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        // lint: ordering(Relaxed) statistics histogram — no reader synchronises through it
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// An owned point-in-time copy of the histogram contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            // lint: ordering(Relaxed) statistics readout — staleness is acceptable by contract
+            *out = b.load(Ordering::Relaxed);
+        }
+        // lint: ordering(Relaxed) statistics readout — staleness is acceptable by contract
+        let sum = self.sum.load(Ordering::Relaxed);
+        HistogramSnapshot { buckets, sum }
+    }
+}
+
+/// An owned histogram readout with percentile queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (`bucket_of` layout, see [`Histogram`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// The inclusive upper bound of bucket `i`. Bucket 63 also absorbs
+    /// values with the top bit set, so its edge is `u64::MAX`.
+    pub fn bucket_upper(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            1..=62 => (1u64 << i) - 1,
+            _ => u64::MAX,
+        }
+    }
+
+    /// The smallest value bucket `i` can hold.
+    fn bucket_lower(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            1 => 1,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), linearly interpolated within the
+    /// winning bucket. Returns 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation (1-based, ceil) — p50 of 2 samples
+        // is the first one, matching the nearest-rank definition.
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = Self::bucket_lower(i) as f64;
+                let hi = Self::bucket_upper(i) as f64;
+                // Position of the rank within this bucket, in (0, 1].
+                let frac = (rank - seen) as f64 / c as f64;
+                return (lo + (hi - lo) * frac).round() as u64;
+            }
+            seen += c;
+        }
+        Self::bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The standard latency quartet: p50, p90, p99, p99.9.
+    pub fn percentiles(&self) -> [u64; 4] {
+        [
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.set(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_width() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 10);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 2, 3
+        assert_eq!(s.buckets[3], 2); // 4, 7
+        assert_eq!(s.buckets[4], 1); // 8
+        assert_eq!(s.buckets[10], 1); // 1023
+        assert_eq!(s.buckets[11], 1); // 1024
+        assert_eq!(s.buckets[63], 1); // u64::MAX
+        assert_eq!(
+            s.sum,
+            (1 + 2 + 3 + 4 + 7 + 8 + 1023 + 1024u64).wrapping_add(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn quantiles_stay_within_bucket_bounds() {
+        let h = Histogram::new();
+        // 1000 observations of 100ns, 10 of 10_000ns.
+        for _ in 0..1000 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(10_000);
+        }
+        let s = h.snapshot();
+        // 100 lives in bucket 7 (64..128); every quantile up to p99 must
+        // land inside that bucket's bounds.
+        for q in [0.5, 0.9, 0.99] {
+            let v = s.quantile(q);
+            assert!((64..=128).contains(&v), "q{q}: {v}");
+        }
+        // p99.9 catches the tail: bucket 14 (8192..16384).
+        let v = s.quantile(0.999);
+        assert!((8192..=16384).contains(&v), "p999: {v}");
+        assert_eq!(s.quantile(0.0), s.quantile(0.000001));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

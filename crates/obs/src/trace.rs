@@ -1,0 +1,275 @@
+//! A bounded, lock-free, drop-oldest trace ring.
+//!
+//! Producers (maintenance workers, writers, readers on their cold-path
+//! branches) publish fixed-size `[u64; 4]` records without locking:
+//! a ticket is claimed with one relaxed `fetch_add`, and the claimed slot is
+//! filled under a per-slot sequence word that works like a seqlock — odd
+//! while the payload is being written, even (and encoding the ticket) once
+//! complete. When the ring wraps, the oldest records are overwritten; the
+//! consumer accounts for every lost record exactly from the ticket
+//! arithmetic (`head − capacity − cursor`), plus any record it caught
+//! mid-overwrite, so `drained + dropped` always equals the number pushed.
+//!
+//! Draining takes a mutex over the read cursor only — the consumer is the
+//! cold path (`store.trace_events()`, a scrape endpoint), and serialising
+//! concurrent drains keeps the "each record is delivered at most once"
+//! contract trivial. Producers never touch that lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One ring slot: a seqlock-style sequence word plus the record payload.
+#[derive(Debug)]
+struct Slot {
+    /// `2*ticket + 1` while the producer writes, `2*ticket + 2` when the
+    /// payload is complete, 0 when never written.
+    seq: AtomicU64,
+    payload: [AtomicU64; 4],
+}
+
+impl Slot {
+    const fn new() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            payload: [const { AtomicU64::new(0) }; 4],
+        }
+    }
+}
+
+/// The completed-sequence value for ticket `t`.
+#[inline]
+fn done_seq(t: u64) -> u64 {
+    2 * t + 2
+}
+
+/// A bounded lock-free ring of `[u64; 4]` records with drop-oldest
+/// overflow and exact drop accounting.
+#[derive(Debug)]
+pub struct TraceRing {
+    slots: Box<[Slot]>,
+    /// Total tickets ever claimed (the next ticket to hand out).
+    head: AtomicU64,
+    /// Records lost to overflow or mid-overwrite races, counted at drain.
+    dropped: AtomicU64,
+    /// Next ticket the consumer will read. Producers never touch this.
+    cursor: Mutex<u64>,
+}
+
+impl TraceRing {
+    /// A ring holding up to `capacity` records (rounded up to a power of
+    /// two, minimum 8).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(8);
+        let slots = (0..cap).map(|_| Slot::new()).collect::<Vec<_>>();
+        Self {
+            slots: slots.into_boxed_slice(),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            cursor: Mutex::new(0),
+        }
+    }
+
+    /// The ring capacity (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever pushed.
+    pub fn pushed(&self) -> u64 {
+        // lint: ordering(Relaxed) statistics readout — staleness is acceptable by contract
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Total records lost (overflow drop-oldest plus mid-overwrite races),
+    /// as accounted by past drains.
+    pub fn dropped(&self) -> u64 {
+        // lint: ordering(Relaxed) statistics readout — staleness is acceptable by contract
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Publish one record (lock-free; drop-oldest on overflow).
+    ///
+    /// The slot sequence only ever moves forward (`fetch_max`), so a
+    /// producer that was preempted long enough for the ring to lap it can
+    /// neither regress the slot nor strand the consumer: it observes that a
+    /// newer ticket already claimed the slot and abandons its write (the
+    /// consumer accounts the record as dropped). The one residual race — a
+    /// producer that passes the claim check and *then* sleeps across a full
+    /// ring wrap can interleave its payload words with the new owner's — is
+    /// caught by the consumer's seq re-validation in all but the case where
+    /// the lap completes entirely inside the victim's store sequence; trace
+    /// records are diagnostics, and that window needs `capacity` pushes
+    /// inside a few instructions of a stalled thread.
+    pub fn push(&self, record: [u64; 4]) {
+        // lint: ordering(Relaxed) ticket claim — the slot's seq word, not the ticket, publishes the payload
+        let t = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(t as usize) & (self.slots.len() - 1)];
+        // Claim the slot by advancing its seq to "ticket t in progress".
+        // lint: ordering(Relaxed) monotonic claim marker — the fences below order it against the payload words
+        let prev = slot.seq.fetch_max(2 * t + 1, Ordering::Relaxed);
+        if prev > 2 * t + 1 {
+            // A newer ticket already owns this slot: the ring lapped us
+            // while we were scheduled out. Drop our record instead of
+            // tearing theirs; the consumer counts it from the ticket gap.
+            return;
+        }
+        // Order the claim marker before the payload words for racing
+        // readers (release fence + the reader's acquire fence pair up
+        // through the payload loads).
+        std::sync::atomic::fence(Ordering::Release); // lint: ordering(Release) seqlock write: claim marker must be visible before any payload word
+        for (w, &v) in slot.payload.iter().zip(record.iter()) {
+            // lint: ordering(Relaxed) payload words — ordered by the surrounding fences and the final Release fetch_max
+            w.store(v, Ordering::Relaxed);
+        }
+        // lint: ordering(Release) seqlock write-end — publishes the payload to consumers that Acquire-load seq
+        slot.seq.fetch_max(done_seq(t), Ordering::Release);
+    }
+
+    /// Drain every complete record since the last drain, oldest first.
+    ///
+    /// Returns the drained records. Records overwritten before the consumer
+    /// got to them are counted into [`TraceRing::dropped`] — exactly: after
+    /// any quiescent drain, `drained_total + dropped() == pushed()`.
+    pub fn drain(&self) -> Vec<[u64; 4]> {
+        let mut out = Vec::new();
+        let Ok(mut cursor) = self.cursor.lock() else {
+            // A poisoned cursor means a panicking consumer, not corrupt
+            // data; telemetry prefers an empty drain over propagating.
+            return out;
+        };
+        // lint: ordering(Acquire) pairs with the producers' Release seq stores — tickets below `head` have their claim visible
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        // Everything more than one ring-length behind head is already
+        // overwritten (or claimed for overwrite): account it as dropped in
+        // one step of ticket arithmetic.
+        if head > cap && *cursor < head - cap {
+            let lost = head - cap - *cursor;
+            // lint: ordering(Relaxed) statistics counter — no reader synchronises through it
+            self.dropped.fetch_add(lost, Ordering::Relaxed);
+            *cursor = head - cap;
+        }
+        while *cursor < head {
+            let t = *cursor;
+            let slot = &self.slots[(t as usize) & (self.slots.len() - 1)];
+            // lint: ordering(Acquire) seqlock read-begin — pairs with the producer's write-end Release
+            let seq0 = slot.seq.load(Ordering::Acquire);
+            if seq0 == done_seq(t) {
+                let mut rec = [0u64; 4];
+                for (v, w) in rec.iter_mut().zip(slot.payload.iter()) {
+                    // lint: ordering(Relaxed) payload words — validated by the fenced seq re-check below
+                    *v = w.load(Ordering::Relaxed);
+                }
+                // Re-check: if a wrapping producer started overwriting this
+                // slot mid-read, the payload may be torn — discard it. The
+                // acquire fence pairs with the producers' release fence, so
+                // observing any overwriter's payload word forces its claim
+                // marker into this re-load.
+                std::sync::atomic::fence(Ordering::Acquire); // lint: ordering(Acquire) seqlock read validation: payload loads must precede the seq re-check
+                                                             // lint: ordering(Relaxed) seq re-check — the fence above supplies the ordering
+                if slot.seq.load(Ordering::Relaxed) == done_seq(t) {
+                    out.push(rec);
+                } else {
+                    // lint: ordering(Relaxed) statistics counter — no reader synchronises through it
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                *cursor += 1;
+            } else if seq0 > done_seq(t) {
+                // Already overwritten by a ticket `t + k*cap`: lost.
+                // lint: ordering(Relaxed) statistics counter — no reader synchronises through it
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                *cursor += 1;
+            } else {
+                // The producer that claimed `t` has not finished writing;
+                // later tickets would be out of order — stop here and pick
+                // up next drain.
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn rec(i: u64) -> [u64; 4] {
+        [i, i.wrapping_mul(3), i ^ 0xABCD, 4]
+    }
+
+    #[test]
+    fn fifo_within_capacity() {
+        let r = TraceRing::with_capacity(8);
+        for i in 0..5 {
+            r.push(rec(i));
+        }
+        let got = r.drain();
+        assert_eq!(got, (0..5).map(rec).collect::<Vec<_>>());
+        assert_eq!(r.dropped(), 0);
+        assert!(r.drain().is_empty(), "second drain sees nothing new");
+    }
+
+    #[test]
+    fn overflow_drops_oldest_with_exact_count() {
+        let r = TraceRing::with_capacity(8);
+        assert_eq!(r.capacity(), 8);
+        for i in 0..20 {
+            r.push(rec(i));
+        }
+        let got = r.drain();
+        // The newest 8 survive; the oldest 12 are gone, counted exactly.
+        assert_eq!(got, (12..20).map(rec).collect::<Vec<_>>());
+        assert_eq!(r.dropped(), 12);
+        assert_eq!(got.len() as u64 + r.dropped(), r.pushed());
+    }
+
+    #[test]
+    fn incremental_drains_never_lose_or_duplicate() {
+        let r = TraceRing::with_capacity(16);
+        let mut seen = Vec::new();
+        let mut pushed = 0u64;
+        for round in 0..10u64 {
+            for _ in 0..(round * 3) % 17 {
+                r.push(rec(pushed));
+                pushed += 1;
+            }
+            seen.extend(r.drain());
+        }
+        seen.extend(r.drain());
+        assert_eq!(seen.len() as u64 + r.dropped(), pushed);
+        // Drained records are strictly increasing by construction key.
+        assert!(seen.windows(2).all(|w| w[0][0] < w[1][0]));
+    }
+
+    #[test]
+    fn concurrent_producers_account_every_record() {
+        let r = Arc::new(TraceRing::with_capacity(64));
+        let producers = 4;
+        let per = 5_000u64;
+        let mut drained = 0u64;
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..per {
+                        r.push(rec((p as u64) << 32 | i));
+                    }
+                });
+            }
+            // Drain concurrently with the producers.
+            for _ in 0..50 {
+                drained += r.drain().len() as u64;
+                std::thread::yield_now();
+            }
+        });
+        drained += r.drain().len() as u64;
+        assert_eq!(r.pushed(), producers as u64 * per);
+        assert_eq!(
+            drained + r.dropped(),
+            r.pushed(),
+            "every record is either delivered once or counted dropped"
+        );
+    }
+}

@@ -169,6 +169,32 @@ pub struct StoreConfig {
     /// default), open decodes and retrains everything before returning,
     /// exactly as before. v1 snapshot files always load eagerly.
     pub cold_start: bool,
+    /// When true (the default), the store keeps its observability registry
+    /// live: op counters, sampled latency histograms, maintenance trace
+    /// events and per-shard access counters, all readable via
+    /// [`crate::ShardedStore::metrics`] / `trace_events`. The hot-path cost
+    /// is one relaxed counter increment per operation plus a 1-in-N sampled
+    /// timer (see [`StoreConfig::latency_sample`]); the `store_mixed` bench
+    /// gates the end-to-end overhead below 3%. When false every
+    /// instrumentation site short-circuits on one branch and the registry
+    /// reports empty.
+    pub metrics: bool,
+    /// Sampling period for the latency histograms (rounded up to a power
+    /// of two): one in `latency_sample` reads/writes pays the two
+    /// `Instant::now()` calls. Counters are never sampled — they count
+    /// every operation exactly.
+    pub latency_sample: u64,
+    /// Capacity of the maintenance trace-event ring (rounded up to a power
+    /// of two, minimum 8). When full, the oldest events are dropped and
+    /// counted exactly.
+    pub trace_capacity: usize,
+    /// When set, the store serves Prometheus text at
+    /// `http://<addr>/metrics` (and JSON at `/metrics.json`) from a
+    /// background thread for as long as the store lives. Use port 0 for an
+    /// ephemeral port (the bound address is available via
+    /// [`crate::ShardedStore::metrics_addr`]). Requires
+    /// [`StoreConfig::metrics`]; ignored when metrics are off.
+    pub metrics_addr: Option<std::net::SocketAddr>,
 }
 
 impl StoreConfig {
@@ -191,6 +217,10 @@ impl StoreConfig {
             split_max_len: 0,
             durability: None,
             cold_start: false,
+            metrics: true,
+            latency_sample: 1024,
+            trace_capacity: 1024,
+            metrics_addr: None,
         }
     }
 
@@ -269,6 +299,34 @@ impl StoreConfig {
         self.cold_start = on;
         self
     }
+
+    /// Enable or disable the observability registry — see
+    /// [`StoreConfig::metrics`].
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
+    /// Set the latency-histogram sampling period (clamped to at least 1,
+    /// rounded up to a power of two at use).
+    pub fn latency_sample(mut self, period: u64) -> Self {
+        self.latency_sample = period.max(1);
+        self
+    }
+
+    /// Set the trace-event ring capacity (rounded up to a power of two,
+    /// minimum 8, at use).
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.trace_capacity = events;
+        self
+    }
+
+    /// Serve `/metrics` over HTTP from the given address for the life of
+    /// the store — see [`StoreConfig::metrics_addr`].
+    pub fn metrics_addr(mut self, addr: std::net::SocketAddr) -> Self {
+        self.metrics_addr = Some(addr);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +388,21 @@ mod tests {
         );
         assert!(!c.cold_start, "eager opens by default");
         assert!(StoreConfig::new(spec).cold_start(true).cold_start);
+        let d0 = StoreConfig::new(spec);
+        assert!(d0.metrics, "metrics on by default");
+        assert_eq!(d0.latency_sample, 1024);
+        assert_eq!(d0.trace_capacity, 1024);
+        assert_eq!(d0.metrics_addr, None, "no HTTP endpoint by default");
+        let addr: std::net::SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let m = StoreConfig::new(spec)
+            .metrics(false)
+            .latency_sample(0)
+            .trace_capacity(16)
+            .metrics_addr(addr);
+        assert!(!m.metrics);
+        assert_eq!(m.latency_sample, 1, "sampling period clamps to 1");
+        assert_eq!(m.trace_capacity, 16);
+        assert_eq!(m.metrics_addr, Some(addr));
         assert_eq!(c.spec, spec);
         let d = StoreConfig::new(spec);
         assert_eq!(d.shards, 8);

@@ -155,8 +155,20 @@ impl CommitClock {
     pub fn try_read_consistent<T>(
         &self,
         attempts: u32,
-        mut pin: impl FnMut() -> T,
+        pin: impl FnMut() -> T,
     ) -> Option<(T, u64)> {
+        self.try_read_consistent_counted(attempts, pin).0
+    }
+
+    /// [`CommitClock::try_read_consistent`] that also reports how many
+    /// attempts *failed* (writer windows overlapped the pin). The count is
+    /// the observability hook behind the store's snapshot-pin retry metric;
+    /// a successful first attempt reports `0`.
+    pub fn try_read_consistent_counted<T>(
+        &self,
+        attempts: u32,
+        mut pin: impl FnMut() -> T,
+    ) -> (Option<(T, u64)>, u32) {
         for attempt in 0..attempts {
             let done = self.done.load(Ordering::SeqCst); // lint: ordering(SeqCst) seqlock read: done before begun, in the writers' total order
             let begun = self.begun.load(Ordering::SeqCst); // lint: ordering(SeqCst) seqlock read: a begun/done match proves a quiescent window
@@ -164,7 +176,7 @@ impl CommitClock {
                 let pinned = pin();
                 // lint: ordering(SeqCst) seqlock validate: re-read after the pin; any interleaved begin is seen
                 if self.begun.load(Ordering::SeqCst) == begun {
-                    return Some((pinned, begun));
+                    return (Some((pinned, begun)), attempt);
                 }
             }
             // A writer is mid-window (or raced the pin). Spin briefly, then
@@ -175,7 +187,7 @@ impl CommitClock {
                 std::thread::yield_now();
             }
         }
-        None
+        (None, attempts)
     }
 }
 

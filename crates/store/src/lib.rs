@@ -197,6 +197,60 @@
 //! reopen either: [`ShardedStore::repair_wal`] rotates to a fresh segment
 //! and restores writability online.
 //!
+//! ## Observability
+//!
+//! The store ships its own zero-dependency observability layer
+//! (`crates/obs`, re-exported primitives in [`shift_obs`]): a lock-free
+//! metrics registry, a bounded trace ring of structured maintenance
+//! events, and Prometheus/JSON export — all safe Rust, no external crates,
+//! lint-clean under the same rules as the serving path.
+//!
+//! * [`ShardedStore::metrics`] returns a [`shift_obs::MetricsReport`]
+//!   sampling every family in [`obs::CATALOGUE`] (op counters, sampled
+//!   read/write latency histograms, maintenance durations, topology
+//!   gauges, per-shard access counters, kernel batch statistics, and — on
+//!   durable stores — WAL/checkpoint families). `report.to_prometheus()`
+//!   renders text-format 0.0.4, `report.to_json()` a stable JSON shape;
+//!   [`shift_obs::parse_prometheus`] round-trips the former for tests and
+//!   scrapers.
+//! * [`ShardedStore::trace_events`] drains the bounded, lock-free ring of
+//!   structured [`TraceEvent`]s (rebuilds, compactions, splits, merges,
+//!   hydrations with a [`HydrationReason`], checkpoints, WAL repair and
+//!   poisoning, captured maintenance errors), each stamped with the commit
+//!   version at which it was recorded. The ring holds
+//!   [`StoreConfig::trace_capacity`] events and drops **oldest first**;
+//!   drops are counted exactly in `store_trace_dropped_total`.
+//! * [`ShardedStore::take_maintenance_errors`] drains the bounded error
+//!   ring ([`obs::ERROR_RING_CAPACITY`] entries, always on — failures are
+//!   captured even with metrics disabled).
+//! * [`StoreConfig::metrics_addr`] optionally serves
+//!   `GET /metrics` (Prometheus) and `GET /metrics.json` from a
+//!   std-`TcpListener` thread ([`shift_obs::MetricsServer`]), shut down
+//!   with the store.
+//!
+//! **Cost discipline.** Every count is one relaxed `fetch_add`; nothing on
+//! the read or write path takes a lock or allocates. That same count
+//! drives every sampling decision: latency timers arm when the op counter
+//! crosses a 1-in-[`StoreConfig::latency_sample`] stride boundary, and
+//! per-shard access counters are sampled 1-in-64 off a relaxed load of
+//! the read count (sampled bumps scaled by the stride, so the decayed
+//! counter still estimates the true rate) — an unsampled read's entire
+//! metrics bill is one relaxed `fetch_add`, no clock, no second RMW. WAL
+//! appends sample 1-in-64, and only the millisecond-scale cold phases
+//! (rebuild, compaction, hydration, checkpoint, WAL fsync) are timed
+//! unconditionally. Histograms are
+//! log2-bucketed (64 buckets), so quantile readouts are upper bounds within
+//! 2× of the true value. With [`StoreConfig::metrics`] off (or via
+//! `StoreConfig::metrics(false)`), every site short-circuits on one
+//! predicted branch, [`ShardedStore::metrics`] reports empty, and the CI
+//! overhead gate (`OBS_ASSERT=1`, `store_mixed` head-to-head) holds the
+//! metrics-on read path within 3% of metrics-off on both mean and p99.
+//!
+//! The full metric catalogue — name, unit, and help text for every family,
+//! including which appear only on durable stores — lives in
+//! [`obs::CATALOGUE`]; a completeness test asserts the exported report and
+//! the catalogue never diverge.
+//!
 //! ## Checked invariants
 //!
 //! The claims above are machine-checked by `shift-lint` (`crates/lint`), a
@@ -232,6 +286,11 @@
 //!   tail flush).
 //! * **`bare-sleep`** — no `thread::sleep` outside tests; coordination uses
 //!   condvars and joins, not timing.
+//! * **`instant-in-hot-path`** — no raw `Instant::now()` in this crate's
+//!   (or `shift-table`'s) non-test sources: clock reads on the serving path
+//!   must sit behind a [`shift_obs::Sampler`] so an unsampled operation
+//!   never pays one. The deliberately-unsampled cold paths (maintenance
+//!   phases, recovery timing) each carry `// lint: allow(timing) <why>`.
 //!
 //! Annotations are themselves checked: a malformed `// lint:` comment or an
 //! annotation no finding consumes (`unused-annotation`) is an error, so
@@ -275,6 +334,7 @@ pub mod config;
 pub mod delta;
 pub mod epoch;
 pub mod error;
+pub mod obs;
 pub mod persist;
 pub mod router;
 pub mod shard;
@@ -287,6 +347,7 @@ pub use config::{DurabilityConfig, StoreConfig, SyncPolicy};
 pub use delta::{DeltaChain, DeltaRun};
 pub use epoch::{CommitClock, EpochCell};
 pub use error::{RetiredShard, StoreError};
+pub use obs::{HydrationReason, TraceEvent, TraceKind};
 pub use persist::recovery::OpenBreakdown;
 pub use persist::DurabilityStats;
 pub use router::ShardRouter;
@@ -308,6 +369,7 @@ pub mod prelude {
     pub use crate::batch::{BatchOp, BatchReceipt, WriteBatch};
     pub use crate::config::{DurabilityConfig, StoreConfig, SyncPolicy};
     pub use crate::error::{RetiredShard, StoreError};
+    pub use crate::obs::{HydrationReason, TraceEvent, TraceKind};
     pub use crate::persist::recovery::OpenBreakdown;
     pub use crate::persist::DurabilityStats;
     pub use crate::shard::{ShardSnapshot, ShardState, StoreShard};

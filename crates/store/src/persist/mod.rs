@@ -104,10 +104,15 @@ pub mod wal;
 
 use crate::config::{DurabilityConfig, SyncPolicy};
 use crate::error::StoreError;
+use shift_obs::{Histogram, Metric, Sampler};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use wal::{GroupCommitError, GroupCommitter, WalOp, WalRecord, WalWriter};
+
+/// WAL appends pay the sampled latency timer 1-in-this-many times (power of
+/// two so the sampler's mask test stays one AND).
+const WAL_APPEND_SAMPLE: u64 = 64;
 
 /// CRC32 (IEEE, reflected) lookup table, built at compile time.
 const CRC32_TABLE: [u32; 256] = {
@@ -217,6 +222,20 @@ pub(crate) struct Persistence {
     checkpoint_shards_written: AtomicU64,
     checkpoint_shards_skipped: AtomicU64,
     snapshot_bytes_reused: AtomicU64,
+    /// Sampled WAL append latency (lock-to-applied), scraped into the
+    /// `wal_append_ns` family by [`crate::ShardedStore::metrics`].
+    wal_append_ns: Histogram,
+    /// WAL `fdatasync` latency (group-commit leader syncs and explicit
+    /// syncs; unsampled — device-bound).
+    wal_sync_ns: Histogram,
+    /// Records proven durable per group-commit leader sync (wave size).
+    group_commit_wave: Histogram,
+    append_sampler: Sampler,
+    /// Always-fire sampler so sync timing needs no raw clock read here.
+    sync_sampler: Sampler,
+    /// Highest version a group-commit leader has proven durable (feeds the
+    /// wave-size histogram).
+    last_group_synced: AtomicU64,
 }
 
 impl Persistence {
@@ -255,6 +274,12 @@ impl Persistence {
             checkpoint_shards_written: AtomicU64::new(0),
             checkpoint_shards_skipped: AtomicU64::new(0),
             snapshot_bytes_reused: AtomicU64::new(0),
+            wal_append_ns: Histogram::new(),
+            wal_sync_ns: Histogram::new(),
+            group_commit_wave: Histogram::new(),
+            append_sampler: Sampler::one_in(WAL_APPEND_SAMPLE),
+            sync_sampler: Sampler::one_in(1),
+            last_group_synced: AtomicU64::new(next_version.saturating_sub(1)),
         })
     }
 
@@ -285,6 +310,7 @@ impl Persistence {
         key: u64,
         apply: impl FnOnce(u64) -> R,
     ) -> Result<R, StoreError> {
+        let timer = self.append_sampler.start();
         let (result, ticket) = {
             let mut inner = self.inner.lock().expect("wal lock poisoned"); // lint: allow(panic) WAL-lock poisoning means a writer died mid-frame; no sound continuation
             if inner.wal.is_poisoned() {
@@ -299,6 +325,7 @@ impl Persistence {
             self.wal_bytes.fetch_add(bytes, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
             (apply(version), version)
         };
+        timer.finish(&self.wal_append_ns);
         self.group_commit(ticket)?;
         Ok(result)
     }
@@ -312,6 +339,7 @@ impl Persistence {
         ops: &[(WalOp, u64)],
         apply: impl FnOnce(u64) -> R,
     ) -> Result<R, StoreError> {
+        let timer = self.append_sampler.start();
         let (result, ticket) = {
             let mut inner = self.inner.lock().expect("wal lock poisoned"); // lint: allow(panic) WAL-lock poisoning means a writer died mid-frame; no sound continuation
             if inner.wal.is_poisoned() {
@@ -326,6 +354,7 @@ impl Persistence {
             self.wal_bytes.fetch_add(bytes, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
             (apply(version), version)
         };
+        timer.finish(&self.wal_append_ns);
         self.group_commit(ticket)?;
         Ok(result)
     }
@@ -349,10 +378,18 @@ impl Persistence {
                 || {
                     let mut inner = self.inner.lock().expect("wal lock poisoned"); // lint: allow(panic) WAL-lock poisoning means a writer died mid-frame; no sound continuation
                     let upto = inner.next_version - 1;
+                    let timer = self.sync_sampler.start();
                     // A failure here poisons the writer (see WalWriter::sync),
                     // so no later leader can falsely acknowledge lost records.
                     // lint: allow(guard-across-sync) group-commit leader: the flush must cover exactly the appended prefix, so the WAL lock stays held
-                    inner.wal.sync().map(|()| upto)
+                    let synced = inner.wal.sync().map(|()| upto);
+                    if synced.is_ok() {
+                        timer.finish(&self.wal_sync_ns);
+                        // lint: ordering(Relaxed) stats gauge feeding the wave histogram; no synchronising role
+                        let prev = self.last_group_synced.swap(upto, Ordering::Relaxed);
+                        self.group_commit_wave.record(upto.saturating_sub(prev));
+                    }
+                    synced
                 },
             )
             .map_err(|e| match e {
@@ -364,7 +401,10 @@ impl Persistence {
     /// Flush every appended WAL record to stable storage now, regardless of
     /// the sync policy.
     pub(crate) fn sync(&self) -> Result<(), StoreError> {
-        Ok(self.inner.lock().expect("wal lock poisoned").wal.sync()?) // lint: allow(panic) WAL-lock poisoning means a writer died mid-frame; no sound continuation
+        let timer = self.sync_sampler.start();
+        self.inner.lock().expect("wal lock poisoned").wal.sync()?; // lint: allow(panic) WAL-lock poisoning means a writer died mid-frame; no sound continuation
+        timer.finish(&self.wal_sync_ns);
+        Ok(())
     }
 
     /// Test hook: poison the live WAL writer exactly as a failed
@@ -494,6 +534,17 @@ impl Persistence {
             group.reset(inner.next_version);
         }
         Ok(true)
+    }
+
+    /// The WAL latency and group-commit-wave histogram families, scraped by
+    /// [`crate::ShardedStore::metrics`] (the counter families come from
+    /// [`Persistence::stats`]).
+    pub(crate) fn obs_metrics(&self) -> Vec<Metric> {
+        vec![
+            crate::obs::hist_metric("wal_append_ns", &self.wal_append_ns),
+            crate::obs::hist_metric("wal_sync_ns", &self.wal_sync_ns),
+            crate::obs::hist_metric("wal_group_commit_wave", &self.group_commit_wave),
+        ]
     }
 
     /// Current cumulative counters.

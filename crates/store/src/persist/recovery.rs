@@ -175,6 +175,7 @@ fn load_checkpoint<K: Key>(
     path: &Path,
     cold: bool,
 ) -> Result<LoadedCheckpoint<K>, StoreError> {
+    // lint: allow(timing) cold-start manifest load — timed once per reopen
     let manifest_start = Instant::now();
     let m = manifest::load_manifest(path)?;
     let spec = IndexSpec::parse(&m.spec).map_err(|e| StoreError::Spec {
@@ -183,6 +184,7 @@ fn load_checkpoint<K: Key>(
     })?;
     let manifest_time = manifest_start.elapsed();
 
+    // lint: allow(timing) cold-start snapshot mount — timed once per reopen
     let mount_start = Instant::now();
     let mut backings = Vec::with_capacity(m.shards.len());
     let mut applied = Vec::with_capacity(m.shards.len());
@@ -288,6 +290,7 @@ pub(crate) fn recover<K: Key>(
     // already dropped whole by the segment scan, so a batch is never
     // half-recovered. A replayed-into shard loses its re-reference memo:
     // its merged view moved past the snapshot on disk.
+    // lint: allow(timing) WAL replay is cold; timing the whole pass is the point
     let replay_start = Instant::now();
     let mut next_version = cp.version + 1;
     let mut replayed = 0usize;
@@ -363,6 +366,7 @@ pub(crate) fn recover<K: Key>(
     // capped at the machine's parallelism (a long-lived store's split
     // cascade can leave hundreds of shards; one OS thread per shard — each
     // fanning out `build_threads` more — would oversubscribe the reopen).
+    // lint: allow(timing) reopen retraining is cold; timed once per reopen
     let retrain_start = Instant::now();
     let spec = cp.spec;
     let workers = std::thread::available_parallelism()

@@ -45,7 +45,7 @@ use algo_index::search::{DynRangeIndex, RangeIndex};
 use shift_table::error::BuildError;
 use shift_table::spec::IndexSpec;
 use sosd_data::key::Key;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// One immutable epoch of a shard's *base*: the sorted key column and the
@@ -317,6 +317,15 @@ pub struct StoreShard<K: Key> {
     /// Set (under the write lock) when a split or merge replaced this shard:
     /// writers observing it retry against the new shard table.
     retired: AtomicBool,
+    /// Decayed access counter: reads resolving to this shard bump it, each
+    /// maintenance pass halves it — the exponentially-decayed frequency
+    /// signal the workload-adaptive rebalancer consumes (and the
+    /// `store_shard_accesses` metric exports). Pure statistics.
+    accesses: AtomicU64,
+    /// Set by the first read that touches this shard while it is still cold
+    /// (hydrate-on-first-touch): the hydrator and the maintenance worker
+    /// prioritise requested shards over the background sweep order.
+    hydration_requested: AtomicBool,
 }
 
 impl<K: Key> StoreShard<K> {
@@ -402,7 +411,52 @@ impl<K: Key> StoreShard<K> {
             rebuild_guard: Mutex::new(()),
             merged_len,
             retired: AtomicBool::new(false),
+            accesses: AtomicU64::new(0),
+            hydration_requested: AtomicBool::new(false),
         }
+    }
+
+    /// Record `n` read accesses resolving to this shard (statistics only).
+    #[inline]
+    pub(crate) fn record_accesses(&self, n: u64) {
+        // lint: ordering(Relaxed) statistics counter — no reader synchronises through it
+        self.accesses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The decayed access counter's current value.
+    pub fn accesses(&self) -> u64 {
+        // lint: ordering(Relaxed) statistics readout — staleness is acceptable by contract
+        self.accesses.load(Ordering::Relaxed)
+    }
+
+    /// Halve the access counter (one exponential-decay step, run by each
+    /// maintenance pass). Concurrent bumps may land before or after the
+    /// halving — both orders are acceptable for a frequency estimate.
+    pub(crate) fn decay_accesses(&self) {
+        // lint: ordering(Relaxed) statistics counter — no reader synchronises through it
+        let now = self.accesses.load(Ordering::Relaxed);
+        // lint: ordering(Relaxed) statistics counter — no reader synchronises through it
+        self.accesses.store(now / 2, Ordering::Relaxed);
+    }
+
+    /// Mark this cold shard as wanting hydration (first-touch). Returns
+    /// true only on the first request, so the caller emits exactly one
+    /// trace event per cold period.
+    pub(crate) fn request_hydration(&self) -> bool {
+        // lint: ordering(Relaxed) advisory priority flag — hydration correctness is carried by the rebuild guard
+        !self.hydration_requested.swap(true, Ordering::Relaxed)
+    }
+
+    /// Was hydration requested by a read (and not yet consumed)?
+    pub(crate) fn hydration_requested(&self) -> bool {
+        // lint: ordering(Relaxed) advisory priority flag — hydration correctness is carried by the rebuild guard
+        self.hydration_requested.load(Ordering::Relaxed)
+    }
+
+    /// Consume a pending hydration request; returns whether one was set.
+    pub(crate) fn take_hydration_request(&self) -> bool {
+        // lint: ordering(Relaxed) advisory priority flag — hydration correctness is carried by the rebuild guard
+        self.hydration_requested.swap(false, Ordering::Relaxed)
     }
 
     /// Tune the delta-chain shape: `max_run_len` bounds the head run a write

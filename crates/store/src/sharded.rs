@@ -22,18 +22,21 @@ use crate::config::StoreConfig;
 use crate::delta::DeltaChain;
 use crate::epoch::{CommitClock, EpochCell};
 use crate::error::StoreError;
+use crate::obs::{self, HydrationReason, StoreObs, TraceEvent, TraceKind};
 use crate::persist::manifest::{Manifest, ManifestShard};
 use crate::persist::recovery::OpenBreakdown;
 use crate::persist::wal::WalOp;
 use crate::persist::{self, recovery, snapshot, v2, DurabilityStats, Persistence};
 use crate::router::ShardRouter;
 use crate::shard::{build_index, ShardSnapshot, StoreShard};
-use crate::snapshot::StoreSnapshot;
+use crate::snapshot::{SnapshotHook, StoreSnapshot};
 use crate::worker::{HydrationWorker, MaintenanceWorker, WorkerSignal};
 use algo_index::search::{DynRangeIndex, RangeIndex};
+use shift_obs::{MetricsProvider, MetricsReport, MetricsServer};
 use shift_table::error::BuildError;
 use shift_table::spec::IndexSpec;
 use sosd_data::key::Key;
+use std::net::SocketAddr;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -298,7 +301,10 @@ pub(crate) struct StoreCore<K: Key> {
     rebuilds: AtomicU64,
     splits: AtomicU64,
     merges: AtomicU64,
-    maintenance_error: Mutex<Option<StoreError>>,
+    /// The observability registry every instrumentation site records into:
+    /// op counters, latency histograms, the maintenance trace ring and the
+    /// bounded error ring (which replaced the old single-error slot).
+    obs: Arc<StoreObs>,
 }
 
 impl<K: Key> StoreCore<K> {
@@ -330,22 +336,58 @@ impl<K: Key> StoreCore<K> {
             let states: Vec<_> = table.shards.iter().map(|s| s.state()).collect();
             (table, states)
         };
-        let ((table, states), version) = match self.clock.try_read_consistent(128, &mut pin) {
+        let (cut, failed_pins) = self.clock.try_read_consistent_counted(128, &mut pin);
+        if failed_pins > 0 {
+            self.obs
+                .count(&self.obs.snap_pin_retries, u64::from(failed_pins));
+        }
+        let ((table, states), version) = match cut {
             Some(cut) => cut,
             None => {
+                self.obs.count(&self.obs.write_gate_fallbacks, 1);
                 let _gate = self.write_gate.write().expect("write gate poisoned"); // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
                                                                                    // No window can be open or opened: first attempt succeeds.
                 self.clock.read_consistent(&mut pin)
             }
         };
-        StoreSnapshot::new(table, states, version)
+        let hook = SnapshotHook {
+            obs: Arc::clone(&self.obs),
+            signal: Arc::clone(&self.signal),
+        };
+        StoreSnapshot::new(table, states, version, Some(hook))
     }
 
-    /// Rebuild one shard, counting it on success.
-    fn rebuild_shard(&self, shard: &StoreShard<K>) -> Result<bool, BuildError> {
+    /// Push a maintenance trace event, pinned to a shard position when one
+    /// is known, stamped with the newest assigned commit version.
+    fn emit_event(&self, kind: TraceKind, shard: Option<usize>, payload: u64) {
+        let cv = self.clock.version();
+        self.obs.emit(match shard {
+            Some(s) => TraceEvent::shard(kind, s, cv, payload),
+            None => TraceEvent::store(kind, cv, payload),
+        });
+    }
+
+    /// Rebuild one shard, counting it on success. A *cold* shard's rebuild
+    /// is a hydration — it decodes the mounted snapshot and retrains the
+    /// model — so it is additionally counted (and traced) as one; it still
+    /// counts into [`crate::ShardedStore::total_rebuilds`], which has always
+    /// included hydrations.
+    fn rebuild_shard(&self, shard: &Arc<StoreShard<K>>) -> Result<bool, BuildError> {
+        let was_cold = shard.snapshot().is_cold();
+        let t0 = self.obs.phase_start();
         let rebuilt = shard.rebuild()?;
         if rebuilt {
             self.rebuilds.fetch_add(1, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
+            if self.obs.enabled() {
+                let (kind, hist) = if was_cold {
+                    self.obs.count(&self.obs.hydrations, 1);
+                    (TraceKind::Hydrated, &self.obs.hydration_ns)
+                } else {
+                    (TraceKind::Rebuild, &self.obs.rebuild_ns)
+                };
+                let ns = self.obs.phase_done(t0, hist);
+                self.emit_event(kind, self.load_table().position_of(shard), ns);
+            }
         }
         Ok(rebuilt)
     }
@@ -385,11 +427,24 @@ impl<K: Key> StoreCore<K> {
         // half the configured run bound, as the config documents) so idle
         // shards converge to short chains without a write having to pay.
         let worker_trigger = (self.config.compact_runs / 2).max(2);
-        for shard in &table.shards {
-            if shard.state().delta().unsealed_run_count() >= worker_trigger && shard.compact() {
-                actions += 1;
+        for (s, shard) in table.shards.iter().enumerate() {
+            if shard.state().delta().unsealed_run_count() >= worker_trigger {
+                let t0 = self.obs.phase_start();
+                if shard.compact() {
+                    let ns = self.obs.phase_done(t0, &self.obs.compaction_ns);
+                    self.obs.count(&self.obs.compactions, 1);
+                    self.emit_event(TraceKind::Compact, Some(s), ns);
+                    actions += 1;
+                }
             }
+            // Halve the decayed access-frequency signal once per pass, so
+            // `store_shard_accesses` reads as a recency-weighted rate.
+            shard.decay_accesses();
         }
+        // A cold shard whose first read requested its own hydration gets it
+        // here even when no hydrator thread is running (a cold shard can
+        // outlive the hydrator if its sweep was stopped by an error).
+        actions += self.rebuild_where(|s| s.hydration_requested() && s.snapshot().is_cold())?;
         actions += self.rebuild_where(|s| s.is_dirty())?;
         actions += self.rebalance()?;
         if self.persist.as_ref().is_some_and(|p| p.checkpoint_due()) {
@@ -399,18 +454,11 @@ impl<K: Key> StoreCore<K> {
         Ok(actions)
     }
 
+    /// Capture a background-maintenance failure in the bounded error ring
+    /// (always on, even with metrics disabled) and the trace ring; drained
+    /// via [`crate::ShardedStore::take_maintenance_errors`].
     pub(crate) fn record_maintenance_error(&self, e: StoreError) {
-        *self
-            .maintenance_error
-            .lock()
-            .expect("maintenance error slot poisoned") = Some(e); // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
-    }
-
-    fn take_maintenance_error(&self) -> Option<StoreError> {
-        self.maintenance_error
-            .lock()
-            .expect("maintenance error slot poisoned") // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
-            .take()
+        self.obs.push_error(None, self.clock.version(), e);
     }
 
     /// Take an epoch-consistent checkpoint (see [`crate::persist`]): rotate
@@ -429,6 +477,7 @@ impl<K: Key> StoreCore<K> {
         let Some(p) = &self.persist else {
             return Err(StoreError::NotDurable);
         };
+        let t0 = self.obs.phase_start();
         let _gate = p.checkpoint_gate();
         let (cv, seq, (fences, states)) = p.begin_checkpoint(|| {
             let table = self.load_table();
@@ -507,6 +556,8 @@ impl<K: Key> StoreCore<K> {
         });
         p.finish_checkpoint(cv, snapshot_bytes, written, skipped, reused_bytes);
         persist::gc(p.dir(), &m);
+        self.obs.phase_done(t0, &self.obs.checkpoint_ns);
+        self.emit_event(TraceKind::Checkpoint, None, snapshot_bytes);
         Ok(cv)
     }
 
@@ -525,8 +576,12 @@ impl<K: Key> StoreCore<K> {
             if stop.load(Ordering::Relaxed) {
                 return;
             }
+            // One wave per sweep, re-scanned against the freshest table so
+            // first-touch requests arriving mid-hydration jump the queue:
+            // a shard a reader is actively waiting on hydrates before the
+            // sweep's positional order would reach it.
             let table = self.load_table();
-            let cold: Vec<Arc<StoreShard<K>>> = table
+            let mut cold: Vec<Arc<StoreShard<K>>> = table
                 .shards
                 .iter()
                 .filter(|s| s.snapshot().is_cold())
@@ -535,29 +590,36 @@ impl<K: Key> StoreCore<K> {
             if cold.is_empty() {
                 return;
             }
-            for wave in cold.chunks(workers) {
-                // lint: ordering(Relaxed) advisory shutdown flag; a stale read costs one extra wave, thread join orders the rest
-                if stop.load(Ordering::Relaxed) {
-                    return;
+            cold.sort_by_key(|s| !s.hydration_requested());
+            cold.truncate(workers);
+            for shard in &cold {
+                // A first-touch request already emitted its trigger event
+                // (consuming the flag here keeps the two reasons disjoint).
+                if !shard.take_hydration_request() {
+                    self.emit_event(
+                        TraceKind::HydrationTriggered,
+                        table.position_of(shard),
+                        HydrationReason::BackgroundSweep.code(),
+                    );
                 }
-                let failed = std::thread::scope(|scope| {
-                    let handles: Vec<_> = wave
-                        .iter()
-                        .map(|shard| scope.spawn(move || self.rebuild_shard(shard)))
-                        .collect();
-                    let mut failed = false;
-                    for h in handles {
-                        // lint: allow(panic) join fails only when the child panicked; re-raising preserves the failure
-                        if let Err(e) = h.join().expect("hydration worker panicked") {
-                            self.record_maintenance_error(e.into());
-                            failed = true;
-                        }
+            }
+            let failed = std::thread::scope(|scope| {
+                let handles: Vec<_> = cold
+                    .iter()
+                    .map(|shard| scope.spawn(move || self.rebuild_shard(shard)))
+                    .collect();
+                let mut failed = false;
+                for h in handles {
+                    // lint: allow(panic) join fails only when the child panicked; re-raising preserves the failure
+                    if let Err(e) = h.join().expect("hydration worker panicked") {
+                        self.record_maintenance_error(e.into());
+                        failed = true;
                     }
-                    failed
-                });
-                if failed {
-                    return;
                 }
+                failed
+            });
+            if failed {
+                return;
             }
         }
     }
@@ -670,6 +732,7 @@ impl<K: Key> StoreCore<K> {
     /// lock.
     fn split_shard(&self, table: &StoreTable<K>, s: usize) -> Result<bool, BuildError> {
         let shard = Arc::clone(&table.shards[s]);
+        let t0 = self.obs.phase_start();
         let _rebuild = shard.lock_rebuild();
         if shard.is_retired() {
             return Ok(false);
@@ -757,6 +820,8 @@ impl<K: Key> StoreCore<K> {
         }));
         shard.retire();
         self.splits.fetch_add(1, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
+        let ns = self.obs.phase_ns(t0);
+        self.emit_event(TraceKind::Split, Some(s), ns);
         Ok(true)
     }
 
@@ -765,6 +830,7 @@ impl<K: Key> StoreCore<K> {
     fn merge_shards(&self, table: &StoreTable<K>, s: usize) -> Result<bool, BuildError> {
         let a = Arc::clone(&table.shards[s]);
         let b = Arc::clone(&table.shards[s + 1]);
+        let t0 = self.obs.phase_start();
         let _rebuild_a = a.lock_rebuild();
         let _rebuild_b = b.lock_rebuild();
         if a.is_retired() || b.is_retired() {
@@ -809,7 +875,106 @@ impl<K: Key> StoreCore<K> {
         a.retire();
         b.retire();
         self.merges.fetch_add(1, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
+        let ns = self.obs.phase_ns(t0);
+        self.emit_event(TraceKind::Merge, Some(s), ns);
         Ok(true)
+    }
+
+    /// Assemble the full metrics report: the registry's own families, the
+    /// maintenance counters, the topology gauges and per-shard access
+    /// counters computed at scrape time from one pinned table, the
+    /// process-wide kernel batch stats, and — for durable stores — the WAL
+    /// and checkpoint families. Empty when [`StoreConfig::metrics`] is off.
+    pub(crate) fn metrics_report(&self) -> MetricsReport {
+        if !self.obs.enabled() {
+            return MetricsReport {
+                metrics: Vec::new(),
+            };
+        }
+        let mut metrics = self.obs.own_metrics();
+        metrics.push(obs::counter_metric(
+            "store_rebuilds_total",
+            self.rebuilds.load(Ordering::Relaxed), // lint: ordering(Relaxed) stats read; no synchronising role
+        ));
+        metrics.push(obs::counter_metric(
+            "store_splits_total",
+            self.splits.load(Ordering::Relaxed), // lint: ordering(Relaxed) stats read; no synchronising role
+        ));
+        metrics.push(obs::counter_metric(
+            "store_merges_total",
+            self.merges.load(Ordering::Relaxed), // lint: ordering(Relaxed) stats read; no synchronising role
+        ));
+        let table = self.load_table();
+        let mut keys = 0u64;
+        let mut cold = 0u64;
+        let mut delta_runs = 0u64;
+        let mut delta_depth_max = 0u64;
+        let mut delta_keys = 0u64;
+        for shard in &table.shards {
+            keys += shard.len() as u64;
+            cold += u64::from(shard.snapshot().is_cold());
+            let runs = shard.state().delta().unsealed_run_count() as u64;
+            delta_runs += runs;
+            delta_depth_max = delta_depth_max.max(runs);
+            delta_keys += shard.buffered_ops() as u64;
+        }
+        metrics.push(obs::gauge_metric("store_shards", table.shards.len() as f64));
+        metrics.push(obs::gauge_metric("store_keys", keys as f64));
+        metrics.push(obs::gauge_metric("store_cold_shards", cold as f64));
+        metrics.push(obs::gauge_metric("store_delta_runs", delta_runs as f64));
+        metrics.push(obs::gauge_metric(
+            "store_delta_depth_max",
+            delta_depth_max as f64,
+        ));
+        metrics.push(obs::gauge_metric("store_delta_keys", delta_keys as f64));
+        // One labelled member per shard; members of a family must stay
+        // adjacent for the Prometheus exporter's shared family header.
+        for (s, shard) in table.shards.iter().enumerate() {
+            metrics.push(
+                obs::gauge_metric("store_shard_accesses", shard.accesses() as f64)
+                    .with_label("shard", s.to_string()),
+            );
+        }
+        let kernel = shift_table::stats::snapshot();
+        metrics.push(obs::counter_metric("kernel_blocks_total", kernel.blocks));
+        metrics.push(obs::counter_metric("kernel_lanes_total", kernel.lanes));
+        metrics.push(obs::counter_metric(
+            "kernel_wide_lanes_total",
+            kernel.wide_lanes,
+        ));
+        metrics.push(obs::counter_metric(
+            "kernel_wave_levels_total",
+            kernel.wave_levels,
+        ));
+        metrics.push(obs::gauge_metric(
+            "kernel_wide_lane_fraction",
+            kernel.wide_lane_fraction(),
+        ));
+        if let Some(p) = &self.persist {
+            let d = p.stats();
+            metrics.push(obs::counter_metric("wal_records_total", d.wal_ops));
+            metrics.push(obs::counter_metric("wal_bytes_total", d.wal_bytes));
+            metrics.push(obs::counter_metric("wal_syncs_total", d.wal_syncs));
+            metrics.extend(p.obs_metrics());
+            metrics.push(obs::counter_metric("checkpoints_total", d.checkpoints));
+            metrics.push(obs::counter_metric(
+                "checkpoint_shards_written_total",
+                d.checkpoint_shards_written,
+            ));
+            metrics.push(obs::counter_metric(
+                "checkpoint_shards_skipped_total",
+                d.checkpoint_shards_skipped,
+            ));
+            metrics.push(obs::counter_metric(
+                "checkpoint_bytes_written_total",
+                d.snapshot_bytes,
+            ));
+            metrics.push(obs::counter_metric(
+                "checkpoint_bytes_reused_total",
+                d.snapshot_bytes_reused,
+            ));
+        }
+        MetricsReport { metrics }
     }
 }
 
@@ -831,6 +996,11 @@ pub struct ShardedStore<K: Key> {
     hydrator: Option<HydrationWorker>,
     /// Where the open spent its time; `None` for in-memory stores.
     breakdown: Option<OpenBreakdown>,
+    /// Live `/metrics` endpoint; `Some` only when
+    /// [`StoreConfig::metrics_addr`] was set and the bind succeeded (a
+    /// failed bind is parked in the maintenance-error ring instead of
+    /// failing the open). Shut down when the store is dropped.
+    metrics_server: Option<MetricsServer>,
 }
 
 impl<K: Key> ShardedStore<K> {
@@ -970,6 +1140,13 @@ impl<K: Key> ShardedStore<K> {
         memo: Option<CheckpointMemo>,
         breakdown: Option<OpenBreakdown>,
     ) -> Self {
+        let obs = Arc::new(StoreObs::new(&config));
+        if config.metrics {
+            // Kernel batch counters are process-wide; any metrics-enabled
+            // store turns them on (and leaves them on — another store in
+            // the process may be scraping them).
+            shift_table::stats::set_enabled(true);
+        }
         let core = Arc::new(StoreCore {
             table: EpochCell::new(Arc::new(table)),
             config,
@@ -982,8 +1159,22 @@ impl<K: Key> ShardedStore<K> {
             rebuilds: AtomicU64::new(0),
             splits: AtomicU64::new(0),
             merges: AtomicU64::new(0),
-            maintenance_error: Mutex::new(None),
+            obs,
         });
+        let metrics_server = config
+            .metrics_addr
+            .filter(|_| config.metrics)
+            .and_then(|addr| {
+                let scrape = Arc::clone(&core);
+                let provider: MetricsProvider = Arc::new(move || scrape.metrics_report());
+                match MetricsServer::start(addr, provider) {
+                    Ok(server) => Some(server),
+                    Err(e) => {
+                        core.record_maintenance_error(StoreError::Io(e));
+                        None
+                    }
+                }
+            });
         let worker = config
             .background_maintenance
             .then(|| MaintenanceWorker::spawn(Arc::clone(&core)));
@@ -994,6 +1185,7 @@ impl<K: Key> ShardedStore<K> {
             worker,
             hydrator,
             breakdown,
+            metrics_server,
         }
     }
 
@@ -1075,11 +1267,55 @@ impl<K: Key> ShardedStore<K> {
         self.core.merges.load(Ordering::Relaxed) // lint: ordering(Relaxed) stats read; no synchronising role
     }
 
-    /// The last error the background worker hit, if any (sticky until
-    /// taken). On a durable store the checkpoint duty can fail with real
-    /// I/O errors; the in-memory maintenance paths cannot currently fail.
+    /// The oldest captured maintenance error, if any (popped from the
+    /// bounded error ring).
+    #[deprecated(
+        note = "use `take_maintenance_errors` (drains the whole bounded error ring) \
+                         or `trace_events` (structured failure events)"
+    )]
     pub fn take_maintenance_error(&self) -> Option<StoreError> {
-        self.core.take_maintenance_error()
+        self.core.obs.pop_error()
+    }
+
+    /// Drain every captured background-maintenance error, oldest first.
+    ///
+    /// Errors land in a bounded ring of [`crate::obs::ERROR_RING_CAPACITY`]
+    /// entries — when it overflows the *oldest* is dropped and the drop is
+    /// counted exactly in `store_maintenance_errors_dropped_total`. The
+    /// ring is always on, even with [`StoreConfig::metrics`] disabled:
+    /// losing failures is never acceptable. Each captured error also emits
+    /// a [`TraceKind::MaintenanceError`] trace event. On a durable store
+    /// the checkpoint duty can fail with real I/O errors; the in-memory
+    /// maintenance paths cannot currently fail.
+    pub fn take_maintenance_errors(&self) -> Vec<StoreError> {
+        self.core.obs.take_errors()
+    }
+
+    /// Drain the structured maintenance trace ring, oldest first: rebuilds,
+    /// compactions, splits, merges, hydration triggers and completions,
+    /// checkpoints, WAL repair/poison and captured errors, each stamped
+    /// with its shard (when shard-scoped) and the commit version at the
+    /// moment it was recorded. The ring holds
+    /// [`StoreConfig::trace_capacity`] events; on overflow the oldest is
+    /// dropped and counted exactly in `store_trace_dropped_total`. Empty
+    /// when metrics are disabled.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.core.obs.drain_trace()
+    }
+
+    /// Snapshot every exported metric family (see the crate root's
+    /// "Observability" section for the catalogue). Render with
+    /// [`MetricsReport::to_prometheus`] or [`MetricsReport::to_json`].
+    /// Empty when [`StoreConfig::metrics`] is disabled.
+    pub fn metrics(&self) -> MetricsReport {
+        self.core.metrics_report()
+    }
+
+    /// The bound address of the `/metrics` HTTP endpoint, when one is
+    /// serving (requires [`StoreConfig::metrics_addr`]; useful with port 0
+    /// to discover the kernel-assigned port).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_server.as_ref().map(|s| s.addr())
     }
 
     /// Insert one occurrence of `k`. On a durable store the record is
@@ -1095,13 +1331,18 @@ impl<K: Key> ShardedStore<K> {
     /// [`StoreError::Build`] from a shard rebuild (cannot happen for
     /// store-managed chains; see [`StoreShard::rebuild`]).
     pub fn insert(&self, k: K) -> Result<(), StoreError> {
+        // The sampled timer covers what the caller experiences: WAL append,
+        // in-memory apply, and any inline rebuild the write triggered.
+        let timer = self.core.obs.write_start();
         let dirty = match &self.core.persist {
             Some(p) => p.append(WalOp::Insert, k.to_u64(), |_version| self.apply_insert(k))?,
             None => self.apply_insert(k),
         };
+        self.core.obs.count(&self.core.obs.writes, 1);
         if let Some(shard) = dirty {
             self.on_dirty(&shard)?;
         }
+        self.core.obs.write_done(timer);
         Ok(())
     }
 
@@ -1112,13 +1353,18 @@ impl<K: Key> ShardedStore<K> {
     /// # Errors
     /// As for [`ShardedStore::insert`].
     pub fn delete(&self, k: K) -> Result<bool, StoreError> {
+        let timer = self.core.obs.write_start();
         let (removed, dirty) = match &self.core.persist {
             Some(p) => p.append(WalOp::Delete, k.to_u64(), |_version| self.apply_delete(k))?,
             None => self.apply_delete(k),
         };
+        // A no-op delete (no occurrence) still counts: it was applied (and,
+        // durable, logged).
+        self.core.obs.count(&self.core.obs.deletes, 1);
         if let Some(shard) = dirty {
             self.on_dirty(&shard)?;
         }
+        self.core.obs.write_done(timer);
         Ok(removed)
     }
 
@@ -1142,6 +1388,7 @@ impl<K: Key> ShardedStore<K> {
         if batch.is_empty() {
             return Ok(BatchReceipt::default());
         }
+        let timer = self.core.obs.write_start();
         let (receipt, dirty) = match &self.core.persist {
             Some(p) => {
                 let ops: Vec<(WalOp, u64)> = batch
@@ -1156,9 +1403,22 @@ impl<K: Key> ShardedStore<K> {
             }
             None => self.apply_batch_mem(batch),
         };
+        if self.core.obs.enabled() {
+            let (ins, del) = batch
+                .ops()
+                .iter()
+                .fold((0u64, 0u64), |(i, d), op| match op {
+                    BatchOp::Insert(_) => (i + 1, d),
+                    BatchOp::Delete(_) => (i, d + 1),
+                });
+            self.core.obs.count(&self.core.obs.writes, ins);
+            self.core.obs.count(&self.core.obs.deletes, del);
+            self.core.obs.count(&self.core.obs.batches, 1);
+        }
         for shard in dirty {
             self.on_dirty(&shard)?;
         }
+        self.core.obs.write_done(timer);
         Ok(receipt)
     }
 
@@ -1241,7 +1501,7 @@ impl<K: Key> ShardedStore<K> {
     }
 
     /// React to a shard crossing its delta threshold.
-    fn on_dirty(&self, shard: &StoreShard<K>) -> Result<(), BuildError> {
+    fn on_dirty(&self, shard: &Arc<StoreShard<K>>) -> Result<(), BuildError> {
         if self.worker.is_some() {
             self.core.signal.kick();
         } else if self.core.config.auto_rebuild {
@@ -1284,7 +1544,13 @@ impl<K: Key> ShardedStore<K> {
     /// repair can be retried).
     pub fn repair_wal(&self) -> Result<bool, StoreError> {
         match &self.core.persist {
-            Some(p) => p.repair(),
+            Some(p) => {
+                let repaired = p.repair()?;
+                if repaired {
+                    self.core.emit_event(TraceKind::WalRepair, None, 0);
+                }
+                Ok(repaired)
+            }
             None => Err(StoreError::NotDurable),
         }
     }
@@ -1297,6 +1563,7 @@ impl<K: Key> ShardedStore<K> {
         match &self.core.persist {
             Some(p) => {
                 p.poison_for_tests();
+                self.core.emit_event(TraceKind::WalPoisoned, None, 0);
                 true
             }
             None => false,
@@ -1330,6 +1597,18 @@ impl<K: Key> ShardedStore<K> {
     /// # Errors
     /// Propagates the first model-build failure.
     pub fn hydrate(&self) -> Result<usize, StoreError> {
+        if self.core.obs.enabled() {
+            let table = self.core.load_table();
+            for (s, shard) in table.shards().iter().enumerate() {
+                if shard.snapshot().is_cold() {
+                    self.core.emit_event(
+                        TraceKind::HydrationTriggered,
+                        Some(s),
+                        HydrationReason::Explicit.code(),
+                    );
+                }
+            }
+        }
         Ok(self.core.rebuild_where(|s| s.snapshot().is_cold())?)
     }
 
@@ -1768,7 +2047,7 @@ mod tests {
             "worker must rebuild in the background"
         );
         assert_eq!(store.len(), 5_000);
-        assert!(store.take_maintenance_error().is_none());
+        assert!(store.take_maintenance_errors().is_empty());
         drop(store); // joins the worker deterministically
     }
 }

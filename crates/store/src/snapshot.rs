@@ -23,11 +23,22 @@
 //! conveniences that pin a fresh snapshot per call; take an explicit
 //! snapshot whenever two reads must agree with each other.
 
+use crate::obs::{HydrationReason, StoreObs, TraceEvent, TraceKind, ACCESS_SAMPLE_SHIFT};
 use crate::shard::ShardState;
 use crate::sharded::{dispatch_batch_by_shard, StoreTable};
+use crate::worker::WorkerSignal;
 use algo_index::search::RangeIndex;
+use shift_obs::SampledTimer;
 use sosd_data::key::Key;
 use std::sync::Arc;
+
+/// The observability hook a store snapshot carries: the store's metric
+/// registry plus the maintenance-worker signal the hydrate-on-first-touch
+/// path kicks. `None` only for snapshots assembled outside a store.
+pub(crate) struct SnapshotHook {
+    pub(crate) obs: Arc<StoreObs>,
+    pub(crate) signal: Arc<WorkerSignal>,
+}
 
 /// A pinned, immutable, store-wide consistent read view (see the module
 /// docs). Cheap to clone conceptually — but not `Clone`: take a fresh
@@ -39,6 +50,7 @@ pub struct StoreSnapshot<K: Key> {
     offsets: Vec<usize>,
     total: usize,
     version: u64,
+    hook: Option<SnapshotHook>,
 }
 
 impl<K: Key> StoreSnapshot<K> {
@@ -48,6 +60,7 @@ impl<K: Key> StoreSnapshot<K> {
         table: Arc<StoreTable<K>>,
         states: Vec<Arc<ShardState<K>>>,
         version: u64,
+        hook: Option<SnapshotHook>,
     ) -> Self {
         let mut offsets = Vec::with_capacity(states.len());
         let mut total = 0usize;
@@ -61,6 +74,57 @@ impl<K: Key> StoreSnapshot<K> {
             offsets,
             total,
             version,
+            hook,
+        }
+    }
+
+    /// Count `n` read operations against the store registry and maybe start
+    /// a sampled latency timer (disarmed without a hook).
+    #[inline]
+    fn reads_start(&self, n: u64) -> SampledTimer {
+        match &self.hook {
+            Some(hook) => hook.obs.reads_start(n),
+            None => SampledTimer::disarmed(),
+        }
+    }
+
+    /// Finish a timer from [`StoreSnapshot::reads_start`].
+    #[inline]
+    fn reads_done(&self, timer: SampledTimer) {
+        if let Some(hook) = &self.hook {
+            hook.obs.reads_done(timer);
+        }
+    }
+
+    /// Account `n` reads resolving to pinned shard `s`: bump its decayed
+    /// access counter (sampled 1-in-64, recorded scaled so the counter
+    /// still estimates the true rate — unsampled reads pay no per-shard
+    /// RMW), and — when the *live* shard is still cold — enqueue its
+    /// hydration (hydrate-on-first-touch). The first touching read wins
+    /// the request flag, emits one `HydrationTriggered{FirstTouch}` trace
+    /// event and kicks the maintenance signal; the hydrator and the worker
+    /// prioritise requested shards over sweep order. The cold-shard check
+    /// is never sampled: a first touch must always register.
+    #[inline]
+    fn touch(&self, s: usize, n: u64) {
+        let Some(hook) = &self.hook else { return };
+        if hook.obs.access_sampled() {
+            self.table.shards()[s].record_accesses(n << ACCESS_SAMPLE_SHIFT);
+        }
+        // The pinned state's coldness is a cheap pre-filter; re-check the
+        // live shard so a since-hydrated (or re-sharded) one is never
+        // re-requested.
+        if self.states[s].snapshot().is_cold() {
+            let shard = &self.table.shards()[s];
+            if shard.snapshot().is_cold() && shard.request_hydration() {
+                hook.obs.emit(TraceEvent::shard(
+                    TraceKind::HydrationTriggered,
+                    s,
+                    self.version,
+                    HydrationReason::FirstTouch.code(),
+                ));
+                hook.signal.kick();
+            }
         }
     }
 
@@ -87,7 +151,12 @@ impl<K: Key> StoreSnapshot<K> {
 
     /// Merged occurrence count of exactly `k` at this snapshot.
     pub fn count_of(&self, k: K) -> usize {
-        self.states[self.table.router().shard_of(k)].count_of(k)
+        let timer = self.reads_start(1);
+        let s = self.table.router().shard_of(k);
+        let n = self.states[s].count_of(k);
+        self.touch(s, 1);
+        self.reads_done(timer);
+        n
     }
 
     /// Materialise every key in `lo ..= hi` at this snapshot, in sorted
@@ -97,23 +166,31 @@ impl<K: Key> StoreSnapshot<K> {
     /// index answers through its batched kernel (both endpoints travel as
     /// one two-query batch).
     pub fn scan(&self, lo: K, hi: K) -> Vec<K> {
+        let timer = self.reads_start(1);
         if lo > hi || self.total == 0 {
+            self.reads_done(timer);
             return Vec::new();
         }
         let router = self.table.router();
         let (s_lo, s_hi) = (router.shard_of(lo), router.shard_of(hi));
         let mut out = Vec::new();
-        for state in &self.states[s_lo..=s_hi] {
+        for (s, state) in (s_lo..=s_hi).zip(&self.states[s_lo..=s_hi]) {
             out.extend(state.merged_range_keys(lo, hi));
+            self.touch(s, 1);
         }
+        self.reads_done(timer);
         out
     }
 }
 
 impl<K: Key> RangeIndex<K> for StoreSnapshot<K> {
     fn lower_bound(&self, q: K) -> usize {
+        let timer = self.reads_start(1);
         let s = self.table.router().shard_of(q);
-        self.offsets[s] + self.states[s].lower_bound(q)
+        let pos = self.offsets[s] + self.states[s].lower_bound(q);
+        self.touch(s, 1);
+        self.reads_done(timer);
+        pos
     }
 
     /// Batched lookups grouped by shard — each group runs the shard's
@@ -122,23 +199,30 @@ impl<K: Key> RangeIndex<K> for StoreSnapshot<K> {
     /// batches too — resolved entirely against the pinned cut: exact even
     /// while writers race the caller.
     fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
+        let timer = self.reads_start(queries.len() as u64);
         dispatch_batch_by_shard(
             self.table.router(),
             self.states.len(),
             &self.offsets,
             queries,
             out,
-            |s, qs, os| self.states[s].lower_bound_batch(qs, os),
+            |s, qs, os| {
+                self.states[s].lower_bound_batch(qs, os);
+                self.touch(s, qs.len() as u64);
+            },
         );
+        self.reads_done(timer);
     }
 
     fn range(&self, lo: K, hi: K) -> std::ops::Range<usize> {
+        let timer = self.reads_start(1);
         if lo > hi || self.total == 0 {
+            self.reads_done(timer);
             return 0..0;
         }
         let router = self.table.router();
         let s_lo = router.shard_of(lo);
-        match hi.checked_next() {
+        let range = match hi.checked_next() {
             Some(h) => {
                 let s_hi = router.shard_of(h);
                 if s_lo == s_hi {
@@ -147,19 +231,25 @@ impl<K: Key> RangeIndex<K> for StoreSnapshot<K> {
                     let queries = [lo, h];
                     let mut out = [0usize; 2];
                     self.states[s_lo].lower_bound_batch(&queries, &mut out);
+                    self.touch(s_lo, 1);
                     let start = self.offsets[s_lo] + out[0];
                     start..(self.offsets[s_lo] + out[1]).max(start)
                 } else {
                     let start = self.offsets[s_lo] + self.states[s_lo].lower_bound(lo);
                     let end = self.offsets[s_hi] + self.states[s_hi].lower_bound(h);
+                    self.touch(s_lo, 1);
+                    self.touch(s_hi, 1);
                     start..end.max(start)
                 }
             }
             None => {
                 let start = self.offsets[s_lo] + self.states[s_lo].lower_bound(lo);
+                self.touch(s_lo, 1);
                 start..self.total
             }
-        }
+        };
+        self.reads_done(timer);
+        range
     }
 
     fn len(&self) -> usize {

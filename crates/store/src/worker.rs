@@ -96,7 +96,7 @@ impl MaintenanceWorker {
     /// kicked), then run one maintenance pass — compaction, dirty-shard
     /// rebuilds, rebalancing, and (durable stores) the checkpoint duty.
     /// Errors are parked in the core for
-    /// [`crate::ShardedStore::take_maintenance_error`] to surface.
+    /// [`crate::ShardedStore::take_maintenance_errors`] to surface.
     pub(crate) fn spawn<K: Key>(core: Arc<StoreCore<K>>) -> Self {
         let signal = core.signal();
         let interval = core.config().maintenance_interval;

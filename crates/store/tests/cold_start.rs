@@ -149,7 +149,7 @@ fn cold_start_reads_equal_eager_reads_before_and_after_hydration() {
     // nothing is cold and reads are unchanged.
     cold.hydrate().unwrap();
     assert_eq!(cold.cold_shards(), 0);
-    assert!(cold.take_maintenance_error().is_none());
+    assert!(cold.take_maintenance_errors().is_empty());
     assert_stores_agree(&eager, &cold, "after hydration");
 
     // A third image hydrates purely in the background.
@@ -157,7 +157,7 @@ fn cold_start_reads_equal_eager_reads_before_and_after_hydration() {
     clone_dir(&dir, &bg_dir);
     let bg = ShardedStore::<u64>::open(&bg_dir, durable_config().cold_start(true)).unwrap();
     await_hydration(&bg);
-    assert!(bg.take_maintenance_error().is_none());
+    assert!(bg.take_maintenance_errors().is_empty());
 }
 
 /// Incremental checkpoints: clean shards are skipped and their files

@@ -619,7 +619,7 @@ fn sync_policies_and_the_worker_checkpoint_duty() {
             store.durability_stats().unwrap().checkpoints >= 2,
             "{tag}: worker checkpoint duty must fire (seed + auto)"
         );
-        assert!(store.take_maintenance_error().is_none());
+        assert!(store.take_maintenance_errors().is_empty());
         drop(store);
         let recovered: ShardedStore<u64> =
             ShardedStore::open(&dir, StoreConfig::new(spec())).unwrap();

@@ -22,6 +22,11 @@
 //!   optional durable form: a checksummed write-ahead log with
 //!   epoch-consistent checkpoints and crash recovery behind
 //!   [`shift_store::ShardedStore::open`]),
+//! * [`shift_obs`] — the zero-dependency observability layer the store is
+//!   instrumented with: lock-free counters/gauges/histograms, the bounded
+//!   trace ring, Prometheus-text + JSON export ([`shift_obs::MetricsReport`]
+//!   from `store.metrics()`, [`shift_obs::parse_prometheus`] to read it
+//!   back) and the optional [`shift_obs::MetricsServer`] scrape endpoint,
 //! * [`sosd_data`] — SOSD-style datasets, workloads and CDF utilities.
 //!
 //! ## The two construction paths
@@ -72,6 +77,7 @@
 
 pub use algo_index;
 pub use learned_index;
+pub use shift_obs;
 pub use shift_store;
 pub use shift_table;
 pub use sosd_data;
