@@ -51,6 +51,11 @@ fn main() {
             experiments::store_batch::run,
             "store_batch",
         ),
+        (
+            "Store (transactions + MVCC)",
+            experiments::store_txn::run,
+            "store_txn",
+        ),
     ];
     for (name, run, stem) in all {
         println!("=== {name} ===");

@@ -1,0 +1,15 @@
+//! Store suite: optimistic-transaction commits under three conflict
+//! levels (vs the plain multi-op apply baseline) and MVCC time travel
+//! (O(1) live pins, `snapshot_at`, `scan_between` change capture).
+//!
+//! Scale with `SOSD_N` / `SOSD_QUERIES`.
+
+#![forbid(unsafe_code)]
+
+use shift_bench::prelude::*;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("Shift-Table reproduction — transaction + MVCC workloads (config: {cfg:?})\n");
+    experiments::emit(&experiments::store_txn::run(cfg), "store_txn");
+}

@@ -15,6 +15,7 @@ pub mod lookup_kernel;
 pub mod store_batch;
 pub mod store_durable;
 pub mod store_mixed;
+pub mod store_txn;
 pub mod table2;
 
 use crate::report::Table;

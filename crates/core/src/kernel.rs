@@ -27,8 +27,10 @@
 //!    *breadth-first across the block*: a bracket-init pass loads every wide
 //!    lane's boundary keys back-to-back, then each level advances every
 //!    surviving lane by one iterated-interpolation probe (cached boundary
-//!    keys make the interpolant free; every eighth level halves instead, so
-//!    interpolation-hostile data still converges in `O(log w)` levels). A
+//!    keys make the interpolant free; a lane whose probe shrank its bracket
+//!    by less than a quarter bisects on its next level instead, so
+//!    interpolation-hostile data still converges in `O(log w)` levels
+//!    without taxing the lanes where interpolation is working). A
 //!    level's loads are independent across lanes, so the block extracts
 //!    memory-level parallelism that a lane-at-a-time search cannot. Lanes
 //!    leave the wavefront at [`WAVEFRONT_FINISH`] wide and finish with an
@@ -184,6 +186,10 @@ pub(crate) fn run_range<K: Key, M: CdfModel<K> + ?Sized>(
     let mut klo = [0.0f64; MAX_BATCH_BLOCK];
     let mut khi = [0.0f64; MAX_BATCH_BLOCK];
     let mut act = [0usize; MAX_BATCH_BLOCK];
+    // Per-lane adaptive-bisection flag: set when the lane's last
+    // interpolation probe shrank its bracket by less than a quarter, making
+    // the *next* level bisect instead (see the probe loop below).
+    let mut bis = [false; MAX_BATCH_BLOCK];
     let mut touched = 0usize;
     for (qs, os) in queries.chunks(block).zip(out.chunks_mut(block)) {
         // Tail-truncation invariant (module docs): every stage loop runs
@@ -262,6 +268,7 @@ pub(crate) fn run_range<K: Key, M: CdfModel<K> + ?Sized>(
                 // Probing lane: cache the boundary keys interpolation needs.
                 klo[b] = keys[start].to_f64();
                 khi[b] = keys[end - 1].to_f64();
+                bis[b] = false;
                 act[active] = b;
                 active += 1;
             } else {
@@ -278,9 +285,13 @@ pub(crate) fn run_range<K: Key, M: CdfModel<K> + ?Sized>(
         // independent and overlap in the memory system instead of
         // serializing down one lane's compare chain. Interpolation probes
         // collapse a smooth bracket in O(log log w) levels where binary
-        // needs O(log w); every eighth level halves instead of interpolating,
-        // so interpolation-hostile windows (edge-hugging probes on clustered
-        // keys) still finish in O(log w) levels.
+        // needs O(log w); each lane *adapts* per level — a probe that shrank
+        // its bracket by less than a quarter flags the lane to bisect on its
+        // next level (after which it tries interpolating again), so
+        // interpolation-hostile windows (edge-hugging probes on clustered
+        // keys) alternate probe/halve and still finish in O(log w) levels,
+        // while well-modelled lanes in the same block never pay a blind
+        // scheduled halving.
         // The cached boundary keys come from prior probes, so interpolation
         // never costs an extra load. The active list compacts each level, so
         // finished lanes cost nothing.
@@ -292,7 +303,7 @@ pub(crate) fn run_range<K: Key, M: CdfModel<K> + ?Sized>(
                 let (lo, hi) = (blo[b], bhi[b]);
                 let q = qs[big[b]];
                 let span = khi[b] - klo[b];
-                let g = if level & 7 == 7 || span <= 0.0 {
+                let g = if bis[b] || span <= 0.0 {
                     lo + (hi - lo) / 2
                 } else {
                     let frac = ((q.to_f64() - klo[b]) / span).clamp(0.0, 1.0);
@@ -306,7 +317,11 @@ pub(crate) fn run_range<K: Key, M: CdfModel<K> + ?Sized>(
                     bhi[b] = g;
                     khi[b] = kg.to_f64();
                 }
-                if bhi[b] - blo[b] > cutoff {
+                let new_w = bhi[b] - blo[b];
+                // A bisection shrinks by half, so this resets to false and
+                // the lane alternates back to interpolation next level.
+                bis[b] = 4 * new_w > 3 * (hi - lo);
+                if new_w > cutoff {
                     act[kept] = b;
                     kept += 1;
                 }

@@ -74,6 +74,19 @@ impl<K: Key> WriteBatch<K> {
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
+
+    /// Replay the staged operations against a starting occurrence count of
+    /// `start` for key `k`: the count `k` would have if the batch applied to
+    /// a store where `k` currently occurs `start` times. Deletes below zero
+    /// are no-ops, exactly as at apply time. This is the read-your-writes
+    /// fold behind [`crate::Txn::get`].
+    pub fn count_after(&self, k: K, start: usize) -> usize {
+        self.ops.iter().fold(start, |c, op| match *op {
+            BatchOp::Insert(x) if x == k => c + 1,
+            BatchOp::Delete(x) if x == k => c.saturating_sub(1),
+            _ => c,
+        })
+    }
 }
 
 impl<K: Key> Extend<BatchOp<K>> for WriteBatch<K> {
@@ -125,5 +138,14 @@ mod tests {
         );
         let c: WriteBatch<u64> = b.ops().iter().copied().collect();
         assert_eq!(c.ops(), b.ops());
+    }
+
+    #[test]
+    fn count_after_replays_in_order_and_floors_at_zero() {
+        let mut b = WriteBatch::new();
+        b.insert(7u64).insert(7).delete(7).delete(7).delete(7);
+        assert_eq!(b.count_after(7, 0), 0, "deletes past zero are no-ops");
+        assert_eq!(b.count_after(7, 2), 1, "2 + 2 inserts - 3 deletes");
+        assert_eq!(b.count_after(9, 4), 4, "untouched key passes through");
     }
 }

@@ -107,6 +107,49 @@ impl DurabilityConfig {
     }
 }
 
+/// Retention policy of the MVCC version ring: which historical commit
+/// versions [`crate::ShardedStore::snapshot_at`] can still serve.
+///
+/// A retained version is a full store-wide pinned cut — it holds `Arc`s to
+/// the shard states (and thus the sealed delta runs and base snapshots) it
+/// needs, so compaction, rebuilds and rebalancing never invalidate it; the
+/// cost is the heap those structures would otherwise free (readable via
+/// [`crate::ShardedStore::version_stats`]).
+///
+/// `count == 0` (the default) disables retention entirely: no versions are
+/// captured and the write path pays nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetainPolicy {
+    /// Maximum number of retained versions; the oldest is evicted when a
+    /// newer capture would exceed it. `0` disables retention.
+    pub count: usize,
+    /// Maximum age of a retained version; the maintenance worker evicts
+    /// older ones each pass. `None` means age never evicts.
+    pub max_age: Option<Duration>,
+}
+
+impl RetainPolicy {
+    /// Retain up to `count` versions, no age bound.
+    pub fn last(count: usize) -> Self {
+        Self {
+            count,
+            max_age: None,
+        }
+    }
+
+    /// Add an age bound: the maintenance worker evicts versions older than
+    /// `age` each pass.
+    pub fn max_age(mut self, age: Duration) -> Self {
+        self.max_age = Some(age);
+        self
+    }
+
+    /// True when the policy retains nothing (the default).
+    pub fn is_disabled(&self) -> bool {
+        self.count == 0
+    }
+}
+
 /// Configuration of a [`crate::ShardedStore`] (and, minus the write-path
 /// knobs, of a read-only [`crate::ShardedIndex`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,6 +238,11 @@ pub struct StoreConfig {
     /// [`crate::ShardedStore::metrics_addr`]). Requires
     /// [`StoreConfig::metrics`]; ignored when metrics are off.
     pub metrics_addr: Option<std::net::SocketAddr>,
+    /// MVCC version retention: how many historical commit versions (and how
+    /// old) [`crate::ShardedStore::snapshot_at`] /
+    /// [`crate::ShardedStore::scan_between`] can serve. Disabled by default
+    /// (`count == 0`): nothing is captured and writes pay nothing.
+    pub retain_versions: RetainPolicy,
 }
 
 impl StoreConfig {
@@ -221,6 +269,7 @@ impl StoreConfig {
             latency_sample: 1024,
             trace_capacity: 1024,
             metrics_addr: None,
+            retain_versions: RetainPolicy::default(),
         }
     }
 
@@ -327,6 +376,13 @@ impl StoreConfig {
         self.metrics_addr = Some(addr);
         self
     }
+
+    /// Set the MVCC version-retention policy — see
+    /// [`StoreConfig::retain_versions`].
+    pub fn retain_versions(mut self, policy: RetainPolicy) -> Self {
+        self.retain_versions = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -413,5 +469,14 @@ mod tests {
         assert_eq!(d.durability, None, "in-memory by default");
         assert_eq!(DurabilityConfig::new().sync, SyncPolicy::EveryN(64));
         assert_eq!(DurabilityConfig::new().checkpoint_ops(0).checkpoint_ops, 0);
+        assert!(
+            d.retain_versions.is_disabled(),
+            "version retention off by default"
+        );
+        let r = StoreConfig::new(spec)
+            .retain_versions(RetainPolicy::last(8).max_age(Duration::from_secs(60)));
+        assert_eq!(r.retain_versions.count, 8);
+        assert_eq!(r.retain_versions.max_age, Some(Duration::from_secs(60)));
+        assert!(!r.retain_versions.is_disabled());
     }
 }

@@ -403,6 +403,13 @@ impl<K: Key> DeltaChain<K> {
         merge_pairs(base, &fold_runs(&self.runs))
     }
 
+    /// The chain folded to sorted `(key, net occurrence delta)` pairs with
+    /// zero nets dropped — the structural form the version-diff engine
+    /// (`scan_between`) subtracts chains with.
+    pub(crate) fn net_pairs(&self) -> Vec<(K, i64)> {
+        fold_runs(&self.runs)
+    }
+
     /// Merge only the chain entries with keys in `lo ..= hi` into `base`,
     /// which must be the base column restricted to exactly that key range
     /// (full duplicate runs included) — the bounded form

@@ -130,6 +130,19 @@ impl CommitClock {
         self.begun.load(Ordering::SeqCst)
     }
 
+    /// The current commit version if — at this instant — no write window is
+    /// open, `None` otherwise. A `Some(v)` proves every assigned version
+    /// `<= v` is fully published *at the moment of the check*; it is the
+    /// cheap validity probe behind the store's cached snapshot pin (a cut
+    /// previously captured at `v` is still exact while the clock reads
+    /// quiescent at the same `v`).
+    #[inline]
+    pub fn quiescent_version(&self) -> Option<u64> {
+        let done = self.done.load(Ordering::SeqCst); // lint: ordering(SeqCst) seqlock read: done before begun, in the writers' total order
+        let begun = self.begun.load(Ordering::SeqCst); // lint: ordering(SeqCst) seqlock read: a begun/done match proves a quiescent instant
+        (begun == done).then_some(begun)
+    }
+
     /// Capture a consistent cut: run `pin` (which must only *load* immutable
     /// published state — epoch-cell loads, `Arc` clones) at a moment when no
     /// write is in flight, retrying until no write began during the pinning
@@ -238,6 +251,16 @@ mod tests {
                 }
             });
         });
+    }
+
+    #[test]
+    fn quiescent_version_tracks_open_windows() {
+        let clock = CommitClock::new();
+        assert_eq!(clock.quiescent_version(), Some(0));
+        let v = clock.begin();
+        assert_eq!(clock.quiescent_version(), None, "window open");
+        clock.end();
+        assert_eq!(clock.quiescent_version(), Some(v));
     }
 
     #[test]

@@ -48,6 +48,30 @@ pub enum StoreError {
     /// but their durability is unknowable, and repair never resurrects
     /// them.
     WalPoisoned,
+    /// An optimistic transaction failed first-committer-wins validation:
+    /// between the transaction's snapshot and its commit attempt, another
+    /// committed write changed something the transaction read. Exactly one
+    /// of the fields names the first conflicting observation — a point key
+    /// whose occurrence count moved, or a scanned range whose contents
+    /// changed. Nothing was applied and no WAL frame was written; re-run
+    /// the transaction body against a fresh snapshot (see
+    /// [`crate::ShardedStore::commit_with_retries`]).
+    TxnConflict {
+        /// The point key whose count changed under the transaction, as the
+        /// key's `u64` image (`Key::to_u64`).
+        point: Option<u64>,
+        /// The scanned `(lo, hi)` range whose result set changed under the
+        /// transaction, as `u64` key images.
+        range: Option<(u64, u64)>,
+    },
+    /// `snapshot_at`/`scan_between` named a commit version the retention
+    /// ring no longer holds (never captured, or evicted by the count/age
+    /// policy). [`crate::ShardedStore::retained_versions`] lists what is
+    /// currently servable.
+    VersionNotRetained {
+        /// The requested commit version.
+        cv: u64,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -70,6 +94,31 @@ impl std::fmt::Display for StoreError {
                 "write-ahead log poisoned by an earlier append/sync failure; \
                  repair_wal() restores writability, or reopen the store to \
                  recover its durable prefix"
+            ),
+            Self::TxnConflict { point, range } => match (point, range) {
+                (Some(k), _) => write!(
+                    f,
+                    "transaction conflict: key {k} was modified by a \
+                     concurrent commit (first committer wins); retry against \
+                     a fresh snapshot"
+                ),
+                (None, Some((lo, hi))) => write!(
+                    f,
+                    "transaction conflict: scanned range [{lo}, {hi}] was \
+                     modified by a concurrent commit (first committer wins); \
+                     retry against a fresh snapshot"
+                ),
+                (None, None) => write!(
+                    f,
+                    "transaction conflict: a concurrent commit invalidated \
+                     the read set (first committer wins); retry against a \
+                     fresh snapshot"
+                ),
+            },
+            Self::VersionNotRetained { cv } => write!(
+                f,
+                "commit version {cv} is not retained (never captured or \
+                 evicted by the retention policy); see retained_versions()"
             ),
         }
     }
@@ -134,5 +183,23 @@ mod tests {
         assert!(e.to_string().contains("bad crc"));
         assert!(StoreError::NotDurable.to_string().contains("open"));
         assert!(RetiredShard.to_string().contains("retired"));
+        let e = StoreError::TxnConflict {
+            point: Some(42),
+            range: None,
+        };
+        assert!(e.to_string().contains("42"));
+        assert!(e.to_string().contains("first committer wins"));
+        let e = StoreError::TxnConflict {
+            point: None,
+            range: Some((10, 20)),
+        };
+        assert!(e.to_string().contains("[10, 20]"));
+        let e = StoreError::TxnConflict {
+            point: None,
+            range: None,
+        };
+        assert!(e.to_string().contains("read set"));
+        let e = StoreError::VersionNotRetained { cv: 7 };
+        assert!(e.to_string().contains("version 7"));
     }
 }

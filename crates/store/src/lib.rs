@@ -116,6 +116,46 @@
 //!   the residual) or is refused by a retired shard and retried against the
 //!   successor topology.
 //!
+//! ### MVCC: time travel and change capture
+//!
+//! With [`StoreConfig::retain_versions`] set, the store keeps a bounded
+//! ring of historical cuts (see [`versions`]) and three calls open up:
+//!
+//! * [`ShardedStore::snapshot_at`] pins a snapshot at any **retained**
+//!   commit version — as capable and as consistent as a live snapshot,
+//!   exact at that version forever. An evicted or never-captured version
+//!   fails with the typed [`StoreError::VersionNotRetained`].
+//! * [`ShardedStore::scan_between`] is the change-data-capture feed: the
+//!   ordered key-level diff (net occurrence delta per key, zeros dropped)
+//!   between two retained versions, computed from the structural difference
+//!   of the pinned cuts — shards untouched between the cuts cost nothing,
+//!   shards sharing a base epoch cost only their buffered writes.
+//! * [`ShardedStore::version_stats`] reports how much heap the ring pins
+//!   beyond the live state (shared structures counted once). Retention
+//!   works because maintenance only ever republishes immutable values: a
+//!   retained cut simply keeps the sealed runs and base snapshots it needs
+//!   alive across compactions, rebuilds and rebalances.
+//!
+//! ### Optimistic transactions
+//!
+//! [`ShardedStore::begin`] opens a [`Txn`]: reads run on a snapshot pinned
+//! at begin (recording point counts and range fingerprints in a read set),
+//! writes buffer into a private [`WriteBatch`] that overlays the
+//! transaction's own reads. [`Txn::commit`] revalidates the read set at the
+//! store's current cut **inside the same serialization point every plain
+//! write uses** (the WAL frame lock / the write gate) and applies the batch
+//! only if every recorded observation still holds — **first committer
+//! wins**; the loser gets [`StoreError::TxnConflict`] naming the key or
+//! range that moved, and its WAL carries no trace of the attempt.
+//! Granularity: point reads conflict on the key's occurrence count; range
+//! reads conflict on *any* change to the scanned range's content. A
+//! committed transaction is serializable for its recorded footprint — it
+//! behaves as if executed atomically at its commit version. Conflicted
+//! work should re-run through [`ShardedStore::commit_with_retries`], which
+//! re-reads on a fresh snapshot per attempt. Durability is inherited from
+//! the batch path: one multi-op WAL frame, one sync, group commit,
+//! all-or-nothing crash recovery.
+//!
 //! ### Migrating from the direct-read API
 //!
 //! The pre-snapshot direct reads survive as one-shot conveniences (each
@@ -340,10 +380,12 @@ pub mod router;
 pub mod shard;
 pub mod sharded;
 pub mod snapshot;
+pub mod txn;
+pub mod versions;
 pub mod worker;
 
 pub use batch::{BatchOp, BatchReceipt, WriteBatch};
-pub use config::{DurabilityConfig, StoreConfig, SyncPolicy};
+pub use config::{DurabilityConfig, RetainPolicy, StoreConfig, SyncPolicy};
 pub use delta::{DeltaChain, DeltaRun};
 pub use epoch::{CommitClock, EpochCell};
 pub use error::{RetiredShard, StoreError};
@@ -354,6 +396,8 @@ pub use router::ShardRouter;
 pub use shard::{ShardSnapshot, ShardState, StoreShard};
 pub use sharded::{ShardedIndex, ShardedStore, StoreTable};
 pub use snapshot::StoreSnapshot;
+pub use txn::Txn;
+pub use versions::VersionStats;
 pub use worker::{HydrationWorker, MaintenanceWorker};
 
 impl<K: sosd_data::key::Key> shift_table::snapshot::SnapshotRead<K> for ShardedStore<K> {
@@ -367,6 +411,7 @@ impl<K: sosd_data::key::Key> shift_table::snapshot::SnapshotRead<K> for ShardedS
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::batch::{BatchOp, BatchReceipt, WriteBatch};
+    pub use crate::config::RetainPolicy;
     pub use crate::config::{DurabilityConfig, StoreConfig, SyncPolicy};
     pub use crate::error::{RetiredShard, StoreError};
     pub use crate::obs::{HydrationReason, TraceEvent, TraceKind};
@@ -375,5 +420,7 @@ pub mod prelude {
     pub use crate::shard::{ShardSnapshot, ShardState, StoreShard};
     pub use crate::sharded::{ShardedIndex, ShardedStore, StoreTable};
     pub use crate::snapshot::StoreSnapshot;
+    pub use crate::txn::Txn;
+    pub use crate::versions::VersionStats;
     pub use shift_table::snapshot::SnapshotRead;
 }

@@ -187,6 +187,36 @@ pub const CATALOGUE: &[(&str, &str, &str)] = &[
         "Maintenance errors dropped by error-ring overflow (oldest first).",
     ),
     (
+        "store_txn_begins_total",
+        "txns",
+        "Optimistic transactions begun (snapshots pinned with a read-set recorder).",
+    ),
+    (
+        "store_txn_commits_total",
+        "txns",
+        "Optimistic transactions committed (read-set validated, writes applied).",
+    ),
+    (
+        "store_txn_conflicts_total",
+        "txns",
+        "Optimistic transactions rejected by first-committer-wins validation.",
+    ),
+    (
+        "store_version_evictions_total",
+        "versions",
+        "Retained MVCC versions evicted by the count/age retention policy.",
+    ),
+    (
+        "store_retained_versions",
+        "versions",
+        "Historical commit versions currently retained for snapshot_at/scan_between.",
+    ),
+    (
+        "store_retained_bytes",
+        "bytes",
+        "Approximate heap pinned by retained versions beyond the live state (shared structures counted once).",
+    ),
+    (
         "kernel_blocks_total",
         "blocks",
         "Amortization blocks processed by the pipelined batch-lookup kernel (process-wide).",
@@ -351,6 +381,14 @@ pub enum TraceKind {
     /// A maintenance-worker error was captured (the rendered error is in
     /// the error ring); payload = 0.
     MaintenanceError,
+    /// An optimistic transaction failed first-committer-wins validation;
+    /// payload = the conflicting point key's `u64` image, or `u64::MAX`
+    /// for a range conflict.
+    TxnConflict,
+    /// A retained MVCC version was evicted by the retention policy; the
+    /// event's commit version is the evicted cut's, payload = retained
+    /// versions remaining after the eviction.
+    VersionEvicted,
 }
 
 impl TraceKind {
@@ -366,6 +404,8 @@ impl TraceKind {
             Self::WalRepair => 8,
             Self::WalPoisoned => 9,
             Self::MaintenanceError => 10,
+            Self::TxnConflict => 11,
+            Self::VersionEvicted => 12,
         }
     }
 
@@ -381,6 +421,8 @@ impl TraceKind {
             8 => Some(Self::WalRepair),
             9 => Some(Self::WalPoisoned),
             10 => Some(Self::MaintenanceError),
+            11 => Some(Self::TxnConflict),
+            12 => Some(Self::VersionEvicted),
             _ => None,
         }
     }
@@ -475,6 +517,10 @@ impl std::fmt::Display for TraceEvent {
             TraceKind::HydrationTriggered => {
                 write!(f, ", reason {:?}", self.hydration_reason())
             }
+            TraceKind::TxnConflict if self.payload != u64::MAX => {
+                write!(f, " on key {}", self.payload)
+            }
+            TraceKind::VersionEvicted => write!(f, ", {} retained", self.payload),
             _ => Ok(()),
         }
     }
@@ -498,6 +544,10 @@ pub(crate) struct StoreObs {
     pub(crate) write_gate_fallbacks: Counter,
     pub(crate) compactions: Counter,
     pub(crate) hydrations: Counter,
+    pub(crate) txn_begins: Counter,
+    pub(crate) txn_commits: Counter,
+    pub(crate) txn_conflicts: Counter,
+    pub(crate) version_evictions: Counter,
     // Latency histograms: sampled on the hot paths, exact on cold paths.
     pub(crate) read_latency: Histogram,
     pub(crate) write_latency: Histogram,
@@ -538,6 +588,10 @@ impl StoreObs {
             write_gate_fallbacks: Counter::new(),
             compactions: Counter::new(),
             hydrations: Counter::new(),
+            txn_begins: Counter::new(),
+            txn_commits: Counter::new(),
+            txn_conflicts: Counter::new(),
+            version_evictions: Counter::new(),
             read_latency: Histogram::new(),
             write_latency: Histogram::new(),
             rebuild_ns: Histogram::new(),
@@ -714,13 +768,6 @@ impl StoreObs {
         ring.drain(..).collect()
     }
 
-    /// Pop the oldest retained maintenance error (the deprecated
-    /// single-slot shim's accessor).
-    pub(crate) fn pop_error(&self) -> Option<StoreError> {
-        let mut ring = self.errors.lock().unwrap_or_else(|p| p.into_inner());
-        ring.pop_front()
-    }
-
     /// The metrics this registry owns directly, in catalogue order.
     /// [`crate::ShardedStore::metrics`] appends the shard, kernel and
     /// durability families scraped from their owners.
@@ -743,6 +790,13 @@ impl StoreObs {
             hist_metric("store_compaction_duration_ns", &self.compaction_ns),
             hist_metric("store_hydration_duration_ns", &self.hydration_ns),
             hist_metric("store_checkpoint_duration_ns", &self.checkpoint_ns),
+            counter_metric("store_txn_begins_total", self.txn_begins.get()),
+            counter_metric("store_txn_commits_total", self.txn_commits.get()),
+            counter_metric("store_txn_conflicts_total", self.txn_conflicts.get()),
+            counter_metric(
+                "store_version_evictions_total",
+                self.version_evictions.get(),
+            ),
             counter_metric("store_trace_events_total", self.trace_pushed()),
             counter_metric("store_trace_dropped_total", self.trace_dropped()),
             counter_metric("store_maintenance_errors_total", self.errors_pushed.get()),
@@ -806,6 +860,8 @@ mod tests {
             TraceKind::WalRepair,
             TraceKind::WalPoisoned,
             TraceKind::MaintenanceError,
+            TraceKind::TxnConflict,
+            TraceKind::VersionEvicted,
         ] {
             assert_eq!(TraceKind::from_code(kind.code()), Some(kind));
         }
@@ -839,7 +895,7 @@ mod tests {
         assert_eq!(obs.errors_pushed.get(), (ERROR_RING_CAPACITY + 5) as u64);
         assert_eq!(obs.errors_dropped.get(), 5);
         assert_eq!(obs.take_errors().len(), ERROR_RING_CAPACITY);
-        assert!(obs.pop_error().is_none());
+        assert!(obs.take_errors().is_empty(), "drain consumes");
         let events = obs.drain_trace();
         assert!(events.iter().all(|e| e.kind == TraceKind::MaintenanceError));
     }

@@ -359,6 +359,42 @@ impl Persistence {
         Ok(result)
     }
 
+    /// [`Persistence::append_batch`] with a validation hook run **under the
+    /// WAL lock, before the frame is written**: the transaction-commit path.
+    ///
+    /// Holding the WAL lock across every durable apply means the commit
+    /// clock is quiescent while `validate` runs — no other durable write can
+    /// be mid-publication — so a read-set check here sees exactly the
+    /// committed state the transaction would serialize after. When
+    /// `validate` fails, no frame is appended and no version is consumed:
+    /// a conflicting transaction leaves no trace in the log.
+    pub(crate) fn append_batch_validated<R>(
+        &self,
+        ops: &[(WalOp, u64)],
+        validate: impl FnOnce() -> Result<(), StoreError>,
+        apply: impl FnOnce(u64) -> R,
+    ) -> Result<R, StoreError> {
+        let timer = self.append_sampler.start();
+        let (result, ticket) = {
+            let mut inner = self.inner.lock().expect("wal lock poisoned"); // lint: allow(panic) WAL-lock poisoning means a writer died mid-frame; no sound continuation
+            if inner.wal.is_poisoned() {
+                return Err(StoreError::WalPoisoned);
+            }
+            validate()?;
+            let version = inner.next_version;
+            let bytes = inner.wal.append_batch(version, ops)?;
+            inner.next_version += 1;
+            inner.since_checkpoint += ops.len() as u64;
+            self.wal_records.fetch_add(1, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
+            self.wal_ops.fetch_add(ops.len() as u64, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
+            self.wal_bytes.fetch_add(bytes, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
+            (apply(version), version)
+        };
+        timer.finish(&self.wal_append_ns);
+        self.group_commit(ticket)?;
+        Ok(result)
+    }
+
     /// Wait until the record carrying `ticket` (its store version) is
     /// durable. A no-op unless group commit is active — every other policy
     /// synced (or deliberately didn't) inside the append.

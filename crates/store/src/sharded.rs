@@ -29,7 +29,9 @@ use crate::persist::wal::WalOp;
 use crate::persist::{self, recovery, snapshot, v2, DurabilityStats, Persistence};
 use crate::router::ShardRouter;
 use crate::shard::{build_index, ShardSnapshot, StoreShard};
-use crate::snapshot::{SnapshotHook, StoreSnapshot};
+use crate::snapshot::{PinnedCut, SnapshotHook, StoreSnapshot};
+use crate::txn::{ReadSet, Txn};
+use crate::versions::{diff_cuts, VersionRing, VersionStats};
 use crate::worker::{HydrationWorker, MaintenanceWorker, WorkerSignal};
 use algo_index::search::{DynRangeIndex, RangeIndex};
 use shift_obs::{MetricsProvider, MetricsReport, MetricsServer};
@@ -293,6 +295,18 @@ pub(crate) struct StoreCore<K: Key> {
     /// before any shard's rebuild guard.
     topology: Mutex<()>,
     signal: Arc<WorkerSignal>,
+    /// The last captured consistent cut: while the commit clock still reads
+    /// quiescent at its version, [`StoreCore::pin_cut`] reuses it instead
+    /// of re-pinning every shard — snapshot acquisition (and transaction
+    /// begin) is O(1) between writes instead of O(shards). Invalidated by
+    /// topology changes (which republish the table without bumping the
+    /// clock) so a stale cut never outlives its epoch unnoticed.
+    pin_cache: Mutex<Option<PinnedCut<K>>>,
+    /// Retained historical cuts serving
+    /// [`crate::ShardedStore::snapshot_at`] and
+    /// [`crate::ShardedStore::scan_between`]; empty (and never locked on
+    /// the write path) unless [`StoreConfig::retain_versions`] is set.
+    versions: VersionRing<K>,
     /// The durability layer — `Some` only for stores opened from a path.
     persist: Option<Persistence>,
     /// What the last checkpoint wrote (`None` until one ran, or after a
@@ -331,6 +345,31 @@ impl<K: Key> StoreCore<K> {
     /// capture falls back to taking the write gate — writers pause for the
     /// microseconds one pin sweep takes, and the snapshot is guaranteed.
     pub(crate) fn snapshot(&self) -> StoreSnapshot<K> {
+        StoreSnapshot::from_cut(self.pin_cut(), Some(self.hook()))
+    }
+
+    fn hook(&self) -> SnapshotHook {
+        SnapshotHook {
+            obs: Arc::clone(&self.obs),
+            signal: Arc::clone(&self.signal),
+        }
+    }
+
+    /// Capture (or reuse) the current consistent cut. The fast path serves
+    /// the cached cut whenever the clock still reads quiescent at its
+    /// version — no write happened since the cut was pinned, so it is still
+    /// exact — making repeat snapshot/begin acquisition O(1) in the shard
+    /// count. A miss runs the full seqlock capture and refreshes the cache.
+    pub(crate) fn pin_cut(&self) -> PinnedCut<K> {
+        if let Some(qv) = self.clock.quiescent_version() {
+            // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
+            let cache = self.pin_cache.lock().expect("pin cache poisoned");
+            if let Some(cut) = cache.as_ref() {
+                if cut.version == qv {
+                    return cut.clone();
+                }
+            }
+        }
         let mut pin = || {
             let table = self.load_table();
             let states: Vec<_> = table.shards.iter().map(|s| s.state()).collect();
@@ -350,11 +389,87 @@ impl<K: Key> StoreCore<K> {
                 self.clock.read_consistent(&mut pin)
             }
         };
-        let hook = SnapshotHook {
-            obs: Arc::clone(&self.obs),
-            signal: Arc::clone(&self.signal),
-        };
-        StoreSnapshot::new(table, states, version, Some(hook))
+        let cut = PinnedCut::new(table, states, version);
+        // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
+        *self.pin_cache.lock().expect("pin cache poisoned") = Some(cut.clone());
+        cut
+    }
+
+    /// [`StoreCore::pin_cut`] for a caller that has writers excluded — it
+    /// holds a durable store's WAL frame lock (every durable write applies
+    /// under it) or the write gate's write side. No commit window can be
+    /// open or opened, so the first seqlock attempt always succeeds. Never
+    /// call this without that exclusion: it would spin under a write storm.
+    fn pin_cut_quiescent(&self) -> PinnedCut<K> {
+        let ((table, states), version) = self.clock.read_consistent(|| {
+            let table = self.load_table();
+            let states: Vec<_> = table.shards.iter().map(|s| s.state()).collect();
+            (table, states)
+        });
+        let cut = PinnedCut::new(table, states, version);
+        // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
+        *self.pin_cache.lock().expect("pin cache poisoned") = Some(cut.clone());
+        cut
+    }
+
+    /// Opportunistically retain the current cut after a write, when a
+    /// retention policy is configured. The pin attempt is bounded and
+    /// writers never wait on it — losing the race just means the *next*
+    /// write (or the next transaction commit, which captures
+    /// deterministically inside its writer-excluded critical section)
+    /// retains instead.
+    pub(crate) fn retain_current(&self) {
+        if !self.versions.enabled() {
+            return;
+        }
+        let pinned = self.clock.try_read_consistent(8, || {
+            let table = self.load_table();
+            let states: Vec<_> = table.shards.iter().map(|s| s.state()).collect();
+            (table, states)
+        });
+        if let Some(((table, states), version)) = pinned {
+            let cut = PinnedCut::new(table, states, version);
+            self.record_evictions(self.versions.capture(cut));
+        }
+    }
+
+    /// Retain `cut` deterministically (the caller pinned it inside a
+    /// writer-excluded critical section) and account any evictions.
+    fn retain_cut(&self, cut: PinnedCut<K>) {
+        if self.versions.enabled() {
+            self.record_evictions(self.versions.capture(cut));
+        }
+    }
+
+    /// Drop the cached cut. Called by every maintenance path that
+    /// republishes shard state *without* opening a commit window (rebuild,
+    /// compaction, split, merge) — the old cut would stay *correct* (its
+    /// pinned states are immutable and complete) but would keep serving the
+    /// pre-maintenance structures and pinning their memory until the next
+    /// write moved the clock.
+    fn invalidate_pin_cache(&self) {
+        // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
+        *self.pin_cache.lock().expect("pin cache poisoned") = None;
+    }
+
+    /// Count and trace version-ring evictions: one
+    /// [`TraceKind::VersionEvicted`] per dropped cut, stamped with the
+    /// evicted commit version and carrying the remaining retained count.
+    fn record_evictions(&self, evicted: Vec<(u64, usize)>) {
+        self.record_evictions_counted(evicted);
+    }
+
+    fn record_evictions_counted(&self, evicted: Vec<(u64, usize)>) -> usize {
+        let n = evicted.len();
+        for (cv, remaining) in evicted {
+            self.obs.count(&self.obs.version_evictions, 1);
+            self.obs.emit(TraceEvent::store(
+                TraceKind::VersionEvicted,
+                cv,
+                remaining as u64,
+            ));
+        }
+        n
     }
 
     /// Push a maintenance trace event, pinned to a shard position when one
@@ -377,6 +492,7 @@ impl<K: Key> StoreCore<K> {
         let t0 = self.obs.phase_start();
         let rebuilt = shard.rebuild()?;
         if rebuilt {
+            self.invalidate_pin_cache();
             self.rebuilds.fetch_add(1, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
             if self.obs.enabled() {
                 let (kind, hist) = if was_cold {
@@ -431,6 +547,7 @@ impl<K: Key> StoreCore<K> {
             if shard.state().delta().unsealed_run_count() >= worker_trigger {
                 let t0 = self.obs.phase_start();
                 if shard.compact() {
+                    self.invalidate_pin_cache();
                     let ns = self.obs.phase_done(t0, &self.obs.compaction_ns);
                     self.obs.count(&self.obs.compactions, 1);
                     self.emit_event(TraceKind::Compact, Some(s), ns);
@@ -447,6 +564,10 @@ impl<K: Key> StoreCore<K> {
         actions += self.rebuild_where(|s| s.hydration_requested() && s.snapshot().is_cold())?;
         actions += self.rebuild_where(|s| s.is_dirty())?;
         actions += self.rebalance()?;
+        // Age out retained versions past the policy's max_age (count-bound
+        // eviction already happened at capture time).
+        let aged = self.record_evictions_counted(self.versions.evict_stale());
+        actions += aged;
         if self.persist.as_ref().is_some_and(|p| p.checkpoint_due()) {
             self.checkpoint()?;
             actions += 1;
@@ -565,7 +686,7 @@ impl<K: Key> StoreCore<K> {
     /// [`crate::worker::HydrationWorker`]): retrain models in waves capped
     /// at the machine's parallelism, re-scanning until the table holds no
     /// cold shard or `stop` is raised. A build failure is parked for
-    /// [`crate::ShardedStore::take_maintenance_error`] and ends the pass —
+    /// [`crate::ShardedStore::take_maintenance_errors`] and ends the pass —
     /// cold shards keep serving off their block index.
     pub(crate) fn hydrate_cold_shards(&self, stop: &std::sync::atomic::AtomicBool) {
         let workers = std::thread::available_parallelism()
@@ -818,6 +939,7 @@ impl<K: Key> StoreCore<K> {
             router: ShardRouter::from_fences(fences),
             shards,
         }));
+        self.invalidate_pin_cache();
         shard.retire();
         self.splits.fetch_add(1, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
         let ns = self.obs.phase_ns(t0);
@@ -872,6 +994,7 @@ impl<K: Key> StoreCore<K> {
             router: ShardRouter::from_fences(fences),
             shards,
         }));
+        self.invalidate_pin_cache();
         a.retire();
         b.retire();
         self.merges.fetch_add(1, Ordering::Relaxed); // lint: ordering(Relaxed) monotonic stats counter; no synchronising role
@@ -927,6 +1050,17 @@ impl<K: Key> StoreCore<K> {
             delta_depth_max as f64,
         ));
         metrics.push(obs::gauge_metric("store_delta_keys", delta_keys as f64));
+        let live: Vec<Arc<crate::shard::ShardState<K>>> =
+            table.shards.iter().map(|s| s.state()).collect();
+        let vs = self.versions.stats(&live);
+        metrics.push(obs::gauge_metric(
+            "store_retained_versions",
+            vs.retained as f64,
+        ));
+        metrics.push(obs::gauge_metric(
+            "store_retained_bytes",
+            vs.approx_bytes as f64,
+        ));
         // One labelled member per shard; members of a family must stay
         // adjacent for the Prometheus exporter's shared family header.
         for (s, shard) in table.shards.iter().enumerate() {
@@ -1154,6 +1288,8 @@ impl<K: Key> ShardedStore<K> {
             write_gate: RwLock::new(()),
             topology: Mutex::new(()),
             signal: Arc::new(WorkerSignal::default()),
+            pin_cache: Mutex::new(None),
+            versions: VersionRing::new(config.retain_versions),
             persist,
             ckpt_memo: Mutex::new(memo),
             rebuilds: AtomicU64::new(0),
@@ -1211,6 +1347,114 @@ impl<K: Key> ShardedStore<K> {
         self.core.snapshot()
     }
 
+    /// Pin a snapshot at a **retained historical commit version** — time
+    /// travel over the ring [`StoreConfig::retain_versions`] keeps. The
+    /// returned snapshot is exactly as capable (and exactly as consistent)
+    /// as a live [`ShardedStore::snapshot`]: every read on it is exact at
+    /// `cv` forever. The current version is always servable, retained or
+    /// not.
+    ///
+    /// # Errors
+    /// [`StoreError::VersionNotRetained`] when `cv` was never captured or
+    /// has been evicted by the retention policy.
+    pub fn snapshot_at(&self, cv: u64) -> Result<StoreSnapshot<K>, StoreError> {
+        if let Some(cut) = self.core.versions.get(cv) {
+            return Ok(StoreSnapshot::from_cut(cut, Some(self.core.hook())));
+        }
+        let live = self.core.snapshot();
+        if live.version() == cv {
+            return Ok(live);
+        }
+        Err(StoreError::VersionNotRetained { cv })
+    }
+
+    /// Every retained historical commit version, oldest first (the values
+    /// [`ShardedStore::snapshot_at`] and [`ShardedStore::scan_between`]
+    /// accept). Empty unless [`StoreConfig::retain_versions`] is set.
+    pub fn retained_versions(&self) -> Vec<u64> {
+        self.core.versions.versions()
+    }
+
+    /// Memory readout of the retained-version ring: how many versions are
+    /// held and approximately how many heap bytes they pin beyond the live
+    /// state (structures shared between cuts counted once).
+    pub fn version_stats(&self) -> VersionStats {
+        let table = self.core.load_table();
+        let live: Vec<Arc<crate::shard::ShardState<K>>> =
+            table.shards.iter().map(|s| s.state()).collect();
+        self.core.versions.stats(&live)
+    }
+
+    /// The ordered key-level diff between two retained commit versions —
+    /// the change-data-capture feed. Returns sorted
+    /// `(key, count_at_b − count_at_a)` pairs with zero nets dropped: a
+    /// positive net means occurrences inserted between the two cuts, a
+    /// negative net occurrences deleted (swap the arguments to view the
+    /// reverse direction). Cost is proportional to the writes between the
+    /// cuts for shards whose base epoch is shared, falling back to a merged
+    /// two-pointer walk when a rebuild or topology change rewrote the base
+    /// in between.
+    ///
+    /// Both versions must be retained (the current version qualifies); the
+    /// diff is exact because both cuts are immutable.
+    ///
+    /// # Errors
+    /// [`StoreError::VersionNotRetained`] naming the missing version.
+    pub fn scan_between(&self, cv_a: u64, cv_b: u64) -> Result<Vec<(K, i64)>, StoreError> {
+        let cut_at = |cv: u64| -> Result<PinnedCut<K>, StoreError> {
+            if let Some(cut) = self.core.versions.get(cv) {
+                return Ok(cut);
+            }
+            let live = self.core.pin_cut();
+            if live.version == cv {
+                return Ok(live);
+            }
+            Err(StoreError::VersionNotRetained { cv })
+        };
+        let a = cut_at(cv_a)?;
+        let b = cut_at(cv_b)?;
+        Ok(diff_cuts(&a, &b))
+    }
+
+    /// Begin an **optimistic transaction**: reads run against a snapshot
+    /// pinned here and are recorded; writes buffer privately and overlay
+    /// the transaction's own reads; [`Txn::commit`] applies them atomically
+    /// iff nothing the transaction read has since changed (first committer
+    /// wins — see [`crate::txn`] for the full protocol). Beginning costs
+    /// one snapshot pin (O(1) between writes thanks to the cut cache) and
+    /// never blocks writers; dropping an uncommitted transaction is free.
+    pub fn begin(&self) -> Txn<'_, K> {
+        self.core.obs.count(&self.core.obs.txn_begins, 1);
+        Txn::new(self, self.core.snapshot())
+    }
+
+    /// Run `body` in a fresh transaction and commit, retrying up to
+    /// `attempts` times on [`StoreError::TxnConflict`]. Each retry re-runs
+    /// `body` on a *new* snapshot — retrying a conflicted commit without
+    /// re-reading can never succeed, since its read set is stale by
+    /// definition. Any other error (and any error `body` returns) aborts
+    /// immediately. Returns `body`'s value alongside the commit receipt.
+    pub fn commit_with_retries<R>(
+        &self,
+        attempts: u32,
+        mut body: impl FnMut(&mut Txn<'_, K>) -> Result<R, StoreError>,
+    ) -> Result<(R, BatchReceipt), StoreError> {
+        let mut last = StoreError::TxnConflict {
+            point: None,
+            range: None,
+        };
+        for _ in 0..attempts.max(1) {
+            let mut txn = self.begin();
+            let out = body(&mut txn)?;
+            match txn.commit() {
+                Ok(receipt) => return Ok((out, receipt)),
+                Err(e @ StoreError::TxnConflict { .. }) => last = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
     /// The newest assigned commit version (diagnostics; a concurrent writer
     /// may not have published it yet — pin a [`ShardedStore::snapshot`] for
     /// an exact cut).
@@ -1265,16 +1509,6 @@ impl<K: Key> ShardedStore<K> {
     /// Number of shard merges the rebalancer has performed.
     pub fn total_merges(&self) -> u64 {
         self.core.merges.load(Ordering::Relaxed) // lint: ordering(Relaxed) stats read; no synchronising role
-    }
-
-    /// The oldest captured maintenance error, if any (popped from the
-    /// bounded error ring).
-    #[deprecated(
-        note = "use `take_maintenance_errors` (drains the whole bounded error ring) \
-                         or `trace_events` (structured failure events)"
-    )]
-    pub fn take_maintenance_error(&self) -> Option<StoreError> {
-        self.core.obs.pop_error()
     }
 
     /// Drain every captured background-maintenance error, oldest first.
@@ -1339,6 +1573,7 @@ impl<K: Key> ShardedStore<K> {
             None => self.apply_insert(k),
         };
         self.core.obs.count(&self.core.obs.writes, 1);
+        self.core.retain_current();
         if let Some(shard) = dirty {
             self.on_dirty(&shard)?;
         }
@@ -1361,6 +1596,7 @@ impl<K: Key> ShardedStore<K> {
         // A no-op delete (no occurrence) still counts: it was applied (and,
         // durable, logged).
         self.core.obs.count(&self.core.obs.deletes, 1);
+        self.core.retain_current();
         if let Some(shard) = dirty {
             self.on_dirty(&shard)?;
         }
@@ -1415,6 +1651,7 @@ impl<K: Key> ShardedStore<K> {
             self.core.obs.count(&self.core.obs.deletes, del);
             self.core.obs.count(&self.core.obs.batches, 1);
         }
+        self.core.retain_current();
         for shard in dirty {
             self.on_dirty(&shard)?;
         }
@@ -1428,6 +1665,16 @@ impl<K: Key> ShardedStore<K> {
     /// the batch made dirty (deduplicated).
     fn apply_batch_mem(&self, batch: &WriteBatch<K>) -> (BatchReceipt, Vec<Arc<StoreShard<K>>>) {
         let _gate = self.core.write_gate.read().expect("write gate poisoned"); // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
+        self.apply_batch_under_gate(batch)
+    }
+
+    /// [`ShardedStore::apply_batch_mem`] for a caller already holding the
+    /// write gate (either side — `std`'s `RwLock` is not reentrant, and the
+    /// in-memory transaction commit applies under the gate's *write* side).
+    fn apply_batch_under_gate(
+        &self,
+        batch: &WriteBatch<K>,
+    ) -> (BatchReceipt, Vec<Arc<StoreShard<K>>>) {
         let cv = self.core.clock.begin();
         let mut receipt = BatchReceipt {
             commit_version: cv,
@@ -1471,6 +1718,111 @@ impl<K: Key> ShardedStore<K> {
         }
         self.core.clock.end();
         (receipt, dirty)
+    }
+
+    /// Validate and commit an optimistic transaction (the engine behind
+    /// [`Txn::commit`]): inside the same serialization point every plain
+    /// write uses — the WAL frame lock for durable stores, the write gate's
+    /// write side for in-memory ones — revalidate the read set against the
+    /// store's current cut and, only if every recorded observation still
+    /// holds, apply the buffered batch. Validation runs *before* the WAL
+    /// frame is appended, so a conflicted transaction writes no bytes and
+    /// consumes no commit version; a validated one inherits the plain batch
+    /// path end to end (one frame, one sync, group commit, all-or-nothing
+    /// replay).
+    pub(crate) fn commit_txn(
+        &self,
+        snap: StoreSnapshot<K>,
+        reads: ReadSet<K>,
+        writes: WriteBatch<K>,
+    ) -> Result<BatchReceipt, StoreError> {
+        // A read-only transaction commits trivially: its snapshot reads
+        // were consistent at the snapshot version by construction.
+        if writes.is_empty() {
+            self.core.obs.count(&self.core.obs.txn_commits, 1);
+            return Ok(BatchReceipt::default());
+        }
+        let base_version = snap.version();
+        drop(snap); // the read set carries everything validation needs
+        let timer = self.core.obs.write_start();
+        // Validate at the store's current cut, pinned while the caller has
+        // writers excluded (the closure runs under the WAL frame lock /
+        // write gate, so the quiescent pin succeeds first try). The
+        // fast path skips validation when no write committed since the
+        // transaction began.
+        let validate = || -> Result<(), StoreError> {
+            if self.core.clock.version() == base_version {
+                return Ok(());
+            }
+            let at = StoreSnapshot::from_cut(self.core.pin_cut_quiescent(), None);
+            reads.validate(&at)
+        };
+        let result = match &self.core.persist {
+            Some(p) => {
+                let ops: Vec<(WalOp, u64)> = writes
+                    .ops()
+                    .iter()
+                    .map(|op| match *op {
+                        BatchOp::Insert(k) => (WalOp::Insert, k.to_u64()),
+                        BatchOp::Delete(k) => (WalOp::Delete, k.to_u64()),
+                    })
+                    .collect();
+                p.append_batch_validated(&ops, validate, |_version| {
+                    let out = self.apply_batch_mem(&writes);
+                    // Still under the WAL frame lock: retain this commit's
+                    // cut deterministically (the pin cannot race a writer).
+                    if self.core.versions.enabled() {
+                        let cut = self.core.pin_cut_quiescent();
+                        self.core.retain_cut(cut);
+                    }
+                    out
+                })
+            }
+            None => {
+                // In-memory: the gate's write side drains in-flight commit
+                // windows and blocks new ones — validation and apply become
+                // one atomic step against every other writer.
+                let _gate = self.core.write_gate.write().expect("write gate poisoned"); // lint: allow(panic) lock poisoning propagates a holder's panic; no sound continuation
+                validate().map(|()| {
+                    let out = self.apply_batch_under_gate(&writes);
+                    if self.core.versions.enabled() {
+                        let cut = self.core.pin_cut_quiescent();
+                        self.core.retain_cut(cut);
+                    }
+                    out
+                })
+            }
+        };
+        let (receipt, dirty) = match result {
+            Ok(out) => out,
+            Err(e) => {
+                if let StoreError::TxnConflict { point, .. } = &e {
+                    self.core.obs.count(&self.core.obs.txn_conflicts, 1);
+                    self.core
+                        .emit_event(TraceKind::TxnConflict, None, point.unwrap_or(u64::MAX));
+                }
+                self.core.obs.write_done(timer);
+                return Err(e);
+            }
+        };
+        if self.core.obs.enabled() {
+            let (ins, del) = writes
+                .ops()
+                .iter()
+                .fold((0u64, 0u64), |(i, d), op| match op {
+                    BatchOp::Insert(_) => (i + 1, d),
+                    BatchOp::Delete(_) => (i, d + 1),
+                });
+            self.core.obs.count(&self.core.obs.writes, ins);
+            self.core.obs.count(&self.core.obs.deletes, del);
+            self.core.obs.count(&self.core.obs.batches, 1);
+        }
+        self.core.obs.count(&self.core.obs.txn_commits, 1);
+        for shard in dirty {
+            self.on_dirty(&shard)?;
+        }
+        self.core.obs.write_done(timer);
+        Ok(receipt)
     }
 
     /// Apply an insert in memory, re-routing around retired shards (one
@@ -1671,13 +2023,18 @@ impl<K: Key> ShardedStore<K> {
     }
 
     /// Rebuild every *dirty* shard (chain at or over the threshold), in
-    /// parallel scoped threads — the foreground maintenance entry point.
-    /// Returns the number of shards rebuilt.
+    /// parallel scoped threads, and age out retained versions past the
+    /// policy's `max_age` — the foreground maintenance entry point.
+    /// Returns the number of actions taken (rebuilds + version evictions).
     ///
     /// # Errors
     /// Propagates the first shard rebuild failure.
     pub fn maintain(&self) -> Result<usize, StoreError> {
-        Ok(self.core.rebuild_where(|s| s.is_dirty())?)
+        let rebuilt = self.core.rebuild_where(|s| s.is_dirty())?;
+        let aged = self
+            .core
+            .record_evictions_counted(self.core.versions.evict_stale());
+        Ok(rebuilt + aged)
     }
 
     /// Rebuild every shard with *any* buffered write, regardless of the

@@ -40,27 +40,28 @@ pub(crate) struct SnapshotHook {
     pub(crate) signal: Arc<WorkerSignal>,
 }
 
-/// A pinned, immutable, store-wide consistent read view (see the module
-/// docs). Cheap to clone conceptually — but not `Clone`: take a fresh
-/// snapshot instead, or share one behind `Arc`.
-pub struct StoreSnapshot<K: Key> {
-    table: Arc<StoreTable<K>>,
-    states: Vec<Arc<ShardState<K>>>,
+/// A consistent store-wide cut without the observability hook: the pinned
+/// table, the per-shard state vector and its precomputed offsets, all
+/// behind `Arc`s so a clone is two reference-count bumps. This is the
+/// structure the store's O(1) snapshot cache and the MVCC version ring
+/// retain; [`StoreSnapshot`] wraps one together with the metrics hook.
+#[derive(Clone)]
+pub(crate) struct PinnedCut<K: Key> {
+    pub(crate) table: Arc<StoreTable<K>>,
+    pub(crate) states: Arc<Vec<Arc<ShardState<K>>>>,
     /// Global position offset of each shard in the merged view.
-    offsets: Vec<usize>,
-    total: usize,
-    version: u64,
-    hook: Option<SnapshotHook>,
+    pub(crate) offsets: Arc<Vec<usize>>,
+    pub(crate) total: usize,
+    pub(crate) version: u64,
 }
 
-impl<K: Key> StoreSnapshot<K> {
-    /// Assemble a snapshot from a pinned table and its state vector (the
-    /// store's commit clock guarantees the pair is a consistent cut).
+impl<K: Key> PinnedCut<K> {
+    /// Assemble a cut from a pinned table and its state vector (the store's
+    /// commit clock guarantees the pair is consistent).
     pub(crate) fn new(
         table: Arc<StoreTable<K>>,
         states: Vec<Arc<ShardState<K>>>,
         version: u64,
-        hook: Option<SnapshotHook>,
     ) -> Self {
         let mut offsets = Vec::with_capacity(states.len());
         let mut total = 0usize;
@@ -70,12 +71,27 @@ impl<K: Key> StoreSnapshot<K> {
         }
         Self {
             table,
-            states,
-            offsets,
+            states: Arc::new(states),
+            offsets: Arc::new(offsets),
             total,
             version,
-            hook,
         }
+    }
+}
+
+/// A pinned, immutable, store-wide consistent read view (see the module
+/// docs). Cheap to clone conceptually — but not `Clone`: take a fresh
+/// snapshot instead, or share one behind `Arc`.
+pub struct StoreSnapshot<K: Key> {
+    cut: PinnedCut<K>,
+    hook: Option<SnapshotHook>,
+}
+
+impl<K: Key> StoreSnapshot<K> {
+    /// Wrap an already-assembled cut (the cached-pin and `snapshot_at`
+    /// paths) — O(1): a handful of `Arc` clones inside the cut.
+    pub(crate) fn from_cut(cut: PinnedCut<K>, hook: Option<SnapshotHook>) -> Self {
+        Self { cut, hook }
     }
 
     /// Count `n` read operations against the store registry and maybe start
@@ -109,18 +125,18 @@ impl<K: Key> StoreSnapshot<K> {
     fn touch(&self, s: usize, n: u64) {
         let Some(hook) = &self.hook else { return };
         if hook.obs.access_sampled() {
-            self.table.shards()[s].record_accesses(n << ACCESS_SAMPLE_SHIFT);
+            self.cut.table.shards()[s].record_accesses(n << ACCESS_SAMPLE_SHIFT);
         }
         // The pinned state's coldness is a cheap pre-filter; re-check the
         // live shard so a since-hydrated (or re-sharded) one is never
         // re-requested.
-        if self.states[s].snapshot().is_cold() {
-            let shard = &self.table.shards()[s];
+        if self.cut.states[s].snapshot().is_cold() {
+            let shard = &self.cut.table.shards()[s];
             if shard.snapshot().is_cold() && shard.request_hydration() {
                 hook.obs.emit(TraceEvent::shard(
                     TraceKind::HydrationTriggered,
                     s,
-                    self.version,
+                    self.cut.version,
                     HydrationReason::FirstTouch.code(),
                 ));
                 hook.signal.kick();
@@ -131,29 +147,29 @@ impl<K: Key> StoreSnapshot<K> {
     /// The store-wide commit version this snapshot is exact at: every write
     /// stamped at or below it is visible, none above it is.
     pub fn version(&self) -> u64 {
-        self.version
+        self.cut.version
     }
 
     /// The topology epoch the snapshot pinned.
     pub fn table(&self) -> &Arc<StoreTable<K>> {
-        &self.table
+        &self.cut.table
     }
 
     /// The pinned per-shard states, in router order.
     pub fn states(&self) -> &[Arc<ShardState<K>>] {
-        &self.states
+        &self.cut.states
     }
 
     /// Number of shards in the pinned topology.
     pub fn shard_count(&self) -> usize {
-        self.states.len()
+        self.cut.states.len()
     }
 
     /// Merged occurrence count of exactly `k` at this snapshot.
     pub fn count_of(&self, k: K) -> usize {
         let timer = self.reads_start(1);
-        let s = self.table.router().shard_of(k);
-        let n = self.states[s].count_of(k);
+        let s = self.cut.table.router().shard_of(k);
+        let n = self.cut.states[s].count_of(k);
         self.touch(s, 1);
         self.reads_done(timer);
         n
@@ -167,14 +183,14 @@ impl<K: Key> StoreSnapshot<K> {
     /// one two-query batch).
     pub fn scan(&self, lo: K, hi: K) -> Vec<K> {
         let timer = self.reads_start(1);
-        if lo > hi || self.total == 0 {
+        if lo > hi || self.cut.total == 0 {
             self.reads_done(timer);
             return Vec::new();
         }
-        let router = self.table.router();
+        let router = self.cut.table.router();
         let (s_lo, s_hi) = (router.shard_of(lo), router.shard_of(hi));
         let mut out = Vec::new();
-        for (s, state) in (s_lo..=s_hi).zip(&self.states[s_lo..=s_hi]) {
+        for (s, state) in (s_lo..=s_hi).zip(&self.cut.states[s_lo..=s_hi]) {
             out.extend(state.merged_range_keys(lo, hi));
             self.touch(s, 1);
         }
@@ -186,8 +202,8 @@ impl<K: Key> StoreSnapshot<K> {
 impl<K: Key> RangeIndex<K> for StoreSnapshot<K> {
     fn lower_bound(&self, q: K) -> usize {
         let timer = self.reads_start(1);
-        let s = self.table.router().shard_of(q);
-        let pos = self.offsets[s] + self.states[s].lower_bound(q);
+        let s = self.cut.table.router().shard_of(q);
+        let pos = self.cut.offsets[s] + self.cut.states[s].lower_bound(q);
         self.touch(s, 1);
         self.reads_done(timer);
         pos
@@ -201,13 +217,13 @@ impl<K: Key> RangeIndex<K> for StoreSnapshot<K> {
     fn lower_bound_batch(&self, queries: &[K], out: &mut [usize]) {
         let timer = self.reads_start(queries.len() as u64);
         dispatch_batch_by_shard(
-            self.table.router(),
-            self.states.len(),
-            &self.offsets,
+            self.cut.table.router(),
+            self.cut.states.len(),
+            &self.cut.offsets,
             queries,
             out,
             |s, qs, os| {
-                self.states[s].lower_bound_batch(qs, os);
+                self.cut.states[s].lower_bound_batch(qs, os);
                 self.touch(s, qs.len() as u64);
             },
         );
@@ -216,11 +232,11 @@ impl<K: Key> RangeIndex<K> for StoreSnapshot<K> {
 
     fn range(&self, lo: K, hi: K) -> std::ops::Range<usize> {
         let timer = self.reads_start(1);
-        if lo > hi || self.total == 0 {
+        if lo > hi || self.cut.total == 0 {
             self.reads_done(timer);
             return 0..0;
         }
-        let router = self.table.router();
+        let router = self.cut.table.router();
         let s_lo = router.shard_of(lo);
         let range = match hi.checked_next() {
             Some(h) => {
@@ -230,22 +246,22 @@ impl<K: Key> RangeIndex<K> for StoreSnapshot<K> {
                     // the shard's two-query batch through the kernel.
                     let queries = [lo, h];
                     let mut out = [0usize; 2];
-                    self.states[s_lo].lower_bound_batch(&queries, &mut out);
+                    self.cut.states[s_lo].lower_bound_batch(&queries, &mut out);
                     self.touch(s_lo, 1);
-                    let start = self.offsets[s_lo] + out[0];
-                    start..(self.offsets[s_lo] + out[1]).max(start)
+                    let start = self.cut.offsets[s_lo] + out[0];
+                    start..(self.cut.offsets[s_lo] + out[1]).max(start)
                 } else {
-                    let start = self.offsets[s_lo] + self.states[s_lo].lower_bound(lo);
-                    let end = self.offsets[s_hi] + self.states[s_hi].lower_bound(h);
+                    let start = self.cut.offsets[s_lo] + self.cut.states[s_lo].lower_bound(lo);
+                    let end = self.cut.offsets[s_hi] + self.cut.states[s_hi].lower_bound(h);
                     self.touch(s_lo, 1);
                     self.touch(s_hi, 1);
                     start..end.max(start)
                 }
             }
             None => {
-                let start = self.offsets[s_lo] + self.states[s_lo].lower_bound(lo);
+                let start = self.cut.offsets[s_lo] + self.cut.states[s_lo].lower_bound(lo);
                 self.touch(s_lo, 1);
-                start..self.total
+                start..self.cut.total
             }
         };
         self.reads_done(timer);
@@ -253,14 +269,15 @@ impl<K: Key> RangeIndex<K> for StoreSnapshot<K> {
     }
 
     fn len(&self) -> usize {
-        self.total
+        self.cut.total
     }
 
     fn index_size_bytes(&self) -> usize {
-        let routing = self.table.router().fences().len() * K::size_bytes()
-            + self.offsets.len() * std::mem::size_of::<usize>();
+        let routing = self.cut.table.router().fences().len() * K::size_bytes()
+            + self.cut.offsets.len() * std::mem::size_of::<usize>();
         routing
             + self
+                .cut
                 .states
                 .iter()
                 .map(|s| s.snapshot().index().index_size_bytes() + s.delta().size_bytes())

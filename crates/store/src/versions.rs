@@ -1,0 +1,348 @@
+//! MVCC version retention and the change-data-capture diff engine.
+//!
+//! A [`crate::StoreSnapshot`] already pins one commit version forever; this
+//! module keeps a **bounded ring of named historical cuts** so the store can
+//! serve *any* retained version on demand
+//! ([`crate::ShardedStore::snapshot_at`]) and compute ordered key-level
+//! diffs between two retained versions
+//! ([`crate::ShardedStore::scan_between`]) — the change-data-capture feed a
+//! downstream replica tails.
+//!
+//! ## Retention
+//!
+//! The `VersionRing` holds pinned cuts — `Arc`s to the store table and
+//! the per-shard states of one quiescent cut — ordered by commit version.
+//! Holding a cut pins exactly the structures it references: sealed delta
+//! runs and base snapshots survive compaction, rebuilds and rebalancing for
+//! as long as a retained version needs them, because maintenance only ever
+//! *republishes* new epochs, never mutates old ones. The cost is the heap
+//! those epochs would otherwise free; [`VersionStats`] reports it with
+//! shared structures counted once and the live state excluded.
+//!
+//! Eviction is by count at capture time (oldest first, like a ring buffer)
+//! and by count/age in the maintenance pass. The policy
+//! ([`crate::RetainPolicy`]) defaults to disabled, in which case nothing is
+//! captured and the write path never takes the ring lock.
+//!
+//! ## Diffing
+//!
+//! `diff_cuts(a, b)` produces sorted `(key, count_at_b − count_at_a)` pairs
+//! with zero nets dropped. It exploits structure where it exists: per-shard
+//! state `Arc`s that are pointer-equal contribute nothing; states sharing a
+//! base snapshot diff their delta-chain folds (cost ∝ buffered writes, not
+//! shard size); everything else falls back to a two-pointer multiset walk
+//! of the merged key columns. When the two cuts pinned different topologies
+//! (a split or merge happened in between), the walk runs over the global
+//! key streams — shard key ranges are disjoint and router-ordered, so each
+//! cut's concatenated shards already form one sorted stream.
+
+use crate::config::RetainPolicy;
+use crate::shard::{ShardSnapshot, ShardState};
+use crate::snapshot::PinnedCut;
+use sosd_data::key::Key;
+use std::collections::{HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One retained historical cut: the pinned structures plus its capture time
+/// (for age-based eviction).
+struct RetainedCut<K: Key> {
+    cut: PinnedCut<K>,
+    created: Instant,
+}
+
+/// Readout of the version ring's memory cost — see
+/// [`crate::ShardedStore::version_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VersionStats {
+    /// Retained historical versions.
+    pub retained: usize,
+    /// Oldest retained commit version, if any.
+    pub oldest_cv: Option<u64>,
+    /// Newest retained commit version, if any.
+    pub newest_cv: Option<u64>,
+    /// Approximate heap bytes pinned by retained cuts beyond the live
+    /// state: delta runs plus base key columns and their indexes, with
+    /// structures shared between cuts (or with the live state) counted
+    /// once.
+    pub approx_bytes: usize,
+}
+
+/// The bounded, commit-version-ordered ring of retained cuts.
+pub(crate) struct VersionRing<K: Key> {
+    policy: RetainPolicy,
+    ring: Mutex<VecDeque<RetainedCut<K>>>,
+}
+
+impl<K: Key> VersionRing<K> {
+    pub(crate) fn new(policy: RetainPolicy) -> Self {
+        Self {
+            policy,
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Is retention on at all? False short-circuits every capture site.
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        !self.policy.is_disabled()
+    }
+
+    /// Retain `cut`, evicting the oldest versions past the count bound.
+    /// Duplicate versions are ignored (capture sites are opportunistic and
+    /// may race). Returns `(evicted cv, remaining count)` per eviction so
+    /// the caller can trace and count them.
+    pub(crate) fn capture(&self, cut: PinnedCut<K>) -> Vec<(u64, usize)> {
+        if !self.enabled() {
+            return Vec::new();
+        }
+        let created = Instant::now(); // lint: allow(timing) retention capture: policy-gated, once per retained version, not per op
+        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        let cv = cut.version;
+        if ring.iter().any(|r| r.cut.version == cv) {
+            return Vec::new();
+        }
+        // Captures are near-monotonic; racing writers may deliver slightly
+        // out of order, so insert at the sorted position (scan from the
+        // back — the common case appends).
+        let pos = ring
+            .iter()
+            .rposition(|r| r.cut.version < cv)
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        ring.insert(pos, RetainedCut { cut, created });
+        let mut evicted = Vec::new();
+        while ring.len() > self.policy.count {
+            // lint: allow(panic) loop guard: len > count >= 0 implies non-empty
+            let old = ring.pop_front().expect("ring non-empty");
+            evicted.push((old.cut.version, ring.len()));
+        }
+        evicted
+    }
+
+    /// The retained cut at exactly `cv`, if any.
+    pub(crate) fn get(&self, cv: u64) -> Option<PinnedCut<K>> {
+        let ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        ring.iter()
+            .find(|r| r.cut.version == cv)
+            .map(|r| r.cut.clone())
+    }
+
+    /// Every retained commit version, oldest first.
+    pub(crate) fn versions(&self) -> Vec<u64> {
+        let ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        ring.iter().map(|r| r.cut.version).collect()
+    }
+
+    /// Maintenance-pass eviction: drop cuts older than the policy's
+    /// `max_age` (and re-enforce the count bound). Returns
+    /// `(evicted cv, remaining count)` per eviction.
+    pub(crate) fn evict_stale(&self) -> Vec<(u64, usize)> {
+        if !self.enabled() {
+            return Vec::new();
+        }
+        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        let mut evicted = Vec::new();
+        while ring.len() > self.policy.count {
+            // lint: allow(panic) loop guard: len > count >= 0 implies non-empty
+            let old = ring.pop_front().expect("ring non-empty");
+            evicted.push((old.cut.version, ring.len()));
+        }
+        if let Some(max_age) = self.policy.max_age {
+            let now = Instant::now(); // lint: allow(timing) cold maintenance path — runs once per worker pass
+            while let Some(front) = ring.front() {
+                if now.duration_since(front.created) <= max_age {
+                    break;
+                }
+                // lint: allow(panic) front() just proved the ring non-empty
+                let old = ring.pop_front().expect("ring non-empty");
+                evicted.push((old.cut.version, ring.len()));
+            }
+        }
+        evicted
+    }
+
+    /// Memory/extent readout, with everything the live state (or an earlier
+    /// retained cut) already pins counted once — see [`VersionStats`].
+    pub(crate) fn stats(&self, live: &[Arc<ShardState<K>>]) -> VersionStats {
+        let ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        let mut seen_states: HashSet<*const ShardState<K>> = HashSet::new();
+        let mut seen_snaps: HashSet<*const ShardSnapshot<K>> = HashSet::new();
+        for s in live {
+            seen_states.insert(Arc::as_ptr(s));
+            seen_snaps.insert(Arc::as_ptr(s.snapshot()));
+        }
+        let mut approx_bytes = 0usize;
+        for rc in ring.iter() {
+            for s in rc.cut.states.iter() {
+                if seen_states.insert(Arc::as_ptr(s)) {
+                    approx_bytes += s.delta().size_bytes();
+                    let snap = s.snapshot();
+                    if seen_snaps.insert(Arc::as_ptr(snap)) {
+                        approx_bytes +=
+                            snap.base_len() * K::size_bytes() + snap.index().index_size_bytes();
+                    }
+                }
+            }
+        }
+        VersionStats {
+            retained: ring.len(),
+            oldest_cv: ring.front().map(|r| r.cut.version),
+            newest_cv: ring.back().map(|r| r.cut.version),
+            approx_bytes,
+        }
+    }
+}
+
+/// Ordered key-level diff between two cuts of the *same store*: sorted
+/// `(key, count_at_b − count_at_a)` pairs, zero nets dropped. See the
+/// module docs for the structural shortcuts.
+pub(crate) fn diff_cuts<K: Key>(a: &PinnedCut<K>, b: &PinnedCut<K>) -> Vec<(K, i64)> {
+    if a.version == b.version {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    if Arc::ptr_eq(&a.table, &b.table) {
+        // Same topology: per-shard diffs concatenate into global key order
+        // because shard key ranges are disjoint and router-ordered.
+        for (sa, sb) in a.states.iter().zip(b.states.iter()) {
+            if Arc::ptr_eq(sa, sb) {
+                continue; // untouched shard: contributes nothing
+            }
+            if Arc::ptr_eq(sa.snapshot(), sb.snapshot()) {
+                // Same base epoch: the diff is the difference of the two
+                // delta-chain folds — cost ∝ buffered writes.
+                diff_net_pairs_into(&sa.delta().net_pairs(), &sb.delta().net_pairs(), &mut out);
+            } else {
+                // The base was rebuilt in between: walk both merged views.
+                diff_sorted_iters_into(
+                    sa.merged_keys().into_iter(),
+                    sb.merged_keys().into_iter(),
+                    &mut out,
+                );
+            }
+        }
+    } else {
+        // Topology changed (split/merge): diff the global key streams.
+        let stream = |cut: &PinnedCut<K>| {
+            cut.states
+                .iter()
+                .flat_map(|s| s.merged_keys())
+                .collect::<Vec<K>>()
+        };
+        diff_sorted_iters_into(stream(a).into_iter(), stream(b).into_iter(), &mut out);
+    }
+    debug_assert!(
+        out.windows(2).all(|w| w[0].0 < w[1].0),
+        "diff must be sorted"
+    );
+    out
+}
+
+/// Merge two sorted `(key, net)` folds relative to the *same* base into
+/// `out` as `b − a` per key, dropping zeros.
+fn diff_net_pairs_into<K: Key>(a: &[(K, i64)], b: &[(K, i64)], out: &mut Vec<(K, i64)>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&(ka, na)), Some(&(kb, nb))) => {
+                if ka < kb {
+                    out.push((ka, -na));
+                    i += 1;
+                } else if kb < ka {
+                    out.push((kb, nb));
+                    j += 1;
+                } else {
+                    if nb != na {
+                        out.push((ka, nb - na));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+            (Some(&(ka, na)), None) => {
+                out.push((ka, -na));
+                i += 1;
+            }
+            (None, Some(&(kb, nb))) => {
+                out.push((kb, nb));
+                j += 1;
+            }
+            (None, None) => break,
+        }
+    }
+}
+
+/// Two-pointer multiset diff of two sorted key streams into `out` as
+/// `count_in_b − count_in_a` per key, dropping zeros.
+fn diff_sorted_iters_into<K: Key>(
+    a: impl Iterator<Item = K>,
+    b: impl Iterator<Item = K>,
+    out: &mut Vec<(K, i64)>,
+) {
+    let mut a = a.peekable();
+    let mut b = b.peekable();
+    fn drain_run<K: Key, I: Iterator<Item = K>>(it: &mut std::iter::Peekable<I>, k: K) -> i64 {
+        let mut n = 0i64;
+        while it.peek() == Some(&k) {
+            it.next();
+            n += 1;
+        }
+        n
+    }
+    loop {
+        match (a.peek().copied(), b.peek().copied()) {
+            (None, None) => break,
+            (Some(ka), None) => out.push((ka, -drain_run(&mut a, ka))),
+            (None, Some(kb)) => out.push((kb, drain_run(&mut b, kb))),
+            (Some(ka), Some(kb)) => {
+                if ka < kb {
+                    out.push((ka, -drain_run(&mut a, ka)));
+                } else if kb < ka {
+                    out.push((kb, drain_run(&mut b, kb)));
+                } else {
+                    let net = drain_run(&mut b, kb) - drain_run(&mut a, ka);
+                    if net != 0 {
+                        out.push((ka, net));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_pair_folds_subtract_per_key() {
+        let a = vec![(2u64, 1i64), (5, -1), (9, 2)];
+        let b = vec![(2u64, 1i64), (7, 3), (9, 1)];
+        let mut out = Vec::new();
+        diff_net_pairs_into(&a, &b, &mut out);
+        // 2 cancels, 5's −1 reverts to +1, 7 appears, 9 shrinks by 1.
+        assert_eq!(out, vec![(5, 1), (7, 3), (9, -1)]);
+        out.clear();
+        diff_net_pairs_into(&[], &b, &mut out);
+        assert_eq!(out, b, "empty a passes b through");
+        out.clear();
+        diff_net_pairs_into(&a, &[], &mut out);
+        assert_eq!(out, vec![(2, -1), (5, 1), (9, -2)], "empty b negates a");
+    }
+
+    #[test]
+    fn multiset_streams_diff_by_occurrence_count() {
+        let a = vec![1u64, 4, 4, 4, 9, 12];
+        let b = vec![1u64, 4, 4, 7, 12, 12];
+        let mut out = Vec::new();
+        diff_sorted_iters_into(a.into_iter(), b.into_iter(), &mut out);
+        assert_eq!(out, vec![(4, -1), (7, 1), (9, -1), (12, 1)]);
+        let mut out = Vec::new();
+        diff_sorted_iters_into(std::iter::empty::<u64>(), [3, 3].into_iter(), &mut out);
+        assert_eq!(out, vec![(3, 2)]);
+        let mut out = Vec::new();
+        diff_sorted_iters_into([3u64, 3].into_iter(), std::iter::empty(), &mut out);
+        assert_eq!(out, vec![(3, -2)]);
+    }
+}

@@ -319,8 +319,8 @@ fn first_touch_on_a_cold_shard_emits_hydration_trigger() {
 }
 
 /// WAL poisoning and repair surface as store-wide trace events, and the
-/// error ring (always on) drains through the new API; the deprecated
-/// single-slot accessor still works as a shim.
+/// error ring (always on) drains through `take_maintenance_errors` — a
+/// second drain finds it empty.
 #[test]
 fn wal_poison_and_repair_emit_store_wide_events() {
     let dir = scratch("obs-wal-repair");
@@ -347,9 +347,10 @@ fn wal_poison_and_repair_emit_store_wide_events() {
     assert!(poisoned < repaired, "poison precedes repair");
 
     assert!(store.take_maintenance_errors().is_empty());
-    #[allow(deprecated)]
-    let legacy = store.take_maintenance_error();
-    assert!(legacy.is_none());
+    assert!(
+        store.take_maintenance_errors().is_empty(),
+        "drain is destructive; a second drain finds nothing"
+    );
 }
 
 /// With metrics disabled the store stays silent — empty report, no trace
